@@ -1,0 +1,33 @@
+# BLoc reproduction build targets.
+
+GO ?= go
+
+.PHONY: all build test race vet bench figures figures-full clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/locserver/ ./internal/eval/ ./internal/core/
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Every table and figure of the paper at reduced scale (~2 min, 1 core).
+figures:
+	$(GO) run ./cmd/bloc-bench -out results
+
+# The paper's full 1700-position scale (tens of minutes on 1 core).
+figures-full:
+	$(GO) run ./cmd/bloc-bench -positions 1700 -out results
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,372 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§8). Each BenchmarkFigNN runs the corresponding experiment
+// on a shared reduced dataset (the paper's 1700 positions shrink to a
+// deterministic 24 so `go test -bench=.` stays minutes, not hours — use
+// cmd/bloc-bench -positions 1700 for the full-scale run) and reports the
+// headline numbers as custom metrics: medians and 90th percentiles in cm,
+// named after the scheme they belong to.
+package bloc_test
+
+import (
+	"sync"
+	"testing"
+
+	"bloc"
+	"bloc/internal/core"
+	"bloc/internal/eval"
+	"bloc/internal/geom"
+	"bloc/internal/testbed"
+)
+
+const benchPositions = 24
+
+var (
+	suiteOnce sync.Once
+	suite     *eval.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *eval.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = eval.NewSuite(eval.SuiteOptions{Seed: 7, Positions: benchPositions})
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func cm(meters float64) float64 { return meters * 100 }
+
+// BenchmarkFig4_GFSK regenerates Fig. 4: Gaussian pulse shaping of random
+// vs sounding bit patterns. Metric: fraction of samples settled at full
+// deviation for each pattern (paper: random never settles, runs do).
+func BenchmarkFig4_GFSK(b *testing.B) {
+	var r *eval.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r = eval.Fig4(8)
+	}
+	settled := func(w []float64) float64 {
+		n := 0
+		for _, v := range w {
+			if v > 0.99 || v < -0.99 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(w))
+	}
+	b.ReportMetric(settled(r.RandomShaped), "settled-random")
+	b.ReportMetric(settled(r.SoundingShaped), "settled-sounding")
+}
+
+// BenchmarkFig6_LikelihoodMaps regenerates Fig. 6: the angle, hyperbolic
+// distance, and combined likelihood maps for one tag. Metric: the
+// combined map's localization error in cm.
+func BenchmarkFig6_LikelihoodMaps(b *testing.B) {
+	s := benchSuite(b)
+	tag := geom.Pt(0.6, -0.9)
+	var r *eval.Fig6Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = s.Fig6(tag)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cm(r.Estimate.Dist(r.Tag)), "err-cm")
+}
+
+// BenchmarkFig8a_CSIStability regenerates Fig. 8a: corrected CSI phase
+// across 10 consecutive measurements on 4 subbands. Metric: worst
+// per-band phase spread in degrees (paper: visually constant).
+func BenchmarkFig8a_CSIStability(b *testing.B) {
+	s := benchSuite(b)
+	var r *eval.Fig8aResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = s.Fig8a(geom.Pt(0.5, 0.5), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MaxSpreadDeg, "max-spread-deg")
+}
+
+// BenchmarkFig8b_PhaseCorrection regenerates Fig. 8b: phase vs subband
+// with and without BLoc's offset cancellation. Metrics: linear-fit R² of
+// both profiles (paper: corrected linear, raw random).
+func BenchmarkFig8b_PhaseCorrection(b *testing.B) {
+	var r *eval.Fig8bResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = eval.Fig8b(5, geom.Pt(0.8, 0.4))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.CorrR2, "corrected-r2")
+	b.ReportMetric(r.RawR2, "raw-r2")
+}
+
+// BenchmarkFig9a_LocalizationCDF regenerates Fig. 9a: BLoc vs the
+// AoA-combining baseline over the dataset. Metrics: medians and p90s in
+// cm (paper: BLoc 86/170, AoA 242/340).
+func BenchmarkFig9a_LocalizationCDF(b *testing.B) {
+	s := benchSuite(b)
+	var r *eval.Fig9aResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = s.Fig9a()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cm(r.BLoc.Median), "bloc-median-cm")
+	b.ReportMetric(cm(r.BLoc.P90), "bloc-p90-cm")
+	b.ReportMetric(cm(r.AoA.Median), "aoa-median-cm")
+	b.ReportMetric(cm(r.AoA.P90), "aoa-p90-cm")
+}
+
+// BenchmarkFig9b_AnchorSweep regenerates Fig. 9b: accuracy with 2, 3 and 4
+// anchors. Metrics: BLoc medians per anchor count in cm (paper:
+// 86 → 91.5 cm for 4 → 3).
+func BenchmarkFig9b_AnchorSweep(b *testing.B) {
+	s := benchSuite(b)
+	var r *eval.Fig9bResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = s.Fig9b()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cm(r.BLoc[2].Median), "bloc-2anchor-cm")
+	b.ReportMetric(cm(r.BLoc[3].Median), "bloc-3anchor-cm")
+	b.ReportMetric(cm(r.BLoc[4].Median), "bloc-4anchor-cm")
+	b.ReportMetric(cm(r.AoA[4].Median), "aoa-4anchor-cm")
+}
+
+// BenchmarkFig9c_AntennaSweep regenerates Fig. 9c: accuracy with 3 vs 4
+// antennas per anchor. Metrics: medians per antenna count in cm (paper:
+// BLoc 90 cm @3 vs 86 cm @4).
+func BenchmarkFig9c_AntennaSweep(b *testing.B) {
+	s := benchSuite(b)
+	var r *eval.Fig9cResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = s.Fig9c()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cm(r.BLoc[3].Median), "bloc-3ant-cm")
+	b.ReportMetric(cm(r.BLoc[4].Median), "bloc-4ant-cm")
+	b.ReportMetric(cm(r.AoA[3].Median), "aoa-3ant-cm")
+}
+
+// BenchmarkFig10_Bandwidth regenerates Fig. 10: median error vs stitched
+// bandwidth. Metrics: medians at 2/20/40/80 MHz in cm (paper:
+// 160/134/110/86).
+func BenchmarkFig10_Bandwidth(b *testing.B) {
+	s := benchSuite(b)
+	var r *eval.Fig10Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = s.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cm(r.Stats[2].Median), "2mhz-cm")
+	b.ReportMetric(cm(r.Stats[20].Median), "20mhz-cm")
+	b.ReportMetric(cm(r.Stats[40].Median), "40mhz-cm")
+	b.ReportMetric(cm(r.Stats[80].Median), "80mhz-cm")
+}
+
+// BenchmarkFig11_Subsampling regenerates Fig. 11: median error when the
+// channel list is stride-subsampled over the full span. Metrics: medians
+// for all/half/quarter of the subbands in cm (paper: ≈flat).
+func BenchmarkFig11_Subsampling(b *testing.B) {
+	s := benchSuite(b)
+	var r *eval.Fig11Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = s.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, n := range r.SubbandCounts {
+		b.ReportMetric(cm(r.Stats[n].Median), benchName(n))
+	}
+}
+
+func benchName(n int) string {
+	switch {
+	case n >= 30:
+		return "all-bands-cm"
+	case n >= 15:
+		return "half-bands-cm"
+	default:
+		return "quarter-bands-cm"
+	}
+}
+
+// BenchmarkFig12_MultipathRejection regenerates Fig. 12: BLoc's Eq. 18
+// selector vs the naive shortest-distance selector. Metrics: medians in
+// cm (paper: 86 vs 195).
+func BenchmarkFig12_MultipathRejection(b *testing.B) {
+	s := benchSuite(b)
+	var r *eval.Fig12Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = s.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cm(r.BLoc.Median), "bloc-median-cm")
+	b.ReportMetric(cm(r.Shortest.Median), "shortest-median-cm")
+}
+
+// BenchmarkFig13_LocationHeatmap regenerates Fig. 13: RMSE binned by tag
+// location. Metrics: mean corner-cell vs central-cell RMSE in cm (paper:
+// corners worst).
+func BenchmarkFig13_LocationHeatmap(b *testing.B) {
+	s := benchSuite(b)
+	var r *eval.Fig13Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = s.Fig13(1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	corner, center := r.CornerVsCenter()
+	b.ReportMetric(cm(corner), "corner-rmse-cm")
+	b.ReportMetric(cm(center), "center-rmse-cm")
+}
+
+// BenchmarkAcquireSnapshot measures one full 37-band CSI acquisition
+// (channel-domain) — the per-fix measurement cost.
+func BenchmarkAcquireSnapshot(b *testing.B) {
+	sys, err := bloc.NewSystem(bloc.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag := bloc.Pt(0.7, -0.9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Acquire(tag)
+	}
+}
+
+// BenchmarkLocateSingleFix measures the full BLoc pipeline on one
+// snapshot: correction, joint likelihood over 4 anchors × 37 bands, peak
+// scoring.
+func BenchmarkLocateSingleFix(b *testing.B) {
+	sys, err := bloc.NewSystem(bloc.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := sys.Acquire(bloc.Pt(0.7, -0.9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.LocalizeSnapshot(bloc.MethodBLoc, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorrectChannels measures Eq. 10's conjugate-product correction
+// alone.
+func BenchmarkCorrectChannels(b *testing.B) {
+	dep, err := testbed.Paper(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := dep.Sounding(geom.Pt(0.5, 0.5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Correct(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCTE compares Bluetooth 5.1 CTE direction finding
+// against BLoc (extension: CTE postdates the paper). Metrics: medians in
+// cm for both systems.
+func BenchmarkAblationCTE(b *testing.B) {
+	var r *eval.CTEResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = eval.AblationCTE(7, benchPositions)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cm(r.CTE.Median), "cte-median-cm")
+	b.ReportMetric(cm(r.BLoc.Median), "bloc-median-cm")
+}
+
+// BenchmarkAblationWiFi compares a SpotFi-class Wi-Fi CSI localizer
+// against BLE BLoc in the same room (the benchmark the paper aims at).
+func BenchmarkAblationWiFi(b *testing.B) {
+	var r *eval.WiFiResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = eval.AblationWiFi(7, benchPositions)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cm(r.WiFi.Median), "wifi-median-cm")
+	b.ReportMetric(cm(r.BLoc.Median), "bloc-median-cm")
+	b.ReportMetric(cm(r.BLEAoA.Median), "ble-aoa-median-cm")
+}
+
+// BenchmarkAblationInterference measures the §8.6 mechanism: a Wi-Fi
+// interferer with and without adaptive channel blacklisting.
+func BenchmarkAblationInterference(b *testing.B) {
+	var ps []eval.InterferencePoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		ps, err = eval.AblationInterference(7, benchPositions, 6, 0.15)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cm(ps[0].BLoc.Median), "quiet-cm")
+	b.ReportMetric(cm(ps[1].BLoc.Median), "wifi-noafh-cm")
+	b.ReportMetric(cm(ps[2].BLoc.Median), "wifi-afh-cm")
+}
+
+// BenchmarkAblationMotion measures accuracy for tags moving during the
+// ≈280 ms hop cycle.
+func BenchmarkAblationMotion(b *testing.B) {
+	var ps []eval.MotionPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		ps, err = eval.AblationMotion(7, benchPositions/2, []float64{0, 1, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cm(ps[0].BLoc.Median), "static-cm")
+	b.ReportMetric(cm(ps[1].BLoc.Median), "1ms-cm")
+	b.ReportMetric(cm(ps[2].BLoc.Median), "3ms-cm")
+}

@@ -1,0 +1,89 @@
+// Command bloc-anchor runs one BLoc anchor daemon: it measures the CSI of
+// simulated tag↔master exchanges and streams per-band reports to the
+// central server, printing every fix the server broadcasts back.
+//
+// Usage:
+//
+//	bloc-anchor -id 0 [-server 127.0.0.1:7100] [-seed 1] [-rounds 10]
+//	            [-tag "0.8,-0.6"]
+//
+// All anchors of a deployment must share -seed (the simulated world) and
+// report the same tag trajectory; see examples/distributed for a scripted
+// multi-anchor run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"bloc/internal/anchor"
+	"bloc/internal/geom"
+	"bloc/internal/testbed"
+	"bloc/internal/wire"
+)
+
+func main() {
+	var (
+		id     = flag.Int("id", 0, "anchor id (0 = master)")
+		server = flag.String("server", "127.0.0.1:7100", "server address")
+		seed   = flag.Uint64("seed", 1, "shared deployment seed")
+		rounds = flag.Int("rounds", 10, "acquisition rounds to report")
+		tagID  = flag.Int("tagid", 0, "tag identifier (multi-tag deployments)")
+		tagPos = flag.String("tag", "0.8,-0.6", "tag position as x,y")
+		period = flag.Duration("period", 200*time.Millisecond, "delay between rounds")
+	)
+	flag.Parse()
+
+	tag, err := parsePoint(*tagPos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := testbed.Paper(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	d, err := anchor.New(*id, dep, logger)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.OnFix = func(f wire.Fix) {
+		logger.Info("fix received", "round", f.Round, "x", f.X, "y", f.Y)
+	}
+	if err := d.Connect(*server); err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	logger.Info("anchor connected", "id", *id, "server", *server)
+
+	for r := 1; r <= *rounds; r++ {
+		if err := d.MeasureAndReport(uint16(*tagID), uint32(r), tag); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(*period)
+	}
+	// Give the last fix broadcast a moment to arrive before closing.
+	time.Sleep(500 * time.Millisecond)
+}
+
+func parsePoint(s string) (geom.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return geom.Point{}, fmt.Errorf("bad point %q, want x,y", s)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return geom.Pt(x, y), nil
+}

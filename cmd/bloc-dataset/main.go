@@ -1,0 +1,139 @@
+// Command bloc-dataset records measurement campaigns to disk and replays
+// them through any estimator — the collect-once / evaluate-many workflow
+// of the paper's evaluation (one 1700-position dataset feeds every figure
+// of §8).
+//
+// Usage:
+//
+//	bloc-dataset record -out campaign.bloc [-positions 300] [-seed 7]
+//	bloc-dataset replay -in campaign.bloc [-method bloc] [-seed 7]
+//	bloc-dataset info   -in campaign.bloc
+//
+// The seed at replay must match the recording's: it reconstructs the
+// anchor geometry the snapshots were measured against.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bloc/internal/core"
+	"bloc/internal/csi"
+	"bloc/internal/eval"
+	"bloc/internal/testbed"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bloc-dataset record|replay|info [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("out", "campaign.bloc", "output file")
+	positions := fs.Int("positions", 300, "number of tag positions")
+	seed := fs.Uint64("seed", 7, "simulation seed")
+	fs.Parse(args)
+
+	dep, err := testbed.Paper(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recording %d positions (seed %d)...\n", *positions, *seed)
+	ds, err := eval.Acquire(dep, eval.AcquireOptions{Positions: *positions, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := eval.SaveDataset(f, ds); err != nil {
+		log.Fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d positions, %.1f MiB\n", *out, ds.Len(), float64(st.Size())/(1<<20))
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "campaign.bloc", "input file")
+	method := fs.String("method", "bloc", "estimator: bloc, aoa, shortest-distance, rssi, music")
+	seed := fs.Uint64("seed", 7, "deployment seed the campaign was recorded with")
+	fs.Parse(args)
+
+	ds := load(*in)
+	dep, err := testbed.Paper(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := core.NewEngine(dep.Anchors, core.DefaultConfig(dep.Env.Room))
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := map[string]func(*csi.Snapshot) (*core.Result, error){
+		"bloc":              eng.Locate,
+		"aoa":               eng.LocateAoA,
+		"shortest-distance": eng.LocateShortestDistance,
+		"rssi":              eng.LocateRSSI,
+		"music":             eng.LocateMUSIC,
+	}[*method]
+	if est == nil {
+		log.Fatalf("unknown method %q", *method)
+	}
+	errs := make([]float64, 0, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		res, err := est(ds.Snapshots[i])
+		if err != nil {
+			log.Fatalf("position %d: %v", i, err)
+		}
+		errs = append(errs, res.Estimate.Dist(ds.Truth[i]))
+	}
+	st := eval.NewErrorStats(errs)
+	fmt.Printf("replayed %d positions with %s: %s\n", ds.Len(), *method, st)
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "campaign.bloc", "input file")
+	fs.Parse(args)
+	ds := load(*in)
+	s := ds.Snapshots[0]
+	fmt.Printf("%s: %d positions, %d bands × %d anchors × %d antennas per snapshot\n",
+		*in, ds.Len(), s.NumBands(), s.NumAnchors(), s.NumAntennas())
+}
+
+func load(path string) *eval.Dataset {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := eval.LoadDataset(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ds
+}

@@ -1,0 +1,75 @@
+// Command bloc-server runs BLoc's central localization server: it accepts
+// anchor connections, assembles per-round CSI snapshots and prints a fix
+// per completed round (§3's central server as a real network service).
+//
+// Usage:
+//
+//	bloc-server [-listen 127.0.0.1:7100] [-anchors 4] [-antennas 4] [-seed 1]
+//
+// The seed must match the anchors' seed: it defines the shared simulated
+// deployment geometry the localization engine needs.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"bloc/internal/core"
+	"bloc/internal/csi"
+	"bloc/internal/geom"
+	"bloc/internal/locserver"
+	"bloc/internal/testbed"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7100", "listen address")
+		anchors  = flag.Int("anchors", 4, "number of anchors")
+		antennas = flag.Int("antennas", 4, "antennas per anchor")
+		seed     = flag.Uint64("seed", 1, "shared deployment seed")
+	)
+	flag.Parse()
+
+	env := testbed.PaperEnvironment(*seed)
+	cfg := testbed.PaperConfig(*seed)
+	cfg.Anchors = *anchors
+	cfg.Antennas = *antennas
+	dep, err := testbed.New(env, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := core.NewEngine(dep.Anchors, core.DefaultConfig(dep.Env.Room))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv, err := locserver.New(*listen, locserver.Config{
+		Anchors:  *anchors,
+		Antennas: *antennas,
+		Bands:    dep.Bands,
+		OnSnapshot: func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+			res, err := eng.Locate(snap)
+			if err != nil {
+				return geom.Point{}, err
+			}
+			return res.Estimate, nil
+		},
+		Logger: logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger.Info("bloc-server listening", "addr", srv.Addr(), "anchors", *anchors)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx); err != nil {
+		logger.Error("shutdown", "err", err)
+	}
+}

@@ -1,0 +1,108 @@
+// Command bloc-sim runs one-shot localization experiments on the simulated
+// paper testbed: it samples tag positions, localizes each with the chosen
+// estimator and prints per-position errors plus summary statistics.
+//
+// Usage:
+//
+//	bloc-sim [-positions 50] [-method bloc|aoa|aoa-soft|shortest-distance|rssi]
+//	         [-anchors 4] [-antennas 4] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bloc"
+	"bloc/internal/dsp"
+	"bloc/internal/eval"
+	"bloc/internal/geom"
+)
+
+func main() {
+	var (
+		positions = flag.Int("positions", 50, "number of tag positions to localize")
+		method    = flag.String("method", "bloc", "estimator: bloc, aoa, aoa-soft, shortest-distance, rssi, music")
+		anchors   = flag.Int("anchors", 4, "number of anchors")
+		antennas  = flag.Int("antennas", 4, "antennas per anchor")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		plan      = flag.String("floorplan", "", "JSON floorplan file (overrides the paper room)")
+		verbose   = flag.Bool("v", false, "print per-position errors")
+	)
+	flag.Parse()
+
+	m, err := parseMethod(*method)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := bloc.Options{
+		Anchors:   *anchors,
+		Antennas:  *antennas,
+		PaperRoom: true,
+		Seed:      *seed,
+	}
+	if *plan != "" {
+		fp, err := bloc.LoadFloorplan(*plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = fp.Options(*seed)
+		if *anchors != 4 {
+			opts.Anchors = *anchors
+		}
+		if *antennas != 4 {
+			opts.Antennas = *antennas
+		}
+		fmt.Printf("floorplan: %s\n", fp.Name)
+	}
+	sys, err := bloc.NewSystem(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	min, max := sys.Room()
+	fmt.Printf("BLoc simulation: %d positions, %d anchors, room %.1fx%.1f m, method %s\n",
+		*positions, len(sys.AnchorPositions()), max.X-min.X, max.Y-min.Y, m)
+
+	pts := eval.SamplePositions(geom.NewRect(min, max), *positions, 0.04, 0.25, *seed)
+	errs := make([]float64, 0, len(pts))
+	for i, p := range pts {
+		fix, err := sys.LocalizeWith(m, p)
+		if err != nil {
+			log.Fatalf("position %d: %v", i, err)
+		}
+		errs = append(errs, fix.Error)
+		if *verbose {
+			fmt.Printf("  #%03d truth %v -> estimate %v  error %.2f m\n",
+				i, p, fix.Estimate, fix.Error)
+		}
+	}
+	st := eval.NewErrorStats(errs)
+	fmt.Printf("\nmedian %.0f cm   p90 %.0f cm   mean %.0f cm   max %.0f cm\n",
+		st.Median*100, st.P90*100, st.Mean*100, st.Max*100)
+	fmt.Println("\nerror CDF:")
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		fmt.Printf("  %3.0f%% of fixes within %.2f m\n", frac*100, dsp.Percentile(errs, frac*100))
+	}
+	os.Exit(0)
+}
+
+func parseMethod(s string) (bloc.Method, error) {
+	switch s {
+	case "bloc":
+		return bloc.MethodBLoc, nil
+	case "aoa":
+		return bloc.MethodAoA, nil
+	case "aoa-soft":
+		return bloc.MethodAoASoft, nil
+	case "shortest-distance":
+		return bloc.MethodShortestDistance, nil
+	case "rssi":
+		return bloc.MethodRSSI, nil
+	case "music":
+		return bloc.MethodMUSIC, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}

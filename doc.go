@@ -1,0 +1,34 @@
+// Package bloc is a complete reproduction of "BLoc: CSI-based Accurate
+// Localization for BLE Tags" (Ayyalasomayajula, Vasisht, Bharadia —
+// CoNEXT 2018): a localization system that recovers channel state
+// information from standard BLE transmissions, stitches the protocol's 37
+// frequency-hopping bands into an 80 MHz virtual aperture, cancels the
+// per-hop local-oscillator phase offsets with a collaborative conjugate
+// product across anchors, and rejects multipath with a joint
+// angle/relative-distance likelihood scored by spatial entropy.
+//
+// The package exposes the system a deployer would use:
+//
+//   - System — a configured deployment (room, anchors, engine) that can
+//     localize tags either from simulated radio acquisitions or from
+//     externally supplied CSI snapshots.
+//   - Snapshot — the multi-band, multi-anchor, multi-antenna CSI record
+//     the pipeline consumes (and the TCP collection plane transports).
+//   - Method — the estimator to run: BLoc itself or one of the paper's
+//     comparison baselines.
+//
+// Everything underneath — the BLE PHY and link layer, the GFSK channel
+// sounder, the multipath propagation substrate, the likelihood engine and
+// the experiment harness — lives in internal packages; see DESIGN.md for
+// the system inventory and EXPERIMENTS.md for the paper-vs-reproduction
+// results.
+//
+// # Quick start
+//
+//	sys, err := bloc.NewSystem(bloc.DefaultOptions())
+//	if err != nil { ... }
+//	fix, err := sys.Localize(bloc.Pt(1.2, -0.4))  // simulate + localize
+//	fmt.Println(fix.Estimate, fix.Error)
+//
+// See examples/ for runnable scenarios.
+package bloc

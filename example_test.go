@@ -1,0 +1,81 @@
+package bloc_test
+
+import (
+	"fmt"
+	"log"
+
+	"bloc"
+)
+
+// The basic workflow: build the paper's deployment, localize a tag.
+func ExampleSystem_Localize() {
+	sys, err := bloc.NewSystem(bloc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fix, err := sys.Localize(bloc.Pt(1.1, -0.7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("error below room diagonal: %v\n", fix.Error < 8)
+	// Output: error below room diagonal: true
+}
+
+// Comparing BLoc against the paper's AoA baseline on one acquisition.
+func ExampleSystem_LocalizeWith() {
+	sys, err := bloc.NewSystem(bloc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range []bloc.Method{bloc.MethodBLoc, bloc.MethodAoA} {
+		if _, err := sys.LocalizeWith(m, bloc.Pt(0.5, 0.5)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(m)
+	}
+	// Output:
+	// bloc
+	// aoa
+}
+
+// Smoothing a fix stream with the constant-velocity tracker.
+func ExampleNewTracker() {
+	trk, err := bloc.NewTracker(bloc.TrackerConfig{MeasurementStd: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fix := range []bloc.Point{
+		bloc.Pt(1.0, 1.0), bloc.Pt(1.1, 0.9), bloc.Pt(0.9, 1.1),
+	} {
+		if _, _, err := trk.Update(fix, 0.2); err != nil {
+			log.Fatal(err)
+		}
+	}
+	p := trk.Position()
+	fmt.Printf("track near (1,1): %v\n", p.Dist(bloc.Pt(1, 1)) < 0.2)
+	// Output: track near (1,1): true
+}
+
+// Building a custom environment instead of the paper room.
+func ExampleNewSystem_customRoom() {
+	sys, err := bloc.NewSystem(bloc.Options{
+		RoomMin:   bloc.Pt(0, 0),
+		RoomMax:   bloc.Pt(8, 5),
+		Anchors:   4,
+		Antennas:  4,
+		Seed:      1,
+		PaperRoom: false,
+		Scatterers: []bloc.Scatterer{
+			{Center: bloc.Pt(6, 4), Radius: 0.3, Gain: 4, Facets: 5},
+		},
+		Obstacles: []bloc.Obstacle{
+			{A: bloc.Pt(3, 2), B: bloc.Pt(5, 2), Attenuation: 0.4},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	min, max := sys.Room()
+	fmt.Printf("room %.0fx%.0f m, %d anchors\n", max.X-min.X, max.Y-min.Y, len(sys.AnchorPositions()))
+	// Output: room 8x5 m, 4 anchors
+}

@@ -1,0 +1,105 @@
+// Lost keys: the paper's motivating consumer scenario — "predict whether
+// you left the keys in the cupboard or on the table, rather than just
+// telling you that the keys are at home". A BLE tag on a keyring is
+// localized in an apartment and the fix is mapped to a named furniture
+// zone; the example contrasts BLoc's zone-level answer with the AoA
+// baseline's.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bloc"
+)
+
+// zone is a named region of the apartment.
+type zone struct {
+	name     string
+	min, max bloc.Point
+}
+
+func (z zone) contains(p bloc.Point) bool {
+	return p.X >= z.min.X && p.X <= z.max.X && p.Y >= z.min.Y && p.Y <= z.max.Y
+}
+
+func main() {
+	// A 7 m × 5 m one-bedroom apartment: kitchen along the north wall, a
+	// sofa and coffee table in the living area, and a bedroom behind a
+	// drywall partition (which both reflects BLE and attenuates links
+	// crossing it), with the wardrobe inside.
+	sys, err := bloc.NewSystem(bloc.Options{
+		RoomMin:   bloc.Pt(0, 0),
+		RoomMax:   bloc.Pt(7, 5),
+		Anchors:   4,
+		Antennas:  4,
+		Seed:      7,
+		PaperRoom: false,
+		Scatterers: []bloc.Scatterer{
+			{Center: bloc.Pt(1.0, 4.4), Radius: 0.3, Gain: 4, Facets: 5}, // fridge
+			{Center: bloc.Pt(6.3, 0.8), Radius: 0.3, Gain: 4, Facets: 5}, // wardrobe
+		},
+		Obstacles: []bloc.Obstacle{
+			{A: bloc.Pt(2.5, 2.2), B: bloc.Pt(4.5, 2.2), Attenuation: 0.4}, // sofa back
+		},
+		Walls: []bloc.Wall{
+			// Bedroom partition with a door gap at y ∈ [1.9, 2.6].
+			{A: bloc.Pt(5.2, 0), B: bloc.Pt(5.2, 1.9), Reflectivity: 0.4, Transmission: 0.5},
+			{A: bloc.Pt(5.2, 2.6), B: bloc.Pt(5.2, 5), Reflectivity: 0.4, Transmission: 0.5},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	zones := []zone{
+		{"kitchen counter", bloc.Pt(0, 3.8), bloc.Pt(3, 5)},
+		{"coffee table", bloc.Pt(2.8, 1.2), bloc.Pt(4.4, 2.2)},
+		{"wardrobe", bloc.Pt(5.6, 0), bloc.Pt(7, 1.6)},
+		{"desk", bloc.Pt(5.4, 3.6), bloc.Pt(7, 5)},
+	}
+	name := func(p bloc.Point) string {
+		for _, z := range zones {
+			if z.contains(p) {
+				return z.name
+			}
+		}
+		return "somewhere on the floor"
+	}
+
+	// The keys were actually left in three different places over the week.
+	spots := []struct {
+		desc string
+		at   bloc.Point
+	}{
+		{"on the coffee table", bloc.Pt(3.6, 1.7)},
+		{"on the kitchen counter", bloc.Pt(1.4, 4.3)},
+		{"in the wardrobe", bloc.Pt(6.2, 0.7)},
+	}
+
+	correct, aoaCorrect := 0, 0
+	for _, s := range spots {
+		fix, err := sys.Localize(s.at)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aoa, err := sys.LocalizeWith(bloc.MethodAoA, s.at)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blocZone := name(fix.Estimate)
+		aoaZone := name(aoa.Estimate)
+		truthZone := name(s.at)
+		fmt.Printf("keys truly %s (%v, zone %q)\n", s.desc, s.at, truthZone)
+		fmt.Printf("  BLoc: %q at %v (err %.2f m)\n", blocZone, fix.Estimate, fix.Error)
+		fmt.Printf("  AoA : %q at %v (err %.2f m)\n\n", aoaZone, aoa.Estimate, aoa.Error)
+		if blocZone == truthZone {
+			correct++
+		}
+		if aoaZone == truthZone {
+			aoaCorrect++
+		}
+	}
+	fmt.Printf("zone-level answers: BLoc %d/%d correct, AoA baseline %d/%d\n",
+		correct, len(spots), aoaCorrect, len(spots))
+}

@@ -1,0 +1,47 @@
+// Quickstart: build the paper's deployment, localize one BLE tag and
+// inspect the scored candidates the multipath-rejection stage considered.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bloc"
+)
+
+func main() {
+	// The default system is the paper's §7 testbed: a multipath-rich
+	// 5 m × 6 m room with four 4-antenna anchors at the wall midpoints;
+	// anchor 0 is the master the tag connects to.
+	sys, err := bloc.NewSystem(bloc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("anchors:", sys.AnchorPositions())
+
+	// Place the tag, acquire CSI over all 37 hop channels and localize.
+	tag := bloc.Pt(1.1, -0.7)
+	fix, err := sys.Localize(tag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tag truth    : %v\n", fix.Truth)
+	fmt.Printf("BLoc estimate: %v  (error %.2f m)\n\n", fix.Estimate, fix.Error)
+
+	// The likelihood peaks BLoc scored with Eq. 18 — the direct path wins
+	// on peak value, spatial entropy (peakiness) and total distance.
+	fmt.Println("candidate peaks (Eq. 18):")
+	for i, c := range fix.Candidates {
+		fmt.Printf("  #%d at %v  likelihood %.2f  H %.2f  Σd %.1f m  score %.4f\n",
+			i, c.Loc, c.PeakValue, c.Entropy, c.SumDist, c.Score)
+	}
+
+	// Compare with the paper's AoA baseline on the same kind of
+	// acquisition.
+	aoa, err := sys.LocalizeWith(bloc.MethodAoA, tag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAoA baseline : %v  (error %.2f m)\n", aoa.Estimate, aoa.Error)
+}

@@ -1,0 +1,89 @@
+// Site survey: load a deployment floorplan from JSON, sweep tag positions
+// over the space and report localization quality per region — the
+// pre-deployment check an integrator runs before mounting anchors. Uses
+// only the public API (floorplan loader + system + localization).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"bloc"
+)
+
+func main() {
+	path := "examples/floorplans/apartment.json"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	fp, err := bloc.LoadFloorplan(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := bloc.NewSystem(fp.Options(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	min, max := sys.Room()
+	fmt.Printf("site survey: %s (%.0fx%.0f m, %d anchors)\n\n",
+		fp.Name, max.X-min.X, max.Y-min.Y, len(sys.AnchorPositions()))
+
+	// Divide the space into a coarse survey grid and localize a few
+	// probes per cell.
+	const cells = 4
+	const probes = 3
+	type cellResult struct {
+		label string
+		errs  []float64
+	}
+	var results []cellResult
+	w := (max.X - min.X) / cells
+	h := (max.Y - min.Y) / cells
+	for cy := 0; cy < cells; cy++ {
+		for cx := 0; cx < cells; cx++ {
+			label := fmt.Sprintf("cell (%d,%d)", cx, cy)
+			var errs []float64
+			for p := 0; p < probes; p++ {
+				// Deterministic probe spots inside the cell, away from
+				// its edges.
+				fx := 0.25 + 0.25*float64(p)
+				probe := bloc.Pt(
+					min.X+(float64(cx)+fx)*w,
+					min.Y+(float64(cy)+0.5)*h,
+				)
+				fix, err := sys.Localize(probe)
+				if err != nil {
+					log.Fatal(err)
+				}
+				errs = append(errs, fix.Error)
+			}
+			results = append(results, cellResult{label: label, errs: errs})
+		}
+	}
+
+	fmt.Println("worst survey cells (median probe error):")
+	sort.Slice(results, func(i, j int) bool {
+		return median(results[i].errs) > median(results[j].errs)
+	})
+	for i, r := range results {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-12s median %.2f m\n", r.label, median(r.errs))
+	}
+	var all []float64
+	for _, r := range results {
+		all = append(all, r.errs...)
+	}
+	fmt.Printf("\nsite-wide: median %.2f m over %d probes\n", median(all), len(all))
+	fmt.Println("(cells near strong reflectors or behind partitions survey worst —")
+	fmt.Println(" move an anchor or add one before the hardware goes on the wall)")
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,165 @@
+package bloc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Floorplan is the JSON-serializable description of a deployment site:
+// room bounds, metallic reflectors, desk-height clutter and interior
+// partitions. It maps one-to-one onto Options' environment fields, so a
+// site survey can be stored next to the deployment and loaded by every
+// tool.
+//
+// Example:
+//
+//	{
+//	  "name": "assembly hall",
+//	  "room": {"min": [0, 0], "max": [10, 7]},
+//	  "anchors": 6,
+//	  "antennas": 4,
+//	  "scatterers": [
+//	    {"center": [1.2, 6.2], "radius": 0.4, "gain": 5, "facets": 6}
+//	  ],
+//	  "obstacles": [
+//	    {"a": [3.5, 3.0], "b": [6.5, 3.0], "attenuation": 0.35}
+//	  ],
+//	  "walls": [
+//	    {"a": [5.2, 0], "b": [5.2, 3.0], "reflectivity": 0.4, "transmission": 0.5}
+//	  ]
+//	}
+type Floorplan struct {
+	Name     string        `json:"name,omitempty"`
+	Room     FloorplanRect `json:"room"`
+	Anchors  int           `json:"anchors,omitempty"`
+	Antennas int           `json:"antennas,omitempty"`
+
+	Scatterers []FloorplanScatterer `json:"scatterers,omitempty"`
+	Obstacles  []FloorplanObstacle  `json:"obstacles,omitempty"`
+	Walls      []FloorplanWall      `json:"walls,omitempty"`
+}
+
+// FloorplanRect is an axis-aligned rectangle as [x, y] corner pairs.
+type FloorplanRect struct {
+	Min [2]float64 `json:"min"`
+	Max [2]float64 `json:"max"`
+}
+
+// FloorplanScatterer mirrors Scatterer in JSON form.
+type FloorplanScatterer struct {
+	Center [2]float64 `json:"center"`
+	Radius float64    `json:"radius"`
+	Gain   float64    `json:"gain"`
+	Facets int        `json:"facets"`
+}
+
+// FloorplanObstacle mirrors Obstacle in JSON form.
+type FloorplanObstacle struct {
+	A           [2]float64 `json:"a"`
+	B           [2]float64 `json:"b"`
+	Attenuation float64    `json:"attenuation"`
+}
+
+// FloorplanWall mirrors Wall in JSON form.
+type FloorplanWall struct {
+	A            [2]float64 `json:"a"`
+	B            [2]float64 `json:"b"`
+	Reflectivity float64    `json:"reflectivity"`
+	Transmission float64    `json:"transmission"`
+}
+
+// ReadFloorplan parses a floorplan from JSON, rejecting unknown fields so
+// typos in site files surface immediately.
+func ReadFloorplan(r io.Reader) (*Floorplan, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var fp Floorplan
+	if err := dec.Decode(&fp); err != nil {
+		return nil, fmt.Errorf("bloc: parse floorplan: %w", err)
+	}
+	if err := fp.Validate(); err != nil {
+		return nil, err
+	}
+	return &fp, nil
+}
+
+// LoadFloorplan reads a floorplan file.
+func LoadFloorplan(path string) (*Floorplan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bloc: %w", err)
+	}
+	defer f.Close()
+	return ReadFloorplan(f)
+}
+
+// Validate checks geometric sanity.
+func (fp *Floorplan) Validate() error {
+	if fp.Room.Max[0]-fp.Room.Min[0] < 1 || fp.Room.Max[1]-fp.Room.Min[1] < 1 {
+		return fmt.Errorf("bloc: floorplan room %v–%v smaller than 1 m", fp.Room.Min, fp.Room.Max)
+	}
+	inRoom := func(p [2]float64) bool {
+		return p[0] >= fp.Room.Min[0] && p[0] <= fp.Room.Max[0] &&
+			p[1] >= fp.Room.Min[1] && p[1] <= fp.Room.Max[1]
+	}
+	for i, s := range fp.Scatterers {
+		if !inRoom(s.Center) {
+			return fmt.Errorf("bloc: scatterer %d center %v outside room", i, s.Center)
+		}
+		if s.Radius < 0 || s.Gain < 0 || s.Facets < 0 {
+			return fmt.Errorf("bloc: scatterer %d has negative parameters", i)
+		}
+	}
+	for i, o := range fp.Obstacles {
+		if o.Attenuation <= 0 || o.Attenuation > 1 {
+			return fmt.Errorf("bloc: obstacle %d attenuation %v outside (0,1]", i, o.Attenuation)
+		}
+		if !inRoom(o.A) || !inRoom(o.B) {
+			return fmt.Errorf("bloc: obstacle %d endpoints outside room", i)
+		}
+	}
+	for i, w := range fp.Walls {
+		if w.Transmission <= 0 || w.Transmission > 1 {
+			return fmt.Errorf("bloc: wall %d transmission %v outside (0,1]", i, w.Transmission)
+		}
+		if w.Reflectivity < 0 {
+			return fmt.Errorf("bloc: wall %d reflectivity negative", i)
+		}
+		if !inRoom(w.A) || !inRoom(w.B) {
+			return fmt.Errorf("bloc: wall %d endpoints outside room", i)
+		}
+	}
+	return nil
+}
+
+// Options converts the floorplan into system options with the given seed.
+// Anchor/antenna counts default to 4 when unset in the file.
+func (fp *Floorplan) Options(seed uint64) Options {
+	opts := Options{
+		RoomMin:  Pt(fp.Room.Min[0], fp.Room.Min[1]),
+		RoomMax:  Pt(fp.Room.Max[0], fp.Room.Max[1]),
+		Anchors:  fp.Anchors,
+		Antennas: fp.Antennas,
+		Seed:     seed,
+	}
+	for _, s := range fp.Scatterers {
+		opts.Scatterers = append(opts.Scatterers, Scatterer{
+			Center: Pt(s.Center[0], s.Center[1]),
+			Radius: s.Radius, Gain: s.Gain, Facets: s.Facets,
+		})
+	}
+	for _, o := range fp.Obstacles {
+		opts.Obstacles = append(opts.Obstacles, Obstacle{
+			A: Pt(o.A[0], o.A[1]), B: Pt(o.B[0], o.B[1]), Attenuation: o.Attenuation,
+		})
+	}
+	for _, w := range fp.Walls {
+		opts.Walls = append(opts.Walls, Wall{
+			A: Pt(w.A[0], w.A[1]), B: Pt(w.B[0], w.B[1]),
+			Reflectivity: w.Reflectivity, Transmission: w.Transmission,
+		})
+	}
+	return opts
+}

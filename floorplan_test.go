@@ -1,0 +1,73 @@
+package bloc
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleFloorplan = `{
+  "name": "assembly hall",
+  "room": {"min": [0, 0], "max": [10, 7]},
+  "anchors": 6,
+  "antennas": 4,
+  "scatterers": [
+    {"center": [1.2, 6.2], "radius": 0.4, "gain": 5, "facets": 6}
+  ],
+  "obstacles": [
+    {"a": [3.5, 3.0], "b": [6.5, 3.0], "attenuation": 0.35}
+  ],
+  "walls": [
+    {"a": [5.2, 0], "b": [5.2, 3.0], "reflectivity": 0.4, "transmission": 0.5}
+  ]
+}`
+
+func TestReadFloorplanAndBuildSystem(t *testing.T) {
+	fp, err := ReadFloorplan(strings.NewReader(sampleFloorplan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Name != "assembly hall" || fp.Anchors != 6 {
+		t.Errorf("parsed %+v", fp)
+	}
+	sys, err := NewSystem(fp.Options(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := sys.Room()
+	if max.X-min.X != 10 || max.Y-min.Y != 7 {
+		t.Errorf("room %v–%v", min, max)
+	}
+	if len(sys.AnchorPositions()) != 6 {
+		t.Errorf("anchors = %d", len(sys.AnchorPositions()))
+	}
+	fix, err := sys.Localize(Pt(2.0, 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix.Error > 5 {
+		t.Errorf("floorplan system error %.2f m beyond room scale", fix.Error)
+	}
+}
+
+func TestReadFloorplanRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"room": {"min":[0,0],"max":[5,5]}, "wibble": 1}`,
+		"tiny room":     `{"room": {"min":[0,0],"max":[0.5,5]}}`,
+		"scatterer out": `{"room": {"min":[0,0],"max":[5,5]}, "scatterers":[{"center":[9,9],"radius":0.1,"gain":1,"facets":1}]}`,
+		"bad obstacle":  `{"room": {"min":[0,0],"max":[5,5]}, "obstacles":[{"a":[1,1],"b":[2,2],"attenuation":0}]}`,
+		"bad wall":      `{"room": {"min":[0,0],"max":[5,5]}, "walls":[{"a":[1,1],"b":[2,2],"transmission":1.5}]}`,
+		"wall outside":  `{"room": {"min":[0,0],"max":[5,5]}, "walls":[{"a":[1,1],"b":[9,2],"transmission":0.5}]}`,
+		"not json":      `{{{`,
+	}
+	for name, body := range cases {
+		if _, err := ReadFloorplan(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadFloorplanMissingFile(t *testing.T) {
+	if _, err := LoadFloorplan("/nonexistent/plan.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module bloc
+
+go 1.22

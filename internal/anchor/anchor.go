@@ -1,0 +1,129 @@
+// Package anchor implements the BLoc anchor daemon: the per-anchor
+// process that measures CSI during tag↔master exchanges and streams the
+// measurements to the central server over the wire protocol.
+//
+// In the paper, every anchor is a USRP-backed radio observing the shared
+// physical room. In this reproduction the shared room is the
+// deterministic testbed simulation: every daemon holds the same
+// deployment seed, so independently simulating round r at the same tag
+// position yields bit-identical channels everywhere — the seed plays the
+// role of the shared physical world. Each daemon reports only its own
+// anchor's rows, exactly as real anchors report only what their antennas
+// received.
+package anchor
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+
+	"bloc/internal/geom"
+	"bloc/internal/testbed"
+	"bloc/internal/wire"
+)
+
+// Daemon is one anchor's measurement-and-report loop.
+type Daemon struct {
+	ID  int
+	dep *testbed.Deployment
+	log *slog.Logger
+
+	conn    net.Conn
+	writeMu sync.Mutex
+	wg      sync.WaitGroup
+
+	// OnFix, if set, is called for every fix broadcast by the server.
+	OnFix func(wire.Fix)
+}
+
+// New creates a daemon for anchor id over the given deployment.
+func New(id int, dep *testbed.Deployment, logger *slog.Logger) (*Daemon, error) {
+	if id < 0 || id >= len(dep.Anchors) {
+		return nil, fmt.Errorf("anchor: id %d out of range [0,%d)", id, len(dep.Anchors))
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Daemon{ID: id, dep: dep, log: logger.With("anchor", id)}, nil
+}
+
+// Connect dials the server and performs the hello handshake, then starts
+// the fix-listener goroutine.
+func (d *Daemon) Connect(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("anchor %d: dial: %w", d.ID, err)
+	}
+	hello := &wire.Hello{
+		Version:  wire.ProtocolVersion,
+		AnchorID: uint8(d.ID),
+		Antennas: uint8(d.dep.Anchors[0].N),
+		Bands:    uint16(len(d.dep.Bands)),
+	}
+	if err := wire.Send(conn, hello); err != nil {
+		conn.Close()
+		return fmt.Errorf("anchor %d: hello: %w", d.ID, err)
+	}
+	d.conn = conn
+	d.wg.Add(1)
+	go d.listen()
+	return nil
+}
+
+// listen consumes server→anchor messages (fix broadcasts).
+func (d *Daemon) listen() {
+	defer d.wg.Done()
+	for {
+		msg, err := wire.Receive(d.conn)
+		if err != nil {
+			if err != io.EOF {
+				d.log.Debug("listen ended", "err", err)
+			}
+			return
+		}
+		if fix, ok := msg.(*wire.Fix); ok && d.OnFix != nil {
+			d.OnFix(*fix)
+		}
+	}
+}
+
+// MeasureAndReport simulates this anchor's view of acquisition round
+// `round` for tag tagID at the given position and streams one CSIRow per
+// band to the server.
+func (d *Daemon) MeasureAndReport(tagID uint16, round uint32, tag geom.Point) error {
+	if d.conn == nil {
+		return fmt.Errorf("anchor %d: not connected", d.ID)
+	}
+	// All daemons fork the shared deployment identically: same tag and
+	// round → same oscillators, noise and channels everywhere.
+	snap := d.dep.Fork(uint64(tagID)<<32 | uint64(round)).Sounding(tag)
+	for b := range snap.Bands {
+		row := &wire.CSIRow{
+			Round:    round,
+			TagID:    tagID,
+			AnchorID: uint8(d.ID),
+			BandIdx:  uint16(b),
+			Tag:      snap.Tag[b][d.ID],
+			Master:   snap.Master[b][d.ID],
+		}
+		d.writeMu.Lock()
+		err := wire.Send(d.conn, row)
+		d.writeMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("anchor %d: send row: %w", d.ID, err)
+		}
+	}
+	return nil
+}
+
+// Close shuts the connection down and waits for the listener.
+func (d *Daemon) Close() error {
+	if d.conn == nil {
+		return nil
+	}
+	err := d.conn.Close()
+	d.wg.Wait()
+	return err
+}

@@ -1,0 +1,190 @@
+package ble
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Advertising-channel PDUs and the connection-establishment handshake of
+// §2.1: a tag advertises on the three advertising bands; a master answers
+// with CONNECT_IND carrying the connection parameters (access address,
+// CRC init, channel map, hop increment) that drive the data-channel
+// hopping BLoc exploits. (Core Spec Vol 6 Part B §2.3.)
+
+// AdvPDUType is the 4-bit advertising PDU type.
+type AdvPDUType byte
+
+// Advertising PDU types (subset used here).
+const (
+	PDUAdvInd     AdvPDUType = 0x0 // connectable undirected advertising
+	PDUAdvNonconn AdvPDUType = 0x2 // non-connectable advertising
+	PDUScanReq    AdvPDUType = 0x3
+	PDUScanRsp    AdvPDUType = 0x4
+	PDUConnectInd AdvPDUType = 0x5 // connection request (a.k.a. CONNECT_REQ)
+)
+
+// DeviceAddress is a 48-bit Bluetooth device address.
+type DeviceAddress [6]byte
+
+// String renders the address in the conventional colon form.
+func (a DeviceAddress) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+		a[5], a[4], a[3], a[2], a[1], a[0])
+}
+
+// AdvInd is a connectable undirected advertisement.
+type AdvInd struct {
+	Advertiser DeviceAddress
+	Data       []byte // AD structures; opaque here
+}
+
+// Marshal serializes the advertising PDU (header + payload).
+func (a *AdvInd) Marshal() ([]byte, error) {
+	if len(a.Data) > 31 {
+		return nil, fmt.Errorf("ble: advertising data %d bytes exceeds 31", len(a.Data))
+	}
+	payload := make([]byte, 0, 6+len(a.Data))
+	payload = append(payload, a.Advertiser[:]...)
+	payload = append(payload, a.Data...)
+	return marshalAdvPDU(PDUAdvInd, payload), nil
+}
+
+// ConnectInd is the connection request: the LLData block carries every
+// parameter of the data-channel connection.
+type ConnectInd struct {
+	Initiator  DeviceAddress
+	Advertiser DeviceAddress
+	LLData     LLData
+}
+
+// LLData is the connection parameter block of CONNECT_IND.
+type LLData struct {
+	AccessAddress AccessAddress
+	CRCInit       uint32 // 24-bit
+	WinSize       byte   // transmit window size, 1.25 ms units
+	WinOffset     uint16 // transmit window offset, 1.25 ms units
+	Interval      uint16 // connection interval, 1.25 ms units (7.5 ms – 4 s)
+	Latency       uint16 // slave latency, events
+	Timeout       uint16 // supervision timeout, 10 ms units
+	ChannelMap    [5]byte
+	Hop           byte // hop increment, 5–16
+	SCA           byte // sleep clock accuracy, 0–7
+}
+
+// Validate checks the specification's parameter ranges.
+func (d *LLData) Validate() error {
+	if d.Hop < 5 || d.Hop > 16 {
+		return fmt.Errorf("ble: hop %d outside [5,16]", d.Hop)
+	}
+	if d.Interval < 6 || d.Interval > 3200 {
+		return fmt.Errorf("ble: interval %d outside [6,3200] (7.5 ms – 4 s)", d.Interval)
+	}
+	if d.SCA > 7 {
+		return fmt.Errorf("ble: SCA %d outside [0,7]", d.SCA)
+	}
+	if d.CRCInit > 0xFFFFFF {
+		return fmt.Errorf("ble: CRC init %#x exceeds 24 bits", d.CRCInit)
+	}
+	used := d.UsedChannels()
+	if len(used) < 2 {
+		return fmt.Errorf("ble: channel map enables %d channels, need ≥ 2", len(used))
+	}
+	return nil
+}
+
+// UsedChannels returns the data channels enabled in the channel map.
+func (d *LLData) UsedChannels() []ChannelIndex {
+	var out []ChannelIndex
+	for ch := 0; ch < NumDataChannels; ch++ {
+		if d.ChannelMap[ch/8]&(1<<(ch%8)) != 0 {
+			out = append(out, ChannelIndex(ch))
+		}
+	}
+	return out
+}
+
+// AllChannelsMap returns a channel map with all 37 data channels enabled.
+func AllChannelsMap() [5]byte {
+	var m [5]byte
+	for ch := 0; ch < NumDataChannels; ch++ {
+		m[ch/8] |= 1 << (ch % 8)
+	}
+	return m
+}
+
+// Marshal serializes CONNECT_IND.
+func (c *ConnectInd) Marshal() ([]byte, error) {
+	if err := c.LLData.Validate(); err != nil {
+		return nil, err
+	}
+	payload := make([]byte, 0, 6+6+22)
+	payload = append(payload, c.Initiator[:]...)
+	payload = append(payload, c.Advertiser[:]...)
+	var aa [4]byte
+	binary.LittleEndian.PutUint32(aa[:], uint32(c.LLData.AccessAddress))
+	payload = append(payload, aa[:]...)
+	payload = append(payload, byte(c.LLData.CRCInit), byte(c.LLData.CRCInit>>8), byte(c.LLData.CRCInit>>16))
+	payload = append(payload, c.LLData.WinSize)
+	payload = binary.LittleEndian.AppendUint16(payload, c.LLData.WinOffset)
+	payload = binary.LittleEndian.AppendUint16(payload, c.LLData.Interval)
+	payload = binary.LittleEndian.AppendUint16(payload, c.LLData.Latency)
+	payload = binary.LittleEndian.AppendUint16(payload, c.LLData.Timeout)
+	payload = append(payload, c.LLData.ChannelMap[:]...)
+	payload = append(payload, c.LLData.Hop&0x1F|c.LLData.SCA<<5)
+	return marshalAdvPDU(PDUConnectInd, payload), nil
+}
+
+// marshalAdvPDU frames an advertising PDU: 2-byte header (type, length)
+// then payload.
+func marshalAdvPDU(t AdvPDUType, payload []byte) []byte {
+	out := make([]byte, 0, 2+len(payload))
+	out = append(out, byte(t)&0xF)
+	out = append(out, byte(len(payload)))
+	return append(out, payload...)
+}
+
+// ParseAdvPDU decodes an advertising-channel PDU into one of the typed
+// structures (AdvInd or ConnectInd; other types return the raw payload).
+func ParseAdvPDU(b []byte) (any, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("ble: advertising PDU too short")
+	}
+	t := AdvPDUType(b[0] & 0xF)
+	n := int(b[1])
+	if len(b) != 2+n {
+		return nil, fmt.Errorf("ble: advertising PDU length %d does not match payload %d", n, len(b)-2)
+	}
+	payload := b[2:]
+	switch t {
+	case PDUAdvInd:
+		if len(payload) < 6 {
+			return nil, fmt.Errorf("ble: ADV_IND payload too short")
+		}
+		adv := &AdvInd{Data: append([]byte(nil), payload[6:]...)}
+		copy(adv.Advertiser[:], payload[:6])
+		return adv, nil
+	case PDUConnectInd:
+		if len(payload) != 34 {
+			return nil, fmt.Errorf("ble: CONNECT_IND payload %d bytes, want 34", len(payload))
+		}
+		c := &ConnectInd{}
+		copy(c.Initiator[:], payload[:6])
+		copy(c.Advertiser[:], payload[6:12])
+		c.LLData.AccessAddress = AccessAddress(binary.LittleEndian.Uint32(payload[12:16]))
+		c.LLData.CRCInit = uint32(payload[16]) | uint32(payload[17])<<8 | uint32(payload[18])<<16
+		c.LLData.WinSize = payload[19]
+		c.LLData.WinOffset = binary.LittleEndian.Uint16(payload[20:22])
+		c.LLData.Interval = binary.LittleEndian.Uint16(payload[22:24])
+		c.LLData.Latency = binary.LittleEndian.Uint16(payload[24:26])
+		c.LLData.Timeout = binary.LittleEndian.Uint16(payload[26:28])
+		copy(c.LLData.ChannelMap[:], payload[28:33])
+		c.LLData.Hop = payload[33] & 0x1F
+		c.LLData.SCA = payload[33] >> 5
+		if err := c.LLData.Validate(); err != nil {
+			return nil, err
+		}
+		return c, nil
+	default:
+		return append([]byte(nil), payload...), nil
+	}
+}

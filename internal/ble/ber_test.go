@@ -1,0 +1,107 @@
+package ble
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// ber measures the bit error rate of the GFSK modem at a given per-sample
+// SNR (dB) over n bits.
+func ber(t *testing.T, snrDB float64, n int, seed uint64) float64 {
+	t.Helper()
+	m := NewModulator(8)
+	rng := rand.New(rand.NewPCG(seed, 99))
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(rng.IntN(2))
+	}
+	iq := m.Modulate(bits)
+	sigma := math.Pow(10, -snrDB/20) / math.Sqrt2
+	for i := range iq {
+		iq[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	got := m.Demodulate(iq)
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(n)
+}
+
+// TestBERWaterfall characterizes the demodulator: essentially error-free
+// at high SNR, degrading monotonically as noise grows — the waterfall
+// every FSK receiver exhibits.
+func TestBERWaterfall(t *testing.T) {
+	const n = 4000
+	high := ber(t, 20, n, 1)
+	mid := ber(t, 8, n, 1)
+	low := ber(t, 0, n, 1)
+	t.Logf("BER: 20 dB %.4f | 8 dB %.4f | 0 dB %.4f", high, mid, low)
+	if high > 0.001 {
+		t.Errorf("BER at 20 dB = %v, want ≈ 0", high)
+	}
+	if low <= mid || mid < high {
+		t.Errorf("BER not monotone in noise: %v, %v, %v", high, mid, low)
+	}
+	if low < 0.005 {
+		t.Errorf("BER at 0 dB = %v suspiciously low — noise not applied?", low)
+	}
+}
+
+// TestPacketLossDetectedByCRC sends whole packets through a noisy PHY and
+// verifies corrupted packets are rejected by the CRC rather than accepted
+// with wrong payloads.
+func TestPacketLossDetectedByCRC(t *testing.T) {
+	m := NewModulator(8)
+	rng := rand.New(rand.NewPCG(7, 7))
+	accepted, wrongPayload := 0, 0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		payload := make([]byte, 20)
+		for i := range payload {
+			payload[i] = byte(rng.UintN(256))
+		}
+		pkt := &Packet{
+			Access:  0x2A5C7E31,
+			Channel: ChannelIndex(trial % NumDataChannels),
+			PDU:     &DataPDU{LLID: LLIDStart, Payload: payload},
+		}
+		bits, err := pkt.AirBits()
+		if err != nil {
+			t.Fatal(err)
+		}
+		iq := m.Modulate(bits)
+		// 12 dB: marginal SNR — some packets survive cleanly, others take
+		// bit errors the CRC must catch.
+		sigma := math.Pow(10, -12.0/20) / math.Sqrt2
+		for i := range iq {
+			iq[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		}
+		rxBits := m.Demodulate(iq)
+		rxBytes, err := BitsToBytes(rxBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseAir(pkt.Channel, rxBytes)
+		if err != nil {
+			continue // rejected: fine
+		}
+		accepted++
+		if string(got.PDU.Payload) != string(payload) {
+			wrongPayload++
+		}
+	}
+	t.Logf("%d/%d packets accepted at 12 dB", accepted, trials)
+	if wrongPayload > 0 {
+		t.Errorf("%d corrupted packets passed the CRC", wrongPayload)
+	}
+	if accepted == 0 {
+		t.Error("no packets decoded at 12 dB — receiver too fragile")
+	}
+	if accepted == trials {
+		t.Error("every packet survived 12 dB — noise not biting, test vacuous")
+	}
+}

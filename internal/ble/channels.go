@@ -1,0 +1,124 @@
+// Package ble implements the Bluetooth Low Energy protocol substrate the
+// BLoc reproduction runs on: the 40-band channel map of the 2.4 GHz ISM
+// spectrum, adaptive frequency hopping, link-layer packet framing (preamble,
+// access address, PDU, CRC-24, data whitening) and the GFSK PHY (Gaussian
+// filter BT = 0.5, modulation index 0.5) — everything §2.1 and §4 of the
+// paper depend on, implemented from the Bluetooth Core Specification
+// (v4.2 PHY/Link Layer).
+package ble
+
+import "fmt"
+
+// PHY constants from the Bluetooth Core Specification (LE 1M PHY) and the
+// paper's §2.1.
+const (
+	// NumChannels is the total number of BLE RF bands.
+	NumChannels = 40
+	// NumDataChannels is the number of non-advertising bands the
+	// connection hops over. Its primality guarantees every hop increment
+	// visits all bands (§2.1).
+	NumDataChannels = 37
+	// ChannelWidthHz is the width of one BLE band.
+	ChannelWidthHz = 2e6
+	// BandStartHz is the bottom of the BLE spectrum (channel 37 sits at
+	// 2402 MHz, the lowest center frequency).
+	BandStartHz = 2.402e9
+	// BandSpanHz is the total spectrum BLoc stitches together (§5.1).
+	BandSpanHz = 80e6
+	// SymbolRateHz is the LE 1M PHY symbol rate: 1 Msym/s.
+	SymbolRateHz = 1e6
+	// FreqDeviationHz is the nominal GFSK frequency deviation: modulation
+	// index 0.5 at 1 Msym/s puts f1 − f0 = 500 kHz, i.e. ±250 kHz around
+	// the channel center. (The paper's footnote 2 quotes the two data
+	// tones as 1 MHz apart, the maximum deviation BLE allows; we keep the
+	// nominal 250 kHz and expose the value as a constant either way.)
+	FreqDeviationHz = 250e3
+	// GaussianBT is the bandwidth-time product of the LE pulse filter.
+	GaussianBT = 0.5
+)
+
+// ChannelIndex identifies a BLE RF band. Data channels are 0–36;
+// advertising channels are 37, 38 and 39.
+type ChannelIndex int
+
+// Advertising channel indices.
+const (
+	Adv37 ChannelIndex = 37 // 2402 MHz
+	Adv38 ChannelIndex = 38 // 2426 MHz
+	Adv39 ChannelIndex = 39 // 2480 MHz
+)
+
+// Valid reports whether c names one of the 40 BLE channels.
+func (c ChannelIndex) Valid() bool { return c >= 0 && c < NumChannels }
+
+// IsAdvertising reports whether c is one of the three advertising bands.
+func (c ChannelIndex) IsAdvertising() bool { return c >= 37 && c <= 39 }
+
+// CenterFreq returns the RF center frequency of the channel in Hz, per the
+// Core Specification channel map: advertising channels 37/38/39 sit at
+// 2402/2426/2480 MHz; data channels 0–10 at 2404–2424 MHz and 11–36 at
+// 2428–2478 MHz (skipping the advertising slots). It panics on an invalid
+// index.
+func (c ChannelIndex) CenterFreq() float64 {
+	switch {
+	case c >= 0 && c <= 10:
+		return 2404e6 + float64(c)*2e6
+	case c >= 11 && c <= 36:
+		return 2428e6 + float64(c-11)*2e6
+	case c == Adv37:
+		return 2402e6
+	case c == Adv38:
+		return 2426e6
+	case c == Adv39:
+		return 2480e6
+	default:
+		panic(fmt.Sprintf("ble: invalid channel index %d", int(c)))
+	}
+}
+
+// String implements fmt.Stringer.
+func (c ChannelIndex) String() string {
+	kind := "data"
+	if c.IsAdvertising() {
+		kind = "adv"
+	}
+	if !c.Valid() {
+		return fmt.Sprintf("ch%d(invalid)", int(c))
+	}
+	return fmt.Sprintf("ch%d(%s, %.0f MHz)", int(c), kind, c.CenterFreq()/1e6)
+}
+
+// DataChannels returns the 37 data channel indices in ascending order.
+func DataChannels() []ChannelIndex {
+	out := make([]ChannelIndex, NumDataChannels)
+	for i := range out {
+		out[i] = ChannelIndex(i)
+	}
+	return out
+}
+
+// AllChannels returns all 40 channel indices in ascending order.
+func AllChannels() []ChannelIndex {
+	out := make([]ChannelIndex, NumChannels)
+	for i := range out {
+		out[i] = ChannelIndex(i)
+	}
+	return out
+}
+
+// ChannelForFreq returns the channel whose center frequency is closest to
+// freqHz among data channels.
+func ChannelForFreq(freqHz float64) ChannelIndex {
+	best := ChannelIndex(0)
+	bestDiff := -1.0
+	for _, c := range DataChannels() {
+		d := freqHz - c.CenterFreq()
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff {
+			best, bestDiff = c, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,109 @@
+package ble
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChannelCenterFreqs(t *testing.T) {
+	// Spot-check the Core Specification channel map.
+	tests := []struct {
+		ch   ChannelIndex
+		want float64
+	}{
+		{0, 2404e6},
+		{10, 2424e6},
+		{11, 2428e6},
+		{36, 2478e6},
+		{Adv37, 2402e6},
+		{Adv38, 2426e6},
+		{Adv39, 2480e6},
+	}
+	for _, tc := range tests {
+		if got := tc.ch.CenterFreq(); got != tc.want {
+			t.Errorf("CenterFreq(%d) = %v, want %v", tc.ch, got, tc.want)
+		}
+	}
+}
+
+func TestChannelFreqsUniqueAndInBand(t *testing.T) {
+	seen := map[float64]ChannelIndex{}
+	for _, c := range AllChannels() {
+		f := c.CenterFreq()
+		if prev, dup := seen[f]; dup {
+			t.Errorf("channels %d and %d share frequency %v", prev, c, f)
+		}
+		seen[f] = c
+		if f < 2402e6 || f > 2480e6 {
+			t.Errorf("channel %d frequency %v outside the ISM band", c, f)
+		}
+	}
+	if len(seen) != NumChannels {
+		t.Errorf("%d distinct frequencies, want %d", len(seen), NumChannels)
+	}
+	// The stitched span (§5.1) is 80 MHz from lowest to highest channel,
+	// as BandSpanHz documents. Channel spacing between data channels:
+	// every adjacent pair of the sorted data channels differs by 2 or 4
+	// MHz (4 where an advertising channel is skipped).
+	span := Adv39.CenterFreq() - Adv37.CenterFreq() + ChannelWidthHz
+	if math.Abs(span-BandSpanHz) > 1 {
+		t.Errorf("span = %v, want %v", span, BandSpanHz)
+	}
+}
+
+func TestChannelValidity(t *testing.T) {
+	if !ChannelIndex(0).Valid() || !ChannelIndex(39).Valid() {
+		t.Error("valid channels reported invalid")
+	}
+	if ChannelIndex(-1).Valid() || ChannelIndex(40).Valid() {
+		t.Error("invalid channels reported valid")
+	}
+	if ChannelIndex(36).IsAdvertising() || !Adv38.IsAdvertising() {
+		t.Error("IsAdvertising wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CenterFreq on invalid channel should panic")
+		}
+	}()
+	ChannelIndex(40).CenterFreq()
+}
+
+func TestDataChannels(t *testing.T) {
+	dc := DataChannels()
+	if len(dc) != 37 {
+		t.Fatalf("len = %d, want 37", len(dc))
+	}
+	for i, c := range dc {
+		if int(c) != i {
+			t.Errorf("DataChannels[%d] = %d", i, c)
+		}
+		if c.IsAdvertising() {
+			t.Errorf("data channel %d flagged as advertising", c)
+		}
+	}
+}
+
+func TestChannelForFreq(t *testing.T) {
+	for _, c := range DataChannels() {
+		if got := ChannelForFreq(c.CenterFreq()); got != c {
+			t.Errorf("ChannelForFreq(%v) = %d, want %d", c.CenterFreq(), got, c)
+		}
+		// Slightly off-center still maps back.
+		if got := ChannelForFreq(c.CenterFreq() + 0.4e6); got != c {
+			t.Errorf("ChannelForFreq(+0.4MHz) = %d, want %d", got, c)
+		}
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	if s := ChannelIndex(0).String(); s != "ch0(data, 2404 MHz)" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Adv39.String(); s != "ch39(adv, 2480 MHz)" {
+		t.Errorf("String = %q", s)
+	}
+	if s := ChannelIndex(77).String(); s != "ch77(invalid)" {
+		t.Errorf("String = %q", s)
+	}
+}

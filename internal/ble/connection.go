@@ -1,0 +1,201 @@
+package ble
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Connection is the link-layer connection state machine driving one
+// master↔slave BLE connection: it owns the hop sequence, sequence
+// numbers, event counter and supervision timeout — the machinery whose
+// frequency hopping BLoc turns into an 80 MHz virtual aperture (§2.1,
+// §5.1).
+type Connection struct {
+	Access AccessAddress
+	params LLData
+	hop    *HopSequence
+
+	event     uint16 // connection event counter
+	sn, nesn  bool   // sequence numbers (master's view)
+	missed    int    // consecutive events without a received PDU
+	maxMissed int    // supervision limit in events
+	closed    bool
+}
+
+// Establish creates a connection from the CONNECT_IND parameters. The
+// first data-channel event uses the channel selected by the hop algorithm
+// from channel 0, matching channel-selection algorithm #1's unmapped
+// start.
+func Establish(ind *ConnectInd) (*Connection, error) {
+	if err := ind.LLData.Validate(); err != nil {
+		return nil, err
+	}
+	hop, err := NewHopSequence(0, int(ind.LLData.Hop))
+	if err != nil {
+		return nil, err
+	}
+	if err := hop.SetChannelMap(ind.LLData.UsedChannels()); err != nil {
+		return nil, err
+	}
+	// Supervision timeout (10 ms units) divided by the connection
+	// interval (1.25 ms units) gives the event budget.
+	intervalMs := float64(ind.LLData.Interval) * 1.25
+	timeoutMs := float64(ind.LLData.Timeout) * 10
+	maxMissed := int(timeoutMs / intervalMs)
+	if maxMissed < 1 {
+		maxMissed = 1
+	}
+	return &Connection{
+		Access:    ind.LLData.AccessAddress,
+		params:    ind.LLData,
+		hop:       hop,
+		maxMissed: maxMissed,
+	}, nil
+}
+
+// Params returns the connection parameters.
+func (c *Connection) Params() LLData { return c.params }
+
+// Event returns the current connection event counter.
+func (c *Connection) Event() uint16 { return c.event }
+
+// Channel returns the data channel of the current connection event.
+func (c *Connection) Channel() ChannelIndex { return c.hop.Current() }
+
+// Alive reports whether the supervision timeout has not yet fired.
+func (c *Connection) Alive() bool { return !c.closed }
+
+// NextEvent advances to the next connection event, hopping channels. It
+// returns the new event's channel. Calling it on a dead connection is an
+// error.
+func (c *Connection) NextEvent() (ChannelIndex, error) {
+	if c.closed {
+		return 0, fmt.Errorf("ble: connection closed (supervision timeout)")
+	}
+	c.event++
+	return c.hop.Next(), nil
+}
+
+// PacketReceived records a successfully received PDU in this event,
+// resetting the supervision counter and acknowledging sequence numbers
+// (simplified: every received PDU is treated as new data).
+func (c *Connection) PacketReceived() {
+	c.missed = 0
+	c.nesn = !c.nesn
+}
+
+// EventMissed records a connection event with no (valid) PDU received;
+// enough consecutive misses close the connection.
+func (c *Connection) EventMissed() {
+	c.missed++
+	if c.missed >= c.maxMissed {
+		c.closed = true
+	}
+}
+
+// NextPDU stamps a data PDU with the connection's current sequence
+// numbers and flips SN for the next transmission.
+func (c *Connection) NextPDU(llid LLID, payload []byte) *DataPDU {
+	pdu := &DataPDU{LLID: llid, SN: c.sn, NESN: c.nesn, Payload: payload}
+	c.sn = !c.sn
+	return pdu
+}
+
+// SoundingCycle returns the channels of one full hop cycle (37 events
+// with a full channel map) starting at the current event — the
+// acquisition schedule of one BLoc measurement round. The connection
+// advances by a full cycle.
+func (c *Connection) SoundingCycle() ([]ChannelIndex, error) {
+	if c.closed {
+		return nil, fmt.Errorf("ble: connection closed")
+	}
+	n := len(c.params.UsedChannels())
+	out := make([]ChannelIndex, 0, n)
+	out = append(out, c.Channel())
+	for i := 1; i < n; i++ {
+		ch, err := c.NextEvent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ch)
+	}
+	if _, err := c.NextEvent(); err != nil { // park on the next fresh event
+		return nil, err
+	}
+	return out, nil
+}
+
+// NewAccessAddress generates a pseudo-random access address obeying the
+// specification's basic constraints (not the advertising AA, no 6+ equal
+// consecutive bits, at least two bit transitions in the top 6 bits).
+func NewAccessAddress(rng *rand.Rand) AccessAddress {
+	for {
+		aa := AccessAddress(rng.Uint32())
+		if aa == AdvAccessAddress || aa == 0 || aa == 0xFFFFFFFF {
+			continue
+		}
+		if maxRun(uint32(aa)) >= 6 {
+			continue
+		}
+		if transitions(uint32(aa)>>26) < 2 {
+			continue
+		}
+		return aa
+	}
+}
+
+// maxRun returns the longest run of equal consecutive bits in x.
+func maxRun(x uint32) int {
+	best, run := 1, 1
+	prev := x & 1
+	for i := 1; i < 32; i++ {
+		b := (x >> i) & 1
+		if b == prev {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 1
+			prev = b
+		}
+	}
+	return best
+}
+
+// transitions counts bit transitions in the low 6 bits of x.
+func transitions(x uint32) int {
+	n := 0
+	for i := 0; i < 5; i++ {
+		if (x>>i)&1 != (x>>(i+1))&1 {
+			n++
+		}
+	}
+	return n
+}
+
+// DefaultConnectInd builds a CONNECT_IND with sensible defaults for a
+// BLoc deployment: all channels enabled, the given hop increment, 7.5 ms
+// interval (the fastest allowed — the paper's "BLE hops through all
+// channels 40 times every second" regime) and a 4 s supervision timeout.
+func DefaultConnectInd(initiator, advertiser DeviceAddress, hop int, rng *rand.Rand) (*ConnectInd, error) {
+	if hop < 5 || hop > 16 {
+		return nil, fmt.Errorf("ble: hop %d outside [5,16]", hop)
+	}
+	return &ConnectInd{
+		Initiator:  initiator,
+		Advertiser: advertiser,
+		LLData: LLData{
+			AccessAddress: NewAccessAddress(rng),
+			CRCInit:       uint32(rng.Uint32()) & 0xFFFFFF,
+			WinSize:       1,
+			WinOffset:     0,
+			Interval:      6, // 7.5 ms
+			Latency:       0,
+			Timeout:       400, // 4 s
+			ChannelMap:    AllChannelsMap(),
+			Hop:           byte(hop),
+			SCA:           1,
+		},
+	}, nil
+}

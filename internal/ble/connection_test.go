@@ -1,0 +1,270 @@
+package ble
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+func testAddr(b byte) DeviceAddress {
+	return DeviceAddress{b, b + 1, b + 2, b + 3, b + 4, b + 5}
+}
+
+func TestAdvIndRoundTrip(t *testing.T) {
+	adv := &AdvInd{Advertiser: testAddr(0x10), Data: []byte{0x02, 0x01, 0x06}}
+	raw, err := adv.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAdvPDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, ok := got.(*AdvInd)
+	if !ok {
+		t.Fatalf("parsed %T", got)
+	}
+	if parsed.Advertiser != adv.Advertiser || !bytes.Equal(parsed.Data, adv.Data) {
+		t.Errorf("round trip mismatch: %+v", parsed)
+	}
+}
+
+func TestAdvIndDataLimit(t *testing.T) {
+	adv := &AdvInd{Advertiser: testAddr(1), Data: make([]byte, 32)}
+	if _, err := adv.Marshal(); err == nil {
+		t.Error("32-byte advertising data should be rejected")
+	}
+}
+
+func TestConnectIndRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	ind, err := DefaultConnectInd(testAddr(0xA0), testAddr(0xB0), 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ind.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAdvPDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, ok := got.(*ConnectInd)
+	if !ok {
+		t.Fatalf("parsed %T", got)
+	}
+	if parsed.LLData != ind.LLData {
+		t.Errorf("LLData mismatch:\n got %+v\nwant %+v", parsed.LLData, ind.LLData)
+	}
+	if parsed.Initiator != ind.Initiator || parsed.Advertiser != ind.Advertiser {
+		t.Error("addresses mismatch")
+	}
+}
+
+func TestLLDataValidation(t *testing.T) {
+	base := LLData{
+		AccessAddress: 0x12345678, CRCInit: 0x555555, Interval: 6,
+		Timeout: 100, ChannelMap: AllChannelsMap(), Hop: 7,
+	}
+	bad := base
+	bad.Hop = 4
+	if err := bad.Validate(); err == nil {
+		t.Error("hop 4 should fail")
+	}
+	bad = base
+	bad.Interval = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("interval 5 should fail")
+	}
+	bad = base
+	bad.SCA = 8
+	if err := bad.Validate(); err == nil {
+		t.Error("SCA 8 should fail")
+	}
+	bad = base
+	bad.ChannelMap = [5]byte{0x01} // one channel
+	if err := bad.Validate(); err == nil {
+		t.Error("single-channel map should fail")
+	}
+	bad = base
+	bad.CRCInit = 0x1000000
+	if err := bad.Validate(); err == nil {
+		t.Error("25-bit CRC init should fail")
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid LLData rejected: %v", err)
+	}
+}
+
+func TestChannelMapRoundTrip(t *testing.T) {
+	m := AllChannelsMap()
+	d := LLData{ChannelMap: m}
+	used := d.UsedChannels()
+	if len(used) != NumDataChannels {
+		t.Fatalf("all-channels map enables %d", len(used))
+	}
+	// Bits above channel 36 must be unset.
+	if m[4]&0xE0 != 0 {
+		t.Error("channel map sets bits beyond channel 36")
+	}
+}
+
+func TestEstablishAndHop(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	ind, err := DefaultConnectInd(testAddr(1), testAddr(2), 11, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Establish(ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conn.Alive() {
+		t.Fatal("fresh connection not alive")
+	}
+	// A sounding cycle visits all 37 channels exactly once.
+	cycle, err := conn.SoundingCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[ChannelIndex]bool{}
+	for _, ch := range cycle {
+		if seen[ch] {
+			t.Fatalf("channel %d repeated in cycle", ch)
+		}
+		seen[ch] = true
+	}
+	if len(seen) != NumDataChannels {
+		t.Fatalf("cycle visited %d channels", len(seen))
+	}
+	// The event counter advanced a full cycle.
+	if conn.Event() != uint16(NumDataChannels) {
+		t.Errorf("event = %d, want %d", conn.Event(), NumDataChannels)
+	}
+}
+
+func TestSupervisionTimeout(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	ind, err := DefaultConnectInd(testAddr(1), testAddr(2), 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 ms timeout at 7.5 ms intervals → 13 missed events kill it.
+	ind.LLData.Timeout = 10
+	conn, err := Establish(ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		conn.EventMissed()
+		if !conn.Alive() {
+			t.Fatalf("connection died after %d misses", i+1)
+		}
+	}
+	// A received packet resets the counter.
+	conn.PacketReceived()
+	for i := 0; i < 12; i++ {
+		conn.EventMissed()
+	}
+	if !conn.Alive() {
+		t.Fatal("reset did not take effect")
+	}
+	conn.EventMissed()
+	if conn.Alive() {
+		t.Fatal("connection survived past supervision timeout")
+	}
+	if _, err := conn.NextEvent(); err == nil {
+		t.Error("NextEvent on dead connection should fail")
+	}
+	if _, err := conn.SoundingCycle(); err == nil {
+		t.Error("SoundingCycle on dead connection should fail")
+	}
+}
+
+func TestNextPDUSequenceNumbers(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	ind, _ := DefaultConnectInd(testAddr(1), testAddr(2), 5, rng)
+	conn, err := Establish(ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := conn.NextPDU(LLIDStart, []byte("a"))
+	p2 := conn.NextPDU(LLIDContinuation, []byte("b"))
+	if p1.SN == p2.SN {
+		t.Error("SN did not alternate")
+	}
+}
+
+func TestNewAccessAddressConstraints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 200; i++ {
+		aa := NewAccessAddress(rng)
+		if aa == AdvAccessAddress {
+			t.Fatal("generated the advertising access address")
+		}
+		if maxRun(uint32(aa)) >= 6 {
+			t.Fatalf("AA %#x has a %d-bit run", uint32(aa), maxRun(uint32(aa)))
+		}
+		if transitions(uint32(aa)>>26) < 2 {
+			t.Fatalf("AA %#x has too few transitions in the top bits", uint32(aa))
+		}
+	}
+}
+
+func TestMaxRunAndTransitions(t *testing.T) {
+	if maxRun(0x0000003F) != 26 { // 6 ones then 26 zeros
+		t.Errorf("maxRun(0x3F) = %d", maxRun(0x3F))
+	}
+	if maxRun(0xAAAAAAAA) != 1 {
+		t.Errorf("maxRun(alternating) = %d", maxRun(0xAAAAAAAA))
+	}
+	if transitions(0b101010) != 5 {
+		t.Errorf("transitions = %d", transitions(0b101010))
+	}
+	if transitions(0) != 0 {
+		t.Errorf("transitions(0) = %d", transitions(0))
+	}
+}
+
+func TestParseAdvPDUErrors(t *testing.T) {
+	if _, err := ParseAdvPDU([]byte{1}); err == nil {
+		t.Error("short PDU should fail")
+	}
+	if _, err := ParseAdvPDU([]byte{0x0, 9, 1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := ParseAdvPDU([]byte{0x0, 2, 1, 2}); err == nil {
+		t.Error("ADV_IND shorter than an address should fail")
+	}
+	if _, err := ParseAdvPDU([]byte{0x5, 3, 1, 2, 3}); err == nil {
+		t.Error("short CONNECT_IND should fail")
+	}
+	// Unknown type returns the raw payload.
+	got, err := ParseAdvPDU([]byte{0x8, 2, 0xDE, 0xAD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw, ok := got.([]byte); !ok || !bytes.Equal(raw, []byte{0xDE, 0xAD}) {
+		t.Errorf("unknown type parse = %v", got)
+	}
+}
+
+func TestConnectionParamsAccessor(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	ind, _ := DefaultConnectInd(testAddr(1), testAddr(2), 8, rng)
+	conn, err := Establish(ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Params().Hop != 8 {
+		t.Errorf("Params().Hop = %d", conn.Params().Hop)
+	}
+}
+
+func TestDeviceAddressString(t *testing.T) {
+	a := DeviceAddress{0x01, 0x02, 0x03, 0x04, 0x05, 0x06}
+	if a.String() != "06:05:04:03:02:01" {
+		t.Errorf("address = %q", a.String())
+	}
+}

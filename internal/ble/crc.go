@@ -1,0 +1,61 @@
+package ble
+
+// CRC-24 as specified for the BLE link layer: polynomial
+// x²⁴ + x¹⁰ + x⁹ + x⁶ + x⁴ + x³ + x + 1, seeded with 0x555555 for data
+// channel PDUs, processed LSB-first over the PDU bytes.
+
+// CRCInit is the link-layer CRC seed used on data (and advertising)
+// channels before any CRCInit exchange.
+const CRCInit uint32 = 0x555555
+
+// crcPoly is the feedback tap mask for the LSB-first LFSR formulation of
+// the BLE CRC-24 polynomial.
+const crcPoly uint32 = 0x00065B
+
+// CRC24 computes the BLE link-layer CRC over pdu with the given 24-bit
+// seed, returning the 24-bit CRC value. Bits of each byte are consumed
+// LSB-first, matching the link layer's over-the-air bit order.
+func CRC24(seed uint32, pdu []byte) uint32 {
+	crc := seed & 0xFFFFFF
+	for _, b := range pdu {
+		for bit := 0; bit < 8; bit++ {
+			in := uint32(b>>bit) & 1
+			fb := ((crc >> 23) & 1) ^ in
+			crc = (crc << 1) & 0xFFFFFF
+			if fb != 0 {
+				crc ^= crcPoly
+			}
+		}
+	}
+	return crc
+}
+
+// AppendCRC returns pdu with its 3-byte CRC appended, least-significant
+// CRC bit transmitted first (i.e. the low byte of the reflected CRC goes
+// first on air). The CRC register's MSB is the first bit sent, so the
+// 24-bit value is bit-reversed into wire order.
+func AppendCRC(pdu []byte) []byte {
+	crc := CRC24(CRCInit, pdu)
+	rev := reverse24(crc)
+	return append(pdu, byte(rev), byte(rev>>8), byte(rev>>16))
+}
+
+// CheckCRC verifies a PDU+CRC byte sequence produced by AppendCRC.
+func CheckCRC(frame []byte) bool {
+	if len(frame) < 3 {
+		return false
+	}
+	pdu := frame[:len(frame)-3]
+	want := frame[len(frame)-3:]
+	crc := reverse24(CRC24(CRCInit, pdu))
+	return want[0] == byte(crc) && want[1] == byte(crc>>8) && want[2] == byte(crc>>16)
+}
+
+// reverse24 reverses the low 24 bits of x.
+func reverse24(x uint32) uint32 {
+	var out uint32
+	for i := 0; i < 24; i++ {
+		out = (out << 1) | ((x >> i) & 1)
+	}
+	return out
+}

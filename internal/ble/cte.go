@@ -1,0 +1,161 @@
+package ble
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Constant Tone Extension (CTE) — the direction-finding feature Bluetooth
+// 5.1 standardized after this paper was published. A packet is extended
+// with an unwhitened run of 1-bits, producing a pure tone at f_c +
+// FreqDeviationHz; the receiver switches a single RF chain across its
+// antenna array on a fixed schedule and samples IQ, recovering the
+// per-antenna phase for angle-of-arrival estimation.
+//
+// This implementation follows the Core Spec v5.1 AoA timing: a 4 µs guard,
+// an 8 µs reference period sampled on antenna 0, then alternating 2 µs
+// switch and sample slots cycling through the array. It exists here as a
+// comparison point: CTE gives BLE a *clean* angle measurement, but no
+// distance dimension — exactly the limitation BLoc's band stitching was
+// designed to escape.
+
+// CTEConfig describes a CTE acquisition.
+type CTEConfig struct {
+	// LengthUs is the tone duration in µs (16–160, multiple of 8).
+	LengthUs int
+	// SlotUs is the switch/sample slot length (1 or 2 µs).
+	SlotUs int
+	// Antennas is the switched-array size; IQ is modeled at one sample
+	// per µs (the spec samples 1 µs windows).
+	Antennas int
+}
+
+// DefaultCTEConfig returns the common 160 µs, 2 µs-slot configuration.
+func DefaultCTEConfig(antennas int) CTEConfig {
+	return CTEConfig{LengthUs: 160, SlotUs: 2, Antennas: antennas}
+}
+
+// Validate checks spec ranges.
+func (c CTEConfig) Validate() error {
+	if c.LengthUs < 16 || c.LengthUs > 160 || c.LengthUs%8 != 0 {
+		return fmt.Errorf("ble: CTE length %d µs outside 16–160 in steps of 8", c.LengthUs)
+	}
+	if c.SlotUs != 1 && c.SlotUs != 2 {
+		return fmt.Errorf("ble: CTE slot %d µs must be 1 or 2", c.SlotUs)
+	}
+	if c.Antennas < 2 {
+		return fmt.Errorf("ble: CTE needs ≥ 2 antennas, got %d", c.Antennas)
+	}
+	return nil
+}
+
+// cteTiming constants (µs).
+const (
+	cteGuardUs = 4
+	cteRefUs   = 8
+)
+
+// CTESample is one IQ sample with its antenna assignment.
+type CTESample struct {
+	Antenna int
+	TimeUs  float64
+	IQ      complex128
+}
+
+// SimulateCTE produces the sample sequence an antenna-switching receiver
+// captures: the transmitter emits a tone at FreqDeviationHz + cfoHz above
+// the channel center; h[j] is the (flat) channel to antenna j including
+// any static rotations; every sample also carries the common LO rotor.
+// One IQ sample is taken per µs of the reference period and one per
+// sample slot thereafter.
+func SimulateCTE(cfg CTEConfig, h []complex128, rotor complex128, cfoHz float64) ([]CTESample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(h) < cfg.Antennas {
+		return nil, fmt.Errorf("ble: %d channels for %d antennas", len(h), cfg.Antennas)
+	}
+	tone := FreqDeviationHz + cfoHz
+	sample := func(ant int, tUs float64) CTESample {
+		phase := 2 * math.Pi * tone * tUs * 1e-6
+		s, c := math.Sincos(phase)
+		return CTESample{
+			Antenna: ant,
+			TimeUs:  tUs,
+			IQ:      h[ant] * rotor * complex(c, s),
+		}
+	}
+	var out []CTESample
+	// Reference period: one sample per µs on antenna 0.
+	for u := 0; u < cteRefUs; u++ {
+		out = append(out, sample(0, float64(cteGuardUs+u)))
+	}
+	// Switch/sample slots: sample in the second half of each sample slot.
+	slotStart := float64(cteGuardUs + cteRefUs)
+	slots := (cfg.LengthUs - cteGuardUs - cteRefUs) / (2 * cfg.SlotUs)
+	ant := 1 % cfg.Antennas
+	for s := 0; s < slots; s++ {
+		// Each pair is (switch slot, sample slot).
+		tSample := slotStart + float64(2*s*cfg.SlotUs) + float64(cfg.SlotUs) + float64(cfg.SlotUs)/2
+		out = append(out, sample(ant, tSample))
+		ant = (ant + 1) % cfg.Antennas
+	}
+	return out, nil
+}
+
+// EstimateCTE recovers the per-antenna relative channel phases from a CTE
+// capture: the carrier frequency offset is estimated from the reference
+// period, every sample is derotated by the reconstructed tone phase, and
+// the derotated samples are averaged per antenna. The result is
+// normalized so antenna 0 has phase 0 — exactly the quantity an AoA
+// spectrum consumes. It also returns the estimated tone frequency (Hz).
+func EstimateCTE(cfg CTEConfig, samples []CTESample) ([]complex128, float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(samples) < cteRefUs+cfg.Antennas {
+		return nil, 0, fmt.Errorf("ble: %d CTE samples too few", len(samples))
+	}
+	// CFO from the reference period: consecutive 1 µs samples on the same
+	// antenna rotate by 2π·f_tone·1µs.
+	var acc complex128
+	for i := 1; i < cteRefUs; i++ {
+		if samples[i].Antenna != 0 || samples[i-1].Antenna != 0 {
+			return nil, 0, fmt.Errorf("ble: reference period not on antenna 0")
+		}
+		acc += samples[i].IQ * cmplx.Conj(samples[i-1].IQ)
+	}
+	stepPhase := cmplx.Phase(acc)
+	// Resolve the 1 MHz ambiguity toward the nominal +250 kHz tone: the
+	// phase step per µs is 2π·f·1e-6, unambiguous within ±500 kHz.
+	toneHz := stepPhase / (2 * math.Pi * 1e-6)
+
+	sums := make([]complex128, cfg.Antennas)
+	counts := make([]int, cfg.Antennas)
+	for _, s := range samples {
+		if s.Antenna < 0 || s.Antenna >= cfg.Antennas {
+			return nil, 0, fmt.Errorf("ble: sample on unknown antenna %d", s.Antenna)
+		}
+		rot := cmplx.Rect(1, -2*math.Pi*toneHz*s.TimeUs*1e-6)
+		sums[s.Antenna] += s.IQ * rot
+		counts[s.Antenna]++
+	}
+	out := make([]complex128, cfg.Antennas)
+	for j := range out {
+		if counts[j] == 0 {
+			return nil, 0, fmt.Errorf("ble: antenna %d never sampled", j)
+		}
+		out[j] = sums[j] / complex(float64(counts[j]), 0)
+	}
+	// Normalize to antenna 0.
+	ref := out[0]
+	if cmplx.Abs(ref) == 0 {
+		return nil, 0, fmt.Errorf("ble: zero reference channel")
+	}
+	refPhase := cmplx.Rect(1, -cmplx.Phase(ref))
+	for j := range out {
+		out[j] *= refPhase
+	}
+	return out, toneHz, nil
+}

@@ -1,0 +1,146 @@
+package ble
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func cteChannels(phases ...float64) []complex128 {
+	out := make([]complex128, len(phases))
+	for i, p := range phases {
+		out[i] = cmplx.Rect(0.3, p)
+	}
+	return out
+}
+
+func TestCTEConfigValidation(t *testing.T) {
+	bad := []CTEConfig{
+		{LengthUs: 12, SlotUs: 2, Antennas: 4},  // too short / not ×8
+		{LengthUs: 168, SlotUs: 2, Antennas: 4}, // too long
+		{LengthUs: 160, SlotUs: 3, Antennas: 4}, // bad slot
+		{LengthUs: 160, SlotUs: 2, Antennas: 1}, // one antenna
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := DefaultCTEConfig(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCTERoundTripRecoverRelativePhases(t *testing.T) {
+	cfg := DefaultCTEConfig(4)
+	h := cteChannels(0.4, 1.1, -0.9, 2.3)
+	rotor := cmplx.Rect(1, -2.0) // LO offset, common to all antennas
+	samples, err := SimulateCTE(cfg, h, rotor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, tone, err := EstimateCTE(cfg, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tone-FreqDeviationHz) > 100 {
+		t.Errorf("tone estimate %v, want %v", tone, FreqDeviationHz)
+	}
+	// Relative phases recovered (antenna 0 normalized to 0).
+	for j := 1; j < 4; j++ {
+		want := cmplx.Phase(h[j] * cmplx.Conj(h[0]))
+		got := cmplx.Phase(est[j])
+		if math.Abs(math.Atan2(math.Sin(got-want), math.Cos(got-want))) > 1e-6 {
+			t.Errorf("antenna %d: phase %v, want %v", j, got, want)
+		}
+		if math.Abs(cmplx.Abs(est[j])-0.3) > 1e-9 {
+			t.Errorf("antenna %d: magnitude %v", j, cmplx.Abs(est[j]))
+		}
+	}
+}
+
+func TestCTEHandlesCFO(t *testing.T) {
+	// A ±30 kHz crystal offset rotates the tone; the estimator must track
+	// it or the per-antenna phases smear.
+	cfg := DefaultCTEConfig(4)
+	h := cteChannels(0, 0.8, 1.6, -1.2)
+	for _, cfo := range []float64{-30e3, -7e3, 12e3, 30e3} {
+		samples, err := SimulateCTE(cfg, h, 1, cfo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, tone, err := EstimateCTE(cfg, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tone-(FreqDeviationHz+cfo)) > 200 {
+			t.Errorf("cfo %v: tone estimate %v", cfo, tone)
+		}
+		for j := 1; j < 4; j++ {
+			want := cmplx.Phase(h[j] * cmplx.Conj(h[0]))
+			got := cmplx.Phase(est[j])
+			if math.Abs(math.Atan2(math.Sin(got-want), math.Cos(got-want))) > 1e-3 {
+				t.Errorf("cfo %v antenna %d: phase %v, want %v", cfo, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCTESampleScheduleCoversArray(t *testing.T) {
+	cfg := DefaultCTEConfig(4)
+	samples, err := SimulateCTE(cfg, cteChannels(0, 0, 0, 0), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, s := range samples {
+		counts[s.Antenna]++
+	}
+	// 160 µs − 12 µs = 148 µs of slots at 2×2 µs per (switch, sample)
+	// pair = 37 sample slots + 8 reference samples.
+	if counts[0] < 8 {
+		t.Errorf("antenna 0 sampled %d times, want ≥ 8 (reference)", counts[0])
+	}
+	for j := 1; j < 4; j++ {
+		if counts[j] < 8 {
+			t.Errorf("antenna %d sampled %d times", j, counts[j])
+		}
+	}
+	// Samples are time-ordered.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].TimeUs <= samples[i-1].TimeUs {
+			t.Fatalf("sample %d not time-ordered", i)
+		}
+	}
+}
+
+func TestCTEErrors(t *testing.T) {
+	cfg := DefaultCTEConfig(4)
+	if _, err := SimulateCTE(cfg, cteChannels(0, 0), 1, 0); err == nil {
+		t.Error("too few channels accepted")
+	}
+	if _, _, err := EstimateCTE(cfg, nil); err == nil {
+		t.Error("empty capture accepted")
+	}
+	// Corrupt reference antenna assignment.
+	samples, _ := SimulateCTE(cfg, cteChannels(0, 0, 0, 0), 1, 0)
+	samples[3].Antenna = 2
+	if _, _, err := EstimateCTE(cfg, samples); err == nil {
+		t.Error("corrupted reference period accepted")
+	}
+}
+
+func BenchmarkCTEEstimate(b *testing.B) {
+	cfg := DefaultCTEConfig(4)
+	samples, err := SimulateCTE(cfg, cteChannels(0.1, 0.9, -1.3, 2.2), 1, 11e3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EstimateCTE(cfg, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

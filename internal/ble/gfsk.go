@@ -1,0 +1,95 @@
+package ble
+
+import (
+	"fmt"
+	"math"
+
+	"bloc/internal/dsp"
+)
+
+// GFSK implements the LE 1M PHY modulator and demodulator: NRZ bits are
+// Gaussian-filtered (BT = 0.5) and frequency-modulated with modulation
+// index 0.5, so bit 0 sits FreqDeviationHz below the channel center and
+// bit 1 the same amount above (§2.1, Fig. 1b of the paper).
+
+// Modulator converts bit streams into complex baseband IQ samples.
+type Modulator struct {
+	SPS      int     // samples per symbol (≥ 2)
+	BT       float64 // Gaussian filter bandwidth-time product
+	ModIndex float64 // modulation index h (0.5 for BLE)
+	Span     int     // Gaussian filter span in symbols per side
+}
+
+// NewModulator returns a modulator with BLE's PHY parameters at the given
+// oversampling rate.
+func NewModulator(sps int) *Modulator {
+	return &Modulator{SPS: sps, BT: GaussianBT, ModIndex: 0.5, Span: 3}
+}
+
+// SampleRate returns the baseband sample rate in Hz.
+func (m *Modulator) SampleRate() float64 { return SymbolRateHz * float64(m.SPS) }
+
+// Modulate converts bits (0/1 values) to unit-amplitude complex baseband
+// samples, len(bits)·SPS long. The instantaneous frequency is
+// (h/2)·SymbolRate·s(t) where s(t) is the Gaussian-filtered NRZ waveform,
+// i.e. ±FreqDeviationHz once a run of equal bits settles.
+func (m *Modulator) Modulate(bits []byte) []complex128 {
+	if m.SPS < 2 {
+		panic(fmt.Sprintf("ble: modulator SPS %d < 2", m.SPS))
+	}
+	shaped := dsp.ShapeBits(bits, m.BT, m.SPS, m.Span)
+	out := make([]complex128, len(shaped))
+	phase := 0.0
+	// Phase increment per sample for a settled run: 2π·(h/2)·(1/SPS).
+	k := math.Pi * m.ModIndex / float64(m.SPS)
+	for i, s := range shaped {
+		phase += k * s
+		sin, cos := math.Sincos(phase)
+		out[i] = complex(cos, sin)
+	}
+	return out
+}
+
+// FrequencyTrack returns the instantaneous frequency estimate of the IQ
+// samples in units of the frequency deviation: +1 means the signal sits at
+// the bit-1 tone, −1 at the bit-0 tone. It is the quadrature discriminator
+// arg(x[n]·conj(x[n−1])) normalized by the settled per-sample phase step.
+func (m *Modulator) FrequencyTrack(iq []complex128) []float64 {
+	if len(iq) == 0 {
+		return nil
+	}
+	k := math.Pi * m.ModIndex / float64(m.SPS)
+	out := make([]float64, len(iq))
+	for i := 1; i < len(iq); i++ {
+		d := iq[i] * conj(iq[i-1])
+		out[i] = math.Atan2(imag(d), real(d)) / k
+	}
+	out[0] = out[min(1, len(out)-1)]
+	return out
+}
+
+// Demodulate recovers bits from complex baseband samples produced by
+// Modulate (possibly scaled/rotated/noisy). Bits are decided by the sign of
+// the discriminator output averaged over the central half of each symbol.
+func (m *Modulator) Demodulate(iq []complex128) []byte {
+	track := m.FrequencyTrack(iq)
+	n := len(iq) / m.SPS
+	bits := make([]byte, n)
+	lo := m.SPS / 4
+	hi := m.SPS - m.SPS/4
+	if hi <= lo {
+		hi = lo + 1
+	}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for s := lo; s < hi; s++ {
+			sum += track[i*m.SPS+s]
+		}
+		if sum > 0 {
+			bits[i] = 1
+		}
+	}
+	return bits
+}
+
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }

@@ -1,0 +1,172 @@
+package ble
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestModulateConstantEnvelope(t *testing.T) {
+	// GFSK is constant-envelope: every IQ sample has unit magnitude.
+	m := NewModulator(8)
+	iq := m.Modulate([]byte{0, 1, 1, 0, 1, 0, 0, 1})
+	for i, z := range iq {
+		if math.Abs(cmplx.Abs(z)-1) > 1e-12 {
+			t.Fatalf("sample %d magnitude %v != 1", i, cmplx.Abs(z))
+		}
+	}
+	if len(iq) != 8*8 {
+		t.Fatalf("len = %d, want 64", len(iq))
+	}
+}
+
+func TestModulateSettledRunsHitNominalDeviation(t *testing.T) {
+	// The §4 insight: long runs settle the instantaneous frequency at the
+	// full ±deviation. Check the discriminator reads ±1 mid-run.
+	m := NewModulator(8)
+	bits := append(bytes.Repeat([]byte{0}, 10), bytes.Repeat([]byte{1}, 10)...)
+	iq := m.Modulate(bits)
+	track := m.FrequencyTrack(iq)
+	// Middle of the 0-run.
+	if v := track[5*8]; math.Abs(v+1) > 0.02 {
+		t.Errorf("0-run deviation = %v, want ≈ -1", v)
+	}
+	// Middle of the 1-run.
+	if v := track[15*8]; math.Abs(v-1) > 0.02 {
+		t.Errorf("1-run deviation = %v, want ≈ +1", v)
+	}
+}
+
+func TestDemodulateRoundTrip(t *testing.T) {
+	m := NewModulator(8)
+	r := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 20; trial++ {
+		bits := make([]byte, 64)
+		for i := range bits {
+			bits[i] = byte(r.IntN(2))
+		}
+		got := m.Demodulate(m.Modulate(bits))
+		if !bytes.Equal(got, bits) {
+			t.Fatalf("trial %d: demodulated bits differ\n got %v\nwant %v", trial, got, bits)
+		}
+	}
+}
+
+func TestDemodulateWithNoise(t *testing.T) {
+	// 20 dB SNR: essentially error-free for GFSK with 8x oversampling.
+	m := NewModulator(8)
+	r := rand.New(rand.NewPCG(8, 8))
+	bits := make([]byte, 256)
+	for i := range bits {
+		bits[i] = byte(r.IntN(2))
+	}
+	iq := m.Modulate(bits)
+	sigma := math.Pow(10, -20.0/20) / math.Sqrt2
+	for i := range iq {
+		iq[i] += complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+	}
+	got := m.Demodulate(iq)
+	errors := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errors++
+		}
+	}
+	if errors > 2 {
+		t.Errorf("%d bit errors at 20 dB SNR, want ≤ 2", errors)
+	}
+}
+
+func TestDemodulateRotationInvariant(t *testing.T) {
+	// A static channel rotation/attenuation must not affect demodulation —
+	// this is what lets anchors decode packets while measuring CSI.
+	m := NewModulator(8)
+	bits := []byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 0, 1, 0}
+	iq := m.Modulate(bits)
+	h := cmplx.Rect(0.05, 2.1) // weak, rotated channel
+	for i := range iq {
+		iq[i] *= h
+	}
+	if !bytes.Equal(m.Demodulate(iq), bits) {
+		t.Error("demodulation is not invariant to a static complex channel")
+	}
+}
+
+func TestFrequencyTrackEmpty(t *testing.T) {
+	m := NewModulator(8)
+	if got := m.FrequencyTrack(nil); got != nil {
+		t.Errorf("FrequencyTrack(nil) = %v", got)
+	}
+}
+
+func TestModulatePanicsOnBadSPS(t *testing.T) {
+	m := &Modulator{SPS: 1, BT: 0.5, ModIndex: 0.5, Span: 3}
+	defer func() {
+		if recover() == nil {
+			t.Error("SPS=1 should panic")
+		}
+	}()
+	m.Modulate([]byte{1})
+}
+
+func TestModulatePhaseContinuity(t *testing.T) {
+	// CPM property: consecutive samples never jump more than the maximum
+	// per-sample phase increment (π·h/SPS at full deviation).
+	m := NewModulator(8)
+	bits := []byte{1, 0, 1, 1, 0, 0, 0, 1, 1, 1}
+	iq := m.Modulate(bits)
+	maxStep := math.Pi*m.ModIndex/float64(m.SPS) + 1e-9
+	for i := 1; i < len(iq); i++ {
+		d := iq[i] * complex(real(iq[i-1]), -imag(iq[i-1]))
+		if math.Abs(cmplx.Phase(d)) > maxStep {
+			t.Fatalf("phase jump %v at sample %d exceeds %v", cmplx.Phase(d), i, maxStep)
+		}
+	}
+}
+
+func TestEndToEndPacketOverPHY(t *testing.T) {
+	// Full stack: packet → air bits → GFSK → demod → bits → ParseAir.
+	pkt := &Packet{
+		Access:  0x50123456,
+		Channel: 17,
+		PDU:     &DataPDU{LLID: LLIDStart, Payload: []byte("CSI sounding")},
+	}
+	airBits, err := pkt.AirBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModulator(8)
+	rxBits := m.Demodulate(m.Modulate(airBits))
+	rxBytes, err := BitsToBytes(rxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAir(17, rxBytes)
+	if err != nil {
+		t.Fatalf("ParseAir after PHY round trip: %v", err)
+	}
+	if string(got.PDU.Payload) != "CSI sounding" {
+		t.Errorf("payload = %q", got.PDU.Payload)
+	}
+}
+
+func BenchmarkModulate(b *testing.B) {
+	m := NewModulator(8)
+	bits := make([]byte, 1024)
+	for i := range bits {
+		bits[i] = byte(i % 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Modulate(bits)
+	}
+}
+
+func TestModulatorSampleRate(t *testing.T) {
+	if NewModulator(8).SampleRate() != 8e6 {
+		t.Error("SampleRate wrong")
+	}
+}

@@ -1,0 +1,107 @@
+package ble
+
+import "fmt"
+
+// HopSequence implements BLE's channel-selection algorithm #1 over the 37
+// data channels: after every connection event the unmapped channel advances
+// by the hop increment, modulo 37 (§2.1 of the paper;
+// f_next = (f_cur + f_hop) mod 37). Because 37 is prime, any hop increment
+// in [5, 16] visits every data channel exactly once per 37 events — the
+// property BLoc exploits to stitch an 80 MHz virtual band.
+//
+// Channel remapping for blacklisted ("used ↦ unused") channels is supported
+// through the channel map: if the selected channel is marked unused it is
+// remapped onto the used-channel list by index modulo the number of used
+// channels, as in the Core Specification.
+type HopSequence struct {
+	hop     int
+	current int // unmapped channel, 0..36
+	used    [NumDataChannels]bool
+	numUsed int
+}
+
+// NewHopSequence creates a hop sequence starting at channel first with the
+// given hop increment. The Core Specification restricts hopIncrement to
+// [5, 16]; values outside that range return an error, as does an invalid
+// starting channel.
+func NewHopSequence(first ChannelIndex, hopIncrement int) (*HopSequence, error) {
+	if hopIncrement < 5 || hopIncrement > 16 {
+		return nil, fmt.Errorf("ble: hop increment %d outside [5, 16]", hopIncrement)
+	}
+	if first < 0 || int(first) >= NumDataChannels {
+		return nil, fmt.Errorf("ble: starting channel %d is not a data channel", first)
+	}
+	h := &HopSequence{hop: hopIncrement, current: int(first)}
+	for i := range h.used {
+		h.used[i] = true
+	}
+	h.numUsed = NumDataChannels
+	return h, nil
+}
+
+// HopIncrement returns the connection's hop increment.
+func (h *HopSequence) HopIncrement() int { return h.hop }
+
+// SetChannelMap marks which data channels are used. At least two channels
+// must remain used (the specification requires ≥ 2). Unknown indices and
+// advertising channels in the list are rejected.
+func (h *HopSequence) SetChannelMap(usedChannels []ChannelIndex) error {
+	var used [NumDataChannels]bool
+	n := 0
+	for _, c := range usedChannels {
+		if c < 0 || int(c) >= NumDataChannels {
+			return fmt.Errorf("ble: channel %d is not a data channel", c)
+		}
+		if !used[c] {
+			used[c] = true
+			n++
+		}
+	}
+	if n < 2 {
+		return fmt.Errorf("ble: channel map needs at least 2 used channels, got %d", n)
+	}
+	h.used = used
+	h.numUsed = n
+	return nil
+}
+
+// Current returns the channel for the current connection event, after
+// remapping.
+func (h *HopSequence) Current() ChannelIndex {
+	if h.used[h.current] {
+		return ChannelIndex(h.current)
+	}
+	// Remap: index into the used-channel list by unmapped % numUsed.
+	idx := h.current % h.numUsed
+	for c := 0; c < NumDataChannels; c++ {
+		if h.used[c] {
+			if idx == 0 {
+				return ChannelIndex(c)
+			}
+			idx--
+		}
+	}
+	panic("ble: unreachable: no used channel found")
+}
+
+// Next advances to the next connection event and returns its (remapped)
+// channel.
+func (h *HopSequence) Next() ChannelIndex {
+	h.current = (h.current + h.hop) % NumDataChannels
+	return h.Current()
+}
+
+// Cycle returns the channels of the next n connection events, starting with
+// the current one, advancing the sequence n−1 times. Cycle(37) with a full
+// channel map therefore returns a permutation of all data channels.
+func (h *HopSequence) Cycle(n int) []ChannelIndex {
+	out := make([]ChannelIndex, 0, n)
+	if n <= 0 {
+		return out
+	}
+	out = append(out, h.Current())
+	for i := 1; i < n; i++ {
+		out = append(out, h.Next())
+	}
+	return out
+}

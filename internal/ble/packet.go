@@ -1,0 +1,180 @@
+package ble
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Link-layer packet framing (Core Spec Vol 6 Part B §2): every air packet
+// is preamble ‖ access address ‖ PDU ‖ CRC, where PDU+CRC are whitened with
+// the channel-dependent sequence and all bytes go on air LSB-first.
+
+// AccessAddress identifies a link-layer connection (or the fixed
+// advertising value 0x8E89BED6).
+type AccessAddress uint32
+
+// AdvAccessAddress is the fixed access address of all advertising PDUs.
+const AdvAccessAddress AccessAddress = 0x8E89BED6
+
+// Preamble returns the preamble byte for this access address: alternating
+// bits starting with the complement of the access address LSB, so the
+// preamble/AA boundary keeps alternating (0xAA if the AA LSB is 0,
+// 0x55 if it is 1).
+func (a AccessAddress) Preamble() byte {
+	if a&1 == 0 {
+		return 0xAA
+	}
+	return 0x55
+}
+
+// LLID is the 2-bit logical link identifier in the data PDU header.
+type LLID byte
+
+// Data PDU LLID values.
+const (
+	LLIDContinuation LLID = 0x1 // continuation fragment / empty PDU
+	LLIDStart        LLID = 0x2 // start of L2CAP message or complete message
+	LLIDControl      LLID = 0x3 // LL control PDU
+)
+
+// DataPDU is a link-layer data channel PDU: a 2-byte header followed by a
+// payload of at most 255 bytes (4.2+ data length extension; legacy is 27,
+// enforced by the caller if needed).
+type DataPDU struct {
+	LLID    LLID
+	NESN    bool // next expected sequence number
+	SN      bool // sequence number
+	MD      bool // more data
+	Payload []byte
+}
+
+// MaxPayload is the maximum data PDU payload length with the LE data
+// length extension.
+const MaxPayload = 255
+
+// ErrPayloadTooLong is returned when a PDU payload exceeds MaxPayload.
+var ErrPayloadTooLong = errors.New("ble: payload exceeds 255 bytes")
+
+// Marshal serializes the PDU header and payload (without CRC/whitening).
+func (p *DataPDU) Marshal() ([]byte, error) {
+	if len(p.Payload) > MaxPayload {
+		return nil, ErrPayloadTooLong
+	}
+	h := byte(p.LLID) & 0x3
+	if p.NESN {
+		h |= 1 << 2
+	}
+	if p.SN {
+		h |= 1 << 3
+	}
+	if p.MD {
+		h |= 1 << 4
+	}
+	out := make([]byte, 2+len(p.Payload))
+	out[0] = h
+	out[1] = byte(len(p.Payload))
+	copy(out[2:], p.Payload)
+	return out, nil
+}
+
+// UnmarshalDataPDU parses a data PDU (header + payload, no CRC).
+func UnmarshalDataPDU(b []byte) (*DataPDU, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("ble: PDU too short (%d bytes)", len(b))
+	}
+	n := int(b[1])
+	if len(b) != 2+n {
+		return nil, fmt.Errorf("ble: PDU length field %d does not match %d payload bytes", n, len(b)-2)
+	}
+	return &DataPDU{
+		LLID:    LLID(b[0] & 0x3),
+		NESN:    b[0]&(1<<2) != 0,
+		SN:      b[0]&(1<<3) != 0,
+		MD:      b[0]&(1<<4) != 0,
+		Payload: append([]byte(nil), b[2:]...),
+	}, nil
+}
+
+// Packet is a fully framed link-layer packet ready for the PHY.
+type Packet struct {
+	Access  AccessAddress
+	Channel ChannelIndex
+	PDU     *DataPDU
+}
+
+// AirBytes returns the on-air byte sequence: preamble, access address
+// (little-endian), whitened PDU+CRC.
+func (p *Packet) AirBytes() ([]byte, error) {
+	pdu, err := p.PDU.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	framed := AppendCRC(pdu)
+	whitened := Whiten(p.Channel, framed)
+	out := make([]byte, 0, 1+4+len(whitened))
+	out = append(out, p.Access.Preamble())
+	var aa [4]byte
+	binary.LittleEndian.PutUint32(aa[:], uint32(p.Access))
+	out = append(out, aa[:]...)
+	out = append(out, whitened...)
+	return out, nil
+}
+
+// AirBits returns the on-air bit sequence (LSB of each byte first), the
+// exact symbol stream handed to the GFSK modulator.
+func (p *Packet) AirBits() ([]byte, error) {
+	bytes, err := p.AirBytes()
+	if err != nil {
+		return nil, err
+	}
+	return BytesToBits(bytes), nil
+}
+
+// ParseAir decodes an on-air byte sequence captured on the given channel
+// back into a packet, verifying the CRC.
+func ParseAir(channel ChannelIndex, air []byte) (*Packet, error) {
+	if len(air) < 1+4+2+3 {
+		return nil, fmt.Errorf("ble: air frame too short (%d bytes)", len(air))
+	}
+	aa := AccessAddress(binary.LittleEndian.Uint32(air[1:5]))
+	if air[0] != aa.Preamble() {
+		return nil, fmt.Errorf("ble: preamble %#x does not match access address %#x", air[0], uint32(aa))
+	}
+	dewhitened := Whiten(channel, air[5:])
+	if !CheckCRC(dewhitened) {
+		return nil, errors.New("ble: CRC check failed")
+	}
+	pdu, err := UnmarshalDataPDU(dewhitened[:len(dewhitened)-3])
+	if err != nil {
+		return nil, err
+	}
+	return &Packet{Access: aa, Channel: channel, PDU: pdu}, nil
+}
+
+// BytesToBits expands bytes into bits, LSB of each byte first (BLE air
+// order). Each output element is 0 or 1.
+func BytesToBits(bs []byte) []byte {
+	out := make([]byte, 0, len(bs)*8)
+	for _, b := range bs {
+		for bit := 0; bit < 8; bit++ {
+			out = append(out, (b>>bit)&1)
+		}
+	}
+	return out
+}
+
+// BitsToBytes packs bits (LSB-first per byte) back into bytes. The bit
+// count must be a multiple of 8.
+func BitsToBytes(bits []byte) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("ble: bit count %d not a multiple of 8", len(bits))
+	}
+	out := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		if b != 0 {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out, nil
+}

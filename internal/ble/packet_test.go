@@ -1,0 +1,240 @@
+package ble
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC24KnownVector(t *testing.T) {
+	// CRC of the empty PDU is the seed run through zero bits: unchanged.
+	if got := CRC24(CRCInit, nil); got != CRCInit {
+		t.Errorf("CRC24(empty) = %#x, want seed %#x", got, CRCInit)
+	}
+	// CRC must depend on every input bit.
+	a := CRC24(CRCInit, []byte{0x01, 0x02, 0x03})
+	b := CRC24(CRCInit, []byte{0x01, 0x02, 0x02})
+	if a == b {
+		t.Error("CRC collision on 1-bit difference")
+	}
+}
+
+func TestAppendCheckCRCRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := r.IntN(64)
+		pdu := make([]byte, n)
+		for i := range pdu {
+			pdu[i] = byte(r.UintN(256))
+		}
+		framed := AppendCRC(append([]byte(nil), pdu...))
+		if len(framed) != n+3 {
+			t.Fatalf("framed length %d, want %d", len(framed), n+3)
+		}
+		if !CheckCRC(framed) {
+			t.Fatalf("CheckCRC failed on valid frame (trial %d)", trial)
+		}
+		// Any single-bit corruption must be detected (CRC-24 guarantees
+		// this for bursts up to 24 bits).
+		if len(framed) > 0 {
+			pos := r.IntN(len(framed) * 8)
+			framed[pos/8] ^= 1 << (pos % 8)
+			if CheckCRC(framed) {
+				t.Fatalf("single-bit corruption at %d undetected", pos)
+			}
+		}
+	}
+	if CheckCRC([]byte{1, 2}) {
+		t.Error("short frame should fail CRC")
+	}
+}
+
+func TestWhitenSelfInverse(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for _, ch := range []ChannelIndex{0, 11, 36, 37, 39} {
+		data := make([]byte, 40)
+		for i := range data {
+			data[i] = byte(r.UintN(256))
+		}
+		twice := Whiten(ch, Whiten(ch, data))
+		if !bytes.Equal(twice, data) {
+			t.Fatalf("channel %d: whitening not self-inverse", ch)
+		}
+	}
+}
+
+func TestWhitenChannelDependent(t *testing.T) {
+	data := make([]byte, 16) // zeros expose the raw keystream
+	streams := map[string]ChannelIndex{}
+	for _, ch := range AllChannels() {
+		k := string(Whiten(ch, data))
+		if prev, dup := streams[k]; dup {
+			t.Fatalf("channels %d and %d share a whitening keystream", prev, ch)
+		}
+		streams[k] = ch
+	}
+}
+
+func TestWhitenNontrivial(t *testing.T) {
+	// The keystream must not be all zeros (would defeat whitening).
+	k := Whiten(0, make([]byte, 8))
+	allZero := true
+	for _, b := range k {
+		if b != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Error("whitening keystream is all zeros")
+	}
+}
+
+func TestWhitenPeriod127(t *testing.T) {
+	// A maximal-length 7-bit LFSR has period 127 bits; verify the
+	// keystream repeats with exactly that period.
+	k := Whiten(5, make([]byte, 127)) // 1016 bits > 127·8
+	bits := BytesToBits(k)
+	for i := 0; i+127 < len(bits); i++ {
+		if bits[i] != bits[i+127] {
+			t.Fatalf("keystream not 127-periodic at bit %d", i)
+		}
+	}
+	// And it is NOT periodic with any smaller divisor-ish period like 63.
+	differs := false
+	for i := 0; i+63 < 127; i++ {
+		if bits[i] != bits[i+63] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("keystream appears 63-periodic; LFSR is not maximal length")
+	}
+}
+
+func TestDataPDUMarshalRoundTrip(t *testing.T) {
+	f := func(llid byte, nesn, sn, md bool, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		p := &DataPDU{LLID: LLID(llid & 0x3), NESN: nesn, SN: sn, MD: md, Payload: payload}
+		raw, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		q, err := UnmarshalDataPDU(raw)
+		if err != nil {
+			return false
+		}
+		return q.LLID == p.LLID && q.NESN == p.NESN && q.SN == p.SN &&
+			q.MD == p.MD && bytes.Equal(q.Payload, p.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataPDUErrors(t *testing.T) {
+	big := &DataPDU{LLID: LLIDStart, Payload: make([]byte, 256)}
+	if _, err := big.Marshal(); err != ErrPayloadTooLong {
+		t.Errorf("Marshal oversized = %v, want ErrPayloadTooLong", err)
+	}
+	if _, err := UnmarshalDataPDU([]byte{1}); err == nil {
+		t.Error("short PDU should fail")
+	}
+	if _, err := UnmarshalDataPDU([]byte{1, 5, 0, 0}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestPreamble(t *testing.T) {
+	if AdvAccessAddress.Preamble() != 0xAA {
+		// 0x8E89BED6 has LSB 0 → preamble 0xAA.
+		t.Errorf("adv preamble = %#x, want 0xAA", AdvAccessAddress.Preamble())
+	}
+	if AccessAddress(0x12345671).Preamble() != 0x55 {
+		t.Error("odd AA should give 0x55 preamble")
+	}
+}
+
+func TestPacketAirRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 25; trial++ {
+		ch := ChannelIndex(r.IntN(NumDataChannels))
+		payload := make([]byte, r.IntN(60))
+		for i := range payload {
+			payload[i] = byte(r.UintN(256))
+		}
+		pkt := &Packet{
+			Access:  AccessAddress(r.Uint32()),
+			Channel: ch,
+			PDU:     &DataPDU{LLID: LLIDStart, SN: trial%2 == 0, Payload: payload},
+		}
+		air, err := pkt.AirBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseAir(ch, air)
+		if err != nil {
+			t.Fatalf("ParseAir: %v", err)
+		}
+		if got.Access != pkt.Access {
+			t.Fatalf("access address %#x != %#x", got.Access, pkt.Access)
+		}
+		if !bytes.Equal(got.PDU.Payload, payload) || got.PDU.SN != pkt.PDU.SN {
+			t.Fatal("PDU mismatch after air round trip")
+		}
+	}
+}
+
+func TestParseAirDetectsWrongChannel(t *testing.T) {
+	// De-whitening with the wrong channel garbles the CRC.
+	pkt := &Packet{
+		Access:  0x71764129,
+		Channel: 4,
+		PDU:     &DataPDU{LLID: LLIDStart, Payload: []byte("hello bloc")},
+	}
+	air, err := pkt.AirBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseAir(9, air); err == nil {
+		t.Error("parsing on the wrong channel should fail CRC")
+	}
+}
+
+func TestParseAirErrors(t *testing.T) {
+	if _, err := ParseAir(0, []byte{1, 2, 3}); err == nil {
+		t.Error("short frame should fail")
+	}
+	// Corrupt the preamble.
+	pkt := &Packet{Access: 0x71764128, Channel: 0, PDU: &DataPDU{LLID: LLIDStart}}
+	air, _ := pkt.AirBytes()
+	air[0] ^= 0xFF
+	if _, err := ParseAir(0, air); err == nil {
+		t.Error("bad preamble should fail")
+	}
+}
+
+func TestBitsBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		bits := BytesToBits(data)
+		if len(bits) != len(data)*8 {
+			return false
+		}
+		back, err := BitsToBytes(bits)
+		return err == nil && bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := BitsToBytes(make([]byte, 7)); err == nil {
+		t.Error("non-multiple-of-8 bit count should fail")
+	}
+	// LSB-first order.
+	bits := BytesToBits([]byte{0x01})
+	if bits[0] != 1 || bits[7] != 0 {
+		t.Error("bit order is not LSB-first")
+	}
+}

@@ -1,0 +1,95 @@
+package ble
+
+import "fmt"
+
+// Channel-sounding packets (§4 of the paper): data PDUs whose payload puts
+// long runs of 0-bits followed by long runs of 1-bits on the air, so the
+// GFSK frequency settles at f0 and then f1 long enough to measure the
+// complex channel at each tone (Fig. 4b).
+//
+// Since the link layer whitens the PDU with a channel-dependent keystream,
+// a naive 0x00…0xFF payload would not produce runs on air. SoundingPDU
+// therefore pre-compensates: it XORs the desired air pattern with the
+// whitening keystream so that after standard whitening the transmitted
+// bits are exactly the desired runs. The packet remains a perfectly valid
+// BLE data PDU — receivers that de-whiten see an opaque payload, while the
+// PHY sees stable tones.
+
+// SoundingLayout describes where the settled tone runs sit inside an
+// on-air sounding packet, in bit offsets relative to the first PDU bit
+// (after the access address).
+type SoundingLayout struct {
+	ZeroRunStart int // first air-bit index of the 0-run (within PDU bits)
+	ZeroRunLen   int // length of the 0-run in bits
+	OneRunStart  int // first air-bit index of the 1-run
+	OneRunLen    int // length of the 1-run in bits
+}
+
+// DefaultRunBits is the per-tone run length used by BLoc's sounding
+// packets. The paper (§6) needs only ≈8 µs per tone (8 bits at 1 Msym/s);
+// we use 40 bits (5 bytes) per tone, still a tiny fraction of a connection
+// event, to give the Gaussian filter generous settling margin.
+const DefaultRunBits = 40
+
+// SoundingPDU builds a data PDU for the given channel whose on-air payload
+// bits are runBits zeros followed by runBits ones (after whitening).
+// runBits must be a positive multiple of 8.
+func SoundingPDU(channel ChannelIndex, runBits int) (*DataPDU, SoundingLayout, error) {
+	if runBits <= 0 || runBits%8 != 0 {
+		return nil, SoundingLayout{}, fmt.Errorf("ble: runBits %d must be a positive multiple of 8", runBits)
+	}
+	if !channel.Valid() {
+		return nil, SoundingLayout{}, fmt.Errorf("ble: invalid channel %d", channel)
+	}
+	runBytes := runBits / 8
+	payloadLen := 2 * runBytes
+	if payloadLen > MaxPayload {
+		return nil, SoundingLayout{}, fmt.Errorf("ble: sounding payload %d exceeds max %d", payloadLen, MaxPayload)
+	}
+	// Desired on-air payload: runBytes of 0x00 then runBytes of 0xFF.
+	desired := make([]byte, payloadLen)
+	for i := runBytes; i < payloadLen; i++ {
+		desired[i] = 0xFF
+	}
+	// Whitening keystream over the PDU: whiten a zero buffer of the full
+	// PDU length (header + payload) and slice out the payload region.
+	keystream := Whiten(channel, make([]byte, 2+payloadLen))
+	payload := make([]byte, payloadLen)
+	for i := range payload {
+		payload[i] = desired[i] ^ keystream[2+i]
+	}
+	pdu := &DataPDU{LLID: LLIDStart, Payload: payload}
+	layout := SoundingLayout{
+		ZeroRunStart: 2 * 8, // runs start right after the 2-byte header
+		ZeroRunLen:   runBits,
+		OneRunStart:  2*8 + runBits,
+		OneRunLen:    runBits,
+	}
+	return pdu, layout, nil
+}
+
+// SoundingPacket wraps SoundingPDU into a full link-layer packet and
+// returns the layout adjusted to absolute air-bit offsets (including
+// preamble and access address).
+func SoundingPacket(access AccessAddress, channel ChannelIndex, runBits int) (*Packet, SoundingLayout, error) {
+	pdu, layout, err := SoundingPDU(channel, runBits)
+	if err != nil {
+		return nil, SoundingLayout{}, err
+	}
+	const headerBits = (1 + 4) * 8 // preamble + access address
+	layout.ZeroRunStart += headerBits
+	layout.OneRunStart += headerBits
+	return &Packet{Access: access, Channel: channel, PDU: pdu}, layout, nil
+}
+
+// StableRegion returns the [start, end) air-bit range within a run that is
+// safely settled: margin bits are trimmed from both ends to let the
+// Gaussian filter converge. It panics if the margin leaves nothing.
+func StableRegion(runStart, runLen, margin int) (start, end int) {
+	start = runStart + margin
+	end = runStart + runLen - margin
+	if end <= start {
+		panic(fmt.Sprintf("ble: margin %d too large for run of %d bits", margin, runLen))
+	}
+	return start, end
+}

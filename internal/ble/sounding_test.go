@@ -1,0 +1,132 @@
+package ble
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSoundingPDUAirPattern(t *testing.T) {
+	// The defining property: after whitening, the payload region on air is
+	// exactly runBits zeros followed by runBits ones.
+	for _, ch := range []ChannelIndex{0, 13, 36} {
+		pdu, layout, err := SoundingPDU(ch, DefaultRunBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := pdu.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		framed := AppendCRC(raw)
+		air := Whiten(ch, framed)
+		bits := BytesToBits(air)
+		for i := 0; i < layout.ZeroRunLen; i++ {
+			if bits[layout.ZeroRunStart+i] != 0 {
+				t.Fatalf("ch %d: air bit %d of zero-run is %d", ch, i, bits[layout.ZeroRunStart+i])
+			}
+		}
+		for i := 0; i < layout.OneRunLen; i++ {
+			if bits[layout.OneRunStart+i] != 1 {
+				t.Fatalf("ch %d: air bit %d of one-run is %d", ch, i, bits[layout.OneRunStart+i])
+			}
+		}
+	}
+}
+
+func TestSoundingPDUIsValidPacket(t *testing.T) {
+	// Sounding packets must remain standard, parseable BLE packets.
+	pdu, _, err := SoundingPDU(7, DefaultRunBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &Packet{Access: 0x8E89BED6 ^ 0x1010, Channel: 7, PDU: pdu}
+	air, err := pkt.AirBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAir(7, air)
+	if err != nil {
+		t.Fatalf("sounding packet failed to parse: %v", err)
+	}
+	if len(got.PDU.Payload) != 2*DefaultRunBits/8 {
+		t.Errorf("payload length %d", len(got.PDU.Payload))
+	}
+}
+
+func TestSoundingPacketLayoutOffsets(t *testing.T) {
+	pkt, layout, err := SoundingPacket(0x12345678, 3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	airBits, err := pkt.AirBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the absolute offsets point at the settled runs.
+	for i := 0; i < layout.ZeroRunLen; i++ {
+		if airBits[layout.ZeroRunStart+i] != 0 {
+			t.Fatalf("absolute zero-run offset wrong at %d", i)
+		}
+	}
+	for i := 0; i < layout.OneRunLen; i++ {
+		if airBits[layout.OneRunStart+i] != 1 {
+			t.Fatalf("absolute one-run offset wrong at %d", i)
+		}
+	}
+}
+
+func TestSoundingModulatedTonesSettle(t *testing.T) {
+	// End to end (§4, Fig. 4b): the modulated sounding packet must hold a
+	// stable tone at −deviation during the zero run and +deviation during
+	// the one run, with generous margins for filter settling.
+	const sps = 8
+	pkt, layout, err := SoundingPacket(0x3141592F, 21, DefaultRunBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := pkt.AirBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModulator(sps)
+	iq := m.Modulate(bits)
+	track := m.FrequencyTrack(iq)
+
+	check := func(runStart, runLen int, want float64) {
+		s, e := StableRegion(runStart, runLen, 4)
+		for bit := s; bit < e; bit++ {
+			for sub := 0; sub < sps; sub++ {
+				v := track[bit*sps+sub]
+				if math.Abs(v-want) > 0.02 {
+					t.Fatalf("bit %d sample %d: deviation %v, want %v", bit, sub, v, want)
+				}
+			}
+		}
+	}
+	check(layout.ZeroRunStart, layout.ZeroRunLen, -1)
+	check(layout.OneRunStart, layout.OneRunLen, +1)
+}
+
+func TestSoundingErrors(t *testing.T) {
+	if _, _, err := SoundingPDU(0, 0); err == nil {
+		t.Error("zero runBits should fail")
+	}
+	if _, _, err := SoundingPDU(0, 12); err == nil {
+		t.Error("non-multiple-of-8 runBits should fail")
+	}
+	if _, _, err := SoundingPDU(0, 8*200); err == nil {
+		t.Error("oversized runs should fail")
+	}
+	if _, _, err := SoundingPDU(41, 40); err == nil {
+		t.Error("invalid channel should fail")
+	}
+}
+
+func TestStableRegionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("margin consuming the whole run should panic")
+		}
+	}()
+	StableRegion(0, 10, 5)
+}

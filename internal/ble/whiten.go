@@ -1,0 +1,36 @@
+package ble
+
+// Data whitening as specified for the BLE link layer (Core Spec Vol 6,
+// Part B, §3.2): a 7-bit LFSR with polynomial x⁷ + x⁴ + 1. Position 0 is
+// initialized to 1 and positions 1–6 hold the channel index, MSB in
+// position 1. The output bit is taken from position 6 and XORed onto the
+// PDU and CRC bits, LSB of each byte first. Whitening is an XOR with a
+// data-independent keystream and is therefore its own inverse: the same
+// function both whitens and de-whitens.
+
+// Whiten XORs the BLE whitening sequence for the given channel onto data,
+// returning a new slice. Applying it twice returns the original data.
+func Whiten(channel ChannelIndex, data []byte) []byte {
+	// reg[0] .. reg[6] are LFSR positions 0..6.
+	var reg [7]byte
+	reg[0] = 1
+	for i := 0; i < 6; i++ {
+		// Position 1 holds the channel index MSB (bit 5), position 6 the LSB.
+		reg[1+i] = byte(channel>>(5-i)) & 1
+	}
+	out := make([]byte, len(data))
+	for i, b := range data {
+		var ob byte
+		for bit := 0; bit < 8; bit++ {
+			w := reg[6]
+			ob |= (((b >> bit) & 1) ^ w) << bit
+			// Shift: p0 ← p6, p4 ← p3 ⊕ p6, pi ← p(i−1) otherwise.
+			fb := reg[6]
+			copy(reg[1:], reg[:6])
+			reg[0] = fb
+			reg[4] ^= fb
+		}
+		out[i] = ob
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"bloc/internal/ble"
+	"bloc/internal/csi"
+)
+
+// synthSnapshot builds a snapshot with known true channels and random LO
+// offsets per band, returning both the garbled snapshot and the true
+// channels (tag and master legs).
+func synthSnapshot(t *testing.T, seed uint64) (garbled *csi.Snapshot, truth *csi.Snapshot) {
+	t.Helper()
+	bands := ble.DataChannels()[:8]
+	const I, J = 3, 4
+	rng := rand.New(rand.NewPCG(seed, 0))
+	garbled = csi.NewSnapshot(bands, I, J)
+	truth = csi.NewSnapshot(bands, I, J)
+	for k := range bands {
+		// Per-band random offsets: tag and one per anchor.
+		phiT := rng.Float64() * 2 * math.Pi
+		phiR := make([]float64, I)
+		for i := range phiR {
+			phiR[i] = rng.Float64() * 2 * math.Pi
+		}
+		for i := 0; i < I; i++ {
+			for j := 0; j < J; j++ {
+				h := cmplx.Rect(0.1+rng.Float64(), rng.Float64()*2*math.Pi)
+				truth.Tag[k][i][j] = h
+				garbled.Tag[k][i][j] = h * cmplx.Rect(1, phiT-phiR[i])
+			}
+			if i > 0 {
+				H := cmplx.Rect(0.1+rng.Float64(), rng.Float64()*2*math.Pi)
+				truth.Master[k][i] = H
+				garbled.Master[k][i] = H * cmplx.Rect(1, phiR[0]-phiR[i])
+			}
+		}
+	}
+	return garbled, truth
+}
+
+func TestCorrectCancelsOffsetsExactly(t *testing.T) {
+	// Eq. 10: α from the garbled snapshot must equal the same product
+	// computed from the true channels — the offsets vanish identically.
+	garbled, truth := synthSnapshot(t, 42)
+	aG, err := Correct(garbled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aT, err := Correct(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range aG.Values {
+		for i := range aG.Values[k] {
+			for j := range aG.Values[k][i] {
+				g, w := aG.Values[k][i][j], aT.Values[k][i][j]
+				if cmplx.Abs(g-w) > 1e-12*(1+cmplx.Abs(w)) {
+					t.Fatalf("band %d anchor %d ant %d: α garbled %v != true %v", k, i, j, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestCorrectMasterAnchorPairwiseCancellation(t *testing.T) {
+	// For the master (i=0), Master[k][0] = 1 and the tag/master offsets
+	// cancel pairwise: α_0j = h_0j·h*_00 with no residual rotation.
+	garbled, truth := synthSnapshot(t, 7)
+	a, err := Correct(garbled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Values {
+		want := truth.Tag[k][0][1] * cmplx.Conj(truth.Tag[k][0][0])
+		got := a.Values[k][0][1]
+		if cmplx.Abs(got-want) > 1e-12 {
+			t.Fatalf("band %d: master α %v != %v", k, got, want)
+		}
+		// And α_00 = |h_00|² is real non-negative.
+		a00 := a.Values[k][0][0]
+		if math.Abs(imag(a00)) > 1e-15 || real(a00) < 0 {
+			t.Fatalf("band %d: α_00 = %v not real non-negative", k, a00)
+		}
+	}
+}
+
+func TestCorrectPreservesRelativeAntennaPhase(t *testing.T) {
+	// The correction multiplies all antennas of one anchor by the same
+	// factor (§5.3 "Effect on Angle Measurements"): the j-to-0 phase
+	// ratios of α must equal those of the raw measurement.
+	garbled, _ := synthSnapshot(t, 99)
+	a, err := Correct(garbled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Values {
+		for i := 0; i < 3; i++ {
+			for j := 1; j < 4; j++ {
+				rawRatio := garbled.Tag[k][i][j] / garbled.Tag[k][i][0]
+				corRatio := a.Values[k][i][j] / a.Values[k][i][0]
+				if cmplx.Abs(rawRatio-corRatio) > 1e-9 {
+					t.Fatalf("band %d anchor %d: antenna ratio changed by correction", k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCorrectRejectsInvalidSnapshot(t *testing.T) {
+	if _, err := Correct(&csi.Snapshot{}); err == nil {
+		t.Error("Correct accepted an empty snapshot")
+	}
+}
+
+func TestAlphaDims(t *testing.T) {
+	g, _ := synthSnapshot(t, 1)
+	a, err := Correct(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumBands() != 8 || a.NumAnchors() != 3 || a.NumAntennas() != 4 {
+		t.Errorf("dims = (%d, %d, %d)", a.NumBands(), a.NumAnchors(), a.NumAntennas())
+	}
+	empty := &Alpha{}
+	if empty.NumBands() != 0 || empty.NumAnchors() != 0 || empty.NumAntennas() != 0 {
+		t.Error("empty alpha dims nonzero")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"bloc/internal/csi"
+	"bloc/internal/dsp"
+	"bloc/internal/geom"
+	"bloc/internal/rfsim"
+)
+
+// Array self-calibration (extension beyond the paper): real arrays carry
+// static per-antenna phase errors (cable mismatch, mutual coupling) that
+// bias every angle estimate. Because the anchors' mutual geometry is
+// known a priori — the same fact §5.3 uses for d^{i0}_{00} — each anchor
+// can calibrate itself from another anchor's transmissions: the expected
+// inter-antenna phase for a transmitter at a known position is pure
+// geometry, so the residual is the calibration error.
+
+// Calibration holds per-anchor, per-antenna correction rotors: multiply a
+// measured channel by Rotors[i][j] to undo antenna j's static error
+// (relative to antenna 0, whose rotor is 1 — a common per-anchor phase is
+// invisible to the pipeline).
+type Calibration struct {
+	Rotors [][]complex128
+}
+
+// EstimateCalibration computes the calibration from reference
+// measurements: meas[k][i][j] is the channel from a transmitter at
+// txPos[i] to antenna j of anchor i on band k (frequency freqs[k]). LO
+// offsets are common across an anchor's antennas and cancel in the j/0
+// ratios; the per-band residuals are averaged circularly across bands to
+// suppress multipath on the reference links.
+func EstimateCalibration(anchors []geom.Array, txPos []geom.Point, freqs []float64, meas [][][]complex128) (*Calibration, error) {
+	I := len(anchors)
+	if len(txPos) != I {
+		return nil, fmt.Errorf("core: %d tx positions for %d anchors", len(txPos), I)
+	}
+	if len(meas) == 0 || len(meas) != len(freqs) {
+		return nil, fmt.Errorf("core: %d measurement bands for %d frequencies", len(meas), len(freqs))
+	}
+	cal := &Calibration{Rotors: make([][]complex128, I)}
+	for i := 0; i < I; i++ {
+		J := anchors[i].N
+		rotors := make([]complex128, J)
+		rotors[0] = 1
+		for j := 1; j < J; j++ {
+			phases := make([]float64, 0, len(freqs))
+			for k := range freqs {
+				if i >= len(meas[k]) || j >= len(meas[k][i]) {
+					return nil, fmt.Errorf("core: measurement missing for anchor %d antenna %d band %d", i, j, k)
+				}
+				m0, mj := meas[k][i][0], meas[k][i][j]
+				if cmplx.Abs(m0) == 0 || cmplx.Abs(mj) == 0 {
+					continue
+				}
+				// Expected geometric ratio between antenna j and 0.
+				w := 2 * math.Pi * freqs[k] / rfsim.SpeedOfLight
+				dj := txPos[i].Dist(anchors[i].Antenna(j))
+				d0 := txPos[i].Dist(anchors[i].Antenna(0))
+				expected := cmplx.Rect(1, -w*(dj-d0))
+				// Residual rotation = measured ratio / expected ratio; its
+				// phase is antenna j's error relative to antenna 0.
+				residual := (mj / m0) / expected
+				phases = append(phases, cmplx.Phase(residual))
+			}
+			if len(phases) == 0 {
+				return nil, fmt.Errorf("core: no usable reference measurements for anchor %d antenna %d", i, j)
+			}
+			mean, resultant := dsp.CircularMean(phases)
+			if resultant < 0.3 {
+				return nil, fmt.Errorf("core: calibration for anchor %d antenna %d is unstable (resultant %.2f)", i, j, resultant)
+			}
+			// Correction rotor undoes the error.
+			rotors[j] = cmplx.Rect(1, -mean)
+		}
+		cal.Rotors[i] = rotors
+	}
+	return cal, nil
+}
+
+// Apply returns a copy of the snapshot with the calibration applied to
+// every tag-side channel (master-side channels are measured on antenna 0,
+// whose rotor is 1 by construction).
+func (c *Calibration) Apply(s *csi.Snapshot) (*csi.Snapshot, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.NumAnchors() != len(c.Rotors) {
+		return nil, fmt.Errorf("core: calibration has %d anchors, snapshot %d", len(c.Rotors), s.NumAnchors())
+	}
+	out := csi.NewSnapshot(s.Bands, s.NumAnchors(), s.NumAntennas())
+	for k := range s.Bands {
+		for i := range s.Tag[k] {
+			if len(c.Rotors[i]) < len(s.Tag[k][i]) {
+				return nil, fmt.Errorf("core: calibration for anchor %d covers %d antennas, snapshot has %d",
+					i, len(c.Rotors[i]), len(s.Tag[k][i]))
+			}
+			for j := range s.Tag[k][i] {
+				out.Tag[k][i][j] = s.Tag[k][i][j] * c.Rotors[i][j]
+			}
+			out.Master[k][i] = s.Master[k][i]
+		}
+	}
+	return out, nil
+}
+
+// MaxErrorDeg returns the largest correction magnitude in degrees — a
+// health indicator for how miscalibrated the deployment was.
+func (c *Calibration) MaxErrorDeg() float64 {
+	var worst float64
+	for _, anchor := range c.Rotors {
+		for _, r := range anchor {
+			if p := math.Abs(cmplx.Phase(r)); p > worst {
+				worst = p
+			}
+		}
+	}
+	return worst * 180 / math.Pi
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"bloc/internal/geom"
+)
+
+// Config holds the tunable parameters of the localization engine. The
+// defaults reproduce §7: score weights a = 0.1, b = 0.05 and a circular
+// 7×7 entropy window.
+type Config struct {
+	// Room bounds the XY search grid.
+	Room geom.Rect
+	// CellM is the XY grid cell size in meters.
+	CellM float64
+	// ThetaStepDeg is the angular resolution of the polar likelihood.
+	ThetaStepDeg float64
+	// DeltaStepM is the relative-distance resolution of the polar
+	// likelihood.
+	DeltaStepM float64
+	// ScoreA and ScoreB weight distance and entropy in Eq. 18.
+	ScoreA, ScoreB float64
+	// EntropyWindow is the circular neighborhood diameter (in window
+	// samples) for the peak entropy H; EntropyStride is the spacing in
+	// grid cells between window samples, scaling the window's physical
+	// footprint (7 samples × stride 4 × 5 cm cells ≈ a 1.4 m
+	// neighborhood).
+	EntropyWindow int
+	EntropyStride int
+	// PeakMinFrac drops likelihood peaks below this fraction of the
+	// global maximum.
+	PeakMinFrac float64
+	// PeakMinSepCells suppresses peaks within this Chebyshev distance of
+	// a stronger peak.
+	PeakMinSepCells int
+	// NormalizePerAnchor scales each anchor's XY likelihood to unit
+	// maximum before summing, so near anchors do not drown far ones.
+	NormalizePerAnchor bool
+}
+
+// DefaultConfig returns the paper's parameters for the given room.
+func DefaultConfig(room geom.Rect) Config {
+	return Config{
+		Room:               room,
+		CellM:              0.05,
+		ThetaStepDeg:       1.0,
+		DeltaStepM:         0.05,
+		ScoreA:             0.1,
+		ScoreB:             0.05,
+		EntropyWindow:      7,
+		EntropyStride:      4,
+		PeakMinFrac:        0.5,
+		PeakMinSepCells:    4,
+		NormalizePerAnchor: true,
+	}
+}
+
+// Engine localizes tags from corrected channels for a fixed anchor
+// deployment. It precomputes the geometry-dependent tables once and can
+// then process many snapshots.
+type Engine struct {
+	cfg     Config
+	anchors []geom.Array
+
+	thetas []float64 // polar θ grid, radians
+	deltas []float64 // polar Δd grid, meters (relative distance d_i0T − d_00T)
+
+	// anchorDist[i] is d^{i0}_{00}: antenna 0 of anchor i to antenna 0 of
+	// the master — known at deployment time (§5.3).
+	anchorDist []float64
+
+	// XY grid geometry.
+	nx, ny int
+	x0, y0 float64
+}
+
+// NewEngine validates the configuration and precomputes grids.
+func NewEngine(anchors []geom.Array, cfg Config) (*Engine, error) {
+	if len(anchors) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 anchors, got %d", len(anchors))
+	}
+	if cfg.CellM <= 0 || cfg.ThetaStepDeg <= 0 || cfg.DeltaStepM <= 0 {
+		return nil, fmt.Errorf("core: non-positive grid resolution in config")
+	}
+	if cfg.Room.Width() <= 0 || cfg.Room.Height() <= 0 {
+		return nil, fmt.Errorf("core: degenerate room %v", cfg.Room)
+	}
+	if cfg.EntropyWindow < 3 {
+		return nil, fmt.Errorf("core: entropy window %d too small", cfg.EntropyWindow)
+	}
+	if cfg.EntropyStride < 1 {
+		return nil, fmt.Errorf("core: entropy stride %d must be positive", cfg.EntropyStride)
+	}
+	e := &Engine{cfg: cfg, anchors: anchors}
+
+	// θ grid spans the front half-plane of each array.
+	step := geom.Rad(cfg.ThetaStepDeg)
+	for t := -math.Pi / 2; t <= math.Pi/2+1e-9; t += step {
+		e.thetas = append(e.thetas, t)
+	}
+
+	// Δd grid: relative distances are bounded by the room diagonal (the
+	// triangle inequality: |d_i − d_0| ≤ |anchor_i − anchor_0| ≤ diag,
+	// and candidate points inside the room keep |Δ| under the diagonal).
+	diag := math.Hypot(cfg.Room.Width(), cfg.Room.Height())
+	for d := -diag; d <= diag+1e-9; d += cfg.DeltaStepM {
+		e.deltas = append(e.deltas, d)
+	}
+
+	e.anchorDist = make([]float64, len(anchors))
+	m0 := anchors[0].Antenna(0)
+	for i, a := range anchors {
+		e.anchorDist[i] = a.Antenna(0).Dist(m0)
+	}
+
+	e.nx = int(math.Ceil(cfg.Room.Width()/cfg.CellM)) + 1
+	e.ny = int(math.Ceil(cfg.Room.Height()/cfg.CellM)) + 1
+	e.x0, e.y0 = cfg.Room.Min.X, cfg.Room.Min.Y
+	return e, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Anchors returns the deployment geometry.
+func (e *Engine) Anchors() []geom.Array { return e.anchors }
+
+// GridSize returns the XY grid dimensions.
+func (e *Engine) GridSize() (nx, ny int) { return e.nx, e.ny }
+
+// CellCenter returns the room coordinates of cell (ix, iy).
+func (e *Engine) CellCenter(ix, iy int) geom.Point {
+	return geom.Pt(e.x0+float64(ix)*e.cfg.CellM, e.y0+float64(iy)*e.cfg.CellM)
+}
+
+// cellOf returns fractional cell coordinates of a point.
+func (e *Engine) cellOf(p geom.Point) (fx, fy float64) {
+	return (p.X - e.x0) / e.cfg.CellM, (p.Y - e.y0) / e.cfg.CellM
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"bloc/internal/csi"
+	"bloc/internal/dsp"
+	"bloc/internal/geom"
+)
+
+// Result is a localization outcome.
+type Result struct {
+	Estimate   geom.Point  // the reported tag position
+	Candidates []Candidate // every scored likelihood peak
+	Likelihood *dsp.Grid   // the combined XY likelihood (shared, do not mutate)
+}
+
+// Locate runs the full BLoc pipeline on a snapshot: offset correction,
+// joint likelihood, peak scoring with Eq. 18.
+func (e *Engine) Locate(s *csi.Snapshot) (*Result, error) {
+	a, err := Correct(s)
+	if err != nil {
+		return nil, err
+	}
+	return e.LocateAlpha(a)
+}
+
+// LocateAlpha runs the BLoc pipeline on already-corrected channels.
+func (e *Engine) LocateAlpha(a *Alpha) (*Result, error) {
+	if err := e.checkAlpha(a); err != nil {
+		return nil, err
+	}
+	grid, _ := e.Likelihood(a)
+	cands := e.candidates(grid)
+	best, ok := bestByScore(cands)
+	if !ok {
+		return nil, fmt.Errorf("core: no likelihood peaks found")
+	}
+	return &Result{Estimate: best.Loc, Candidates: cands, Likelihood: grid}, nil
+}
+
+// LocateShortestDistance is the §8.7 ablation: the same likelihood, but
+// the direct path is chosen as the peak with the smallest total distance,
+// without the entropy/score machinery.
+func (e *Engine) LocateShortestDistance(s *csi.Snapshot) (*Result, error) {
+	a, err := Correct(s)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.checkAlpha(a); err != nil {
+		return nil, err
+	}
+	grid, _ := e.Likelihood(a)
+	cands := e.candidates(grid)
+	best, ok := bestByShortestDistance(cands)
+	if !ok {
+		return nil, fmt.Errorf("core: no likelihood peaks found")
+	}
+	return &Result{Estimate: best.Loc, Candidates: cands, Likelihood: grid}, nil
+}
+
+// LocateAoA is the paper's baseline (§7, §8.2): AoA-combining in the
+// spirit of ArrayTrack/SpotFi. Each anchor estimates one angle of arrival
+// — the strongest direction of its angular spectrum (Eq. 15, averaged
+// over bands; the least-ToF path selection those Wi-Fi systems use is
+// unavailable because BLE's cross-band phase is garbled) — and the
+// bearings are triangulated by a least-squares grid search. When any
+// anchor locks onto a reflection instead of the direct path, the fix is
+// dragged away, which is exactly why this baseline suffers in multipath.
+func (e *Engine) LocateAoA(s *csi.Snapshot) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.NumAnchors() != len(e.anchors) {
+		return nil, fmt.Errorf("core: snapshot has %d anchors, engine %d", s.NumAnchors(), len(e.anchors))
+	}
+	I := s.NumAnchors()
+	bearings := make([]float64, I)
+	for i := 0; i < I; i++ {
+		spec := e.angleSpectrum(s.Freqs, s.Tag, i)
+		bearings[i] = e.thetas[dsp.ArgMax(spec)]
+	}
+	// Triangulate: minimize the sum of squared wrapped angle residuals.
+	grid := dsp.NewGrid(e.nx, e.ny)
+	best := math.Inf(1)
+	bx, by := 0, 0
+	for iy := 0; iy < e.ny; iy++ {
+		for ix := 0; ix < e.nx; ix++ {
+			p := e.CellCenter(ix, iy)
+			var res float64
+			for i, a := range e.anchors {
+				d := geom.WrapAngle(a.AngleTo(p) - bearings[i])
+				res += d * d
+			}
+			grid.Set(ix, iy, -res)
+			if res < best {
+				best, bx, by = res, ix, iy
+			}
+		}
+	}
+	return &Result{Estimate: e.CellCenter(bx, by), Likelihood: grid}, nil
+}
+
+// LocateAoASoft is a strengthened variant of the AoA baseline (an
+// extension beyond the paper): instead of committing to one bearing per
+// anchor, every anchor's full angular spectrum is painted over the XY
+// grid and the maps are summed, so secondary lobes still vote. It is used
+// by the ablation benches to show how much of BLoc's advantage survives
+// against a more generous baseline.
+func (e *Engine) LocateAoASoft(s *csi.Snapshot) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.NumAnchors() != len(e.anchors) {
+		return nil, fmt.Errorf("core: snapshot has %d anchors, engine %d", s.NumAnchors(), len(e.anchors))
+	}
+	combined := dsp.NewGrid(e.nx, e.ny)
+	for i := 0; i < s.NumAnchors(); i++ {
+		spec := e.angleSpectrum(s.Freqs, s.Tag, i)
+		xy := e.angleSpectrumToXY(spec, i)
+		if e.cfg.NormalizePerAnchor {
+			xy.Normalize()
+		}
+		combined.AddGrid(xy)
+	}
+	_, ix, iy := combined.Max()
+	return &Result{
+		Estimate:   e.CellCenter(ix, iy),
+		Likelihood: combined,
+	}, nil
+}
+
+// LocateRSSI is a signal-strength trilateration baseline (§9.2 context):
+// per anchor, the tag distance is inverted from the mean channel
+// magnitude using the free-space model |h| = 1/d, then the point
+// minimizing the squared range residuals over the grid is reported.
+// Multipath fading corrupts |h| directly, which is the weakness the paper
+// ascribes to RSSI methods (§2.2).
+func (e *Engine) LocateRSSI(s *csi.Snapshot) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.NumAnchors() != len(e.anchors) {
+		return nil, fmt.Errorf("core: snapshot has %d anchors, engine %d", s.NumAnchors(), len(e.anchors))
+	}
+	I := s.NumAnchors()
+	ranges := make([]float64, I)
+	for i := 0; i < I; i++ {
+		var amp float64
+		n := 0
+		for k := range s.Tag {
+			for j := range s.Tag[k][i] {
+				amp += cmplx.Abs(s.Tag[k][i][j])
+				n++
+			}
+		}
+		amp /= float64(n)
+		if amp <= 0 {
+			return nil, fmt.Errorf("core: anchor %d has zero RSSI", i)
+		}
+		ranges[i] = 1 / amp
+	}
+	// Grid search: maximize the negative residual sum (stored as a
+	// likelihood so the Result shape matches the other estimators).
+	grid := dsp.NewGrid(e.nx, e.ny)
+	best := math.Inf(1)
+	bx, by := 0, 0
+	for iy := 0; iy < e.ny; iy++ {
+		for ix := 0; ix < e.nx; ix++ {
+			p := e.CellCenter(ix, iy)
+			var res float64
+			for i, a := range e.anchors {
+				d := p.Dist(a.Center()) - ranges[i]
+				res += d * d
+			}
+			grid.Set(ix, iy, -res)
+			if res < best {
+				best, bx, by = res, ix, iy
+			}
+		}
+	}
+	return &Result{Estimate: e.CellCenter(bx, by), Likelihood: grid}, nil
+}
+
+// checkAlpha validates alpha dimensions against the engine.
+func (e *Engine) checkAlpha(a *Alpha) error {
+	if a.NumAnchors() != len(e.anchors) {
+		return fmt.Errorf("core: alpha has %d anchors, engine %d", a.NumAnchors(), len(e.anchors))
+	}
+	if a.NumBands() == 0 || a.NumAntennas() == 0 {
+		return fmt.Errorf("core: empty alpha")
+	}
+	return nil
+}
+
+// LocateCTE is a Bluetooth 5.1 direction-finding estimator (extension
+// beyond the paper, which predates CTE): every anchor supplies the
+// per-antenna relative channels recovered from one constant-tone
+// acquisition on a single band; the strongest Bartlett direction per
+// anchor is triangulated like LocateAoA. CTE gives BLE a clean,
+// standardized angle measurement — but a single 2 MHz tone carries no
+// usable distance information, so the estimator inherits AoA's
+// multipath blindness, which is the comparison's point.
+func (e *Engine) LocateCTE(freqHz float64, perAnchor [][]complex128) (*Result, error) {
+	if len(perAnchor) != len(e.anchors) {
+		return nil, fmt.Errorf("core: CTE data for %d anchors, engine has %d", len(perAnchor), len(e.anchors))
+	}
+	values := [][][]complex128{perAnchor} // one band
+	freqs := []float64{freqHz}
+	I := len(e.anchors)
+	bearings := make([]float64, I)
+	for i := 0; i < I; i++ {
+		if len(perAnchor[i]) < 2 {
+			return nil, fmt.Errorf("core: anchor %d has %d CTE antennas", i, len(perAnchor[i]))
+		}
+		spec := e.angleSpectrum(freqs, values, i)
+		bearings[i] = e.thetas[dsp.ArgMax(spec)]
+	}
+	grid := dsp.NewGrid(e.nx, e.ny)
+	best := math.Inf(1)
+	bx, by := 0, 0
+	for iy := 0; iy < e.ny; iy++ {
+		for ix := 0; ix < e.nx; ix++ {
+			p := e.CellCenter(ix, iy)
+			var res float64
+			for i, a := range e.anchors {
+				d := geom.WrapAngle(a.AngleTo(p) - bearings[i])
+				res += d * d
+			}
+			grid.Set(ix, iy, -res)
+			if res < best {
+				best, bx, by = res, ix, iy
+			}
+		}
+	}
+	return &Result{Estimate: e.CellCenter(bx, by), Likelihood: grid}, nil
+}

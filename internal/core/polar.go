@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+
+	"bloc/internal/dsp"
+	"bloc/internal/rfsim"
+)
+
+// polarLikelihood evaluates the paper's Eq. 17 for one anchor on the
+// engine's (θ, Δd) grid:
+//
+//	P_i(θ, Δ) = | Σ_j Σ_k α_jk · e^{−ι w_k j l sinθ} · e^{+ι w_k (Δ − D_i)} |
+//
+// with w_k = 2π f_k / c and D_i the known anchor-to-master distance. The
+// angle factor compensates the per-antenna path difference (with this
+// repository's geometry, antenna j is closer to a target at positive θ by
+// j·l·sinθ, hence the negative sign), and the distance factor compensates
+// the relative-distance phase of Eq. 14, so all terms add coherently at
+// the true (θ, Δ) of a propagation path.
+//
+// The computation is factorized: B(θ, k) = Σ_j α_jk·e^{−ι w_k j l sinθ}
+// first (cheap), then P(θ, ·) = |E^T B(θ, ·)| with a precomputed steering
+// matrix E(k, Δ) — the hot loop is a dense complex matrix product.
+//
+// The returned grid has W = len(deltas) columns and H = len(thetas) rows.
+func (e *Engine) polarLikelihood(a *Alpha, anchor int) *dsp.Grid {
+	T, D, K := len(e.thetas), len(e.deltas), a.NumBands()
+	J := a.NumAntennas()
+	l := e.anchors[anchor].Spacing
+
+	// Angular frequency per band.
+	w := make([]float64, K)
+	for k := 0; k < K; k++ {
+		w[k] = 2 * math.Pi * a.Freqs[k] / rfsim.SpeedOfLight
+	}
+
+	// Distance steering matrix E[k][d] = e^{+ι w_k (Δ_d − D_i)}, laid out
+	// row-per-band so the inner loop walks contiguous memory.
+	E := make([][]complex128, K)
+	for k := 0; k < K; k++ {
+		row := make([]complex128, D)
+		for d, delta := range e.deltas {
+			s, c := math.Sincos(w[k] * (delta - e.anchorDist[anchor]))
+			row[d] = complex(c, s)
+		}
+		E[k] = row
+	}
+
+	grid := dsp.NewGrid(D, T)
+	acc := make([]complex128, D)
+	for t, theta := range e.thetas {
+		sinT := math.Sin(theta)
+		for d := range acc {
+			acc[d] = 0
+		}
+		for k := 0; k < K; k++ {
+			// B(θ, k) = Σ_j α_jk · e^{−ι w_k j l sinθ}, built by repeated
+			// multiplication with the per-antenna rotation.
+			stepS, stepC := math.Sincos(-w[k] * l * sinT)
+			step := complex(stepC, stepS)
+			rot := complex(1, 0)
+			var b complex128
+			av := a.Values[k][anchor]
+			for j := 0; j < J; j++ {
+				b += av[j] * rot
+				rot *= step
+			}
+			if b == 0 {
+				continue
+			}
+			row := E[k]
+			for d := 0; d < D; d++ {
+				acc[d] += b * row[d]
+			}
+		}
+		rowOut := grid.Data[t*D : (t+1)*D]
+		for d := 0; d < D; d++ {
+			rowOut[d] = cmplx.Abs(acc[d])
+		}
+	}
+	return grid
+}
+
+// angleSpectrum evaluates Eq. 15 for one anchor: the per-band angular
+// spectra Pa(θ) = |Σ_j α_jk e^{−ι w_k j l sinθ}|, summed incoherently over
+// bands (no cross-band phase is needed for angle, which is why AoA works
+// even without offset correction). values may be the corrected α or raw
+// measured channels — the per-anchor LO offset is common to all antennas
+// and cancels in the magnitude.
+func (e *Engine) angleSpectrum(freqs []float64, values [][][]complex128, anchor int) []float64 {
+	T := len(e.thetas)
+	K := len(values)
+	l := e.anchors[anchor].Spacing
+	out := make([]float64, T)
+	for t, theta := range e.thetas {
+		sinT := math.Sin(theta)
+		var sum float64
+		for k := 0; k < K; k++ {
+			w := 2 * math.Pi * freqs[k] / rfsim.SpeedOfLight
+			stepS, stepC := math.Sincos(-w * l * sinT)
+			step := complex(stepC, stepS)
+			rot := complex(1, 0)
+			var b complex128
+			row := values[k][anchor]
+			for j := range row {
+				b += row[j] * rot
+				rot *= step
+			}
+			sum += cmplx.Abs(b)
+		}
+		out[t] = sum
+	}
+	return out
+}
+
+// distanceSpectrum evaluates Eq. 16 for one anchor: the relative-distance
+// profile |Σ_k α_jk·e^{+ι w_k (Δ − D_i)}| summed incoherently over
+// antennas. This is the "hyperbola" component of Fig. 6b.
+func (e *Engine) distanceSpectrum(a *Alpha, anchor int) []float64 {
+	D := len(e.deltas)
+	K := a.NumBands()
+	J := a.NumAntennas()
+	out := make([]float64, D)
+	for d, delta := range e.deltas {
+		for j := 0; j < J; j++ {
+			var acc complex128
+			for k := 0; k < K; k++ {
+				w := 2 * math.Pi * a.Freqs[k] / rfsim.SpeedOfLight
+				s, c := math.Sincos(w * (delta - e.anchorDist[anchor]))
+				acc += a.Values[k][anchor][j] * complex(c, s)
+			}
+			out[d] += cmplx.Abs(acc)
+		}
+	}
+	return out
+}

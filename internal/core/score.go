@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+
+	"bloc/internal/dsp"
+	"bloc/internal/geom"
+)
+
+// Candidate is one likelihood peak with the quantities Eq. 18 combines.
+type Candidate struct {
+	Loc       geom.Point // room coordinates of the peak
+	PeakValue float64    // p_x: joint likelihood at the peak
+	Entropy   float64    // H: spatial negentropy of the 7×7 neighborhood
+	SumDist   float64    // Σ_i d_i: total distance from all anchors
+	Score     float64    // s_x = p_x · e^{bH − aΣd}
+}
+
+// candidates extracts likelihood peaks and computes their Eq. 18 scores.
+func (e *Engine) candidates(grid *dsp.Grid) []Candidate {
+	peaks := grid.FindPeaks(e.cfg.PeakMinFrac, e.cfg.PeakMinSepCells)
+	out := make([]Candidate, 0, len(peaks))
+	for _, p := range peaks {
+		loc := e.GridPoint(p)
+		var sumDist float64
+		for _, a := range e.anchors {
+			sumDist += loc.Dist(a.Center())
+		}
+		h := grid.PeakNegentropy(p.IX, p.IY, e.cfg.EntropyWindow, e.cfg.EntropyStride)
+		score := p.Value * math.Exp(e.cfg.ScoreB*h-e.cfg.ScoreA*sumDist)
+		out = append(out, Candidate{
+			Loc:       loc,
+			PeakValue: p.Value,
+			Entropy:   h,
+			SumDist:   sumDist,
+			Score:     score,
+		})
+	}
+	return out
+}
+
+// bestByScore returns the candidate with the maximum Eq. 18 score.
+func bestByScore(cands []Candidate) (Candidate, bool) {
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Score > best.Score {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// bestByShortestDistance returns the candidate with the minimum total
+// distance — the naive direct-path selector of §8.7's baseline.
+func bestByShortestDistance(cands []Candidate) (Candidate, bool) {
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.SumDist < best.SumDist {
+			best = c
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sync"
+
+	"bloc/internal/dsp"
+	"bloc/internal/geom"
+)
+
+// polarToXY resamples one anchor's polar likelihood P_i(θ, Δ) onto the
+// engine's XY grid: every cell center p maps to the anchor-relative
+// coordinates θ_i(p) (angle from the array broadside) and
+// Δ_i(p) = |p − ant_i0| − |p − ant_00| (relative distance, §5.3), and the
+// polar grid is sampled bilinearly there.
+func (e *Engine) polarToXY(polar *dsp.Grid, anchor int) *dsp.Grid {
+	out := dsp.NewGrid(e.nx, e.ny)
+	arr := e.anchors[anchor]
+	ant0 := arr.Antenna(0)
+	master0 := e.anchors[0].Antenna(0)
+
+	tStep := e.thetas[1] - e.thetas[0]
+	dStep := e.deltas[1] - e.deltas[0]
+	tMin, tMax := e.thetas[0], e.thetas[len(e.thetas)-1]
+	dMin, dMax := e.deltas[0], e.deltas[len(e.deltas)-1]
+
+	for iy := 0; iy < e.ny; iy++ {
+		for ix := 0; ix < e.nx; ix++ {
+			p := e.CellCenter(ix, iy)
+			theta := arr.AngleTo(p)
+			if theta < tMin || theta > tMax {
+				continue // behind the array: no likelihood contribution
+			}
+			delta := p.Dist(ant0) - p.Dist(master0)
+			if delta < dMin || delta > dMax {
+				continue
+			}
+			ft := (theta - tMin) / tStep
+			fd := (delta - dMin) / dStep
+			out.Set(ix, iy, polar.Bilinear(fd, ft))
+		}
+	}
+	return out
+}
+
+// Likelihood computes the combined XY likelihood of Eq. 17 summed over all
+// anchors (§5.3), optionally normalizing each anchor's map to unit maximum
+// first. The per-anchor maps are also returned for inspection (Fig. 6c,
+// Fig. 8c). Anchors are processed in parallel: each map touches only its
+// own grid, and summation happens after the barrier.
+func (e *Engine) Likelihood(a *Alpha) (combined *dsp.Grid, perAnchor []*dsp.Grid) {
+	I := a.NumAnchors()
+	perAnchor = make([]*dsp.Grid, I)
+	var wg sync.WaitGroup
+	for i := 0; i < I; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			polar := e.polarLikelihood(a, i)
+			xy := e.polarToXY(polar, i)
+			if e.cfg.NormalizePerAnchor {
+				xy.Normalize()
+			}
+			perAnchor[i] = xy
+		}(i)
+	}
+	wg.Wait()
+	combined = dsp.NewGrid(e.nx, e.ny)
+	for _, xy := range perAnchor {
+		combined.AddGrid(xy)
+	}
+	return combined, perAnchor
+}
+
+// AngleLikelihoodXY maps Eq. 15 over the XY plane for one anchor: each
+// cell gets the angular spectrum value of its direction (Fig. 6a).
+func (e *Engine) AngleLikelihoodXY(a *Alpha, anchor int) *dsp.Grid {
+	spec := e.angleSpectrum(a.Freqs, a.Values, anchor)
+	return e.angleSpectrumToXY(spec, anchor)
+}
+
+// angleSpectrumToXY paints a θ spectrum over the XY grid.
+func (e *Engine) angleSpectrumToXY(spec []float64, anchor int) *dsp.Grid {
+	out := dsp.NewGrid(e.nx, e.ny)
+	arr := e.anchors[anchor]
+	tStep := e.thetas[1] - e.thetas[0]
+	tMin, tMax := e.thetas[0], e.thetas[len(e.thetas)-1]
+	for iy := 0; iy < e.ny; iy++ {
+		for ix := 0; ix < e.nx; ix++ {
+			theta := arr.AngleTo(e.CellCenter(ix, iy))
+			if theta < tMin || theta > tMax {
+				continue
+			}
+			ft := (theta - tMin) / tStep
+			t0 := int(ft)
+			t1 := t0 + 1
+			if t1 > len(spec)-1 {
+				t1 = len(spec) - 1
+			}
+			fr := ft - float64(t0)
+			out.Set(ix, iy, spec[t0]*(1-fr)+spec[t1]*fr)
+		}
+	}
+	return out
+}
+
+// DistanceLikelihoodXY maps Eq. 16 over the XY plane for one anchor: each
+// cell gets the relative-distance profile value of its hyperbola
+// coordinate (Fig. 6b).
+func (e *Engine) DistanceLikelihoodXY(a *Alpha, anchor int) *dsp.Grid {
+	spec := e.distanceSpectrum(a, anchor)
+	out := dsp.NewGrid(e.nx, e.ny)
+	ant0 := e.anchors[anchor].Antenna(0)
+	master0 := e.anchors[0].Antenna(0)
+	dStep := e.deltas[1] - e.deltas[0]
+	dMin, dMax := e.deltas[0], e.deltas[len(e.deltas)-1]
+	for iy := 0; iy < e.ny; iy++ {
+		for ix := 0; ix < e.nx; ix++ {
+			p := e.CellCenter(ix, iy)
+			delta := p.Dist(ant0) - p.Dist(master0)
+			if delta < dMin || delta > dMax {
+				continue
+			}
+			fd := (delta - dMin) / dStep
+			d0 := int(fd)
+			d1 := d0 + 1
+			if d1 > len(spec)-1 {
+				d1 = len(spec) - 1
+			}
+			fr := fd - float64(d0)
+			out.Set(ix, iy, spec[d0]*(1-fr)+spec[d1]*fr)
+		}
+	}
+	return out
+}
+
+// GridPoint converts a grid peak to room coordinates.
+func (e *Engine) GridPoint(p dsp.Peak) geom.Point { return e.CellCenter(p.IX, p.IY) }

@@ -1,0 +1,191 @@
+// Package csi defines the channel-state-information data model of the BLoc
+// reproduction and implements CSI measurement from GFSK waveforms (§4 of
+// the paper): locating the settled f0/f1 tone runs inside a sounding
+// packet, estimating the complex channel at each tone as y/x, and merging
+// the two tones into one per-band value by averaging amplitude and phase
+// separately (§5).
+package csi
+
+import (
+	"fmt"
+
+	"bloc/internal/ble"
+	"bloc/internal/dsp"
+)
+
+// Snapshot holds one complete CSI acquisition for a single tag position:
+// the measured (phase-offset-garbled) channels of every anchor, antenna
+// and frequency band for both directions of the master↔tag exchange.
+//
+// Indices follow the paper's notation (§5): anchor i ∈ [0, I) with anchor 0
+// the master, antenna j ∈ [0, J), band k ∈ [0, K).
+type Snapshot struct {
+	Bands []ble.ChannelIndex // the K bands, in measurement order
+	Freqs []float64          // center frequency per band, Hz
+
+	// Tag[k][i][j] is ĥ^f_ij: the channel from the tag to antenna j of
+	// anchor i, measured on band k. Tag[k][0][0] is ĥ^f_00, the
+	// tag→master channel the correction term needs.
+	Tag [][][]complex128
+
+	// Master[k][i] is Ĥ^f_i0: the channel from the master anchor's
+	// antenna 0 to antenna 0 of anchor i, overheard on band k.
+	// Master[k][0] is unused and set to 1 (an anchor does not overhear
+	// itself; the master's own correction term cancels pairwise, §5.2).
+	Master [][]complex128
+}
+
+// NumBands returns K.
+func (s *Snapshot) NumBands() int { return len(s.Bands) }
+
+// NumAnchors returns I.
+func (s *Snapshot) NumAnchors() int {
+	if len(s.Tag) == 0 {
+		return 0
+	}
+	return len(s.Tag[0])
+}
+
+// NumAntennas returns J.
+func (s *Snapshot) NumAntennas() int {
+	if len(s.Tag) == 0 || len(s.Tag[0]) == 0 {
+		return 0
+	}
+	return len(s.Tag[0][0])
+}
+
+// NewSnapshot allocates a zeroed snapshot for K bands, I anchors and J
+// antennas. Master entries for anchor 0 are initialized to 1.
+func NewSnapshot(bands []ble.ChannelIndex, anchors, antennas int) *Snapshot {
+	k := len(bands)
+	s := &Snapshot{
+		Bands:  append([]ble.ChannelIndex(nil), bands...),
+		Freqs:  make([]float64, k),
+		Tag:    make([][][]complex128, k),
+		Master: make([][]complex128, k),
+	}
+	for b, ch := range bands {
+		s.Freqs[b] = ch.CenterFreq()
+		s.Tag[b] = make([][]complex128, anchors)
+		for i := 0; i < anchors; i++ {
+			s.Tag[b][i] = make([]complex128, antennas)
+		}
+		s.Master[b] = make([]complex128, anchors)
+		s.Master[b][0] = 1
+	}
+	return s
+}
+
+// Validate checks structural consistency.
+func (s *Snapshot) Validate() error {
+	k := len(s.Bands)
+	if len(s.Freqs) != k || len(s.Tag) != k || len(s.Master) != k {
+		return fmt.Errorf("csi: inconsistent band dimensions (bands=%d freqs=%d tag=%d master=%d)",
+			k, len(s.Freqs), len(s.Tag), len(s.Master))
+	}
+	if k == 0 {
+		return fmt.Errorf("csi: snapshot has no bands")
+	}
+	anchors := len(s.Tag[0])
+	if anchors == 0 {
+		return fmt.Errorf("csi: snapshot has no anchors")
+	}
+	antennas := len(s.Tag[0][0])
+	if antennas == 0 {
+		return fmt.Errorf("csi: snapshot has no antennas")
+	}
+	for b := range s.Tag {
+		if len(s.Tag[b]) != anchors || len(s.Master[b]) != anchors {
+			return fmt.Errorf("csi: band %d anchor dimension mismatch", b)
+		}
+		for i := range s.Tag[b] {
+			if len(s.Tag[b][i]) != antennas {
+				return fmt.Errorf("csi: band %d anchor %d antenna dimension mismatch", b, i)
+			}
+		}
+	}
+	return nil
+}
+
+// SelectBands returns a new snapshot restricted to the bands at the given
+// indices (used for the bandwidth and subsampling experiments, §8.5/§8.6).
+// The underlying channel slices are shared, not copied.
+func (s *Snapshot) SelectBands(idx []int) (*Snapshot, error) {
+	out := &Snapshot{
+		Bands:  make([]ble.ChannelIndex, 0, len(idx)),
+		Freqs:  make([]float64, 0, len(idx)),
+		Tag:    make([][][]complex128, 0, len(idx)),
+		Master: make([][]complex128, 0, len(idx)),
+	}
+	for _, b := range idx {
+		if b < 0 || b >= len(s.Bands) {
+			return nil, fmt.Errorf("csi: band index %d out of range [0,%d)", b, len(s.Bands))
+		}
+		out.Bands = append(out.Bands, s.Bands[b])
+		out.Freqs = append(out.Freqs, s.Freqs[b])
+		out.Tag = append(out.Tag, s.Tag[b])
+		out.Master = append(out.Master, s.Master[b])
+	}
+	return out, nil
+}
+
+// SelectAnchors returns a new snapshot containing only the listed anchors,
+// reindexed in the given order. The first listed anchor becomes the master
+// reference, so anchors[0] must be 0 (the correction math is defined
+// relative to the true master's transmissions). Channel slices are shared.
+func (s *Snapshot) SelectAnchors(anchors []int) (*Snapshot, error) {
+	if len(anchors) == 0 {
+		return nil, fmt.Errorf("csi: empty anchor selection")
+	}
+	if anchors[0] != 0 {
+		return nil, fmt.Errorf("csi: anchor selection must keep the master (anchor 0) first, got %v", anchors)
+	}
+	n := s.NumAnchors()
+	out := &Snapshot{
+		Bands:  s.Bands,
+		Freqs:  s.Freqs,
+		Tag:    make([][][]complex128, len(s.Bands)),
+		Master: make([][]complex128, len(s.Bands)),
+	}
+	for b := range s.Bands {
+		out.Tag[b] = make([][]complex128, len(anchors))
+		out.Master[b] = make([]complex128, len(anchors))
+		for ni, i := range anchors {
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("csi: anchor index %d out of range [0,%d)", i, n)
+			}
+			out.Tag[b][ni] = s.Tag[b][i]
+			out.Master[b][ni] = s.Master[b][i]
+		}
+	}
+	return out, nil
+}
+
+// SelectAntennas returns a new snapshot truncated to the first n antennas
+// per anchor (§8.4). Channel slices are shared.
+func (s *Snapshot) SelectAntennas(n int) (*Snapshot, error) {
+	if n < 1 || n > s.NumAntennas() {
+		return nil, fmt.Errorf("csi: antenna count %d out of range [1,%d]", n, s.NumAntennas())
+	}
+	out := &Snapshot{
+		Bands:  s.Bands,
+		Freqs:  s.Freqs,
+		Tag:    make([][][]complex128, len(s.Bands)),
+		Master: s.Master,
+	}
+	for b := range s.Bands {
+		out.Tag[b] = make([][]complex128, len(s.Tag[b]))
+		for i := range s.Tag[b] {
+			out.Tag[b][i] = s.Tag[b][i][:n]
+		}
+	}
+	return out, nil
+}
+
+// CombineTones merges the channels measured at the two GFSK tones of one
+// band into a single per-band value by averaging amplitude and phase
+// separately (§5: the combined value is "assumed to be the wireless
+// channel at the center frequency of the band").
+func CombineTones(h0, h1 complex128) complex128 {
+	return dsp.MeanAmplitudePhase([]complex128{h0, h1})
+}

@@ -1,0 +1,173 @@
+package csi
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"bloc/internal/ble"
+)
+
+func fullBands() []ble.ChannelIndex { return ble.DataChannels() }
+
+func TestNewSnapshotShape(t *testing.T) {
+	s := NewSnapshot(fullBands(), 4, 4)
+	if s.NumBands() != 37 || s.NumAnchors() != 4 || s.NumAntennas() != 4 {
+		t.Fatalf("shape = (%d, %d, %d)", s.NumBands(), s.NumAnchors(), s.NumAntennas())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Frequencies follow the channel map.
+	for b, ch := range s.Bands {
+		if s.Freqs[b] != ch.CenterFreq() {
+			t.Errorf("band %d freq %v != %v", b, s.Freqs[b], ch.CenterFreq())
+		}
+	}
+	// Master self-entry initialized to 1.
+	for b := range s.Bands {
+		if s.Master[b][0] != 1 {
+			t.Errorf("Master[%d][0] = %v, want 1", b, s.Master[b][0])
+		}
+	}
+}
+
+func TestSnapshotValidateCatchesCorruption(t *testing.T) {
+	s := NewSnapshot(fullBands()[:3], 2, 2)
+	s.Tag[1] = s.Tag[1][:1] // drop an anchor on one band
+	if err := s.Validate(); err == nil {
+		t.Error("Validate missed anchor dimension mismatch")
+	}
+	s2 := NewSnapshot(fullBands()[:3], 2, 2)
+	s2.Tag[2][1] = s2.Tag[2][1][:1]
+	if err := s2.Validate(); err == nil {
+		t.Error("Validate missed antenna dimension mismatch")
+	}
+	s3 := &Snapshot{}
+	if err := s3.Validate(); err == nil {
+		t.Error("Validate accepted empty snapshot")
+	}
+}
+
+func TestSelectBands(t *testing.T) {
+	s := NewSnapshot(fullBands(), 2, 2)
+	for b := range s.Bands {
+		s.Tag[b][1][1] = complex(float64(b), 0)
+	}
+	sub, err := s.SelectBands([]int{0, 10, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumBands() != 3 {
+		t.Fatalf("bands = %d", sub.NumBands())
+	}
+	if sub.Tag[1][1][1] != complex(10, 0) {
+		t.Errorf("band selection reordered data: %v", sub.Tag[1][1][1])
+	}
+	if sub.Bands[2] != s.Bands[36] || sub.Freqs[2] != s.Freqs[36] {
+		t.Error("band metadata not carried over")
+	}
+	if _, err := s.SelectBands([]int{40}); err == nil {
+		t.Error("out-of-range band index should fail")
+	}
+}
+
+func TestSelectAnchors(t *testing.T) {
+	s := NewSnapshot(fullBands()[:2], 4, 2)
+	for i := 0; i < 4; i++ {
+		s.Tag[0][i][0] = complex(float64(i), 0)
+		s.Master[0][i] = complex(0, float64(i))
+	}
+	sub, err := s.SelectAnchors([]int{0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumAnchors() != 3 {
+		t.Fatalf("anchors = %d", sub.NumAnchors())
+	}
+	if sub.Tag[0][1][0] != complex(2, 0) || sub.Master[0][2] != complex(0, 3) {
+		t.Error("anchor selection mis-indexed")
+	}
+	if _, err := s.SelectAnchors([]int{1, 0}); err == nil {
+		t.Error("selection not starting with master should fail")
+	}
+	if _, err := s.SelectAnchors(nil); err == nil {
+		t.Error("empty selection should fail")
+	}
+	if _, err := s.SelectAnchors([]int{0, 9}); err == nil {
+		t.Error("out-of-range anchor should fail")
+	}
+}
+
+func TestSelectAntennas(t *testing.T) {
+	s := NewSnapshot(fullBands()[:2], 2, 4)
+	s.Tag[0][0][3] = 9
+	sub, err := s.SelectAntennas(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumAntennas() != 3 {
+		t.Fatalf("antennas = %d", sub.NumAntennas())
+	}
+	if _, err := s.SelectAntennas(0); err == nil {
+		t.Error("zero antennas should fail")
+	}
+	if _, err := s.SelectAntennas(5); err == nil {
+		t.Error("too many antennas should fail")
+	}
+}
+
+func TestCombineTones(t *testing.T) {
+	// Equal phases, different amplitudes: average amplitude, same phase.
+	h := CombineTones(cmplx.Rect(1, 0.3), cmplx.Rect(3, 0.3))
+	if math.Abs(cmplx.Abs(h)-2) > 1e-12 {
+		t.Errorf("amplitude = %v, want 2", cmplx.Abs(h))
+	}
+	if math.Abs(cmplx.Phase(h)-0.3) > 1e-12 {
+		t.Errorf("phase = %v, want 0.3", cmplx.Phase(h))
+	}
+	// Phase averaging is circular across the wrap.
+	h2 := CombineTones(cmplx.Rect(1, math.Pi-0.05), cmplx.Rect(1, -math.Pi+0.05))
+	if math.Abs(math.Abs(cmplx.Phase(h2))-math.Pi) > 1e-9 {
+		t.Errorf("wrapped combine phase = %v", cmplx.Phase(h2))
+	}
+}
+
+func TestSelectBandsPreservesCorrespondenceProperty(t *testing.T) {
+	// For any valid index subset, band metadata and channel rows stay
+	// aligned (testing/quick over random subsets).
+	s := NewSnapshot(fullBands(), 3, 4)
+	for b := range s.Bands {
+		for i := range s.Tag[b] {
+			for j := range s.Tag[b][i] {
+				s.Tag[b][i][j] = complex(float64(b), float64(i*10+j))
+			}
+		}
+	}
+	f := func(raw []uint8) bool {
+		idx := make([]int, 0, len(raw))
+		for _, r := range raw {
+			idx = append(idx, int(r)%s.NumBands())
+		}
+		if len(idx) == 0 {
+			return true
+		}
+		sub, err := s.SelectBands(idx)
+		if err != nil {
+			return false
+		}
+		for n, b := range idx {
+			if sub.Bands[n] != s.Bands[b] || sub.Freqs[n] != s.Freqs[b] {
+				return false
+			}
+			if real(sub.Tag[n][1][2]) != float64(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package csi
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"bloc/internal/ble"
+)
+
+// ToneMeasurement is the result of sounding one band: the complex channel
+// at the f0 tone, at the f1 tone, and their per-band combination.
+type ToneMeasurement struct {
+	H0, H1   complex128
+	Combined complex128
+}
+
+// Sounder measures CSI from received IQ samples of a known sounding
+// packet. The reference transmit waveform is regenerated locally from the
+// packet contents, so the channel estimate is simply the average of
+// y[n]/x[n] over each settled tone window — the paper's h = y/x (§4).
+type Sounder struct {
+	mod    *ble.Modulator
+	layout ble.SoundingLayout
+	ref    []complex128
+	// MarginBits trims the edges of each run before measuring, giving the
+	// Gaussian filter room to settle. Must leave at least one bit.
+	MarginBits int
+}
+
+// NewSounder prepares a sounder for the given channel and run length. The
+// access address only affects the reference waveform, not the layout.
+func NewSounder(access ble.AccessAddress, channel ble.ChannelIndex, runBits, sps int) (*Sounder, error) {
+	pkt, layout, err := ble.SoundingPacket(access, channel, runBits)
+	if err != nil {
+		return nil, err
+	}
+	bits, err := pkt.AirBits()
+	if err != nil {
+		return nil, err
+	}
+	mod := ble.NewModulator(sps)
+	return &Sounder{
+		mod:        mod,
+		layout:     layout,
+		ref:        mod.Modulate(bits),
+		MarginBits: 6,
+	}, nil
+}
+
+// Reference returns the clean transmit waveform of the sounding packet
+// (the signal a transmitter should send, and the x in h = y/x).
+func (s *Sounder) Reference() []complex128 { return s.ref }
+
+// Layout returns the air-bit layout of the tone runs.
+func (s *Sounder) Layout() ble.SoundingLayout { return s.layout }
+
+// Measure estimates the channel from received samples rx, which must be
+// time-aligned with Reference() (same length or longer). Both tones are
+// measured over the settled interior of their runs and combined per §5.
+func (s *Sounder) Measure(rx []complex128) (ToneMeasurement, error) {
+	if len(rx) < len(s.ref) {
+		return ToneMeasurement{}, fmt.Errorf("csi: rx has %d samples, reference needs %d", len(rx), len(s.ref))
+	}
+	h0, err := s.toneAverage(rx, s.layout.ZeroRunStart, s.layout.ZeroRunLen)
+	if err != nil {
+		return ToneMeasurement{}, err
+	}
+	h1, err := s.toneAverage(rx, s.layout.OneRunStart, s.layout.OneRunLen)
+	if err != nil {
+		return ToneMeasurement{}, err
+	}
+	return ToneMeasurement{H0: h0, H1: h1, Combined: CombineTones(h0, h1)}, nil
+}
+
+// toneAverage returns mean(rx[n]/ref[n]) over the settled window of a run.
+func (s *Sounder) toneAverage(rx []complex128, runStart, runLen int) (complex128, error) {
+	startBit, endBit := ble.StableRegion(runStart, runLen, s.MarginBits)
+	sps := s.mod.SPS
+	lo, hi := startBit*sps, endBit*sps
+	if hi > len(s.ref) {
+		return 0, fmt.Errorf("csi: stable window [%d,%d) exceeds reference length %d", lo, hi, len(s.ref))
+	}
+	var acc complex128
+	n := 0
+	for i := lo; i < hi; i++ {
+		x := s.ref[i]
+		if cmplx.Abs(x) < 1e-12 {
+			continue
+		}
+		acc += rx[i] / x
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("csi: empty measurement window")
+	}
+	return acc / complex(float64(n), 0), nil
+}

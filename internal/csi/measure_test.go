@@ -1,0 +1,162 @@
+package csi
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"bloc/internal/ble"
+	"bloc/internal/radio"
+)
+
+const (
+	testAccess = ble.AccessAddress(0x50F0B10C)
+	testSPS    = 8
+)
+
+func TestSounderRecoversFlatChannel(t *testing.T) {
+	// Pass the sounding waveform through a known flat channel: the
+	// measured tones and their combination must match the channel.
+	s, err := NewSounder(testAccess, 12, ble.DefaultRunBits, testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []complex128{
+		cmplx.Rect(0.25, 1.1),
+		cmplx.Rect(0.01, -2.9),
+		complex(0.5, 0),
+	} {
+		rx := radio.ApplyChannel(s.Reference(), h, 1)
+		m, err := s.Measure(rx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, got := range map[string]complex128{"H0": m.H0, "H1": m.H1, "Combined": m.Combined} {
+			if cmplx.Abs(got-h) > 1e-9 {
+				t.Errorf("%s = %v, want %v", name, got, h)
+			}
+		}
+	}
+}
+
+func TestSounderWithLOOffset(t *testing.T) {
+	// An LO rotor multiplies the measured channel — this is exactly the
+	// ĥ = h·e^{ι(φT−φR)} distortion of §5.1 that the correction removes
+	// downstream. The sounder must report h·rotor faithfully.
+	s, err := NewSounder(testAccess, 3, ble.DefaultRunBits, testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cmplx.Rect(0.3, 0.7)
+	rotor := cmplx.Rect(1, -2.1)
+	rx := radio.ApplyChannel(s.Reference(), h, rotor)
+	m, err := s.Measure(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(m.Combined-h*rotor) > 1e-9 {
+		t.Errorf("Combined = %v, want %v", m.Combined, h*rotor)
+	}
+}
+
+func TestSounderNoiseRobustness(t *testing.T) {
+	// At 25 dB SNR the tone average over ~28 settled bits × 8 sps keeps
+	// the channel estimate within a few percent.
+	s, err := NewSounder(testAccess, 30, ble.DefaultRunBits, testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cmplx.Rect(0.2, 0.4)
+	rng := rand.New(rand.NewPCG(13, 13))
+	var worst float64
+	for trial := 0; trial < 10; trial++ {
+		rx := radio.ApplyChannel(s.Reference(), h, 1)
+		sigma := cmplx.Abs(h) * math.Pow(10, -25.0/20) / math.Sqrt2
+		radio.AWGN(rx, sigma, rng)
+		m, err := s.Measure(rx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relErr := cmplx.Abs(m.Combined-h) / cmplx.Abs(h)
+		worst = math.Max(worst, relErr)
+	}
+	if worst > 0.05 {
+		t.Errorf("worst relative error %v at 25 dB SNR, want < 5%%", worst)
+	}
+}
+
+func TestSounderConsistencyAcrossMeasurements(t *testing.T) {
+	// Fig. 8a: repeated measurements of the same channel give the same
+	// phase (stability of BLoc's CSI extraction).
+	s, err := NewSounder(testAccess, 6, ble.DefaultRunBits, testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cmplx.Rect(0.15, -1.3)
+	rng := rand.New(rand.NewPCG(17, 17))
+	var phases []float64
+	for trial := 0; trial < 10; trial++ {
+		rx := radio.ApplyChannel(s.Reference(), h, 1)
+		radio.AWGN(rx, 0.002, rng)
+		m, err := s.Measure(rx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases = append(phases, cmplx.Phase(m.Combined))
+	}
+	for _, p := range phases {
+		if math.Abs(p-phases[0]) > 0.05 {
+			t.Errorf("phase %v deviates from first %v", p, phases[0])
+		}
+	}
+}
+
+func TestSounderErrors(t *testing.T) {
+	s, err := NewSounder(testAccess, 0, ble.DefaultRunBits, testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Measure(make([]complex128, 10)); err == nil {
+		t.Error("short rx should fail")
+	}
+	if _, err := NewSounder(testAccess, 99, ble.DefaultRunBits, testSPS); err == nil {
+		t.Error("invalid channel should fail")
+	}
+}
+
+func TestSounderToneSeparation(t *testing.T) {
+	// Feed a waveform where the two tone windows see different channels
+	// (frequency-selective within the band — exaggerated): H0 and H1 must
+	// differ, and Combined must average amplitude and phase.
+	s, err := NewSounder(testAccess, 20, ble.DefaultRunBits, testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := s.Reference()
+	rx := make([]complex128, len(ref))
+	h0 := cmplx.Rect(0.2, 0.5)
+	h1 := cmplx.Rect(0.4, 0.9)
+	layout := s.Layout()
+	split := layout.OneRunStart * testSPS
+	for i := range ref {
+		if i < split {
+			rx[i] = ref[i] * h0
+		} else {
+			rx[i] = ref[i] * h1
+		}
+	}
+	m, err := s.Measure(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(m.H0-h0) > 1e-9 || cmplx.Abs(m.H1-h1) > 1e-9 {
+		t.Fatalf("tones not separated: H0=%v H1=%v", m.H0, m.H1)
+	}
+	if math.Abs(cmplx.Abs(m.Combined)-0.3) > 1e-9 {
+		t.Errorf("combined amplitude = %v, want 0.3", cmplx.Abs(m.Combined))
+	}
+	if math.Abs(cmplx.Phase(m.Combined)-0.7) > 1e-9 {
+		t.Errorf("combined phase = %v, want 0.7", cmplx.Phase(m.Combined))
+	}
+}

@@ -1,0 +1,153 @@
+package csi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"bloc/internal/ble"
+)
+
+// Binary serialization for snapshots and datasets, so measurement
+// campaigns can be recorded once and replayed through different pipeline
+// configurations — the workflow of the paper's evaluation, which collects
+// 1700 positions and reuses them for every figure.
+//
+// Format (little-endian):
+//
+//	magic   "BLOCCSI1"                      (8 bytes)
+//	K, I, J uint16 each                     (6 bytes)
+//	bands   K × uint8 channel index
+//	tag     K·I·J × complex128 (16 bytes each)
+//	master  K·I   × complex128
+//
+// Frequencies are recomputed from the channel map on load, so files stay
+// compact and cannot desynchronize band index from frequency.
+
+var snapshotMagic = [8]byte{'B', 'L', 'O', 'C', 'C', 'S', 'I', '1'}
+
+// maxDim bounds each snapshot dimension on read (hostile input guard).
+const maxDim = 1024
+
+// WriteTo serializes the snapshot.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(snapshotMagic); err != nil {
+		return n, err
+	}
+	K, I, J := s.NumBands(), s.NumAnchors(), s.NumAntennas()
+	if err := write([3]uint16{uint16(K), uint16(I), uint16(J)}); err != nil {
+		return n, err
+	}
+	for _, ch := range s.Bands {
+		if err := write(uint8(ch)); err != nil {
+			return n, err
+		}
+	}
+	for k := 0; k < K; k++ {
+		for i := 0; i < I; i++ {
+			for j := 0; j < J; j++ {
+				if err := writeComplex(bw, s.Tag[k][i][j]); err != nil {
+					return n, err
+				}
+				n += 16
+			}
+		}
+	}
+	for k := 0; k < K; k++ {
+		for i := 0; i < I; i++ {
+			if err := writeComplex(bw, s.Master[k][i]); err != nil {
+				return n, err
+			}
+			n += 16
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadSnapshot deserializes one snapshot. It reads exactly one
+// snapshot's bytes from r, so snapshots can be concatenated on a single
+// stream; wrap r in a bufio.Reader for performance when reading many.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err // io.EOF at a clean boundary
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("csi: bad magic %q", magic)
+	}
+	var dims [3]uint16
+	if err := binary.Read(r, binary.LittleEndian, &dims); err != nil {
+		return nil, fmt.Errorf("csi: read dims: %w", err)
+	}
+	K, I, J := int(dims[0]), int(dims[1]), int(dims[2])
+	if K == 0 || I == 0 || J == 0 || K > maxDim || I > maxDim || J > maxDim {
+		return nil, fmt.Errorf("csi: implausible dimensions %d×%d×%d", K, I, J)
+	}
+	bandBytes := make([]byte, K)
+	if _, err := io.ReadFull(r, bandBytes); err != nil {
+		return nil, fmt.Errorf("csi: read bands: %w", err)
+	}
+	bands := make([]ble.ChannelIndex, K)
+	for k, b := range bandBytes {
+		ch := ble.ChannelIndex(b)
+		if !ch.Valid() {
+			return nil, fmt.Errorf("csi: invalid channel %d in file", b)
+		}
+		bands[k] = ch
+	}
+	s := NewSnapshot(bands, I, J)
+	for k := 0; k < K; k++ {
+		for i := 0; i < I; i++ {
+			for j := 0; j < J; j++ {
+				z, err := readComplexFrom(r)
+				if err != nil {
+					return nil, fmt.Errorf("csi: read tag: %w", err)
+				}
+				s.Tag[k][i][j] = z
+			}
+		}
+	}
+	for k := 0; k < K; k++ {
+		for i := 0; i < I; i++ {
+			z, err := readComplexFrom(r)
+			if err != nil {
+				return nil, fmt.Errorf("csi: read master: %w", err)
+			}
+			s.Master[k][i] = z
+		}
+	}
+	return s, nil
+}
+
+func writeComplex(w io.Writer, z complex128) error {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(real(z)))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(z)))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readComplexFrom(r io.Reader) (complex128, error) {
+	var buf [16]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return complex(
+		math.Float64frombits(binary.LittleEndian.Uint64(buf[:8])),
+		math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+	), nil
+}

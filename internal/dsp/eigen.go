@@ -1,0 +1,232 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eigensystem machinery for MUSIC-style super-resolution (the class of
+// algorithm behind ArrayTrack/SpotFi, §9.3): a cyclic Jacobi solver for
+// real symmetric matrices and a complex Hermitian noise-subspace
+// projector built on the standard real embedding
+//
+//	A = B + iC  (Hermitian)  ↦  M = [[B, −C], [C, B]]  (symmetric),
+//
+// whose spectrum duplicates A's and whose eigenspaces are closed under
+// the complex structure, so the projector onto any eigenspace of A can be
+// read off the corresponding real projector.
+
+// JacobiSymmetric diagonalizes a real symmetric matrix with cyclic Jacobi
+// rotations, returning the eigenvalues (ascending) and the matching
+// orthonormal eigenvectors as columns of V (V[i][k] is component i of
+// eigenvector k). The input is not modified. It returns an error for
+// empty, non-square or non-symmetric input.
+func JacobiSymmetric(a [][]float64) (eig []float64, v [][]float64, err error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("dsp: empty matrix")
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, nil, fmt.Errorf("dsp: matrix is not square")
+		}
+	}
+	var maxAbs float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if d := math.Abs(a[i][j] - a[j][i]); d > 1e-9*(1+math.Abs(a[i][j])) {
+				return nil, nil, fmt.Errorf("dsp: matrix is not symmetric at (%d,%d)", i, j)
+			}
+			maxAbs = math.Max(maxAbs, math.Abs(a[i][j]))
+		}
+	}
+	// Working copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v = make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	if maxAbs == 0 {
+		eig = make([]float64, n)
+		return eig, v, nil
+	}
+	tol := 1e-14 * maxAbs
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += m[p][q] * m[p][q]
+			}
+		}
+		if math.Sqrt(off) < tol {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < tol/float64(n) {
+					continue
+				}
+				// Rotation angle zeroing m[p][q].
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(1+theta*theta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply rotation to rows/columns p and q.
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	eig = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = m[i][i]
+	}
+	// Sort ascending, permuting eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && eig[idx[j]] < eig[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	sortedEig := make([]float64, n)
+	sortedV := make([][]float64, n)
+	for i := range sortedV {
+		sortedV[i] = make([]float64, n)
+	}
+	for k, src := range idx {
+		sortedEig[k] = eig[src]
+		for i := 0; i < n; i++ {
+			sortedV[i][k] = v[i][src]
+		}
+	}
+	return sortedEig, sortedV, nil
+}
+
+// HermitianEigen returns the eigenvalues (ascending) of a complex
+// Hermitian matrix via the real embedding; each eigenvalue of A appears
+// once (the embedding's duplicates are collapsed pairwise).
+func HermitianEigen(a [][]complex128) ([]float64, error) {
+	m, err := embedHermitian(a)
+	if err != nil {
+		return nil, err
+	}
+	eig, _, err := JacobiSymmetric(m)
+	if err != nil {
+		return nil, err
+	}
+	// Eigenvalues come in duplicated pairs; take every second one.
+	n := len(a)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = (eig[2*i] + eig[2*i+1]) / 2
+	}
+	return out, nil
+}
+
+// HermitianNoiseProjector returns the projector onto the noise subspace
+// of a Hermitian covariance matrix: the span of the n − signalDims
+// eigenvectors with the smallest eigenvalues. This is the E_n·E_nᴴ of
+// MUSIC. signalDims must be in [0, n].
+func HermitianNoiseProjector(a [][]complex128, signalDims int) ([][]complex128, error) {
+	n := len(a)
+	if signalDims < 0 || signalDims > n {
+		return nil, fmt.Errorf("dsp: signal dimension %d outside [0,%d]", signalDims, n)
+	}
+	m, err := embedHermitian(a)
+	if err != nil {
+		return nil, err
+	}
+	eig, v, err := JacobiSymmetric(m)
+	if err != nil {
+		return nil, err
+	}
+	_ = eig
+	// The 2n real eigenvectors are sorted ascending; the noise subspace
+	// of A (dimension n − signalDims) corresponds to the first
+	// 2(n − signalDims) real eigenvectors. Their real projector P_real
+	// has the complex structure [[P1, −P2], [P2, P1]], so the complex
+	// projector is P1 + iP2 — and summing vvᵀ over the real basis yields
+	// exactly 2·P_real's blocks halved... Concretely:
+	//   P_complex[k][l] = P_real[k][l] + i·P_real[n+k][l].
+	noiseDim := 2 * (n - signalDims)
+	P := make([][]float64, 2*n)
+	for i := range P {
+		P[i] = make([]float64, 2*n)
+	}
+	for e := 0; e < noiseDim; e++ {
+		for i := 0; i < 2*n; i++ {
+			vi := v[i][e]
+			if vi == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				P[i][j] += vi * v[j][e]
+			}
+		}
+	}
+	out := make([][]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = make([]complex128, n)
+		for l := 0; l < n; l++ {
+			out[k][l] = complex(P[k][l], P[n+k][l])
+		}
+	}
+	return out, nil
+}
+
+// embedHermitian builds the real symmetric embedding [[B, −C], [C, B]] of
+// a Hermitian A = B + iC, validating Hermitian symmetry.
+func embedHermitian(a [][]complex128) ([][]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, fmt.Errorf("dsp: empty matrix")
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("dsp: matrix is not square")
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := a[i][j] - complex(real(a[j][i]), -imag(a[j][i]))
+			if math.Hypot(real(d), imag(d)) > 1e-9*(1+math.Hypot(real(a[i][j]), imag(a[i][j]))) {
+				return nil, fmt.Errorf("dsp: matrix is not Hermitian at (%d,%d)", i, j)
+			}
+		}
+	}
+	m := make([][]float64, 2*n)
+	for i := range m {
+		m[i] = make([]float64, 2*n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b, c := real(a[i][j]), imag(a[i][j])
+			m[i][j] = b
+			m[i][n+j] = -c
+			m[n+i][j] = c
+			m[n+i][n+j] = b
+		}
+	}
+	return m, nil
+}

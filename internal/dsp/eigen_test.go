@@ -1,0 +1,199 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestJacobiSymmetricKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3 with eigenvectors
+	// (1,-1)/√2 and (1,1)/√2.
+	eig, v, err := JacobiSymmetric([][]float64{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig[0]-1) > 1e-12 || math.Abs(eig[1]-3) > 1e-12 {
+		t.Fatalf("eig = %v, want [1 3]", eig)
+	}
+	// Column 0 ∝ (1,-1).
+	if math.Abs(v[0][0]+v[1][0]) > 1e-9 {
+		t.Errorf("eigvec 0 = (%v, %v), want ∝ (1,-1)", v[0][0], v[1][0])
+	}
+	// Column 1 ∝ (1,1).
+	if math.Abs(v[0][1]-v[1][1]) > 1e-9 {
+		t.Errorf("eigvec 1 = (%v, %v), want ∝ (1,1)", v[0][1], v[1][1])
+	}
+}
+
+func TestJacobiSymmetricReconstruction(t *testing.T) {
+	// A = V Λ Vᵀ must reconstruct the input, and V must be orthonormal.
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.IntN(7)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				x := rng.NormFloat64()
+				a[i][j], a[j][i] = x, x
+			}
+		}
+		eig, v, err := JacobiSymmetric(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ascending order.
+		for k := 1; k < n; k++ {
+			if eig[k] < eig[k-1]-1e-12 {
+				t.Fatalf("eigenvalues not ascending: %v", eig)
+			}
+		}
+		// Orthonormal columns.
+		for p := 0; p < n; p++ {
+			for q := 0; q < n; q++ {
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += v[i][p] * v[i][q]
+				}
+				want := 0.0
+				if p == q {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-9 {
+					t.Fatalf("trial %d: VᵀV[%d][%d] = %v", trial, p, q, dot)
+				}
+			}
+		}
+		// Reconstruction.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var sum float64
+				for k := 0; k < n; k++ {
+					sum += v[i][k] * eig[k] * v[j][k]
+				}
+				if math.Abs(sum-a[i][j]) > 1e-8 {
+					t.Fatalf("trial %d: reconstruction (%d,%d): %v != %v",
+						trial, i, j, sum, a[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestJacobiSymmetricErrors(t *testing.T) {
+	if _, _, err := JacobiSymmetric(nil); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	if _, _, err := JacobiSymmetric([][]float64{{1, 2}}); err == nil {
+		t.Error("non-square should fail")
+	}
+	if _, _, err := JacobiSymmetric([][]float64{{1, 2}, {3, 1}}); err == nil {
+		t.Error("asymmetric should fail")
+	}
+	// Zero matrix: all zero eigenvalues, identity eigenvectors.
+	eig, v, err := JacobiSymmetric([][]float64{{0, 0}, {0, 0}})
+	if err != nil || eig[0] != 0 || eig[1] != 0 || v[0][0] != 1 {
+		t.Errorf("zero matrix: %v %v %v", eig, v, err)
+	}
+}
+
+func TestHermitianEigenKnown(t *testing.T) {
+	// [[2, i], [-i, 2]] has eigenvalues 1 and 3.
+	a := [][]complex128{{2, 1i}, {-1i, 2}}
+	eig, err := HermitianEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig[0]-1) > 1e-9 || math.Abs(eig[1]-3) > 1e-9 {
+		t.Errorf("eig = %v, want [1 3]", eig)
+	}
+	if _, err := HermitianEigen([][]complex128{{1, 2}, {3, 1}}); err == nil {
+		t.Error("non-Hermitian should fail")
+	}
+}
+
+func TestHermitianNoiseProjector(t *testing.T) {
+	// Construct R = σ_s² s sᴴ + σ_n² I with a known signal vector s: the
+	// 1-dim signal subspace is span(s), the noise projector must satisfy
+	// P s ≈ 0 and P w = w for any w ⊥ s.
+	n := 4
+	s := []complex128{1, cmplx.Rect(1, 0.7), cmplx.Rect(1, 1.4), cmplx.Rect(1, 2.1)}
+	r := make([][]complex128, n)
+	for i := range r {
+		r[i] = make([]complex128, n)
+		for j := range r[i] {
+			r[i][j] = 5 * s[i] * cmplx.Conj(s[j])
+			if i == j {
+				r[i][j] += 0.1
+			}
+		}
+	}
+	P, err := HermitianNoiseProjector(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P is Hermitian and idempotent.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if cmplx.Abs(P[i][j]-cmplx.Conj(P[j][i])) > 1e-8 {
+				t.Fatalf("projector not Hermitian at (%d,%d)", i, j)
+			}
+			var pp complex128
+			for k := 0; k < n; k++ {
+				pp += P[i][k] * P[k][j]
+			}
+			if cmplx.Abs(pp-P[i][j]) > 1e-7 {
+				t.Fatalf("projector not idempotent at (%d,%d): %v vs %v", i, j, pp, P[i][j])
+			}
+		}
+	}
+	// P annihilates the signal vector.
+	var psNorm float64
+	for i := 0; i < n; i++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			acc += P[i][j] * s[j]
+		}
+		psNorm += real(acc)*real(acc) + imag(acc)*imag(acc)
+	}
+	if math.Sqrt(psNorm) > 1e-7 {
+		t.Errorf("‖P·s‖ = %v, want ≈ 0", math.Sqrt(psNorm))
+	}
+	// Trace(P) = noise dimension = n − 1.
+	var tr complex128
+	for i := 0; i < n; i++ {
+		tr += P[i][i]
+	}
+	if math.Abs(real(tr)-float64(n-1)) > 1e-7 || math.Abs(imag(tr)) > 1e-9 {
+		t.Errorf("trace(P) = %v, want %d", tr, n-1)
+	}
+}
+
+func TestHermitianNoiseProjectorValidation(t *testing.T) {
+	a := [][]complex128{{1, 0}, {0, 1}}
+	if _, err := HermitianNoiseProjector(a, -1); err == nil {
+		t.Error("negative signal dims should fail")
+	}
+	if _, err := HermitianNoiseProjector(a, 3); err == nil {
+		t.Error("signal dims > n should fail")
+	}
+	// signalDims = n → zero projector; signalDims = 0 → identity.
+	P0, err := HermitianNoiseProjector(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(P0[0][0]) > 1e-9 {
+		t.Error("full signal space should give zero projector")
+	}
+	PI, err := HermitianNoiseProjector(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(PI[0][0]-1) > 1e-9 || cmplx.Abs(PI[0][1]) > 1e-9 {
+		t.Error("zero signal space should give identity projector")
+	}
+}

@@ -1,0 +1,140 @@
+// Package dsp is the signal-processing toolbox for the BLoc reproduction:
+// FFTs, phase manipulation, Gaussian pulse shaping for GFSK, descriptive
+// statistics, and the 1-D/2-D peak and entropy machinery the localization
+// core builds on.
+//
+// Everything is implemented on []complex128 / []float64 with no external
+// dependencies. The routines favor clarity and numerical robustness over
+// micro-optimization except where the localization hot loop requires
+// otherwise (see package core).
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x. For power-of-two lengths
+// an iterative radix-2 Cooley-Tukey transform is used; other lengths fall
+// back to a direct O(n²) DFT, which is fine for the short sequences used
+// here (40 BLE bands, small windows). The input is not modified.
+func FFT(x []complex128) []complex128 {
+	return transform(x, false)
+}
+
+// IFFT returns the inverse discrete Fourier transform of x, normalized by
+// 1/n so that IFFT(FFT(x)) == x.
+func IFFT(x []complex128) []complex128 {
+	out := transform(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+func transform(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		radix2(out, inverse)
+		return out
+	}
+	return dft(x, inverse)
+}
+
+// radix2 performs an in-place iterative radix-2 FFT. len(x) must be a power
+// of two.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	logN := bits.TrailingZeros(uint(n))
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				even := x[start+k]
+				odd := x[start+k+half] * w
+				x[start+k] = even + odd
+				x[start+k+half] = even - odd
+				w *= wBase
+			}
+		}
+	}
+}
+
+// dft is the direct O(n²) transform for arbitrary lengths.
+func dft(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	out := make([]complex128, n)
+	step := sign * 2 * math.Pi / float64(n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for t := 0; t < n; t++ {
+			acc += x[t] * cmplx.Exp(complex(0, step*float64(k*t)))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// ZeroPad returns x extended with zeros to length n. It panics if
+// n < len(x).
+func ZeroPad(x []complex128, n int) []complex128 {
+	if n < len(x) {
+		panic(fmt.Sprintf("dsp: ZeroPad target %d < input length %d", n, len(x)))
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	return out
+}
+
+// Convolve returns the full linear convolution of a and b
+// (length len(a)+len(b)-1), computed directly. Used for pulse shaping where
+// the sequences are short.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}

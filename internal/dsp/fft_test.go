@@ -1,0 +1,222 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+)
+
+func complexApprox(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	X := FFT(x)
+	for k, v := range X {
+		if !complexApprox(v, 1, 1e-12) {
+			t.Errorf("X[%d] = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTDC(t *testing.T) {
+	// FFT of a constant is an impulse at bin 0 of height n.
+	n := 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 2
+	}
+	X := FFT(x)
+	if !complexApprox(X[0], complex(2*float64(n), 0), 1e-9) {
+		t.Errorf("X[0] = %v, want %v", X[0], 2*n)
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(X[k]) > 1e-9 {
+			t.Errorf("X[%d] = %v, want 0", k, X[k])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin m concentrates all energy in bin m.
+	n, m := 32, 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(m*i)/float64(n)))
+	}
+	X := FFT(x)
+	for k := range X {
+		want := 0.0
+		if k == m {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(X[k])-want) > 1e-9 {
+			t.Errorf("|X[%d]| = %v, want %v", k, cmplx.Abs(X[k]), want)
+		}
+	}
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	// The radix-2 path must agree with the direct DFT.
+	r := rand.New(rand.NewPCG(7, 7))
+	for _, n := range []int{1, 2, 4, 8, 64, 128} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		fast := FFT(x)
+		slow := dft(x, false)
+		for k := range fast {
+			if !complexApprox(fast[k], slow[k], 1e-8*float64(n)) {
+				t.Fatalf("n=%d bin %d: radix2 %v != dft %v", n, k, fast[k], slow[k])
+			}
+		}
+	}
+}
+
+func TestFFTNonPowerOfTwo(t *testing.T) {
+	// Non-power-of-two lengths (like BLE's 37/40 bands) use the DFT path
+	// and must still satisfy Parseval's theorem.
+	r := rand.New(rand.NewPCG(3, 9))
+	for _, n := range []int{3, 37, 40} {
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		X := FFT(x)
+		var freqEnergy float64
+		for _, v := range X {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(n)
+		if math.Abs(timeEnergy-freqEnergy) > 1e-8*timeEnergy {
+			t.Errorf("n=%d: Parseval violated: %v vs %v", n, timeEnergy, freqEnergy)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 4))
+	for _, n := range []int{1, 2, 7, 16, 37, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if !complexApprox(x[i], y[i], 1e-9) {
+				t.Fatalf("n=%d: IFFT(FFT(x))[%d] = %v, want %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 5))
+	n := 32
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		a[i] = complex(r.NormFloat64(), r.NormFloat64())
+		b[i] = complex(r.NormFloat64(), r.NormFloat64())
+		sum[i] = 2*a[i] + 3i*b[i]
+	}
+	A, B, S := FFT(a), FFT(b), FFT(sum)
+	for k := 0; k < n; k++ {
+		if !complexApprox(S[k], 2*A[k]+3i*B[k], 1e-8) {
+			t.Fatalf("linearity violated at bin %d", k)
+		}
+	}
+}
+
+func TestFFTDoesNotModifyInput(t *testing.T) {
+	x := []complex128{1, 2i, 3, 4i, 5, 6i, 7, 8i}
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	FFT(x)
+	IFFT(x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatalf("input modified at %d", i)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {37, 64}, {64, 64}, {65, 128},
+	}
+	for _, tc := range tests {
+		if got := NextPow2(tc.in); got != tc.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestZeroPad(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	y := ZeroPad(x, 6)
+	if len(y) != 6 {
+		t.Fatalf("len = %d", len(y))
+	}
+	for i := 0; i < 3; i++ {
+		if y[i] != x[i] {
+			t.Errorf("y[%d] = %v", i, y[i])
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if y[i] != 0 {
+			t.Errorf("y[%d] = %v, want 0", i, y[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ZeroPad shrink should panic")
+		}
+	}()
+	ZeroPad(x, 2)
+}
+
+func TestConvolve(t *testing.T) {
+	got := Convolve([]float64{1, 2, 3}, []float64{1, 1})
+	want := []float64{1, 3, 5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Convolve(nil, []float64{1}) != nil {
+		t.Error("empty convolution should be nil")
+	}
+	// Convolution with a unit impulse is the identity.
+	a := []float64{3, -1, 4, 1, -5}
+	id := Convolve(a, []float64{1})
+	for i := range a {
+		if id[i] != a[i] {
+			t.Fatalf("identity convolution differs at %d", i)
+		}
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	r := rand.New(rand.NewPCG(1, 1))
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}

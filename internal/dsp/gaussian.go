@@ -1,0 +1,78 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaussianPulse returns the impulse response of the Gaussian pulse-shaping
+// filter used by GFSK, sampled at sps samples per symbol and truncated to
+// span symbol periods on each side (total length 2·span·sps + 1). bt is the
+// bandwidth-time product (BLE uses BT = 0.5). The taps are normalized so
+// they sum to 1, which preserves the NRZ levels of long constant runs —
+// exactly the property BLoc's channel sounding relies on (§4, Fig. 4b).
+func GaussianPulse(bt float64, sps, span int) []float64 {
+	if bt <= 0 || sps < 1 || span < 1 {
+		panic(fmt.Sprintf("dsp: invalid GaussianPulse(bt=%v, sps=%d, span=%d)", bt, sps, span))
+	}
+	// Standard GMSK Gaussian filter: h(t) ∝ exp(-t²/(2σ²)) with
+	// σ = sqrt(ln 2)/(2π·BT) in units of the symbol period.
+	sigma := math.Sqrt(math.Ln2) / (2 * math.Pi * bt)
+	n := 2*span*sps + 1
+	taps := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		t := (float64(i) - float64(n-1)/2) / float64(sps) // in symbol periods
+		taps[i] = math.Exp(-t * t / (2 * sigma * sigma))
+		sum += taps[i]
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return taps
+}
+
+// UpsampleNRZ converts bits to a ±1 NRZ waveform at sps samples per symbol
+// (bit 1 → +1, bit 0 → −1).
+func UpsampleNRZ(bits []byte, sps int) []float64 {
+	out := make([]float64, len(bits)*sps)
+	for i, b := range bits {
+		v := -1.0
+		if b != 0 {
+			v = 1.0
+		}
+		for s := 0; s < sps; s++ {
+			out[i*sps+s] = v
+		}
+	}
+	return out
+}
+
+// ShapeBits Gaussian-filters the NRZ representation of bits and returns the
+// smoothed frequency-deviation waveform (the "filtered bits" of Fig. 4),
+// trimmed to len(bits)·sps samples aligned with the input. The filter state
+// before the first and after the last bit is extended with the edge values
+// so that leading/trailing bits are not distorted by zero padding.
+func ShapeBits(bits []byte, bt float64, sps, span int) []float64 {
+	if len(bits) == 0 {
+		return nil
+	}
+	taps := GaussianPulse(bt, sps, span)
+	nrz := UpsampleNRZ(bits, sps)
+	// Extend edges to avoid transients at packet boundaries.
+	pad := len(taps) / 2
+	ext := make([]float64, len(nrz)+2*pad)
+	for i := 0; i < pad; i++ {
+		ext[i] = nrz[0]
+	}
+	copy(ext[pad:], nrz)
+	for i := len(nrz) + pad; i < len(ext); i++ {
+		ext[i] = nrz[len(nrz)-1]
+	}
+	full := Convolve(ext, taps)
+	// Full convolution of length len(ext)+len(taps)-1; the aligned segment
+	// starts at 2*pad (pad from extension + pad from filter delay).
+	out := make([]float64, len(nrz))
+	copy(out, full[2*pad:2*pad+len(nrz)])
+	return out
+}

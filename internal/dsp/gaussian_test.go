@@ -1,0 +1,149 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussianPulseNormalization(t *testing.T) {
+	for _, bt := range []float64{0.3, 0.5, 1.0} {
+		taps := GaussianPulse(bt, 8, 2)
+		var sum float64
+		for _, v := range taps {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("BT=%v: taps sum to %v, want 1", bt, sum)
+		}
+	}
+}
+
+func TestGaussianPulseSymmetry(t *testing.T) {
+	taps := GaussianPulse(0.5, 8, 3)
+	n := len(taps)
+	if n != 2*3*8+1 {
+		t.Fatalf("len = %d, want %d", n, 2*3*8+1)
+	}
+	for i := 0; i < n/2; i++ {
+		if math.Abs(taps[i]-taps[n-1-i]) > 1e-15 {
+			t.Fatalf("asymmetric at %d: %v vs %v", i, taps[i], taps[n-1-i])
+		}
+	}
+	// Peak is at the center and taps decay monotonically away from it.
+	mid := n / 2
+	for i := 0; i < mid; i++ {
+		if taps[i] > taps[i+1] {
+			t.Fatalf("not monotonically increasing toward center at %d", i)
+		}
+	}
+}
+
+func TestGaussianPulseWiderBTIsNarrower(t *testing.T) {
+	// Higher BT = wider filter bandwidth = narrower impulse response:
+	// the center tap of BT=1.0 must exceed that of BT=0.3.
+	lo := GaussianPulse(0.3, 8, 3)
+	hi := GaussianPulse(1.0, 8, 3)
+	if hi[len(hi)/2] <= lo[len(lo)/2] {
+		t.Errorf("BT=1.0 center %v should exceed BT=0.3 center %v",
+			hi[len(hi)/2], lo[len(lo)/2])
+	}
+}
+
+func TestGaussianPulsePanics(t *testing.T) {
+	cases := []struct {
+		bt        float64
+		sps, span int
+	}{
+		{0, 8, 2}, {-1, 8, 2}, {0.5, 0, 2}, {0.5, 8, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GaussianPulse(%v,%d,%d) should panic", c.bt, c.sps, c.span)
+				}
+			}()
+			GaussianPulse(c.bt, c.sps, c.span)
+		}()
+	}
+}
+
+func TestUpsampleNRZ(t *testing.T) {
+	out := UpsampleNRZ([]byte{1, 0, 1}, 2)
+	want := []float64{1, 1, -1, -1, 1, 1}
+	if len(out) != len(want) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestShapeBitsLongRunsSettle(t *testing.T) {
+	// The core insight of BLoc §4 (Fig. 4b): long runs of equal bits drive
+	// the filtered waveform to the full ±1 level, i.e. the instantaneous
+	// frequency settles at f0/f1 and the channel can be measured.
+	const sps = 8
+	bits := []byte{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	w := ShapeBits(bits, 0.5, sps, 3)
+	if len(w) != len(bits)*sps {
+		t.Fatalf("len = %d, want %d", len(w), len(bits)*sps)
+	}
+	// Middle of the zero-run: settled at -1.
+	midZero := w[2*sps+sps/2]
+	if math.Abs(midZero+1) > 0.01 {
+		t.Errorf("middle of 0-run = %v, want ≈ -1", midZero)
+	}
+	// Middle of the one-run: settled at +1.
+	midOne := w[7*sps+sps/2]
+	if math.Abs(midOne-1) > 0.01 {
+		t.Errorf("middle of 1-run = %v, want ≈ +1", midOne)
+	}
+	// The transition region is smooth: no sample overshoots ±1.
+	for i, v := range w {
+		if math.Abs(v) > 1+1e-9 {
+			t.Errorf("overshoot at %d: %v", i, v)
+		}
+	}
+}
+
+func TestShapeBitsAlternatingNeverSettles(t *testing.T) {
+	// Fig. 4a: alternating bits through the Gaussian filter never reach the
+	// full ±1 level, which is exactly why vanilla BLE traffic cannot be
+	// used for channel sounding.
+	const sps = 8
+	bits := []byte{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	w := ShapeBits(bits, 0.5, sps, 3)
+	// Look only at the interior bits (edge extension stabilizes the ends).
+	maxAbs := 0.0
+	for i := 2 * sps; i < 8*sps; i++ {
+		if a := math.Abs(w[i]); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 0.95 {
+		t.Errorf("alternating bits reached %v, expected to stay below full deviation", maxAbs)
+	}
+	if maxAbs < 0.2 {
+		t.Errorf("alternating bits at %v: filter killed the signal entirely", maxAbs)
+	}
+}
+
+func TestShapeBitsEmpty(t *testing.T) {
+	if got := ShapeBits(nil, 0.5, 8, 2); got != nil {
+		t.Errorf("ShapeBits(nil) = %v, want nil", got)
+	}
+}
+
+func TestShapeBitsConstantInput(t *testing.T) {
+	// All-ones input must produce a flat +1 waveform (no edge transients,
+	// thanks to edge extension).
+	w := ShapeBits([]byte{1, 1, 1, 1}, 0.5, 8, 3)
+	for i, v := range w {
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("constant input deviates at %d: %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a dense row-major 2-D array of float64, used for likelihood maps.
+// Cell (ix, iy) is stored at Data[iy*W + ix]. Coordinate semantics (meters
+// per cell, origin) are the caller's concern.
+type Grid struct {
+	W, H int
+	Data []float64
+}
+
+// NewGrid allocates a zeroed W×H grid. It panics on non-positive
+// dimensions.
+func NewGrid(w, h int) *Grid {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("dsp: NewGrid(%d, %d) with non-positive dimension", w, h))
+	}
+	return &Grid{W: w, H: h, Data: make([]float64, w*h)}
+}
+
+// At returns the value at (ix, iy). No bounds checking beyond the slice's.
+func (g *Grid) At(ix, iy int) float64 { return g.Data[iy*g.W+ix] }
+
+// Set stores v at (ix, iy).
+func (g *Grid) Set(ix, iy int, v float64) { g.Data[iy*g.W+ix] = v }
+
+// Add accumulates v into (ix, iy).
+func (g *Grid) Add(ix, iy int, v float64) { g.Data[iy*g.W+ix] += v }
+
+// In reports whether (ix, iy) is inside the grid.
+func (g *Grid) In(ix, iy int) bool {
+	return ix >= 0 && ix < g.W && iy >= 0 && iy < g.H
+}
+
+// Max returns the maximum value and its cell. For an all-equal grid the
+// first cell wins.
+func (g *Grid) Max() (v float64, ix, iy int) {
+	idx := ArgMax(g.Data)
+	return g.Data[idx], idx % g.W, idx / g.W
+}
+
+// Clone returns a deep copy of the grid.
+func (g *Grid) Clone() *Grid {
+	out := NewGrid(g.W, g.H)
+	copy(out.Data, g.Data)
+	return out
+}
+
+// AddGrid accumulates other into g cell-wise. The grids must have identical
+// dimensions.
+func (g *Grid) AddGrid(other *Grid) {
+	if g.W != other.W || g.H != other.H {
+		panic(fmt.Sprintf("dsp: AddGrid dimension mismatch %dx%d vs %dx%d",
+			g.W, g.H, other.W, other.H))
+	}
+	for i, v := range other.Data {
+		g.Data[i] += v
+	}
+}
+
+// Normalize scales the grid so its maximum is 1. An all-zero grid is left
+// unchanged.
+func (g *Grid) Normalize() {
+	m, _, _ := g.Max()
+	if m <= 0 {
+		return
+	}
+	inv := 1 / m
+	for i := range g.Data {
+		g.Data[i] *= inv
+	}
+}
+
+// Peak is a local maximum of a grid.
+type Peak struct {
+	IX, IY int     // cell indices
+	Value  float64 // grid value at the peak
+}
+
+// FindPeaks returns the local maxima of the grid whose value is at least
+// minFrac times the global maximum, sorted by decreasing value. A cell is a
+// local maximum if it is strictly greater than or equal to all of its
+// 8-neighbors and strictly greater than at least one (plateau interiors are
+// skipped; the first plateau cell encountered in scan order that dominates
+// its neighborhood is kept). minSep is the minimum Chebyshev distance in
+// cells between reported peaks: of two close peaks the larger survives.
+func (g *Grid) FindPeaks(minFrac float64, minSep int) []Peak {
+	gmax, _, _ := g.Max()
+	if gmax <= 0 {
+		return nil
+	}
+	thresh := gmax * minFrac
+	var candidates []Peak
+	for iy := 0; iy < g.H; iy++ {
+		for ix := 0; ix < g.W; ix++ {
+			v := g.At(ix, iy)
+			if v < thresh {
+				continue
+			}
+			isMax := true
+			strictlyAbove := false
+			for dy := -1; dy <= 1 && isMax; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					nx, ny := ix+dx, iy+dy
+					if !g.In(nx, ny) {
+						continue
+					}
+					nv := g.At(nx, ny)
+					if nv > v {
+						isMax = false
+						break
+					}
+					if nv < v {
+						strictlyAbove = true
+					}
+				}
+			}
+			if isMax && (strictlyAbove || isolated(g, ix, iy)) {
+				candidates = append(candidates, Peak{IX: ix, IY: iy, Value: v})
+			}
+		}
+	}
+	// Sort by decreasing value (insertion sort: candidate lists are small).
+	for i := 1; i < len(candidates); i++ {
+		for j := i; j > 0 && candidates[j].Value > candidates[j-1].Value; j-- {
+			candidates[j], candidates[j-1] = candidates[j-1], candidates[j]
+		}
+	}
+	if minSep <= 0 {
+		return candidates
+	}
+	var out []Peak
+	for _, c := range candidates {
+		keep := true
+		for _, k := range out {
+			dx, dy := c.IX-k.IX, c.IY-k.IY
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			if dx < minSep && dy < minSep {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// isolated reports whether the cell has no in-grid neighbors (1×1 grid or
+// similar degenerate cases), in which case it counts as a peak.
+func isolated(g *Grid, ix, iy int) bool {
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if g.In(ix+dx, iy+dy) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NeighborhoodValues collects the grid values inside a circular window of
+// the given diameter (in window samples) centered on (ix, iy), sampling
+// every stride-th cell: sample (dx, dy) with dx, dy ∈ [-d/2, d/2] lies at
+// cell (ix + dx·stride, iy + dy·stride) and is kept when inside the
+// inscribed circle and the grid. The paper uses a circular 7×7 window for
+// its entropy computation (§7) at an unstated grid resolution; the stride
+// scales the window's physical footprint independently of this grid's
+// cell size.
+func (g *Grid) NeighborhoodValues(ix, iy, diameter, stride int) []float64 {
+	if diameter < 1 || stride < 1 {
+		return nil
+	}
+	r := float64(diameter) / 2
+	ri := diameter / 2
+	out := make([]float64, 0, diameter*diameter)
+	for dy := -ri; dy <= ri; dy++ {
+		for dx := -ri; dx <= ri; dx++ {
+			if float64(dx*dx+dy*dy) > r*r {
+				continue
+			}
+			nx, ny := ix+dx*stride, iy+dy*stride
+			if g.In(nx, ny) {
+				out = append(out, g.At(nx, ny))
+			}
+		}
+	}
+	return out
+}
+
+// PeakNegentropy returns the negentropy ("peakiness" H of Eq. 18) of the
+// likelihood distribution in the circular neighborhood of the given cell.
+// The entropy is computed on the window's contrast (values minus the
+// window minimum): a smooth likelihood surface always carries a large
+// common pedestal under every peak, and entropy of the raw values would
+// be near-uniform regardless of shape. Contrast removes the pedestal so
+// sharp direct-path peaks score visibly above the diffuse blobs that
+// imperfect reflectors produce (§5.4).
+func (g *Grid) PeakNegentropy(ix, iy, diameter, stride int) float64 {
+	vals := g.NeighborhoodValues(ix, iy, diameter, stride)
+	if len(vals) == 0 {
+		return 0
+	}
+	minV := vals[0]
+	for _, v := range vals {
+		if v < minV {
+			minV = v
+		}
+	}
+	contrast := make([]float64, len(vals))
+	var sum float64
+	for i, v := range vals {
+		contrast[i] = v - minV
+		sum += contrast[i]
+	}
+	if sum == 0 {
+		return 0 // perfectly flat window: no peak at all
+	}
+	// log(window size) − entropy: a single spike (entropy 0) scores the
+	// window's maximum peakiness, a near-uniform contrast scores ≈ 0.
+	return math.Log(float64(len(vals))) - Entropy(contrast)
+}
+
+// Bilinear samples the grid at fractional coordinates (x, y) in cell units
+// using bilinear interpolation, clamping to the grid edges.
+func (g *Grid) Bilinear(x, y float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x > float64(g.W-1) {
+		x = float64(g.W - 1)
+	}
+	if y > float64(g.H-1) {
+		y = float64(g.H - 1)
+	}
+	x0, y0 := int(x), int(y)
+	x1, y1 := x0+1, y0+1
+	if x1 > g.W-1 {
+		x1 = g.W - 1
+	}
+	if y1 > g.H-1 {
+		y1 = g.H - 1
+	}
+	fx, fy := x-float64(x0), y-float64(y0)
+	v00 := g.At(x0, y0)
+	v10 := g.At(x1, y0)
+	v01 := g.At(x0, y1)
+	v11 := g.At(x1, y1)
+	return v00*(1-fx)*(1-fy) + v10*fx*(1-fy) + v01*(1-fx)*fy + v11*fx*fy
+}

@@ -1,0 +1,232 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGridBasics(t *testing.T) {
+	g := NewGrid(4, 3)
+	if g.W != 4 || g.H != 3 || len(g.Data) != 12 {
+		t.Fatalf("bad grid: %+v", g)
+	}
+	g.Set(2, 1, 5)
+	if g.At(2, 1) != 5 {
+		t.Error("Set/At roundtrip failed")
+	}
+	g.Add(2, 1, 2)
+	if g.At(2, 1) != 7 {
+		t.Error("Add failed")
+	}
+	if !g.In(0, 0) || !g.In(3, 2) || g.In(4, 0) || g.In(0, 3) || g.In(-1, 0) {
+		t.Error("In wrong")
+	}
+	v, ix, iy := g.Max()
+	if v != 7 || ix != 2 || iy != 1 {
+		t.Errorf("Max = (%v, %d, %d)", v, ix, iy)
+	}
+}
+
+func TestGridPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGrid(%v) should panic", dims)
+				}
+			}()
+			NewGrid(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestGridCloneAndAddGrid(t *testing.T) {
+	a := NewGrid(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 2)
+	b := a.Clone()
+	b.Set(0, 0, 10)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone is not deep")
+	}
+	a.AddGrid(b)
+	if a.At(0, 0) != 11 || a.At(1, 1) != 4 {
+		t.Errorf("AddGrid wrong: %v, %v", a.At(0, 0), a.At(1, 1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddGrid dimension mismatch should panic")
+		}
+	}()
+	a.AddGrid(NewGrid(3, 3))
+}
+
+func TestGridNormalize(t *testing.T) {
+	g := NewGrid(2, 2)
+	g.Set(0, 0, 2)
+	g.Set(1, 0, 4)
+	g.Normalize()
+	if g.At(1, 0) != 1 || g.At(0, 0) != 0.5 {
+		t.Errorf("Normalize wrong: %v %v", g.At(0, 0), g.At(1, 0))
+	}
+	z := NewGrid(2, 2)
+	z.Normalize() // must not panic or produce NaN
+	if z.At(0, 0) != 0 {
+		t.Error("zero grid changed by Normalize")
+	}
+}
+
+func TestFindPeaksSimple(t *testing.T) {
+	g := NewGrid(10, 10)
+	g.Set(2, 2, 10)
+	g.Set(7, 7, 8)
+	g.Set(7, 8, 3) // shoulder of the second peak
+	peaks := g.FindPeaks(0.1, 0)
+	if len(peaks) != 2 {
+		t.Fatalf("got %d peaks, want 2: %+v", len(peaks), peaks)
+	}
+	if peaks[0].IX != 2 || peaks[0].IY != 2 || peaks[0].Value != 10 {
+		t.Errorf("first peak = %+v", peaks[0])
+	}
+	if peaks[1].IX != 7 || peaks[1].IY != 7 {
+		t.Errorf("second peak = %+v", peaks[1])
+	}
+}
+
+func TestFindPeaksThreshold(t *testing.T) {
+	g := NewGrid(10, 10)
+	g.Set(2, 2, 10)
+	g.Set(7, 7, 0.5) // below 10% of max
+	peaks := g.FindPeaks(0.1, 0)
+	if len(peaks) != 1 {
+		t.Fatalf("got %d peaks, want 1 (threshold should drop the small one)", len(peaks))
+	}
+}
+
+func TestFindPeaksMinSep(t *testing.T) {
+	g := NewGrid(20, 20)
+	g.Set(5, 5, 10)
+	g.Set(6, 6, 9) // within separation of the bigger peak... but adjacent
+	g.Set(15, 15, 8)
+	peaks := g.FindPeaks(0.1, 3)
+	// (6,6) is adjacent to (5,5) so (5,5) dominates it as a neighbor; even
+	// if it survived local-max detection, minSep must drop it.
+	for _, p := range peaks {
+		if p.IX == 6 && p.IY == 6 {
+			t.Errorf("peak at (6,6) should have been suppressed")
+		}
+	}
+	found := map[[2]int]bool{}
+	for _, p := range peaks {
+		found[[2]int{p.IX, p.IY}] = true
+	}
+	if !found[[2]int{5, 5}] || !found[[2]int{15, 15}] {
+		t.Errorf("expected peaks at (5,5) and (15,15): %+v", peaks)
+	}
+}
+
+func TestFindPeaksEmptyGrid(t *testing.T) {
+	g := NewGrid(5, 5)
+	if peaks := g.FindPeaks(0.1, 0); peaks != nil {
+		t.Errorf("zero grid should have no peaks, got %+v", peaks)
+	}
+}
+
+func TestFindPeaksSortedByValue(t *testing.T) {
+	g := NewGrid(30, 30)
+	g.Set(3, 3, 5)
+	g.Set(10, 10, 9)
+	g.Set(20, 20, 7)
+	peaks := g.FindPeaks(0.01, 0)
+	if len(peaks) != 3 {
+		t.Fatalf("got %d peaks", len(peaks))
+	}
+	for i := 1; i < len(peaks); i++ {
+		if peaks[i].Value > peaks[i-1].Value {
+			t.Errorf("peaks not sorted: %+v", peaks)
+		}
+	}
+}
+
+func TestNeighborhoodValuesCircular(t *testing.T) {
+	g := NewGrid(20, 20)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	// A 7x7 circular window has fewer cells than the full 49 square
+	// (corners excluded) but more than the inscribed 5x5.
+	vals := g.NeighborhoodValues(10, 10, 7, 1)
+	if len(vals) >= 49 || len(vals) <= 25 {
+		t.Errorf("circular 7x7 window has %d cells, expected between 26 and 48", len(vals))
+	}
+	// Window at a corner is clipped.
+	corner := g.NeighborhoodValues(0, 0, 7, 1)
+	if len(corner) >= len(vals) {
+		t.Errorf("corner window (%d) should be smaller than center window (%d)",
+			len(corner), len(vals))
+	}
+	if g.NeighborhoodValues(5, 5, 0, 1) != nil {
+		t.Error("zero-diameter window should be nil")
+	}
+}
+
+func TestPeakNegentropyOrdersPeakVsFlat(t *testing.T) {
+	// The discriminator at the heart of §5.4: a peaky neighborhood must
+	// have higher H than a diffuse one.
+	g := NewGrid(30, 30)
+	// Diffuse blob around (7, 7).
+	for dy := -3; dy <= 3; dy++ {
+		for dx := -3; dx <= 3; dx++ {
+			g.Set(7+dx, 7+dy, 5)
+		}
+	}
+	// Sharp peak at (20, 20).
+	g.Set(20, 20, 35)
+	for dy := -3; dy <= 3; dy++ {
+		for dx := -3; dx <= 3; dx++ {
+			if dx != 0 || dy != 0 {
+				g.Set(20+dx, 20+dy, 0.5)
+			}
+		}
+	}
+	flat := g.PeakNegentropy(7, 7, 7, 1)
+	sharp := g.PeakNegentropy(20, 20, 7, 1)
+	if sharp <= flat {
+		t.Errorf("sharp H (%v) should exceed flat H (%v)", sharp, flat)
+	}
+}
+
+func TestBilinear(t *testing.T) {
+	g := NewGrid(3, 3)
+	g.Set(0, 0, 0)
+	g.Set(1, 0, 2)
+	g.Set(0, 1, 4)
+	g.Set(1, 1, 6)
+	// Exact cell centers.
+	if v := g.Bilinear(1, 0); v != 2 {
+		t.Errorf("Bilinear(1,0) = %v, want 2", v)
+	}
+	// Midpoint of the four cells: average.
+	if v := g.Bilinear(0.5, 0.5); math.Abs(v-3) > 1e-12 {
+		t.Errorf("Bilinear(0.5,0.5) = %v, want 3", v)
+	}
+	// Clamping beyond the edges.
+	if v := g.Bilinear(-5, -5); v != g.At(0, 0) {
+		t.Errorf("clamped Bilinear = %v", v)
+	}
+	if v := g.Bilinear(99, 99); v != g.At(2, 2) {
+		t.Errorf("clamped Bilinear = %v", v)
+	}
+}
+
+func BenchmarkFindPeaks(b *testing.B) {
+	g := NewGrid(120, 100)
+	for i := range g.Data {
+		g.Data[i] = math.Sin(float64(i)*0.01) + 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FindPeaks(0.3, 3)
+	}
+}

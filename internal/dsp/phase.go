@@ -1,0 +1,111 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Phase returns the argument of z in (-π, π].
+func Phase(z complex128) float64 { return cmplx.Phase(z) }
+
+// Unwrap returns a copy of phases (radians) with 2π discontinuities
+// removed: whenever consecutive samples jump by more than π the subsequent
+// samples are shifted by the appropriate multiple of 2π. This mirrors
+// MATLAB/NumPy unwrap and is used to inspect phase-vs-frequency linearity
+// (Fig. 8b).
+func Unwrap(phases []float64) []float64 {
+	out := make([]float64, len(phases))
+	if len(phases) == 0 {
+		return out
+	}
+	out[0] = phases[0]
+	offset := 0.0
+	for i := 1; i < len(phases); i++ {
+		d := phases[i] - phases[i-1]
+		if d > math.Pi {
+			offset -= 2 * math.Pi
+		} else if d < -math.Pi {
+			offset += 2 * math.Pi
+		}
+		out[i] = phases[i] + offset
+	}
+	return out
+}
+
+// CircularMean returns the mean direction of the given angles (radians),
+// i.e. the argument of the sum of unit phasors. It is the correct way to
+// average phases that may straddle the ±π wrap. The second return value is
+// the resultant length in [0, 1]: 1 means all angles agree, 0 means they
+// cancel completely (mean direction meaningless).
+func CircularMean(angles []float64) (mean, resultant float64) {
+	if len(angles) == 0 {
+		return 0, 0
+	}
+	var sx, sy float64
+	for _, a := range angles {
+		s, c := math.Sincos(a)
+		sx += c
+		sy += s
+	}
+	n := float64(len(angles))
+	r := math.Hypot(sx, sy) / n
+	return math.Atan2(sy, sx), r
+}
+
+// MeanAmplitudePhase combines a set of complex channel samples into a single
+// value by averaging amplitude and phase separately, as BLoc does when
+// merging the f0 and f1 measurements of one BLE band into one per-band CSI
+// value (§5: "averaging the channel amplitude and channel phase separately
+// and combining them into a single channel value"). Phase averaging is
+// circular.
+func MeanAmplitudePhase(samples []complex128) complex128 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var ampSum float64
+	phases := make([]float64, len(samples))
+	for i, s := range samples {
+		ampSum += cmplx.Abs(s)
+		phases[i] = cmplx.Phase(s)
+	}
+	amp := ampSum / float64(len(samples))
+	mean, _ := CircularMean(phases)
+	return cmplx.Rect(amp, mean)
+}
+
+// LinearFit fits y = a + b·x by least squares and returns the intercept a,
+// slope b, and the coefficient of determination R². With fewer than two
+// points it returns zeros. R² is reported as 1 when the data is perfectly
+// constant (zero variance).
+func LinearFit(x, y []float64) (a, b, r2 float64) {
+	n := len(x)
+	if n != len(y) {
+		panic("dsp: LinearFit length mismatch")
+	}
+	if n < 2 {
+		return 0, 0, 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return my, 0, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		return a, b, 1
+	}
+	r2 = (sxy * sxy) / (sxx * syy)
+	return a, b, r2
+}

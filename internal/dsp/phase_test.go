@@ -1,0 +1,183 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnwrap(t *testing.T) {
+	// A linear phase ramp that wraps at ±π must unwrap to a straight line.
+	n := 50
+	slope := 0.9 // radians per step; wraps several times over 50 steps
+	wrapped := make([]float64, n)
+	for i := range wrapped {
+		raw := slope * float64(i)
+		wrapped[i] = math.Atan2(math.Sin(raw), math.Cos(raw))
+	}
+	un := Unwrap(wrapped)
+	for i := range un {
+		want := slope * float64(i)
+		if math.Abs(un[i]-want) > 1e-9 {
+			t.Fatalf("Unwrap[%d] = %v, want %v", i, un[i], want)
+		}
+	}
+}
+
+func TestUnwrapEmptyAndSingle(t *testing.T) {
+	if got := Unwrap(nil); len(got) != 0 {
+		t.Error("Unwrap(nil) should be empty")
+	}
+	if got := Unwrap([]float64{1.5}); len(got) != 1 || got[0] != 1.5 {
+		t.Errorf("Unwrap single = %v", got)
+	}
+}
+
+func TestUnwrapPreservesDifferencesMod2Pi(t *testing.T) {
+	// Property: unwrapped[i] ≡ wrapped[i] (mod 2π).
+	r := rand.New(rand.NewPCG(2, 8))
+	phases := make([]float64, 100)
+	for i := range phases {
+		phases[i] = (r.Float64() - 0.5) * 2 * math.Pi
+	}
+	un := Unwrap(phases)
+	for i := range phases {
+		k := (un[i] - phases[i]) / (2 * math.Pi)
+		if math.Abs(k-math.Round(k)) > 1e-9 {
+			t.Fatalf("sample %d shifted by non-multiple of 2π: %v", i, un[i]-phases[i])
+		}
+	}
+	// And consecutive differences are at most π in magnitude.
+	for i := 1; i < len(un); i++ {
+		if math.Abs(un[i]-un[i-1]) > math.Pi+1e-9 {
+			t.Fatalf("jump at %d: %v", i, un[i]-un[i-1])
+		}
+	}
+}
+
+func TestCircularMean(t *testing.T) {
+	// Angles straddling the wrap: mean of +179° and -179° is 180°, not 0°.
+	a := []float64{math.Pi - 0.01, -math.Pi + 0.01}
+	mean, r := CircularMean(a)
+	if math.Abs(math.Abs(mean)-math.Pi) > 1e-9 {
+		t.Errorf("mean = %v, want ±π", mean)
+	}
+	if r < 0.99 {
+		t.Errorf("resultant = %v, want ≈1", r)
+	}
+	// Opposite angles cancel.
+	_, r2 := CircularMean([]float64{0, math.Pi})
+	if r2 > 1e-9 {
+		t.Errorf("opposite angles resultant = %v, want 0", r2)
+	}
+	// Empty input.
+	m0, r0 := CircularMean(nil)
+	if m0 != 0 || r0 != 0 {
+		t.Error("empty CircularMean should be (0, 0)")
+	}
+}
+
+func TestCircularMeanMatchesArithmeticWhenNoWrap(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 1))
+	for trial := 0; trial < 50; trial++ {
+		center := (r.Float64() - 0.5) * 2 // well inside (-π, π)
+		angles := make([]float64, 20)
+		for i := range angles {
+			angles[i] = center + (r.Float64()-0.5)*0.2
+		}
+		mean, res := CircularMean(angles)
+		arith := Mean(angles)
+		if math.Abs(mean-arith) > 1e-3 {
+			t.Fatalf("circular %v vs arithmetic %v", mean, arith)
+		}
+		if res < 0.99 {
+			t.Fatalf("tight cluster should have resultant ≈ 1, got %v", res)
+		}
+	}
+}
+
+func TestMeanAmplitudePhase(t *testing.T) {
+	// Two samples with equal phase: amplitude averages, phase preserved.
+	s := []complex128{cmplx.Rect(2, 0.5), cmplx.Rect(4, 0.5)}
+	got := MeanAmplitudePhase(s)
+	if math.Abs(cmplx.Abs(got)-3) > 1e-9 {
+		t.Errorf("amplitude = %v, want 3", cmplx.Abs(got))
+	}
+	if math.Abs(cmplx.Phase(got)-0.5) > 1e-9 {
+		t.Errorf("phase = %v, want 0.5", cmplx.Phase(got))
+	}
+	// Phases straddling the wrap must average circularly.
+	s2 := []complex128{cmplx.Rect(1, math.Pi-0.1), cmplx.Rect(1, -math.Pi+0.1)}
+	got2 := MeanAmplitudePhase(s2)
+	if math.Abs(math.Abs(cmplx.Phase(got2))-math.Pi) > 1e-9 {
+		t.Errorf("wrapped phase mean = %v, want ±π", cmplx.Phase(got2))
+	}
+	if MeanAmplitudePhase(nil) != 0 {
+		t.Error("empty MeanAmplitudePhase should be 0")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2 := LinearFit(x, y)
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 {
+		t.Errorf("fit = (%v, %v), want (1, 2)", a, b)
+	}
+	if math.Abs(r2-1) > 1e-9 {
+		t.Errorf("r2 = %v, want 1", r2)
+	}
+}
+
+func TestLinearFitNoise(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 5 - 0.25*x[i] + r.NormFloat64()*0.5
+	}
+	a, b, r2 := LinearFit(x, y)
+	if math.Abs(a-5) > 0.3 || math.Abs(b+0.25) > 0.01 {
+		t.Errorf("noisy fit = (%v, %v), want ≈(5, -0.25)", a, b)
+	}
+	if r2 < 0.95 {
+		t.Errorf("r2 = %v, want > 0.95", r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	// Constant y: slope 0, r2 = 1 (perfectly explained).
+	a, b, r2 := LinearFit([]float64{0, 1, 2}, []float64{7, 7, 7})
+	if a != 7 || b != 0 || r2 != 1 {
+		t.Errorf("constant fit = (%v, %v, %v)", a, b, r2)
+	}
+	// Constant x: no slope recoverable.
+	_, b2, _ := LinearFit([]float64{3, 3, 3}, []float64{1, 2, 3})
+	if b2 != 0 {
+		t.Errorf("vertical fit slope = %v, want 0", b2)
+	}
+	// Fewer than 2 points.
+	if a, b, r2 := LinearFit([]float64{1}, []float64{2}); a != 0 || b != 0 || r2 != 0 {
+		t.Error("single-point fit should be zeros")
+	}
+}
+
+func TestPhaseProperty(t *testing.T) {
+	// Phase of a rect-constructed value round-trips.
+	f := func(mag, ang float64) bool {
+		if math.IsNaN(mag) || math.IsInf(mag, 0) || math.IsNaN(ang) || math.IsInf(ang, 0) {
+			return true
+		}
+		mag = math.Abs(math.Mod(mag, 1e3)) + 0.1
+		ang = math.Mod(ang, math.Pi*0.999)
+		z := cmplx.Rect(mag, ang)
+		return math.Abs(Phase(z)-ang) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

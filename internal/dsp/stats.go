@@ -1,0 +1,171 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs, or 0 when fewer
+// than two samples are present.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the median of xs (the 50th percentile). It does not modify
+// xs. It panics on an empty slice.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks, matching the convention used for the
+// paper's "median" and "90th percentile" error numbers. It does not modify
+// xs and panics on an empty slice or out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("dsp: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("dsp: Percentile %v out of [0,100]", p))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// RMS returns the root mean square of xs, or 0 for an empty slice.
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// CDFPoint is one (value, cumulative fraction) sample of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// EmpiricalCDF returns the empirical cumulative distribution of xs as a
+// sorted list of points, with Fraction = (index+1)/n. It does not modify xs.
+func EmpiricalCDF(xs []float64) []CDFPoint {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / n}
+	}
+	return out
+}
+
+// CDFAt returns the empirical CDF of xs evaluated at v: the fraction of
+// samples ≤ v.
+func CDFAt(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	count := 0
+	for _, x := range xs {
+		if x <= v {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}
+
+// Entropy returns the Shannon entropy (nats) of the distribution obtained
+// by normalizing the non-negative weights w. Zero weights contribute
+// nothing; if all weights are zero the entropy is 0.
+func Entropy(w []float64) float64 {
+	var sum float64
+	for _, x := range w {
+		if x > 0 {
+			sum += x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	var h float64
+	for _, x := range w {
+		if x > 0 {
+			p := x / sum
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// Negentropy returns log(n) − Entropy(w) where n is the number of strictly
+// positive weights: 0 for a perfectly flat distribution, log(n) for a
+// single spike. This is the "peakiness" H used in BLoc's multipath score
+// (Eq. 18): the paper's sign convention has direct (peaky) paths at high H
+// and diffuse reflections at low H.
+func Negentropy(w []float64) float64 {
+	n := 0
+	for _, x := range w {
+		if x > 0 {
+			n++
+		}
+	}
+	if n <= 1 {
+		if n == 0 {
+			return 0
+		}
+		return 0 // single sample: flat by definition
+	}
+	return math.Log(float64(n)) - Entropy(w)
+}
+
+// ArgMax returns the index of the maximum value in xs, or -1 for an empty
+// slice. Ties resolve to the first maximum.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

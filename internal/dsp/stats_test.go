@@ -1,0 +1,193 @@
+package dsp
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if s := Stddev(xs); math.Abs(s-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Error("empty/single-element stats should be 0")
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if m := Median(xs); m != 3 {
+		t.Errorf("Median = %v, want 3", m)
+	}
+	even := []float64{1, 2, 3, 4}
+	if m := Median(even); m != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", m)
+	}
+	if p := Percentile(even, 0); p != 1 {
+		t.Errorf("P0 = %v, want 1", p)
+	}
+	if p := Percentile(even, 100); p != 4 {
+		t.Errorf("P100 = %v, want 4", p)
+	}
+	if p := Percentile([]float64{10}, 50); p != 10 {
+		t.Errorf("single P50 = %v", p)
+	}
+	// Input must not be modified.
+	orig := []float64{5, 1, 3}
+	Percentile(orig, 50)
+	if orig[0] != 5 || orig[1] != 1 || orig[2] != 3 {
+		t.Error("Percentile modified its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	// Property: percentiles are monotone in p and bounded by min/max.
+	r := rand.New(rand.NewPCG(8, 2))
+	xs := make([]float64, 57)
+	for i := range xs {
+		xs[i] = r.NormFloat64() * 10
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 2.5 {
+		v := Percentile(xs, p)
+		if v < prev-1e-12 {
+			t.Fatalf("percentile not monotone at p=%v", p)
+		}
+		if v < sorted[0]-1e-12 || v > sorted[len(sorted)-1]+1e-12 {
+			t.Fatalf("percentile %v out of range at p=%v", v, p)
+		}
+		prev = v
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if r := RMS([]float64{3, 4, 0, 0}); math.Abs(r-2.5) > 1e-12 {
+		t.Errorf("RMS = %v, want 2.5", r)
+	}
+	if RMS(nil) != 0 {
+		t.Error("RMS(nil) should be 0")
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	cdf := EmpiricalCDF(xs)
+	if len(cdf) != 3 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	wantVals := []float64{1, 2, 3}
+	wantFracs := []float64{1.0 / 3, 2.0 / 3, 1}
+	for i := range cdf {
+		if cdf[i].Value != wantVals[i] || math.Abs(cdf[i].Fraction-wantFracs[i]) > 1e-12 {
+			t.Errorf("cdf[%d] = %+v", i, cdf[i])
+		}
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	tests := []struct{ v, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, tc := range tests {
+		if got := CDFAt(xs, tc.v); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("CDFAt(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+	if CDFAt(nil, 1) != 0 {
+		t.Error("CDFAt on empty should be 0")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Uniform distribution over n outcomes has entropy log(n).
+	if h := Entropy([]float64{1, 1, 1, 1}); math.Abs(h-math.Log(4)) > 1e-12 {
+		t.Errorf("uniform entropy = %v, want log 4", h)
+	}
+	// A single spike has zero entropy.
+	if h := Entropy([]float64{0, 5, 0}); h != 0 {
+		t.Errorf("spike entropy = %v, want 0", h)
+	}
+	// Scaling the weights must not change the entropy.
+	a := []float64{0.2, 0.3, 0.5}
+	b := []float64{2, 3, 5}
+	if math.Abs(Entropy(a)-Entropy(b)) > 1e-12 {
+		t.Error("entropy not scale-invariant")
+	}
+	if Entropy(nil) != 0 || Entropy([]float64{0, 0}) != 0 {
+		t.Error("degenerate entropy should be 0")
+	}
+}
+
+func TestNegentropy(t *testing.T) {
+	// Flat → 0; spike → log(n) over the positive support.
+	if h := Negentropy([]float64{1, 1, 1, 1}); math.Abs(h) > 1e-12 {
+		t.Errorf("flat negentropy = %v, want 0", h)
+	}
+	// One dominant value among equals: strictly positive.
+	h := Negentropy([]float64{10, 1, 1, 1})
+	if h <= 0 {
+		t.Errorf("peaky negentropy = %v, want > 0", h)
+	}
+	// Peakier distributions have strictly higher negentropy — this is the
+	// ordering BLoc's Eq. 18 depends on (direct path peaky, multipath flat).
+	mild := Negentropy([]float64{2, 1, 1, 1})
+	sharp := Negentropy([]float64{100, 1, 1, 1})
+	if sharp <= mild {
+		t.Errorf("negentropy ordering violated: sharp %v <= mild %v", sharp, mild)
+	}
+	if Negentropy(nil) != 0 || Negentropy([]float64{3}) != 0 {
+		t.Error("degenerate negentropy should be 0")
+	}
+}
+
+func TestNegentropyNonNegativeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		w := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				w = append(w, math.Abs(math.Mod(x, 1e6)))
+			}
+		}
+		return Negentropy(w) >= -1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if i := ArgMax([]float64{1, 5, 3, 5}); i != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first max)", i)
+	}
+	if i := ArgMax(nil); i != -1 {
+		t.Errorf("ArgMax(nil) = %d, want -1", i)
+	}
+}

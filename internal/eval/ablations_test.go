@@ -1,0 +1,237 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"bloc/internal/geom"
+)
+
+func TestAblationScoreDecomposition(t *testing.T) {
+	s := newTestSuite(t, 16)
+	vs, err := s.AblationScore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 5 {
+		t.Fatalf("got %d variants", len(vs))
+	}
+	byName := map[string]ScoreVariant{}
+	for _, v := range vs {
+		if v.Median <= 0 {
+			t.Errorf("variant %q has zero median", v.Name)
+		}
+		byName[v.Name] = v
+		t.Logf("%-30s median %.2f m", v.Name, v.Median)
+	}
+	full := byName["full score (a=0.1, b=0.05)"]
+	sd := byName["shortest distance selector"]
+	if full.Median > sd.Median {
+		t.Errorf("full score (%.2f) worse than shortest-distance (%.2f)", full.Median, sd.Median)
+	}
+	if !strings.Contains(ScoreTable(vs).String(), "full score") {
+		t.Error("table missing variants")
+	}
+}
+
+func TestAblationWeights(t *testing.T) {
+	s := newTestSuite(t, 10)
+	ps, err := s.AblationWeights([]float64{0.05, 0.1}, []float64{0, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 4 {
+		t.Fatalf("got %d points", len(ps))
+	}
+	for _, p := range ps {
+		if p.Median <= 0 || p.Median > 6 {
+			t.Errorf("weights (%.2f, %.2f): degenerate median %.2f", p.A, p.B, p.Median)
+		}
+	}
+	if !strings.Contains(WeightsTable(ps).String(), "0.05") {
+		t.Error("table malformed")
+	}
+}
+
+func TestAblationSNR(t *testing.T) {
+	ps, err := AblationSNR(7, 10, []float64{10, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("got %d points", len(ps))
+	}
+	for _, p := range ps {
+		t.Logf("SNR %2.0f dB: BLoc %.2f m, AoA %.2f m", p.SNRdB, p.BLoc.Median, p.AoA.Median)
+		if p.BLoc.Median <= 0 {
+			t.Error("degenerate stats")
+		}
+	}
+	if !strings.Contains(SNRTable(ps).String(), "SNR") {
+		t.Error("table malformed")
+	}
+}
+
+func TestAblationHopInvariance(t *testing.T) {
+	// §2.1's primality argument: the hop increment permutes the band
+	// measurement order but must not change where BLoc thinks the tag is
+	// beyond ordinary measurement-to-measurement variation.
+	permuted, repeated, err := AblationHopInvariance(7, geom.Pt(0.6, -0.4), []int{5, 9, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, rs := Spread(permuted), Spread(repeated)
+	t.Logf("hop-permuted spread %.2f m, repeated-measurement spread %.2f m", ps, rs)
+	if ps > rs+0.5 {
+		t.Errorf("hop increment changed results beyond measurement noise: %.2f vs %.2f", ps, rs)
+	}
+}
+
+func TestAblationNLOS(t *testing.T) {
+	ps, err := AblationNLOS(7, 10, []float64{1.0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("got %d points", len(ps))
+	}
+	for _, p := range ps {
+		t.Logf("atten %.2f: BLoc %.2f m, AoA %.2f m", p.Attenuation, p.BLoc.Median, p.AoA.Median)
+	}
+	// Heavier obstruction should not make things better.
+	if ps[1].BLoc.Median < ps[0].BLoc.Median*0.5 {
+		t.Errorf("NLOS clutter improved accuracy: %.2f -> %.2f", ps[0].BLoc.Median, ps[1].BLoc.Median)
+	}
+	if !strings.Contains(NLOSTable(ps).String(), "none") {
+		t.Error("table malformed")
+	}
+}
+
+func TestSpread(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 4), geom.Pt(1, 1)}
+	if s := Spread(pts); s != 5 {
+		t.Errorf("Spread = %v, want 5", s)
+	}
+	if Spread(nil) != 0 || Spread(pts[:1]) != 0 {
+		t.Error("degenerate spreads should be 0")
+	}
+}
+
+func TestAblationBaselinesPanel(t *testing.T) {
+	s := newTestSuite(t, 12)
+	rs, err := s.AblationBaselines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 6 {
+		t.Fatalf("got %d baselines", len(rs))
+	}
+	medians := map[string]float64{}
+	for _, r := range rs {
+		if r.Stats.Median <= 0 {
+			t.Errorf("%s: degenerate median", r.Name)
+		}
+		medians[r.Name] = r.Stats.Median
+		t.Logf("%-32s median %.2f m", r.Name, r.Stats.Median)
+	}
+	// BLoc must lead the panel.
+	for name, m := range medians {
+		if name != "BLoc (full pipeline)" && m < medians["BLoc (full pipeline)"]*0.8 {
+			t.Errorf("%s (%.2f) beats BLoc (%.2f) decisively", name, m, medians["BLoc (full pipeline)"])
+		}
+	}
+	if !strings.Contains(BaselinesTable(rs).String(), "MUSIC") {
+		t.Error("panel table missing MUSIC")
+	}
+}
+
+func TestAblationInterference(t *testing.T) {
+	ps, err := AblationInterference(7, 14, 6, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("got %d scenarios", len(ps))
+	}
+	quiet, noAFH, afh := ps[0], ps[1], ps[2]
+	t.Logf("quiet %.2f (%d ch) | no-AFH %.2f (%d ch) | AFH %.2f (%d ch)",
+		quiet.BLoc.Median, quiet.Channels, noAFH.BLoc.Median, noAFH.Channels,
+		afh.BLoc.Median, afh.Channels)
+	if afh.Channels >= quiet.Channels {
+		t.Errorf("AFH kept %d channels, expected a blacklist below %d", afh.Channels, quiet.Channels)
+	}
+	// AFH must not be meaningfully worse than the quiet band (the paper's
+	// §8.6 point: losing blacklisted channels barely matters), and it
+	// should not lose to ignoring the interference.
+	if afh.BLoc.Median > quiet.BLoc.Median*1.5+0.1 {
+		t.Errorf("AFH median %.2f much worse than quiet %.2f", afh.BLoc.Median, quiet.BLoc.Median)
+	}
+	if afh.BLoc.Median > noAFH.BLoc.Median*1.25+0.1 {
+		t.Errorf("AFH median %.2f worse than ignoring interference %.2f", afh.BLoc.Median, noAFH.BLoc.Median)
+	}
+	if !strings.Contains(InterferenceTable(ps).String(), "AFH") {
+		t.Error("table malformed")
+	}
+}
+
+func TestAblationMotion(t *testing.T) {
+	ps, err := AblationMotion(7, 10, []float64{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("got %d points", len(ps))
+	}
+	for _, p := range ps {
+		t.Logf("%.1f m/s: median %.2f m", p.SpeedMS, p.BLoc.Median)
+	}
+	// Static must be at least as good as fast motion (allowing small-
+	// sample noise), and fast motion must not collapse entirely.
+	if ps[0].BLoc.Median > ps[2].BLoc.Median*1.3+0.1 {
+		t.Errorf("static (%.2f) worse than 3 m/s (%.2f)?", ps[0].BLoc.Median, ps[2].BLoc.Median)
+	}
+	if ps[2].BLoc.Median > 4 {
+		t.Errorf("3 m/s median %.2f beyond room scale", ps[2].BLoc.Median)
+	}
+	if !strings.Contains(MotionTable(ps).String(), "m/s") {
+		t.Error("table malformed")
+	}
+}
+
+func TestAblationCTE(t *testing.T) {
+	r, err := AblationCTE(7, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("CTE %.2f m, BLoc %.2f m", r.CTE.Median, r.BLoc.Median)
+	if r.BLoc.Median >= r.CTE.Median {
+		t.Errorf("BLoc (%.2f) did not beat CTE (%.2f) in the multipath room",
+			r.BLoc.Median, r.CTE.Median)
+	}
+	if !strings.Contains(CTETable(r).String(), "5.1") {
+		t.Error("table malformed")
+	}
+}
+
+func TestAblationWiFi(t *testing.T) {
+	r, err := AblationWiFi(7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("WiFi %.2f m | BLoc %.2f m | BLE-AoA %.2f m",
+		r.WiFi.Median, r.BLoc.Median, r.BLEAoA.Median)
+	// The paper's framing: Wi-Fi CSI achieves ≈1 m-class accuracy; BLoc
+	// brings BLE into the same class; plain BLE AoA does not.
+	if r.WiFi.Median > 2.0 {
+		t.Errorf("Wi-Fi SpotFi median %.2f m — should be meter-class", r.WiFi.Median)
+	}
+	if r.BLoc.Median > r.WiFi.Median*2.5+0.2 {
+		t.Errorf("BLoc (%.2f) not in Wi-Fi's class (%.2f)", r.BLoc.Median, r.WiFi.Median)
+	}
+	if r.BLEAoA.Median < r.BLoc.Median {
+		t.Errorf("BLE AoA (%.2f) beats BLoc (%.2f)?", r.BLEAoA.Median, r.BLoc.Median)
+	}
+	if !strings.Contains(WiFiTable(r).String(), "Wi-Fi") {
+		t.Error("table malformed")
+	}
+}

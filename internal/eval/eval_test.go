@@ -1,0 +1,433 @@
+package eval
+
+import (
+	"bytes"
+	"image/color"
+	"image/png"
+	"math"
+	"strings"
+	"testing"
+
+	"bloc/internal/dsp"
+	"bloc/internal/geom"
+	"bloc/internal/testbed"
+)
+
+func TestSamplePositions(t *testing.T) {
+	room := testbed.PaperRoom()
+	pts := SamplePositions(room, 200, 0.04, 0.25, 1)
+	if len(pts) != 200 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	inner := room.Inset(0.25)
+	for _, p := range pts {
+		if !inner.Contains(p) {
+			t.Errorf("point %v outside margin region", p)
+		}
+	}
+	// Spacing should mostly hold (accepting rare fallbacks).
+	crowded := 0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) < 0.04 {
+				crowded++
+			}
+		}
+	}
+	if crowded > 5 {
+		t.Errorf("%d crowded pairs", crowded)
+	}
+	// Deterministic.
+	again := SamplePositions(room, 200, 0.04, 0.25, 1)
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	// Different seeds differ.
+	other := SamplePositions(room, 200, 0.04, 0.25, 2)
+	if pts[0] == other[0] && pts[1] == other[1] {
+		t.Error("different seeds gave identical positions")
+	}
+}
+
+func TestErrorStats(t *testing.T) {
+	st := NewErrorStats([]float64{0.1, 0.2, 0.3, 0.4, 10})
+	if st.N != 5 || st.Median != 0.3 || st.Max != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.P90 < 0.4 || st.P90 > 10 {
+		t.Errorf("p90 = %v", st.P90)
+	}
+	if !strings.Contains(st.String(), "median=30cm") {
+		t.Errorf("String = %q", st.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "T", Columns: []string{"a", "bbbb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	s := tbl.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "333") {
+		t.Errorf("table = %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Errorf("table has %d lines, want 5", len(lines))
+	}
+}
+
+func newTestSuite(t *testing.T, positions int) *Suite {
+	t.Helper()
+	s, err := NewSuite(SuiteOptions{Seed: 7, Positions: positions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAcquireDeterministicAndComplete(t *testing.T) {
+	dep, err := testbed.Paper(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds1, err := Acquire(dep, AcquireOptions{Positions: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := Acquire(dep, AcquireOptions{Positions: 10, Seed: 3, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds1.Len() != 10 || ds2.Len() != 10 {
+		t.Fatal("wrong dataset size")
+	}
+	for i := range ds1.Snapshots {
+		if ds1.Truth[i] != ds2.Truth[i] {
+			t.Fatal("ground truth not deterministic")
+		}
+		if ds1.Snapshots[i].Tag[3][2][1] != ds2.Snapshots[i].Tag[3][2][1] {
+			t.Fatal("snapshots depend on worker count")
+		}
+	}
+}
+
+func TestFig9aShape(t *testing.T) {
+	s := newTestSuite(t, 24)
+	r, err := s.Fig9a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BLoc.N != 24 || r.AoA.N != 24 {
+		t.Fatalf("ns = %d/%d", r.BLoc.N, r.AoA.N)
+	}
+	// The paper's headline shape: BLoc clearly better than AoA.
+	t.Logf("BLoc %v | AoA %v", r.BLoc, r.AoA)
+	if r.BLoc.Median >= r.AoA.Median {
+		t.Errorf("BLoc median %.2f not better than AoA %.2f", r.BLoc.Median, r.AoA.Median)
+	}
+	if r.BLoc.Median > 1.2 {
+		t.Errorf("BLoc median %.2f m too large", r.BLoc.Median)
+	}
+	if len(r.BLocCDF) != 24 || r.BLocCDF[23].Fraction != 1 {
+		t.Error("CDF malformed")
+	}
+	if !strings.Contains(r.Table().String(), "BLoc") {
+		t.Error("table missing scheme")
+	}
+}
+
+func TestFig12MultipathRejectionHelps(t *testing.T) {
+	s := newTestSuite(t, 24)
+	r, err := s.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BLoc %v | shortest %v", r.BLoc, r.Shortest)
+	if r.BLoc.Median > r.Shortest.Median {
+		t.Errorf("Eq. 18 selector (%.2f) worse than shortest-distance (%.2f)",
+			r.BLoc.Median, r.Shortest.Median)
+	}
+}
+
+func TestFig10BandwidthTrend(t *testing.T) {
+	s := newTestSuite(t, 24)
+	r, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := r.Stats[2].Median
+	m80 := r.Stats[80].Median
+	t.Logf("2MHz %.2f | 20MHz %.2f | 40MHz %.2f | 80MHz %.2f",
+		m2, r.Stats[20].Median, r.Stats[40].Median, m80)
+	// The paper's shape: 2 MHz ≈ 2× worse than 80 MHz.
+	if m2 <= m80 {
+		t.Errorf("2 MHz (%.2f) should be worse than 80 MHz (%.2f)", m2, m80)
+	}
+	if m2 < 1.3*m80 {
+		t.Errorf("bandwidth gain too small: %.2f vs %.2f", m2, m80)
+	}
+}
+
+func TestFig11SubsamplingRobust(t *testing.T) {
+	s := newTestSuite(t, 24)
+	r, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := r.Stats[r.SubbandCounts[0]].Median
+	least := r.Stats[r.SubbandCounts[len(r.SubbandCounts)-1]].Median
+	t.Logf("subbands %v → medians %.2f … %.2f", r.SubbandCounts, full, least)
+	// §8.6: subsampling over the full span has almost no effect. Allow a
+	// generous 60% degradation bound — far below the ~2× hit of actually
+	// shrinking bandwidth.
+	if least > full*1.6+0.1 {
+		t.Errorf("subsampling degraded median %.2f → %.2f; should be nearly flat", full, least)
+	}
+}
+
+func TestFig9bAnchorSweep(t *testing.T) {
+	s := newTestSuite(t, 12)
+	r, err := s.Fig9b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Counts {
+		if r.BLoc[c].N == 0 || r.AoA[c].N == 0 {
+			t.Fatalf("missing stats for %d anchors", c)
+		}
+	}
+	t.Logf("BLoc: 2→%.2f 3→%.2f 4→%.2f | AoA: 2→%.2f 3→%.2f 4→%.2f",
+		r.BLoc[2].Median, r.BLoc[3].Median, r.BLoc[4].Median,
+		r.AoA[2].Median, r.AoA[3].Median, r.AoA[4].Median)
+	// 4 anchors should not be dramatically worse than 3 (paper: slight
+	// improvement 3→4).
+	if r.BLoc[4].Median > r.BLoc[3].Median*1.5+0.1 {
+		t.Errorf("4 anchors (%.2f) much worse than 3 (%.2f)", r.BLoc[4].Median, r.BLoc[3].Median)
+	}
+	// Subset counting: 3 subsets of size 3, each 12 positions → 36 errors.
+	if r.BLoc[3].N != 36 {
+		t.Errorf("3-anchor pooled N = %d, want 36", r.BLoc[3].N)
+	}
+}
+
+func TestFig9cAntennaSweep(t *testing.T) {
+	s := newTestSuite(t, 12)
+	r, err := s.Fig9c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BLoc: 3→%.2f 4→%.2f", r.BLoc[3].Median, r.BLoc[4].Median)
+	// Paper: minimal degradation from 4 to 3 antennas for BLoc.
+	if r.BLoc[3].Median > r.BLoc[4].Median*2+0.1 {
+		t.Errorf("3 antennas (%.2f) collapsed vs 4 (%.2f)", r.BLoc[3].Median, r.BLoc[4].Median)
+	}
+}
+
+func TestFig13Heatmap(t *testing.T) {
+	s := newTestSuite(t, 30)
+	r, err := s.Fig13(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filled := 0
+	for _, v := range r.Grid.Data {
+		if !math.IsNaN(v) {
+			filled++
+			if v < 0 {
+				t.Fatal("negative RMSE")
+			}
+		}
+	}
+	if filled < 10 {
+		t.Errorf("only %d cells have samples", filled)
+	}
+	corner, center := r.CornerVsCenter()
+	t.Logf("corner RMSE %.2f, center RMSE %.2f", corner, center)
+}
+
+func TestFig8aStability(t *testing.T) {
+	s := newTestSuite(t, 4)
+	r, err := s.Fig8a(geom.Pt(0.5, 0.5), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Phases) != 8 || len(r.Phases[0]) != 4 {
+		t.Fatalf("phases shape %dx%d", len(r.Phases), len(r.Phases[0]))
+	}
+	t.Logf("max spread %.2f°", r.MaxSpreadDeg)
+	// Corrected CSI must be stable across repeated measurements even
+	// though every acquisition draws fresh LO offsets.
+	if r.MaxSpreadDeg > 25 {
+		t.Errorf("corrected CSI phase spread %.1f° too large", r.MaxSpreadDeg)
+	}
+}
+
+func TestFig8bCorrectionLinearity(t *testing.T) {
+	r, err := Fig8b(5, geom.Pt(0.8, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("raw R² %.3f, corrected R² %.3f", r.RawR2, r.CorrR2)
+	if r.CorrR2 < 0.98 {
+		t.Errorf("corrected phase not linear: R² = %.3f", r.CorrR2)
+	}
+	if r.RawR2 > 0.9 {
+		t.Errorf("raw phase unexpectedly linear: R² = %.3f", r.RawR2)
+	}
+	if len(r.RawDeg) != len(r.Freqs) || len(r.CorrectedDeg) != len(r.Freqs) {
+		t.Error("profile lengths mismatch")
+	}
+}
+
+func TestFig6Maps(t *testing.T) {
+	s := newTestSuite(t, 4)
+	tag := geom.Pt(0.6, -0.9)
+	r, err := s.Fig6(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]interface{ Max() (float64, int, int) }{
+		"angle": r.Angle, "distance": r.Distance, "combined": r.Combined,
+	} {
+		if v, _, _ := g.Max(); v <= 0 {
+			t.Errorf("%s map is empty", name)
+		}
+	}
+	if r.Estimate.Dist(tag) > 1.5 {
+		t.Errorf("Fig6 estimate %.2f m from tag", r.Estimate.Dist(tag))
+	}
+}
+
+func TestFig4Waveforms(t *testing.T) {
+	r := Fig4(8)
+	if len(r.RandomShaped) != len(r.RandomBits)*8 {
+		t.Fatal("random waveform length wrong")
+	}
+	// The discriminator of Fig. 4: the run-length pattern keeps the
+	// frequency settled at full deviation for long stretches, while
+	// random data keeps moving between the tones (Fig. 4a: "the frequency
+	// of the transmission is never static"). Compare settled-time
+	// fractions.
+	settledFrac := func(w []float64) float64 {
+		n := 0
+		for _, v := range w {
+			if math.Abs(v) > 0.99 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(w))
+	}
+	fRand := settledFrac(r.RandomShaped)
+	fSound := settledFrac(r.SoundingShaped)
+	if fSound < fRand+0.25 {
+		t.Errorf("sounding settled fraction %.2f not clearly above random %.2f", fSound, fRand)
+	}
+	if fSound < 0.5 {
+		t.Errorf("sounding waveform settled only %.2f of the time", fSound)
+	}
+}
+
+func TestAnchorSubsets(t *testing.T) {
+	subs := anchorSubsets(4, 3)
+	if len(subs) != 3 {
+		t.Fatalf("got %d subsets: %v", len(subs), subs)
+	}
+	for _, s := range subs {
+		if s[0] != 0 || len(s) != 3 {
+			t.Errorf("bad subset %v", s)
+		}
+	}
+	if n := len(anchorSubsets(4, 2)); n != 3 {
+		t.Errorf("size-2 subsets = %d, want 3", n)
+	}
+	if n := len(anchorSubsets(4, 4)); n != 1 {
+		t.Errorf("size-4 subsets = %d, want 1", n)
+	}
+}
+
+func TestBandIndicesForBandwidth(t *testing.T) {
+	idx := bandIndicesForBandwidth(37, 2)
+	if len(idx) != 1 || idx[0] != 18 {
+		t.Errorf("2 MHz = %v, want centered single band", idx)
+	}
+	idx = bandIndicesForBandwidth(37, 80)
+	if len(idx) != 37 || idx[0] != 0 || idx[36] != 36 {
+		t.Errorf("80 MHz = %v", idx)
+	}
+	if n := len(bandIndicesForBandwidth(37, 20)); n != 10 {
+		t.Errorf("20 MHz = %d bands, want 10", n)
+	}
+}
+
+func TestRenderGridPNG(t *testing.T) {
+	g := dsp.NewGrid(20, 30)
+	for i := range g.Data {
+		g.Data[i] = float64(i % 17)
+	}
+	g.Set(3, 3, math.NaN()) // no-data cell
+	var buf bytes.Buffer
+	if err := RenderGridPNG(&buf, g, 3); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("output is not a valid PNG: %v", err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 60 || b.Dy() != 90 {
+		t.Errorf("image %dx%d, want 60x90", b.Dx(), b.Dy())
+	}
+	// All-zero grid must not divide by zero.
+	var buf2 bytes.Buffer
+	if err := RenderGridPNG(&buf2, dsp.NewGrid(4, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatRampMonotoneLuminance(t *testing.T) {
+	lum := func(c color.RGBA) float64 {
+		return 0.2126*float64(c.R) + 0.7152*float64(c.G) + 0.0722*float64(c.B)
+	}
+	prev := -1.0
+	for i := 0; i <= 100; i++ {
+		l := lum(heat(float64(i) / 100))
+		if l < prev-1 { // allow tiny non-monotonicity from quantization
+			t.Fatalf("luminance not monotone at t=%.2f: %v < %v", float64(i)/100, l, prev)
+		}
+		prev = l
+	}
+	// Out-of-range inputs clamp.
+	if heat(-1) != heat(0) || heat(2) != heat(1) {
+		t.Error("heat does not clamp")
+	}
+}
+
+func TestFigureTablesRender(t *testing.T) {
+	// The per-figure Table methods are the printable deliverable of
+	// bloc-bench; verify each renders its paper-reference header and one
+	// data row.
+	r9b := &Fig9bResult{Counts: []int{2}, BLoc: map[int]ErrorStats{2: {Median: 1.19, P90: 3.8}},
+		AoA: map[int]ErrorStats{2: {Median: 1.46, P90: 3.9}}}
+	if s := r9b.Table().String(); !strings.Contains(s, "anchors") || !strings.Contains(s, "119") {
+		t.Errorf("fig9b table: %q", s)
+	}
+	r9c := &Fig9cResult{Counts: []int{3}, BLoc: map[int]ErrorStats{3: {Median: 0.79}},
+		AoA: map[int]ErrorStats{3: {Median: 1.58}}}
+	if s := r9c.Table().String(); !strings.Contains(s, "antennas") || !strings.Contains(s, "79") {
+		t.Errorf("fig9c table: %q", s)
+	}
+	r10 := &Fig10Result{BandwidthsMHz: []float64{2}, Stats: map[float64]ErrorStats{2: {Median: 0.94, Stddev: 0.88}}}
+	if s := r10.Table().String(); !strings.Contains(s, "bandwidth") || !strings.Contains(s, "94") {
+		t.Errorf("fig10 table: %q", s)
+	}
+	r11 := &Fig11Result{SubbandCounts: []int{37}, Stats: map[int]ErrorStats{37: {Median: 0.72}}}
+	if s := r11.Table().String(); !strings.Contains(s, "subbands") || !strings.Contains(s, "72") {
+		t.Errorf("fig11 table: %q", s)
+	}
+	r12 := &Fig12Result{BLoc: ErrorStats{Median: 0.72, P90: 1.95}, Shortest: ErrorStats{Median: 1.46, P90: 2.72}}
+	if s := r12.Table().String(); !strings.Contains(s, "shortest") || !strings.Contains(s, "146") {
+		t.Errorf("fig12 table: %q", s)
+	}
+}

@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+
+	"bloc/internal/dsp"
+)
+
+// PNG rendering for likelihood maps and error heatmaps — the visual form
+// of Fig. 6, Fig. 8c and Fig. 13. Uses a perceptually ordered
+// dark-to-bright colormap; NaN cells (no data) render as neutral gray.
+
+// RenderGridPNG writes the grid as a PNG, scaled so each grid cell covers
+// scale×scale pixels, with values normalized to the grid maximum. The
+// vertical axis is flipped so +Y (the room's north) points up.
+func RenderGridPNG(w io.Writer, g *dsp.Grid, scale int) error {
+	if scale < 1 {
+		scale = 1
+	}
+	gmax := 0.0
+	for _, v := range g.Data {
+		if !math.IsNaN(v) && v > gmax {
+			gmax = v
+		}
+	}
+	if gmax <= 0 {
+		gmax = 1
+	}
+	img := image.NewRGBA(image.Rect(0, 0, g.W*scale, g.H*scale))
+	for iy := 0; iy < g.H; iy++ {
+		for ix := 0; ix < g.W; ix++ {
+			v := g.At(ix, iy)
+			var c color.RGBA
+			if math.IsNaN(v) {
+				c = color.RGBA{R: 120, G: 120, B: 120, A: 255}
+			} else {
+				c = heat(v / gmax)
+			}
+			// Flip vertically: row 0 of the image is the top (max Y).
+			py := (g.H - 1 - iy) * scale
+			for dy := 0; dy < scale; dy++ {
+				for dx := 0; dx < scale; dx++ {
+					img.SetRGBA(ix*scale+dx, py+dy, c)
+				}
+			}
+		}
+	}
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("eval: encode png: %w", err)
+	}
+	return nil
+}
+
+// heat maps t ∈ [0,1] onto a dark-blue → magenta → yellow ramp (an
+// inferno-like ordering: luminance rises monotonically with t).
+func heat(t float64) color.RGBA {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	// Piecewise-linear through five anchor colors.
+	stops := [][3]float64{
+		{0, 0, 20},      // near black
+		{70, 10, 110},   // deep violet
+		{180, 40, 100},  // magenta
+		{250, 140, 30},  // orange
+		{255, 250, 160}, // pale yellow
+	}
+	pos := t * float64(len(stops)-1)
+	i := int(pos)
+	if i >= len(stops)-1 {
+		i = len(stops) - 2
+	}
+	f := pos - float64(i)
+	lerp := func(a, b float64) uint8 { return uint8(a + (b-a)*f) }
+	return color.RGBA{
+		R: lerp(stops[i][0], stops[i+1][0]),
+		G: lerp(stops[i][1], stops[i+1][1]),
+		B: lerp(stops[i][2], stops[i+1][2]),
+		A: 255,
+	}
+}

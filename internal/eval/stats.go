@@ -1,0 +1,99 @@
+// Package eval is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§8) on the simulated testbed —
+// position sampling, dataset acquisition, parameter sweeps, error
+// statistics and printable result tables.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"bloc/internal/dsp"
+)
+
+// ErrorStats summarizes a set of localization errors (meters).
+type ErrorStats struct {
+	N      int
+	Median float64
+	P90    float64
+	Mean   float64
+	Stddev float64
+	Max    float64
+}
+
+// NewErrorStats computes summary statistics. It panics on an empty slice.
+func NewErrorStats(errors []float64) ErrorStats {
+	max := 0.0
+	for _, e := range errors {
+		if e > max {
+			max = e
+		}
+	}
+	return ErrorStats{
+		N:      len(errors),
+		Median: dsp.Median(errors),
+		P90:    dsp.Percentile(errors, 90),
+		Mean:   dsp.Mean(errors),
+		Stddev: dsp.Stddev(errors),
+		Max:    max,
+	}
+}
+
+// String renders the stats in the paper's preferred units (cm for medians).
+func (s ErrorStats) String() string {
+	return fmt.Sprintf("n=%d median=%.0fcm p90=%.0fcm mean=%.0fcm",
+		s.N, s.Median*100, s.P90*100, s.Mean*100)
+}
+
+// CDF returns the empirical CDF of the error set for plotting (Fig. 9/12).
+func CDF(errors []float64) []dsp.CDFPoint { return dsp.EmpiricalCDF(errors) }
+
+// Table is a simple printable result table (one per figure).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, c := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Cm formats meters as a centimeter cell.
+func Cm(m float64) string { return fmt.Sprintf("%.0f", m*100) }

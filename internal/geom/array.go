@@ -1,0 +1,87 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Array is a uniform linear antenna array: N antenna elements spaced
+// Spacing meters apart along Axis, the first element (index 0) at Origin.
+//
+// The broadside direction — the array normal, from which angles of arrival
+// are measured (Fig. 2 of the paper) — is Axis rotated +90°, so an array
+// laid out left-to-right along a south wall has broadside pointing north
+// into the room.
+type Array struct {
+	Origin  Point   // position of antenna 0
+	Axis    Vector  // unit vector from antenna j to antenna j+1
+	N       int     // number of antenna elements
+	Spacing float64 // inter-element spacing, meters
+}
+
+// NewArray constructs an Array centered at center, with n elements spaced l
+// meters apart along axis (normalized internally). Antenna 0 sits at the
+// "negative axis" end so the element positions are symmetric around center.
+func NewArray(center Point, axis Vector, n int, l float64) Array {
+	u := axis.Unit()
+	half := float64(n-1) / 2 * l
+	return Array{
+		Origin:  center.Add(u.Scale(-half)),
+		Axis:    u,
+		N:       n,
+		Spacing: l,
+	}
+}
+
+// Broadside returns the unit normal of the array: the direction of θ = 0.
+func (a Array) Broadside() Vector { return a.Axis.Perp() }
+
+// Antenna returns the position of element j. It panics if j is out of
+// range.
+func (a Array) Antenna(j int) Point {
+	if j < 0 || j >= a.N {
+		panic(fmt.Sprintf("geom: antenna index %d out of range [0,%d)", j, a.N))
+	}
+	return a.Origin.Add(a.Axis.Scale(float64(j) * a.Spacing))
+}
+
+// Antennas returns the positions of all N elements.
+func (a Array) Antennas() []Point {
+	out := make([]Point, a.N)
+	for j := 0; j < a.N; j++ {
+		out[j] = a.Antenna(j)
+	}
+	return out
+}
+
+// Center returns the geometric center of the array.
+func (a Array) Center() Point {
+	return a.Origin.Add(a.Axis.Scale(float64(a.N-1) / 2 * a.Spacing))
+}
+
+// AngleTo returns the angle of arrival of a signal from p, measured from
+// the array broadside: θ ∈ [-π/2, π/2] when p is in front of the array,
+// |θ| > π/2 when it is behind. Positive θ is toward +Axis.
+func (a Array) AngleTo(p Point) float64 {
+	u := p.Sub(a.Center()).Unit()
+	return math.Atan2(u.Dot(a.Axis), u.Dot(a.Broadside()))
+}
+
+// ExtraPath returns the exact additional distance from p to element j
+// compared to element 0: |p − antenna_j| − |p − antenna_0|. In the far
+// field this approaches −j·Spacing·sin(θ): with positive θ toward +Axis,
+// higher-indexed elements sit closer to the target, so their path shrinks.
+func (a Array) ExtraPath(p Point, j int) float64 {
+	return p.Dist(a.Antenna(j)) - p.Dist(a.Antenna(0))
+}
+
+// WithN returns a copy of the array truncated to the first n elements.
+// It panics if n is not in [1, N].
+func (a Array) WithN(n int) Array {
+	if n < 1 || n > a.N {
+		panic(fmt.Sprintf("geom: cannot truncate %d-element array to %d", a.N, n))
+	}
+	b := a
+	b.N = n
+	return b
+}

@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNewArrayCentering(t *testing.T) {
+	a := NewArray(Pt(2.5, 0), Vec(1, 0), 4, 0.0625)
+	c := a.Center()
+	if !approx(c.X, 2.5, eps) || !approx(c.Y, 0, eps) {
+		t.Errorf("Center = %v, want (2.5, 0)", c)
+	}
+	// Elements are evenly spaced along the axis.
+	for j := 0; j < a.N-1; j++ {
+		d := a.Antenna(j).Dist(a.Antenna(j + 1))
+		if !approx(d, 0.0625, eps) {
+			t.Errorf("spacing between %d and %d = %v", j, j+1, d)
+		}
+	}
+}
+
+func TestArrayBroadside(t *testing.T) {
+	// Array along +X has broadside +Y.
+	a := NewArray(Pt(0, 0), Vec(1, 0), 4, 0.06)
+	b := a.Broadside()
+	if !approx(b.X, 0, eps) || !approx(b.Y, 1, eps) {
+		t.Errorf("Broadside = %v, want <0,1>", b)
+	}
+}
+
+func TestArrayAngleTo(t *testing.T) {
+	a := NewArray(Pt(0, 0), Vec(1, 0), 4, 0.06)
+	tests := []struct {
+		p    Point
+		want float64 // radians from broadside
+	}{
+		{Pt(0, 10), 0},              // straight ahead
+		{Pt(10, 10), math.Pi / 4},   // 45° toward +axis
+		{Pt(-10, 10), -math.Pi / 4}, // 45° toward -axis
+		{Pt(10, 0), math.Pi / 2},    // endfire
+		{Pt(0, -10), math.Pi},       // behind (wrapped)
+		{Pt(10, 10*math.Sqrt(3)), math.Pi / 6},
+	}
+	for _, tc := range tests {
+		got := a.AngleTo(tc.p)
+		if !approx(math.Abs(got), math.Abs(tc.want), 1e-9) {
+			t.Errorf("AngleTo(%v) = %v rad, want %v", tc.p, got, tc.want)
+		}
+		if tc.want != 0 && tc.want != math.Pi && math.Signbit(got) != math.Signbit(tc.want) {
+			t.Errorf("AngleTo(%v) sign = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestArrayExtraPathFarField(t *testing.T) {
+	// In the far field, ExtraPath(p, j) → j · spacing · sin(θ).
+	const l = 0.0625
+	a := NewArray(Pt(0, 0), Vec(1, 0), 4, l)
+	r := rand.New(rand.NewPCG(42, 0))
+	for i := 0; i < 100; i++ {
+		theta := (r.Float64() - 0.5) * math.Pi * 0.9 // avoid exact endfire
+		dist := 500.0 + r.Float64()*500              // very far field
+		p := a.Center().Add(a.Broadside().Scale(dist * math.Cos(theta))).
+			Add(a.Axis.Scale(dist * math.Sin(theta)))
+		for j := 1; j < a.N; j++ {
+			got := a.ExtraPath(p, j)
+			want := -float64(j) * l * math.Sin(theta)
+			if math.Abs(got-want) > 1e-4 {
+				t.Fatalf("far-field ExtraPath(j=%d, θ=%.2f) = %v, want %v",
+					j, theta, got, want)
+			}
+		}
+	}
+}
+
+func TestArrayAntennaPanics(t *testing.T) {
+	a := NewArray(Pt(0, 0), Vec(1, 0), 4, 0.06)
+	for _, j := range []int{-1, 4, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Antenna(%d) should panic", j)
+				}
+			}()
+			a.Antenna(j)
+		}()
+	}
+}
+
+func TestArrayWithN(t *testing.T) {
+	a := NewArray(Pt(0, 0), Vec(0, 1), 4, 0.06)
+	b := a.WithN(3)
+	if b.N != 3 {
+		t.Fatalf("WithN(3).N = %d", b.N)
+	}
+	// Remaining elements keep their positions.
+	for j := 0; j < 3; j++ {
+		if a.Antenna(j) != b.Antenna(j) {
+			t.Errorf("antenna %d moved after WithN", j)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("WithN(0) should panic")
+			}
+		}()
+		a.WithN(0)
+	}()
+}
+
+func TestArrayAntennasMatchesAntenna(t *testing.T) {
+	a := NewArray(Pt(1, 2), Vec(3, 4), 5, 0.1)
+	pts := a.Antennas()
+	if len(pts) != 5 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for j, p := range pts {
+		if p != a.Antenna(j) {
+			t.Errorf("Antennas()[%d] = %v != Antenna(%d) = %v", j, p, j, a.Antenna(j))
+		}
+	}
+}

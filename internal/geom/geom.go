@@ -1,0 +1,278 @@
+// Package geom provides the 2-D geometric primitives used throughout the
+// BLoc reproduction: points, vectors, line segments, rectangular rooms and
+// the image-method reflection helpers that the multipath simulator builds on.
+//
+// All coordinates are in meters. Angles are in radians and, where an angle
+// of arrival is involved, follow the paper's antenna-array convention: the
+// angle is measured from the array's broadside (normal) direction, so that a
+// target straight in front of the array is at θ = 0 and the valid range is
+// (-π/2, +π/2).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the 2-D plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + v.
+func (p Point) Add(v Vector) Point { return Point{p.X + v.X, p.Y + v.Y} }
+
+// Sub returns the vector from q to p, i.e. p - q.
+func (p Point) Sub(q Point) Vector { return Vector{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// DistSq returns the squared Euclidean distance between p and q.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp linearly interpolates between p (t=0) and q (t=1).
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Vector is a displacement in the 2-D plane, in meters.
+type Vector struct {
+	X, Y float64
+}
+
+// Vec is shorthand for Vector{x, y}.
+func Vec(x, y float64) Vector { return Vector{X: x, Y: y} }
+
+// Add returns v + w.
+func (v Vector) Add(w Vector) Vector { return Vector{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vector) Sub(w Vector) Vector { return Vector{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vector) Scale(s float64) Vector { return Vector{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v · w.
+func (v Vector) Dot(w Vector) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the scalar (z-component) cross product v × w.
+func (v Vector) Cross(w Vector) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vector) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vector) NormSq() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Unit returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vector) Unit() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return Vector{v.X / n, v.Y / n}
+}
+
+// Perp returns v rotated +90 degrees (counter-clockwise).
+func (v Vector) Perp() Vector { return Vector{-v.Y, v.X} }
+
+// Angle returns the angle of v measured counter-clockwise from the +X axis,
+// in (-π, π].
+func (v Vector) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Rotate returns v rotated counter-clockwise by the given angle (radians).
+func (v Vector) Rotate(angle float64) Vector {
+	s, c := math.Sincos(angle)
+	return Vector{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// String implements fmt.Stringer.
+func (v Vector) String() string { return fmt.Sprintf("<%.3f, %.3f>", v.X, v.Y) }
+
+// Segment is a finite line segment between two points.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// Length returns the segment's length.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the segment's midpoint.
+func (s Segment) Midpoint() Point { return s.A.Lerp(s.B, 0.5) }
+
+// Direction returns the unit vector from A to B.
+func (s Segment) Direction() Vector { return s.B.Sub(s.A).Unit() }
+
+// Normal returns the unit normal of the segment (Direction rotated +90°).
+func (s Segment) Normal() Vector { return s.Direction().Perp() }
+
+// Reflect mirrors point p across the infinite line through the segment.
+// This is the "image" of p used by the image method of multipath
+// enumeration: the reflected ray from p off this wall to some receiver r has
+// the same total length as the straight line from Reflect(p) to r.
+func (s Segment) Reflect(p Point) Point {
+	d := s.B.Sub(s.A)
+	den := d.NormSq()
+	if den == 0 {
+		// Degenerate wall: mirror across the single point.
+		return Point{2*s.A.X - p.X, 2*s.A.Y - p.Y}
+	}
+	ap := p.Sub(s.A)
+	t := ap.Dot(d) / den
+	foot := s.A.Add(d.Scale(t))
+	return Point{2*foot.X - p.X, 2*foot.Y - p.Y}
+}
+
+// Intersect reports whether segment s intersects segment t, and if so the
+// intersection point. Collinear overlaps report the midpoint of the shared
+// region with ok = true.
+func (s Segment) Intersect(t Segment) (p Point, ok bool) {
+	r := s.B.Sub(s.A)
+	q := t.B.Sub(t.A)
+	den := r.Cross(q)
+	diff := t.A.Sub(s.A)
+	if den == 0 {
+		if diff.Cross(r) != 0 {
+			return Point{}, false // parallel, non-intersecting
+		}
+		// Collinear: project t onto s and check overlap.
+		rr := r.NormSq()
+		if rr == 0 {
+			if s.A == t.A || s.A == t.B {
+				return s.A, true
+			}
+			return Point{}, false
+		}
+		t0 := diff.Dot(r) / rr
+		t1 := t0 + q.Dot(r)/rr
+		lo, hi := math.Min(t0, t1), math.Max(t0, t1)
+		lo, hi = math.Max(lo, 0), math.Min(hi, 1)
+		if lo > hi {
+			return Point{}, false
+		}
+		mid := (lo + hi) / 2
+		return s.A.Add(r.Scale(mid)), true
+	}
+	u := diff.Cross(q) / den
+	v := diff.Cross(r) / den
+	if u < 0 || u > 1 || v < 0 || v > 1 {
+		return Point{}, false
+	}
+	return s.A.Add(r.Scale(u)), true
+}
+
+// Blocks reports whether the segment blocks the straight path from a to b,
+// excluding grazing contact at the path's endpoints.
+func (s Segment) Blocks(a, b Point) bool {
+	p, ok := s.Intersect(Segment{a, b})
+	if !ok {
+		return false
+	}
+	const eps = 1e-9
+	return p.Dist(a) > eps && p.Dist(b) > eps
+}
+
+// Rect is an axis-aligned rectangle, used to describe rooms.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the axis-aligned rectangle spanning the two corner points
+// in any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Width returns the rectangle's extent along X.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the rectangle's extent along Y.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(r.Min.X, math.Min(r.Max.X, p.X)),
+		Y: math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y)),
+	}
+}
+
+// Inset returns r shrunk by m on every side. If the inset would be empty the
+// degenerate centered rectangle is returned.
+func (r Rect) Inset(m float64) Rect {
+	out := Rect{
+		Min: Point{r.Min.X + m, r.Min.Y + m},
+		Max: Point{r.Max.X - m, r.Max.Y - m},
+	}
+	if out.Min.X > out.Max.X {
+		c := (r.Min.X + r.Max.X) / 2
+		out.Min.X, out.Max.X = c, c
+	}
+	if out.Min.Y > out.Max.Y {
+		c := (r.Min.Y + r.Max.Y) / 2
+		out.Min.Y, out.Max.Y = c, c
+	}
+	return out
+}
+
+// Walls returns the four boundary segments of the rectangle in the order
+// south, east, north, west (counter-clockwise starting from the bottom
+// edge).
+func (r Rect) Walls() [4]Segment {
+	bl := r.Min
+	br := Point{r.Max.X, r.Min.Y}
+	tr := r.Max
+	tl := Point{r.Min.X, r.Max.Y}
+	return [4]Segment{
+		{bl, br}, // south
+		{br, tr}, // east
+		{tr, tl}, // north
+		{tl, bl}, // west
+	}
+}
+
+// WrapAngle normalizes an angle to (-π, π].
+func WrapAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a > math.Pi {
+		a -= 2 * math.Pi
+	} else if a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// Deg converts radians to degrees.
+func Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Rad converts degrees to radians.
+func Rad(deg float64) float64 { return deg * math.Pi / 180 }

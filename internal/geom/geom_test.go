@@ -1,0 +1,317 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// clampFinite maps arbitrary quick.Check inputs (which include ±Inf, NaN and
+// 1e308-scale values) into a numerically sane range for geometry properties.
+func clampFinite(x, lim float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, lim)
+}
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-2, 0), Pt(2, 0), 4},
+		{Pt(0, -3), Pt(0, 3), 6},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Dist(tc.q); !approx(got, tc.want, eps) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+		if got := tc.p.DistSq(tc.q); !approx(got, tc.want*tc.want, eps) {
+			t.Errorf("DistSq(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want*tc.want)
+		}
+	}
+}
+
+func TestPointLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, -4)
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0) = %v, want %v", got, p)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1) = %v, want %v", got, q)
+	}
+	mid := p.Lerp(q, 0.5)
+	if !approx(mid.X, 5, eps) || !approx(mid.Y, -2, eps) {
+		t.Errorf("Lerp(0.5) = %v, want (5,-2)", mid)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v, w := Vec(3, 4), Vec(-1, 2)
+	if got := v.Add(w); got != Vec(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != Vec(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Dot(w); !approx(got, 5, eps) {
+		t.Errorf("Dot = %v, want 5", got)
+	}
+	if got := v.Cross(w); !approx(got, 10, eps) {
+		t.Errorf("Cross = %v, want 10", got)
+	}
+	if got := v.Norm(); !approx(got, 5, eps) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	u := v.Unit()
+	if !approx(u.Norm(), 1, eps) {
+		t.Errorf("Unit norm = %v, want 1", u.Norm())
+	}
+	if z := Vec(0, 0).Unit(); z != Vec(0, 0) {
+		t.Errorf("Unit of zero = %v, want zero", z)
+	}
+}
+
+func TestVectorPerpAndRotate(t *testing.T) {
+	v := Vec(1, 0)
+	if got := v.Perp(); !approx(got.X, 0, eps) || !approx(got.Y, 1, eps) {
+		t.Errorf("Perp = %v, want <0,1>", got)
+	}
+	r := v.Rotate(math.Pi / 2)
+	if !approx(r.X, 0, eps) || !approx(r.Y, 1, eps) {
+		t.Errorf("Rotate(90°) = %v, want <0,1>", r)
+	}
+	// Perp is always orthogonal and rotation preserves norms.
+	f := func(x, y, ang float64) bool {
+		x = clampFinite(x, 1e6)
+		y = clampFinite(y, 1e6)
+		ang = clampFinite(ang, 1e3)
+		v := Vec(x, y)
+		if math.Abs(v.Dot(v.Perp())) > 1e-6*(1+v.NormSq()) {
+			return false
+		}
+		return approx(v.Rotate(ang).Norm(), v.Norm(), 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorAngle(t *testing.T) {
+	tests := []struct {
+		v    Vector
+		want float64
+	}{
+		{Vec(1, 0), 0},
+		{Vec(0, 1), math.Pi / 2},
+		{Vec(-1, 0), math.Pi},
+		{Vec(0, -1), -math.Pi / 2},
+	}
+	for _, tc := range tests {
+		if got := tc.v.Angle(); !approx(got, tc.want, eps) {
+			t.Errorf("Angle(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestSegmentReflect(t *testing.T) {
+	// Mirror across the X axis.
+	wall := Seg(Pt(0, 0), Pt(10, 0))
+	img := wall.Reflect(Pt(3, 2))
+	if !approx(img.X, 3, eps) || !approx(img.Y, -2, eps) {
+		t.Errorf("Reflect = %v, want (3,-2)", img)
+	}
+	// Reflecting twice is the identity.
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		w := Seg(Pt(ax, ay), Pt(bx, by))
+		if w.Length() < 1e-6 {
+			return true
+		}
+		p := Pt(px, py)
+		q := w.Reflect(w.Reflect(p))
+		scale := 1 + math.Abs(px) + math.Abs(py) + math.Abs(ax) + math.Abs(ay)
+		return approx(q.X, p.X, 1e-6*scale) && approx(q.Y, p.Y, 1e-6*scale)
+	}
+	for i := 0; i < 200; i++ {
+		r := rand.New(rand.NewPCG(uint64(i), 7))
+		if !f(r.Float64()*10-5, r.Float64()*10-5, r.Float64()*10-5,
+			r.Float64()*10-5, r.Float64()*10-5, r.Float64()*10-5) {
+			t.Fatalf("double reflection not identity at iteration %d", i)
+		}
+	}
+}
+
+func TestReflectPreservesPathLength(t *testing.T) {
+	// Image-method invariant: for a source s, wall w and receiver r, the
+	// broken path s→bounce→r has the same length as image(s)→r when the
+	// bounce point is the intersection of image(s)→r with the wall line.
+	wall := Seg(Pt(0, 3), Pt(6, 3))
+	src := Pt(1, 1)
+	dst := Pt(5, 1)
+	img := wall.Reflect(src)
+	bounce, ok := wall.Intersect(Seg(img, dst))
+	if !ok {
+		t.Fatal("expected bounce point on wall")
+	}
+	broken := src.Dist(bounce) + bounce.Dist(dst)
+	direct := img.Dist(dst)
+	if !approx(broken, direct, 1e-9) {
+		t.Errorf("broken path %.9f != image path %.9f", broken, direct)
+	}
+	// Angle of incidence equals angle of reflection.
+	n := wall.Normal()
+	in := bounce.Sub(src).Unit()
+	out := dst.Sub(bounce).Unit()
+	if !approx(math.Abs(in.Dot(n)), math.Abs(out.Dot(n)), 1e-9) {
+		t.Errorf("incidence %v != reflection %v", in.Dot(n), out.Dot(n))
+	}
+}
+
+func TestSegmentIntersect(t *testing.T) {
+	tests := []struct {
+		name  string
+		s, u  Segment
+		want  Point
+		wantK bool
+	}{
+		{"crossing", Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0)), Pt(1, 1), true},
+		{"parallel", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 1), Pt(1, 1)), Point{}, false},
+		{"disjoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(2, 1), Pt(3, 1)), Point{}, false},
+		{"touching", Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(1, 1), Pt(2, 0)), Pt(1, 1), true},
+		{"collinear overlap", Seg(Pt(0, 0), Pt(4, 0)), Seg(Pt(2, 0), Pt(6, 0)), Pt(3, 0), true},
+		{"collinear disjoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(2, 0), Pt(3, 0)), Point{}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p, ok := tc.s.Intersect(tc.u)
+			if ok != tc.wantK {
+				t.Fatalf("ok = %v, want %v", ok, tc.wantK)
+			}
+			if ok && (!approx(p.X, tc.want.X, eps) || !approx(p.Y, tc.want.Y, eps)) {
+				t.Errorf("point = %v, want %v", p, tc.want)
+			}
+		})
+	}
+}
+
+func TestSegmentBlocks(t *testing.T) {
+	wall := Seg(Pt(2, -1), Pt(2, 1))
+	if !wall.Blocks(Pt(0, 0), Pt(4, 0)) {
+		t.Error("wall should block the path")
+	}
+	if wall.Blocks(Pt(0, 0), Pt(1, 0)) {
+		t.Error("path stops short of the wall")
+	}
+	// A path starting exactly on the wall is not "blocked" by it.
+	if wall.Blocks(Pt(2, 0), Pt(4, 0)) {
+		t.Error("grazing start point should not count as blocked")
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(Pt(5, 6), Pt(0, 0)) // corners in any order
+	if r.Min != Pt(0, 0) || r.Max != Pt(5, 6) {
+		t.Fatalf("NewRect normalized wrong: %+v", r)
+	}
+	if !approx(r.Width(), 5, eps) || !approx(r.Height(), 6, eps) {
+		t.Errorf("Width/Height = %v/%v", r.Width(), r.Height())
+	}
+	if c := r.Center(); !approx(c.X, 2.5, eps) || !approx(c.Y, 3, eps) {
+		t.Errorf("Center = %v", c)
+	}
+	if !r.Contains(Pt(2, 2)) || r.Contains(Pt(-1, 2)) || r.Contains(Pt(2, 7)) {
+		t.Error("Contains wrong")
+	}
+	if got := r.Clamp(Pt(-3, 9)); got != Pt(0, 6) {
+		t.Errorf("Clamp = %v, want (0,6)", got)
+	}
+	in := r.Inset(1)
+	if in.Min != Pt(1, 1) || in.Max != Pt(4, 5) {
+		t.Errorf("Inset = %+v", in)
+	}
+	// Over-inset collapses to center, not an inverted rect.
+	deg := r.Inset(100)
+	if deg.Min.X > deg.Max.X || deg.Min.Y > deg.Max.Y {
+		t.Errorf("degenerate inset inverted: %+v", deg)
+	}
+}
+
+func TestRectWalls(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(5, 6))
+	walls := r.Walls()
+	total := 0.0
+	for _, w := range walls {
+		total += w.Length()
+	}
+	if !approx(total, 2*(5+6), eps) {
+		t.Errorf("perimeter = %v, want 22", total)
+	}
+	// Every wall midpoint must be on the boundary.
+	for i, w := range walls {
+		m := w.Midpoint()
+		onX := approx(m.X, 0, eps) || approx(m.X, 5, eps)
+		onY := approx(m.Y, 0, eps) || approx(m.Y, 6, eps)
+		if !onX && !onY {
+			t.Errorf("wall %d midpoint %v not on boundary", i, m)
+		}
+	}
+}
+
+func TestWrapAngle(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-3 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, tc := range tests {
+		if got := WrapAngle(tc.in); !approx(got, tc.want, eps) {
+			t.Errorf("WrapAngle(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// Property: result is always in (-π, π] and differs by a multiple of 2π.
+	f := func(a float64) bool {
+		a = math.Mod(a, 1e6) // keep finite precision reasonable
+		w := WrapAngle(a)
+		if w <= -math.Pi-eps || w > math.Pi+eps {
+			return false
+		}
+		k := (a - w) / (2 * math.Pi)
+		return approx(k, math.Round(k), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegRad(t *testing.T) {
+	if !approx(Deg(math.Pi), 180, eps) || !approx(Rad(90), math.Pi/2, eps) {
+		t.Error("Deg/Rad conversion wrong")
+	}
+	f := func(x float64) bool {
+		x = clampFinite(x, 1e9)
+		return approx(Rad(Deg(x)), x, 1e-9*(1+math.Abs(x)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := Pt(1.5, -2).String(); s != "(1.500, -2.000)" {
+		t.Errorf("Point.String = %q", s)
+	}
+	if s := Vec(0.25, 3).String(); s != "<0.250, 3.000>" {
+		t.Errorf("Vector.String = %q", s)
+	}
+}

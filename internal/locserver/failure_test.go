@@ -1,0 +1,192 @@
+package locserver
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"bloc/internal/anchor"
+	"bloc/internal/csi"
+	"bloc/internal/geom"
+	"bloc/internal/testbed"
+	"bloc/internal/wire"
+)
+
+// TestAnchorDisconnectAndReconnect kills one anchor mid-round and brings a
+// replacement up: the round must still complete once the replacement
+// delivers the missing rows (per-round state survives connection churn).
+func TestAnchorDisconnectAndReconnect(t *testing.T) {
+	const seed = 44
+	var mu sync.Mutex
+	completed := 0
+	srv, daemons := startTestbed(t, seed, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+		mu.Lock()
+		completed++
+		mu.Unlock()
+		return geom.Pt(0, 0), nil
+	})
+	tag := geom.Pt(0.4, 0.4)
+
+	// Three of four anchors report round 9; anchor 3 dies before sending.
+	for _, d := range daemons[:3] {
+		if err := d.MeasureAndReport(0, 9, tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	daemons[3].Close()
+
+	// No fix yet: the round is incomplete.
+	select {
+	case f := <-srv.Fixes():
+		t.Fatalf("round completed without anchor 3: %+v", f)
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	// A replacement daemon for anchor 3 connects and reports.
+	dep, err := testbed.Paper(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replacement, err := anchor.New(3, dep, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replacement.Connect(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	defer replacement.Close()
+	if err := replacement.MeasureAndReport(0, 9, tag); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-srv.Fixes():
+	case <-time.After(5 * time.Second):
+		t.Fatal("round never completed after reconnect")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if completed != 1 {
+		t.Errorf("completed %d rounds, want 1", completed)
+	}
+}
+
+// TestServerIgnoresMalformedRows verifies spoofed and malformed rows are
+// dropped without disturbing legitimate rounds.
+func TestServerIgnoresMalformedRows(t *testing.T) {
+	const seed = 45
+	srv, daemons := startTestbed(t, seed, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+		return geom.Pt(0, 0), nil
+	})
+
+	// A raw connection posing as anchor 1 but sending garbage rows.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	dep, _ := testbed.Paper(seed)
+	if err := wire.Send(conn, &wire.Hello{
+		Version: wire.ProtocolVersion, AnchorID: 1,
+		Antennas: uint8(dep.Anchors[0].N), Bands: uint16(len(dep.Bands)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Spoofed anchor id (claims 2, hello said 1): must be dropped.
+	wire.Send(conn, &wire.CSIRow{Round: 5, AnchorID: 2, BandIdx: 0,
+		Tag: make([]complex128, dep.Anchors[0].N), Master: 1})
+	// Wrong antenna count: must be dropped.
+	wire.Send(conn, &wire.CSIRow{Round: 5, AnchorID: 1, BandIdx: 0,
+		Tag: make([]complex128, 1), Master: 1})
+	// Out-of-range band: must be dropped.
+	wire.Send(conn, &wire.CSIRow{Round: 5, AnchorID: 1, BandIdx: 999,
+		Tag: make([]complex128, dep.Anchors[0].N), Master: 1})
+
+	// A legitimate round still completes normally.
+	tag := geom.Pt(-0.3, 0.9)
+	for _, d := range daemons {
+		if err := d.MeasureAndReport(0, 6, tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case fix := <-srv.Fixes():
+		if fix.Round != 6 {
+			t.Errorf("completed round %d, want 6", fix.Round)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("legitimate round blocked by malformed traffic")
+	}
+}
+
+// TestServerCloseUnblocksClients verifies Close terminates promptly even
+// with connected clients mid-stream.
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv, daemons := startTestbed(t, 46, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+		return geom.Pt(0, 0), nil
+	})
+	// Partial round in flight.
+	if err := daemons[0].MeasureAndReport(0, 1, geom.Pt(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Logf("close returned %v (listener already closed is fine)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server Close hung")
+	}
+}
+
+// TestMultiTagRoundsAggregateIndependently runs two tags' rounds through
+// the same anchors concurrently: each (tag, round) must complete exactly
+// once with its own snapshot, and the fixes must carry the right tag ids.
+func TestMultiTagRoundsAggregateIndependently(t *testing.T) {
+	const seed = 47
+	type key struct {
+		tag   uint16
+		round uint32
+	}
+	var mu sync.Mutex
+	seen := map[key]int{}
+	srv, daemons := startTestbed(t, seed, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+		mu.Lock()
+		seen[key{tag, round}]++
+		mu.Unlock()
+		// Return a tag-dependent point so fixes are distinguishable.
+		return geom.Pt(float64(tag), float64(round)), nil
+	})
+	posA, posB := geom.Pt(0.5, 0.5), geom.Pt(-1.0, -1.0)
+	// Interleave the two tags' reports across anchors.
+	for _, d := range daemons {
+		if err := d.MeasureAndReport(1, 10, posA); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.MeasureAndReport(2, 10, posB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotTags := map[uint16]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case fix := <-srv.Fixes():
+			gotTags[fix.TagID] = true
+			if fix.X != float64(fix.TagID) {
+				t.Errorf("fix for tag %d carries wrong payload %v", fix.TagID, fix.X)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("multi-tag rounds never completed")
+		}
+	}
+	if !gotTags[1] || !gotTags[2] {
+		t.Errorf("fixes for tags = %v, want both 1 and 2", gotTags)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen[key{1, 10}] != 1 || seen[key{2, 10}] != 1 {
+		t.Errorf("completions = %v, want one per (tag, round)", seen)
+	}
+}

@@ -1,0 +1,302 @@
+// Package locserver implements BLoc's central server (§3): it accepts TCP
+// connections from anchor daemons, collects their per-band CSI reports,
+// assembles complete snapshots per acquisition round and hands them to a
+// localization callback, broadcasting the resulting fix back to the
+// anchors.
+package locserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+
+	"bloc/internal/ble"
+	"bloc/internal/csi"
+	"bloc/internal/geom"
+	"bloc/internal/wire"
+)
+
+// Config describes the expected deployment.
+type Config struct {
+	Anchors  int
+	Antennas int
+	Bands    []ble.ChannelIndex
+	// OnSnapshot is called with each completed round's snapshot (tag
+	// identifies which tag the round belongs to); the returned point is
+	// broadcast to the anchors as the fix. Returning an error drops the
+	// round (logged, not fatal).
+	OnSnapshot func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error)
+	// Logger defaults to slog.Default().
+	Logger *slog.Logger
+}
+
+// Server collects CSI and serves fixes.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	log *slog.Logger
+
+	mu      sync.Mutex
+	rounds  map[roundKey]*pendingRound
+	done    map[roundKey]bool // completed rounds (bounded; see ingest)
+	conns   map[*client]struct{}
+	fixes   chan wire.Fix // completed fixes, for observers/tests
+	wg      sync.WaitGroup
+	closing bool
+}
+
+// maxDoneRounds bounds the completed-round memory; older entries are
+// evicted wholesale once the cap is hit (late duplicates for ancient
+// rounds would then re-localize, which is harmless).
+const maxDoneRounds = 4096
+
+// roundKey identifies one tag's acquisition round.
+type roundKey struct {
+	tag   uint16
+	round uint32
+}
+
+// client is one connected anchor; writeMu serializes frames written by
+// concurrent round completions so they never interleave.
+type client struct {
+	conn    net.Conn
+	id      uint8
+	writeMu sync.Mutex
+}
+
+func (c *client) send(msg any) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return wire.Send(c.conn, msg)
+}
+
+type pendingRound struct {
+	snap *csi.Snapshot
+	got  map[[2]uint16]bool // (anchorID, bandIdx) already received
+}
+
+// New starts a server listening on addr (e.g. "127.0.0.1:0").
+func New(addr string, cfg Config) (*Server, error) {
+	if cfg.Anchors < 2 || cfg.Antennas < 1 || len(cfg.Bands) == 0 {
+		return nil, fmt.Errorf("locserver: invalid config %+v", cfg)
+	}
+	if cfg.OnSnapshot == nil {
+		return nil, errors.New("locserver: OnSnapshot callback required")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("locserver: listen: %w", err)
+	}
+	s := &Server{
+		cfg:    cfg,
+		ln:     ln,
+		log:    cfg.Logger,
+		rounds: make(map[roundKey]*pendingRound),
+		done:   make(map[roundKey]bool),
+		conns:  make(map[*client]struct{}),
+		fixes:  make(chan wire.Fix, 64),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Fixes returns a channel of completed fixes (buffered; drops when full).
+func (s *Server) Fixes() <-chan wire.Fix { return s.fixes }
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closing = true
+	conns := make([]*client, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if !closing {
+				s.log.Error("accept failed", "err", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	// Register the connection before any blocking read, under the same
+	// lock that Close uses to set closing: a connection accepted from the
+	// TCP backlog after Close snapshotted the conn map would otherwise
+	// keep its handler blocked forever and deadlock Close's wg.Wait.
+	cl := &client{conn: conn, id: 0xFF}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[cl] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, cl)
+		s.mu.Unlock()
+	}()
+
+	msg, err := wire.Receive(conn)
+	if err != nil {
+		s.log.Warn("connection dropped before hello", "remote", conn.RemoteAddr(), "err", err)
+		return
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		s.log.Warn("first message was not hello", "remote", conn.RemoteAddr())
+		return
+	}
+	if hello.Version != wire.ProtocolVersion {
+		s.log.Warn("protocol version mismatch", "got", hello.Version, "want", wire.ProtocolVersion)
+		return
+	}
+	if int(hello.AnchorID) >= s.cfg.Anchors || int(hello.Antennas) != s.cfg.Antennas ||
+		int(hello.Bands) != len(s.cfg.Bands) {
+		s.log.Warn("hello does not match deployment", "hello", fmt.Sprintf("%+v", hello))
+		return
+	}
+	s.mu.Lock()
+	cl.id = hello.AnchorID
+	s.mu.Unlock()
+	s.log.Info("anchor connected", "anchor", hello.AnchorID, "remote", conn.RemoteAddr())
+
+	for {
+		msg, err := wire.Receive(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.log.Warn("read failed", "anchor", hello.AnchorID, "err", err)
+			}
+			return
+		}
+		row, ok := msg.(*wire.CSIRow)
+		if !ok {
+			s.log.Warn("unexpected message type", "anchor", hello.AnchorID)
+			continue
+		}
+		if row.AnchorID != hello.AnchorID {
+			s.log.Warn("anchor id spoofed in row", "hello", hello.AnchorID, "row", row.AnchorID)
+			continue
+		}
+		s.ingest(row)
+	}
+}
+
+// ingest merges one CSI row and completes the round when full.
+func (s *Server) ingest(row *wire.CSIRow) {
+	if int(row.BandIdx) >= len(s.cfg.Bands) || len(row.Tag) != s.cfg.Antennas {
+		s.log.Warn("malformed csi row", "band", row.BandIdx, "antennas", len(row.Tag))
+		return
+	}
+	var complete *csi.Snapshot
+	rk := roundKey{tag: row.TagID, round: row.Round}
+	s.mu.Lock()
+	if s.done[rk] {
+		s.mu.Unlock()
+		return
+	}
+	pr := s.rounds[rk]
+	if pr == nil {
+		pr = &pendingRound{
+			snap: csi.NewSnapshot(s.cfg.Bands, s.cfg.Anchors, s.cfg.Antennas),
+			got:  make(map[[2]uint16]bool),
+		}
+		s.rounds[rk] = pr
+	}
+	key := [2]uint16{uint16(row.AnchorID), row.BandIdx}
+	if !pr.got[key] {
+		pr.got[key] = true
+		copy(pr.snap.Tag[row.BandIdx][row.AnchorID], row.Tag)
+		if row.AnchorID != 0 {
+			pr.snap.Master[row.BandIdx][row.AnchorID] = row.Master
+		}
+		if len(pr.got) == s.cfg.Anchors*len(s.cfg.Bands) {
+			complete = pr.snap
+			delete(s.rounds, rk)
+			if len(s.done) >= maxDoneRounds {
+				s.done = make(map[roundKey]bool)
+			}
+			s.done[rk] = true
+		}
+	}
+	s.mu.Unlock()
+
+	if complete == nil {
+		return
+	}
+	loc, err := s.cfg.OnSnapshot(row.TagID, row.Round, complete)
+	if err != nil {
+		s.log.Error("localization failed", "tag", row.TagID, "round", row.Round, "err", err)
+		return
+	}
+	fix := wire.Fix{Round: row.Round, TagID: row.TagID, X: loc.X, Y: loc.Y}
+	select {
+	case s.fixes <- fix:
+	default: // observer not draining; drop rather than block ingestion
+	}
+	s.broadcast(&fix)
+	s.log.Info("fix", "tag", row.TagID, "round", row.Round, "x", loc.X, "y", loc.Y)
+}
+
+// broadcast sends the fix to every connected anchor.
+func (s *Server) broadcast(fix *wire.Fix) {
+	type target struct {
+		cl *client
+		id uint8
+	}
+	s.mu.Lock()
+	targets := make([]target, 0, len(s.conns))
+	for c := range s.conns {
+		if c.id == 0xFF {
+			continue // connection has not completed its hello yet
+		}
+		targets = append(targets, target{cl: c, id: c.id})
+	}
+	s.mu.Unlock()
+	for _, t := range targets {
+		if err := t.cl.send(fix); err != nil {
+			s.log.Warn("fix broadcast failed", "anchor", t.id, "err", err)
+		}
+	}
+}
+
+// Serve blocks until ctx is cancelled, then closes the server. Convenience
+// for daemon mains.
+func (s *Server) Serve(ctx context.Context) error {
+	<-ctx.Done()
+	return s.Close()
+}

@@ -1,0 +1,135 @@
+package radio
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"bloc/internal/ble"
+)
+
+func TestApplyChannel(t *testing.T) {
+	tx := []complex128{1, 1i, -1}
+	h := complex(0.5, 0)
+	rotor := cmplx.Rect(1, math.Pi/2) // i
+	rx := ApplyChannel(tx, h, rotor)
+	want := []complex128{0.5i, -0.5, -0.5i}
+	for i := range want {
+		if cmplx.Abs(rx[i]-want[i]) > 1e-12 {
+			t.Errorf("rx[%d] = %v, want %v", i, rx[i], want[i])
+		}
+	}
+	// Original untouched.
+	if tx[0] != 1 {
+		t.Error("ApplyChannel modified input")
+	}
+}
+
+func TestMixAdd(t *testing.T) {
+	dst := []complex128{1, 2, 3}
+	MixAdd(dst, []complex128{10, 20})
+	if dst[0] != 11 || dst[1] != 22 || dst[2] != 3 {
+		t.Errorf("MixAdd wrong: %v", dst)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MixAdd with short dst should panic")
+		}
+	}()
+	MixAdd([]complex128{1}, []complex128{1, 2})
+}
+
+func TestAWGNStats(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	iq := make([]complex128, 50000)
+	AWGN(iq, 0.3, rng)
+	var sumSq float64
+	for _, z := range iq {
+		sumSq += real(z) * real(z)
+	}
+	std := math.Sqrt(sumSq / float64(len(iq)))
+	if math.Abs(std-0.3) > 0.01 {
+		t.Errorf("empirical sigma %v, want 0.3", std)
+	}
+	// sigma <= 0 is a no-op.
+	iq2 := []complex128{1 + 2i}
+	AWGN(iq2, 0, rng)
+	if iq2[0] != 1+2i {
+		t.Error("zero-sigma AWGN modified samples")
+	}
+}
+
+func TestDetectFindsOffset(t *testing.T) {
+	mod := ble.NewModulator(8)
+	ref := mod.Modulate(ble.BytesToBits([]byte{0xAA, 0x29, 0x41, 0x76, 0x71, 0x55, 0x0F}))
+	// Embed the reference at a known offset inside noise.
+	rng := rand.New(rand.NewPCG(2, 2))
+	rx := make([]complex128, len(ref)+500)
+	AWGN(rx, 0.05, rng)
+	h := cmplx.Rect(0.4, 1.9)
+	for i, x := range ref {
+		rx[137+i] += x * h
+	}
+	off, corr, err := Detect(rx, ref, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 137 {
+		t.Errorf("offset = %d, want 137", off)
+	}
+	if corr < 0.9 {
+		t.Errorf("correlation = %v, want > 0.9", corr)
+	}
+}
+
+func TestDetectCoarseStep(t *testing.T) {
+	mod := ble.NewModulator(4)
+	ref := mod.Modulate(ble.BytesToBits([]byte{0xAA, 1, 2, 3, 4}))
+	rx := make([]complex128, len(ref)+64)
+	copy(rx[32:], ref)
+	off, _, err := Detect(rx, ref, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 32 {
+		t.Errorf("coarse offset = %d, want 32 (multiple of step)", off)
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	if _, _, err := Detect(make([]complex128, 4), make([]complex128, 8), 1); err == nil {
+		t.Error("rx shorter than ref should fail")
+	}
+	if _, _, err := Detect(make([]complex128, 8), nil, 1); err == nil {
+		t.Error("empty ref should fail")
+	}
+}
+
+func TestDetectAbsentSignalLowCorrelation(t *testing.T) {
+	mod := ble.NewModulator(8)
+	ref := mod.Modulate(ble.BytesToBits([]byte{0xAA, 0xDE, 0xAD, 0xBE, 0xEF}))
+	rng := rand.New(rand.NewPCG(3, 3))
+	rx := make([]complex128, len(ref)*3)
+	AWGN(rx, 1.0, rng)
+	_, corr, err := Detect(rx, ref, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr > 0.5 {
+		t.Errorf("correlation %v on pure noise, want < 0.5", corr)
+	}
+}
+
+func TestPreambleRef(t *testing.T) {
+	ref := PreambleRef(0x8E89BED6, 8)
+	if len(ref) != 5*8*8 {
+		t.Errorf("len = %d, want %d", len(ref), 5*8*8)
+	}
+	// Constant envelope (GFSK).
+	for i, z := range ref {
+		if math.Abs(cmplx.Abs(z)-1) > 1e-12 {
+			t.Fatalf("sample %d not unit magnitude", i)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package rfsim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+)
+
+// ChannelFromPaths evaluates the paper's Eq. 2 at the given frequency:
+// h(f) = Σ paths gain · e^{-ι 2π f length / c}.
+func ChannelFromPaths(paths []Path, freqHz float64) complex128 {
+	var h complex128
+	k := -2 * math.Pi * freqHz / SpeedOfLight
+	for _, p := range paths {
+		s, c := math.Sincos(k * p.Length)
+		h += complex(p.Gain*c, p.Gain*s)
+	}
+	return h
+}
+
+// RSSI returns the received signal strength in dB (relative to the unit
+// transmit amplitude at 1 m) implied by a channel value: 20·log10 |h|.
+func RSSI(h complex128) float64 {
+	a := cmplx.Abs(h)
+	if a <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(a)
+}
+
+// Noise models complex AWGN applied to channel estimates. The standard
+// deviation is set from an SNR (dB) relative to the amplitude of a direct
+// path at a reference distance, which gives an absolute noise floor:
+// nearer (stronger) links enjoy higher effective SNR, as in reality.
+type Noise struct {
+	Sigma float64 // per-component (real/imag) standard deviation
+	rng   *rand.Rand
+}
+
+// NewNoise builds a noise source with the given SNR in dB, referenced to a
+// direct path at refDist meters, and a deterministic seed.
+func NewNoise(snrDB, refDist float64, seed uint64) *Noise {
+	refAmp := 1.0 / refDist
+	sigma := refAmp * math.Pow(10, -snrDB/20) / math.Sqrt2
+	return &Noise{Sigma: sigma, rng: rand.New(rand.NewPCG(seed, 0xC0FFEE))}
+}
+
+// NewNoiseSigma builds a noise source directly from a per-component
+// standard deviation.
+func NewNoiseSigma(sigma float64, seed uint64) *Noise {
+	return &Noise{Sigma: sigma, rng: rand.New(rand.NewPCG(seed, 0xC0FFEE))}
+}
+
+// NoNoise returns a noise source that adds nothing.
+func NoNoise() *Noise { return &Noise{} }
+
+// Apply returns h plus a complex Gaussian sample.
+func (n *Noise) Apply(h complex128) complex128 {
+	if n.Sigma == 0 || n.rng == nil {
+		return h
+	}
+	return h + complex(n.rng.NormFloat64()*n.Sigma, n.rng.NormFloat64()*n.Sigma)
+}
+
+// ApplyTo adds independent noise to every element of hs in place.
+func (n *Noise) ApplyTo(hs []complex128) {
+	if n.Sigma == 0 || n.rng == nil {
+		return
+	}
+	for i := range hs {
+		hs[i] += complex(n.rng.NormFloat64()*n.Sigma, n.rng.NormFloat64()*n.Sigma)
+	}
+}
+
+// Oscillator models a device's local oscillator: every retune to a new
+// frequency draws a fresh uniformly random phase offset (§5.1: "every time
+// this oscillator is used to tune the frequency, it incurs a random phase
+// offset"). All antennas of one anchor share the same oscillator
+// (footnote 3), which is why the offset is per device, not per antenna.
+type Oscillator struct {
+	rng   *rand.Rand
+	phase float64
+}
+
+// NewOscillator creates a deterministic oscillator.
+func NewOscillator(seed uint64) *Oscillator {
+	o := &Oscillator{rng: rand.New(rand.NewPCG(seed, 0x05C111A7))}
+	o.Retune()
+	return o
+}
+
+// Retune simulates tuning to a new channel: the phase offset is redrawn.
+func (o *Oscillator) Retune() {
+	o.phase = (o.rng.Float64()*2 - 1) * math.Pi
+}
+
+// Phase returns the current phase offset in radians.
+func (o *Oscillator) Phase() float64 { return o.phase }
+
+// Rotor returns e^{ιφ} for the current offset, the factor a transmit chain
+// multiplies onto the signal (receive chains divide, i.e. multiply by the
+// conjugate).
+func (o *Oscillator) Rotor() complex128 {
+	s, c := math.Sincos(o.phase)
+	return complex(c, s)
+}

@@ -1,0 +1,303 @@
+// Package rfsim is the RF propagation substrate of the BLoc reproduction:
+// a geometric multipath simulator standing in for the paper's physical
+// 5 m × 6 m VICON room (§7). It produces the exact channel model of the
+// paper's Eq. 2 — a sum of attenuated, delayed copies of the signal:
+//
+//	h(f) = Σ_i (A_i / d_i) · e^{-ι 2π f d_i / c}
+//
+// with three path populations:
+//
+//   - the direct path, optionally attenuated by obstacles (NLOS);
+//   - first- and optionally second-order specular wall reflections,
+//     enumerated with the image method;
+//   - scatterer paths: diffuse reflections off imperfect reflectors
+//     (metal cupboards, robotic equipment, …) modeled as clusters of
+//     facets so that different anchors and antennas see slightly
+//     different bounce geometry — the spatial spreading BLoc's entropy
+//     test exploits (§5.4).
+//
+// The simulator is fully deterministic given its seed.
+package rfsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"bloc/internal/geom"
+)
+
+// SpeedOfLight in m/s.
+const SpeedOfLight = 299792458.0
+
+// PathKind classifies how a propagation path reached the receiver.
+type PathKind int
+
+// Path kinds.
+const (
+	PathDirect PathKind = iota
+	PathWall
+	PathScatter
+)
+
+// String implements fmt.Stringer.
+func (k PathKind) String() string {
+	switch k {
+	case PathDirect:
+		return "direct"
+	case PathWall:
+		return "wall"
+	case PathScatter:
+		return "scatter"
+	default:
+		return fmt.Sprintf("PathKind(%d)", int(k))
+	}
+}
+
+// Path is one propagation path between a transmitter and a receiver.
+type Path struct {
+	Kind   PathKind
+	Length float64 // total travel distance, meters
+	Gain   float64 // amplitude gain, including 1/d spreading and reflection loss
+}
+
+// Delay returns the propagation delay of the path in seconds.
+func (p Path) Delay() float64 { return p.Length / SpeedOfLight }
+
+// Scatterer is an imperfect reflector: a cluster of facets scattered
+// around Center within Radius. Each facet re-radiates with a share of the
+// scatterer's gain, producing paths that are slightly spread in both delay
+// and angle — a diffuse reflection.
+type Scatterer struct {
+	Center geom.Point
+	Radius float64 // spatial spread of the facets, meters
+	// Gain is the amplitude coefficient split across facets. It plays the
+	// role of √RCS in the bistatic amplitude g/(d1·d2) and may exceed 1
+	// for large metallic reflectors, whose reflections can rival or beat
+	// an (obstructed) direct path — the regime §5.4 is designed for.
+	Gain   float64
+	Facets int // number of facets (≥ 1)
+}
+
+// InteriorWall is a partition inside the room: it reflects specularly on
+// both faces (image method) and attenuates paths that cross it — a
+// drywall or glass partition in an apartment or office floorplan.
+type InteriorWall struct {
+	Wall         geom.Segment
+	Reflectivity float64 // specular amplitude coefficient
+	Transmission float64 // amplitude factor of paths crossing it, (0, 1]
+}
+
+// Obstacle attenuates paths that cross it (e.g. a cabinet blocking LOS).
+type Obstacle struct {
+	Wall        geom.Segment
+	Attenuation float64 // multiplicative amplitude factor in (0, 1]
+	// TagHeightOnly marks desk-height clutter that obstructs links to the
+	// tag (carried at object height) but not links between wall-mounted
+	// anchors, which see over it. Anchor-to-anchor reference channels are
+	// computed with Elevated(), which skips such obstacles.
+	TagHeightOnly bool
+}
+
+// Environment is a simulated room.
+type Environment struct {
+	Room             geom.Rect
+	WallReflectivity float64 // specular amplitude coefficient of the walls (0 disables)
+	SecondOrderWalls bool    // include double-bounce wall reflections
+	Scatterers       []Scatterer
+	Obstacles        []Obstacle
+	InteriorWalls    []InteriorWall
+
+	seed     uint64         // facet placement seed
+	facets   [][]geom.Point // resolved facet positions per scatterer
+	elevated bool           // skip TagHeightOnly obstacles (anchor-height links)
+}
+
+// Elevated returns a view of the environment for anchor-height links:
+// identical geometry, but obstacles marked TagHeightOnly do not attenuate.
+// The view shares the underlying scatterer facets.
+func (e *Environment) Elevated() *Environment {
+	out := *e
+	out.elevated = true
+	return &out
+}
+
+// NewEnvironment builds an environment with default wall reflectivity; the
+// seed drives deterministic scatterer facet placement.
+func NewEnvironment(room geom.Rect, seed uint64) *Environment {
+	return &Environment{
+		Room:             room,
+		WallReflectivity: 0.45,
+		seed:             seed,
+	}
+}
+
+// AddScatterer appends a scatterer and places its facets deterministically.
+func (e *Environment) AddScatterer(s Scatterer) {
+	if s.Facets < 1 {
+		s.Facets = 1
+	}
+	idx := len(e.Scatterers)
+	e.Scatterers = append(e.Scatterers, s)
+	rng := rand.New(rand.NewPCG(e.seed, uint64(idx)+0x9E3779B9))
+	pts := make([]geom.Point, s.Facets)
+	for i := range pts {
+		// Uniform in the disk of radius s.Radius.
+		r := s.Radius * math.Sqrt(rng.Float64())
+		a := rng.Float64() * 2 * math.Pi
+		pts[i] = geom.Pt(s.Center.X+r*math.Cos(a), s.Center.Y+r*math.Sin(a))
+	}
+	e.facets = append(e.facets, pts)
+}
+
+// AddInteriorWall appends a partition wall. Transmission must be in
+// (0, 1] and Reflectivity non-negative.
+func (e *Environment) AddInteriorWall(w InteriorWall) error {
+	if w.Transmission <= 0 || w.Transmission > 1 {
+		return fmt.Errorf("rfsim: interior wall transmission %v outside (0, 1]", w.Transmission)
+	}
+	if w.Reflectivity < 0 {
+		return fmt.Errorf("rfsim: interior wall reflectivity %v negative", w.Reflectivity)
+	}
+	e.InteriorWalls = append(e.InteriorWalls, w)
+	return nil
+}
+
+// AddObstacle appends an obstacle. Attenuation must be in (0, 1].
+func (e *Environment) AddObstacle(o Obstacle) error {
+	if o.Attenuation <= 0 || o.Attenuation > 1 {
+		return fmt.Errorf("rfsim: obstacle attenuation %v outside (0, 1]", o.Attenuation)
+	}
+	e.Obstacles = append(e.Obstacles, o)
+	return nil
+}
+
+// obstacleFactor returns the product of attenuations of all obstacles the
+// straight segment a→b crosses.
+func (e *Environment) obstacleFactor(a, b geom.Point) float64 {
+	f := 1.0
+	for _, o := range e.Obstacles {
+		if e.elevated && o.TagHeightOnly {
+			continue
+		}
+		if o.Wall.Blocks(a, b) {
+			f *= o.Attenuation
+		}
+	}
+	// Interior walls attenuate crossings at every height.
+	for _, w := range e.InteriorWalls {
+		if w.Wall.Blocks(a, b) {
+			f *= w.Transmission
+		}
+	}
+	return f
+}
+
+// Paths enumerates every propagation path from tx to rx. The returned
+// slice is freshly allocated and ordered: direct, wall reflections,
+// scatterer facets.
+func (e *Environment) Paths(tx, rx geom.Point) []Path {
+	paths := make([]Path, 0, 1+4+len(e.Scatterers)*4)
+
+	// Direct path.
+	d := tx.Dist(rx)
+	if d < 1e-6 {
+		d = 1e-6
+	}
+	paths = append(paths, Path{
+		Kind:   PathDirect,
+		Length: d,
+		Gain:   e.obstacleFactor(tx, rx) / d,
+	})
+
+	// Specular wall reflections via the image method.
+	if e.WallReflectivity > 0 {
+		walls := e.Room.Walls()
+		for _, w := range walls {
+			if p, ok := e.wallPath(w, tx, rx, e.WallReflectivity); ok {
+				paths = append(paths, p)
+			}
+		}
+		if e.SecondOrderWalls {
+			r2 := e.WallReflectivity * e.WallReflectivity
+			for i, w1 := range walls {
+				for j, w2 := range walls {
+					if i == j {
+						continue
+					}
+					if p, ok := e.doubleWallPath(w1, w2, tx, rx, r2); ok {
+						paths = append(paths, p)
+					}
+				}
+			}
+		}
+	}
+
+	// First-order reflections off interior partitions (both faces share
+	// the same image construction).
+	for _, w := range e.InteriorWalls {
+		if w.Reflectivity <= 0 {
+			continue
+		}
+		if p, ok := e.wallPath(w.Wall, tx, rx, w.Reflectivity); ok {
+			paths = append(paths, p)
+		}
+	}
+
+	// Scatterer facets.
+	for si, s := range e.Scatterers {
+		perFacet := s.Gain / float64(s.Facets)
+		for _, f := range e.facets[si] {
+			d1 := tx.Dist(f)
+			d2 := f.Dist(rx)
+			if d1 < 1e-6 || d2 < 1e-6 {
+				continue
+			}
+			att := e.obstacleFactor(tx, f) * e.obstacleFactor(f, rx)
+			paths = append(paths, Path{
+				Kind:   PathScatter,
+				Length: d1 + d2,
+				// Bistatic spreading: amplitude falls with the product of
+				// the two legs.
+				Gain: att * perFacet / (d1 * d2),
+			})
+		}
+	}
+	return paths
+}
+
+// wallPath computes the single-bounce specular path off wall w, if the
+// bounce point lies on the wall segment.
+func (e *Environment) wallPath(w geom.Segment, tx, rx geom.Point, refl float64) (Path, bool) {
+	img := w.Reflect(tx)
+	bounce, ok := w.Intersect(geom.Seg(img, rx))
+	if !ok {
+		return Path{}, false
+	}
+	length := img.Dist(rx)
+	if length < 1e-6 {
+		return Path{}, false
+	}
+	att := e.obstacleFactor(tx, bounce) * e.obstacleFactor(bounce, rx)
+	return Path{Kind: PathWall, Length: length, Gain: att * refl / length}, true
+}
+
+// doubleWallPath computes the double-bounce path w1 then w2.
+func (e *Environment) doubleWallPath(w1, w2 geom.Segment, tx, rx geom.Point, refl float64) (Path, bool) {
+	img1 := w1.Reflect(tx)
+	img2 := w2.Reflect(img1)
+	b2, ok := w2.Intersect(geom.Seg(img2, rx))
+	if !ok {
+		return Path{}, false
+	}
+	b1, ok := w1.Intersect(geom.Seg(img1, b2))
+	if !ok {
+		return Path{}, false
+	}
+	length := img2.Dist(rx)
+	if length < 1e-6 {
+		return Path{}, false
+	}
+	att := e.obstacleFactor(tx, b1) * e.obstacleFactor(b1, b2) * e.obstacleFactor(b2, rx)
+	return Path{Kind: PathWall, Length: length, Gain: att * refl / length}, true
+}

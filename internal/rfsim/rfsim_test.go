@@ -1,0 +1,451 @@
+package rfsim
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"bloc/internal/geom"
+)
+
+func testRoom() geom.Rect { return geom.NewRect(geom.Pt(-2.5, -3), geom.Pt(2.5, 3)) }
+
+func TestDirectPathOnly(t *testing.T) {
+	env := NewEnvironment(testRoom(), 1)
+	env.WallReflectivity = 0 // disable reflections
+	tx, rx := geom.Pt(0, 0), geom.Pt(3, 4)
+	paths := env.Paths(tx, rx)
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	p := paths[0]
+	if p.Kind != PathDirect {
+		t.Errorf("kind = %v", p.Kind)
+	}
+	if math.Abs(p.Length-5) > 1e-12 {
+		t.Errorf("length = %v, want 5", p.Length)
+	}
+	if math.Abs(p.Gain-0.2) > 1e-12 {
+		t.Errorf("gain = %v, want 1/5", p.Gain)
+	}
+}
+
+func TestFreeSpaceChannelMatchesEq1(t *testing.T) {
+	// Single path: h = (A/d)·e^{-ι2πd/λ}, the paper's Eq. 1.
+	env := NewEnvironment(testRoom(), 1)
+	env.WallReflectivity = 0
+	tx, rx := geom.Pt(0, 0), geom.Pt(2, 0)
+	paths := env.Paths(tx, rx)
+	f := 2.44e9
+	h := ChannelFromPaths(paths, f)
+	lambda := SpeedOfLight / f
+	want := cmplx.Rect(0.5, -2*math.Pi*2/lambda)
+	if cmplx.Abs(h-want) > 1e-9 {
+		t.Errorf("h = %v, want %v", h, want)
+	}
+}
+
+func TestWallReflectionsPresent(t *testing.T) {
+	env := NewEnvironment(testRoom(), 1)
+	paths := env.Paths(geom.Pt(-1, 0), geom.Pt(1, 0))
+	var wall, direct int
+	for _, p := range paths {
+		switch p.Kind {
+		case PathWall:
+			wall++
+		case PathDirect:
+			direct++
+		}
+	}
+	if direct != 1 {
+		t.Errorf("%d direct paths", direct)
+	}
+	if wall != 4 {
+		t.Errorf("%d wall reflections, want 4 (one per wall for interior points)", wall)
+	}
+}
+
+func TestDirectPathIsShortest(t *testing.T) {
+	// The invariant BLoc's multipath rejection rests on (§5.4): the direct
+	// path is strictly the shortest.
+	env := NewEnvironment(testRoom(), 7)
+	env.SecondOrderWalls = true
+	env.AddScatterer(Scatterer{Center: geom.Pt(1.5, 2), Radius: 0.3, Gain: 0.5, Facets: 6})
+	env.AddScatterer(Scatterer{Center: geom.Pt(-2, -1), Radius: 0.2, Gain: 0.4, Facets: 5})
+	pairs := [][2]geom.Point{
+		{geom.Pt(0, 0), geom.Pt(1, 1)},
+		{geom.Pt(-2, -2.5), geom.Pt(2, 2.5)},
+		{geom.Pt(0.3, -1), geom.Pt(-1.7, 2.2)},
+	}
+	for _, pr := range pairs {
+		paths := env.Paths(pr[0], pr[1])
+		direct := paths[0]
+		if direct.Kind != PathDirect {
+			t.Fatal("first path is not the direct path")
+		}
+		for _, p := range paths[1:] {
+			if p.Length <= direct.Length {
+				t.Errorf("%v path length %v not longer than direct %v",
+					p.Kind, p.Length, direct.Length)
+			}
+		}
+	}
+}
+
+func TestWallReflectionGeometry(t *testing.T) {
+	// For tx=(0,1), rx=(2,1) and the south wall y=-3 of the test room, the
+	// image of tx is (0,-7) and the path length is |(0,-7)-(2,1)| = √68.
+	env := NewEnvironment(testRoom(), 1)
+	env.Scatterers = nil
+	paths := env.Paths(geom.Pt(0, 1), geom.Pt(2, 1))
+	want := math.Sqrt(68)
+	found := false
+	for _, p := range paths {
+		if p.Kind == PathWall && math.Abs(p.Length-want) < 1e-9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no wall path of length %v found in %+v", want, paths)
+	}
+}
+
+func TestSecondOrderWallsAddPaths(t *testing.T) {
+	env := NewEnvironment(testRoom(), 1)
+	first := len(env.Paths(geom.Pt(0, 0), geom.Pt(1, 1)))
+	env.SecondOrderWalls = true
+	second := len(env.Paths(geom.Pt(0, 0), geom.Pt(1, 1)))
+	if second <= first {
+		t.Errorf("second-order enumeration added no paths: %d vs %d", second, first)
+	}
+}
+
+func TestScattererFacetsSpread(t *testing.T) {
+	env := NewEnvironment(testRoom(), 3)
+	env.WallReflectivity = 0
+	env.AddScatterer(Scatterer{Center: geom.Pt(1, 1), Radius: 0.4, Gain: 0.6, Facets: 8})
+	paths := env.Paths(geom.Pt(-2, -2), geom.Pt(2, -2))
+	var lengths []float64
+	for _, p := range paths {
+		if p.Kind == PathScatter {
+			lengths = append(lengths, p.Length)
+		}
+	}
+	if len(lengths) != 8 {
+		t.Fatalf("%d scatter paths, want 8", len(lengths))
+	}
+	// Facets must be spread: not all the same length (diffuse reflection).
+	minL, maxL := lengths[0], lengths[0]
+	for _, l := range lengths {
+		minL = math.Min(minL, l)
+		maxL = math.Max(maxL, l)
+	}
+	if maxL-minL < 1e-3 {
+		t.Errorf("facet paths are not spread: range %v", maxL-minL)
+	}
+}
+
+func TestScattererDeterministicPlacement(t *testing.T) {
+	mk := func() []Path {
+		env := NewEnvironment(testRoom(), 99)
+		env.WallReflectivity = 0
+		env.AddScatterer(Scatterer{Center: geom.Pt(0.5, 0.5), Radius: 0.3, Gain: 0.5, Facets: 5})
+		return env.Paths(geom.Pt(-1, 0), geom.Pt(1, 0))
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic path count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("path %d differs between identical environments", i)
+		}
+	}
+}
+
+func TestObstacleAttenuatesLOS(t *testing.T) {
+	env := NewEnvironment(testRoom(), 1)
+	env.WallReflectivity = 0
+	if err := env.AddObstacle(Obstacle{
+		Wall:        geom.Seg(geom.Pt(0, -1), geom.Pt(0, 1)),
+		Attenuation: 0.1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	blocked := env.Paths(geom.Pt(-1, 0), geom.Pt(1, 0))[0]
+	clear := env.Paths(geom.Pt(-1, 2), geom.Pt(1, 2))[0]
+	if math.Abs(blocked.Gain-0.1/2) > 1e-12 {
+		t.Errorf("blocked gain = %v, want 0.05", blocked.Gain)
+	}
+	if math.Abs(clear.Gain-1.0/2) > 1e-12 {
+		t.Errorf("clear gain = %v, want 0.5", clear.Gain)
+	}
+}
+
+func TestAddObstacleValidation(t *testing.T) {
+	env := NewEnvironment(testRoom(), 1)
+	for _, a := range []float64{0, -0.5, 1.5} {
+		if err := env.AddObstacle(Obstacle{Attenuation: a}); err == nil {
+			t.Errorf("attenuation %v should be rejected", a)
+		}
+	}
+}
+
+func TestChannelLinearInPaths(t *testing.T) {
+	// The multipath channel is the sum of per-path channels (Eq. 2).
+	p1 := []Path{{Kind: PathDirect, Length: 3, Gain: 0.3}}
+	p2 := []Path{{Kind: PathWall, Length: 7, Gain: 0.1}}
+	both := append(append([]Path(nil), p1...), p2...)
+	f := 2.42e9
+	if cmplx.Abs(ChannelFromPaths(both, f)-(ChannelFromPaths(p1, f)+ChannelFromPaths(p2, f))) > 1e-12 {
+		t.Error("channel is not additive over paths")
+	}
+}
+
+func TestChannelPhaseSlopeEncodesDistance(t *testing.T) {
+	// Across frequency, the phase of a single-path channel falls linearly
+	// with slope −2πd/c — the basis of distance estimation (§2.2).
+	d := 4.2
+	paths := []Path{{Kind: PathDirect, Length: d, Gain: 1 / d}}
+	f0, df := 2.404e9, 2e6
+	h0 := ChannelFromPaths(paths, f0)
+	h1 := ChannelFromPaths(paths, f0+df)
+	dphi := cmplx.Phase(h1 * cmplx.Conj(h0))
+	want := -2 * math.Pi * df * d / SpeedOfLight
+	// Compare modulo 2π.
+	diff := math.Mod(dphi-want, 2*math.Pi)
+	if diff > math.Pi {
+		diff -= 2 * math.Pi
+	} else if diff < -math.Pi {
+		diff += 2 * math.Pi
+	}
+	if math.Abs(diff) > 1e-9 {
+		t.Errorf("phase slope %v, want %v", dphi, want)
+	}
+}
+
+func TestRSSI(t *testing.T) {
+	if got := RSSI(complex(0.1, 0)); math.Abs(got+20) > 1e-9 {
+		t.Errorf("RSSI(0.1) = %v, want -20", got)
+	}
+	if !math.IsInf(RSSI(0), -1) {
+		t.Error("RSSI(0) should be -Inf")
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	n := NewNoise(20, 3, 1) // 20 dB SNR at 3 m
+	wantSigma := (1.0 / 3) * math.Pow(10, -1) / math.Sqrt2
+	if math.Abs(n.Sigma-wantSigma) > 1e-12 {
+		t.Fatalf("sigma = %v, want %v", n.Sigma, wantSigma)
+	}
+	// Empirical std of the applied noise matches.
+	const trials = 20000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		z := n.Apply(0)
+		sum += real(z)
+		sumSq += real(z) * real(z)
+	}
+	mean := sum / trials
+	std := math.Sqrt(sumSq/trials - mean*mean)
+	if math.Abs(std-n.Sigma) > 0.05*n.Sigma {
+		t.Errorf("empirical sigma %v, want %v", std, n.Sigma)
+	}
+	if math.Abs(mean) > 3*n.Sigma/math.Sqrt(trials)*3 {
+		t.Errorf("noise mean %v not ≈ 0", mean)
+	}
+}
+
+func TestNoNoiseIsIdentity(t *testing.T) {
+	n := NoNoise()
+	h := complex(0.3, -0.7)
+	if n.Apply(h) != h {
+		t.Error("NoNoise modified the channel")
+	}
+	hs := []complex128{1, 2i}
+	n.ApplyTo(hs)
+	if hs[0] != 1 || hs[1] != 2i {
+		t.Error("NoNoise.ApplyTo modified the slice")
+	}
+}
+
+func TestOscillatorRetuneChangesPhase(t *testing.T) {
+	o := NewOscillator(5)
+	phases := map[float64]bool{}
+	for i := 0; i < 50; i++ {
+		p := o.Phase()
+		if p < -math.Pi || p > math.Pi {
+			t.Fatalf("phase %v out of range", p)
+		}
+		phases[p] = true
+		// Rotor matches phase.
+		if cmplx.Abs(o.Rotor()-cmplx.Rect(1, p)) > 1e-12 {
+			t.Fatal("Rotor does not match Phase")
+		}
+		o.Retune()
+	}
+	if len(phases) < 45 {
+		t.Errorf("only %d distinct phases in 50 retunes", len(phases))
+	}
+}
+
+func TestOscillatorDeterministic(t *testing.T) {
+	a, b := NewOscillator(11), NewOscillator(11)
+	for i := 0; i < 10; i++ {
+		if a.Phase() != b.Phase() {
+			t.Fatal("same-seed oscillators diverged")
+		}
+		a.Retune()
+		b.Retune()
+	}
+	c := NewOscillator(12)
+	if c.Phase() == a.Phase() {
+		t.Error("different seeds produced identical first phase (suspicious)")
+	}
+}
+
+func TestPathDelay(t *testing.T) {
+	p := Path{Length: SpeedOfLight}
+	if math.Abs(p.Delay()-1) > 1e-15 {
+		t.Errorf("Delay = %v, want 1s", p.Delay())
+	}
+}
+
+func TestPathKindString(t *testing.T) {
+	if PathDirect.String() != "direct" || PathWall.String() != "wall" ||
+		PathScatter.String() != "scatter" {
+		t.Error("PathKind strings wrong")
+	}
+	if PathKind(9).String() != "PathKind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func BenchmarkPathsRichRoom(b *testing.B) {
+	env := NewEnvironment(testRoom(), 1)
+	env.SecondOrderWalls = true
+	for i := 0; i < 4; i++ {
+		env.AddScatterer(Scatterer{
+			Center: geom.Pt(float64(i)-1.5, 1), Radius: 0.3, Gain: 0.4, Facets: 5,
+		})
+	}
+	tx, rx := geom.Pt(-2, -2), geom.Pt(2, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Paths(tx, rx)
+	}
+}
+
+func BenchmarkChannelFromPaths(b *testing.B) {
+	env := NewEnvironment(testRoom(), 1)
+	env.AddScatterer(Scatterer{Center: geom.Pt(1, 1), Radius: 0.3, Gain: 0.4, Facets: 8})
+	paths := env.Paths(geom.Pt(-2, -2), geom.Pt(2, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ChannelFromPaths(paths, 2.44e9)
+	}
+}
+
+func TestInteriorWallReflectsAndAttenuates(t *testing.T) {
+	env := NewEnvironment(testRoom(), 1)
+	env.WallReflectivity = 0
+	if err := env.AddInteriorWall(InteriorWall{
+		Wall:         geom.Seg(geom.Pt(0, -2), geom.Pt(0, 2)),
+		Reflectivity: 0.5,
+		Transmission: 0.3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A link crossing the partition: direct path attenuated.
+	crossing := env.Paths(geom.Pt(-1, 0.5), geom.Pt(1, 0.5))
+	if math.Abs(crossing[0].Gain-0.3/2) > 1e-12 {
+		t.Errorf("crossing direct gain %v, want 0.15", crossing[0].Gain)
+	}
+	// A link on one side: reflection off the partition present, direct
+	// untouched.
+	sameSide := env.Paths(geom.Pt(-2, -1), geom.Pt(-2, 1))
+	if math.Abs(sameSide[0].Gain-1.0/2) > 1e-12 {
+		t.Errorf("same-side direct gain %v, want 0.5", sameSide[0].Gain)
+	}
+	foundReflection := false
+	for _, p := range sameSide[1:] {
+		if p.Kind == PathWall && p.Length > 2 {
+			foundReflection = true
+		}
+	}
+	if !foundReflection {
+		t.Error("no reflection off the interior wall")
+	}
+}
+
+func TestAddInteriorWallValidation(t *testing.T) {
+	env := NewEnvironment(testRoom(), 1)
+	if err := env.AddInteriorWall(InteriorWall{Transmission: 0}); err == nil {
+		t.Error("zero transmission accepted")
+	}
+	if err := env.AddInteriorWall(InteriorWall{Transmission: 2}); err == nil {
+		t.Error("transmission > 1 accepted")
+	}
+	if err := env.AddInteriorWall(InteriorWall{Transmission: 0.5, Reflectivity: -1}); err == nil {
+		t.Error("negative reflectivity accepted")
+	}
+}
+
+func TestChannelMagnitudeBoundProperty(t *testing.T) {
+	// |h(f)| ≤ Σ|gain| for any frequency (triangle inequality on Eq. 2).
+	f := func(lengths, gains []float64, freqRaw float64) bool {
+		n := len(lengths)
+		if len(gains) < n {
+			n = len(gains)
+		}
+		if n == 0 {
+			return true
+		}
+		paths := make([]Path, 0, n)
+		var bound float64
+		for i := 0; i < n; i++ {
+			l := math.Abs(math.Mod(lengths[i], 100)) + 0.1
+			g := math.Abs(math.Mod(gains[i], 10))
+			if math.IsNaN(l) || math.IsNaN(g) {
+				return true
+			}
+			paths = append(paths, Path{Kind: PathScatter, Length: l, Gain: g})
+			bound += g
+		}
+		freq := 2.4e9 + math.Abs(math.Mod(freqRaw, 80e6))
+		if math.IsNaN(freq) {
+			return true
+		}
+		return cmplx.Abs(ChannelFromPaths(paths, freq)) <= bound+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelConjugateSymmetryProperty(t *testing.T) {
+	// Real gains ⟹ h(-f) = conj(h(f)) — the spectrum of a real impulse
+	// response.
+	f := func(l1, l2, g1, g2, fr float64) bool {
+		for _, v := range []float64{l1, l2, g1, g2, fr} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		paths := []Path{
+			{Length: math.Abs(math.Mod(l1, 50)) + 0.1, Gain: math.Mod(g1, 5)},
+			{Length: math.Abs(math.Mod(l2, 50)) + 0.1, Gain: math.Mod(g2, 5)},
+		}
+		freq := math.Abs(math.Mod(fr, 1e9)) + 1
+		hPos := ChannelFromPaths(paths, freq)
+		hNeg := ChannelFromPaths(paths, -freq)
+		return cmplx.Abs(hNeg-cmplx.Conj(hPos)) < 1e-9*(1+cmplx.Abs(hPos))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

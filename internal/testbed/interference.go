@@ -1,0 +1,131 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"bloc/internal/ble"
+	"bloc/internal/dsp"
+)
+
+// Wi-Fi interference and adaptive frequency hopping — the mechanism
+// behind §8.6: BLE coexists with Wi-Fi in the 2.4 GHz band, blacklists
+// channels that see interference, and BLoc must keep localizing on the
+// survivors. An Interferer raises the effective noise floor of every BLE
+// band its spectrum overlaps; DetectInterference reproduces the
+// measurement a real stack performs (per-channel energy statistics) and
+// returns the channel map a connection would adopt.
+
+// Interferer is a wideband co-channel transmitter (e.g. one 20 MHz Wi-Fi
+// channel).
+type Interferer struct {
+	CenterHz float64
+	SpanHz   float64
+	// Sigma is the per-component noise standard deviation added to every
+	// channel estimate on overlapping BLE bands.
+	Sigma float64
+}
+
+// Overlaps reports whether the interferer covers the BLE channel.
+func (w Interferer) Overlaps(ch ble.ChannelIndex) bool {
+	f := ch.CenterFreq()
+	half := (w.SpanHz + ble.ChannelWidthHz) / 2
+	return math.Abs(f-w.CenterHz) < half
+}
+
+// WiFiChannel returns an Interferer modeling a 20 MHz Wi-Fi channel
+// (1–13) at the given noise sigma.
+func WiFiChannel(number int, sigma float64) (Interferer, error) {
+	if number < 1 || number > 13 {
+		return Interferer{}, fmt.Errorf("testbed: Wi-Fi channel %d outside [1,13]", number)
+	}
+	return Interferer{
+		CenterHz: 2407e6 + float64(number)*5e6,
+		SpanHz:   20e6,
+		Sigma:    sigma,
+	}, nil
+}
+
+// interferenceSigma returns the total extra noise sigma on a BLE channel
+// from all interferers (powers add).
+func (d *Deployment) interferenceSigma(ch ble.ChannelIndex) float64 {
+	var power float64
+	for _, w := range d.Interferers {
+		if w.Overlaps(ch) {
+			power += w.Sigma * w.Sigma
+		}
+	}
+	return math.Sqrt(power)
+}
+
+// applyInterference corrupts a channel estimate with the interferers
+// overlapping the band.
+func (d *Deployment) applyInterference(ch ble.ChannelIndex, h complex128) complex128 {
+	sigma := d.interferenceSigma(ch)
+	if sigma == 0 {
+		return h
+	}
+	return h + complex(d.rng.NormFloat64()*sigma, d.rng.NormFloat64()*sigma)
+}
+
+// DetectInterference measures per-channel energy stability the way a
+// real BLE stack drives its channel-map updates: the master transmits a
+// reference on every band `rounds` times; anchor 1 records the magnitude
+// of each estimate (magnitudes are immune to the per-retune LO phase);
+// channels whose magnitude deviation exceeds `factor` times the median
+// deviation are blacklisted. It returns the surviving channel list,
+// always keeping at least two channels (the specification's minimum).
+func (d *Deployment) DetectInterference(rounds int, factor float64) []ble.ChannelIndex {
+	if rounds < 2 {
+		rounds = 4
+	}
+	if factor <= 1 {
+		factor = 3
+	}
+	K := len(d.Bands)
+	mags := make([][]float64, K)
+	masterAnt0 := d.Anchors[0].Antenna(0)
+	rxAnt := d.Anchors[1].Antenna(0)
+	paths := d.Env.Elevated().Paths(masterAnt0, rxAnt)
+	for r := 0; r < rounds; r++ {
+		for b, ch := range d.Bands {
+			d.retuneAll()
+			h := channelWithRotor(paths, ch.CenterFreq(), d.masterRotor(1))
+			h = d.Noise.Apply(h)
+			h = d.applyInterference(ch, h)
+			mags[b] = append(mags[b], cmplx.Abs(h))
+		}
+	}
+	devs := make([]float64, K)
+	for b := range mags {
+		devs[b] = dsp.Stddev(mags[b])
+	}
+	median := dsp.Median(devs)
+	if median <= 0 {
+		median = 1e-12
+	}
+	var used []ble.ChannelIndex
+	for b, ch := range d.Bands {
+		if devs[b] <= factor*median {
+			used = append(used, ch)
+		}
+	}
+	if len(used) < 2 {
+		// Keep the two quietest channels no matter what.
+		best, second := 0, 1
+		if devs[second] < devs[best] {
+			best, second = second, best
+		}
+		for b := 2; b < K; b++ {
+			switch {
+			case devs[b] < devs[best]:
+				best, second = b, best
+			case devs[b] < devs[second]:
+				second = b
+			}
+		}
+		used = []ble.ChannelIndex{d.Bands[best], d.Bands[second]}
+	}
+	return used
+}

@@ -1,0 +1,123 @@
+package testbed
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"bloc/internal/ble"
+	"bloc/internal/geom"
+)
+
+func TestWiFiChannelMapping(t *testing.T) {
+	// Wi-Fi channel 6 is centered at 2437 MHz and spans 2427–2447 MHz:
+	// it overlaps BLE data channels 12–22 (2428–2448 MHz, edge overlap
+	// included) and not channel 0 (2404) or 36 (2478).
+	w, err := WiFiChannel(6, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.CenterHz != 2437e6 {
+		t.Errorf("center = %v", w.CenterHz)
+	}
+	if !w.Overlaps(ble.ChannelIndex(15)) {
+		t.Error("channel 15 (2436 MHz) should overlap Wi-Fi 6")
+	}
+	if w.Overlaps(ble.ChannelIndex(0)) || w.Overlaps(ble.ChannelIndex(36)) {
+		t.Error("band-edge channels should not overlap Wi-Fi 6")
+	}
+	if _, err := WiFiChannel(0, 0.1); err == nil {
+		t.Error("Wi-Fi channel 0 should be rejected")
+	}
+	if _, err := WiFiChannel(14, 0.1); err == nil {
+		t.Error("Wi-Fi channel 14 should be rejected")
+	}
+}
+
+func TestInterferenceCorruptsOverlappingBandsOnly(t *testing.T) {
+	mk := func(withWiFi bool) ([]complex128, *Deployment) {
+		d, err := Paper(81)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withWiFi {
+			w, _ := WiFiChannel(6, 0.2)
+			d.Interferers = []Interferer{w}
+		}
+		snap := d.Sounding(geom.Pt(0.5, 0.5))
+		out := make([]complex128, len(snap.Bands))
+		for b := range snap.Bands {
+			out[b] = snap.Tag[b][1][0]
+		}
+		return out, d
+	}
+	clean, d := mk(false)
+	dirty, _ := mk(true)
+	w := d.Interferers // empty; reuse overlap test from a fresh interferer
+	_ = w
+	wifi, _ := WiFiChannel(6, 0.2)
+	for b, ch := range d.Bands {
+		diff := cmplx.Abs(clean[b] - dirty[b])
+		if wifi.Overlaps(ch) {
+			if diff == 0 {
+				t.Errorf("band %v overlaps Wi-Fi but was untouched", ch)
+			}
+		} else if diff != 0 {
+			t.Errorf("band %v does not overlap Wi-Fi but changed by %v", ch, diff)
+		}
+	}
+}
+
+func TestDetectInterferenceBlacklistsCorrectBands(t *testing.T) {
+	d, err := Paper(82)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wifi, _ := WiFiChannel(6, 0.15)
+	d.Interferers = []Interferer{wifi}
+	used := d.DetectInterference(8, 3)
+	usedSet := map[ble.ChannelIndex]bool{}
+	for _, ch := range used {
+		usedSet[ch] = true
+	}
+	var missedClean, keptDirty int
+	for _, ch := range d.Bands {
+		if wifi.Overlaps(ch) {
+			if usedSet[ch] {
+				keptDirty++
+			}
+		} else if !usedSet[ch] {
+			missedClean++
+		}
+	}
+	t.Logf("%d channels kept; %d dirty kept, %d clean dropped", len(used), keptDirty, missedClean)
+	if keptDirty > 1 {
+		t.Errorf("%d interfered channels survived detection", keptDirty)
+	}
+	if missedClean > 2 {
+		t.Errorf("%d clean channels were wrongly blacklisted", missedClean)
+	}
+}
+
+func TestDetectInterferenceNoInterferers(t *testing.T) {
+	d, err := Paper(83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := d.DetectInterference(6, 3)
+	if len(used) < ble.NumDataChannels-2 {
+		t.Errorf("quiet band kept only %d channels", len(used))
+	}
+}
+
+func TestDetectInterferenceAlwaysKeepsTwo(t *testing.T) {
+	d, err := Paper(84)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jam the entire band.
+	d.Interferers = []Interferer{{CenterHz: 2.441e9, SpanHz: 100e6, Sigma: 0.5}}
+	used := d.DetectInterference(6, 3)
+	if len(used) < 2 {
+		t.Fatalf("only %d channels kept; spec requires ≥ 2", len(used))
+	}
+}

@@ -1,0 +1,175 @@
+// Package track turns BLoc's per-acquisition fixes into smooth
+// trajectories. The paper notes BLE hops through all channels 40 times a
+// second (§6), so a tag produces a dense fix stream; a constant-velocity
+// Kalman filter with Mahalanobis gating absorbs the per-fix noise and
+// rejects the occasional multipath-ghost fix that survives Eq. 18.
+package track
+
+import (
+	"fmt"
+	"math"
+
+	"bloc/internal/geom"
+)
+
+// Filter is a 2-D constant-velocity Kalman filter over the state
+// [x, y, vx, vy] with position-only measurements.
+type Filter struct {
+	cfg Config
+
+	// State mean and covariance (4 and 4×4).
+	x [4]float64
+	p [4][4]float64
+
+	initialized bool
+	misses      int
+}
+
+// Config tunes the filter.
+type Config struct {
+	// ProcessNoise is the white-acceleration spectral density (m²/s³):
+	// how aggressively the target is allowed to maneuver. Typical walking
+	// targets: 0.5–2.
+	ProcessNoise float64
+	// MeasurementStd is the 1-σ position error of a fix (meters); BLoc's
+	// median error is a good starting point.
+	MeasurementStd float64
+	// GateChi2 is the Mahalanobis gate on the innovation (χ², 2 DoF);
+	// 9.21 accepts 99% of true fixes.
+	GateChi2 float64
+	// MaxMisses re-initializes the track after this many consecutive
+	// gated-out fixes, so a wrong lock cannot persist.
+	MaxMisses int
+}
+
+// DefaultConfig returns gains suited to a walking tag localized by BLoc.
+func DefaultConfig() Config {
+	return Config{
+		ProcessNoise:   1.0,
+		MeasurementStd: 0.5,
+		GateChi2:       9.21,
+		MaxMisses:      3,
+	}
+}
+
+// New creates a filter. Invalid parameters are reported immediately.
+func New(cfg Config) (*Filter, error) {
+	if cfg.ProcessNoise <= 0 || cfg.MeasurementStd <= 0 || cfg.GateChi2 <= 0 || cfg.MaxMisses < 1 {
+		return nil, fmt.Errorf("track: invalid config %+v", cfg)
+	}
+	return &Filter{cfg: cfg}, nil
+}
+
+// Position returns the current track position estimate.
+func (f *Filter) Position() geom.Point { return geom.Pt(f.x[0], f.x[1]) }
+
+// Velocity returns the current velocity estimate (m/s).
+func (f *Filter) Velocity() geom.Vector { return geom.Vec(f.x[2], f.x[3]) }
+
+// Initialized reports whether the track holds state.
+func (f *Filter) Initialized() bool { return f.initialized }
+
+// Update advances the track by dt seconds and fuses one fix. It returns
+// the post-update position and whether the fix was accepted by the gate
+// (a rejected fix leaves the coasted prediction as the estimate).
+func (f *Filter) Update(fix geom.Point, dt float64) (geom.Point, bool, error) {
+	if dt <= 0 {
+		return geom.Point{}, false, fmt.Errorf("track: non-positive dt %v", dt)
+	}
+	if !f.initialized {
+		f.x = [4]float64{fix.X, fix.Y, 0, 0}
+		s := f.cfg.MeasurementStd
+		f.p = [4][4]float64{}
+		f.p[0][0], f.p[1][1] = s*s, s*s
+		// Unknown velocity: generous prior.
+		f.p[2][2], f.p[3][3] = 4, 4
+		f.initialized = true
+		return f.Position(), true, nil
+	}
+	f.predict(dt)
+
+	// Innovation and its covariance S = P_pos + R.
+	iy := [2]float64{fix.X - f.x[0], fix.Y - f.x[1]}
+	r := f.cfg.MeasurementStd * f.cfg.MeasurementStd
+	s00 := f.p[0][0] + r
+	s01 := f.p[0][1]
+	s11 := f.p[1][1] + r
+	det := s00*s11 - s01*s01
+	if det <= 0 {
+		return geom.Point{}, false, fmt.Errorf("track: singular innovation covariance")
+	}
+	// Mahalanobis distance² of the innovation.
+	m2 := (iy[0]*iy[0]*s11 - 2*iy[0]*iy[1]*s01 + iy[1]*iy[1]*s00) / det
+	if m2 > f.cfg.GateChi2 {
+		f.misses++
+		if f.misses >= f.cfg.MaxMisses {
+			// Persistent disagreement: the track is wrong, not the fixes.
+			f.initialized = false
+			f.misses = 0
+			return f.Update(fix, dt)
+		}
+		return f.Position(), false, nil
+	}
+	f.misses = 0
+
+	// Kalman gain K = P Hᵀ S⁻¹ (H selects the position block).
+	inv00, inv01, inv11 := s11/det, -s01/det, s00/det
+	var k [4][2]float64
+	for i := 0; i < 4; i++ {
+		k[i][0] = f.p[i][0]*inv00 + f.p[i][1]*inv01
+		k[i][1] = f.p[i][0]*inv01 + f.p[i][1]*inv11
+	}
+	for i := 0; i < 4; i++ {
+		f.x[i] += k[i][0]*iy[0] + k[i][1]*iy[1]
+	}
+	// P ← (I − K H) P.
+	var newP [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			newP[i][j] = f.p[i][j] - k[i][0]*f.p[0][j] - k[i][1]*f.p[1][j]
+		}
+	}
+	f.p = newP
+	return f.Position(), true, nil
+}
+
+// predict applies the constant-velocity transition and process noise.
+func (f *Filter) predict(dt float64) {
+	// x ← F x.
+	f.x[0] += f.x[2] * dt
+	f.x[1] += f.x[3] * dt
+	// P ← F P Fᵀ + Q with F = [[1,0,dt,0],[0,1,0,dt],[0,0,1,0],[0,0,0,1]].
+	p := f.p
+	var fp [4][4]float64
+	for j := 0; j < 4; j++ {
+		fp[0][j] = p[0][j] + dt*p[2][j]
+		fp[1][j] = p[1][j] + dt*p[3][j]
+		fp[2][j] = p[2][j]
+		fp[3][j] = p[3][j]
+	}
+	var fpf [4][4]float64
+	for i := 0; i < 4; i++ {
+		fpf[i][0] = fp[i][0] + dt*fp[i][2]
+		fpf[i][1] = fp[i][1] + dt*fp[i][3]
+		fpf[i][2] = fp[i][2]
+		fpf[i][3] = fp[i][3]
+	}
+	// Discrete white-acceleration process noise.
+	q := f.cfg.ProcessNoise
+	dt2, dt3, dt4 := dt*dt, dt*dt*dt, dt*dt*dt*dt
+	fpf[0][0] += q * dt4 / 4
+	fpf[1][1] += q * dt4 / 4
+	fpf[0][2] += q * dt3 / 2
+	fpf[2][0] += q * dt3 / 2
+	fpf[1][3] += q * dt3 / 2
+	fpf[3][1] += q * dt3 / 2
+	fpf[2][2] += q * dt2
+	fpf[3][3] += q * dt2
+	f.p = fpf
+}
+
+// Uncertainty returns the 1-σ position uncertainty (meters), the square
+// root of the mean positional variance.
+func (f *Filter) Uncertainty() float64 {
+	return math.Sqrt((f.p[0][0] + f.p[1][1]) / 2)
+}

@@ -1,0 +1,205 @@
+package track
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"bloc/internal/geom"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{ProcessNoise: 0, MeasurementStd: 1, GateChi2: 9, MaxMisses: 3},
+		{ProcessNoise: 1, MeasurementStd: 0, GateChi2: 9, MaxMisses: 3},
+		{ProcessNoise: 1, MeasurementStd: 1, GateChi2: 0, MaxMisses: 3},
+		{ProcessNoise: 1, MeasurementStd: 1, GateChi2: 9, MaxMisses: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticTargetConverges(t *testing.T) {
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := geom.Pt(2, -1)
+	rng := rand.New(rand.NewPCG(1, 1))
+	var last geom.Point
+	for i := 0; i < 100; i++ {
+		fix := geom.Pt(truth.X+rng.NormFloat64()*0.5, truth.Y+rng.NormFloat64()*0.5)
+		last, _, err = f.Update(fix, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After 100 fixes of σ=0.5, the track should be far tighter than one
+	// fix.
+	if d := last.Dist(truth); d > 0.2 {
+		t.Errorf("converged error %.3f m, want < 0.2", d)
+	}
+	if f.Uncertainty() > 0.5 {
+		t.Errorf("uncertainty %.3f did not shrink", f.Uncertainty())
+	}
+	if v := f.Velocity().Norm(); v > 0.3 {
+		t.Errorf("static target has velocity %.3f", v)
+	}
+}
+
+func TestMovingTargetTracked(t *testing.T) {
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	vel := geom.Vec(1.0, -0.5) // m/s
+	pos := geom.Pt(0, 0)
+	const dt = 0.1
+	var sumErr float64
+	n := 0
+	for i := 0; i < 200; i++ {
+		pos = pos.Add(vel.Scale(dt))
+		fix := geom.Pt(pos.X+rng.NormFloat64()*0.4, pos.Y+rng.NormFloat64()*0.4)
+		est, _, err := f.Update(fix, dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 50 { // after convergence
+			sumErr += est.Dist(pos)
+			n++
+		}
+	}
+	mean := sumErr / float64(n)
+	if mean > 0.3 {
+		t.Errorf("tracking error %.3f m on a constant-velocity target", mean)
+	}
+	// Velocity estimate close to truth.
+	if f.Velocity().Sub(vel).Norm() > 0.4 {
+		t.Errorf("velocity estimate %v, want ≈ %v", f.Velocity(), vel)
+	}
+}
+
+func TestOutlierGating(t *testing.T) {
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := geom.Pt(1, 1)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 50; i++ {
+		fix := geom.Pt(truth.X+rng.NormFloat64()*0.3, truth.Y+rng.NormFloat64()*0.3)
+		if _, _, err := f.Update(fix, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A multipath ghost 4 m away must be gated out.
+	est, accepted, err := f.Update(geom.Pt(5, 1), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted {
+		t.Error("4 m outlier accepted")
+	}
+	if est.Dist(truth) > 0.3 {
+		t.Errorf("outlier moved the track to %v", est)
+	}
+}
+
+func TestPersistentDisagreementRelocks(t *testing.T) {
+	cfg := DefaultConfig()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, _, err := f.Update(geom.Pt(0, 0), 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The tag genuinely teleports (e.g. picked up and carried): after
+	// MaxMisses gated fixes the filter must re-lock at the new position.
+	var est geom.Point
+	var accepted bool
+	for i := 0; i < cfg.MaxMisses; i++ {
+		est, accepted, err = f.Update(geom.Pt(4, 4), 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !accepted {
+		t.Fatal("relock never accepted the new position")
+	}
+	if est.Dist(geom.Pt(4, 4)) > 0.5 {
+		t.Errorf("relocked at %v, want near (4,4)", est)
+	}
+}
+
+func TestUpdateRejectsBadDt(t *testing.T) {
+	f, _ := New(DefaultConfig())
+	if _, _, err := f.Update(geom.Pt(0, 0), 0); err == nil {
+		t.Error("dt=0 accepted")
+	}
+	if _, _, err := f.Update(geom.Pt(0, 0), -1); err == nil {
+		t.Error("dt<0 accepted")
+	}
+}
+
+func TestUncertaintyGrowsWhileCoasting(t *testing.T) {
+	f, _ := New(DefaultConfig())
+	for i := 0; i < 30; i++ {
+		f.Update(geom.Pt(0, 0), 0.1)
+	}
+	before := f.Uncertainty()
+	// Two gated-out fixes (coasting) must grow the uncertainty.
+	f.Update(geom.Pt(6, 6), 0.1)
+	f.Update(geom.Pt(6, 6), 0.1)
+	if !(f.Uncertainty() > before) {
+		t.Errorf("uncertainty %0.3f did not grow while coasting (was %.3f)",
+			f.Uncertainty(), before)
+	}
+}
+
+func TestCovarianceStaysSymmetricPositive(t *testing.T) {
+	f, _ := New(DefaultConfig())
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := 0; i < 500; i++ {
+		fix := geom.Pt(rng.NormFloat64(), rng.NormFloat64())
+		if _, _, err := f.Update(fix, 0.05+rng.Float64()*0.2); err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < 4; a++ {
+			if f.p[a][a] <= 0 || math.IsNaN(f.p[a][a]) {
+				t.Fatalf("step %d: variance [%d][%d] = %v", i, a, a, f.p[a][a])
+			}
+			for b := 0; b < 4; b++ {
+				if math.Abs(f.p[a][b]-f.p[b][a]) > 1e-6*(1+math.Abs(f.p[a][b])) {
+					t.Fatalf("step %d: covariance asymmetric at (%d,%d)", i, a, b)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTrackerUpdate(b *testing.B) {
+	f, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	fixes := make([]geom.Point, 1024)
+	for i := range fixes {
+		fixes[i] = geom.Pt(rng.NormFloat64()*0.3, rng.NormFloat64()*0.3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Update(fixes[i%len(fixes)], 0.1)
+	}
+}

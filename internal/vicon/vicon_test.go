@@ -1,0 +1,49 @@
+package vicon
+
+import (
+	"math"
+	"testing"
+
+	"bloc/internal/geom"
+)
+
+func TestObserveJitterStatistics(t *testing.T) {
+	o := New(0.001, 1)
+	truth := geom.Pt(1.5, -2.25)
+	var sumSq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		obs := o.Observe(truth)
+		dx, dy := obs.X-truth.X, obs.Y-truth.Y
+		sumSq += dx*dx + dy*dy
+	}
+	// E[dx²+dy²] = 2σ².
+	rms := math.Sqrt(sumSq / n)
+	want := 0.001 * math.Sqrt2
+	if math.Abs(rms-want) > 0.1*want {
+		t.Errorf("observation RMS %v, want ≈ %v", rms, want)
+	}
+}
+
+func TestObserveZeroSigmaIsExact(t *testing.T) {
+	o := New(0, 1)
+	p := geom.Pt(0.25, 0.75)
+	if o.Observe(p) != p {
+		t.Error("zero-jitter oracle should return truth")
+	}
+}
+
+func TestObserveDeterministic(t *testing.T) {
+	a, b := New(0.001, 42), New(0.001, 42)
+	for i := 0; i < 10; i++ {
+		if a.Observe(geom.Pt(1, 1)) != b.Observe(geom.Pt(1, 1)) {
+			t.Fatal("same-seed oracles diverged")
+		}
+	}
+}
+
+func TestDefaultJitterIsMillimeterScale(t *testing.T) {
+	if DefaultJitterM != 0.001 {
+		t.Errorf("DefaultJitterM = %v, want 1 mm (§7: mm-level accuracy)", DefaultJitterM)
+	}
+}

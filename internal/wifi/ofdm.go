@@ -1,0 +1,184 @@
+// Package wifi implements the Wi-Fi CSI substrate the paper holds up as
+// the benchmark BLE should reach (§1, §9.1): an 802.11-style 20 MHz OFDM
+// PHY whose legacy long training field (L-LTF) yields per-subcarrier
+// channel estimates across 52 subcarriers, and a SpotFi-class joint
+// angle/time-of-flight estimator [21] that identifies the direct path by
+// least relative ToF — the capability BLE lacks natively and BLoc
+// recreates with band stitching.
+package wifi
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand/v2"
+
+	"bloc/internal/dsp"
+	"bloc/internal/rfsim"
+)
+
+// OFDM parameters of the 20 MHz legacy PHY.
+const (
+	// FFTSize is the OFDM FFT length.
+	FFTSize = 64
+	// NumSubcarriers is the number of used (data+pilot) subcarriers in
+	// the L-LTF: indices −26…−1 and +1…+26.
+	NumSubcarriers = 52
+	// SubcarrierSpacingHz is Δf = 20 MHz / 64.
+	SubcarrierSpacingHz = 312500.0
+	// CPLen is the cyclic prefix length in samples (800 ns at 20 MHz).
+	CPLen = 16
+	// SampleRateHz is the baseband rate.
+	SampleRateHz = 20e6
+)
+
+// lltfSeq is the frequency-domain L-LTF BPSK sequence for subcarriers
+// −26…+26 (53 entries including DC = 0), per IEEE 802.11-2016 §17.3.3.
+var lltfSeq = [53]float64{
+	1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+	0,
+	1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+}
+
+// SubcarrierIndices returns the used subcarrier indices in ascending
+// order (−26…−1, +1…+26).
+func SubcarrierIndices() []int {
+	out := make([]int, 0, NumSubcarriers)
+	for k := -26; k <= 26; k++ {
+		if k != 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// SubcarrierFreqs returns the absolute RF frequency of each used
+// subcarrier for a carrier at fcHz.
+func SubcarrierFreqs(fcHz float64) []float64 {
+	idx := SubcarrierIndices()
+	out := make([]float64, len(idx))
+	for i, k := range idx {
+		out[i] = fcHz + float64(k)*SubcarrierSpacingHz
+	}
+	return out
+}
+
+// lltfSymbol returns one time-domain L-LTF symbol (64 samples, no CP).
+func lltfSymbol() []complex128 {
+	X := make([]complex128, FFTSize)
+	for i, k := -26, 0; i <= 26; i, k = i+1, k+1 {
+		bin := (i + FFTSize) % FFTSize
+		X[bin] = complex(lltfSeq[k], 0)
+	}
+	return dsp.IFFT(X)
+}
+
+// GenerateLTF returns the on-air L-LTF: a double-length cyclic prefix
+// followed by two repetitions of the training symbol (160 samples), as in
+// the standard.
+func GenerateLTF() []complex128 {
+	sym := lltfSymbol()
+	out := make([]complex128, 0, 2*CPLen+2*FFTSize)
+	out = append(out, sym[FFTSize-2*CPLen:]...)
+	out = append(out, sym...)
+	out = append(out, sym...)
+	return out
+}
+
+// ChannelFD evaluates the frequency-selective channel at every used
+// subcarrier from a multipath path set (the rfsim model of Eq. 2, now
+// resolvable because 20 MHz spans the delay spread).
+func ChannelFD(paths []rfsim.Path, fcHz float64) []complex128 {
+	freqs := SubcarrierFreqs(fcHz)
+	out := make([]complex128, len(freqs))
+	for i, f := range freqs {
+		out[i] = rfsim.ChannelFromPaths(paths, f)
+	}
+	return out
+}
+
+// ApplyChannelLTF passes the L-LTF through a frequency-selective channel:
+// each subcarrier is scaled by H[k] (valid because the cyclic prefix of
+// 800 ns covers indoor delay spreads), then per-sample AWGN is added.
+// sto shifts the waveform by an integer sample count, modeling the
+// receiver's packet-detection timing error (which appears to the CSI
+// consumer as a linear phase ramp across subcarriers — the distortion
+// SpotFi must live with and the reason its ToF is only relative).
+func ApplyChannelLTF(h []complex128, sto int, sigma float64, rng *rand.Rand) ([]complex128, error) {
+	if len(h) != NumSubcarriers {
+		return nil, fmt.Errorf("wifi: %d channel taps, want %d", len(h), NumSubcarriers)
+	}
+	// Build the received symbol in the frequency domain.
+	X := make([]complex128, FFTSize)
+	for i := -26; i <= 26; i++ {
+		if i == 0 {
+			continue
+		}
+		bin := (i + FFTSize) % FFTSize
+		X[bin] = complex(lltfSeq[i+26], 0) * h[subIndexOf(i)]
+	}
+	sym := dsp.IFFT(X)
+	rx := make([]complex128, 0, 2*CPLen+2*FFTSize)
+	rx = append(rx, sym[FFTSize-2*CPLen:]...)
+	rx = append(rx, sym...)
+	rx = append(rx, sym...)
+	// Integer sample timing offset: rotate the FFT window start.
+	if sto != 0 {
+		rx = rotate(rx, sto)
+	}
+	if sigma > 0 {
+		for i := range rx {
+			rx[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		}
+	}
+	return rx, nil
+}
+
+// subIndexOf maps subcarrier index i ∈ [−26, 26]\{0} to its position in
+// the used-subcarrier arrays.
+func subIndexOf(i int) int {
+	if i < 0 {
+		return i + 26
+	}
+	return i + 25
+}
+
+// rotate cyclically shifts s by n samples (positive n delays the signal).
+func rotate(s []complex128, n int) []complex128 {
+	ln := len(s)
+	n = ((n % ln) + ln) % ln
+	out := make([]complex128, ln)
+	copy(out, s[ln-n:])
+	copy(out[n:], s[:ln-n])
+	return out
+}
+
+// EstimateCSI recovers per-subcarrier channel estimates from a received
+// L-LTF by averaging the two training symbols and dividing by the known
+// sequence — the standard Wi-Fi CSI that [21]-class systems consume.
+func EstimateCSI(rx []complex128) ([]complex128, error) {
+	if len(rx) != 2*CPLen+2*FFTSize {
+		return nil, fmt.Errorf("wifi: L-LTF has %d samples, want %d", len(rx), 2*CPLen+2*FFTSize)
+	}
+	y1 := dsp.FFT(rx[2*CPLen : 2*CPLen+FFTSize])
+	y2 := dsp.FFT(rx[2*CPLen+FFTSize:])
+	out := make([]complex128, NumSubcarriers)
+	for i := -26; i <= 26; i++ {
+		if i == 0 {
+			continue
+		}
+		bin := (i + FFTSize) % FFTSize
+		x := complex(lltfSeq[i+26], 0)
+		out[subIndexOf(i)] = (y1[bin] + y2[bin]) / (2 * x)
+	}
+	return out, nil
+}
+
+// csiSanity reports gross estimation failure (all-zero CSI).
+func csiSanity(h []complex128) error {
+	for _, v := range h {
+		if cmplx.Abs(v) > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("wifi: all-zero CSI")
+}

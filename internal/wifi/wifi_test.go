@@ -1,0 +1,282 @@
+package wifi
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"bloc/internal/geom"
+	"bloc/internal/rfsim"
+	"bloc/internal/testbed"
+)
+
+func TestSubcarrierLayout(t *testing.T) {
+	idx := SubcarrierIndices()
+	if len(idx) != NumSubcarriers {
+		t.Fatalf("got %d subcarriers", len(idx))
+	}
+	if idx[0] != -26 || idx[25] != -1 || idx[26] != 1 || idx[51] != 26 {
+		t.Errorf("layout wrong: %v", idx)
+	}
+	freqs := SubcarrierFreqs(5.18e9)
+	if freqs[0] != 5.18e9-26*SubcarrierSpacingHz {
+		t.Errorf("first subcarrier freq %v", freqs[0])
+	}
+	// 52 used subcarriers span 16.25 MHz.
+	if span := freqs[51] - freqs[0]; math.Abs(span-52*SubcarrierSpacingHz) > 1 {
+		t.Errorf("span %v", span)
+	}
+}
+
+func TestLTFStructure(t *testing.T) {
+	ltf := GenerateLTF()
+	if len(ltf) != 2*CPLen+2*FFTSize {
+		t.Fatalf("LTF has %d samples", len(ltf))
+	}
+	// The two training symbols are identical, and the long CP is the tail
+	// of the symbol.
+	for i := 0; i < FFTSize; i++ {
+		if cmplx.Abs(ltf[2*CPLen+i]-ltf[2*CPLen+FFTSize+i]) > 1e-12 {
+			t.Fatalf("training symbols differ at %d", i)
+		}
+	}
+	for i := 0; i < 2*CPLen; i++ {
+		if cmplx.Abs(ltf[i]-ltf[2*CPLen+FFTSize-2*CPLen+i]) > 1e-12 {
+			t.Fatalf("cyclic prefix wrong at %d", i)
+		}
+	}
+}
+
+func TestCSIEstimationRecoversChannel(t *testing.T) {
+	// A known frequency-selective channel must be recovered exactly in
+	// the noiseless case.
+	rng := rand.New(rand.NewPCG(1, 1))
+	h := make([]complex128, NumSubcarriers)
+	for k := range h {
+		h[k] = cmplx.Rect(0.2+0.1*rng.Float64(), rng.Float64()*2*math.Pi)
+	}
+	rx, err := ApplyChannelLTF(h, 0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateCSI(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range h {
+		if cmplx.Abs(est[k]-h[k]) > 1e-9 {
+			t.Fatalf("subcarrier %d: %v != %v", k, est[k], h[k])
+		}
+	}
+}
+
+func TestSTOProducesLinearPhaseRamp(t *testing.T) {
+	// An integer sample timing offset appears as a linear phase across
+	// subcarriers — the distortion that makes absolute ToF unobservable.
+	rng := rand.New(rand.NewPCG(2, 2))
+	h := make([]complex128, NumSubcarriers)
+	for k := range h {
+		h[k] = 1
+	}
+	rx, err := ApplyChannelLTF(h, 2, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateCSI(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase slope per subcarrier index should be −2π·sto/64.
+	idx := SubcarrierIndices()
+	want := -2 * math.Pi * 2 / float64(FFTSize)
+	for k := 1; k < len(idx); k++ {
+		if idx[k]-idx[k-1] != 1 {
+			continue // skip the DC gap
+		}
+		dphi := cmplx.Phase(est[k] * cmplx.Conj(est[k-1]))
+		if math.Abs(dphi-want) > 1e-6 {
+			t.Fatalf("phase step %v at %d, want %v", dphi, k, want)
+		}
+	}
+}
+
+func TestChannelFDResolvesMultipath(t *testing.T) {
+	// With 20 MHz the CSI varies across subcarriers when two paths exist
+	// (frequency-selective fading) — unlike one 2 MHz BLE band.
+	paths := []rfsim.Path{
+		{Kind: rfsim.PathDirect, Length: 5, Gain: 0.2},
+		{Kind: rfsim.PathWall, Length: 19, Gain: 0.1},
+	}
+	h := ChannelFD(paths, 2.44e9)
+	minA, maxA := math.Inf(1), 0.0
+	for _, v := range h {
+		a := cmplx.Abs(v)
+		minA = math.Min(minA, a)
+		maxA = math.Max(maxA, a)
+	}
+	if maxA/minA < 1.5 {
+		t.Errorf("channel flat across 20 MHz (%.3f–%.3f) despite 14 m excess path", minA, maxA)
+	}
+}
+
+func TestJointSpectrumPeaksAtTruth(t *testing.T) {
+	env := testbed.CleanEnvironment(41)
+	env.WallReflectivity = 0
+	dep, err := testbed.New(env, testbed.Config{Anchors: 2, Antennas: 4, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(dep.Anchors, env.Room, 2.44e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := geom.Pt(1.2, 0.4)
+	rng := rand.New(rand.NewPCG(41, 41))
+	ms, err := Measure(env, dep.Anchors, tag, 2.44e9, 1e-4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := loc.JointSpectrum(0, ms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ix, iy := spec.Max()
+	gotTheta := loc.thetas[iy]
+	wantTheta := dep.Anchors[0].AngleTo(tag)
+	if math.Abs(gotTheta-wantTheta) > geom.Rad(4) {
+		t.Errorf("joint θ max %.1f°, want %.1f°", geom.Deg(gotTheta), geom.Deg(wantTheta))
+	}
+	_ = ix
+}
+
+func TestLeastToFSelectsDirectUnderMultipath(t *testing.T) {
+	// One strong reflector: the joint spectrum has two peaks; the least-τ
+	// rule must pick the direct one even when the reflection is stronger.
+	env := rfsim.NewEnvironment(testbed.PaperRoom(), 42)
+	env.WallReflectivity = 0
+	env.AddScatterer(rfsim.Scatterer{Center: geom.Pt(2.2, 2.6), Radius: 0.02, Gain: 8, Facets: 1})
+	dep, err := testbed.New(env, testbed.Config{Anchors: 2, Antennas: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(dep.Anchors, env.Room, 2.44e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := geom.Pt(-1.8, -2.2)
+	rng := rand.New(rand.NewPCG(42, 42))
+	ms, err := Measure(env, dep.Anchors, tag, 2.44e9, 1e-4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := loc.JointSpectrum(0, ms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta, tau, err := loc.DirectBearing(spec, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dep.Anchors[0].AngleTo(tag)
+	if math.Abs(theta-want) > geom.Rad(6) {
+		t.Errorf("direct bearing %.1f°, want %.1f° (τ picked %.0f ns)",
+			geom.Deg(theta), geom.Deg(want), tau*1e9)
+	}
+}
+
+func TestLocateWiFiFreeSpace(t *testing.T) {
+	env := testbed.CleanEnvironment(43)
+	env.WallReflectivity = 0
+	dep, err := testbed.New(env, testbed.Config{Anchors: 4, Antennas: 4, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(dep.Anchors, env.Room, 2.44e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := geom.Pt(0.9, -0.5)
+	rng := rand.New(rand.NewPCG(43, 43))
+	ms, err := Measure(env, dep.Anchors, tag, 2.44e9, 1e-4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := loc.Locate(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dist(tag) > 0.35 {
+		t.Errorf("Wi-Fi free-space error %.3f m", p.Dist(tag))
+	}
+}
+
+func TestLocalizerValidation(t *testing.T) {
+	env := testbed.CleanEnvironment(44)
+	dep, err := testbed.New(env, testbed.Config{Anchors: 2, Antennas: 4, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLocalizer(dep.Anchors[:1], env.Room, 2.44e9); err == nil {
+		t.Error("single AP accepted")
+	}
+	loc, err := NewLocalizer(dep.Anchors, env.Room, 2.44e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loc.Locate(nil); err == nil {
+		t.Error("measurement-count mismatch accepted")
+	}
+	if _, err := loc.JointSpectrum(0, Measurement{CSI: [][]complex128{{1}}}); err == nil {
+		t.Error("single-antenna CSI accepted")
+	}
+	if _, err := ApplyChannelLTF(make([]complex128, 5), 0, 0, rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Error("wrong channel length accepted")
+	}
+	if _, err := EstimateCSI(make([]complex128, 10)); err == nil {
+		t.Error("short L-LTF accepted")
+	}
+}
+
+func BenchmarkJointSpectrum(b *testing.B) {
+	env := testbed.PaperEnvironment(45)
+	dep, err := testbed.New(env, testbed.Config{Anchors: 2, Antennas: 4, Seed: 45})
+	if err != nil {
+		b.Fatal(err)
+	}
+	loc, err := NewLocalizer(dep.Anchors, env.Room, 2.44e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(45, 45))
+	ms, err := Measure(env, dep.Anchors, geom.Pt(0.5, 0.5), 2.44e9, 1e-3, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loc.JointSpectrum(0, ms[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateCSI(b *testing.B) {
+	rng := rand.New(rand.NewPCG(46, 46))
+	h := make([]complex128, NumSubcarriers)
+	for k := range h {
+		h[k] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	rx, err := ApplyChannelLTF(h, 1, 1e-3, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateCSI(rx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestReceiveNeverPanicsOnGarbage feeds random byte streams to the frame
+// reader: a hostile or corrupted peer must only ever produce errors, never
+// panics or huge allocations.
+func TestReceiveNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xF022, 1))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.IntN(64)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(rng.UintN(256))
+		}
+		r := bytes.NewReader(buf)
+		for {
+			_, err := Receive(r)
+			if err != nil {
+				break // any error (including EOF) is acceptable
+			}
+		}
+	}
+}
+
+// TestUnmarshalersNeverPanic throws random payloads at every unmarshaler.
+func TestUnmarshalersNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xF0, 2))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.IntN(96)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(rng.UintN(256))
+		}
+		// Errors are fine; panics are not.
+		UnmarshalHello(buf)
+		UnmarshalCSIRow(buf)
+		UnmarshalFix(buf)
+	}
+}
+
+// TestReceiveTruncatedStreams verifies every prefix of a valid stream
+// fails cleanly rather than hanging or panicking.
+func TestReceiveTruncatedStreams(t *testing.T) {
+	var full bytes.Buffer
+	Send(&full, &Hello{Version: 1, AnchorID: 2, Antennas: 4, Bands: 37})
+	Send(&full, &CSIRow{Round: 1, AnchorID: 2, BandIdx: 3, Tag: []complex128{1i}, Master: 2})
+	data := full.Bytes()
+	frame1End := 5 + 5 // hello: 5-byte header + 5-byte payload
+	for cut := 0; cut < len(data); cut++ {
+		r := bytes.NewReader(data[:cut])
+		var err error
+		for err == nil {
+			_, err = Receive(r)
+		}
+		// Bare io.EOF means "clean end at a frame boundary": only valid
+		// at cut 0 or exactly between the two frames.
+		if err == io.EOF && cut != 0 && cut != frame1End {
+			t.Fatalf("cut %d: bare EOF inside a frame", cut)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package wire is the binary TCP protocol between BLoc anchors and the
+// central localization server (§3: "all the anchor points communicate to
+// a central server to estimate the location of the tag").
+//
+// Every message is a length-prefixed frame:
+//
+//	uint32  payload length (little-endian, excluding the 5-byte header)
+//	uint8   message type
+//	[]byte  payload
+//
+// Payload fields are little-endian; complex128 values travel as two
+// float64 (real, imag). The protocol is versioned via the Hello message
+// and framed reads enforce a maximum frame size, so a misbehaving peer
+// cannot make the server allocate unbounded memory.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ProtocolVersion is the current wire version, carried in Hello.
+const ProtocolVersion = 1
+
+// MaxFrameSize bounds a frame payload. The largest legitimate frame is a
+// CSIRow with a few dozen complex values, far below this.
+const MaxFrameSize = 1 << 16
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeHello  MsgType = 1 // anchor → server: identification
+	TypeCSIRow MsgType = 2 // anchor → server: one band's measurements
+	TypeFix    MsgType = 3 // server → anchor: completed location estimate
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeCSIRow:
+		return "csi-row"
+	case TypeFix:
+		return "fix"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Hello identifies an anchor to the server.
+type Hello struct {
+	Version  uint8
+	AnchorID uint8 // 0 is the master
+	Antennas uint8
+	Bands    uint16 // number of bands the anchor will report per round
+}
+
+// CSIRow carries one anchor's measurements for one band of one
+// acquisition round of one tag: the tag→anchor channels on every antenna
+// and the overheard master→anchor channel (meaningless for the master
+// itself, sent as 1). TagID distinguishes concurrently tracked tags —
+// each tag holds its own connection to the master and its rounds
+// aggregate independently.
+type CSIRow struct {
+	Round    uint32
+	TagID    uint16
+	AnchorID uint8
+	BandIdx  uint16 // index into the agreed band list
+	Tag      []complex128
+	Master   complex128
+}
+
+// Fix is the server's completed location estimate for a tag's round.
+type Fix struct {
+	Round uint32
+	TagID uint16
+	X, Y  float64
+}
+
+// WriteFrame writes one framed message.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: payload %d exceeds max frame size", len(payload))
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one framed message.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds max", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	return MsgType(hdr[4]), payload, nil
+}
+
+// appendComplex appends a complex128 as two little-endian float64.
+func appendComplex(b []byte, z complex128) []byte {
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(real(z)))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(imag(z)))
+	return b
+}
+
+// readComplex reads a complex128 from b, returning the remainder.
+func readComplex(b []byte) (complex128, []byte, error) {
+	if len(b) < 16 {
+		return 0, nil, fmt.Errorf("wire: truncated complex value")
+	}
+	re := math.Float64frombits(binary.LittleEndian.Uint64(b[:8]))
+	im := math.Float64frombits(binary.LittleEndian.Uint64(b[8:16]))
+	return complex(re, im), b[16:], nil
+}
+
+// Marshal encodes the Hello payload.
+func (h *Hello) Marshal() []byte {
+	b := make([]byte, 0, 5)
+	b = append(b, h.Version, h.AnchorID, h.Antennas)
+	b = binary.LittleEndian.AppendUint16(b, h.Bands)
+	return b
+}
+
+// UnmarshalHello decodes a Hello payload.
+func UnmarshalHello(b []byte) (*Hello, error) {
+	if len(b) != 5 {
+		return nil, fmt.Errorf("wire: hello payload %d bytes, want 5", len(b))
+	}
+	return &Hello{
+		Version:  b[0],
+		AnchorID: b[1],
+		Antennas: b[2],
+		Bands:    binary.LittleEndian.Uint16(b[3:5]),
+	}, nil
+}
+
+// Marshal encodes the CSIRow payload.
+func (c *CSIRow) Marshal() []byte {
+	b := make([]byte, 0, 4+2+1+2+1+16*(len(c.Tag)+1))
+	b = binary.LittleEndian.AppendUint32(b, c.Round)
+	b = binary.LittleEndian.AppendUint16(b, c.TagID)
+	b = append(b, c.AnchorID)
+	b = binary.LittleEndian.AppendUint16(b, c.BandIdx)
+	b = append(b, byte(len(c.Tag)))
+	for _, z := range c.Tag {
+		b = appendComplex(b, z)
+	}
+	b = appendComplex(b, c.Master)
+	return b
+}
+
+// UnmarshalCSIRow decodes a CSIRow payload.
+func UnmarshalCSIRow(b []byte) (*CSIRow, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("wire: csi-row payload too short")
+	}
+	c := &CSIRow{
+		Round:    binary.LittleEndian.Uint32(b[:4]),
+		TagID:    binary.LittleEndian.Uint16(b[4:6]),
+		AnchorID: b[6],
+		BandIdx:  binary.LittleEndian.Uint16(b[7:9]),
+	}
+	n := int(b[9])
+	rest := b[10:]
+	if len(rest) != 16*(n+1) {
+		return nil, fmt.Errorf("wire: csi-row has %d bytes for %d antennas", len(rest), n)
+	}
+	c.Tag = make([]complex128, n)
+	var err error
+	for j := 0; j < n; j++ {
+		c.Tag[j], rest, err = readComplex(rest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.Master, _, err = readComplex(rest)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Marshal encodes the Fix payload.
+func (f *Fix) Marshal() []byte {
+	b := make([]byte, 0, 22)
+	b = binary.LittleEndian.AppendUint32(b, f.Round)
+	b = binary.LittleEndian.AppendUint16(b, f.TagID)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.X))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.Y))
+	return b
+}
+
+// UnmarshalFix decodes a Fix payload.
+func UnmarshalFix(b []byte) (*Fix, error) {
+	if len(b) != 22 {
+		return nil, fmt.Errorf("wire: fix payload %d bytes, want 22", len(b))
+	}
+	return &Fix{
+		Round: binary.LittleEndian.Uint32(b[:4]),
+		TagID: binary.LittleEndian.Uint16(b[4:6]),
+		X:     math.Float64frombits(binary.LittleEndian.Uint64(b[6:14])),
+		Y:     math.Float64frombits(binary.LittleEndian.Uint64(b[14:22])),
+	}, nil
+}
+
+// Send marshals and writes a message in one call.
+func Send(w io.Writer, msg any) error {
+	switch m := msg.(type) {
+	case *Hello:
+		return WriteFrame(w, TypeHello, m.Marshal())
+	case *CSIRow:
+		return WriteFrame(w, TypeCSIRow, m.Marshal())
+	case *Fix:
+		return WriteFrame(w, TypeFix, m.Marshal())
+	default:
+		return fmt.Errorf("wire: cannot send %T", msg)
+	}
+}
+
+// Receive reads and decodes the next message.
+func Receive(r io.Reader) (any, error) {
+	t, payload, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case TypeHello:
+		return UnmarshalHello(payload)
+	case TypeCSIRow:
+		return UnmarshalCSIRow(payload)
+	case TypeFix:
+		return UnmarshalFix(payload)
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %v", t)
+	}
+}

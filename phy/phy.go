@@ -1,0 +1,73 @@
+// Package phy exposes the BLE physical layer of the BLoc reproduction for
+// inspection and experimentation: the GFSK pulse shaping of Fig. 4, the
+// channel-sounding packets of §4 and the 40-band channel map of §2.1. It
+// is a thin, stable facade over the internal PHY implementation, intended
+// for the "tool for the research community" role the paper's conclusion
+// envisions.
+package phy
+
+import (
+	"fmt"
+
+	"bloc/internal/ble"
+	"bloc/internal/dsp"
+)
+
+// PHY constants re-exported from the BLE substrate.
+const (
+	NumChannels     = ble.NumChannels
+	NumDataChannels = ble.NumDataChannels
+	SymbolRateHz    = ble.SymbolRateHz
+	GaussianBT      = ble.GaussianBT
+)
+
+// ChannelFreq returns the center frequency (Hz) of BLE channel ch
+// (0–39), or an error for invalid indices.
+func ChannelFreq(ch int) (float64, error) {
+	c := ble.ChannelIndex(ch)
+	if !c.Valid() {
+		return 0, fmt.Errorf("phy: invalid channel %d", ch)
+	}
+	return c.CenterFreq(), nil
+}
+
+// HopSequence returns the channels visited by a connection starting at
+// channel first with the given hop increment (5–16), for n connection
+// events.
+func HopSequence(first, hopIncrement, n int) ([]int, error) {
+	h, err := ble.NewHopSequence(ble.ChannelIndex(first), hopIncrement)
+	if err != nil {
+		return nil, err
+	}
+	cycle := h.Cycle(n)
+	out := make([]int, len(cycle))
+	for i, c := range cycle {
+		out[i] = int(c)
+	}
+	return out, nil
+}
+
+// ShapeBits returns the Gaussian-filtered NRZ waveform of the given bits
+// at sps samples per symbol — the "filtered bits" of Fig. 4. Bit 1 maps
+// to +1 (the f1 tone) and bit 0 to −1 (f0).
+func ShapeBits(bits []byte, sps int) []float64 {
+	return dsp.ShapeBits(bits, ble.GaussianBT, sps, 3)
+}
+
+// SoundingWaveform modulates a complete BLoc channel-sounding packet for
+// the given BLE data channel and returns its baseband IQ samples together
+// with the instantaneous frequency track (in units of the deviation:
+// −1 = f0 tone, +1 = f1 tone).
+func SoundingWaveform(channel, sps int) (iq []complex128, track []float64, err error) {
+	pkt, _, err := ble.SoundingPacket(0x50F0B10C, ble.ChannelIndex(channel), ble.DefaultRunBits)
+	if err != nil {
+		return nil, nil, err
+	}
+	bits, err := pkt.AirBits()
+	if err != nil {
+		return nil, nil, err
+	}
+	mod := ble.NewModulator(sps)
+	iq = mod.Modulate(bits)
+	return iq, mod.FrequencyTrack(iq), nil
+}

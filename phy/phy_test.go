@@ -1,0 +1,66 @@
+package phy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChannelFreq(t *testing.T) {
+	f, err := ChannelFreq(0)
+	if err != nil || f != 2404e6 {
+		t.Errorf("ChannelFreq(0) = %v, %v", f, err)
+	}
+	if _, err := ChannelFreq(40); err == nil {
+		t.Error("invalid channel should fail")
+	}
+}
+
+func TestHopSequence(t *testing.T) {
+	seq, err := HopSequence(10, 5, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range seq {
+		seen[c] = true
+	}
+	if len(seen) != 37 {
+		t.Errorf("hop sequence visited %d channels, want 37", len(seen))
+	}
+	if _, err := HopSequence(0, 99, 5); err == nil {
+		t.Error("invalid hop increment should fail")
+	}
+}
+
+func TestShapeBitsSettles(t *testing.T) {
+	w := ShapeBits([]byte{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}, 8)
+	if math.Abs(w[2*8+4]+1) > 0.01 || math.Abs(w[7*8+4]-1) > 0.01 {
+		t.Error("runs did not settle at ±1")
+	}
+}
+
+func TestSoundingWaveform(t *testing.T) {
+	iq, track, err := SoundingWaveform(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iq) == 0 || len(track) != len(iq) {
+		t.Fatalf("lengths %d/%d", len(iq), len(track))
+	}
+	// Some samples sit at each tone.
+	lo, hi := 0, 0
+	for _, v := range track {
+		if math.Abs(v+1) < 0.02 {
+			lo++
+		}
+		if math.Abs(v-1) < 0.02 {
+			hi++
+		}
+	}
+	if lo < 50 || hi < 50 {
+		t.Errorf("tones underrepresented: %d at f0, %d at f1", lo, hi)
+	}
+	if _, _, err := SoundingWaveform(99, 4); err == nil {
+		t.Error("invalid channel should fail")
+	}
+}

@@ -1,0 +1,240 @@
+package bloc
+
+import (
+	"testing"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := sys.Room()
+	if max.X-min.X != 5 || max.Y-min.Y != 6 {
+		t.Errorf("room = %v..%v, want 5x6", min, max)
+	}
+	if n := len(sys.AnchorPositions()); n != 4 {
+		t.Errorf("anchors = %d", n)
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	bad := DefaultOptions()
+	bad.Anchors = 1
+	if _, err := NewSystem(bad); err == nil {
+		t.Error("1 anchor should be rejected")
+	}
+	tiny := DefaultOptions()
+	tiny.RoomMin, tiny.RoomMax = Pt(0, 0), Pt(0.5, 0.5)
+	if _, err := NewSystem(tiny); err == nil {
+		t.Error("tiny room should be rejected")
+	}
+	badObst := DefaultOptions()
+	badObst.PaperRoom = false
+	badObst.Obstacles = []Obstacle{{A: Pt(0, 0), B: Pt(1, 1), Attenuation: 2}}
+	if _, err := NewSystem(badObst); err == nil {
+		t.Error("invalid obstacle attenuation should be rejected")
+	}
+}
+
+func TestLocalizeEndToEnd(t *testing.T) {
+	sys, err := NewSystem(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := sys.Localize(Pt(0.8, -0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix.Error > 2.0 {
+		t.Errorf("error %.2f m unreasonably large", fix.Error)
+	}
+	if fix.Truth != Pt(0.8, -0.6) {
+		t.Errorf("truth = %v", fix.Truth)
+	}
+	if len(fix.Candidates) == 0 {
+		t.Error("BLoc fix should carry candidates")
+	}
+}
+
+func TestLocalizeMethodsAllRun(t *testing.T) {
+	sys, err := NewSystem(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := Pt(-1.0, 1.0)
+	for _, m := range []Method{MethodBLoc, MethodAoA, MethodAoASoft, MethodShortestDistance, MethodRSSI, MethodMUSIC} {
+		fix, err := sys.LocalizeWith(m, tag)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if fix.Error > 6 {
+			t.Errorf("%v error %.2f beyond room scale", m, fix.Error)
+		}
+	}
+	if _, err := sys.LocalizeWith(Method(99), tag); err == nil {
+		t.Error("unknown method should fail")
+	}
+}
+
+func TestCustomRoomFreeSpaceAccuracy(t *testing.T) {
+	sys, err := NewSystem(Options{
+		RoomMin:          Pt(0, 0),
+		RoomMax:          Pt(8, 4),
+		Anchors:          4,
+		Antennas:         4,
+		NoiseOff:         true,
+		PaperRoom:        false,
+		WallReflectivity: 0.0001, // effectively free space
+		Seed:             9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := sys.Localize(Pt(5.5, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix.Error > 0.2 {
+		t.Errorf("free-space custom room error %.3f m", fix.Error)
+	}
+}
+
+func TestAcquireDeterministicPerSequence(t *testing.T) {
+	mk := func() complex128 {
+		sys, err := NewSystem(DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1 := sys.Acquire(Pt(0, 0))
+		s2 := sys.Acquire(Pt(0, 0))
+		return s1.Tag[2][1][1] * s2.Tag[2][1][1]
+	}
+	if mk() != mk() {
+		t.Error("acquisition sequence not deterministic")
+	}
+	// Consecutive acquisitions differ (fresh LO offsets and noise).
+	sys, _ := NewSystem(DefaultOptions())
+	a, b := sys.Acquire(Pt(0, 0)), sys.Acquire(Pt(0, 0))
+	if a.Tag[2][1][1] == b.Tag[2][1][1] {
+		t.Error("consecutive acquisitions identical — offsets not redrawn")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodBLoc.String() != "bloc" || MethodRSSI.String() != "rssi" ||
+		Method(42).String() != "Method(42)" {
+		t.Error("Method strings wrong")
+	}
+}
+
+func TestCustomScatterersChangeChannels(t *testing.T) {
+	base := Options{Anchors: 4, Antennas: 4, NoiseOff: true, PaperRoom: false, Seed: 3}
+	withScat := base
+	withScat.Scatterers = []Scatterer{{Center: Pt(1, 1), Radius: 0.3, Gain: 3, Facets: 5}}
+	s1, err := NewSystem(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSystem(withScat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s1.Acquire(Pt(0, 0))
+	b := s2.Acquire(Pt(0, 0))
+	if a.Tag[0][0][0] == b.Tag[0][0][0] {
+		t.Error("scatterer had no effect on channels")
+	}
+}
+
+func TestSystemCalibration(t *testing.T) {
+	opts := DefaultOptions()
+	opts.PaperRoom = false
+	opts.NoiseOff = true
+	opts.AntennaPhaseErrDeg = 30
+	opts.Seed = 77
+	sys, err := NewSystem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := sys.Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.MaxErrorDeg() < 5 {
+		t.Errorf("calibration found only %.1f° of error with σ=30° injected", cal.MaxErrorDeg())
+	}
+	tag := Pt(0.9, -0.8)
+	raw, err := sys.Localize(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := sys.LocalizeCalibrated(cal, MethodBLoc, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("uncalibrated %.3f m, calibrated %.3f m", raw.Error, fixed.Error)
+	if fixed.Error > raw.Error+0.05 {
+		t.Errorf("calibration worsened the fix: %.3f -> %.3f", raw.Error, fixed.Error)
+	}
+}
+
+func TestTrackerSmoothsFixStream(t *testing.T) {
+	sys, err := NewSystem(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trk, err := NewTracker(TrackerConfig{MeasurementStd: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tag sits still while we acquire repeatedly: the tracked position
+	// should beat the typical single fix.
+	tag := Pt(0.4, -0.9)
+	var lastTracked Point
+	var singleErrSum float64
+	const n = 12
+	for i := 0; i < n; i++ {
+		fix, err := sys.Localize(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleErrSum += fix.Error
+		lastTracked, _, err = trk.Update(fix.Estimate, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	trackedErr := lastTracked.Dist(tag)
+	t.Logf("mean single-fix error %.3f m, tracked %.3f m (uncertainty %.2f, speed %.2f)",
+		singleErrSum/n, trackedErr, trk.Uncertainty(), trk.Speed())
+	if trackedErr > singleErrSum/n+0.15 {
+		t.Errorf("tracking (%.3f) worse than raw fixes (%.3f)", trackedErr, singleErrSum/n)
+	}
+}
+
+func TestOptionsWithInteriorWalls(t *testing.T) {
+	sys, err := NewSystem(Options{
+		RoomMin: Pt(0, 0), RoomMax: Pt(6, 4),
+		Anchors: 4, Antennas: 4, Seed: 9, PaperRoom: false,
+		Walls: []Wall{{A: Pt(3, 0), B: Pt(3, 3), Reflectivity: 0.4, Transmission: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tag behind the partition still localizes to room scale.
+	fix, err := sys.Localize(Pt(4.5, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix.Error > 3 {
+		t.Errorf("through-wall error %.2f m beyond room scale", fix.Error)
+	}
+	// Invalid wall rejected.
+	if _, err := NewSystem(Options{
+		RoomMin: Pt(0, 0), RoomMax: Pt(6, 4), PaperRoom: false, Seed: 9,
+		Walls: []Wall{{A: Pt(1, 1), B: Pt(2, 2), Transmission: 0}},
+	}); err == nil {
+		t.Error("zero-transmission wall accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package bloc
+
+import (
+	"bloc/internal/track"
+)
+
+// Tracker smooths a stream of fixes into a trajectory: a constant-
+// velocity Kalman filter with Mahalanobis gating, sized for the dense fix
+// rate BLE's 40 hop-cycles per second provide (§6 of the paper). Ghost
+// fixes that survive the multipath rejection are gated out; persistent
+// disagreement (a genuinely moved tag) re-locks the track.
+type Tracker struct {
+	f *track.Filter
+}
+
+// TrackerConfig tunes the filter; zero values select defaults matched to
+// a walking tag localized by BLoc.
+type TrackerConfig struct {
+	ProcessNoise   float64 // maneuver intensity, m²/s³ (default 1)
+	MeasurementStd float64 // 1-σ fix error, meters (default 0.5)
+	GateChi2       float64 // innovation gate, χ² 2 DoF (default 9.21)
+	MaxMisses      int     // gated fixes before re-lock (default 3)
+}
+
+// NewTracker builds a tracker.
+func NewTracker(cfg TrackerConfig) (*Tracker, error) {
+	def := track.DefaultConfig()
+	if cfg.ProcessNoise > 0 {
+		def.ProcessNoise = cfg.ProcessNoise
+	}
+	if cfg.MeasurementStd > 0 {
+		def.MeasurementStd = cfg.MeasurementStd
+	}
+	if cfg.GateChi2 > 0 {
+		def.GateChi2 = cfg.GateChi2
+	}
+	if cfg.MaxMisses > 0 {
+		def.MaxMisses = cfg.MaxMisses
+	}
+	f, err := track.New(def)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{f: f}, nil
+}
+
+// Update fuses one fix taken dt seconds after the previous one, returning
+// the smoothed position and whether the fix passed the gate.
+func (t *Tracker) Update(fix Point, dt float64) (Point, bool, error) {
+	return t.f.Update(fix, dt)
+}
+
+// Position returns the current track estimate.
+func (t *Tracker) Position() Point { return t.f.Position() }
+
+// Speed returns the current speed estimate in m/s.
+func (t *Tracker) Speed() float64 { return t.f.Velocity().Norm() }
+
+// Uncertainty returns the 1-σ position uncertainty in meters.
+func (t *Tracker) Uncertainty() float64 { return t.f.Uncertainty() }
