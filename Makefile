@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench figures figures-full clean
+.PHONY: all build test race soak vet bench figures figures-full clean
 
 all: vet test build
 
@@ -13,7 +13,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/locserver/ ./internal/eval/ ./internal/core/
+	$(GO) test -race ./...
+
+# Short soak: the fault-injection and quorum scenarios repeated under the
+# race detector to shake out timing-dependent bugs.
+soak:
+	$(GO) test -race -count=3 -run 'Soak|Fault|Quorum|Reconnect|Heartbeat' \
+		./internal/locserver/ ./internal/anchor/ ./internal/faultnet/
 
 vet:
 	gofmt -l . && $(GO) vet ./...

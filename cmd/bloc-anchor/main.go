@@ -5,7 +5,8 @@
 // Usage:
 //
 //	bloc-anchor -id 0 [-server 127.0.0.1:7100] [-seed 1] [-rounds 10]
-//	            [-tag "0.8,-0.6"]
+//	            [-tag "0.8,-0.6"] [-backoff-initial 100ms] [-backoff-max 5s]
+//	            [-no-reconnect]
 //
 // All anchors of a deployment must share -seed (the simulated world) and
 // report the same tag trajectory; see examples/distributed for a scripted
@@ -37,6 +38,10 @@ func main() {
 		tagID  = flag.Int("tagid", 0, "tag identifier (multi-tag deployments)")
 		tagPos = flag.String("tag", "0.8,-0.6", "tag position as x,y")
 		period = flag.Duration("period", 200*time.Millisecond, "delay between rounds")
+
+		backoffInit = flag.Duration("backoff-initial", 100*time.Millisecond, "first reconnect delay")
+		backoffMax  = flag.Duration("backoff-max", 5*time.Second, "reconnect delay ceiling")
+		noReconnect = flag.Bool("no-reconnect", false, "fail fast on a lost server connection")
 	)
 	flag.Parse()
 
@@ -53,6 +58,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	d.Backoff = anchor.Backoff{Initial: *backoffInit, Max: *backoffMax}
+	d.DisableReconnect = *noReconnect
 	d.OnFix = func(f wire.Fix) {
 		logger.Info("fix received", "round", f.Round, "x", f.X, "y", f.Y)
 	}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	bloc-bench [-positions 300] [-seed 7] [-exp all|fig4|fig6|fig8a|fig8b|
-//	            fig9a|fig9b|fig9c|fig10|fig11|fig12|fig13|ablations] [-out dir]
+//	            fig9a|fig9b|fig9c|fig10|fig11|fig12|fig13|ablations|quorum]
+//	            [-out dir]
 //
 // The paper used 1700 positions; -positions 1700 reproduces that scale
 // (several minutes of CPU), while the default 300 keeps the shape of every
@@ -32,7 +33,7 @@ func main() {
 	var (
 		positions = flag.Int("positions", 300, "dataset size (paper: 1700)")
 		seed      = flag.Uint64("seed", 7, "simulation seed")
-		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, or all)")
+		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, or all)")
 		out       = flag.String("out", "", "directory for CSV series (optional)")
 	)
 	flag.Parse()
@@ -54,7 +55,7 @@ func main() {
 	}
 	needsDataset := want("fig6") || want("fig8a") || want("fig9a") || want("fig9b") ||
 		want("fig9c") || want("fig10") || want("fig11") || want("fig12") ||
-		want("fig13") || want("ablations")
+		want("fig13") || want("ablations") || want("quorum")
 	if !needsDataset {
 		return
 	}
@@ -118,6 +119,11 @@ func main() {
 	if want("fig13") {
 		runFig13(suite, *out)
 	}
+	if want("quorum") && *exp != "all" { // "all" covers it inside runAblations
+		qs, err := suite.AblationQuorum()
+		check(err)
+		fmt.Println(eval.QuorumTable(qs))
+	}
 	if want("ablations") {
 		runAblations(suite, *seed, *positions)
 	}
@@ -142,6 +148,10 @@ func runAblations(suite *eval.Suite, seed uint64, positions int) {
 	ws, err := suite.AblationWeights([]float64{0.05, 0.1, 0.2}, []float64{0, 0.05, 0.5})
 	check(err)
 	fmt.Println(eval.WeightsTable(ws))
+
+	qs, err := suite.AblationQuorum()
+	check(err)
+	fmt.Println(eval.QuorumTable(qs))
 
 	snrs, err := eval.AblationSNR(seed, small, []float64{5, 10, 15, 25})
 	check(err)

@@ -5,9 +5,14 @@
 // Usage:
 //
 //	bloc-server [-listen 127.0.0.1:7100] [-anchors 4] [-antennas 4] [-seed 1]
+//	            [-round-deadline 2s] [-min-anchors 2] [-min-bands 1]
+//	            [-heartbeat 2s]
 //
 // The seed must match the anchors' seed: it defines the shared simulated
-// deployment geometry the localization engine needs.
+// deployment geometry the localization engine needs. Rounds that miss the
+// deadline complete from a partial snapshot when at least -min-anchors
+// anchors contributed -min-bands usable bands; set -round-deadline 0 to
+// wait forever for every row.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"bloc/internal/core"
 	"bloc/internal/csi"
@@ -28,10 +34,14 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7100", "listen address")
-		anchors  = flag.Int("anchors", 4, "number of anchors")
-		antennas = flag.Int("antennas", 4, "antennas per anchor")
-		seed     = flag.Uint64("seed", 1, "shared deployment seed")
+		listen    = flag.String("listen", "127.0.0.1:7100", "listen address")
+		anchors   = flag.Int("anchors", 4, "number of anchors")
+		antennas  = flag.Int("antennas", 4, "antennas per anchor")
+		seed      = flag.Uint64("seed", 1, "shared deployment seed")
+		deadline  = flag.Duration("round-deadline", 2*time.Second, "partial-round deadline (0 waits forever)")
+		minAnch   = flag.Int("min-anchors", 2, "quorum: anchors required at the deadline")
+		minBands  = flag.Int("min-bands", 1, "quorum: usable bands per counted anchor")
+		heartbeat = flag.Duration("heartbeat", 2*time.Second, "anchor liveness probe interval (0 disables)")
 	)
 	flag.Parse()
 
@@ -50,9 +60,13 @@ func main() {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv, err := locserver.New(*listen, locserver.Config{
-		Anchors:  *anchors,
-		Antennas: *antennas,
-		Bands:    dep.Bands,
+		Anchors:           *anchors,
+		Antennas:          *antennas,
+		Bands:             dep.Bands,
+		RoundDeadline:     *deadline,
+		MinAnchors:        *minAnch,
+		MinBands:          *minBands,
+		HeartbeatInterval: *heartbeat,
 		OnSnapshot: func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
 			res, err := eng.Locate(snap)
 			if err != nil {

@@ -10,19 +10,75 @@
 // role of the shared physical world. Each daemon reports only its own
 // anchor's rows, exactly as real anchors report only what their antennas
 // received.
+//
+// Daemons are fault tolerant: a lost server connection moves the daemon
+// into a down state where reports are buffered (bounded, drop-oldest)
+// while a background loop redials with exponential backoff and jitter.
+// On reconnect the buffer is flushed, so rows measured during an outage
+// still reach the server — the aggregator tolerates duplicates and late
+// rows, so redelivery is always safe.
 package anchor
 
 import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"time"
 
 	"bloc/internal/geom"
 	"bloc/internal/testbed"
 	"bloc/internal/wire"
 )
+
+// Backoff paces reconnect attempts: the first retry waits Initial, each
+// failure multiplies the wait by Factor up to Max, and every wait is
+// spread by ±Jitter (a fraction) so a fleet of anchors that lost the same
+// server does not redial in lockstep. The zero value selects defaults.
+type Backoff struct {
+	Initial time.Duration // first retry delay (default 100ms)
+	Max     time.Duration // delay ceiling (default 5s)
+	Factor  float64       // delay multiplier per failure (default 2)
+	Jitter  float64       // random spread fraction in [0,1] (default 0.2)
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Initial <= 0 {
+		b.Initial = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter <= 0 || b.Jitter > 1 {
+		b.Jitter = 0.2
+	}
+	return b
+}
+
+func (b Backoff) jittered(base time.Duration) time.Duration {
+	return time.Duration(float64(base) * (1 + b.Jitter*(2*rand.Float64()-1)))
+}
+
+// connState is the daemon lifecycle: idle (never connected), connected,
+// down (lost the server, possibly reconnecting) and closed (permanent).
+type connState int
+
+const (
+	stateIdle connState = iota
+	stateConnected
+	stateDown
+	stateClosed
+)
+
+// defaultResendLimit bounds the rows buffered across an outage. A full
+// round is one row per band (37 for the paper deployment), so the default
+// rides out ~100 rounds before dropping the oldest.
+const defaultResendLimit = 4096
 
 // Daemon is one anchor's measurement-and-report loop.
 type Daemon struct {
@@ -30,12 +86,32 @@ type Daemon struct {
 	dep *testbed.Deployment
 	log *slog.Logger
 
-	conn    net.Conn
-	writeMu sync.Mutex
-	wg      sync.WaitGroup
-
 	// OnFix, if set, is called for every fix broadcast by the server.
+	// Set it before Connect.
 	OnFix func(wire.Fix)
+
+	// Backoff paces reconnect attempts; the zero value picks defaults.
+	Backoff Backoff
+	// DisableReconnect reverts to fail-fast behavior: a lost connection
+	// makes every later report error instead of buffering.
+	DisableReconnect bool
+	// ResendLimit bounds the outage buffer (rows, drop-oldest);
+	// 0 means defaultResendLimit.
+	ResendLimit int
+	// Dial overrides how the server is reached; tests use it to inject
+	// fault-wrapped or gated connections. Nil means net.Dial("tcp", addr).
+	Dial func(addr string) (net.Conn, error)
+
+	mu         sync.Mutex
+	state      connState
+	conn       net.Conn
+	addr       string
+	gen        int // connection generation; stale failures are ignored
+	buf        []*wire.CSIRow
+	dropped    int
+	reconnects int
+	closed     chan struct{}
+	wg         sync.WaitGroup
 }
 
 // New creates a daemon for anchor id over the given deployment.
@@ -46,15 +122,59 @@ func New(id int, dep *testbed.Deployment, logger *slog.Logger) (*Daemon, error) 
 	if logger == nil {
 		logger = slog.Default()
 	}
-	return &Daemon{ID: id, dep: dep, log: logger.With("anchor", id)}, nil
+	return &Daemon{
+		ID:     id,
+		dep:    dep,
+		log:    logger.With("anchor", id),
+		closed: make(chan struct{}),
+	}, nil
 }
 
 // Connect dials the server and performs the hello handshake, then starts
-// the fix-listener goroutine.
+// the fix-listener goroutine. After a successful Connect the daemon keeps
+// itself connected (unless DisableReconnect) until Close.
 func (d *Daemon) Connect(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	d.mu.Lock()
+	switch d.state {
+	case stateClosed:
+		d.mu.Unlock()
+		return fmt.Errorf("anchor %d: closed", d.ID)
+	case stateConnected:
+		d.mu.Unlock()
+		return fmt.Errorf("anchor %d: already connected", d.ID)
+	}
+	d.addr = addr
+	d.mu.Unlock()
+
+	conn, err := d.dialAndHello(addr)
 	if err != nil {
-		return fmt.Errorf("anchor %d: dial: %w", d.ID, err)
+		return err
+	}
+	d.mu.Lock()
+	if d.state == stateClosed {
+		d.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("anchor %d: closed", d.ID)
+	}
+	d.conn = conn
+	d.state = stateConnected
+	d.gen++
+	gen := d.gen
+	d.wg.Add(1)
+	d.mu.Unlock()
+	go d.listen(conn, gen)
+	return nil
+}
+
+// dialAndHello establishes one authenticated connection.
+func (d *Daemon) dialAndHello(addr string) (net.Conn, error) {
+	dial := d.Dial
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	conn, err := dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("anchor %d: dial: %w", d.ID, err)
 	}
 	hello := &wire.Hello{
 		Version:  wire.ProtocolVersion,
@@ -64,37 +184,136 @@ func (d *Daemon) Connect(addr string) error {
 	}
 	if err := wire.Send(conn, hello); err != nil {
 		conn.Close()
-		return fmt.Errorf("anchor %d: hello: %w", d.ID, err)
+		return nil, fmt.Errorf("anchor %d: hello: %w", d.ID, err)
 	}
-	d.conn = conn
-	d.wg.Add(1)
-	go d.listen()
-	return nil
+	return conn, nil
 }
 
-// listen consumes server→anchor messages (fix broadcasts).
-func (d *Daemon) listen() {
+// listen consumes server→anchor messages (fix broadcasts and heartbeat
+// probes) for one connection generation.
+func (d *Daemon) listen(conn net.Conn, gen int) {
 	defer d.wg.Done()
 	for {
-		msg, err := wire.Receive(d.conn)
+		msg, err := wire.Receive(conn)
 		if err != nil {
 			if err != io.EOF {
 				d.log.Debug("listen ended", "err", err)
 			}
+			d.connLost(gen)
 			return
 		}
-		if fix, ok := msg.(*wire.Fix); ok && d.OnFix != nil {
-			d.OnFix(*fix)
+		switch m := msg.(type) {
+		case *wire.Fix:
+			if d.OnFix != nil {
+				d.OnFix(*m)
+			}
+		case *wire.Heartbeat:
+			// Echo the nonce back: the server prunes anchors that stop
+			// answering. Write under mu to serialize with report sends.
+			d.mu.Lock()
+			if d.conn == conn {
+				wire.Send(conn, m)
+			}
+			d.mu.Unlock()
 		}
+	}
+}
+
+// connLost transitions generation gen from connected to down and, unless
+// reconnects are disabled, starts the redial loop. Stale or duplicate
+// notifications (an old generation, an already-down daemon, a close in
+// progress) are no-ops, so the read and write paths can both report the
+// same failure safely.
+func (d *Daemon) connLost(gen int) {
+	d.mu.Lock()
+	if d.state != stateConnected || d.gen != gen {
+		d.mu.Unlock()
+		return
+	}
+	d.conn.Close()
+	d.conn = nil
+	d.state = stateDown
+	reconnect := !d.DisableReconnect
+	if reconnect {
+		d.wg.Add(1)
+	}
+	d.mu.Unlock()
+	if !reconnect {
+		d.log.Warn("connection lost, reconnect disabled")
+		return
+	}
+	d.log.Warn("connection lost, reconnecting")
+	go d.reconnectLoop()
+}
+
+// reconnectLoop redials with exponential backoff until it succeeds or the
+// daemon closes, then flushes the outage buffer.
+func (d *Daemon) reconnectLoop() {
+	defer d.wg.Done()
+	b := d.Backoff.withDefaults()
+	delay := b.Initial
+	for {
+		t := time.NewTimer(b.jittered(delay))
+		select {
+		case <-d.closed:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		d.mu.Lock()
+		if d.state != stateDown {
+			d.mu.Unlock()
+			return
+		}
+		addr := d.addr
+		d.mu.Unlock()
+
+		conn, err := d.dialAndHello(addr)
+		if err != nil {
+			d.log.Debug("reconnect attempt failed", "err", err, "backoff", delay)
+			delay = min(time.Duration(float64(delay)*b.Factor), b.Max)
+			continue
+		}
+		d.mu.Lock()
+		if d.state != stateDown {
+			d.mu.Unlock()
+			conn.Close()
+			return
+		}
+		d.conn = conn
+		d.state = stateConnected
+		d.gen++
+		gen := d.gen
+		d.reconnects++
+		pending := d.buf
+		d.buf = nil
+		d.wg.Add(1)
+		d.mu.Unlock()
+		go d.listen(conn, gen)
+		d.log.Info("reconnected", "flushing", len(pending))
+		// Redeliver rows measured during the outage. sendRow re-buffers
+		// anything that fails (the new connection may die mid-flush), so
+		// no row is lost short of the buffer bound.
+		for _, row := range pending {
+			d.sendRow(row)
+		}
+		return
 	}
 }
 
 // MeasureAndReport simulates this anchor's view of acquisition round
 // `round` for tag tagID at the given position and streams one CSIRow per
-// band to the server.
+// band to the server. While the daemon is down (reconnecting) the rows are
+// buffered and redelivered on reconnect; with DisableReconnect they error.
 func (d *Daemon) MeasureAndReport(tagID uint16, round uint32, tag geom.Point) error {
-	if d.conn == nil {
+	d.mu.Lock()
+	st := d.state
+	d.mu.Unlock()
+	switch st {
+	case stateIdle:
 		return fmt.Errorf("anchor %d: not connected", d.ID)
+	case stateClosed:
+		return fmt.Errorf("anchor %d: closed", d.ID)
 	}
 	// All daemons fork the shared deployment identically: same tag and
 	// round → same oscillators, noise and channels everywhere.
@@ -108,22 +327,100 @@ func (d *Daemon) MeasureAndReport(tagID uint16, round uint32, tag geom.Point) er
 			Tag:      snap.Tag[b][d.ID],
 			Master:   snap.Master[b][d.ID],
 		}
-		d.writeMu.Lock()
-		err := wire.Send(d.conn, row)
-		d.writeMu.Unlock()
-		if err != nil {
-			return fmt.Errorf("anchor %d: send row: %w", d.ID, err)
+		if err := d.sendRow(row); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// Close shuts the connection down and waits for the listener.
-func (d *Daemon) Close() error {
-	if d.conn == nil {
+// sendRow delivers one row, buffering on outage unless reconnects are
+// disabled.
+func (d *Daemon) sendRow(row *wire.CSIRow) error {
+	d.mu.Lock()
+	switch d.state {
+	case stateIdle:
+		d.mu.Unlock()
+		return fmt.Errorf("anchor %d: not connected", d.ID)
+	case stateClosed:
+		d.mu.Unlock()
+		return fmt.Errorf("anchor %d: closed", d.ID)
+	case stateDown:
+		if d.DisableReconnect {
+			d.mu.Unlock()
+			return fmt.Errorf("anchor %d: connection down", d.ID)
+		}
+		d.bufferLocked(row)
+		d.mu.Unlock()
 		return nil
 	}
-	err := d.conn.Close()
+	conn := d.conn
+	gen := d.gen
+	err := wire.Send(conn, row)
+	d.mu.Unlock()
+	if err == nil {
+		return nil
+	}
+	if d.DisableReconnect {
+		return fmt.Errorf("anchor %d: send row: %w", d.ID, err)
+	}
+	d.connLost(gen)
+	d.mu.Lock()
+	if d.state == stateDown {
+		d.bufferLocked(row)
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// bufferLocked appends to the outage buffer, dropping the oldest rows
+// past the bound. Caller holds d.mu.
+func (d *Daemon) bufferLocked(row *wire.CSIRow) {
+	limit := d.ResendLimit
+	if limit <= 0 {
+		limit = defaultResendLimit
+	}
+	if len(d.buf) >= limit {
+		drop := len(d.buf) - limit + 1
+		d.buf = append(d.buf[:0], d.buf[drop:]...)
+		d.dropped += drop
+	}
+	d.buf = append(d.buf, row)
+}
+
+// Connected reports whether the daemon currently holds a live server
+// connection.
+func (d *Daemon) Connected() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state == stateConnected
+}
+
+// Stats returns resilience counters: completed reconnects, rows currently
+// buffered for redelivery, and rows dropped to the buffer bound.
+func (d *Daemon) Stats() (reconnects, buffered, dropped int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reconnects, len(d.buf), d.dropped
+}
+
+// Close shuts the daemon down permanently: the connection is closed, any
+// reconnect loop stops, and all goroutines are joined. Closing a daemon
+// that never connected is a no-op.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.state == stateClosed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.state = stateClosed
+	close(d.closed)
+	var err error
+	if d.conn != nil {
+		err = d.conn.Close()
+		d.conn = nil
+	}
+	d.mu.Unlock()
 	d.wg.Wait()
 	return err
 }

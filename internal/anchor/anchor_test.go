@@ -1,0 +1,321 @@
+package anchor
+
+import (
+	"errors"
+	"io"
+	"log/slog"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bloc/internal/geom"
+	"bloc/internal/testbed"
+	"bloc/internal/wire"
+)
+
+func quiet() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// fakeServer accepts daemon connections, consumes the hello, and hands
+// each authenticated conn to the test.
+type fakeServer struct {
+	ln    net.Listener
+	conns chan net.Conn
+}
+
+func newFakeServer(t *testing.T) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{ln: ln, conns: make(chan net.Conn, 8)}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			msg, err := wire.Receive(conn)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			if _, ok := msg.(*wire.Hello); !ok {
+				conn.Close()
+				continue
+			}
+			fs.conns <- conn
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return fs
+}
+
+func (fs *fakeServer) accept(t *testing.T) net.Conn {
+	t.Helper()
+	select {
+	case c := <-fs.conns:
+		t.Cleanup(func() { c.Close() })
+		return c
+	case <-time.After(5 * time.Second):
+		t.Fatal("no daemon connection arrived")
+		return nil
+	}
+}
+
+// countRows reads n CSI rows from the conn, failing on anything else.
+func countRows(t *testing.T, conn net.Conn, n int) []*wire.CSIRow {
+	t.Helper()
+	rows := make([]*wire.CSIRow, 0, n)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for len(rows) < n {
+		msg, err := wire.Receive(conn)
+		if err != nil {
+			t.Fatalf("after %d rows: %v", len(rows), err)
+		}
+		if row, ok := msg.(*wire.CSIRow); ok {
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func newDaemon(t *testing.T) *Daemon {
+	t.Helper()
+	dep, err := testbed.Paper(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(0, dep, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Backoff = Backoff{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func waitDown(t *testing.T, d *Daemon) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Connected() {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never noticed the lost connection")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAutoReconnect(t *testing.T) {
+	fs := newFakeServer(t)
+	d := newDaemon(t)
+	if err := d.Connect(fs.ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	c1 := fs.accept(t)
+	bands := len(d.dep.Bands)
+	if err := d.MeasureAndReport(0, 1, geom.Pt(0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	countRows(t, c1, bands)
+
+	// Server-side kill: the daemon must come back on its own.
+	c1.Close()
+	c2 := fs.accept(t)
+	if err := d.MeasureAndReport(0, 2, geom.Pt(0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	rows := countRows(t, c2, bands)
+	if rows[0].Round != 2 {
+		t.Errorf("post-reconnect round = %d, want 2", rows[0].Round)
+	}
+	if rec, _, _ := d.Stats(); rec != 1 {
+		t.Errorf("reconnects = %d, want 1", rec)
+	}
+}
+
+func TestOutageBufferFlushesOnReconnect(t *testing.T) {
+	fs := newFakeServer(t)
+	d := newDaemon(t)
+	// Gate dialing so the outage lasts exactly as long as the test wants.
+	var allow atomic.Bool
+	allow.Store(true)
+	d.Dial = func(addr string) (net.Conn, error) {
+		if !allow.Load() {
+			return nil, errors.New("gated")
+		}
+		return net.Dial("tcp", addr)
+	}
+	if err := d.Connect(fs.ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	c1 := fs.accept(t)
+	allow.Store(false)
+	c1.Close()
+	waitDown(t, d)
+
+	// Rounds measured during the outage buffer instead of erroring.
+	bands := len(d.dep.Bands)
+	for r := uint32(1); r <= 2; r++ {
+		if err := d.MeasureAndReport(0, r, geom.Pt(0.1, 0.1)); err != nil {
+			t.Fatalf("report while down: %v", err)
+		}
+	}
+	if _, buffered, dropped := d.Stats(); buffered != 2*bands || dropped != 0 {
+		t.Fatalf("buffered=%d dropped=%d, want %d/0", buffered, dropped, 2*bands)
+	}
+
+	allow.Store(true)
+	c2 := fs.accept(t)
+	rows := countRows(t, c2, 2*bands)
+	seen := map[uint32]int{}
+	for _, r := range rows {
+		seen[r.Round]++
+	}
+	if seen[1] != bands || seen[2] != bands {
+		t.Errorf("flushed rounds = %v, want %d rows each of rounds 1 and 2", seen, bands)
+	}
+	if _, buffered, _ := d.Stats(); buffered != 0 {
+		t.Errorf("%d rows still buffered after flush", buffered)
+	}
+}
+
+func TestOutageBufferBounded(t *testing.T) {
+	fs := newFakeServer(t)
+	d := newDaemon(t)
+	d.ResendLimit = 10
+	var allow atomic.Bool
+	allow.Store(true)
+	d.Dial = func(addr string) (net.Conn, error) {
+		if !allow.Load() {
+			return nil, errors.New("gated")
+		}
+		return net.Dial("tcp", addr)
+	}
+	if err := d.Connect(fs.ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	c1 := fs.accept(t)
+	allow.Store(false)
+	c1.Close()
+	waitDown(t, d)
+
+	bands := len(d.dep.Bands)
+	if err := d.MeasureAndReport(0, 1, geom.Pt(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	_, buffered, dropped := d.Stats()
+	if buffered != 10 {
+		t.Errorf("buffered = %d, want ResendLimit 10", buffered)
+	}
+	if dropped != bands-10 {
+		t.Errorf("dropped = %d, want %d", dropped, bands-10)
+	}
+}
+
+func TestDisableReconnectFailsFast(t *testing.T) {
+	fs := newFakeServer(t)
+	d := newDaemon(t)
+	d.DisableReconnect = true
+	if err := d.Connect(fs.ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	c1 := fs.accept(t)
+	c1.Close()
+	waitDown(t, d)
+	if err := d.MeasureAndReport(0, 1, geom.Pt(0, 0)); err == nil {
+		t.Error("report on a dead fail-fast daemon should error")
+	}
+	select {
+	case c := <-fs.conns:
+		c.Close()
+		t.Error("daemon reconnected despite DisableReconnect")
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+func TestHeartbeatEcho(t *testing.T) {
+	fs := newFakeServer(t)
+	d := newDaemon(t)
+	if err := d.Connect(fs.ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	c1 := fs.accept(t)
+	if err := wire.Send(c1, &wire.Heartbeat{Nonce: 42}); err != nil {
+		t.Fatal(err)
+	}
+	c1.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		msg, err := wire.Receive(c1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hb, ok := msg.(*wire.Heartbeat); ok {
+			if hb.Nonce != 42 {
+				t.Errorf("echoed nonce = %d, want 42", hb.Nonce)
+			}
+			return
+		}
+	}
+}
+
+func TestCloseStopsReconnectLoop(t *testing.T) {
+	fs := newFakeServer(t)
+	d := newDaemon(t)
+	var dials atomic.Int32
+	d.Dial = func(addr string) (net.Conn, error) {
+		if dials.Add(1) == 1 {
+			return net.Dial("tcp", addr)
+		}
+		return nil, errors.New("gated")
+	}
+	if err := d.Connect(fs.ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	c1 := fs.accept(t)
+	c1.Close()
+	waitDown(t, d)
+	// Close must join the reconnect loop promptly even mid-backoff.
+	done := make(chan error, 1)
+	go func() { done <- d.Close() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on reconnect loop")
+	}
+	n := dials.Load()
+	time.Sleep(150 * time.Millisecond)
+	if dials.Load() != n {
+		t.Error("dials continued after Close")
+	}
+}
+
+func TestLifecycleValidation(t *testing.T) {
+	fs := newFakeServer(t)
+	d := newDaemon(t)
+	if err := d.MeasureAndReport(0, 1, geom.Pt(0, 0)); err == nil {
+		t.Error("report before connect should fail")
+	}
+	if err := d.Connect(fs.ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	fs.accept(t)
+	if err := d.Connect(fs.ln.Addr().String()); err == nil {
+		t.Error("double connect should fail")
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if err := d.MeasureAndReport(0, 1, geom.Pt(0, 0)); err == nil {
+		t.Error("report after close should fail")
+	}
+	if err := d.Connect(fs.ln.Addr().String()); err == nil {
+		t.Error("connect after close should fail")
+	}
+}

@@ -34,6 +34,14 @@ import (
 type Alpha struct {
 	Freqs  []float64
 	Values [][][]complex128
+
+	// Have[k][i] marks which corrected rows are usable. It is non-nil
+	// only for partial snapshots (degraded mode): an α row exists iff the
+	// snapshot carried both anchor i's row for band k AND the master's
+	// own row for that band (the correction multiplies by ĥ*_00). Rows
+	// with Have[k][i] == false are zero and must be skipped by the
+	// likelihood sums.
+	Have [][]bool
 }
 
 // Correct computes the corrected channels from a snapshot (Eq. 10):
@@ -42,6 +50,13 @@ type Alpha struct {
 //
 // The snapshot's Master[k][0] is 1 by construction, which makes the same
 // formula correct for the master anchor itself.
+//
+// Partial snapshots (non-nil Have mask) are supported: bands whose master
+// row is missing yield no usable α for any anchor (there is no ĥ_00 to
+// correct against), and anchors missing a band contribute no α on that
+// band. Because the likelihoods of Eq. 17 sum per anchor and per band,
+// skipping missing rows turns the estimate into a masked sum rather than
+// corrupting it.
 func Correct(s *csi.Snapshot) (*Alpha, error) {
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid snapshot: %w", err)
@@ -51,19 +66,64 @@ func Correct(s *csi.Snapshot) (*Alpha, error) {
 		Freqs:  s.Freqs,
 		Values: make([][][]complex128, K),
 	}
+	if s.Have != nil {
+		a.Have = make([][]bool, K)
+	}
 	for k := 0; k < K; k++ {
 		a.Values[k] = make([][]complex128, I)
+		if a.Have != nil {
+			a.Have[k] = make([]bool, I)
+		}
+		masterOK := s.Present(k, 0)
 		h00 := cmplx.Conj(s.Tag[k][0][0])
 		for i := 0; i < I; i++ {
-			mi := cmplx.Conj(s.Master[k][i]) * h00
 			row := make([]complex128, J)
-			for j := 0; j < J; j++ {
-				row[j] = s.Tag[k][i][j] * mi
+			ok := masterOK && s.Present(k, i)
+			if ok {
+				mi := cmplx.Conj(s.Master[k][i]) * h00
+				for j := 0; j < J; j++ {
+					row[j] = s.Tag[k][i][j] * mi
+				}
+			}
+			if a.Have != nil {
+				a.Have[k][i] = ok
 			}
 			a.Values[k][i] = row
 		}
 	}
 	return a, nil
+}
+
+// Present reports whether the corrected row for (band k, anchor i) is
+// usable. A nil mask means every row is.
+func (a *Alpha) Present(k, i int) bool {
+	return a.Have == nil || a.Have[k][i]
+}
+
+// PresentBands returns the number of usable bands for anchor i.
+func (a *Alpha) PresentBands(i int) int {
+	if a.Have == nil {
+		return a.NumBands()
+	}
+	n := 0
+	for k := range a.Have {
+		if a.Have[k][i] {
+			n++
+		}
+	}
+	return n
+}
+
+// PresentAnchors returns the indices of anchors with at least one usable
+// band.
+func (a *Alpha) PresentAnchors() []int {
+	var out []int
+	for i := 0; i < a.NumAnchors(); i++ {
+		if a.PresentBands(i) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // NumBands returns K.

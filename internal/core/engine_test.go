@@ -158,7 +158,7 @@ func TestAngleLikelihoodPeaksAtTrueDirection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec := e.angleSpectrum(a.Freqs, a.Values, 0)
+	spec := e.angleSpectrum(a.Freqs, a.Values, nil, 0)
 	best := dsp.ArgMax(spec)
 	gotTheta := e.thetas[best]
 	wantTheta := d.Anchors[0].AngleTo(tag)

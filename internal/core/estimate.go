@@ -77,12 +77,17 @@ func (e *Engine) LocateAoA(s *csi.Snapshot) (*Result, error) {
 		return nil, fmt.Errorf("core: snapshot has %d anchors, engine %d", s.NumAnchors(), len(e.anchors))
 	}
 	I := s.NumAnchors()
+	active := activeAnchors(s)
+	if len(active) < 2 {
+		return nil, fmt.Errorf("core: only %d anchors present, need >= 2 for AoA", len(active))
+	}
 	bearings := make([]float64, I)
-	for i := 0; i < I; i++ {
-		spec := e.angleSpectrum(s.Freqs, s.Tag, i)
+	for _, i := range active {
+		spec := e.angleSpectrum(s.Freqs, s.Tag, s.Have, i)
 		bearings[i] = e.thetas[dsp.ArgMax(spec)]
 	}
-	// Triangulate: minimize the sum of squared wrapped angle residuals.
+	// Triangulate: minimize the sum of squared wrapped angle residuals
+	// over the anchors that actually reported.
 	grid := dsp.NewGrid(e.nx, e.ny)
 	best := math.Inf(1)
 	bx, by := 0, 0
@@ -90,8 +95,8 @@ func (e *Engine) LocateAoA(s *csi.Snapshot) (*Result, error) {
 		for ix := 0; ix < e.nx; ix++ {
 			p := e.CellCenter(ix, iy)
 			var res float64
-			for i, a := range e.anchors {
-				d := geom.WrapAngle(a.AngleTo(p) - bearings[i])
+			for _, i := range active {
+				d := geom.WrapAngle(e.anchors[i].AngleTo(p) - bearings[i])
 				res += d * d
 			}
 			grid.Set(ix, iy, -res)
@@ -101,6 +106,11 @@ func (e *Engine) LocateAoA(s *csi.Snapshot) (*Result, error) {
 		}
 	}
 	return &Result{Estimate: e.CellCenter(bx, by), Likelihood: grid}, nil
+}
+
+// activeAnchors lists the anchors with at least one present band row.
+func activeAnchors(s *csi.Snapshot) []int {
+	return s.PresentAnchors(1)
 }
 
 // LocateAoASoft is a strengthened variant of the AoA baseline (an
@@ -117,8 +127,8 @@ func (e *Engine) LocateAoASoft(s *csi.Snapshot) (*Result, error) {
 		return nil, fmt.Errorf("core: snapshot has %d anchors, engine %d", s.NumAnchors(), len(e.anchors))
 	}
 	combined := dsp.NewGrid(e.nx, e.ny)
-	for i := 0; i < s.NumAnchors(); i++ {
-		spec := e.angleSpectrum(s.Freqs, s.Tag, i)
+	for _, i := range activeAnchors(s) {
+		spec := e.angleSpectrum(s.Freqs, s.Tag, s.Have, i)
 		xy := e.angleSpectrumToXY(spec, i)
 		if e.cfg.NormalizePerAnchor {
 			xy.Normalize()
@@ -146,11 +156,18 @@ func (e *Engine) LocateRSSI(s *csi.Snapshot) (*Result, error) {
 		return nil, fmt.Errorf("core: snapshot has %d anchors, engine %d", s.NumAnchors(), len(e.anchors))
 	}
 	I := s.NumAnchors()
+	active := activeAnchors(s)
+	if len(active) < 3 {
+		return nil, fmt.Errorf("core: only %d anchors present, need >= 3 for trilateration", len(active))
+	}
 	ranges := make([]float64, I)
-	for i := 0; i < I; i++ {
+	for _, i := range active {
 		var amp float64
 		n := 0
 		for k := range s.Tag {
+			if !s.Present(k, i) {
+				continue
+			}
 			for j := range s.Tag[k][i] {
 				amp += cmplx.Abs(s.Tag[k][i][j])
 				n++
@@ -171,8 +188,8 @@ func (e *Engine) LocateRSSI(s *csi.Snapshot) (*Result, error) {
 		for ix := 0; ix < e.nx; ix++ {
 			p := e.CellCenter(ix, iy)
 			var res float64
-			for i, a := range e.anchors {
-				d := p.Dist(a.Center()) - ranges[i]
+			for _, i := range active {
+				d := p.Dist(e.anchors[i].Center()) - ranges[i]
 				res += d * d
 			}
 			grid.Set(ix, iy, -res)
@@ -184,13 +201,20 @@ func (e *Engine) LocateRSSI(s *csi.Snapshot) (*Result, error) {
 	return &Result{Estimate: e.CellCenter(bx, by), Likelihood: grid}, nil
 }
 
-// checkAlpha validates alpha dimensions against the engine.
+// checkAlpha validates alpha dimensions against the engine and, for
+// partial (degraded-mode) alphas, that enough anchors survive to
+// triangulate at all.
 func (e *Engine) checkAlpha(a *Alpha) error {
 	if a.NumAnchors() != len(e.anchors) {
 		return fmt.Errorf("core: alpha has %d anchors, engine %d", a.NumAnchors(), len(e.anchors))
 	}
 	if a.NumBands() == 0 || a.NumAntennas() == 0 {
 		return fmt.Errorf("core: empty alpha")
+	}
+	if a.Have != nil {
+		if n := len(a.PresentAnchors()); n < 2 {
+			return fmt.Errorf("core: only %d anchors usable in partial snapshot, need >= 2", n)
+		}
 	}
 	return nil
 }
@@ -215,7 +239,7 @@ func (e *Engine) LocateCTE(freqHz float64, perAnchor [][]complex128) (*Result, e
 		if len(perAnchor[i]) < 2 {
 			return nil, fmt.Errorf("core: anchor %d has %d CTE antennas", i, len(perAnchor[i]))
 		}
-		spec := e.angleSpectrum(freqs, values, i)
+		spec := e.angleSpectrum(freqs, values, nil, i)
 		bearings[i] = e.thetas[dsp.ArgMax(spec)]
 	}
 	grid := dsp.NewGrid(e.nx, e.ny)

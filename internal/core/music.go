@@ -110,8 +110,12 @@ func (e *Engine) LocateMUSIC(s *csi.Snapshot) (*Result, error) {
 		numPaths = 1
 	}
 	I := s.NumAnchors()
+	active := activeAnchors(s)
+	if len(active) < 2 {
+		return nil, fmt.Errorf("core: only %d anchors present, need >= 2 for MUSIC", len(active))
+	}
 	bearings := make([]float64, I)
-	for i := 0; i < I; i++ {
+	for _, i := range active {
 		spec, err := e.MUSICSpectrum(s.Freqs, s.Tag, i, numPaths)
 		if err != nil {
 			return nil, err
@@ -125,8 +129,8 @@ func (e *Engine) LocateMUSIC(s *csi.Snapshot) (*Result, error) {
 		for ix := 0; ix < e.nx; ix++ {
 			p := e.CellCenter(ix, iy)
 			var res float64
-			for i, a := range e.anchors {
-				d := geom.WrapAngle(a.AngleTo(p) - bearings[i])
+			for _, i := range active {
+				d := geom.WrapAngle(e.anchors[i].AngleTo(p) - bearings[i])
 				res += d * d
 			}
 			grid.Set(ix, iy, -res)

@@ -62,7 +62,7 @@ func TestMUSICResolvesClosePaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bartlett := e.angleSpectrum(freqs, values, 0)
+	bartlett := e.angleSpectrum(freqs, values, nil, 0)
 
 	countPeaks := func(spec []float64, frac float64) int {
 		gmax := spec[dsp.ArgMax(spec)]

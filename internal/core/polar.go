@@ -56,6 +56,9 @@ func (e *Engine) polarLikelihood(a *Alpha, anchor int) *dsp.Grid {
 			acc[d] = 0
 		}
 		for k := 0; k < K; k++ {
+			if !a.Present(k, anchor) {
+				continue // degraded mode: band not measured at this anchor
+			}
 			// B(θ, k) = Σ_j α_jk · e^{−ι w_k j l sinθ}, built by repeated
 			// multiplication with the per-antenna rotation.
 			stepS, stepC := math.Sincos(-w[k] * l * sinT)
@@ -88,8 +91,9 @@ func (e *Engine) polarLikelihood(a *Alpha, anchor int) *dsp.Grid {
 // bands (no cross-band phase is needed for angle, which is why AoA works
 // even without offset correction). values may be the corrected α or raw
 // measured channels — the per-anchor LO offset is common to all antennas
-// and cancels in the magnitude.
-func (e *Engine) angleSpectrum(freqs []float64, values [][][]complex128, anchor int) []float64 {
+// and cancels in the magnitude. have is an optional presence mask
+// (have[k][anchor]); nil means every band is usable.
+func (e *Engine) angleSpectrum(freqs []float64, values [][][]complex128, have [][]bool, anchor int) []float64 {
 	T := len(e.thetas)
 	K := len(values)
 	l := e.anchors[anchor].Spacing
@@ -98,6 +102,9 @@ func (e *Engine) angleSpectrum(freqs []float64, values [][][]complex128, anchor 
 		sinT := math.Sin(theta)
 		var sum float64
 		for k := 0; k < K; k++ {
+			if have != nil && !have[k][anchor] {
+				continue
+			}
 			w := 2 * math.Pi * freqs[k] / rfsim.SpeedOfLight
 			stepS, stepC := math.Sincos(-w * l * sinT)
 			step := complex(stepC, stepS)
@@ -127,6 +134,9 @@ func (e *Engine) distanceSpectrum(a *Alpha, anchor int) []float64 {
 		for j := 0; j < J; j++ {
 			var acc complex128
 			for k := 0; k < K; k++ {
+				if !a.Present(k, anchor) {
+					continue
+				}
 				w := 2 * math.Pi * a.Freqs[k] / rfsim.SpeedOfLight
 				s, c := math.Sincos(w * (delta - e.anchorDist[anchor]))
 				acc += a.Values[k][anchor][j] * complex(c, s)

@@ -47,11 +47,19 @@ func (e *Engine) polarToXY(polar *dsp.Grid, anchor int) *dsp.Grid {
 // first. The per-anchor maps are also returned for inspection (Fig. 6c,
 // Fig. 8c). Anchors are processed in parallel: each map touches only its
 // own grid, and summation happens after the barrier.
+//
+// In degraded mode (partial alpha), anchors with no usable band are
+// skipped entirely — their perAnchor entry is nil and they contribute
+// nothing to the combined sum, instead of adding a normalized all-zero
+// (or noise-only) map.
 func (e *Engine) Likelihood(a *Alpha) (combined *dsp.Grid, perAnchor []*dsp.Grid) {
 	I := a.NumAnchors()
 	perAnchor = make([]*dsp.Grid, I)
 	var wg sync.WaitGroup
 	for i := 0; i < I; i++ {
+		if a.PresentBands(i) == 0 {
+			continue // absent anchor: no likelihood contribution
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -66,7 +74,9 @@ func (e *Engine) Likelihood(a *Alpha) (combined *dsp.Grid, perAnchor []*dsp.Grid
 	wg.Wait()
 	combined = dsp.NewGrid(e.nx, e.ny)
 	for _, xy := range perAnchor {
-		combined.AddGrid(xy)
+		if xy != nil {
+			combined.AddGrid(xy)
+		}
 	}
 	return combined, perAnchor
 }
@@ -74,7 +84,7 @@ func (e *Engine) Likelihood(a *Alpha) (combined *dsp.Grid, perAnchor []*dsp.Grid
 // AngleLikelihoodXY maps Eq. 15 over the XY plane for one anchor: each
 // cell gets the angular spectrum value of its direction (Fig. 6a).
 func (e *Engine) AngleLikelihoodXY(a *Alpha, anchor int) *dsp.Grid {
-	spec := e.angleSpectrum(a.Freqs, a.Values, anchor)
+	spec := e.angleSpectrum(a.Freqs, a.Values, a.Have, anchor)
 	return e.angleSpectrumToXY(spec, anchor)
 }
 

@@ -33,6 +33,14 @@ type Snapshot struct {
 	// Master[k][0] is unused and set to 1 (an anchor does not overhear
 	// itself; the master's own correction term cancels pairwise, §5.2).
 	Master [][]complex128
+
+	// Have is the presence mask of a partial acquisition: Have[k][i]
+	// reports whether anchor i's measurement row for band k was actually
+	// received. A nil Have means the snapshot is complete (every row
+	// present) — the common case, and the representation all pre-existing
+	// producers emit. Rows with Have[k][i] == false hold zero values and
+	// must be skipped by estimators (see core.Correct).
+	Have [][]bool
 }
 
 // NumBands returns K.
@@ -76,6 +84,115 @@ func NewSnapshot(bands []ble.ChannelIndex, anchors, antennas int) *Snapshot {
 	return s
 }
 
+// Present reports whether anchor i's row for band k was received. A nil
+// mask means the snapshot is complete.
+func (s *Snapshot) Present(k, i int) bool {
+	return s.Have == nil || s.Have[k][i]
+}
+
+// Complete reports whether every (band, anchor) row is present.
+func (s *Snapshot) Complete() bool {
+	if s.Have == nil {
+		return true
+	}
+	for k := range s.Have {
+		for i := range s.Have[k] {
+			if !s.Have[k][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PresentBands returns the number of bands on which anchor i's row is
+// present.
+func (s *Snapshot) PresentBands(i int) int {
+	if s.Have == nil {
+		return len(s.Bands)
+	}
+	n := 0
+	for k := range s.Have {
+		if s.Have[k][i] {
+			n++
+		}
+	}
+	return n
+}
+
+// PresentAnchors returns the indices of anchors with at least minBands
+// present rows (minBands < 1 is treated as 1).
+func (s *Snapshot) PresentAnchors(minBands int) []int {
+	if minBands < 1 {
+		minBands = 1
+	}
+	var out []int
+	for i := 0; i < s.NumAnchors(); i++ {
+		if s.PresentBands(i) >= minBands {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ensureMask materializes the presence mask (all-true) if it is nil.
+func (s *Snapshot) ensureMask() {
+	if s.Have != nil {
+		return
+	}
+	s.Have = make([][]bool, len(s.Tag))
+	for k := range s.Tag {
+		row := make([]bool, len(s.Tag[k]))
+		for i := range row {
+			row[i] = true
+		}
+		s.Have[k] = row
+	}
+}
+
+// MarkMissing records that anchor i's row for band k was not received and
+// zeroes the corresponding channel values so no stale data can leak into
+// a masked sum.
+func (s *Snapshot) MarkMissing(k, i int) {
+	s.ensureMask()
+	s.Have[k][i] = false
+	for j := range s.Tag[k][i] {
+		s.Tag[k][i][j] = 0
+	}
+	if i > 0 {
+		s.Master[k][i] = 0
+	}
+}
+
+// MaskedCopy returns a snapshot sharing s's channel data but owning an
+// independent presence mask, so callers can mark rows missing (ablations,
+// degraded-mode tests) without mutating the original.
+func (s *Snapshot) MaskedCopy() *Snapshot {
+	out := &Snapshot{
+		Bands:  s.Bands,
+		Freqs:  s.Freqs,
+		Tag:    s.Tag,
+		Master: s.Master,
+	}
+	out.Have = make([][]bool, len(s.Tag))
+	for k := range s.Tag {
+		row := make([]bool, len(s.Tag[k]))
+		for i := range row {
+			row[i] = s.Present(k, i)
+		}
+		out.Have[k] = row
+	}
+	return out
+}
+
+// MaskMissing marks (band, anchor) rows missing on a MaskedCopy without
+// touching the shared channel data — unlike MarkMissing it must not zero
+// values, since Tag/Master are shared with the original snapshot.
+func (s *Snapshot) MaskMissing(k, i int) {
+	s.ensureMask()
+	s.Have[k][i] = false
+}
+
 // Validate checks structural consistency.
 func (s *Snapshot) Validate() error {
 	k := len(s.Bands)
@@ -104,6 +221,17 @@ func (s *Snapshot) Validate() error {
 			}
 		}
 	}
+	if s.Have != nil {
+		if len(s.Have) != k {
+			return fmt.Errorf("csi: presence mask has %d bands, snapshot %d", len(s.Have), k)
+		}
+		for b := range s.Have {
+			if len(s.Have[b]) != anchors {
+				return fmt.Errorf("csi: presence mask band %d has %d anchors, snapshot %d",
+					b, len(s.Have[b]), anchors)
+			}
+		}
+	}
 	return nil
 }
 
@@ -125,6 +253,9 @@ func (s *Snapshot) SelectBands(idx []int) (*Snapshot, error) {
 		out.Freqs = append(out.Freqs, s.Freqs[b])
 		out.Tag = append(out.Tag, s.Tag[b])
 		out.Master = append(out.Master, s.Master[b])
+		if s.Have != nil {
+			out.Have = append(out.Have, s.Have[b])
+		}
 	}
 	return out, nil
 }
@@ -147,15 +278,24 @@ func (s *Snapshot) SelectAnchors(anchors []int) (*Snapshot, error) {
 		Tag:    make([][][]complex128, len(s.Bands)),
 		Master: make([][]complex128, len(s.Bands)),
 	}
+	if s.Have != nil {
+		out.Have = make([][]bool, len(s.Bands))
+	}
 	for b := range s.Bands {
 		out.Tag[b] = make([][]complex128, len(anchors))
 		out.Master[b] = make([]complex128, len(anchors))
+		if s.Have != nil {
+			out.Have[b] = make([]bool, len(anchors))
+		}
 		for ni, i := range anchors {
 			if i < 0 || i >= n {
 				return nil, fmt.Errorf("csi: anchor index %d out of range [0,%d)", i, n)
 			}
 			out.Tag[b][ni] = s.Tag[b][i]
 			out.Master[b][ni] = s.Master[b][i]
+			if s.Have != nil {
+				out.Have[b][ni] = s.Have[b][i]
+			}
 		}
 	}
 	return out, nil
@@ -172,6 +312,7 @@ func (s *Snapshot) SelectAntennas(n int) (*Snapshot, error) {
 		Freqs:  s.Freqs,
 		Tag:    make([][][]complex128, len(s.Bands)),
 		Master: s.Master,
+		Have:   s.Have,
 	}
 	for b := range s.Bands {
 		out.Tag[b] = make([][]complex128, len(s.Tag[b]))

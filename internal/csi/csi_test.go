@@ -171,3 +171,81 @@ func TestSelectBandsPreservesCorrespondenceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPresenceMask(t *testing.T) {
+	s := NewSnapshot(fullBands(), 4, 4)
+	if !s.Complete() || s.Have != nil {
+		t.Fatal("fresh snapshot should be complete with nil mask")
+	}
+	if !s.Present(5, 2) || s.PresentBands(2) != 37 {
+		t.Fatal("nil mask must read as all-present")
+	}
+	s.Tag[5][2][0] = 3 + 4i
+	s.MarkMissing(5, 2)
+	if s.Present(5, 2) || s.Complete() {
+		t.Error("row should be missing after MarkMissing")
+	}
+	if s.Tag[5][2][0] != 0 {
+		t.Error("MarkMissing must zero the stale channel values")
+	}
+	if s.PresentBands(2) != 36 || s.PresentBands(1) != 37 {
+		t.Errorf("PresentBands = %d, %d", s.PresentBands(2), s.PresentBands(1))
+	}
+	anchors := s.PresentAnchors(37)
+	if len(anchors) != 3 {
+		t.Errorf("anchors with all 37 bands = %v, want 3 of them", anchors)
+	}
+	if got := s.PresentAnchors(36); len(got) != 4 {
+		t.Errorf("anchors with >=36 bands = %v, want all 4", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("masked snapshot should validate: %v", err)
+	}
+	// Corrupt the mask shape: Validate must catch it.
+	s.Have[0] = s.Have[0][:2]
+	if err := s.Validate(); err == nil {
+		t.Error("short mask row should fail validation")
+	}
+}
+
+func TestMaskedCopySharesDataOwnsMask(t *testing.T) {
+	s := NewSnapshot(fullBands(), 4, 2)
+	s.Tag[3][1][0] = 7i
+	c := s.MaskedCopy()
+	c.MaskMissing(3, 1)
+	if s.Have != nil {
+		t.Error("masking the copy must not touch the original's mask")
+	}
+	if s.Tag[3][1][0] != 7i || c.Tag[3][1][0] != 7i {
+		t.Error("MaskMissing must not zero shared channel data")
+	}
+	if c.Present(3, 1) || !c.Present(3, 0) {
+		t.Error("copy mask wrong")
+	}
+}
+
+func TestSelectCarriesMask(t *testing.T) {
+	s := NewSnapshot(fullBands(), 4, 4)
+	s.MarkMissing(10, 3)
+	sub, err := s.SelectBands([]int{10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Present(0, 3) || !sub.Present(1, 3) {
+		t.Error("SelectBands lost the mask")
+	}
+	sa, err := s.SelectAnchors([]int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Present(10, 1) || !sa.Present(10, 0) || !sa.Present(11, 1) {
+		t.Error("SelectAnchors lost the mask")
+	}
+	st, err := s.SelectAntennas(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Present(10, 3) || !st.Present(9, 3) {
+		t.Error("SelectAntennas lost the mask")
+	}
+}

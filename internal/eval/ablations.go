@@ -6,6 +6,7 @@ import (
 
 	"bloc/internal/ble"
 	"bloc/internal/core"
+	"bloc/internal/csi"
 	"bloc/internal/geom"
 	"bloc/internal/rfsim"
 	"bloc/internal/testbed"
@@ -119,6 +120,90 @@ func BaselinesTable(rs []BaselineResult) *Table {
 	}
 	for _, r := range rs {
 		t.AddRow(r.Name, Cm(r.Stats.Median), Cm(r.Stats.P90))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Quorum degradation: the fault-tolerant acquisition plane completes
+// rounds from partial snapshots (anchors silenced, bands lost), so this
+// ablation measures what each level of degradation costs in accuracy —
+// the table that justifies the server's MinAnchors/MinBands defaults.
+
+// QuorumPoint is one degradation scenario.
+type QuorumPoint struct {
+	Name    string
+	Anchors int // anchors still contributing rows
+	Stats   ErrorStats
+}
+
+// AblationQuorum evaluates BLoc on the shared dataset under the partial
+// snapshots the locserver produces in degraded mode: the last n anchors
+// silenced for n in 0..N−2 (the estimator's floor is two anchors), and a
+// deterministic fraction of (band, anchor) rows masked — master rows
+// included, which invalidates the whole band for everyone, exactly like a
+// dropped master report.
+func (s *Suite) AblationQuorum() ([]QuorumPoint, error) {
+	N := len(s.Dep.Anchors)
+	type scenario struct {
+		name    string
+		anchors int
+		prep    func(*csi.Snapshot) (*csi.Snapshot, error)
+	}
+	scenarios := []scenario{{name: "all anchors, all bands", anchors: N}}
+	for n := 1; n <= N-2; n++ {
+		n := n
+		scenarios = append(scenarios, scenario{
+			name:    fmt.Sprintf("%d anchor(s) silenced", n),
+			anchors: N - n,
+			prep: func(snap *csi.Snapshot) (*csi.Snapshot, error) {
+				m := snap.MaskedCopy()
+				for k := range m.Bands {
+					for i := N - n; i < N; i++ {
+						m.MaskMissing(k, i)
+					}
+				}
+				return m, nil
+			},
+		})
+	}
+	for _, pct := range []int{5, 15, 30} {
+		pct := pct
+		scenarios = append(scenarios, scenario{
+			name:    fmt.Sprintf("%d%% of rows lost", pct),
+			anchors: N,
+			prep: func(snap *csi.Snapshot) (*csi.Snapshot, error) {
+				m := snap.MaskedCopy()
+				for k := range m.Bands {
+					for i := 0; i < N; i++ {
+						if (k*31+i*17+pct*7)%100 < pct {
+							m.MaskMissing(k, i)
+						}
+					}
+				}
+				return m, nil
+			},
+		})
+	}
+	out := make([]QuorumPoint, 0, len(scenarios))
+	for _, sc := range scenarios {
+		errs, err := s.Errors(s.Eng, EstimatorBLoc, sc.prep)
+		if err != nil {
+			return nil, fmt.Errorf("quorum %q: %w", sc.name, err)
+		}
+		out = append(out, QuorumPoint{Name: sc.name, Anchors: sc.anchors, Stats: NewErrorStats(errs)})
+	}
+	return out, nil
+}
+
+// QuorumTable renders the degradation ladder.
+func QuorumTable(ps []QuorumPoint) *Table {
+	t := &Table{
+		Title:   "Ablation — partial-snapshot degradation (quorum localization)",
+		Columns: []string{"scenario", "anchors", "median (cm)", "p90 (cm)"},
+	}
+	for _, p := range ps {
+		t.AddRow(p.Name, fmt.Sprint(p.Anchors), Cm(p.Stats.Median), Cm(p.Stats.P90))
 	}
 	return t
 }

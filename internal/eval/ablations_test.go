@@ -34,6 +34,30 @@ func TestAblationScoreDecomposition(t *testing.T) {
 	}
 }
 
+func TestAblationQuorum(t *testing.T) {
+	s := newTestSuite(t, 12)
+	ps, err := s.AblationQuorum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 anchors: full, 1 silenced, 2 silenced, plus three loss fractions.
+	if len(ps) != 6 {
+		t.Fatalf("got %d scenarios", len(ps))
+	}
+	if ps[0].Anchors != 4 || ps[1].Anchors != 3 || ps[2].Anchors != 2 {
+		t.Errorf("anchor ladder wrong: %+v", ps[:3])
+	}
+	for _, p := range ps {
+		if p.Stats.Median <= 0 || p.Stats.Median > 6 {
+			t.Errorf("scenario %q: degenerate median %.2f", p.Name, p.Stats.Median)
+		}
+		t.Logf("%-24s anchors=%d median %.2f m", p.Name, p.Anchors, p.Stats.Median)
+	}
+	if !strings.Contains(QuorumTable(ps).String(), "silenced") {
+		t.Error("table missing scenarios")
+	}
+}
+
 func TestAblationWeights(t *testing.T) {
 	s := newTestSuite(t, 10)
 	ps, err := s.AblationWeights([]float64{0.05, 0.1}, []float64{0, 0.05})

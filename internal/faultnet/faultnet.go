@@ -1,0 +1,172 @@
+// Package faultnet wraps net.Conn and net.Listener with seeded,
+// deterministic fault injection: silent write drops, delivery delays,
+// split (partial) writes and mid-stream connection resets. It exists so
+// the acquisition plane's soak tests can subject a full server+anchors
+// testbed to the loss and churn real BLE deployments see, while staying
+// reproducible — every fault decision is drawn from a PCG stream derived
+// from the configured seed, never from the global RNG or the clock.
+//
+// The wire protocol writes exactly one frame per Write call
+// (wire.WriteFrame), so DropProb models whole-frame loss: a dropped Write
+// reports success and delivers nothing, exactly like a lost UDP datagram
+// or a BLE frame that failed its CRC. Resets are partial writes followed
+// by a hard close — the receiver sees a truncated stream and a read
+// error, which is how TCP surfaces a peer dying mid-frame.
+package faultnet
+
+import (
+	"errors"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is returned by writes after an injected reset.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// Config sets the fault probabilities. All probabilities are per Write
+// call; zero values inject nothing, so Config{} is a transparent wrapper.
+type Config struct {
+	// Seed derives every conn's fault stream. Two runs with the same
+	// seed, config and traffic order make identical drop decisions.
+	Seed uint64
+	// DropProb silently discards a whole Write (reports success).
+	DropProb float64
+	// DelayProb sleeps a uniform [0, MaxDelay) before the write,
+	// modelling scheduling jitter and queueing.
+	DelayProb float64
+	MaxDelay  time.Duration
+	// SplitProb delivers a Write in two separate underlying writes,
+	// exercising frame reassembly on the receiver.
+	SplitProb float64
+	// ResetProb writes a random prefix of the buffer, then closes the
+	// connection and fails this and every later write with
+	// ErrInjectedReset — a mid-stream reset that leaves the peer with a
+	// truncated frame.
+	ResetProb float64
+}
+
+// Conn wraps a net.Conn with fault injection on the write path. Reads
+// pass through untouched: byte-level read faults would only desynchronize
+// framing in ways the write-side faults already cover.
+type Conn struct {
+	net.Conn
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	cfg    Config
+	broken bool
+
+	// Drops counts silently discarded writes (for test assertions).
+	drops int
+}
+
+// WrapConn wraps c with fault injection; salt individualizes the fault
+// stream (use a per-connection counter or anchor id).
+func WrapConn(c net.Conn, cfg Config, salt uint64) *Conn {
+	return &Conn{
+		Conn: c,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewPCG(cfg.Seed^0xFA017, salt)),
+	}
+}
+
+// Write applies the configured faults to one write.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.broken {
+		c.mu.Unlock()
+		return 0, ErrInjectedReset
+	}
+	roll := c.rng.Float64()
+	drop := roll < c.cfg.DropProb
+	roll = c.rng.Float64()
+	delay := time.Duration(0)
+	if roll < c.cfg.DelayProb && c.cfg.MaxDelay > 0 {
+		delay = time.Duration(c.rng.Int64N(int64(c.cfg.MaxDelay)))
+	}
+	split := c.rng.Float64() < c.cfg.SplitProb
+	splitAt := 0
+	if split && len(p) > 1 {
+		splitAt = 1 + c.rng.IntN(len(p)-1)
+	}
+	reset := c.rng.Float64() < c.cfg.ResetProb
+	var resetAt int
+	if reset {
+		c.broken = true
+		if len(p) > 0 {
+			resetAt = c.rng.IntN(len(p))
+		}
+	}
+	if drop {
+		c.drops++
+	}
+	c.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		return len(p), nil // silent frame loss
+	}
+	if reset {
+		c.Conn.Write(p[:resetAt]) // best effort truncated delivery
+		c.Conn.Close()
+		return resetAt, ErrInjectedReset
+	}
+	if splitAt > 0 {
+		n, err := c.Conn.Write(p[:splitAt])
+		if err != nil {
+			return n, err
+		}
+		m, err := c.Conn.Write(p[splitAt:])
+		return n + m, err
+	}
+	return c.Conn.Write(p)
+}
+
+// ForceReset closes the underlying connection and fails all later writes,
+// independent of probabilities — the hook soak tests use to force churn
+// at a chosen moment.
+func (c *Conn) ForceReset() {
+	c.mu.Lock()
+	c.broken = true
+	c.mu.Unlock()
+	c.Conn.Close()
+}
+
+// Drops returns how many writes were silently discarded so far.
+func (c *Conn) Drops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drops
+}
+
+// Listener wraps every accepted connection with fault injection. Each
+// conn gets its own deterministic stream (seeded by an accept counter).
+type Listener struct {
+	net.Listener
+	cfg Config
+
+	mu sync.Mutex
+	n  uint64
+}
+
+// Wrap returns a fault-injecting listener.
+func Wrap(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+// Accept wraps the next accepted connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.n++
+	salt := l.n
+	l.mu.Unlock()
+	return WrapConn(conn, l.cfg, salt), nil
+}

@@ -1,0 +1,184 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"bloc/internal/wire"
+)
+
+// pipePair returns a wrapped client conn talking to a raw server conn.
+func pipePair(t *testing.T, cfg Config, salt uint64) (*Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type acc struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan acc, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- acc{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	t.Cleanup(func() { client.Close(); a.c.Close() })
+	return WrapConn(client, cfg, salt), a.c
+}
+
+func TestTransparentWhenZeroConfig(t *testing.T) {
+	c, server := pipePair(t, Config{}, 1)
+	msg := []byte("hello world")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("got %q", buf)
+	}
+}
+
+func TestDropRateIsDeterministic(t *testing.T) {
+	count := func() (drops int) {
+		c, server := pipePair(t, Config{Seed: 7, DropProb: 0.05}, 3)
+		go io.Copy(io.Discard, server)
+		for i := 0; i < 1000; i++ {
+			if _, err := c.Write([]byte("frame")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Drops()
+	}
+	d1, d2 := count(), count()
+	if d1 != d2 {
+		t.Errorf("same seed produced different drop counts: %d vs %d", d1, d2)
+	}
+	// ~5% of 1000 with generous slack.
+	if d1 < 20 || d1 > 100 {
+		t.Errorf("drop count %d implausible for p=0.05", d1)
+	}
+}
+
+func TestSplitWritesReassemble(t *testing.T) {
+	c, server := pipePair(t, Config{Seed: 9, SplitProb: 1}, 5)
+	var got []byte
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b, _ := io.ReadAll(server)
+		mu.Lock()
+		got = b
+		mu.Unlock()
+	}()
+	// Frames written through a splitting conn must still parse on the
+	// other side: the stream content is unchanged, only segmentation.
+	var want bytes.Buffer
+	for i := 0; i < 20; i++ {
+		hb := &wire.Heartbeat{Nonce: uint32(i)}
+		if err := wire.Send(c, hb); err != nil {
+			t.Fatal(err)
+		}
+		wire.Send(&want, hb)
+	}
+	c.Close()
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("split stream corrupted: %d bytes vs %d", len(got), want.Len())
+	}
+}
+
+func TestResetBreaksConnPermanently(t *testing.T) {
+	c, server := pipePair(t, Config{Seed: 11, ResetProb: 1}, 6)
+	go io.Copy(io.Discard, server)
+	if _, err := c.Write([]byte("doomed frame")); err != ErrInjectedReset {
+		t.Fatalf("first write err = %v, want injected reset", err)
+	}
+	if _, err := c.Write([]byte("after")); err != ErrInjectedReset {
+		t.Fatalf("post-reset write err = %v", err)
+	}
+}
+
+func TestForceReset(t *testing.T) {
+	c, server := pipePair(t, Config{}, 8)
+	c.ForceReset()
+	if _, err := c.Write([]byte("x")); err != ErrInjectedReset {
+		t.Errorf("write after ForceReset = %v", err)
+	}
+	// The peer sees the close.
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := server.Read(make([]byte, 1)); err == nil {
+		t.Error("peer read should fail after ForceReset")
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := Wrap(raw, Config{Seed: 13, DropProb: 1})
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		if _, ok := conn.(*Conn); !ok {
+			t.Errorf("accepted conn is %T, want *faultnet.Conn", conn)
+		}
+		// All writes dropped: peer must read nothing until close.
+		conn.Write([]byte("vanishes"))
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	<-done
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _ := client.Read(make([]byte, 16))
+	if n != 0 {
+		t.Errorf("read %d bytes through a 100%% drop conn", n)
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	c, server := pipePair(t, Config{Seed: 17, DelayProb: 1, MaxDelay: 30 * time.Millisecond}, 9)
+	go io.Copy(io.Discard, server)
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if _, err := c.Write([]byte("frame")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 20 writes × U[0,30) ms ≈ 300 ms expected; require some visible
+	// slowdown without being timing-flaky.
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("20 delayed writes took only %v", elapsed)
+	}
+}

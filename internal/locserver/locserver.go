@@ -3,6 +3,17 @@
 // assembles complete snapshots per acquisition round and hands them to a
 // localization callback, broadcasting the resulting fix back to the
 // anchors.
+//
+// The acquisition plane is fault tolerant. Every round follows the
+// lifecycle pending → quorum-complete | deadline-complete | evicted: a
+// round that receives every row completes immediately (full); when a
+// RoundDeadline is configured, a round that reaches the deadline with at
+// least MinAnchors anchors holding MinBands usable bands completes as a
+// partial snapshot whose presence mask tells the estimator which rows to
+// trust (partial); anything below quorum is evicted. Completed and evicted
+// rounds are tombstoned so straggler rows cannot resurrect them. Optional
+// server→anchor heartbeats prune connections whose daemons stopped
+// answering.
 package locserver
 
 import (
@@ -13,6 +24,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"time"
 
 	"bloc/internal/ble"
 	"bloc/internal/csi"
@@ -28,10 +40,41 @@ type Config struct {
 	// OnSnapshot is called with each completed round's snapshot (tag
 	// identifies which tag the round belongs to); the returned point is
 	// broadcast to the anchors as the fix. Returning an error drops the
-	// round (logged, not fatal).
+	// round (logged, not fatal). Partial rounds deliver a snapshot with a
+	// presence mask (snap.Complete() == false).
 	OnSnapshot func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error)
 	// Logger defaults to slog.Default().
 	Logger *slog.Logger
+
+	// RoundDeadline bounds how long a round may stay pending after its
+	// first row. 0 disables deadlines: rounds wait forever for every row
+	// (the pre-fault-tolerance behavior).
+	RoundDeadline time.Duration
+	// MinAnchors is the quorum: a deadline-expired round completes as a
+	// partial snapshot only if at least this many anchors contributed
+	// MinBands usable bands (a band is usable for anchor i only if the
+	// master's row for that band also arrived — correction needs ĥ00).
+	// Defaults to 2 (the estimator's floor) when RoundDeadline is set.
+	MinAnchors int
+	// MinBands is the per-anchor usefulness floor for quorum counting.
+	// Defaults to 1 when RoundDeadline is set.
+	MinBands int
+
+	// HeartbeatInterval enables server→anchor liveness probes: every
+	// interval each authenticated connection gets a heartbeat, and a
+	// connection that misses HeartbeatMisses consecutive probes without
+	// echoing any of them is pruned. 0 disables heartbeats.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is the prune threshold (default 3).
+	HeartbeatMisses int
+}
+
+// Stats counts round outcomes.
+type Stats struct {
+	Full    int // rounds completed with every row
+	Partial int // rounds completed at deadline with a quorum
+	Evicted int // rounds abandoned at deadline below quorum
+	Pruned  int // connections dropped by heartbeat misses
 }
 
 // Server collects CSI and serves fixes.
@@ -44,8 +87,11 @@ type Server struct {
 	rounds  map[roundKey]*pendingRound
 	done    map[roundKey]bool // completed rounds (bounded; see ingest)
 	conns   map[*client]struct{}
+	stats   Stats
 	fixes   chan wire.Fix // completed fixes, for observers/tests
+	closed  chan struct{} // signals heartbeat loop shutdown
 	wg      sync.WaitGroup
+	timerWG sync.WaitGroup // deadline completions in flight
 	closing bool
 }
 
@@ -61,10 +107,12 @@ type roundKey struct {
 }
 
 // client is one connected anchor; writeMu serializes frames written by
-// concurrent round completions so they never interleave.
+// concurrent round completions so they never interleave. misses counts
+// unanswered heartbeats (guarded by Server.mu, like id).
 type client struct {
 	conn    net.Conn
 	id      uint8
+	misses  int
 	writeMu sync.Mutex
 }
 
@@ -75,12 +123,29 @@ func (c *client) send(msg any) error {
 }
 
 type pendingRound struct {
-	snap *csi.Snapshot
-	got  map[[2]uint16]bool // (anchorID, bandIdx) already received
+	snap  *csi.Snapshot
+	got   map[[2]uint16]bool // (anchorID, bandIdx) already received
+	timer *time.Timer        // deadline; nil when RoundDeadline is 0
 }
 
 // New starts a server listening on addr (e.g. "127.0.0.1:0").
 func New(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("locserver: listen: %w", err)
+	}
+	s, err := NewWithListener(ln, cfg)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewWithListener starts a server on an existing listener; the server
+// takes ownership and closes it on Close. Tests use this to interpose
+// fault-injecting listeners.
+func NewWithListener(ln net.Listener, cfg Config) (*Server, error) {
 	if cfg.Anchors < 2 || cfg.Antennas < 1 || len(cfg.Bands) == 0 {
 		return nil, fmt.Errorf("locserver: invalid config %+v", cfg)
 	}
@@ -90,9 +155,22 @@ func New(addr string, cfg Config) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("locserver: listen: %w", err)
+	if cfg.RoundDeadline > 0 {
+		if cfg.MinAnchors == 0 {
+			cfg.MinAnchors = 2
+		}
+		if cfg.MinBands == 0 {
+			cfg.MinBands = 1
+		}
+		if cfg.MinAnchors < 2 || cfg.MinAnchors > cfg.Anchors {
+			return nil, fmt.Errorf("locserver: MinAnchors %d outside [2,%d]", cfg.MinAnchors, cfg.Anchors)
+		}
+		if cfg.MinBands < 1 || cfg.MinBands > len(cfg.Bands) {
+			return nil, fmt.Errorf("locserver: MinBands %d outside [1,%d]", cfg.MinBands, len(cfg.Bands))
+		}
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 3
 	}
 	s := &Server{
 		cfg:    cfg,
@@ -102,9 +180,14 @@ func New(addr string, cfg Config) (*Server, error) {
 		done:   make(map[roundKey]bool),
 		conns:  make(map[*client]struct{}),
 		fixes:  make(chan wire.Fix, 64),
+		closed: make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if cfg.HeartbeatInterval > 0 {
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	}
 	return s, nil
 }
 
@@ -114,10 +197,28 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Fixes returns a channel of completed fixes (buffered; drops when full).
 func (s *Server) Fixes() <-chan wire.Fix { return s.fixes }
 
-// Close stops the listener and all connections.
+// Stats returns a snapshot of the round-outcome counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops the listener, all connections, pending round timers and the
+// heartbeat loop, and waits for every in-flight completion.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	wasClosing := s.closing
 	s.closing = true
+	if !wasClosing {
+		close(s.closed)
+	}
+	for rk, pr := range s.rounds {
+		if pr.timer != nil {
+			pr.timer.Stop()
+		}
+		delete(s.rounds, rk)
+	}
 	conns := make([]*client, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
@@ -128,6 +229,7 @@ func (s *Server) Close() error {
 		c.conn.Close()
 	}
 	s.wg.Wait()
+	s.timerWG.Wait()
 	return err
 }
 
@@ -146,6 +248,52 @@ func (s *Server) acceptLoop() {
 		}
 		s.wg.Add(1)
 		go s.handle(conn)
+	}
+}
+
+// heartbeatLoop probes every authenticated connection each interval and
+// prunes the ones that stopped echoing.
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	var nonce uint32
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-ticker.C:
+		}
+		nonce++
+		type probe struct {
+			cl    *client
+			id    uint8
+			prune bool
+		}
+		s.mu.Lock()
+		probes := make([]probe, 0, len(s.conns))
+		for c := range s.conns {
+			if c.id == 0xFF {
+				continue // hello not finished; the read path handles it
+			}
+			c.misses++
+			dead := c.misses > s.cfg.HeartbeatMisses
+			if dead {
+				s.stats.Pruned++
+			}
+			probes = append(probes, probe{cl: c, id: c.id, prune: dead})
+		}
+		s.mu.Unlock()
+		for _, p := range probes {
+			if p.prune {
+				s.log.Warn("anchor unresponsive, pruning", "anchor", p.id)
+				p.cl.conn.Close() // its handler exits and deregisters
+				continue
+			}
+			if err := p.cl.send(&wire.Heartbeat{Nonce: nonce}); err != nil {
+				p.cl.conn.Close()
+			}
+		}
 	}
 }
 
@@ -199,20 +347,27 @@ func (s *Server) handle(conn net.Conn) {
 		msg, err := wire.Receive(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Framing garbage, oversized frames and truncated payloads
+				// all land here: the malformed client is dropped, the
+				// server carries on.
 				s.log.Warn("read failed", "anchor", hello.AnchorID, "err", err)
 			}
 			return
 		}
-		row, ok := msg.(*wire.CSIRow)
-		if !ok {
-			s.log.Warn("unexpected message type", "anchor", hello.AnchorID)
-			continue
+		switch m := msg.(type) {
+		case *wire.CSIRow:
+			if m.AnchorID != hello.AnchorID {
+				s.log.Warn("anchor id spoofed in row", "hello", hello.AnchorID, "row", m.AnchorID)
+				continue
+			}
+			s.ingest(m)
+		case *wire.Heartbeat:
+			s.mu.Lock()
+			cl.misses = 0
+			s.mu.Unlock()
+		default:
+			s.log.Warn("unexpected message type", "anchor", hello.AnchorID, "msg", fmt.Sprintf("%T", msg))
 		}
-		if row.AnchorID != hello.AnchorID {
-			s.log.Warn("anchor id spoofed in row", "hello", hello.AnchorID, "row", row.AnchorID)
-			continue
-		}
-		s.ingest(row)
 	}
 }
 
@@ -235,6 +390,9 @@ func (s *Server) ingest(row *wire.CSIRow) {
 			snap: csi.NewSnapshot(s.cfg.Bands, s.cfg.Anchors, s.cfg.Antennas),
 			got:  make(map[[2]uint16]bool),
 		}
+		if s.cfg.RoundDeadline > 0 {
+			pr.timer = time.AfterFunc(s.cfg.RoundDeadline, func() { s.roundDeadline(rk) })
+		}
 		s.rounds[rk] = pr
 	}
 	key := [2]uint16{uint16(row.AnchorID), row.BandIdx}
@@ -246,30 +404,103 @@ func (s *Server) ingest(row *wire.CSIRow) {
 		}
 		if len(pr.got) == s.cfg.Anchors*len(s.cfg.Bands) {
 			complete = pr.snap
-			delete(s.rounds, rk)
-			if len(s.done) >= maxDoneRounds {
-				s.done = make(map[roundKey]bool)
+			if pr.timer != nil {
+				pr.timer.Stop()
 			}
-			s.done[rk] = true
+			delete(s.rounds, rk)
+			s.markDoneLocked(rk)
+			s.stats.Full++
 		}
 	}
 	s.mu.Unlock()
 
-	if complete == nil {
+	if complete != nil {
+		s.complete(rk, complete)
+	}
+}
+
+// roundDeadline fires when a pending round's deadline expires: the round
+// either completes partially (quorum met, missing rows masked) or is
+// evicted. Either way it is tombstoned so stragglers cannot resurrect it.
+func (s *Server) roundDeadline(rk roundKey) {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
 		return
 	}
-	loc, err := s.cfg.OnSnapshot(row.TagID, row.Round, complete)
+	pr := s.rounds[rk]
+	if pr == nil {
+		s.mu.Unlock()
+		return // completed in the meantime
+	}
+	delete(s.rounds, rk)
+	s.markDoneLocked(rk)
+
+	// A band is usable for anchor i only when both i's row and the
+	// master's row arrived: without ĥ00 there is nothing to correct
+	// against (Eq. 10).
+	K := len(s.cfg.Bands)
+	usable := func(i int) int {
+		n := 0
+		for k := 0; k < K; k++ {
+			if pr.got[[2]uint16{uint16(i), uint16(k)}] && pr.got[[2]uint16{0, uint16(k)}] {
+				n++
+			}
+		}
+		return n
+	}
+	present := 0
+	for i := 0; i < s.cfg.Anchors; i++ {
+		if usable(i) >= s.cfg.MinBands {
+			present++
+		}
+	}
+	if present < s.cfg.MinAnchors {
+		s.stats.Evicted++
+		s.mu.Unlock()
+		s.log.Warn("round evicted at deadline", "tag", rk.tag, "round", rk.round,
+			"present", present, "quorum", s.cfg.MinAnchors)
+		return
+	}
+	snap := pr.snap
+	for k := 0; k < K; k++ {
+		for i := 0; i < s.cfg.Anchors; i++ {
+			if !pr.got[[2]uint16{uint16(i), uint16(k)}] {
+				snap.MaskMissing(k, i)
+			}
+		}
+	}
+	s.stats.Partial++
+	s.timerWG.Add(1)
+	s.mu.Unlock()
+	defer s.timerWG.Done()
+	s.log.Info("round completed partially", "tag", rk.tag, "round", rk.round,
+		"present", present, "rows", len(pr.got), "of", s.cfg.Anchors*K)
+	s.complete(rk, snap)
+}
+
+// markDoneLocked tombstones a round. Caller holds s.mu.
+func (s *Server) markDoneLocked(rk roundKey) {
+	if len(s.done) >= maxDoneRounds {
+		s.done = make(map[roundKey]bool)
+	}
+	s.done[rk] = true
+}
+
+// complete localizes one assembled snapshot and broadcasts the fix.
+func (s *Server) complete(rk roundKey, snap *csi.Snapshot) {
+	loc, err := s.cfg.OnSnapshot(rk.tag, rk.round, snap)
 	if err != nil {
-		s.log.Error("localization failed", "tag", row.TagID, "round", row.Round, "err", err)
+		s.log.Error("localization failed", "tag", rk.tag, "round", rk.round, "err", err)
 		return
 	}
-	fix := wire.Fix{Round: row.Round, TagID: row.TagID, X: loc.X, Y: loc.Y}
+	fix := wire.Fix{Round: rk.round, TagID: rk.tag, X: loc.X, Y: loc.Y}
 	select {
 	case s.fixes <- fix:
 	default: // observer not draining; drop rather than block ingestion
 	}
 	s.broadcast(&fix)
-	s.log.Info("fix", "tag", row.TagID, "round", row.Round, "x", loc.X, "y", loc.Y)
+	s.log.Info("fix", "tag", rk.tag, "round", rk.round, "x", loc.X, "y", loc.Y)
 }
 
 // broadcast sends the fix to every connected anchor.

@@ -41,6 +41,7 @@ func TestUnmarshalersNeverPanic(t *testing.T) {
 		UnmarshalHello(buf)
 		UnmarshalCSIRow(buf)
 		UnmarshalFix(buf)
+		UnmarshalHeartbeat(buf)
 	}
 }
 

@@ -33,9 +33,10 @@ type MsgType uint8
 
 // Message types.
 const (
-	TypeHello  MsgType = 1 // anchor → server: identification
-	TypeCSIRow MsgType = 2 // anchor → server: one band's measurements
-	TypeFix    MsgType = 3 // server → anchor: completed location estimate
+	TypeHello     MsgType = 1 // anchor → server: identification
+	TypeCSIRow    MsgType = 2 // anchor → server: one band's measurements
+	TypeFix       MsgType = 3 // server → anchor: completed location estimate
+	TypeHeartbeat MsgType = 4 // server → anchor ping; anchor echoes it back
 )
 
 // String implements fmt.Stringer.
@@ -47,6 +48,8 @@ func (t MsgType) String() string {
 		return "csi-row"
 	case TypeFix:
 		return "fix"
+	case TypeHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -82,19 +85,27 @@ type Fix struct {
 	X, Y  float64
 }
 
-// WriteFrame writes one framed message.
+// Heartbeat is a liveness probe. The server sends one periodically to
+// every connected anchor; the anchor echoes it back unchanged, so both
+// sides learn the link is alive without waiting for a write to fail.
+type Heartbeat struct {
+	Nonce uint32
+}
+
+// WriteFrame writes one framed message. Header and payload go out in a
+// single Write call, so a frame is an atomic unit at the transport layer
+// (one frame per Write is also what the fault-injection wrappers in
+// internal/faultnet rely on to model whole-frame loss).
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("wire: payload %d exceeds max frame size", len(payload))
 	}
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	hdr[4] = byte(t)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("wire: write payload: %w", err)
+	buf := make([]byte, 5+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	buf[4] = byte(t)
+	copy(buf[5:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }
@@ -223,6 +234,19 @@ func UnmarshalFix(b []byte) (*Fix, error) {
 	}, nil
 }
 
+// Marshal encodes the Heartbeat payload.
+func (h *Heartbeat) Marshal() []byte {
+	return binary.LittleEndian.AppendUint32(make([]byte, 0, 4), h.Nonce)
+}
+
+// UnmarshalHeartbeat decodes a Heartbeat payload.
+func UnmarshalHeartbeat(b []byte) (*Heartbeat, error) {
+	if len(b) != 4 {
+		return nil, fmt.Errorf("wire: heartbeat payload %d bytes, want 4", len(b))
+	}
+	return &Heartbeat{Nonce: binary.LittleEndian.Uint32(b)}, nil
+}
+
 // Send marshals and writes a message in one call.
 func Send(w io.Writer, msg any) error {
 	switch m := msg.(type) {
@@ -232,6 +256,8 @@ func Send(w io.Writer, msg any) error {
 		return WriteFrame(w, TypeCSIRow, m.Marshal())
 	case *Fix:
 		return WriteFrame(w, TypeFix, m.Marshal())
+	case *Heartbeat:
+		return WriteFrame(w, TypeHeartbeat, m.Marshal())
 	default:
 		return fmt.Errorf("wire: cannot send %T", msg)
 	}
@@ -250,6 +276,8 @@ func Receive(r io.Reader) (any, error) {
 		return UnmarshalCSIRow(payload)
 	case TypeFix:
 		return UnmarshalFix(payload)
+	case TypeHeartbeat:
+		return UnmarshalHeartbeat(payload)
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %v", t)
 	}

@@ -141,6 +141,7 @@ func TestSendReceiveDispatch(t *testing.T) {
 		&Hello{Version: ProtocolVersion, AnchorID: 1, Antennas: 4, Bands: 37},
 		&CSIRow{Round: 2, AnchorID: 1, BandIdx: 5, Tag: []complex128{1 + 2i, 3 - 4i}, Master: 5i},
 		&Fix{Round: 2, X: 0.5, Y: -0.5},
+		&Heartbeat{Nonce: 0xC0FFEE},
 	}
 	for _, m := range msgs {
 		if err := Send(&buf, m); err != nil {
@@ -166,6 +167,10 @@ func TestSendReceiveDispatch(t *testing.T) {
 			if *got.(*Fix) != *want {
 				t.Errorf("fix mismatch")
 			}
+		case *Heartbeat:
+			if *got.(*Heartbeat) != *want {
+				t.Errorf("heartbeat mismatch")
+			}
 		}
 	}
 	if err := Send(&buf, "nonsense"); err == nil {
@@ -180,7 +185,48 @@ func TestSendReceiveDispatch(t *testing.T) {
 
 func TestMsgTypeString(t *testing.T) {
 	if TypeHello.String() != "hello" || TypeCSIRow.String() != "csi-row" ||
-		TypeFix.String() != "fix" || MsgType(9).String() != "MsgType(9)" {
+		TypeFix.String() != "fix" || TypeHeartbeat.String() != "heartbeat" ||
+		MsgType(9).String() != "MsgType(9)" {
 		t.Error("MsgType strings wrong")
 	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	hb := &Heartbeat{Nonce: 42}
+	got, err := UnmarshalHeartbeat(hb.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *hb {
+		t.Errorf("got %+v, want %+v", got, hb)
+	}
+	if _, err := UnmarshalHeartbeat([]byte{1, 2}); err == nil {
+		t.Error("short heartbeat should fail")
+	}
+}
+
+// TestWriteFrameSingleWrite pins the one-Write-per-frame property the
+// faultnet wrappers depend on: dropping a Write must drop exactly one
+// whole frame, never a header/payload half.
+func TestWriteFrameSingleWrite(t *testing.T) {
+	cw := &countingWriter{}
+	if err := WriteFrame(cw, TypeCSIRow, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if cw.calls != 1 {
+		t.Errorf("WriteFrame issued %d writes, want 1", cw.calls)
+	}
+	if cw.n != 5+3 {
+		t.Errorf("WriteFrame wrote %d bytes, want 8", cw.n)
+	}
+}
+
+type countingWriter struct {
+	calls, n int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.calls++
+	c.n += len(p)
+	return len(p), nil
 }
