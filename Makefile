@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race soak vet bench figures figures-full clean
+.PHONY: all build test race soak vet lint ci fuzz bench figures figures-full clean
 
-all: vet test build
+all: vet lint test build
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,25 @@ soak:
 		./internal/locserver/ ./internal/anchor/ ./internal/faultnet/
 
 vet:
-	gofmt -l . && $(GO) vet ./...
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$files"; \
+		exit 1; \
+	fi
+	$(GO) vet ./...
+
+# Domain-aware static analysis (units, radians, mutex contracts, float
+# equality, goroutine leaks); see internal/lint and DESIGN.md §8.
+lint: build
+	$(GO) run ./cmd/bloc-lint ./...
+
+# Everything CI runs, in CI's order.
+ci: vet lint test race
+
+# Native fuzzing smoke pass over the wire protocol's seed corpus.
+fuzz:
+	$(GO) test -fuzz=. -fuzztime=10s -run '^$$' ./internal/wire/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

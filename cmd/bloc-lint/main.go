@@ -1,0 +1,22 @@
+// Command bloc-lint runs BLoc's domain-aware static analyzers over the
+// packages matching its arguments (default ./...) and exits non-zero on
+// findings. See internal/lint for the analyzers and the //lint:ignore
+// suppression convention, and DESIGN.md §8 for the invariants each one
+// guards.
+//
+// Usage:
+//
+//	bloc-lint [-analyzers unitcheck,floateq] [-list] [packages...]
+//
+// Exit status: 0 clean, 1 findings, 2 load or type-check failure.
+package main
+
+import (
+	"os"
+
+	"bloc/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Stdout, os.Stderr, "", os.Args[1:]))
+}

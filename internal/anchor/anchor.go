@@ -103,13 +103,13 @@ type Daemon struct {
 	Dial func(addr string) (net.Conn, error)
 
 	mu         sync.Mutex
-	state      connState
-	conn       net.Conn
-	addr       string
-	gen        int // connection generation; stale failures are ignored
-	buf        []*wire.CSIRow
-	dropped    int
-	reconnects int
+	state      connState      // guarded by mu
+	conn       net.Conn       // guarded by mu
+	addr       string         // guarded by mu
+	gen        int            // connection generation; stale failures are ignored; guarded by mu
+	buf        []*wire.CSIRow // outage resend buffer; guarded by mu
+	dropped    int            // guarded by mu
+	reconnects int            // guarded by mu
 	closed     chan struct{}
 	wg         sync.WaitGroup
 }

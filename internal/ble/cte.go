@@ -150,6 +150,7 @@ func EstimateCTE(cfg CTEConfig, samples []CTESample) ([]complex128, float64, err
 	}
 	// Normalize to antenna 0.
 	ref := out[0]
+	//lint:ignore floateq an exactly zero reference channel is the failure sentinel
 	if cmplx.Abs(ref) == 0 {
 		return nil, 0, fmt.Errorf("ble: zero reference channel")
 	}

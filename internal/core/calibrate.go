@@ -53,6 +53,7 @@ func EstimateCalibration(anchors []geom.Array, txPos []geom.Point, freqs []float
 					return nil, fmt.Errorf("core: measurement missing for anchor %d antenna %d band %d", i, j, k)
 				}
 				m0, mj := meas[k][i][0], meas[k][i][j]
+				//lint:ignore floateq exactly zero measurements mark dropped reference links
 				if cmplx.Abs(m0) == 0 || cmplx.Abs(mj) == 0 {
 					continue
 				}

@@ -70,6 +70,7 @@ func (e *Engine) polarLikelihood(a *Alpha, anchor int) *dsp.Grid {
 				b += av[j] * rot
 				rot *= step
 			}
+			//lint:ignore floateq skip beamforming sums that are exactly zero
 			if b == 0 {
 				continue
 			}

@@ -50,6 +50,7 @@ func JacobiSymmetric(a [][]float64) (eig []float64, v [][]float64, err error) {
 		v[i] = make([]float64, n)
 		v[i][i] = 1
 	}
+	//lint:ignore floateq an exactly zero matrix short-circuits to zero eigenvalues
 	if maxAbs == 0 {
 		eig = make([]float64, n)
 		return eig, v, nil
@@ -177,6 +178,7 @@ func HermitianNoiseProjector(a [][]complex128, signalDims int) ([][]complex128, 
 	for e := 0; e < noiseDim; e++ {
 		for i := 0; i < 2*n; i++ {
 			vi := v[i][e]
+			//lint:ignore floateq skip eigenvector components that are exactly zero
 			if vi == 0 {
 				continue
 			}

@@ -129,6 +129,7 @@ func Convolve(a, b []float64) []float64 {
 	}
 	out := make([]float64, len(a)+len(b)-1)
 	for i, av := range a {
+		//lint:ignore floateq sparse convolution skips exactly-zero taps
 		if av == 0 {
 			continue
 		}

@@ -229,6 +229,7 @@ func (g *Grid) PeakNegentropy(ix, iy, diameter, stride int) float64 {
 		contrast[i] = v - minV
 		sum += contrast[i]
 	}
+	//lint:ignore floateq a perfectly flat window sums to exactly zero
 	if sum == 0 {
 		return 0 // perfectly flat window: no peak at all
 	}

@@ -98,11 +98,13 @@ func LinearFit(x, y []float64) (a, b, r2 float64) {
 		sxy += dx * dy
 		syy += dy * dy
 	}
+	//lint:ignore floateq sxx is exactly zero only for a constant abscissa
 	if sxx == 0 {
 		return my, 0, 0
 	}
 	b = sxy / sxx
 	a = my - b*mx
+	//lint:ignore floateq syy is exactly zero only for a constant ordinate
 	if syy == 0 {
 		return a, b, 1
 	}

@@ -121,6 +121,7 @@ func Entropy(w []float64) float64 {
 			sum += x
 		}
 	}
+	//lint:ignore floateq exact-zero mass guard before normalization
 	if sum == 0 {
 		return 0
 	}

@@ -76,9 +76,11 @@ func Acquire(d *testbed.Deployment, opts AcquireOptions) (*Dataset, error) {
 	if opts.Positions <= 0 {
 		opts.Positions = 300
 	}
+	//lint:ignore floateq unset option sentinel is exactly zero
 	if opts.MinSep == 0 {
 		opts.MinSep = 0.04
 	}
+	//lint:ignore floateq unset option sentinel is exactly zero
 	if opts.Margin == 0 {
 		opts.Margin = 0.25
 	}

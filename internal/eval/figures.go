@@ -376,6 +376,7 @@ func (s *Suite) Fig13(cellM float64) (*Fig13Result, error) {
 	for iy := 0; iy < ny; iy++ {
 		for ix := 0; ix < nx; ix++ {
 			c := count.At(ix, iy)
+			//lint:ignore floateq the count grid holds exact integers
 			if c == 0 {
 				rmse.Set(ix, iy, math.NaN())
 				continue

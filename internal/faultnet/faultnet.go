@@ -54,11 +54,12 @@ type Conn struct {
 	net.Conn
 
 	mu     sync.Mutex
-	rng    *rand.Rand
+	rng    *rand.Rand // guarded by mu
 	cfg    Config
-	broken bool
+	broken bool // guarded by mu
 
 	// Drops counts silently discarded writes (for test assertions).
+	// guarded by mu
 	drops int
 }
 
@@ -150,7 +151,7 @@ type Listener struct {
 	cfg Config
 
 	mu sync.Mutex
-	n  uint64
+	n  uint64 // accept counter; guarded by mu
 }
 
 // Wrap returns a fault-injecting listener.

@@ -80,6 +80,7 @@ func (v Vector) NormSq() float64 { return v.X*v.X + v.Y*v.Y }
 // unchanged.
 func (v Vector) Unit() Vector {
 	n := v.Norm()
+	//lint:ignore floateq degenerate zero-norm vector guard is exact
 	if n == 0 {
 		return v
 	}
@@ -129,6 +130,7 @@ func (s Segment) Normal() Vector { return s.Direction().Perp() }
 func (s Segment) Reflect(p Point) Point {
 	d := s.B.Sub(s.A)
 	den := d.NormSq()
+	//lint:ignore floateq degenerate zero-length wall guard is exact
 	if den == 0 {
 		// Degenerate wall: mirror across the single point.
 		return Point{2*s.A.X - p.X, 2*s.A.Y - p.Y}
@@ -147,12 +149,15 @@ func (s Segment) Intersect(t Segment) (p Point, ok bool) {
 	q := t.B.Sub(t.A)
 	den := r.Cross(q)
 	diff := t.A.Sub(s.A)
+	//lint:ignore floateq parallel-segment cross product is compared exactly
 	if den == 0 {
+		//lint:ignore floateq collinearity cross product is compared exactly
 		if diff.Cross(r) != 0 {
 			return Point{}, false // parallel, non-intersecting
 		}
 		// Collinear: project t onto s and check overlap.
 		rr := r.NormSq()
+		//lint:ignore floateq degenerate zero-length segment guard is exact
 		if rr == 0 {
 			if s.A == t.A || s.A == t.B {
 				return s.A, true

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AngleCheck guards the radian discipline of Eq. 17 (and every steering
+// vector in the MUSIC/likelihood pipeline): math.Sin-family functions and
+// complex rotors take radians, so a *Deg-suffixed value reaching one
+// without a visible ×π/180 conversion is a bug. The analyzer flags:
+//
+//   - degree-suffixed values flowing into the radian argument of
+//     math.Sin/Cos/Tan/Sincos, cmplx.Exp and cmplx.Rect without a
+//     conversion marker (math.Pi, a 180 literal, or a Rad()-style call)
+//     in the same argument expression;
+//   - additive arithmetic or comparison mixing *Deg and *Rad identifiers.
+var AngleCheck = &Analyzer{
+	Name: "anglecheck",
+	Doc:  "radian discipline: no *Deg values into trig/rotor calls, no Deg/Rad mixing",
+	Run:  runAngleCheck,
+}
+
+// radianArgs maps qualified functions to the indices of their
+// radian-typed arguments.
+var radianArgs = map[string][]int{
+	"math.Sin":        {0},
+	"math.Cos":        {0},
+	"math.Tan":        {0},
+	"math.Sincos":     {0},
+	"math/cmplx.Exp":  {0},
+	"math/cmplx.Rect": {1},
+}
+
+// angleUnit classifies a name as carrying degrees or radians by suffix.
+func angleUnit(name string) string {
+	switch {
+	case strings.HasSuffix(name, "Deg"), strings.HasSuffix(name, "Degrees"),
+		name == "deg", name == "degrees":
+		return "deg"
+	case strings.HasSuffix(name, "Rad"), strings.HasSuffix(name, "Radians"),
+		name == "rad", name == "radians":
+		return "rad"
+	}
+	return ""
+}
+
+func runAngleCheck(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				angleCheckCall(p, n)
+			case *ast.BinaryExpr:
+				angleCheckBinary(p, n)
+			}
+			return true
+		})
+	}
+}
+
+func angleCheckCall(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok || p.Info == nil {
+		return
+	}
+	pn, ok := p.Info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return
+	}
+	args, ok := radianArgs[pn.Imported().Path()+"."+sel.Sel.Name]
+	if !ok {
+		return
+	}
+	for _, idx := range args {
+		if idx >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[idx]
+		if deg := findDegIdent(arg); deg != "" && !hasRadConversion(arg) {
+			p.Reportf(arg.Pos(), "degree-suffixed value %q reaches radian argument of %s.%s without a deg→rad conversion",
+				deg, ident.Name, sel.Sel.Name)
+		}
+	}
+}
+
+// findDegIdent returns the first degree-suffixed identifier inside e.
+func findDegIdent(e ast.Expr) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && angleUnit(id.Name) == "deg" {
+			found = id.Name
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hasRadConversion reports whether e visibly converts degrees to radians:
+// it mentions math.Pi, a 180 literal, or calls a function whose name
+// signals radians (Rad, DegToRad, Radians...).
+func hasRadConversion(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if n.Name == "Pi" {
+				found = true
+			}
+		case *ast.BasicLit:
+			if n.Kind == token.INT || n.Kind == token.FLOAT {
+				if v := strings.TrimSuffix(n.Value, ".0"); v == "180" {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			name := ""
+			switch fn := n.Fun.(type) {
+			case *ast.Ident:
+				name = fn.Name
+			case *ast.SelectorExpr:
+				name = fn.Sel.Name
+			}
+			if angleUnit(name) == "rad" || strings.Contains(name, "Rad") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func angleCheckBinary(p *Pass, b *ast.BinaryExpr) {
+	if !unitAdditiveOps[b.Op] {
+		return
+	}
+	ux, uy := exprAngleUnit(b.X), exprAngleUnit(b.Y)
+	if ux != "" && uy != "" && ux != uy {
+		p.Reportf(b.OpPos, "angle-unit mismatch: %s operand %q %s %s operand %q",
+			ux, p.ExprString(b.X), b.Op, uy, p.ExprString(b.Y))
+	}
+}
+
+func exprAngleUnit(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return angleUnit(e.Name)
+	case *ast.SelectorExpr:
+		return angleUnit(e.Sel.Name)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return exprAngleUnit(e.X)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Exit codes of the bloc-lint driver.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one finding
+	ExitError    = 2 // usage, load or type-check failure
+)
+
+// Main is the bloc-lint driver: it loads the packages matching the
+// pattern arguments (default ./...) relative to dir ("" = current
+// directory), runs every analyzer (or the -analyzers subset), prints
+// findings to out as file:line:col: [analyzer] message, and returns the
+// process exit code. Errors go to errOut.
+func Main(out, errOut io.Writer, dir string, args []string) int {
+	fs := flag.NewFlagSet("bloc-lint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var only string
+	fs.StringVar(&only, "analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	if *list {
+		for _, a := range All {
+			fmt.Fprintf(out, "%-11s %s\n", a.Name, a.Doc)
+		}
+		return ExitClean
+	}
+	analyzers := All
+	if only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(only, ",") {
+			a := ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(errOut, "bloc-lint: unknown analyzer %q\n", name)
+				return ExitError
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	pkgs, err := Load(dir, fs.Args())
+	if err != nil {
+		fmt.Fprintf(errOut, "bloc-lint: %v\n", err)
+		return ExitError
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, f := range RunPackage(pkg, analyzers) {
+			fmt.Fprintln(out, f)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(errOut, "bloc-lint: %d finding(s)\n", total)
+		return ExitFindings
+	}
+	return ExitClean
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for the driver to lint.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const badSource = `package main
+
+const freqMHz = 2402.0
+const hopHz = 2e6
+
+var oops = freqMHz * hopHz
+
+func main() {}
+`
+
+// TestDriverExitCodes drives Main end to end against a temp module:
+// findings exit 1 with file:line:col output, a //lint:ignore flips the
+// same module to exit 0, and load failures exit 2.
+func TestDriverExitCodes(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module lintfixture\n\ngo 1.22\n",
+		"main.go": badSource,
+	})
+
+	var out, errOut bytes.Buffer
+	if code := Main(&out, &errOut, dir, []string{"./..."}); code != ExitFindings {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitFindings, errOut.String())
+	}
+	if !strings.Contains(out.String(), "main.go:6:20: [unitcheck]") {
+		t.Fatalf("output missing file:line:col finding:\n%s", out.String())
+	}
+
+	// The same violation under a //lint:ignore exits clean.
+	suppressed := strings.Replace(badSource,
+		"var oops =",
+		"//lint:ignore unitcheck deliberate fixture for the driver test\nvar oops =", 1)
+	dir2 := writeModule(t, map[string]string{
+		"go.mod":  "module lintfixture\n\ngo 1.22\n",
+		"main.go": suppressed,
+	})
+	out.Reset()
+	errOut.Reset()
+	if code := Main(&out, &errOut, dir2, []string{"./..."}); code != ExitClean {
+		t.Fatalf("suppressed module: exit = %d, want %d\nstdout: %s\nstderr: %s",
+			code, ExitClean, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("suppressed module still printed findings:\n%s", out.String())
+	}
+
+	// A pattern that matches nothing loadable is a load error.
+	out.Reset()
+	errOut.Reset()
+	if code := Main(&out, &errOut, dir, []string{"./doesnotexist"}); code != ExitError {
+		t.Fatalf("bad pattern: exit = %d, want %d", code, ExitError)
+	}
+}
+
+// TestDriverAnalyzerSelection checks -analyzers subsetting and the
+// unknown-analyzer error path.
+func TestDriverAnalyzerSelection(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module lintfixture\n\ngo 1.22\n",
+		"main.go": badSource,
+	})
+	var out, errOut bytes.Buffer
+	// floateq alone has nothing to say about the unit bug.
+	if code := Main(&out, &errOut, dir, []string{"-analyzers", "floateq", "./..."}); code != ExitClean {
+		t.Fatalf("floateq-only exit = %d, want %d\n%s", code, ExitClean, out.String())
+	}
+	if code := Main(&out, &errOut, dir, []string{"-analyzers", "bogus", "./..."}); code != ExitError {
+		t.Fatalf("unknown analyzer exit = %d, want %d", code, ExitError)
+	}
+}

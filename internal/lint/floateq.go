@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between float or complex operands in non-test
+// code. The DSP pipeline (MUSIC eigendecompositions, Eq. 13's projector,
+// phase unwrapping) produces values where bit-exact equality is
+// meaningless; comparisons should use a tolerance. Comparisons against
+// an exact-zero literal are still flagged — zero sentinels in float code
+// deserve an explicit //lint:ignore with the reason they are exact.
+// Test files never reach the analyzers (the loader only parses GoFiles).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on float or complex operands outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			if isFloatOrComplex(p, b.X) || isFloatOrComplex(p, b.Y) {
+				p.Reportf(b.OpPos, "%s on %s operands %q and %q; compare with a tolerance",
+					b.Op, operandKind(p, b), p.ExprString(b.X), p.ExprString(b.Y))
+			}
+			return true
+		})
+	}
+}
+
+func isFloatOrComplex(p *Pass, e ast.Expr) bool {
+	typ := p.Info.TypeOf(e)
+	if typ == nil {
+		return false
+	}
+	basic, ok := typ.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func operandKind(p *Pass, b *ast.BinaryExpr) string {
+	for _, e := range [2]ast.Expr{b.X, b.Y} {
+		if typ := p.Info.TypeOf(e); typ != nil {
+			if basic, ok := typ.Underlying().(*types.Basic); ok && basic.Info()&types.IsComplex != 0 {
+				return "complex"
+			}
+		}
+	}
+	return "float"
+}

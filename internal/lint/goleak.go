@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak flags `go func(){...}()` statements in non-test code whose
+// closure body contains no completion signal: no sync.WaitGroup.Done
+// call, no channel send or close, and no channel receive (the shape a
+// <-ctx.Done() / <-quit cancellation takes). PR 1's acquisition plane
+// leans on goroutines that must all be joinable at Close; a fire-and-
+// forget goroutine with none of those signals is either a leak or an
+// untracked lifetime.
+//
+// Named-function launches (`go s.acceptLoop()`) are out of scope — the
+// signal lives in the callee, which is beyond this intra-procedural
+// check.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutine closures must carry a completion signal (WaitGroup.Done, channel send/close, or a cancellation receive)",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !hasCompletionSignal(p, lit.Body) {
+				p.Reportf(g.Pos(), "goroutine closure has no completion signal (WaitGroup.Done, channel send/close, or cancellation receive)")
+			}
+			return true
+		})
+	}
+}
+
+func hasCompletionSignal(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true // any receive doubles as a cancellation point
+			}
+		case *ast.RangeStmt:
+			// `for v := range ch` over a channel blocks until the
+			// producer closes it — a completion signal in itself.
+			if p.Info != nil {
+				if typ := p.Info.TypeOf(n.X); typ != nil {
+					if _, ok := typ.Underlying().(*types.Chan); ok {
+						found = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			switch fn := n.Fun.(type) {
+			case *ast.Ident:
+				if fn.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fn.Sel.Name == "Done" && isWaitGroup(p, fn.X) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroup reports whether e is a sync.WaitGroup (or pointer to one),
+// distinguishing wg.Done() from context.Context's Done() accessor.
+func isWaitGroup(p *Pass, e ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	typ := p.Info.TypeOf(e)
+	if typ == nil {
+		return false
+	}
+	if ptr, ok := typ.Underlying().(*types.Pointer); ok {
+		typ = ptr.Elem()
+	}
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

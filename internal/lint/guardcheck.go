@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardCheck turns the acquisition plane's "// guarded by <mutex>"
+// comments (PR 1's concurrency contracts) into a machine-checked
+// invariant. A struct field whose doc or trailing comment contains
+// "guarded by <name>" (the name may be qualified, e.g. Server.mu; only
+// the final component is the mutex field) must only be read or written
+// from functions that acquire that mutex somewhere in their body — a
+// call to <x>.<name>.Lock() or <x>.<name>.RLock() — or whose name ends
+// in "Locked" (the caller-holds-the-lock convention).
+//
+// The check is conservative and intra-procedural: any acquisition
+// anywhere in the enclosing function body counts, so it only flags
+// functions with no locking on any path. Composite-literal
+// initialization (before the value escapes) is not flagged.
+var GuardCheck = &Analyzer{
+	Name: "guardcheck",
+	Doc:  "mutex contracts: fields commented 'guarded by <mu>' are only touched by functions that lock <mu> (or are *Locked)",
+	Run:  runGuardCheck,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+func runGuardCheck(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			guardCheckFunc(p, guards, fd)
+		}
+	}
+}
+
+// collectGuards maps each guarded field object to its mutex field name.
+func collectGuards(p *Pass) map[*types.Var]string {
+	guards := make(map[*types.Var]string)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardFromComments(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						guards[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardFromComments extracts the mutex field name from a field's doc or
+// line comment; "Server.mu" style qualifications reduce to "mu".
+func guardFromComments(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			spec := m[1]
+			if i := strings.LastIndexByte(spec, '.'); i >= 0 {
+				spec = spec[i+1:]
+			}
+			return strings.TrimRight(spec, ".")
+		}
+	}
+	return ""
+}
+
+func guardCheckFunc(p *Pass, guards map[*types.Var]string, fd *ast.FuncDecl) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return // caller-holds-the-lock convention
+	}
+	// Which mutexes does this function acquire anywhere in its body?
+	acquired := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			acquired[x.Sel.Name] = true
+		case *ast.Ident:
+			acquired[x.Name] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := p.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		mu, guarded := guards[field]
+		if !guarded || acquired[mu] {
+			return true
+		}
+		p.Reportf(sel.Sel.Pos(), "%s accesses %q (guarded by %s) but never locks %s",
+			fd.Name.Name, field.Name(), mu, mu)
+		return true
+	})
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive marker. The full grammar is
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the offending line (trailing comment) or on the line
+// directly above it. "all" matches every analyzer.
+const ignorePrefix = "//lint:ignore"
+
+// ignoreIndex maps file → line → set of suppressed analyzer names. A
+// directive on line L suppresses findings on lines L and L+1.
+type ignoreIndex struct {
+	byLine map[string]map[int]map[string]bool
+}
+
+// buildIgnoreIndex scans every comment for directives. Malformed
+// directives (missing reason, unknown analyzer) are returned as findings
+// under the pseudo-analyzer "lint" so they cannot silently suppress
+// nothing.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (*ignoreIndex, []Finding) {
+	ix := &ignoreIndex{byLine: make(map[string]map[int]map[string]bool)}
+	var bad []Finding
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Finding{Pos: fset.Position(pos), Analyzer: "lint", Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					report(c.Pos(), "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"")
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				valid := true
+				for _, name := range names {
+					if name != "all" && ByName(name) == nil {
+						report(c.Pos(), "//lint:ignore names unknown analyzer "+strconv.Quote(name))
+						valid = false
+					}
+				}
+				if !valid {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ix.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					ix.byLine[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, name := range names {
+					set[name] = true
+				}
+			}
+		}
+	}
+	return ix, bad
+}
+
+// suppressed reports whether f is covered by a directive on its line or
+// the line above.
+func (ix *ignoreIndex) suppressed(f Finding) bool {
+	if f.Analyzer == "lint" {
+		return false // directives cannot suppress directive errors
+	}
+	lines := ix.byLine[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		if set := lines[line]; set != nil && (set[f.Analyzer] || set["all"]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+// Package lint is BLoc's self-contained static-analysis framework: a
+// handful of domain-aware analyzers that machine-check invariants the Go
+// compiler cannot see — frequency-unit bookkeeping (Eq. 10/14 operate on
+// Hz), radian discipline in steering-vector math (Eq. 17), the
+// "// guarded by <mutex>" concurrency contracts of the acquisition plane,
+// float equality, and goroutine completion signals.
+//
+// The framework uses only the standard library (go/parser, go/ast,
+// go/types, go/importer); packages are enumerated with `go list -json`
+// and type-checked from source, so the module keeps its zero-dependency
+// property. The cmd/bloc-lint driver runs every analyzer and exits
+// non-zero on findings.
+//
+// Findings can be suppressed with a directive on the offending line or
+// the line above it:
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// The reason is mandatory; a directive without one (or naming an unknown
+// analyzer) is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding as file:line:col: [analyzer] message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in output and //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer guards.
+	Doc string
+	// Run inspects the package behind pass and reports findings.
+	Run func(*Pass)
+}
+
+// All lists every analyzer the driver runs, in output order.
+var All = []*Analyzer{UnitCheck, AngleCheck, GuardCheck, FloatEq, GoLeak}
+
+// ByName resolves an analyzer by its Name.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExprString renders an expression compactly for diagnostics.
+func (p *Pass) ExprString(e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, p.Fset, e); err != nil {
+		return "?"
+	}
+	return sb.String()
+}
+
+// RunPackage runs the given analyzers over one loaded package and returns
+// the surviving (non-suppressed) findings sorted by position. Malformed
+// //lint:ignore directives are reported under the pseudo-analyzer "lint".
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	ix, bad := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	findings = append(findings, bad...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			analyzer: a,
+			findings: &findings,
+		}
+		a.Run(pass)
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		if !ix.suppressed(f) {
+			kept = append(kept, f)
+		}
+	}
+	sortFindings(kept)
+	return kept
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

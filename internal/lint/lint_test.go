@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the expected.golden files")
+
+// loadFixture parses and type-checks every .go file in dir as one
+// package, the same way the driver's loader does for real packages.
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("fixture", fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return &Package{ImportPath: "fixture", Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+// render prints findings with basenames so goldens are location-stable.
+func render(findings []Finding) string {
+	var sb strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&sb, "%s:%d:%d: [%s] %s\n",
+			filepath.Base(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	return sb.String()
+}
+
+// TestAnalyzerGoldens runs each analyzer over its fixture directory
+// (positive.go with deliberate violations, clean.go without) and
+// compares the findings to expected.golden. Run with -update to
+// regenerate.
+func TestAnalyzerGoldens(t *testing.T) {
+	for _, a := range All {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			pkg := loadFixture(t, dir)
+			got := render(RunPackage(pkg, []*Analyzer{a}))
+			goldenPath := filepath.Join(dir, "expected.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run go test -run Goldens -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings diverge from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+			if !strings.Contains(got, "positive.go") {
+				t.Errorf("%s did not flag its positive fixture", a.Name)
+			}
+			if strings.Contains(got, "clean.go") {
+				t.Errorf("%s flagged its clean fixture", a.Name)
+			}
+		})
+	}
+}
+
+// TestIgnoreDirectives exercises the suppression machinery directly:
+// same-line and line-above placement, the "all" wildcard, and the
+// malformed-directive findings.
+func TestIgnoreDirectives(t *testing.T) {
+	src := `package p
+
+const aHz = 1.0
+const bMHz = 2.0
+
+//lint:ignore unitcheck above-the-line suppression
+var x = aHz * bMHz
+
+var y = aHz * bMHz //lint:ignore all same-line wildcard suppression
+
+var z = aHz * bMHz
+
+//lint:ignore unitcheck
+var missingReason = aHz * bMHz
+
+//lint:ignore nosuchanalyzer bogus name
+var unknownName = aHz * bMHz
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{ImportPath: "p", Fset: fset, Files: []*ast.File{f}}
+	findings := RunPackage(pkg, []*Analyzer{UnitCheck})
+	var lines []string
+	for _, fd := range findings {
+		lines = append(lines, fd.String())
+	}
+	joined := strings.Join(lines, "\n")
+	// x and y are suppressed; z plus the two malformed directives and the
+	// two findings they failed to suppress remain.
+	wantSubstrings := []string{
+		"p.go:11:13: [unitcheck]",
+		"p.go:13:1: [lint] malformed //lint:ignore",
+		"p.go:14:25: [unitcheck]",
+		"p.go:16:1: [lint] //lint:ignore names unknown analyzer \"nosuchanalyzer\"",
+		"p.go:17:23: [unitcheck]",
+	}
+	for _, w := range wantSubstrings {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing %q in findings:\n%s", w, joined)
+		}
+	}
+	if len(findings) != len(wantSubstrings) {
+		t.Errorf("got %d findings, want %d:\n%s", len(findings), len(wantSubstrings), joined)
+	}
+	for _, w := range []string{":7:", ":9:"} {
+		if strings.Contains(joined, "p.go"+w) {
+			t.Errorf("suppressed finding at line %s leaked:\n%s", w, joined)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package fixture
+
+import "math"
+
+// Radian-disciplined code the analyzer must not flag.
+
+var phiDeg = 45.0
+
+// Visible deg→rad conversion inside the argument.
+var sinPhi = math.Sin(phiDeg * math.Pi / 180)
+
+// Plain radian math.
+var cosThird = math.Cos(math.Pi / 3)

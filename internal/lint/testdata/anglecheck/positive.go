@@ -1,0 +1,15 @@
+package fixture
+
+import "math"
+
+// Deliberate violations of the radian discipline (Eq. 17's steering
+// angles are radians).
+
+var thetaDeg = 30.0
+var thetaRad = math.Pi / 6
+
+// Degrees handed straight to a radian-taking call.
+var sinTheta = math.Sin(thetaDeg)
+
+// Degrees and radians summed.
+var total = thetaDeg + thetaRad

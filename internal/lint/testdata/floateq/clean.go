@@ -1,0 +1,9 @@
+package fixture
+
+import "math"
+
+// Tolerance-based comparison and integer equality are fine.
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func sameInt(a, b int) bool { return a == b }

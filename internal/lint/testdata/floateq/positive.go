@@ -1,0 +1,7 @@
+package fixture
+
+// Bit-exact float comparisons the analyzer must flag.
+
+func sameFloat(a, b float64) bool { return a == b }
+
+func nonzero(z complex128) bool { return z != 0 }

@@ -1,0 +1,37 @@
+package fixture
+
+import "sync"
+
+// Goroutines with completion signals the analyzer must not flag.
+func tracked() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+
+	quit := make(chan struct{})
+	results := make(chan int)
+	go func() {
+		select {
+		case results <- 42:
+		case <-quit:
+		}
+	}()
+	close(quit)
+
+	feed := make(chan int, 1)
+	feed <- 7
+	close(feed)
+	go func() {
+		for range feed {
+		}
+	}()
+}

@@ -1,0 +1,13 @@
+package fixture
+
+// A fire-and-forget goroutine with no completion signal: nothing joins
+// it, nothing can cancel it.
+func leak() {
+	go func() {
+		total := 0
+		for i := 0; i < 1000; i++ {
+			total += i
+		}
+		_ = total
+	}()
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+// read locks the contract mutex.
+func (g *gauge) read() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// bumpLocked follows the caller-holds-the-lock naming convention.
+func (g *gauge) bumpLocked() { g.v++ }
+
+// newGauge initializes via composite literal, which is not an access.
+func newGauge() *gauge { return &gauge{v: 1} }

@@ -1,0 +1,14 @@
+package fixture
+
+import "sync"
+
+// counter's n carries a machine-checked mutex contract.
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// bad reads n without ever locking mu.
+func (c *counter) bad() int {
+	return c.n
+}

@@ -1,0 +1,15 @@
+package fixture
+
+// Unit-disciplined code the analyzer must not flag.
+
+const chanWidthHz = 2e6
+const baseHz = 2.402e9
+
+var upper = baseHz + 40*chanWidthHz
+
+func wavelengthM(freqHz float64) float64 { return 3e8 / freqHz }
+
+// A true violation silenced by the suppression convention.
+//
+//lint:ignore unitcheck demonstrates the //lint:ignore convention
+var suppressed = baseHz + 2402

@@ -1,0 +1,17 @@
+package fixture
+
+// Deliberate violations of the frequency-unit discipline; the expected
+// findings live in expected.golden.
+
+const hopHz = 2e6
+const freqMHz = 2402.0
+
+// Mixing MHz and Hz in one expression — the Eq. 10 footgun where a phase
+// slope ends up 1e6 off.
+var mixed = freqMHz * hopHz
+
+// A raw MHz-scale literal combined with an Hz value.
+var shifted = hopHz + 2402
+
+// A frequency parameter whose unit no call site can know.
+func phaseSlope(freq float64) float64 { return 2 * freq }

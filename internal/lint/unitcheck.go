@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// UnitCheck guards the frequency bookkeeping of Eq. 10 and Eq. 14: phase
+// slopes are computed over absolute frequencies in Hz, and a single
+// operand expressed in MHz (a raw "2402"-style literal, or an identifier
+// suffixed MHz) silently scales a delay estimate by 10⁶. The analyzer
+// flags three shapes:
+//
+//   - arithmetic or comparison mixing identifiers with different
+//     frequency-unit suffixes (Hz, kHz, MHz, GHz);
+//   - additive/comparison combination of a *Hz-suffixed value with a raw
+//     MHz-scale numeric literal (an integer ≥ 1000 written without an
+//     exponent, e.g. 2402);
+//   - float-typed function parameters named like a frequency (freq, fc,
+//     f0, ...) that lack a unit suffix, so call sites cannot tell which
+//     unit they must pass.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "frequency-unit discipline: no Hz/kHz/MHz/GHz mixing, no raw MHz-scale literals against *Hz values, unit suffixes on frequency parameters",
+	Run:  runUnitCheck,
+}
+
+// freqUnitSuffixes is checked longest-first so MHz wins over Hz.
+var freqUnitSuffixes = []string{"GHz", "MHz", "KHz", "kHz", "Hz"}
+
+// freqUnit returns the canonical frequency unit a name carries as a
+// suffix ("" if none). Matching is case-sensitive and longest-first, so
+// "fcHz" is Hz while "BandwidthsMHz" is MHz, and "buzz" matches nothing.
+func freqUnit(name string) string {
+	for _, u := range freqUnitSuffixes {
+		if strings.HasSuffix(name, u) {
+			if u == "KHz" {
+				return "kHz"
+			}
+			return u
+		}
+	}
+	return ""
+}
+
+var unitCheckOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+var unitAdditiveOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func runUnitCheck(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				unitCheckBinary(p, n)
+			case *ast.FuncDecl:
+				unitCheckParams(p, n.Type)
+			}
+			return true
+		})
+	}
+}
+
+func unitCheckBinary(p *Pass, b *ast.BinaryExpr) {
+	if !unitCheckOps[b.Op] {
+		return
+	}
+	ux, uy := exprFreqUnit(p, b.X), exprFreqUnit(p, b.Y)
+	if ux != "" && uy != "" && ux != uy {
+		p.Reportf(b.OpPos, "frequency-unit mismatch: %s operand %q %s %s operand %q",
+			ux, p.ExprString(b.X), b.Op, uy, p.ExprString(b.Y))
+		return
+	}
+	if !unitAdditiveOps[b.Op] {
+		return
+	}
+	if ux != "" && isRawScaleLiteral(b.Y) {
+		p.Reportf(b.OpPos, "raw literal %s combined with %s value %q; spell the unit (e.g. 2.402e9 or a *%s constant)",
+			p.ExprString(b.Y), ux, p.ExprString(b.X), ux)
+	} else if uy != "" && isRawScaleLiteral(b.X) {
+		p.Reportf(b.OpPos, "raw literal %s combined with %s value %q; spell the unit (e.g. 2.402e9 or a *%s constant)",
+			p.ExprString(b.X), uy, p.ExprString(b.Y), uy)
+	}
+}
+
+// exprFreqUnit infers the frequency unit an expression carries from the
+// suffix of its identifier, selector, called function, or — through
+// conversions and unary +/- — its operand.
+func exprFreqUnit(p *Pass, e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return freqUnit(e.Name)
+	case *ast.SelectorExpr:
+		return freqUnit(e.Sel.Name)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return exprFreqUnit(p, e.X)
+		}
+	case *ast.CallExpr:
+		// Conversions like float64(fcHz) keep the operand's unit.
+		if p.Info != nil && len(e.Args) == 1 {
+			if tv, ok := p.Info.Types[e.Fun]; ok && tv.IsType() {
+				return exprFreqUnit(p, e.Args[0])
+			}
+		}
+		switch fn := e.Fun.(type) {
+		case *ast.Ident:
+			return freqUnit(fn.Name)
+		case *ast.SelectorExpr:
+			return freqUnit(fn.Sel.Name)
+		}
+	}
+	return ""
+}
+
+// isRawScaleLiteral reports whether e is a bare numeric literal of MHz
+// magnitude written without scientific notation — the "2402" style that
+// belies a forgotten ×1e6.
+func isRawScaleLiteral(e ast.Expr) bool {
+	e = unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = unparen(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return false
+	}
+	if strings.ContainsAny(lit.Value, "eExXbBoO") {
+		return false // exponent or non-decimal literals state their intent
+	}
+	v, err := strconv.ParseFloat(strings.ReplaceAll(lit.Value, "_", ""), 64)
+	if err != nil {
+		return false
+	}
+	return v >= 1000
+}
+
+// unitCheckParams flags float-typed parameters that are named like a
+// frequency but carry no unit suffix.
+func unitCheckParams(p *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		if !isFloatType(p, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if isFreqName(name.Name) && freqUnit(name.Name) == "" {
+				p.Reportf(name.Pos(), "frequency parameter %q lacks a unit suffix (rename to e.g. %sHz)",
+					name.Name, name.Name)
+			}
+		}
+	}
+}
+
+func isFreqName(n string) bool {
+	l := strings.ToLower(n)
+	return l == "fc" || l == "f0" || strings.HasPrefix(l, "freq") || strings.Contains(l, "frequency")
+}
+
+func isFloatType(p *Pass, t ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	typ := p.Info.TypeOf(t)
+	if typ == nil {
+		return false
+	}
+	basic, ok := typ.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

@@ -84,15 +84,15 @@ type Server struct {
 	log *slog.Logger
 
 	mu      sync.Mutex
-	rounds  map[roundKey]*pendingRound
-	done    map[roundKey]bool // completed rounds (bounded; see ingest)
-	conns   map[*client]struct{}
-	stats   Stats
-	fixes   chan wire.Fix // completed fixes, for observers/tests
-	closed  chan struct{} // signals heartbeat loop shutdown
+	rounds  map[roundKey]*pendingRound // guarded by mu
+	done    map[roundKey]bool          // completed rounds (bounded; see ingest); guarded by mu
+	conns   map[*client]struct{}       // guarded by mu
+	stats   Stats                      // guarded by mu
+	fixes   chan wire.Fix              // completed fixes, for observers/tests
+	closed  chan struct{}              // signals heartbeat loop shutdown
 	wg      sync.WaitGroup
 	timerWG sync.WaitGroup // deadline completions in flight
-	closing bool
+	closing bool           // guarded by mu
 }
 
 // maxDoneRounds bounds the completed-round memory; older entries are
@@ -107,12 +107,11 @@ type roundKey struct {
 }
 
 // client is one connected anchor; writeMu serializes frames written by
-// concurrent round completions so they never interleave. misses counts
-// unanswered heartbeats (guarded by Server.mu, like id).
+// concurrent round completions so they never interleave.
 type client struct {
 	conn    net.Conn
-	id      uint8
-	misses  int
+	id      uint8 // guarded by Server.mu
+	misses  int   // unanswered heartbeat count; guarded by Server.mu
 	writeMu sync.Mutex
 }
 

@@ -56,6 +56,7 @@ func NoNoise() *Noise { return &Noise{} }
 
 // Apply returns h plus a complex Gaussian sample.
 func (n *Noise) Apply(h complex128) complex128 {
+	//lint:ignore floateq Sigma == 0 is the noise-off sentinel
 	if n.Sigma == 0 || n.rng == nil {
 		return h
 	}
@@ -64,6 +65,7 @@ func (n *Noise) Apply(h complex128) complex128 {
 
 // ApplyTo adds independent noise to every element of hs in place.
 func (n *Noise) ApplyTo(hs []complex128) {
+	//lint:ignore floateq Sigma == 0 is the noise-off sentinel
 	if n.Sigma == 0 || n.rng == nil {
 		return
 	}

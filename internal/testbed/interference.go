@@ -63,6 +63,7 @@ func (d *Deployment) interferenceSigma(ch ble.ChannelIndex) float64 {
 // overlapping the band.
 func (d *Deployment) applyInterference(ch ble.ChannelIndex, h complex128) complex128 {
 	sigma := d.interferenceSigma(ch)
+	//lint:ignore floateq sigma == 0 means interference is off
 	if sigma == 0 {
 		return h
 	}

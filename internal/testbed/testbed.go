@@ -95,6 +95,7 @@ func New(env *rfsim.Environment, cfg Config) (*Deployment, error) {
 		return nil, fmt.Errorf("testbed: at most 8 anchor sites supported, got %d", cfg.Anchors)
 	}
 	spacing := cfg.Spacing
+	//lint:ignore floateq unset option sentinel is exactly zero
 	if spacing == 0 {
 		spacing = HalfWavelength
 	}
@@ -122,6 +123,7 @@ func New(env *rfsim.Environment, cfg Config) (*Deployment, error) {
 		anchors[i] = geom.NewArray(sites[i].center, sites[i].axis, cfg.Antennas, spacing)
 	}
 	noise := rfsim.NoNoise()
+	//lint:ignore floateq SNRdB == 0 selects the noiseless channel
 	if cfg.SNRdB != 0 {
 		noise = rfsim.NewNoise(cfg.SNRdB, 3, cfg.Seed^0xA5A5)
 	}
@@ -343,8 +345,8 @@ func maxf(a, b float64) float64 {
 
 // channelWithRotor evaluates a path set at a frequency and applies an LO
 // rotor — the shared step of reference measurements.
-func channelWithRotor(paths []rfsim.Path, freq float64, rotor complex128) complex128 {
-	return rfsim.ChannelFromPaths(paths, freq) * rotor
+func channelWithRotor(paths []rfsim.Path, freqHz float64, rotor complex128) complex128 {
+	return rfsim.ChannelFromPaths(paths, freqHz) * rotor
 }
 
 // CalibrationSounding measures the reference transmissions each anchor

@@ -156,6 +156,7 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.Antennas == 0 {
 		opts.Antennas = 4
 	}
+	//lint:ignore floateq unset option sentinel is exactly zero
 	if opts.SNRdB == 0 && !opts.NoiseOff {
 		opts.SNRdB = 25
 	}
