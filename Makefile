@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race soak vet lint ci fuzz bench figures figures-full clean
+.PHONY: all build test race soak vet lint ci fuzz bench bench-check figures figures-full clean
 
 all: vet lint test build
 
@@ -42,8 +42,17 @@ ci: vet lint test race
 fuzz:
 	$(GO) test -fuzz=. -fuzztime=10s -run '^$$' ./internal/wire/
 
+# Micro-benchmarks (likelihood kernels + end-to-end fix) and the perf
+# report: writes BENCH_3.json with latency, allocation and throughput
+# figures for the steady-state fix path.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench 'LocateSingleFix|PolarLikelihood$$|PolarToXY$$|^BenchmarkLikelihood$$' -benchmem . ./internal/core/
+	$(GO) run ./cmd/bloc-bench -exp perf -bench-out BENCH_3.json
+
+# CI smoke: quick perf measurement compared against the committed report;
+# fails on compile breakage or a >2x latency regression.
+bench-check:
+	$(GO) run ./cmd/bloc-bench -exp perf -perf-fixes 10 -check BENCH_3.json
 
 # Every table and figure of the paper at reduced scale (~2 min, 1 core).
 figures:

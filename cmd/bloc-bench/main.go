@@ -33,10 +33,27 @@ func main() {
 	var (
 		positions = flag.Int("positions", 300, "dataset size (paper: 1700)")
 		seed      = flag.Uint64("seed", 7, "simulation seed")
-		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, or all)")
+		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, perf, or all)")
 		out       = flag.String("out", "", "directory for CSV series (optional)")
+
+		// -exp perf flags.
+		perfFixes  = flag.Int("perf-fixes", 50, "fixes per perf measurement point")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the perf run")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the perf run")
+		benchOut   = flag.String("bench-out", "", "write the perf report as JSON (e.g. BENCH_3.json)")
+		perfCheck  = flag.String("check", "", "compare against a committed perf report; exit 1 on a >2x latency regression")
+		baseNs     = flag.Float64("baseline-ns", 19267582, "baseline ns/fix (frozen pre-optimization measurement)")
+		baseBytes  = flag.Float64("baseline-bytes", 3169160, "baseline B/fix (frozen pre-optimization measurement)")
+		baseAllocs = flag.Float64("baseline-allocs", 401, "baseline allocs/fix (frozen pre-optimization measurement)")
 	)
 	flag.Parse()
+
+	if *exp == "perf" {
+		runPerf(*seed, *perfFixes,
+			perfNumbers{NsPerFix: *baseNs, BytesPerFix: *baseBytes, AllocsPerFix: *baseAllocs},
+			*cpuprofile, *memprofile, *benchOut, *perfCheck)
+		return
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

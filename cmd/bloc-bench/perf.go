@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"bloc/internal/core"
+	"bloc/internal/eval"
+)
+
+// perfNumbers is one latency/allocation operating point of the fix path.
+type perfNumbers struct {
+	NsPerFix     float64 `json:"ns_per_fix"`
+	BytesPerFix  float64 `json:"bytes_per_fix"`
+	AllocsPerFix float64 `json:"allocs_per_fix"`
+}
+
+// perfReport is the JSON document written to -bench-out (BENCH_3.json):
+// the frozen pre-optimization baseline, the measured post-optimization
+// numbers, the worker-count throughput sweep and the engine's counters.
+type perfReport struct {
+	Baseline   perfNumbers       `json:"baseline"`
+	After      perfNumbers       `json:"after"`
+	SpeedupX   float64           `json:"speedup_x"`
+	Throughput []eval.PerfResult `json:"throughput"`
+	Stats      core.Stats        `json:"engine_stats"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Positions  int               `json:"positions"`
+	Seed       uint64            `json:"seed"`
+}
+
+// runPerf measures the steady-state fix path of one shared engine:
+// single-worker latency and allocation rate, then a throughput sweep at
+// 1, 4 and GOMAXPROCS workers. With -bench-out the report is written as
+// JSON; with -check the measurement is compared against a committed
+// report and the process exits non-zero on a >2x latency regression (the
+// CI smoke gate).
+func runPerf(seed uint64, fixes int, baseline perfNumbers, cpuprofile, memprofile, benchOut, check string) {
+	suite, err := eval.NewSuite(eval.SuiteOptions{Seed: seed, Positions: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	single, err := suite.MeasureFixes(fixes, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var sweep []eval.PerfResult
+	seen := map[int]bool{}
+	for _, w := range workerCounts {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		r, err := suite.MeasureFixes(fixes, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sweep = append(sweep, r)
+	}
+
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+
+	report := perfReport{
+		Baseline:   baseline,
+		After:      perfNumbers{NsPerFix: single.NsPerFix, BytesPerFix: single.BytesPerFix, AllocsPerFix: single.AllocsPerFix},
+		SpeedupX:   baseline.NsPerFix / single.NsPerFix,
+		Throughput: sweep,
+		Stats:      suite.Eng.Stats(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Positions:  16,
+		Seed:       seed,
+	}
+
+	fmt.Printf("fix path, steady state (%d fixes per point):\n", fixes)
+	fmt.Printf("  baseline  %11.0f ns/fix  %9.0f B/fix  %6.0f allocs/fix\n",
+		baseline.NsPerFix, baseline.BytesPerFix, baseline.AllocsPerFix)
+	fmt.Printf("  after     %11.0f ns/fix  %9.0f B/fix  %6.1f allocs/fix   (%.1fx faster)\n",
+		report.After.NsPerFix, report.After.BytesPerFix, report.After.AllocsPerFix, report.SpeedupX)
+	fmt.Println("throughput sweep:")
+	for _, r := range sweep {
+		fmt.Printf("  %s\n", r)
+	}
+	st := report.Stats
+	fmt.Printf("engine: %d fixes, %d plane builds, %.1f KiB tables, %d pool hits / %d misses\n",
+		st.Fixes, st.PlaneBuilds, float64(st.TableBytes)/1024, st.PoolHits, st.PoolMisses)
+
+	if benchOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(benchOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", benchOut)
+	}
+
+	if check != "" {
+		buf, err := os.ReadFile(check)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var committed perfReport
+		if err := json.Unmarshal(buf, &committed); err != nil {
+			log.Fatal(err)
+		}
+		limit := 2 * committed.After.NsPerFix
+		if single.NsPerFix > limit {
+			fmt.Printf("PERF REGRESSION: %.0f ns/fix exceeds 2x the committed %.0f ns/fix\n",
+				single.NsPerFix, committed.After.NsPerFix)
+			os.Exit(1)
+		}
+		fmt.Printf("perf check OK: %.0f ns/fix within 2x of committed %.0f ns/fix\n",
+			single.NsPerFix, committed.After.NsPerFix)
+	}
+}

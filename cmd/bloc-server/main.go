@@ -6,7 +6,7 @@
 //
 //	bloc-server [-listen 127.0.0.1:7100] [-anchors 4] [-antennas 4] [-seed 1]
 //	            [-round-deadline 2s] [-min-anchors 2] [-min-bands 1]
-//	            [-heartbeat 2s]
+//	            [-heartbeat 2s] [-stats 1m]
 //
 // The seed must match the anchors' seed: it defines the shared simulated
 // deployment geometry the localization engine needs. Rounds that miss the
@@ -42,6 +42,7 @@ func main() {
 		minAnch   = flag.Int("min-anchors", 2, "quorum: anchors required at the deadline")
 		minBands  = flag.Int("min-bands", 1, "quorum: usable bands per counted anchor")
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "anchor liveness probe interval (0 disables)")
+		statsIvl  = flag.Duration("stats", time.Minute, "engine/server stats log interval (0 disables)")
 	)
 	flag.Parse()
 
@@ -83,6 +84,37 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Periodic operator stats: engine perf counters (fix count, steering-
+	// plane builds, precomputed-table footprint, scratch-pool efficiency)
+	// alongside the server's round outcomes.
+	if *statsIvl > 0 {
+		go func() {
+			tick := time.NewTicker(*statsIvl)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					es := eng.Stats()
+					ss := srv.Stats()
+					logger.Info("stats",
+						"fixes", es.Fixes,
+						"plane_builds", es.PlaneBuilds,
+						"table_kib", es.TableBytes/1024,
+						"pool_hits", es.PoolHits,
+						"pool_misses", es.PoolMisses,
+						"rounds_full", ss.Full,
+						"rounds_partial", ss.Partial,
+						"rounds_evicted", ss.Evicted,
+						"conns_pruned", ss.Pruned,
+					)
+				}
+			}
+		}()
+	}
+
 	if err := srv.Serve(ctx); err != nil {
 		logger.Error("shutdown", "err", err)
 	}

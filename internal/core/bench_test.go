@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"bloc/internal/geom"
+	"bloc/internal/testbed"
+)
+
+// Micro-benchmarks for the likelihood kernels, optimized vs reference.
+// BenchmarkLocateSingleFix (package bloc) measures the end-to-end fix;
+// these isolate the two hot stages the tentpole optimizes.
+
+func benchFixture(b *testing.B) (*Engine, *Alpha) {
+	b.Helper()
+	d, err := testbed.Paper(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(d.Anchors, DefaultConfig(d.Env.Room))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := Correct(d.Sounding(geom.Pt(0.8, -1.2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, a
+}
+
+func BenchmarkPolarLikelihood(b *testing.B) {
+	e, a := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.polarLikelihood(a, 1)
+	}
+}
+
+func BenchmarkPolarLikelihoodReference(b *testing.B) {
+	e, a := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.referencePolarLikelihood(a, 1)
+	}
+}
+
+func BenchmarkPolarToXY(b *testing.B) {
+	e, a := benchFixture(b)
+	polar := e.polarLikelihood(a, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.polarToXY(polar, 1)
+	}
+}
+
+func BenchmarkPolarToXYReference(b *testing.B) {
+	e, a := benchFixture(b)
+	polar := e.polarLikelihood(a, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.referencePolarToXY(polar, 1)
+	}
+}
+
+func BenchmarkLikelihood(b *testing.B) {
+	e, a := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.likelihoodCombined(a)
+	}
+}

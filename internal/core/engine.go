@@ -3,7 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
+	"bloc/internal/dsp"
 	"bloc/internal/geom"
 )
 
@@ -58,22 +61,82 @@ func DefaultConfig(room geom.Rect) Config {
 }
 
 // Engine localizes tags from corrected channels for a fixed anchor
-// deployment. It precomputes the geometry-dependent tables once and can
-// then process many snapshots.
+// deployment. It precomputes the geometry-dependent tables once (see
+// planes.go) and can then process many snapshots concurrently; the
+// steady-state fix path draws all scratch from internal pools and
+// performs no likelihood-sized allocations.
 type Engine struct {
 	cfg     Config
 	anchors []geom.Array
 
-	thetas []float64 // polar θ grid, radians
-	deltas []float64 // polar Δd grid, meters (relative distance d_i0T − d_00T)
+	thetas    []float64 // polar θ grid, radians
+	sinThetas []float64 // sin of each θ grid point
+	deltas    []float64 // polar Δd grid, meters (relative distance d_i0T − d_00T)
 
 	// anchorDist[i] is d^{i0}_{00}: antenna 0 of anchor i to antenna 0 of
 	// the master — known at deployment time (§5.3).
 	anchorDist []float64
 
+	// spacings lists the distinct antenna spacings of the deployment;
+	// spacingIdx[i] selects anchor i's entry (the angle-rotor tables in a
+	// planeSet are shared per spacing).
+	spacings   []float64
+	spacingIdx []int
+
+	// proj holds the per-anchor polar→XY projection tables (planes.go).
+	proj []anchorProj
+
 	// XY grid geometry.
 	nx, ny int
 	x0, y0 float64
+
+	// planeMu guards planes.
+	planeMu sync.RWMutex
+	planes  map[uint64][]*planeSet // guarded by planeMu
+
+	// Scratch pools (pool.go) and Stats counters.
+	polarPool *dsp.GridPool // (D × T) polar grids, span-filled (no zeroing)
+	xyPool    *dsp.GridPool // (nx × ny) per-anchor maps, zeroed on Get
+	floatPool sync.Pool     // *[]float64 accumulator planes / entropy windows
+	intPool   sync.Pool     // *[]int active-anchor lists
+	runPool   sync.Pool     // *likRun per-likelihood workspaces
+	alphaPool sync.Pool     // *alphaBox corrected-channel workspaces
+	peakPool  sync.Pool     // *[]dsp.Peak peak-extraction scratch
+
+	statFixes       atomic.Uint64
+	statPlaneBuilds atomic.Uint64
+	statTableBytes  atomic.Uint64
+	statPoolHits    atomic.Uint64
+	statPoolMisses  atomic.Uint64
+}
+
+// Stats is a snapshot of the engine's performance counters.
+type Stats struct {
+	// Fixes counts completed Locate/LocateAlpha calls.
+	Fixes uint64
+	// PlaneBuilds counts steering-plane constructions: one per band plan
+	// the engine has served (a stable deployment sits at 1).
+	PlaneBuilds uint64
+	// TableBytes is the resident footprint of all precomputed tables
+	// (projection tables plus every cached steering plane).
+	TableBytes uint64
+	// PoolHits/PoolMisses count scratch acquisitions served from (resp.
+	// missing) the engine's pools; steady state is all hits.
+	PoolHits, PoolMisses uint64
+}
+
+// Stats returns the engine's cumulative performance counters, folding in
+// the grid-pool counters.
+func (e *Engine) Stats() Stats {
+	ph, pm := e.polarPool.Counters()
+	xh, xm := e.xyPool.Counters()
+	return Stats{
+		Fixes:       e.statFixes.Load(),
+		PlaneBuilds: e.statPlaneBuilds.Load(),
+		TableBytes:  e.statTableBytes.Load(),
+		PoolHits:    e.statPoolHits.Load() + ph + xh,
+		PoolMisses:  e.statPoolMisses.Load() + pm + xm,
+	}
 }
 
 // NewEngine validates the configuration and precomputes grids.
@@ -109,15 +172,46 @@ func NewEngine(anchors []geom.Array, cfg Config) (*Engine, error) {
 		e.deltas = append(e.deltas, d)
 	}
 
+	if len(e.thetas) < 2 || len(e.deltas) < 2 {
+		return nil, fmt.Errorf("core: polar grid %dx%d too coarse (θ or Δ resolution larger than its span)",
+			len(e.thetas), len(e.deltas))
+	}
+	e.sinThetas = make([]float64, len(e.thetas))
+	for t, theta := range e.thetas {
+		e.sinThetas[t] = math.Sin(theta)
+	}
+
 	e.anchorDist = make([]float64, len(anchors))
 	m0 := anchors[0].Antenna(0)
 	for i, a := range anchors {
 		e.anchorDist[i] = a.Antenna(0).Dist(m0)
 	}
 
+	// Distinct antenna spacings (almost always one): the per-spacing
+	// angle-rotor tables are shared by every anchor with that spacing.
+	e.spacingIdx = make([]int, len(anchors))
+	for i, a := range anchors {
+		idx := -1
+		for si, l := range e.spacings {
+			if math.Float64bits(l) == math.Float64bits(a.Spacing) {
+				idx = si
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(e.spacings)
+			e.spacings = append(e.spacings, a.Spacing)
+		}
+		e.spacingIdx[i] = idx
+	}
+
 	e.nx = int(math.Ceil(cfg.Room.Width()/cfg.CellM)) + 1
 	e.ny = int(math.Ceil(cfg.Room.Height()/cfg.CellM)) + 1
 	e.x0, e.y0 = cfg.Room.Min.X, cfg.Room.Min.Y
+
+	e.buildProjections()
+	e.polarPool = dsp.NewGridPool(len(e.deltas), len(e.thetas), false)
+	e.xyPool = dsp.NewGridPool(e.nx, e.ny, true)
 	return e, nil
 }
 

@@ -18,26 +18,39 @@ type Result struct {
 }
 
 // Locate runs the full BLoc pipeline on a snapshot: offset correction,
-// joint likelihood, peak scoring with Eq. 18.
+// joint likelihood, peak scoring with Eq. 18. The corrected-channel
+// workspace is drawn from the engine's pools, so steady-state calls do
+// not pay Correct's nested allocations.
 func (e *Engine) Locate(s *csi.Snapshot) (*Result, error) {
-	a, err := Correct(s)
-	if err != nil {
-		return nil, err
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid snapshot: %w", err)
 	}
-	return e.LocateAlpha(a)
+	box := e.getAlpha(s.NumBands(), s.NumAnchors(), s.NumAntennas())
+	a := e.correctInto(s, box)
+	res, err := e.locateAlpha(a, bestByScore)
+	e.putAlpha(box)
+	return res, err
 }
 
 // LocateAlpha runs the BLoc pipeline on already-corrected channels.
 func (e *Engine) LocateAlpha(a *Alpha) (*Result, error) {
+	return e.locateAlpha(a, bestByScore)
+}
+
+// locateAlpha is the shared likelihood + peak-selection tail of the BLoc
+// estimators; selector picks the winning candidate (Eq. 18 score or the
+// §8.7 shortest-distance ablation).
+func (e *Engine) locateAlpha(a *Alpha, selector func([]Candidate) (Candidate, bool)) (*Result, error) {
 	if err := e.checkAlpha(a); err != nil {
 		return nil, err
 	}
-	grid, _ := e.Likelihood(a)
+	grid := e.likelihoodCombined(a)
 	cands := e.candidates(grid)
-	best, ok := bestByScore(cands)
+	best, ok := selector(cands)
 	if !ok {
 		return nil, fmt.Errorf("core: no likelihood peaks found")
 	}
+	e.statFixes.Add(1)
 	return &Result{Estimate: best.Loc, Candidates: cands, Likelihood: grid}, nil
 }
 
@@ -45,20 +58,40 @@ func (e *Engine) LocateAlpha(a *Alpha) (*Result, error) {
 // the direct path is chosen as the peak with the smallest total distance,
 // without the entropy/score machinery.
 func (e *Engine) LocateShortestDistance(s *csi.Snapshot) (*Result, error) {
-	a, err := Correct(s)
-	if err != nil {
-		return nil, err
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid snapshot: %w", err)
 	}
-	if err := e.checkAlpha(a); err != nil {
-		return nil, err
+	box := e.getAlpha(s.NumBands(), s.NumAnchors(), s.NumAntennas())
+	a := e.correctInto(s, box)
+	res, err := e.locateAlpha(a, bestByShortestDistance)
+	e.putAlpha(box)
+	return res, err
+}
+
+// residualSearch is the shared grid-search triangulation of the baseline
+// estimators (AoA, RSSI, CTE): it scans every XY cell, sums res(p, i)
+// over the given anchors, stores the negated residual as a likelihood
+// surface (so Result keeps the same shape across estimators) and returns
+// the residual-minimizing cell's room coordinates. Ties keep the first
+// cell in scan order.
+func (e *Engine) residualSearch(anchors []int, res func(p geom.Point, anchor int) float64) (*dsp.Grid, geom.Point) {
+	grid := dsp.NewGrid(e.nx, e.ny)
+	best := math.Inf(1)
+	bx, by := 0, 0
+	for iy := 0; iy < e.ny; iy++ {
+		for ix := 0; ix < e.nx; ix++ {
+			p := e.CellCenter(ix, iy)
+			var sum float64
+			for _, i := range anchors {
+				sum += res(p, i)
+			}
+			grid.Set(ix, iy, -sum)
+			if sum < best {
+				best, bx, by = sum, ix, iy
+			}
+		}
 	}
-	grid, _ := e.Likelihood(a)
-	cands := e.candidates(grid)
-	best, ok := bestByShortestDistance(cands)
-	if !ok {
-		return nil, fmt.Errorf("core: no likelihood peaks found")
-	}
-	return &Result{Estimate: best.Loc, Candidates: cands, Likelihood: grid}, nil
+	return grid, e.CellCenter(bx, by)
 }
 
 // LocateAoA is the paper's baseline (§7, §8.2): AoA-combining in the
@@ -88,24 +121,11 @@ func (e *Engine) LocateAoA(s *csi.Snapshot) (*Result, error) {
 	}
 	// Triangulate: minimize the sum of squared wrapped angle residuals
 	// over the anchors that actually reported.
-	grid := dsp.NewGrid(e.nx, e.ny)
-	best := math.Inf(1)
-	bx, by := 0, 0
-	for iy := 0; iy < e.ny; iy++ {
-		for ix := 0; ix < e.nx; ix++ {
-			p := e.CellCenter(ix, iy)
-			var res float64
-			for _, i := range active {
-				d := geom.WrapAngle(e.anchors[i].AngleTo(p) - bearings[i])
-				res += d * d
-			}
-			grid.Set(ix, iy, -res)
-			if res < best {
-				best, bx, by = res, ix, iy
-			}
-		}
-	}
-	return &Result{Estimate: e.CellCenter(bx, by), Likelihood: grid}, nil
+	grid, est := e.residualSearch(active, func(p geom.Point, i int) float64 {
+		d := geom.WrapAngle(e.anchors[i].AngleTo(p) - bearings[i])
+		return d * d
+	})
+	return &Result{Estimate: est, Likelihood: grid}, nil
 }
 
 // activeAnchors lists the anchors with at least one present band row.
@@ -179,26 +199,12 @@ func (e *Engine) LocateRSSI(s *csi.Snapshot) (*Result, error) {
 		}
 		ranges[i] = 1 / amp
 	}
-	// Grid search: maximize the negative residual sum (stored as a
-	// likelihood so the Result shape matches the other estimators).
-	grid := dsp.NewGrid(e.nx, e.ny)
-	best := math.Inf(1)
-	bx, by := 0, 0
-	for iy := 0; iy < e.ny; iy++ {
-		for ix := 0; ix < e.nx; ix++ {
-			p := e.CellCenter(ix, iy)
-			var res float64
-			for _, i := range active {
-				d := p.Dist(e.anchors[i].Center()) - ranges[i]
-				res += d * d
-			}
-			grid.Set(ix, iy, -res)
-			if res < best {
-				best, bx, by = res, ix, iy
-			}
-		}
-	}
-	return &Result{Estimate: e.CellCenter(bx, by), Likelihood: grid}, nil
+	// Grid search: maximize the negative range-residual sum.
+	grid, est := e.residualSearch(active, func(p geom.Point, i int) float64 {
+		d := p.Dist(e.anchors[i].Center()) - ranges[i]
+		return d * d
+	})
+	return &Result{Estimate: est, Likelihood: grid}, nil
 }
 
 // checkAlpha validates alpha dimensions against the engine and, for
@@ -234,30 +240,19 @@ func (e *Engine) LocateCTE(freqHz float64, perAnchor [][]complex128) (*Result, e
 	values := [][][]complex128{perAnchor} // one band
 	freqs := []float64{freqHz}
 	I := len(e.anchors)
+	all := make([]int, I)
 	bearings := make([]float64, I)
 	for i := 0; i < I; i++ {
 		if len(perAnchor[i]) < 2 {
 			return nil, fmt.Errorf("core: anchor %d has %d CTE antennas", i, len(perAnchor[i]))
 		}
+		all[i] = i
 		spec := e.angleSpectrum(freqs, values, nil, i)
 		bearings[i] = e.thetas[dsp.ArgMax(spec)]
 	}
-	grid := dsp.NewGrid(e.nx, e.ny)
-	best := math.Inf(1)
-	bx, by := 0, 0
-	for iy := 0; iy < e.ny; iy++ {
-		for ix := 0; ix < e.nx; ix++ {
-			p := e.CellCenter(ix, iy)
-			var res float64
-			for i, a := range e.anchors {
-				d := geom.WrapAngle(a.AngleTo(p) - bearings[i])
-				res += d * d
-			}
-			grid.Set(ix, iy, -res)
-			if res < best {
-				best, bx, by = res, ix, iy
-			}
-		}
-	}
-	return &Result{Estimate: e.CellCenter(bx, by), Likelihood: grid}, nil
+	grid, est := e.residualSearch(all, func(p geom.Point, i int) float64 {
+		d := geom.WrapAngle(e.anchors[i].AngleTo(p) - bearings[i])
+		return d * d
+	})
+	return &Result{Estimate: est, Likelihood: grid}, nil
 }

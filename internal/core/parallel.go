@@ -1,0 +1,51 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(0) … fn(n-1) across min(GOMAXPROCS, n) goroutines
+// with dynamic (work-stealing counter) scheduling, so uneven task costs —
+// anchors with different projection footprints, θ tiles with different Δ
+// spans — still saturate every core. With one processor (or one task) it
+// degenerates to an inline loop with zero scheduling overhead, which also
+// keeps the single-core fix path allocation-free.
+//
+// fn must be safe for concurrent invocation on distinct task indices.
+func parallelFor(n int, fn func(int)) {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for g := 0; g < w-1; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		fn(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+
+	"bloc/internal/rfsim"
+)
+
+// This file implements the engine's precompute layer. Everything the
+// Eq. 15–17 kernels need that depends only on the deployment — anchor
+// geometry, the (θ, Δ) polar grids, the XY room grid and the band plan —
+// is hoisted out of the per-fix path into two kinds of tables:
+//
+//   - Projection tables (anchorProj), built once in NewEngine: for every
+//     XY cell in front of an anchor, the polar-grid source indices and
+//     bilinear weights that polarToXY / angleSpectrumToXY /
+//     DistanceLikelihoodXY would otherwise re-derive with atan2/hypot per
+//     cell per fix. Cells that project out of range are simply absent
+//     from the packed lists. The per-θ-row Δ spans (dLo/dHi) record which
+//     polar cells any XY cell actually samples, so the likelihood kernel
+//     can skip polar cells nobody will read.
+//
+//   - Steering planes (planeSet), built once per band plan on first use
+//     and cached on the engine: the angular frequencies w_k, the base
+//     distance steering e^{ι w_k Δ_d} (shared by all anchors, split into
+//     re/im planes so the hot loop is scalar FMA-friendly), the
+//     per-anchor phase rotors e^{−ι w_k D_i}, and the per-antenna-spacing
+//     angle rotors e^{−ι w_k l sinθ_t}. A deployment uses one band plan,
+//     so steady state is a read-lock lookup; band-subset sweeps (Fig. 10,
+//     Fig. 11) each build and cache their own plane once.
+
+// projCell maps one XY cell to its four bilinear source cells in a polar
+// (θ, Δ) grid. Indices address Grid.Data of a D-wide polar grid.
+type projCell struct {
+	xy                 int32 // XY cell index (iy*nx + ix)
+	i00, i10, i01, i11 int32 // polar source indices
+	w00, w10, w01, w11 float64
+}
+
+// lineCell maps one XY cell to a linear interpolation between two entries
+// of a 1-D spectrum (θ-only or Δ-only likelihood painting).
+type lineCell struct {
+	xy     int32
+	i0, i1 int32
+	fr     float64
+}
+
+// anchorProj holds one anchor's projection tables.
+type anchorProj struct {
+	cells []projCell // polar → XY (cells with both θ and Δ in range)
+	angle []lineCell // θ spectrum → XY (cells with θ in range)
+	dist  []lineCell // Δ spectrum → XY (cells with Δ in range)
+	// dLo/dHi give, per θ row, the half-open Δ index span any projCell
+	// samples; rows no XY cell maps to have dLo >= dHi and the likelihood
+	// kernel skips them entirely.
+	dLo, dHi []int32
+}
+
+// buildProjections derives every anchor's projection tables from the
+// deployment geometry. This is the one place the per-cell trigonometry
+// (AngleTo, Dist) of the projections still runs — once per engine instead
+// of once per fix.
+func (e *Engine) buildProjections() {
+	T, D := len(e.thetas), len(e.deltas)
+	tStep := e.thetas[1] - e.thetas[0]
+	dStep := e.deltas[1] - e.deltas[0]
+	tMin, tMax := e.thetas[0], e.thetas[len(e.thetas)-1]
+	dMin, dMax := e.deltas[0], e.deltas[len(e.deltas)-1]
+	master0 := e.anchors[0].Antenna(0)
+
+	e.proj = make([]anchorProj, len(e.anchors))
+	for i, arr := range e.anchors {
+		ant0 := arr.Antenna(0)
+		pr := &e.proj[i]
+		pr.dLo = make([]int32, T)
+		pr.dHi = make([]int32, T)
+		for t := range pr.dLo {
+			pr.dLo[t] = int32(D) // empty span until a cell claims the row
+		}
+		for iy := 0; iy < e.ny; iy++ {
+			for ix := 0; ix < e.nx; ix++ {
+				p := e.CellCenter(ix, iy)
+				xy := int32(iy*e.nx + ix)
+				theta := arr.AngleTo(p)
+				delta := p.Dist(ant0) - p.Dist(master0)
+				thOK := theta >= tMin && theta <= tMax
+				dOK := delta >= dMin && delta <= dMax
+				if thOK {
+					ft := (theta - tMin) / tStep
+					t0 := int(ft)
+					t1 := t0 + 1
+					if t1 > T-1 {
+						t1 = T - 1
+					}
+					pr.angle = append(pr.angle, lineCell{
+						xy: xy, i0: int32(t0), i1: int32(t1), fr: ft - float64(t0),
+					})
+				}
+				if dOK {
+					fd := (delta - dMin) / dStep
+					d0 := int(fd)
+					d1 := d0 + 1
+					if d1 > D-1 {
+						d1 = D - 1
+					}
+					pr.dist = append(pr.dist, lineCell{
+						xy: xy, i0: int32(d0), i1: int32(d1), fr: fd - float64(d0),
+					})
+				}
+				if thOK && dOK {
+					// Mirror dsp.Grid.Bilinear's clamping exactly so the
+					// table yields bit-identical samples.
+					x := (delta - dMin) / dStep
+					y := (theta - tMin) / tStep
+					if x > float64(D-1) {
+						x = float64(D - 1)
+					}
+					if y > float64(T-1) {
+						y = float64(T - 1)
+					}
+					x0, y0 := int(x), int(y)
+					x1, y1 := x0+1, y0+1
+					if x1 > D-1 {
+						x1 = D - 1
+					}
+					if y1 > T-1 {
+						y1 = T - 1
+					}
+					fx, fy := x-float64(x0), y-float64(y0)
+					pr.cells = append(pr.cells, projCell{
+						xy:  xy,
+						i00: int32(y0*D + x0), i10: int32(y0*D + x1),
+						i01: int32(y1*D + x0), i11: int32(y1*D + x1),
+						w00: (1 - fx) * (1 - fy), w10: fx * (1 - fy),
+						w01: (1 - fx) * fy, w11: fx * fy,
+					})
+					for _, row := range [2]int{y0, y1} {
+						if int32(x0) < pr.dLo[row] {
+							pr.dLo[row] = int32(x0)
+						}
+						if int32(x1+1) > pr.dHi[row] {
+							pr.dHi[row] = int32(x1 + 1)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	var bytes int
+	for i := range e.proj {
+		pr := &e.proj[i]
+		bytes += len(pr.cells)*projCellBytes + (len(pr.angle)+len(pr.dist))*lineCellBytes
+		bytes += (len(pr.dLo) + len(pr.dHi)) * 4
+	}
+	e.statTableBytes.Add(uint64(bytes))
+}
+
+const (
+	projCellBytes = 4*5 + 8*4 // five int32 + four float64 (unpadded)
+	lineCellBytes = 4*3 + 8
+)
+
+// planeSet holds every steering table for one band plan (one freqs
+// vector). All fields are immutable after construction.
+type planeSet struct {
+	freqs []float64 // defensive copy; cache identity
+	w     []float64 // angular frequency 2π f_k / c per band
+
+	// Base distance steering e^{ι w_k Δ_d}, row-major [k*D + d], split
+	// into components so the accumulation loop runs on flat float64
+	// slices. The anchor-dependent part e^{−ι w_k D_i} is factored into
+	// phase below, saving an anchors× multiple of this (large) table.
+	baseRe, baseIm []float64
+
+	// phase[i][k] = e^{−ι w_k D_i}: folded into B(θ, k) once per band per
+	// θ row instead of into every Δ column.
+	phase [][]complex128
+
+	// steps[s][t*K + k] = e^{−ι w_k l_s sinθ_t} for the s-th distinct
+	// antenna spacing: the per-antenna rotation of Eq. 15/17's inner sum.
+	steps [][]complex128
+
+	bytes int
+}
+
+// hashFreqs keys the plane cache by the exact bit pattern of the band
+// plan (FNV-1a over the float bits; equality is re-checked on lookup).
+func hashFreqs(freqs []float64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, f := range freqs {
+		b := math.Float64bits(f)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// sameFreqs compares band plans by exact bit pattern (avoiding float ==,
+// and treating NaN payloads consistently).
+func sameFreqs(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// planesFor returns the steering planes for the given band plan, building
+// and caching them on first use. Steady state is a shared-lock map hit.
+func (e *Engine) planesFor(freqs []float64) *planeSet {
+	h := hashFreqs(freqs)
+	e.planeMu.RLock()
+	for _, ps := range e.planes[h] {
+		if sameFreqs(ps.freqs, freqs) {
+			e.planeMu.RUnlock()
+			return ps
+		}
+	}
+	e.planeMu.RUnlock()
+
+	e.planeMu.Lock()
+	defer e.planeMu.Unlock()
+	for _, ps := range e.planes[h] {
+		if sameFreqs(ps.freqs, freqs) {
+			return ps
+		}
+	}
+	ps := e.buildPlanes(freqs)
+	if e.planes == nil {
+		e.planes = make(map[uint64][]*planeSet)
+	}
+	e.planes[h] = append(e.planes[h], ps)
+	e.statPlaneBuilds.Add(1)
+	e.statTableBytes.Add(uint64(ps.bytes))
+	return ps
+}
+
+// buildPlanes computes a planeSet for one band plan.
+func (e *Engine) buildPlanes(freqs []float64) *planeSet {
+	K, T, D := len(freqs), len(e.thetas), len(e.deltas)
+	ps := &planeSet{
+		freqs:  append([]float64(nil), freqs...),
+		w:      make([]float64, K),
+		baseRe: make([]float64, K*D),
+		baseIm: make([]float64, K*D),
+		phase:  make([][]complex128, len(e.anchors)),
+		steps:  make([][]complex128, len(e.spacings)),
+	}
+	for k, f := range freqs {
+		ps.w[k] = 2 * math.Pi * f / rfsim.SpeedOfLight
+	}
+	for k := 0; k < K; k++ {
+		row := k * D
+		for d, delta := range e.deltas {
+			s, c := math.Sincos(ps.w[k] * delta)
+			ps.baseRe[row+d] = c
+			ps.baseIm[row+d] = s
+		}
+	}
+	for i := range e.anchors {
+		ph := make([]complex128, K)
+		for k := 0; k < K; k++ {
+			s, c := math.Sincos(-ps.w[k] * e.anchorDist[i])
+			ph[k] = complex(c, s)
+		}
+		ps.phase[i] = ph
+	}
+	for si, l := range e.spacings {
+		st := make([]complex128, T*K)
+		for t, sinT := range e.sinThetas {
+			row := t * K
+			for k := 0; k < K; k++ {
+				s, c := math.Sincos(-ps.w[k] * l * sinT)
+				st[row+k] = complex(c, s)
+			}
+		}
+		ps.steps[si] = st
+	}
+	ps.bytes = len(ps.freqs)*8 + len(ps.w)*8 +
+		(len(ps.baseRe)+len(ps.baseIm))*8 +
+		len(ps.phase)*K*16 + len(ps.steps)*T*K*16
+	return ps
+}

@@ -2,67 +2,74 @@ package core
 
 import (
 	"math"
-	"math/cmplx"
 
 	"bloc/internal/dsp"
-	"bloc/internal/rfsim"
 )
+
+// Optimized Eq. 15–17 kernels. The math is identical to the reference
+// kernels in reference.go; the difference is that every geometry- and
+// band-plan-dependent factor comes from the engine's precomputed planes
+// (planes.go), the magnitudes use sqrt(re²+im²) instead of the
+// overflow-guarded math.Hypot (the likelihood dynamic range is nowhere
+// near the guard thresholds), and the accumulation runs on flat re/im
+// float64 planes the compiler turns into tight scalar loops.
 
 // polarLikelihood evaluates the paper's Eq. 17 for one anchor on the
 // engine's (θ, Δd) grid:
 //
 //	P_i(θ, Δ) = | Σ_j Σ_k α_jk · e^{−ι w_k j l sinθ} · e^{+ι w_k (Δ − D_i)} |
 //
-// with w_k = 2π f_k / c and D_i the known anchor-to-master distance. The
-// angle factor compensates the per-antenna path difference (with this
-// repository's geometry, antenna j is closer to a target at positive θ by
-// j·l·sinθ, hence the negative sign), and the distance factor compensates
-// the relative-distance phase of Eq. 14, so all terms add coherently at
-// the true (θ, Δ) of a propagation path.
-//
 // The computation is factorized: B(θ, k) = Σ_j α_jk·e^{−ι w_k j l sinθ}
-// first (cheap), then P(θ, ·) = |E^T B(θ, ·)| with a precomputed steering
-// matrix E(k, Δ) — the hot loop is a dense complex matrix product.
+// first (cheap, using the precomputed per-spacing angle rotors), then the
+// anchor phase e^{−ι w_k D_i} is folded into B and the hot loop is a
+// dense product against the shared base steering planes e^{+ι w_k Δ_d}.
 //
 // The returned grid has W = len(deltas) columns and H = len(thetas) rows.
 func (e *Engine) polarLikelihood(a *Alpha, anchor int) *dsp.Grid {
-	T, D, K := len(e.thetas), len(e.deltas), a.NumBands()
-	J := a.NumAntennas()
-	l := e.anchors[anchor].Spacing
-
-	// Angular frequency per band.
-	w := make([]float64, K)
-	for k := 0; k < K; k++ {
-		w[k] = 2 * math.Pi * a.Freqs[k] / rfsim.SpeedOfLight
-	}
-
-	// Distance steering matrix E[k][d] = e^{+ι w_k (Δ_d − D_i)}, laid out
-	// row-per-band so the inner loop walks contiguous memory.
-	E := make([][]complex128, K)
-	for k := 0; k < K; k++ {
-		row := make([]complex128, D)
-		for d, delta := range e.deltas {
-			s, c := math.Sincos(w[k] * (delta - e.anchorDist[anchor]))
-			row[d] = complex(c, s)
-		}
-		E[k] = row
-	}
-
+	T, D := len(e.thetas), len(e.deltas)
+	ps := e.planesFor(a.Freqs)
 	grid := dsp.NewGrid(D, T)
-	acc := make([]complex128, D)
-	for t, theta := range e.thetas {
-		sinT := math.Sin(theta)
-		for d := range acc {
-			acc[d] = 0
+	acc := e.getFloats(2 * D)
+	e.polarFill(ps, a, anchor, grid, 0, T, *acc, false)
+	e.putFloats(acc)
+	return grid
+}
+
+// polarFill computes rows [row0, row1) of one anchor's polar likelihood
+// into grid. acc is caller-supplied scratch of length ≥ 2·D (re plane
+// then im plane). With spanned=true only the Δ span any XY cell actually
+// samples (anchorProj.dLo/dHi) is computed per row — cells outside the
+// span are never read by the projection and are left untouched, so
+// spanned fills require a projection-driven reader.
+func (e *Engine) polarFill(ps *planeSet, a *Alpha, anchor int, grid *dsp.Grid, row0, row1 int, acc []float64, spanned bool) {
+	D, K := len(e.deltas), a.NumBands()
+	J := a.NumAntennas()
+	steps := ps.steps[e.spacingIdx[anchor]]
+	phase := ps.phase[anchor]
+	accRe, accIm := acc[:D], acc[D:2*D]
+	pr := &e.proj[anchor]
+
+	for t := row0; t < row1; t++ {
+		lo, hi := 0, D
+		if spanned {
+			lo, hi = int(pr.dLo[t]), int(pr.dHi[t])
+			if lo >= hi {
+				continue // no XY cell samples this θ row
+			}
 		}
+		are, aim := accRe[lo:hi], accIm[lo:hi]
+		for d := range are {
+			are[d] = 0
+			aim[d] = 0
+		}
+		srow := steps[t*K : t*K+K]
 		for k := 0; k < K; k++ {
 			if !a.Present(k, anchor) {
 				continue // degraded mode: band not measured at this anchor
 			}
 			// B(θ, k) = Σ_j α_jk · e^{−ι w_k j l sinθ}, built by repeated
-			// multiplication with the per-antenna rotation.
-			stepS, stepC := math.Sincos(-w[k] * l * sinT)
-			step := complex(stepC, stepS)
+			// multiplication with the precomputed per-antenna rotation.
+			step := srow[k]
 			rot := complex(1, 0)
 			var b complex128
 			av := a.Values[k][anchor]
@@ -74,17 +81,20 @@ func (e *Engine) polarLikelihood(a *Alpha, anchor int) *dsp.Grid {
 			if b == 0 {
 				continue
 			}
-			row := E[k]
-			for d := 0; d < D; d++ {
-				acc[d] += b * row[d]
+			b *= phase[k] // fold e^{−ι w_k D_i} once per (θ, k)
+			bRe, bIm := real(b), imag(b)
+			row := k * D
+			bre, bim := ps.baseRe[row+lo:row+hi], ps.baseIm[row+lo:row+hi]
+			for d := range bre {
+				are[d] += bRe*bre[d] - bIm*bim[d]
+				aim[d] += bRe*bim[d] + bIm*bre[d]
 			}
 		}
-		rowOut := grid.Data[t*D : (t+1)*D]
-		for d := 0; d < D; d++ {
-			rowOut[d] = cmplx.Abs(acc[d])
+		rowOut := grid.Data[t*D+lo : t*D+hi]
+		for d := range rowOut {
+			rowOut[d] = math.Sqrt(are[d]*are[d] + aim[d]*aim[d])
 		}
 	}
-	return grid
 }
 
 // angleSpectrum evaluates Eq. 15 for one anchor: the per-band angular
@@ -94,21 +104,23 @@ func (e *Engine) polarLikelihood(a *Alpha, anchor int) *dsp.Grid {
 // measured channels — the per-anchor LO offset is common to all antennas
 // and cancels in the magnitude. have is an optional presence mask
 // (have[k][anchor]); nil means every band is usable.
+//
+// The per-band w_k and the (θ, k) rotors come from the cached steering
+// planes instead of being recomputed T× per band per call.
 func (e *Engine) angleSpectrum(freqs []float64, values [][][]complex128, have [][]bool, anchor int) []float64 {
 	T := len(e.thetas)
 	K := len(values)
-	l := e.anchors[anchor].Spacing
+	ps := e.planesFor(freqs)
+	steps := ps.steps[e.spacingIdx[anchor]]
 	out := make([]float64, T)
-	for t, theta := range e.thetas {
-		sinT := math.Sin(theta)
+	for t := 0; t < T; t++ {
 		var sum float64
+		srow := steps[t*K : t*K+K]
 		for k := 0; k < K; k++ {
 			if have != nil && !have[k][anchor] {
 				continue
 			}
-			w := 2 * math.Pi * freqs[k] / rfsim.SpeedOfLight
-			stepS, stepC := math.Sincos(-w * l * sinT)
-			step := complex(stepC, stepS)
+			step := srow[k]
 			rot := complex(1, 0)
 			var b complex128
 			row := values[k][anchor]
@@ -116,7 +128,8 @@ func (e *Engine) angleSpectrum(freqs []float64, values [][][]complex128, have []
 				b += row[j] * rot
 				rot *= step
 			}
-			sum += cmplx.Abs(b)
+			bRe, bIm := real(b), imag(b)
+			sum += math.Sqrt(bRe*bRe + bIm*bIm)
 		}
 		out[t] = sum
 	}
@@ -125,25 +138,41 @@ func (e *Engine) angleSpectrum(freqs []float64, values [][][]complex128, have []
 
 // distanceSpectrum evaluates Eq. 16 for one anchor: the relative-distance
 // profile |Σ_k α_jk·e^{+ι w_k (Δ − D_i)}| summed incoherently over
-// antennas. This is the "hyperbola" component of Fig. 6b.
+// antennas. This is the "hyperbola" component of Fig. 6b. The steering
+// factors come from the shared base planes with the anchor phase folded
+// into each band's α, turning the per-(Δ, j, k) trigonometry of the
+// reference into K passes of scalar multiply-adds per antenna.
 func (e *Engine) distanceSpectrum(a *Alpha, anchor int) []float64 {
 	D := len(e.deltas)
 	K := a.NumBands()
 	J := a.NumAntennas()
+	ps := e.planesFor(a.Freqs)
+	phase := ps.phase[anchor]
 	out := make([]float64, D)
-	for d, delta := range e.deltas {
-		for j := 0; j < J; j++ {
-			var acc complex128
-			for k := 0; k < K; k++ {
-				if !a.Present(k, anchor) {
-					continue
-				}
-				w := 2 * math.Pi * a.Freqs[k] / rfsim.SpeedOfLight
-				s, c := math.Sincos(w * (delta - e.anchorDist[anchor]))
-				acc += a.Values[k][anchor][j] * complex(c, s)
+	acc := e.getFloats(2 * D)
+	accRe, accIm := (*acc)[:D], (*acc)[D:2*D]
+	for j := 0; j < J; j++ {
+		for d := range accRe {
+			accRe[d] = 0
+			accIm[d] = 0
+		}
+		for k := 0; k < K; k++ {
+			if !a.Present(k, anchor) {
+				continue
 			}
-			out[d] += cmplx.Abs(acc)
+			v := a.Values[k][anchor][j] * phase[k]
+			vRe, vIm := real(v), imag(v)
+			row := k * D
+			bre, bim := ps.baseRe[row:row+D], ps.baseIm[row:row+D]
+			for d := range bre {
+				accRe[d] += vRe*bre[d] - vIm*bim[d]
+				accIm[d] += vRe*bim[d] + vIm*bre[d]
+			}
+		}
+		for d := range out {
+			out[d] += math.Sqrt(accRe[d]*accRe[d] + accIm[d]*accIm[d])
 		}
 	}
+	e.putFloats(acc)
 	return out
 }

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bloc/internal/csi"
+	"bloc/internal/dsp"
+)
+
+// Scratch pools. Every buffer the steady-state fix path needs — polar
+// grids, per-anchor XY grids, complex accumulator planes, the corrected-
+// channel workspace, the peak-entropy window — is recycled through
+// sync.Pools owned by the engine, so after warm-up a fix performs no
+// likelihood-sized allocations. Hit/miss counters feed Stats.
+
+// getFloats returns a pooled float64 slice of length n (engine-wide pool;
+// capacity is grown to the largest request seen).
+func (e *Engine) getFloats(n int) *[]float64 {
+	if v, ok := e.floatPool.Get().(*[]float64); ok {
+		e.statPoolHits.Add(1)
+		if cap(*v) < n {
+			*v = make([]float64, n)
+		}
+		*v = (*v)[:n]
+		return v
+	}
+	e.statPoolMisses.Add(1)
+	s := make([]float64, n)
+	return &s
+}
+
+func (e *Engine) putFloats(v *[]float64) { e.floatPool.Put(v) }
+
+// getInts returns a pooled int slice with length 0 and capacity ≥ n.
+func (e *Engine) getInts(n int) *[]int {
+	if v, ok := e.intPool.Get().(*[]int); ok {
+		e.statPoolHits.Add(1)
+		if cap(*v) < n {
+			*v = make([]int, 0, n)
+		}
+		*v = (*v)[:0]
+		return v
+	}
+	e.statPoolMisses.Add(1)
+	s := make([]int, 0, n)
+	return &s
+}
+
+func (e *Engine) putInts(v *[]int) { e.intPool.Put(v) }
+
+// getPeaks returns a pooled, length-0 peak-extraction scratch.
+func (e *Engine) getPeaks() *[]dsp.Peak {
+	if v, ok := e.peakPool.Get().(*[]dsp.Peak); ok {
+		e.statPoolHits.Add(1)
+		*v = (*v)[:0]
+		return v
+	}
+	e.statPoolMisses.Add(1)
+	s := make([]dsp.Peak, 0, 16)
+	return &s
+}
+
+func (e *Engine) putPeaks(v *[]dsp.Peak) { e.peakPool.Put(v) }
+
+// likRun is the reusable workspace of one Likelihood evaluation: the
+// per-active-anchor polar and XY grids plus the per-tile partial maxima.
+type likRun struct {
+	polars []*dsp.Grid
+	xys    []*dsp.Grid
+	maxima []float64
+	inv    []float64
+	off    []int // projection-tile offset per active anchor
+}
+
+func (e *Engine) getRun() *likRun {
+	if r, ok := e.runPool.Get().(*likRun); ok {
+		e.statPoolHits.Add(1)
+		return r
+	}
+	e.statPoolMisses.Add(1)
+	return &likRun{}
+}
+
+func (e *Engine) putRun(r *likRun) {
+	// Grids were already returned to their pools (or handed to the
+	// caller); only the slice headers are retained.
+	r.polars = r.polars[:0]
+	r.xys = r.xys[:0]
+	r.maxima = r.maxima[:0]
+	r.inv = r.inv[:0]
+	r.off = r.off[:0]
+	e.runPool.Put(r)
+}
+
+// grow appends zero values until the slice has length n, reusing capacity.
+func growGrids(s []*dsp.Grid, n int) []*dsp.Grid {
+	s = s[:0]
+	for i := 0; i < n; i++ {
+		s = append(s, nil)
+	}
+	return s
+}
+
+func growFloats(s []float64, n int) []float64 {
+	s = s[:0]
+	for i := 0; i < n; i++ {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func growInts(s []int, n int) []int {
+	s = s[:0]
+	for i := 0; i < n; i++ {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// alphaBox is a pooled corrected-channel workspace: one flat backing
+// array for all K×I×J α values (plus the presence mask), with the nested
+// slice headers Alpha's shape requires carved out once.
+type alphaBox struct {
+	a        Alpha
+	k, i, j  int
+	flat     []complex128
+	rows     [][]complex128
+	haveFlat []bool
+	haveRows [][]bool
+}
+
+// getAlpha returns a pooled workspace shaped (K, I, J). A box recycled
+// from a different shape is rebuilt.
+func (e *Engine) getAlpha(K, I, J int) *alphaBox {
+	b, ok := e.alphaPool.Get().(*alphaBox)
+	if ok && b.k == K && b.i == I && b.j == J {
+		e.statPoolHits.Add(1)
+		return b
+	}
+	e.statPoolMisses.Add(1)
+	b = &alphaBox{
+		k: K, i: I, j: J,
+		flat:     make([]complex128, K*I*J),
+		rows:     make([][]complex128, K*I),
+		haveFlat: make([]bool, K*I),
+		haveRows: make([][]bool, K),
+	}
+	b.a.Values = make([][][]complex128, K)
+	for k := 0; k < K; k++ {
+		b.a.Values[k] = b.rows[k*I : (k+1)*I]
+		b.haveRows[k] = b.haveFlat[k*I : (k+1)*I]
+		for i := 0; i < I; i++ {
+			off := (k*I + i) * J
+			b.rows[k*I+i] = b.flat[off : off+J]
+		}
+	}
+	return b
+}
+
+func (e *Engine) putAlpha(b *alphaBox) { e.alphaPool.Put(b) }
+
+// correctInto is Correct (Eq. 10) writing into a pooled workspace instead
+// of freshly allocated nested slices. The arithmetic and masking are
+// identical to Correct's.
+func (e *Engine) correctInto(s *csi.Snapshot, b *alphaBox) *Alpha {
+	K, I, J := b.k, b.i, b.j
+	b.a.Freqs = s.Freqs
+	if s.Have != nil {
+		b.a.Have = b.haveRows
+	} else {
+		b.a.Have = nil
+	}
+	for k := 0; k < K; k++ {
+		masterOK := s.Present(k, 0)
+		h00 := conj(s.Tag[k][0][0])
+		for i := 0; i < I; i++ {
+			row := b.rows[k*I+i]
+			ok := masterOK && s.Present(k, i)
+			if ok {
+				mi := conj(s.Master[k][i]) * h00
+				for j := 0; j < J; j++ {
+					row[j] = s.Tag[k][i][j] * mi
+				}
+			} else {
+				clear(row) // recycled memory: zero like Correct's fresh rows
+			}
+			if b.a.Have != nil {
+				b.haveRows[k][i] = ok
+			}
+		}
+	}
+	return &b.a
+}
+
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }

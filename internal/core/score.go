@@ -18,15 +18,17 @@ type Candidate struct {
 
 // candidates extracts likelihood peaks and computes their Eq. 18 scores.
 func (e *Engine) candidates(grid *dsp.Grid) []Candidate {
-	peaks := grid.FindPeaks(e.cfg.PeakMinFrac, e.cfg.PeakMinSepCells)
+	peakBuf := e.getPeaks()
+	peaks := grid.FindPeaksInto(*peakBuf, e.cfg.PeakMinFrac, e.cfg.PeakMinSepCells)
 	out := make([]Candidate, 0, len(peaks))
+	scratch := e.getFloats(e.cfg.EntropyWindow * e.cfg.EntropyWindow)
 	for _, p := range peaks {
 		loc := e.GridPoint(p)
 		var sumDist float64
 		for _, a := range e.anchors {
 			sumDist += loc.Dist(a.Center())
 		}
-		h := grid.PeakNegentropy(p.IX, p.IY, e.cfg.EntropyWindow, e.cfg.EntropyStride)
+		h := grid.PeakNegentropyScratch(p.IX, p.IY, e.cfg.EntropyWindow, e.cfg.EntropyStride, *scratch)
 		score := p.Value * math.Exp(e.cfg.ScoreB*h-e.cfg.ScoreA*sumDist)
 		out = append(out, Candidate{
 			Loc:       loc,
@@ -36,6 +38,9 @@ func (e *Engine) candidates(grid *dsp.Grid) []Candidate {
 			Score:     score,
 		})
 	}
+	e.putFloats(scratch)
+	*peakBuf = peaks // keep any regrown backing array
+	e.putPeaks(peakBuf)
 	return out
 }
 

@@ -1,84 +1,209 @@
 package core
 
 import (
-	"sync"
-
 	"bloc/internal/dsp"
 	"bloc/internal/geom"
+)
+
+// Tile sizes for the parallel fix path: θ rows per polar task and packed
+// projection cells per projection task. Small enough that (anchors ×
+// tiles) comfortably exceeds any realistic GOMAXPROCS, large enough that
+// per-task overhead is noise.
+const (
+	polarRowTile = 16
+	projCellTile = 4096
+	sumRowTile   = 64
 )
 
 // polarToXY resamples one anchor's polar likelihood P_i(θ, Δ) onto the
 // engine's XY grid: every cell center p maps to the anchor-relative
 // coordinates θ_i(p) (angle from the array broadside) and
 // Δ_i(p) = |p − ant_i0| − |p − ant_00| (relative distance, §5.3), and the
-// polar grid is sampled bilinearly there.
+// polar grid is sampled bilinearly there. The mapping is precomputed: the
+// packed projection table supplies each in-range cell's source indices
+// and weights, so no per-cell trigonometry runs here.
 func (e *Engine) polarToXY(polar *dsp.Grid, anchor int) *dsp.Grid {
 	out := dsp.NewGrid(e.nx, e.ny)
-	arr := e.anchors[anchor]
-	ant0 := arr.Antenna(0)
-	master0 := e.anchors[0].Antenna(0)
+	e.projectPolar(polar, anchor, out, 0, len(e.proj[anchor].cells))
+	return out
+}
 
-	tStep := e.thetas[1] - e.thetas[0]
-	dStep := e.deltas[1] - e.deltas[0]
-	tMin, tMax := e.thetas[0], e.thetas[len(e.thetas)-1]
-	dMin, dMax := e.deltas[0], e.deltas[len(e.deltas)-1]
-
-	for iy := 0; iy < e.ny; iy++ {
-		for ix := 0; ix < e.nx; ix++ {
-			p := e.CellCenter(ix, iy)
-			theta := arr.AngleTo(p)
-			if theta < tMin || theta > tMax {
-				continue // behind the array: no likelihood contribution
-			}
-			delta := p.Dist(ant0) - p.Dist(master0)
-			if delta < dMin || delta > dMax {
-				continue
-			}
-			ft := (theta - tMin) / tStep
-			fd := (delta - dMin) / dStep
-			out.Set(ix, iy, polar.Bilinear(fd, ft))
+// projectPolar applies projection-table entries [lo, hi) of one anchor to
+// out and returns the maximum projected value of the slice (for the
+// deferred per-anchor normalization).
+func (e *Engine) projectPolar(polar *dsp.Grid, anchor int, out *dsp.Grid, lo, hi int) float64 {
+	cells := e.proj[anchor].cells[lo:hi]
+	pd := polar.Data
+	od := out.Data
+	var max float64
+	for i := range cells {
+		c := &cells[i]
+		v := pd[c.i00]*c.w00 + pd[c.i10]*c.w10 + pd[c.i01]*c.w01 + pd[c.i11]*c.w11
+		od[c.xy] = v
+		if v > max {
+			max = v
 		}
 	}
-	return out
+	return max
 }
 
 // Likelihood computes the combined XY likelihood of Eq. 17 summed over all
 // anchors (§5.3), optionally normalizing each anchor's map to unit maximum
 // first. The per-anchor maps are also returned for inspection (Fig. 6c,
-// Fig. 8c). Anchors are processed in parallel: each map touches only its
-// own grid, and summation happens after the barrier.
+// Fig. 8c).
 //
-// In degraded mode (partial alpha), anchors with no usable band are
-// skipped entirely — their perAnchor entry is nil and they contribute
-// nothing to the combined sum, instead of adding a normalized all-zero
-// (or noise-only) map.
+// The work is tiled (anchors × θ tiles, then anchors × projection tiles)
+// across GOMAXPROCS workers, with every intermediate buffer drawn from
+// the engine's pools; only polar cells some XY cell actually samples are
+// computed. In degraded mode (partial alpha), anchors with no usable band
+// are skipped entirely — their perAnchor entry is nil and they contribute
+// nothing to the combined sum.
 func (e *Engine) Likelihood(a *Alpha) (combined *dsp.Grid, perAnchor []*dsp.Grid) {
-	I := a.NumAnchors()
-	perAnchor = make([]*dsp.Grid, I)
-	var wg sync.WaitGroup
-	for i := 0; i < I; i++ {
-		if a.PresentBands(i) == 0 {
-			continue // absent anchor: no likelihood contribution
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			polar := e.polarLikelihood(a, i)
-			xy := e.polarToXY(polar, i)
-			if e.cfg.NormalizePerAnchor {
-				xy.Normalize()
-			}
-			perAnchor[i] = xy
-		}(i)
-	}
-	wg.Wait()
-	combined = dsp.NewGrid(e.nx, e.ny)
-	for _, xy := range perAnchor {
-		if xy != nil {
-			combined.AddGrid(xy)
-		}
-	}
+	perAnchor = make([]*dsp.Grid, a.NumAnchors())
+	combined = e.likelihood(a, perAnchor)
 	return combined, perAnchor
+}
+
+// likelihoodCombined is the fix-path variant: per-anchor maps stay in the
+// pools and only the combined grid (owned by the caller) is produced.
+func (e *Engine) likelihoodCombined(a *Alpha) *dsp.Grid {
+	return e.likelihood(a, nil)
+}
+
+// likelihood runs the tiled fix pipeline. When perAnchor is non-nil the
+// per-anchor XY grids are handed to it (ownership transfers to the
+// caller); otherwise they are recycled.
+func (e *Engine) likelihood(a *Alpha, perAnchor []*dsp.Grid) *dsp.Grid {
+	ps := e.planesFor(a.Freqs)
+	I := a.NumAnchors()
+	T := len(e.thetas)
+	combined := dsp.NewGrid(e.nx, e.ny)
+
+	activeBuf := e.getInts(I)
+	active := *activeBuf
+	for i := 0; i < I; i++ {
+		if a.PresentBands(i) > 0 {
+			active = append(active, i)
+		}
+	}
+	nA := len(active)
+	if nA == 0 {
+		e.putInts(activeBuf)
+		return combined
+	}
+
+	run := e.getRun()
+	run.polars = growGrids(run.polars, nA)
+	run.xys = growGrids(run.xys, nA)
+	run.inv = growFloats(run.inv, nA)
+	run.off = growInts(run.off, nA)
+	for ai := 0; ai < nA; ai++ {
+		run.polars[ai] = e.polarPool.Get()
+		run.xys[ai] = e.xyPool.Get()
+	}
+
+	// Round 1: polar likelihood, tiled over (anchor, θ rows).
+	polarTiles := (T + polarRowTile - 1) / polarRowTile
+	parallelFor(nA*polarTiles, func(task int) {
+		ai := task / polarTiles
+		row0 := (task % polarTiles) * polarRowTile
+		row1 := row0 + polarRowTile
+		if row1 > T {
+			row1 = T
+		}
+		acc := e.getFloats(2 * len(e.deltas))
+		e.polarFill(ps, a, active[ai], run.polars[ai], row0, row1, *acc, true)
+		e.putFloats(acc)
+	})
+
+	// Round 2: polar → XY projection, tiled over (anchor, packed cells),
+	// collecting per-tile partial maxima for the normalization.
+	totalTiles := 0
+	for ai, i := range active {
+		run.off[ai] = totalTiles
+		totalTiles += (len(e.proj[i].cells) + projCellTile - 1) / projCellTile
+	}
+	run.maxima = growFloats(run.maxima, totalTiles)
+	parallelFor(totalTiles, func(task int) {
+		ai := nA - 1
+		for j := 1; j < nA; j++ {
+			if task < run.off[j] {
+				ai = j - 1
+				break
+			}
+		}
+		cells := e.proj[active[ai]].cells
+		lo := (task - run.off[ai]) * projCellTile
+		hi := lo + projCellTile
+		if hi > len(cells) {
+			hi = len(cells)
+		}
+		run.maxima[task] = e.projectPolar(run.polars[ai], active[ai], run.xys[ai], lo, hi)
+	})
+
+	// Per-anchor normalization factors (Normalize leaves all-zero maps
+	// unchanged, hence the max > 0 guard).
+	for ai := 0; ai < nA; ai++ {
+		end := totalTiles
+		if ai+1 < nA {
+			end = run.off[ai+1]
+		}
+		var m float64
+		for _, v := range run.maxima[run.off[ai]:end] {
+			if v > m {
+				m = v
+			}
+		}
+		run.inv[ai] = 1
+		if e.cfg.NormalizePerAnchor && m > 0 {
+			run.inv[ai] = 1 / m
+		}
+	}
+
+	// Round 3: scaled sum into the combined grid, tiled over XY rows.
+	sumTiles := (e.ny + sumRowTile - 1) / sumRowTile
+	parallelFor(sumTiles, func(task int) {
+		lo := task * sumRowTile * e.nx
+		hi := lo + sumRowTile*e.nx
+		if hi > len(combined.Data) {
+			hi = len(combined.Data)
+		}
+		cd := combined.Data[lo:hi]
+		for ai := 0; ai < nA; ai++ {
+			inv := run.inv[ai]
+			xd := run.xys[ai].Data[lo:hi]
+			for c := range cd {
+				cd[c] += inv * xd[c]
+			}
+		}
+	})
+
+	for ai := 0; ai < nA; ai++ {
+		e.polarPool.Put(run.polars[ai])
+		if perAnchor != nil {
+			// Hand the (pool-zeroed, fully painted) grid to the caller,
+			// applying the normalization Likelihood's contract promises.
+			xy := run.xys[ai]
+			if e.cfg.NormalizePerAnchor {
+				scaleGrid(xy, run.inv[ai])
+			}
+			perAnchor[active[ai]] = xy
+		} else {
+			e.xyPool.Put(run.xys[ai])
+		}
+		run.polars[ai], run.xys[ai] = nil, nil
+	}
+	e.putRun(run)
+	e.putInts(activeBuf)
+	return combined
+}
+
+// scaleGrid multiplies every cell by f (f = 1 is an exact no-op in IEEE
+// arithmetic, so no special case is needed).
+func scaleGrid(g *dsp.Grid, f float64) {
+	for i := range g.Data {
+		g.Data[i] *= f
+	}
 }
 
 // AngleLikelihoodXY maps Eq. 15 over the XY plane for one anchor: each
@@ -88,57 +213,26 @@ func (e *Engine) AngleLikelihoodXY(a *Alpha, anchor int) *dsp.Grid {
 	return e.angleSpectrumToXY(spec, anchor)
 }
 
-// angleSpectrumToXY paints a θ spectrum over the XY grid.
+// angleSpectrumToXY paints a θ spectrum over the XY grid through the
+// precomputed θ-only projection table.
 func (e *Engine) angleSpectrumToXY(spec []float64, anchor int) *dsp.Grid {
 	out := dsp.NewGrid(e.nx, e.ny)
-	arr := e.anchors[anchor]
-	tStep := e.thetas[1] - e.thetas[0]
-	tMin, tMax := e.thetas[0], e.thetas[len(e.thetas)-1]
-	for iy := 0; iy < e.ny; iy++ {
-		for ix := 0; ix < e.nx; ix++ {
-			theta := arr.AngleTo(e.CellCenter(ix, iy))
-			if theta < tMin || theta > tMax {
-				continue
-			}
-			ft := (theta - tMin) / tStep
-			t0 := int(ft)
-			t1 := t0 + 1
-			if t1 > len(spec)-1 {
-				t1 = len(spec) - 1
-			}
-			fr := ft - float64(t0)
-			out.Set(ix, iy, spec[t0]*(1-fr)+spec[t1]*fr)
-		}
+	od := out.Data
+	for _, c := range e.proj[anchor].angle {
+		od[c.xy] = spec[c.i0]*(1-c.fr) + spec[c.i1]*c.fr
 	}
 	return out
 }
 
 // DistanceLikelihoodXY maps Eq. 16 over the XY plane for one anchor: each
 // cell gets the relative-distance profile value of its hyperbola
-// coordinate (Fig. 6b).
+// coordinate (Fig. 6b), through the precomputed Δ-only projection table.
 func (e *Engine) DistanceLikelihoodXY(a *Alpha, anchor int) *dsp.Grid {
 	spec := e.distanceSpectrum(a, anchor)
 	out := dsp.NewGrid(e.nx, e.ny)
-	ant0 := e.anchors[anchor].Antenna(0)
-	master0 := e.anchors[0].Antenna(0)
-	dStep := e.deltas[1] - e.deltas[0]
-	dMin, dMax := e.deltas[0], e.deltas[len(e.deltas)-1]
-	for iy := 0; iy < e.ny; iy++ {
-		for ix := 0; ix < e.nx; ix++ {
-			p := e.CellCenter(ix, iy)
-			delta := p.Dist(ant0) - p.Dist(master0)
-			if delta < dMin || delta > dMax {
-				continue
-			}
-			fd := (delta - dMin) / dStep
-			d0 := int(fd)
-			d1 := d0 + 1
-			if d1 > len(spec)-1 {
-				d1 = len(spec) - 1
-			}
-			fr := fd - float64(d0)
-			out.Set(ix, iy, spec[d0]*(1-fr)+spec[d1]*fr)
-		}
+	od := out.Data
+	for _, c := range e.proj[anchor].dist {
+		od[c.xy] = spec[c.i0]*(1-c.fr) + spec[c.i1]*c.fr
 	}
 	return out
 }

@@ -89,12 +89,19 @@ type Peak struct {
 // its neighborhood is kept). minSep is the minimum Chebyshev distance in
 // cells between reported peaks: of two close peaks the larger survives.
 func (g *Grid) FindPeaks(minFrac float64, minSep int) []Peak {
+	return g.FindPeaksInto(nil, minFrac, minSep)
+}
+
+// FindPeaksInto is FindPeaks appending into dst (which may be nil or a
+// recycled buffer), so steady-state callers can keep peak extraction
+// allocation-free. The returned slice aliases dst's backing array.
+func (g *Grid) FindPeaksInto(dst []Peak, minFrac float64, minSep int) []Peak {
+	candidates := dst[:0]
 	gmax, _, _ := g.Max()
 	if gmax <= 0 {
-		return nil
+		return candidates
 	}
 	thresh := gmax * minFrac
-	var candidates []Peak
 	for iy := 0; iy < g.H; iy++ {
 		for ix := 0; ix < g.W; ix++ {
 			v := g.At(ix, iy)
@@ -136,10 +143,13 @@ func (g *Grid) FindPeaks(minFrac float64, minSep int) []Peak {
 	if minSep <= 0 {
 		return candidates
 	}
-	var out []Peak
+	// Suppress in place: the kept peaks form a stable prefix of the
+	// value-sorted candidates, so compaction preserves the semantics of
+	// building a separate output list.
+	n := 0
 	for _, c := range candidates {
 		keep := true
-		for _, k := range out {
+		for _, k := range candidates[:n] {
 			dx, dy := c.IX-k.IX, c.IY-k.IY
 			if dx < 0 {
 				dx = -dx
@@ -153,10 +163,11 @@ func (g *Grid) FindPeaks(minFrac float64, minSep int) []Peak {
 			}
 		}
 		if keep {
-			out = append(out, c)
+			candidates[n] = c
+			n++
 		}
 	}
-	return out
+	return candidates[:n]
 }
 
 // isolated reports whether the cell has no in-grid neighbors (1×1 grid or
@@ -184,12 +195,22 @@ func isolated(g *Grid, ix, iy int) bool {
 // scales the window's physical footprint independently of this grid's
 // cell size.
 func (g *Grid) NeighborhoodValues(ix, iy, diameter, stride int) []float64 {
+	return g.NeighborhoodValuesInto(nil, ix, iy, diameter, stride)
+}
+
+// NeighborhoodValuesInto is NeighborhoodValues appending into dst (which
+// may be nil or a recycled buffer), so steady-state callers can keep the
+// peak-scoring loop allocation-free.
+func (g *Grid) NeighborhoodValuesInto(dst []float64, ix, iy, diameter, stride int) []float64 {
 	if diameter < 1 || stride < 1 {
 		return nil
 	}
 	r := float64(diameter) / 2
 	ri := diameter / 2
-	out := make([]float64, 0, diameter*diameter)
+	out := dst[:0]
+	if cap(out) == 0 {
+		out = make([]float64, 0, diameter*diameter)
+	}
 	for dy := -ri; dy <= ri; dy++ {
 		for dx := -ri; dx <= ri; dx++ {
 			if float64(dx*dx+dy*dy) > r*r {
@@ -213,7 +234,14 @@ func (g *Grid) NeighborhoodValues(ix, iy, diameter, stride int) []float64 {
 // sharp direct-path peaks score visibly above the diffuse blobs that
 // imperfect reflectors produce (§5.4).
 func (g *Grid) PeakNegentropy(ix, iy, diameter, stride int) float64 {
-	vals := g.NeighborhoodValues(ix, iy, diameter, stride)
+	return g.PeakNegentropyScratch(ix, iy, diameter, stride, nil)
+}
+
+// PeakNegentropyScratch is PeakNegentropy with a caller-supplied scratch
+// buffer (may be nil); the contrast is formed in place over the collected
+// window values, so a recycled scratch makes the call allocation-free.
+func (g *Grid) PeakNegentropyScratch(ix, iy, diameter, stride int, scratch []float64) float64 {
+	vals := g.NeighborhoodValuesInto(scratch, ix, iy, diameter, stride)
 	if len(vals) == 0 {
 		return 0
 	}
@@ -223,7 +251,7 @@ func (g *Grid) PeakNegentropy(ix, iy, diameter, stride int) float64 {
 			minV = v
 		}
 	}
-	contrast := make([]float64, len(vals))
+	contrast := vals
 	var sum float64
 	for i, v := range vals {
 		contrast[i] = v - minV

@@ -1,0 +1,54 @@
+package dsp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// GridPool recycles equally-sized Grids so steady-state hot paths (the
+// per-fix likelihood pipeline) allocate nothing. Get and Put are safe for
+// concurrent use; the Hits/Misses counters feed the engine's Stats.
+type GridPool struct {
+	W, H int
+	// Zero controls whether Get clears recycled grids. Pools whose
+	// consumers overwrite every cell they later read (e.g. the polar
+	// grids, which are span-filled and span-read) can skip the memclr.
+	Zero bool
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	pool   sync.Pool
+}
+
+// NewGridPool returns a pool of W×H grids. zero selects whether recycled
+// grids are cleared before reuse.
+func NewGridPool(w, h int, zero bool) *GridPool {
+	return &GridPool{W: w, H: h, Zero: zero}
+}
+
+// Get returns a W×H grid, recycled when possible.
+func (p *GridPool) Get() *Grid {
+	if g, ok := p.pool.Get().(*Grid); ok {
+		p.hits.Add(1)
+		if p.Zero {
+			clear(g.Data)
+		}
+		return g
+	}
+	p.misses.Add(1)
+	return NewGrid(p.W, p.H)
+}
+
+// Put returns a grid to the pool. Grids of foreign dimensions are dropped
+// rather than poisoning the pool.
+func (p *GridPool) Put(g *Grid) {
+	if g == nil || g.W != p.W || g.H != p.H {
+		return
+	}
+	p.pool.Put(g)
+}
+
+// Counters returns the cumulative pool hits and misses.
+func (p *GridPool) Counters() (hits, misses uint64) {
+	return p.hits.Load(), p.misses.Load()
+}

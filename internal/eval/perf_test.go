@@ -1,0 +1,40 @@
+package eval
+
+import "testing"
+
+func perfSuite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := NewSuite(SuiteOptions{Seed: 11, Positions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMeasureFixes(t *testing.T) {
+	s := perfSuite(t)
+	r, err := s.MeasureFixes(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NsPerFix <= 0 || r.FixesPerSec <= 0 {
+		t.Fatalf("degenerate measurement: %+v", r)
+	}
+	if r.AllocsPerFix > 64 {
+		t.Fatalf("fix path allocates too much: %.1f allocs/fix", r.AllocsPerFix)
+	}
+}
+
+// TestSuiteKernelParity is the eval-level golden check: the optimized
+// likelihood must agree with the reference kernel within 1e-9 on the
+// suite's own dataset, so every figure the suite produces is unchanged.
+func TestSuiteKernelParity(t *testing.T) {
+	s := perfSuite(t)
+	worst, err := s.MaxKernelDivergence(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-9 {
+		t.Fatalf("optimized kernel diverges from reference by %g (limit 1e-9)", worst)
+	}
+}
