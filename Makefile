@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race soak vet lint ci fuzz bench bench-check figures figures-full clean
+.PHONY: all build test race soak chaos vet lint ci fuzz bench bench-check figures figures-full clean
 
 all: vet lint test build
 
@@ -21,6 +21,15 @@ soak:
 	$(GO) test -race -count=3 -run 'Soak|Fault|Quorum|Reconnect|Heartbeat' \
 		./internal/locserver/ ./internal/anchor/ ./internal/faultnet/
 
+# Chaos soak: the data-quality plane under seeded CSI corruption — the
+# faultnet injectors (NaN, stuck tones, CFO drift, silent garbage), the
+# quarantine/re-election state machine and the master-death drill, all
+# repeated under the race detector. Deterministic: every fault decision
+# comes from seeded PCG streams.
+chaos:
+	$(GO) test -race -count=3 -run 'Corrupter|Quality|Health|Reelection|FaultDrill' \
+		./internal/locserver/ ./internal/csi/ ./internal/faultnet/
+
 vet:
 	@files="$$(gofmt -l .)"; \
 	if [ -n "$$files" ]; then \
@@ -36,7 +45,7 @@ lint: build
 	$(GO) run ./cmd/bloc-lint ./...
 
 # Everything CI runs, in CI's order.
-ci: vet lint test race
+ci: vet lint test race soak chaos
 
 # Native fuzzing smoke pass over the wire protocol's seed corpus.
 fuzz:

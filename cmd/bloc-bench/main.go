@@ -6,8 +6,8 @@
 // Usage:
 //
 //	bloc-bench [-positions 300] [-seed 7] [-exp all|fig4|fig6|fig8a|fig8b|
-//	            fig9a|fig9b|fig9c|fig10|fig11|fig12|fig13|ablations|quorum]
-//	            [-out dir]
+//	            fig9a|fig9b|fig9c|fig10|fig11|fig12|fig13|ablations|quorum|
+//	            failover] [-out dir]
 //
 // The paper used 1700 positions; -positions 1700 reproduces that scale
 // (several minutes of CPU), while the default 300 keeps the shape of every
@@ -33,7 +33,7 @@ func main() {
 	var (
 		positions = flag.Int("positions", 300, "dataset size (paper: 1700)")
 		seed      = flag.Uint64("seed", 7, "simulation seed")
-		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, perf, or all)")
+		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, failover, perf, or all)")
 		out       = flag.String("out", "", "directory for CSV series (optional)")
 
 		// -exp perf flags.
@@ -72,7 +72,7 @@ func main() {
 	}
 	needsDataset := want("fig6") || want("fig8a") || want("fig9a") || want("fig9b") ||
 		want("fig9c") || want("fig10") || want("fig11") || want("fig12") ||
-		want("fig13") || want("ablations") || want("quorum")
+		want("fig13") || want("ablations") || want("quorum") || want("failover")
 	if !needsDataset {
 		return
 	}
@@ -141,6 +141,11 @@ func main() {
 		check(err)
 		fmt.Println(eval.QuorumTable(qs))
 	}
+	if want("failover") && *exp != "all" { // "all" covers it inside runAblations
+		fs, err := suite.AblationFailover()
+		check(err)
+		fmt.Println(eval.FailoverTable(fs))
+	}
 	if want("ablations") {
 		runAblations(suite, *seed, *positions)
 	}
@@ -169,6 +174,10 @@ func runAblations(suite *eval.Suite, seed uint64, positions int) {
 	qs, err := suite.AblationQuorum()
 	check(err)
 	fmt.Println(eval.QuorumTable(qs))
+
+	fo, err := suite.AblationFailover()
+	check(err)
+	fmt.Println(eval.FailoverTable(fo))
 
 	snrs, err := eval.AblationSNR(seed, small, []float64{5, 10, 15, 25})
 	check(err)

@@ -68,8 +68,17 @@ func main() {
 		MinAnchors:        *minAnch,
 		MinBands:          *minBands,
 		HeartbeatInterval: *heartbeat,
-		OnSnapshot: func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
-			res, err := eng.Locate(snap)
+		OnSnapshot: func(info locserver.RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
+			// Degraded rounds carry too few correction-grade rows for the
+			// CSI pipeline; fall back to RSSI-only trilateration.
+			if info.Coarse {
+				res, err := eng.LocateRSSI(snap)
+				if err != nil {
+					return geom.Point{}, err
+				}
+				return res.Estimate, nil
+			}
+			res, err := eng.LocateRef(snap, info.Ref)
 			if err != nil {
 				return geom.Point{}, err
 			}
@@ -102,13 +111,21 @@ func main() {
 					logger.Info("stats",
 						"fixes", es.Fixes,
 						"plane_builds", es.PlaneBuilds,
+						"proj_builds", es.ProjBuilds,
 						"table_kib", es.TableBytes/1024,
 						"pool_hits", es.PoolHits,
 						"pool_misses", es.PoolMisses,
+						"rows_masked", es.RowsMasked,
 						"rounds_full", ss.Full,
 						"rounds_partial", ss.Partial,
+						"rounds_coarse", ss.Coarse,
 						"rounds_evicted", ss.Evicted,
 						"conns_pruned", ss.Pruned,
+						"rows_rejected", ss.RowsRejected,
+						"quarantines", ss.Quarantines,
+						"readmissions", ss.Readmissions,
+						"reelections", ss.Reelections,
+						"reference", ss.Reference,
 					)
 				}
 			}

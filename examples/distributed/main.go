@@ -38,8 +38,8 @@ func main() {
 		Anchors:  len(dep.Anchors),
 		Antennas: dep.Anchors[0].N,
 		Bands:    dep.Bands,
-		OnSnapshot: func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
-			res, err := eng.Locate(snap)
+		OnSnapshot: func(info locserver.RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
+			res, err := eng.LocateRef(snap, info.Ref)
 			if err != nil {
 				return geom.Point{}, err
 			}

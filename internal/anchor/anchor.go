@@ -101,6 +101,10 @@ type Daemon struct {
 	// Dial overrides how the server is reached; tests use it to inject
 	// fault-wrapped or gated connections. Nil means net.Dial("tcp", addr).
 	Dial func(addr string) (net.Conn, error)
+	// Mutate, when set, edits every measured row before it is sent; the
+	// fault drills use it (with faultnet.Corrupter) to model a radio that
+	// reports garbage while its transport stays perfectly healthy.
+	Mutate func(*wire.CSIRow)
 
 	mu         sync.Mutex
 	state      connState      // guarded by mu
@@ -326,6 +330,11 @@ func (d *Daemon) MeasureAndReport(tagID uint16, round uint32, tag geom.Point) er
 			BandIdx:  uint16(b),
 			Tag:      snap.Tag[b][d.ID],
 			Master:   snap.Master[b][d.ID],
+		}
+		if d.Mutate != nil {
+			// Copy before corrupting: snap's rows alias the fork's buffers.
+			row.Tag = append([]complex128(nil), row.Tag...)
+			d.Mutate(row)
 		}
 		if err := d.sendRow(row); err != nil {
 			return err

@@ -22,76 +22,151 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/cmplx"
 
 	"bloc/internal/csi"
 )
 
+// refToneFloor is the denormal guard on reference tones: conjugating
+// against a zero or denormal ĥ_r0 / Ĥ_r0 turns the α products into Inf
+// (1/denormal overflows downstream magnitude normalization), and a single
+// Inf propagates into the grid max and poisons the argmax. Rows built on
+// tones below this floor are masked instead.
+const refToneFloor = 1e-150
+
+// finiteC reports whether both parts of z are finite (no NaN/Inf).
+func finiteC(z complex128) bool {
+	re, im := real(z), imag(z)
+	return !math.IsNaN(re) && !math.IsInf(re, 0) && !math.IsNaN(im) && !math.IsInf(im, 0)
+}
+
 // Alpha holds the corrected channels α^f_ij of Eq. 10 for one snapshot:
 // Values[k][i][j] is the offset-free product for band k, anchor i,
-// antenna j. The master anchor's entries are ĥ_0j·ĥ*_00 (its offsets
-// cancel pairwise; Eq. 14 with d^{i0}_{00} = 0).
+// antenna j, conjugated against the elected reference anchor Ref. The
+// reference anchor's own entries are ĥ_rj·ĥ*_r0 (its offsets cancel
+// pairwise; Eq. 14 with d^{ir}_{00} = 0).
 type Alpha struct {
 	Freqs  []float64
 	Values [][][]complex128
 
+	// Ref is the reference anchor index the conjugate product was taken
+	// against. Ref 0 reproduces Eq. 10 verbatim; see CorrectRef for the
+	// relaxed derivation.
+	Ref int
+
 	// Have[k][i] marks which corrected rows are usable. It is non-nil
-	// only for partial snapshots (degraded mode): an α row exists iff the
-	// snapshot carried both anchor i's row for band k AND the master's
-	// own row for that band (the correction multiplies by ĥ*_00). Rows
-	// with Have[k][i] == false are zero and must be skipped by the
-	// likelihood sums.
+	// for partial snapshots (degraded mode) and whenever the finite
+	// guard masked a corrupt row: an α row exists iff the snapshot
+	// carried both anchor i's row for band k AND the reference's own row
+	// for that band (the correction multiplies by ĥ*_r0), and the
+	// product stayed finite. Rows with Have[k][i] == false are zero and
+	// must be skipped by the likelihood sums.
 	Have [][]bool
 }
 
-// Correct computes the corrected channels from a snapshot (Eq. 10):
-//
-//	α^f_ij = ĥ^f_ij · (Ĥ^f_i0)* · (ĥ^f_00)*
-//
-// The snapshot's Master[k][0] is 1 by construction, which makes the same
-// formula correct for the master anchor itself.
-//
-// Partial snapshots (non-nil Have mask) are supported: bands whose master
-// row is missing yield no usable α for any anchor (there is no ĥ_00 to
-// correct against), and anchors missing a band contribute no α on that
-// band. Because the likelihoods of Eq. 17 sum per anchor and per band,
-// skipping missing rows turns the estimate into a masked sum rather than
-// corrupting it.
+// Correct computes the corrected channels against reference anchor 0,
+// the paper's hard-wired master (Eq. 10). See CorrectRef.
 func Correct(s *csi.Snapshot) (*Alpha, error) {
+	return CorrectRef(s, 0)
+}
+
+// CorrectRef computes the corrected channels from a snapshot against an
+// elected reference anchor r:
+//
+//	α^{f,r}_ij = ĥ^f_ij · (Ĥ^f_i0)* · Ĥ^f_r0 · (ĥ^f_r0)*
+//
+// This relaxes Eq. 10's fixed master index. Writing each measurement's
+// LO offsets out (tag offset φT, per-anchor receive offsets φRi, with
+// the inter-anchor sounding still transmitted by anchor 0):
+//
+//	∠ĥ_ij  += φT  − φRi      ∠Ĥ_i0 += φR0 − φRi
+//	∠Ĥ_r0  += φR0 − φRr      ∠ĥ_r0 += φT  − φRr
+//
+// so the product's offsets telescope to zero for every i — including
+// i = 0 and i = r — using only measurements the anchors already report.
+// At r = 0 the snapshot's Master[k][0] is 1 by construction and the
+// formula reduces exactly to Eq. 10.
+//
+// Partial snapshots (non-nil Have mask) are supported: bands whose
+// reference row is missing yield no usable α for any anchor (there is no
+// ĥ_r0 to correct against), and anchors missing a band contribute no α
+// on that band. Because the likelihoods of Eq. 17 sum per anchor and per
+// band, skipping missing rows turns the estimate into a masked sum
+// rather than corrupting it. Rows whose product is non-finite, or whose
+// reference tones are zero/denormal, are masked the same way.
+func CorrectRef(s *csi.Snapshot, ref int) (*Alpha, error) {
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid snapshot: %w", err)
 	}
 	K, I, J := s.NumBands(), s.NumAnchors(), s.NumAntennas()
+	if ref < 0 || ref >= I {
+		return nil, fmt.Errorf("core: reference anchor %d out of range [0,%d)", ref, I)
+	}
 	a := &Alpha{
 		Freqs:  s.Freqs,
 		Values: make([][][]complex128, K),
+		Ref:    ref,
+		Have:   make([][]bool, K),
 	}
-	if s.Have != nil {
-		a.Have = make([][]bool, K)
-	}
+	anyMasked := false
 	for k := 0; k < K; k++ {
 		a.Values[k] = make([][]complex128, I)
-		if a.Have != nil {
-			a.Have[k] = make([]bool, I)
-		}
-		masterOK := s.Present(k, 0)
-		h00 := cmplx.Conj(s.Tag[k][0][0])
+		a.Have[k] = make([]bool, I)
+		refOK, mr := refFactor(s, k, ref)
 		for i := 0; i < I; i++ {
 			row := make([]complex128, J)
-			ok := masterOK && s.Present(k, i)
+			ok := refOK && s.Present(k, i)
 			if ok {
-				mi := cmplx.Conj(s.Master[k][i]) * h00
-				for j := 0; j < J; j++ {
-					row[j] = s.Tag[k][i][j] * mi
-				}
+				ok = alphaRow(row, s.Tag[k][i], s.Master[k][i], mr)
 			}
-			if a.Have != nil {
-				a.Have[k][i] = ok
+			a.Have[k][i] = ok
+			if !ok {
+				anyMasked = true
 			}
 			a.Values[k][i] = row
 		}
 	}
+	if s.Have == nil && !anyMasked {
+		a.Have = nil
+	}
 	return a, nil
+}
+
+// refFactor computes the per-band reference term Ĥ_r0·ĥ*_r0 and whether
+// it is usable: the reference's row must be present and both tones must
+// be finite and above the denormal floor.
+func refFactor(s *csi.Snapshot, k, ref int) (bool, complex128) {
+	if !s.Present(k, ref) {
+		return false, 0
+	}
+	hr0 := s.Tag[k][ref][0]
+	Hr0 := s.Master[k][ref]
+	if !finiteC(hr0) || !finiteC(Hr0) ||
+		cmplx.Abs(hr0) < refToneFloor || cmplx.Abs(Hr0) < refToneFloor {
+		return false, 0
+	}
+	return true, Hr0 * conj(hr0)
+}
+
+// alphaRow fills one corrected row α_ij = ĥ_ij·Ĥ*_i0·mr and reports
+// whether every product stayed finite; a non-finite row is zeroed so the
+// caller can mask it.
+func alphaRow(row []complex128, tag []complex128, Hi0 complex128, mr complex128) bool {
+	mi := conj(Hi0) * mr
+	if !finiteC(mi) {
+		clear(row)
+		return false
+	}
+	for j := range row {
+		v := tag[j] * mi
+		if !finiteC(v) {
+			clear(row)
+			return false
+		}
+		row[j] = v
+	}
+	return true
 }
 
 // Present reports whether the corrected row for (band k, anchor i) is

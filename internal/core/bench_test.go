@@ -52,7 +52,7 @@ func BenchmarkPolarToXY(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.polarToXY(polar, 1)
+		e.polarToXY(polar, 1, 0)
 	}
 }
 
@@ -62,7 +62,7 @@ func BenchmarkPolarToXYReference(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.referencePolarToXY(polar, 1)
+		e.referencePolarToXY(polar, 1, 0)
 	}
 }
 

@@ -53,8 +53,12 @@ func EstimateCalibration(anchors []geom.Array, txPos []geom.Point, freqs []float
 					return nil, fmt.Errorf("core: measurement missing for anchor %d antenna %d band %d", i, j, k)
 				}
 				m0, mj := meas[k][i][0], meas[k][i][j]
-				//lint:ignore floateq exactly zero measurements mark dropped reference links
-				if cmplx.Abs(m0) == 0 || cmplx.Abs(mj) == 0 {
+				// Zero measurements mark dropped reference links; denormal
+				// or non-finite ones would turn the mj/m0 ratio into Inf or
+				// NaN and poison the circular mean, so they are skipped the
+				// same way.
+				if !finiteC(m0) || !finiteC(mj) ||
+					cmplx.Abs(m0) < refToneFloor || cmplx.Abs(mj) < refToneFloor {
 					continue
 				}
 				// Expected geometric ratio between antenna j and 0.
@@ -65,6 +69,9 @@ func EstimateCalibration(anchors []geom.Array, txPos []geom.Point, freqs []float
 				// Residual rotation = measured ratio / expected ratio; its
 				// phase is antenna j's error relative to antenna 0.
 				residual := (mj / m0) / expected
+				if !finiteC(residual) {
+					continue
+				}
 				phases = append(phases, cmplx.Phase(residual))
 			}
 			if len(phases) == 0 {
@@ -84,7 +91,11 @@ func EstimateCalibration(anchors []geom.Array, txPos []geom.Point, freqs []float
 
 // Apply returns a copy of the snapshot with the calibration applied to
 // every tag-side channel (master-side channels are measured on antenna 0,
-// whose rotor is 1 by construction).
+// whose rotor is 1 by construction). The calibration is agnostic to the
+// α reference index: rotors are relative to each anchor's own antenna 0,
+// and CorrectRef multiplies whole rows by factors built from antenna-0
+// tones only, so calibrating first is correct for any elected reference.
+// Presence masks of partial snapshots are carried over unchanged.
 func (c *Calibration) Apply(s *csi.Snapshot) (*csi.Snapshot, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -104,6 +115,13 @@ func (c *Calibration) Apply(s *csi.Snapshot) (*csi.Snapshot, error) {
 			}
 			out.Master[k][i] = s.Master[k][i]
 		}
+	}
+	if s.Have != nil {
+		have := make([][]bool, len(s.Have))
+		for k := range s.Have {
+			have[k] = append([]bool(nil), s.Have[k]...)
+		}
+		out.Have = have
 	}
 	return out, nil
 }

@@ -74,7 +74,10 @@ type Engine struct {
 	deltas    []float64 // polar Δd grid, meters (relative distance d_i0T − d_00T)
 
 	// anchorDist[i] is d^{i0}_{00}: antenna 0 of anchor i to antenna 0 of
-	// the master — known at deployment time (§5.3).
+	// anchor 0 — known at deployment time (§5.3). The inter-anchor
+	// sounding is always transmitted by anchor 0, so these distances stay
+	// fixed even when the α reference is re-elected; the steering offset
+	// for reference r is anchorDist[i] − anchorDist[r].
 	anchorDist []float64
 
 	// spacings lists the distinct antenna spacings of the deployment;
@@ -83,8 +86,14 @@ type Engine struct {
 	spacings   []float64
 	spacingIdx []int
 
-	// proj holds the per-anchor polar→XY projection tables (planes.go).
-	proj []anchorProj
+	// projMu guards projSets.
+	projMu sync.RWMutex
+	// projSets holds the per-anchor polar→XY projection tables
+	// (planes.go), one set per reference anchor because Δ is measured
+	// relative to the reference's antenna 0. The set for reference 0 is
+	// built in NewEngine; other references build lazily on first use
+	// (failover is rare). Guarded by projMu.
+	projSets map[int][]anchorProj
 
 	// XY grid geometry.
 	nx, ny int
@@ -105,9 +114,11 @@ type Engine struct {
 
 	statFixes       atomic.Uint64
 	statPlaneBuilds atomic.Uint64
+	statProjBuilds  atomic.Uint64
 	statTableBytes  atomic.Uint64
 	statPoolHits    atomic.Uint64
 	statPoolMisses  atomic.Uint64
+	statRowsMasked  atomic.Uint64
 }
 
 // Stats is a snapshot of the engine's performance counters.
@@ -123,6 +134,14 @@ type Stats struct {
 	// PoolHits/PoolMisses count scratch acquisitions served from (resp.
 	// missing) the engine's pools; steady state is all hits.
 	PoolHits, PoolMisses uint64
+	// ProjBuilds counts projection-table constructions: one per reference
+	// anchor the engine has localized against (a healthy deployment that
+	// never fails over sits at 1).
+	ProjBuilds uint64
+	// RowsMasked counts α rows that arrived in a snapshot but were zeroed
+	// by the finite/denormal guard (NaN/Inf products or zero/denormal
+	// reference tones) on the pooled fix path.
+	RowsMasked uint64
 }
 
 // Stats returns the engine's cumulative performance counters, folding in
@@ -136,6 +155,8 @@ func (e *Engine) Stats() Stats {
 		TableBytes:  e.statTableBytes.Load(),
 		PoolHits:    e.statPoolHits.Load() + ph + xh,
 		PoolMisses:  e.statPoolMisses.Load() + pm + xm,
+		ProjBuilds:  e.statProjBuilds.Load(),
+		RowsMasked:  e.statRowsMasked.Load(),
 	}
 }
 
@@ -209,7 +230,7 @@ func NewEngine(anchors []geom.Array, cfg Config) (*Engine, error) {
 	e.ny = int(math.Ceil(cfg.Room.Height()/cfg.CellM)) + 1
 	e.x0, e.y0 = cfg.Room.Min.X, cfg.Room.Min.Y
 
-	e.buildProjections()
+	e.projSets = map[int][]anchorProj{0: e.buildProjectionsFor(0)}
 	e.polarPool = dsp.NewGridPool(len(e.deltas), len(e.thetas), false)
 	e.xyPool = dsp.NewGridPool(e.nx, e.ny, true)
 	return e, nil

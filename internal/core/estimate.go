@@ -17,16 +17,26 @@ type Result struct {
 	Likelihood *dsp.Grid   // the combined XY likelihood (shared, do not mutate)
 }
 
-// Locate runs the full BLoc pipeline on a snapshot: offset correction,
-// joint likelihood, peak scoring with Eq. 18. The corrected-channel
-// workspace is drawn from the engine's pools, so steady-state calls do
-// not pay Correct's nested allocations.
+// Locate runs the full BLoc pipeline on a snapshot against the paper's
+// hard-wired reference anchor 0. See LocateRef.
 func (e *Engine) Locate(s *csi.Snapshot) (*Result, error) {
+	return e.LocateRef(s, 0)
+}
+
+// LocateRef runs the full BLoc pipeline on a snapshot against an elected
+// reference anchor: offset correction (CorrectRef), joint likelihood,
+// peak scoring with Eq. 18. The corrected-channel workspace is drawn
+// from the engine's pools, so steady-state calls do not pay Correct's
+// nested allocations.
+func (e *Engine) LocateRef(s *csi.Snapshot, ref int) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid snapshot: %w", err)
 	}
+	if ref < 0 || ref >= s.NumAnchors() {
+		return nil, fmt.Errorf("core: reference anchor %d out of range [0,%d)", ref, s.NumAnchors())
+	}
 	box := e.getAlpha(s.NumBands(), s.NumAnchors(), s.NumAntennas())
-	a := e.correctInto(s, box)
+	a := e.correctInto(s, ref, box)
 	res, err := e.locateAlpha(a, bestByScore)
 	e.putAlpha(box)
 	return res, err
@@ -62,7 +72,7 @@ func (e *Engine) LocateShortestDistance(s *csi.Snapshot) (*Result, error) {
 		return nil, fmt.Errorf("core: invalid snapshot: %w", err)
 	}
 	box := e.getAlpha(s.NumBands(), s.NumAnchors(), s.NumAntennas())
-	a := e.correctInto(s, box)
+	a := e.correctInto(s, 0, box)
 	res, err := e.locateAlpha(a, bestByShortestDistance)
 	e.putAlpha(box)
 	return res, err
@@ -149,7 +159,7 @@ func (e *Engine) LocateAoASoft(s *csi.Snapshot) (*Result, error) {
 	combined := dsp.NewGrid(e.nx, e.ny)
 	for _, i := range activeAnchors(s) {
 		spec := e.angleSpectrum(s.Freqs, s.Tag, s.Have, i)
-		xy := e.angleSpectrumToXY(spec, i)
+		xy := e.angleSpectrumToXY(spec, i, 0)
 		if e.cfg.NormalizePerAnchor {
 			xy.Normalize()
 		}
@@ -181,6 +191,7 @@ func (e *Engine) LocateRSSI(s *csi.Snapshot) (*Result, error) {
 		return nil, fmt.Errorf("core: only %d anchors present, need >= 3 for trilateration", len(active))
 	}
 	ranges := make([]float64, I)
+	usable := make([]int, 0, len(active))
 	for _, i := range active {
 		var amp float64
 		n := 0
@@ -189,18 +200,32 @@ func (e *Engine) LocateRSSI(s *csi.Snapshot) (*Result, error) {
 				continue
 			}
 			for j := range s.Tag[k][i] {
-				amp += cmplx.Abs(s.Tag[k][i][j])
+				m := cmplx.Abs(s.Tag[k][i][j])
+				if math.IsNaN(m) || math.IsInf(m, 0) {
+					continue // corrupt tone: keep it out of the mean
+				}
+				amp += m
 				n++
 			}
 		}
+		if n == 0 {
+			continue // anchor reported nothing finite
+		}
 		amp /= float64(n)
-		if amp <= 0 {
-			return nil, fmt.Errorf("core: anchor %d has zero RSSI", i)
+		// The free-space inversion 1/amp needs a strictly positive,
+		// finite magnitude; a zero/denormal amp would put an Inf range
+		// into the residual search and poison the grid argmax.
+		if amp < refToneFloor || math.IsInf(amp, 0) {
+			continue
 		}
 		ranges[i] = 1 / amp
+		usable = append(usable, i)
+	}
+	if len(usable) < 3 {
+		return nil, fmt.Errorf("core: only %d anchors with usable RSSI, need >= 3 for trilateration", len(usable))
 	}
 	// Grid search: maximize the negative range-residual sum.
-	grid, est := e.residualSearch(active, func(p geom.Point, i int) float64 {
+	grid, est := e.residualSearch(usable, func(p geom.Point, i int) float64 {
 		d := p.Dist(e.anchors[i].Center()) - ranges[i]
 		return d * d
 	})
@@ -216,6 +241,9 @@ func (e *Engine) checkAlpha(a *Alpha) error {
 	}
 	if a.NumBands() == 0 || a.NumAntennas() == 0 {
 		return fmt.Errorf("core: empty alpha")
+	}
+	if a.Ref < 0 || a.Ref >= len(e.anchors) {
+		return fmt.Errorf("core: alpha reference %d out of range [0,%d)", a.Ref, len(e.anchors))
 	}
 	if a.Have != nil {
 		if n := len(a.PresentAnchors()); n < 2 {

@@ -81,7 +81,7 @@ func checkKernelParity(t *testing.T, e *Engine, a *Alpha) {
 		refPolar := e.referencePolarLikelihood(a, i)
 		requireGridsEqual(t, "polar likelihood", polar, refPolar)
 		requireGridsEqual(t, "polar->XY projection",
-			e.polarToXY(polar, i), e.referencePolarToXY(refPolar, i))
+			e.polarToXY(polar, i, a.Ref), e.referencePolarToXY(refPolar, i, a.Ref))
 		requireSpecEqual(t, "angle spectrum",
 			e.angleSpectrum(a.Freqs, a.Values, a.Have, i),
 			e.referenceAngleSpectrum(a.Freqs, a.Values, a.Have, i))
@@ -155,7 +155,7 @@ func TestPooledCorrectMatchesCorrect(t *testing.T) {
 			t.Fatal(err)
 		}
 		box := e.getAlpha(s.NumBands(), s.NumAnchors(), s.NumAntennas())
-		got := e.correctInto(s, box)
+		got := e.correctInto(s, 0, box)
 		if (got.Have == nil) != (want.Have == nil) {
 			t.Fatalf("Have mask mismatch: got nil=%v want nil=%v", got.Have == nil, want.Have == nil)
 		}

@@ -11,8 +11,9 @@ import (
 // geometry, the (θ, Δ) polar grids, the XY room grid and the band plan —
 // is hoisted out of the per-fix path into two kinds of tables:
 //
-//   - Projection tables (anchorProj), built once in NewEngine: for every
-//     XY cell in front of an anchor, the polar-grid source indices and
+//   - Projection tables (anchorProj), built once per reference anchor
+//     (reference 0 eagerly in NewEngine, failover references lazily): for
+//     every XY cell in front of an anchor, the polar-grid source indices and
 //     bilinear weights that polarToXY / angleSpectrumToXY /
 //     DistanceLikelihoodXY would otherwise re-derive with atan2/hypot per
 //     cell per fix. Cells that project out of range are simply absent
@@ -56,22 +57,45 @@ type anchorProj struct {
 	dLo, dHi []int32
 }
 
-// buildProjections derives every anchor's projection tables from the
-// deployment geometry. This is the one place the per-cell trigonometry
-// (AngleTo, Dist) of the projections still runs — once per engine instead
-// of once per fix.
-func (e *Engine) buildProjections() {
+// projections returns the per-anchor projection tables for the given
+// reference anchor, building and caching them on first use. Reference 0
+// is built eagerly in NewEngine, so the steady state (no failover) is a
+// shared-lock map hit.
+func (e *Engine) projections(ref int) []anchorProj {
+	e.projMu.RLock()
+	set, ok := e.projSets[ref]
+	e.projMu.RUnlock()
+	if ok {
+		return set
+	}
+	e.projMu.Lock()
+	defer e.projMu.Unlock()
+	if set, ok := e.projSets[ref]; ok {
+		return set
+	}
+	set = e.buildProjectionsFor(ref)
+	e.projSets[ref] = set
+	return set
+}
+
+// buildProjectionsFor derives every anchor's projection tables from the
+// deployment geometry for one reference anchor: Δ at each XY cell is the
+// distance to the anchor minus the distance to the reference's antenna 0.
+// This is the one place the per-cell trigonometry (AngleTo, Dist) of the
+// projections still runs — once per (engine, reference) instead of once
+// per fix.
+func (e *Engine) buildProjectionsFor(ref int) []anchorProj {
 	T, D := len(e.thetas), len(e.deltas)
 	tStep := e.thetas[1] - e.thetas[0]
 	dStep := e.deltas[1] - e.deltas[0]
 	tMin, tMax := e.thetas[0], e.thetas[len(e.thetas)-1]
 	dMin, dMax := e.deltas[0], e.deltas[len(e.deltas)-1]
-	master0 := e.anchors[0].Antenna(0)
+	master0 := e.anchors[ref].Antenna(0)
 
-	e.proj = make([]anchorProj, len(e.anchors))
+	proj := make([]anchorProj, len(e.anchors))
 	for i, arr := range e.anchors {
 		ant0 := arr.Antenna(0)
-		pr := &e.proj[i]
+		pr := &proj[i]
 		pr.dLo = make([]int32, T)
 		pr.dHi = make([]int32, T)
 		for t := range pr.dLo {
@@ -148,12 +172,14 @@ func (e *Engine) buildProjections() {
 	}
 
 	var bytes int
-	for i := range e.proj {
-		pr := &e.proj[i]
+	for i := range proj {
+		pr := &proj[i]
 		bytes += len(pr.cells)*projCellBytes + (len(pr.angle)+len(pr.dist))*lineCellBytes
 		bytes += (len(pr.dLo) + len(pr.dHi)) * 4
 	}
 	e.statTableBytes.Add(uint64(bytes))
+	e.statProjBuilds.Add(1)
+	return proj
 }
 
 const (

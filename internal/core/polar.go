@@ -15,14 +15,15 @@ import (
 // float64 planes the compiler turns into tight scalar loops.
 
 // polarLikelihood evaluates the paper's Eq. 17 for one anchor on the
-// engine's (θ, Δd) grid:
+// engine's (θ, Δd) grid, relative to the alpha's elected reference r:
 //
-//	P_i(θ, Δ) = | Σ_j Σ_k α_jk · e^{−ι w_k j l sinθ} · e^{+ι w_k (Δ − D_i)} |
+//	P_i(θ, Δ) = | Σ_j Σ_k α_jk · e^{−ι w_k j l sinθ} · e^{+ι w_k (Δ − (D_i − D_r))} |
 //
 // The computation is factorized: B(θ, k) = Σ_j α_jk·e^{−ι w_k j l sinθ}
 // first (cheap, using the precomputed per-spacing angle rotors), then the
-// anchor phase e^{−ι w_k D_i} is folded into B and the hot loop is a
-// dense product against the shared base steering planes e^{+ι w_k Δ_d}.
+// relative anchor phase e^{−ι w_k (D_i − D_r)} is folded into B and the
+// hot loop is a dense product against the shared base steering planes
+// e^{+ι w_k Δ_d}. At r = 0 (D_0 = 0) this is exactly the paper's Eq. 17.
 //
 // The returned grid has W = len(deltas) columns and H = len(thetas) rows.
 func (e *Engine) polarLikelihood(a *Alpha, anchor int) *dsp.Grid {
@@ -30,7 +31,7 @@ func (e *Engine) polarLikelihood(a *Alpha, anchor int) *dsp.Grid {
 	ps := e.planesFor(a.Freqs)
 	grid := dsp.NewGrid(D, T)
 	acc := e.getFloats(2 * D)
-	e.polarFill(ps, a, anchor, grid, 0, T, *acc, false)
+	e.polarFill(ps, e.projections(a.Ref), a, anchor, grid, 0, T, *acc, false)
 	e.putFloats(acc)
 	return grid
 }
@@ -41,13 +42,16 @@ func (e *Engine) polarLikelihood(a *Alpha, anchor int) *dsp.Grid {
 // samples (anchorProj.dLo/dHi) is computed per row — cells outside the
 // span are never read by the projection and are left untouched, so
 // spanned fills require a projection-driven reader.
-func (e *Engine) polarFill(ps *planeSet, a *Alpha, anchor int, grid *dsp.Grid, row0, row1 int, acc []float64, spanned bool) {
+func (e *Engine) polarFill(ps *planeSet, projs []anchorProj, a *Alpha, anchor int, grid *dsp.Grid, row0, row1 int, acc []float64, spanned bool) {
 	D, K := len(e.deltas), a.NumBands()
 	J := a.NumAntennas()
 	steps := ps.steps[e.spacingIdx[anchor]]
 	phase := ps.phase[anchor]
+	// Conjugating the reference's rotor e^{−ι w_k D_r} shifts the steering
+	// to Δ − (D_i − D_r); at reference 0 it multiplies by exactly 1+0i.
+	rphase := ps.phase[a.Ref]
 	accRe, accIm := acc[:D], acc[D:2*D]
-	pr := &e.proj[anchor]
+	pr := &projs[anchor]
 
 	for t := row0; t < row1; t++ {
 		lo, hi := 0, D
@@ -81,7 +85,7 @@ func (e *Engine) polarFill(ps *planeSet, a *Alpha, anchor int, grid *dsp.Grid, r
 			if b == 0 {
 				continue
 			}
-			b *= phase[k] // fold e^{−ι w_k D_i} once per (θ, k)
+			b *= phase[k] * conj(rphase[k]) // fold e^{−ι w_k (D_i − D_r)} once per (θ, k)
 			bRe, bIm := real(b), imag(b)
 			row := k * D
 			bre, bim := ps.baseRe[row+lo:row+hi], ps.baseIm[row+lo:row+hi]
@@ -148,6 +152,7 @@ func (e *Engine) distanceSpectrum(a *Alpha, anchor int) []float64 {
 	J := a.NumAntennas()
 	ps := e.planesFor(a.Freqs)
 	phase := ps.phase[anchor]
+	rphase := ps.phase[a.Ref]
 	out := make([]float64, D)
 	acc := e.getFloats(2 * D)
 	accRe, accIm := (*acc)[:D], (*acc)[D:2*D]
@@ -160,7 +165,7 @@ func (e *Engine) distanceSpectrum(a *Alpha, anchor int) []float64 {
 			if !a.Present(k, anchor) {
 				continue
 			}
-			v := a.Values[k][anchor][j] * phase[k]
+			v := a.Values[k][anchor][j] * phase[k] * conj(rphase[k])
 			vRe, vIm := real(v), imag(v)
 			row := k * D
 			bre, bim := ps.baseRe[row:row+D], ps.baseIm[row:row+D]

@@ -157,35 +157,44 @@ func (e *Engine) getAlpha(K, I, J int) *alphaBox {
 
 func (e *Engine) putAlpha(b *alphaBox) { e.alphaPool.Put(b) }
 
-// correctInto is Correct (Eq. 10) writing into a pooled workspace instead
-// of freshly allocated nested slices. The arithmetic and masking are
-// identical to Correct's.
-func (e *Engine) correctInto(s *csi.Snapshot, b *alphaBox) *Alpha {
-	K, I, J := b.k, b.i, b.j
+// correctInto is CorrectRef writing into a pooled workspace instead of
+// freshly allocated nested slices. The arithmetic, finite guards and
+// masking are identical to CorrectRef's (they share refFactor/alphaRow),
+// which the golden parity tests assert bit for bit.
+func (e *Engine) correctInto(s *csi.Snapshot, ref int, b *alphaBox) *Alpha {
+	K, I := b.k, b.i
 	b.a.Freqs = s.Freqs
-	if s.Have != nil {
-		b.a.Have = b.haveRows
-	} else {
-		b.a.Have = nil
-	}
+	b.a.Ref = ref
+	anyMasked := false
+	guardTrips := uint64(0)
 	for k := 0; k < K; k++ {
-		masterOK := s.Present(k, 0)
-		h00 := conj(s.Tag[k][0][0])
+		refOK, mr := refFactor(s, k, ref)
 		for i := 0; i < I; i++ {
 			row := b.rows[k*I+i]
-			ok := masterOK && s.Present(k, i)
+			ok := refOK && s.Present(k, i)
 			if ok {
-				mi := conj(s.Master[k][i]) * h00
-				for j := 0; j < J; j++ {
-					row[j] = s.Tag[k][i][j] * mi
-				}
+				ok = alphaRow(row, s.Tag[k][i], s.Master[k][i], mr)
 			} else {
-				clear(row) // recycled memory: zero like Correct's fresh rows
+				clear(row) // recycled memory: zero like CorrectRef's fresh rows
 			}
-			if b.a.Have != nil {
-				b.haveRows[k][i] = ok
+			b.haveRows[k][i] = ok
+			if !ok {
+				anyMasked = true
+				if s.Present(k, i) && s.Present(k, ref) {
+					// The row arrived but the finite/denormal guard
+					// rejected the conjugate product.
+					guardTrips++
+				}
 			}
 		}
+	}
+	if s.Have == nil && !anyMasked {
+		b.a.Have = nil
+	} else {
+		b.a.Have = b.haveRows
+	}
+	if guardTrips > 0 {
+		e.statRowsMasked.Add(guardTrips)
 	}
 	return &b.a
 }

@@ -32,7 +32,7 @@ func (e *Engine) LikelihoodReference(a *Alpha) (combined *dsp.Grid, perAnchor []
 		go func(i int) {
 			defer wg.Done()
 			polar := e.referencePolarLikelihood(a, i)
-			xy := e.referencePolarToXY(polar, i)
+			xy := e.referencePolarToXY(polar, i, a.Ref)
 			if e.cfg.NormalizePerAnchor {
 				xy.Normalize()
 			}
@@ -50,17 +50,18 @@ func (e *Engine) LikelihoodReference(a *Alpha) (combined *dsp.Grid, perAnchor []
 }
 
 // referencePolarLikelihood evaluates the paper's Eq. 17 for one anchor on
-// the engine's (θ, Δd) grid:
+// the engine's (θ, Δd) grid, relative to the alpha's reference r:
 //
-//	P_i(θ, Δ) = | Σ_j Σ_k α_jk · e^{−ι w_k j l sinθ} · e^{+ι w_k (Δ − D_i)} |
+//	P_i(θ, Δ) = | Σ_j Σ_k α_jk · e^{−ι w_k j l sinθ} · e^{+ι w_k (Δ − (D_i − D_r))} |
 //
-// with w_k = 2π f_k / c and D_i the known anchor-to-master distance,
-// rebuilding the distance steering matrix and per-antenna rotors on every
-// call.
+// with w_k = 2π f_k / c and D_i the known anchor-to-anchor-0 distance
+// (D_0 = 0, so reference 0 is the paper's formula verbatim), rebuilding
+// the distance steering matrix and per-antenna rotors on every call.
 func (e *Engine) referencePolarLikelihood(a *Alpha, anchor int) *dsp.Grid {
 	T, D, K := len(e.thetas), len(e.deltas), a.NumBands()
 	J := a.NumAntennas()
 	l := e.anchors[anchor].Spacing
+	dRel := e.anchorDist[anchor] - e.anchorDist[a.Ref]
 
 	// Angular frequency per band.
 	w := make([]float64, K)
@@ -68,13 +69,13 @@ func (e *Engine) referencePolarLikelihood(a *Alpha, anchor int) *dsp.Grid {
 		w[k] = 2 * math.Pi * a.Freqs[k] / rfsim.SpeedOfLight
 	}
 
-	// Distance steering matrix E[k][d] = e^{+ι w_k (Δ_d − D_i)}, laid out
-	// row-per-band so the inner loop walks contiguous memory.
+	// Distance steering matrix E[k][d] = e^{+ι w_k (Δ_d − (D_i − D_r))},
+	// laid out row-per-band so the inner loop walks contiguous memory.
 	E := make([][]complex128, K)
 	for k := 0; k < K; k++ {
 		row := make([]complex128, D)
 		for d, delta := range e.deltas {
-			s, c := math.Sincos(w[k] * (delta - e.anchorDist[anchor]))
+			s, c := math.Sincos(w[k] * (delta - dRel))
 			row[d] = complex(c, s)
 		}
 		E[k] = row
@@ -120,12 +121,13 @@ func (e *Engine) referencePolarLikelihood(a *Alpha, anchor int) *dsp.Grid {
 }
 
 // referencePolarToXY resamples one anchor's polar likelihood onto the XY
-// grid with per-cell trigonometry and bilinear sampling.
-func (e *Engine) referencePolarToXY(polar *dsp.Grid, anchor int) *dsp.Grid {
+// grid with per-cell trigonometry and bilinear sampling; Δ at each cell
+// is measured relative to the reference anchor's antenna 0.
+func (e *Engine) referencePolarToXY(polar *dsp.Grid, anchor, ref int) *dsp.Grid {
 	out := dsp.NewGrid(e.nx, e.ny)
 	arr := e.anchors[anchor]
 	ant0 := arr.Antenna(0)
-	master0 := e.anchors[0].Antenna(0)
+	master0 := e.anchors[ref].Antenna(0)
 
 	tStep := e.thetas[1] - e.thetas[0]
 	dStep := e.deltas[1] - e.deltas[0]
@@ -188,6 +190,7 @@ func (e *Engine) referenceDistanceSpectrum(a *Alpha, anchor int) []float64 {
 	D := len(e.deltas)
 	K := a.NumBands()
 	J := a.NumAntennas()
+	dRel := e.anchorDist[anchor] - e.anchorDist[a.Ref]
 	out := make([]float64, D)
 	for d, delta := range e.deltas {
 		for j := 0; j < J; j++ {
@@ -197,7 +200,7 @@ func (e *Engine) referenceDistanceSpectrum(a *Alpha, anchor int) []float64 {
 					continue
 				}
 				w := 2 * math.Pi * a.Freqs[k] / rfsim.SpeedOfLight
-				s, c := math.Sincos(w * (delta - e.anchorDist[anchor]))
+				s, c := math.Sincos(w * (delta - dRel))
 				acc += a.Values[k][anchor][j] * complex(c, s)
 			}
 			out[d] += cmplx.Abs(acc)

@@ -16,23 +16,24 @@ const (
 )
 
 // polarToXY resamples one anchor's polar likelihood P_i(θ, Δ) onto the
-// engine's XY grid: every cell center p maps to the anchor-relative
-// coordinates θ_i(p) (angle from the array broadside) and
-// Δ_i(p) = |p − ant_i0| − |p − ant_00| (relative distance, §5.3), and the
-// polar grid is sampled bilinearly there. The mapping is precomputed: the
-// packed projection table supplies each in-range cell's source indices
-// and weights, so no per-cell trigonometry runs here.
-func (e *Engine) polarToXY(polar *dsp.Grid, anchor int) *dsp.Grid {
+// engine's XY grid for reference anchor ref: every cell center p maps to
+// the anchor-relative coordinates θ_i(p) (angle from the array broadside)
+// and Δ_i(p) = |p − ant_i0| − |p − ant_r0| (relative distance, §5.3), and
+// the polar grid is sampled bilinearly there. The mapping is precomputed:
+// the packed projection table supplies each in-range cell's source
+// indices and weights, so no per-cell trigonometry runs here.
+func (e *Engine) polarToXY(polar *dsp.Grid, anchor, ref int) *dsp.Grid {
 	out := dsp.NewGrid(e.nx, e.ny)
-	e.projectPolar(polar, anchor, out, 0, len(e.proj[anchor].cells))
+	pr := &e.projections(ref)[anchor]
+	e.projectPolar(polar, pr, out, 0, len(pr.cells))
 	return out
 }
 
 // projectPolar applies projection-table entries [lo, hi) of one anchor to
 // out and returns the maximum projected value of the slice (for the
 // deferred per-anchor normalization).
-func (e *Engine) projectPolar(polar *dsp.Grid, anchor int, out *dsp.Grid, lo, hi int) float64 {
-	cells := e.proj[anchor].cells[lo:hi]
+func (e *Engine) projectPolar(polar *dsp.Grid, pr *anchorProj, out *dsp.Grid, lo, hi int) float64 {
+	cells := pr.cells[lo:hi]
 	pd := polar.Data
 	od := out.Data
 	var max float64
@@ -75,6 +76,7 @@ func (e *Engine) likelihoodCombined(a *Alpha) *dsp.Grid {
 // caller); otherwise they are recycled.
 func (e *Engine) likelihood(a *Alpha, perAnchor []*dsp.Grid) *dsp.Grid {
 	ps := e.planesFor(a.Freqs)
+	projs := e.projections(a.Ref)
 	I := a.NumAnchors()
 	T := len(e.thetas)
 	combined := dsp.NewGrid(e.nx, e.ny)
@@ -112,7 +114,7 @@ func (e *Engine) likelihood(a *Alpha, perAnchor []*dsp.Grid) *dsp.Grid {
 			row1 = T
 		}
 		acc := e.getFloats(2 * len(e.deltas))
-		e.polarFill(ps, a, active[ai], run.polars[ai], row0, row1, *acc, true)
+		e.polarFill(ps, projs, a, active[ai], run.polars[ai], row0, row1, *acc, true)
 		e.putFloats(acc)
 	})
 
@@ -121,7 +123,7 @@ func (e *Engine) likelihood(a *Alpha, perAnchor []*dsp.Grid) *dsp.Grid {
 	totalTiles := 0
 	for ai, i := range active {
 		run.off[ai] = totalTiles
-		totalTiles += (len(e.proj[i].cells) + projCellTile - 1) / projCellTile
+		totalTiles += (len(projs[i].cells) + projCellTile - 1) / projCellTile
 	}
 	run.maxima = growFloats(run.maxima, totalTiles)
 	parallelFor(totalTiles, func(task int) {
@@ -132,13 +134,13 @@ func (e *Engine) likelihood(a *Alpha, perAnchor []*dsp.Grid) *dsp.Grid {
 				break
 			}
 		}
-		cells := e.proj[active[ai]].cells
+		pr := &projs[active[ai]]
 		lo := (task - run.off[ai]) * projCellTile
 		hi := lo + projCellTile
-		if hi > len(cells) {
-			hi = len(cells)
+		if hi > len(pr.cells) {
+			hi = len(pr.cells)
 		}
-		run.maxima[task] = e.projectPolar(run.polars[ai], active[ai], run.xys[ai], lo, hi)
+		run.maxima[task] = e.projectPolar(run.polars[ai], pr, run.xys[ai], lo, hi)
 	})
 
 	// Per-anchor normalization factors (Normalize leaves all-zero maps
@@ -210,15 +212,16 @@ func scaleGrid(g *dsp.Grid, f float64) {
 // cell gets the angular spectrum value of its direction (Fig. 6a).
 func (e *Engine) AngleLikelihoodXY(a *Alpha, anchor int) *dsp.Grid {
 	spec := e.angleSpectrum(a.Freqs, a.Values, a.Have, anchor)
-	return e.angleSpectrumToXY(spec, anchor)
+	return e.angleSpectrumToXY(spec, anchor, a.Ref)
 }
 
 // angleSpectrumToXY paints a θ spectrum over the XY grid through the
-// precomputed θ-only projection table.
-func (e *Engine) angleSpectrumToXY(spec []float64, anchor int) *dsp.Grid {
+// precomputed θ-only projection table (the table's angle entries do not
+// depend on the reference; ref only selects the set they live in).
+func (e *Engine) angleSpectrumToXY(spec []float64, anchor, ref int) *dsp.Grid {
 	out := dsp.NewGrid(e.nx, e.ny)
 	od := out.Data
-	for _, c := range e.proj[anchor].angle {
+	for _, c := range e.projections(ref)[anchor].angle {
 		od[c.xy] = spec[c.i0]*(1-c.fr) + spec[c.i1]*c.fr
 	}
 	return out
@@ -226,12 +229,13 @@ func (e *Engine) angleSpectrumToXY(spec []float64, anchor int) *dsp.Grid {
 
 // DistanceLikelihoodXY maps Eq. 16 over the XY plane for one anchor: each
 // cell gets the relative-distance profile value of its hyperbola
-// coordinate (Fig. 6b), through the precomputed Δ-only projection table.
+// coordinate (Fig. 6b), through the precomputed Δ-only projection table
+// of the alpha's reference.
 func (e *Engine) DistanceLikelihoodXY(a *Alpha, anchor int) *dsp.Grid {
 	spec := e.distanceSpectrum(a, anchor)
 	out := dsp.NewGrid(e.nx, e.ny)
 	od := out.Data
-	for _, c := range e.proj[anchor].dist {
+	for _, c := range e.projections(a.Ref)[anchor].dist {
 		od[c.xy] = spec[c.i0]*(1-c.fr) + spec[c.i1]*c.fr
 	}
 	return out

@@ -24,7 +24,7 @@ func TestPolarToXYBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 	polar := e.polarLikelihood(a, 1)
-	xy := e.polarToXY(polar, 1)
+	xy := e.polarToXY(polar, 1, 0)
 	nx, ny := e.GridSize()
 	arr := d.Anchors[1]
 	for iy := 0; iy < ny; iy++ {

@@ -1,0 +1,179 @@
+package csi
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+)
+
+// randomRow fabricates a plausible CSI row: random phases (fresh LO draw
+// per retune), magnitudes around mag with mild fading.
+func randomRow(rng *rand.Rand, n int, mag float64) []complex128 {
+	row := make([]complex128, n)
+	for j := range row {
+		m := mag * (0.6 + 0.8*rng.Float64())
+		row[j] = cmplx.Rect(m, (rng.Float64()*2-1)*math.Pi)
+	}
+	return row
+}
+
+func feedClean(t *testing.T, v *RowValidator, rng *rand.Rand, anchor, rows, antennas int, mag float64) {
+	t.Helper()
+	for r := 0; r < rows; r++ {
+		row := randomRow(rng, antennas, mag)
+		if verdict := v.Check(anchor, row, cmplx.Rect(mag, rng.Float64())); !verdict.OK() {
+			t.Fatalf("clean row %d rejected: %v", r, verdict)
+		}
+	}
+}
+
+func TestQualityAcceptsCleanStream(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	v := NewRowValidator(4, QualityConfig{})
+	for a := 0; a < 4; a++ {
+		feedClean(t, v, rng, a, 200, 4, 0.2)
+	}
+}
+
+func TestQualityRejectsNonFinite(t *testing.T) {
+	v := NewRowValidator(2, QualityConfig{})
+	row := []complex128{1, 2, complex(math.NaN(), 0), 4}
+	if got := v.Check(0, row, 1); got != RowNonFinite {
+		t.Fatalf("NaN tone: got %v", got)
+	}
+	row = []complex128{1, 2, 3, 4}
+	if got := v.Check(0, row, complex(0, math.Inf(-1))); got != RowNonFinite {
+		t.Fatalf("Inf master: got %v", got)
+	}
+}
+
+func TestQualityRejectsDeadRow(t *testing.T) {
+	v := NewRowValidator(1, QualityConfig{})
+	row := []complex128{1e-30, complex(0, 1e-25), 0, 0}
+	if got := v.Check(0, row, 1); got != RowDead {
+		t.Fatalf("dead row: got %v", got)
+	}
+}
+
+func TestQualityDetectsStuckTones(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	cfg := QualityConfig{StuckRows: 4}
+	v := NewRowValidator(1, cfg)
+	feedClean(t, v, rng, 0, 10, 4, 0.2)
+	stuck := randomRow(rng, 4, 0.2)
+	// A short run of repeats (transport resend) passes…
+	for r := 0; r < 4; r++ {
+		verdict := v.Check(0, append([]complex128(nil), stuck...), 1)
+		if r < 3 && !verdict.OK() {
+			t.Fatalf("repeat %d rejected early: %v", r, verdict)
+		}
+		// …but the run threshold trips on sustained repetition.
+		if r == 3 && verdict != RowStuckTones {
+			t.Fatalf("repeat %d: got %v, want stuck-tones", r, verdict)
+		}
+	}
+	// Still stuck: stays rejected until the values change.
+	if got := v.Check(0, append([]complex128(nil), stuck...), 1); got != RowStuckTones {
+		t.Fatalf("sustained repeat: got %v", got)
+	}
+	feedClean(t, v, rng, 0, 5, 4, 0.2)
+}
+
+func TestQualityDetectsFrozenPhase(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	v := NewRowValidator(1, QualityConfig{FrozenRows: 6})
+	feedClean(t, v, rng, 0, 10, 4, 0.2)
+	// A CFO-locked radio: magnitudes keep fading, but the phase advances
+	// by a constant small increment per row instead of re-randomizing.
+	phase := 0.3
+	const drift = 0.05
+	tripped := false
+	for r := 0; r < 20; r++ {
+		phase += drift
+		row := make([]complex128, 4)
+		for j := range row {
+			m := 0.2 * (0.6 + 0.8*rng.Float64())
+			row[j] = cmplx.Rect(m, phase+float64(j)*0.4)
+		}
+		if v.Check(0, row, 1) == RowFrozenPhase {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("constant phase drift never detected")
+	}
+}
+
+func TestQualityDetectsMagnitudeOutlier(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	v := NewRowValidator(1, QualityConfig{})
+	feedClean(t, v, rng, 0, 64, 4, 0.2)
+	// Silent garbage at a wildly different power level.
+	loud := randomRow(rng, 4, 2e4)
+	if got := v.Check(0, loud, 1); got != RowMagOutlier {
+		t.Fatalf("1e5x magnitude: got %v", got)
+	}
+	quiet := randomRow(rng, 4, 2e-9)
+	if got := v.Check(0, quiet, 1); got != RowMagOutlier {
+		t.Fatalf("1e-8x magnitude: got %v", got)
+	}
+	// The rejected rows must not have dragged the window: clean rows
+	// still pass.
+	feedClean(t, v, rng, 0, 10, 4, 0.2)
+}
+
+func TestQualityColdStartTolerant(t *testing.T) {
+	// Before the MAD window warms up, unusual magnitudes pass (no
+	// history to judge against) — they must not be rejected.
+	rng := rand.New(rand.NewPCG(5, 5))
+	v := NewRowValidator(1, QualityConfig{})
+	for r := 0; r < 8; r++ {
+		mag := 0.01 * math.Pow(3, float64(r%4))
+		if got := v.Check(0, randomRow(rng, 4, mag), 1); !got.OK() {
+			t.Fatalf("cold-start row %d rejected: %v", r, got)
+		}
+	}
+}
+
+func TestQualityResetClearsHistory(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	v := NewRowValidator(1, QualityConfig{})
+	feedClean(t, v, rng, 0, 64, 4, 0.2)
+	if got := v.Check(0, randomRow(rng, 4, 5e3), 1); got != RowMagOutlier {
+		t.Fatalf("outlier before reset: got %v", got)
+	}
+	v.Reset(0)
+	// After reset the window is cold again: the same power level passes
+	// and becomes the new baseline.
+	for r := 0; r < 20; r++ {
+		if got := v.Check(0, randomRow(rng, 4, 5e3), 1); !got.OK() {
+			t.Fatalf("post-reset row %d rejected: %v", r, got)
+		}
+	}
+}
+
+func TestQualityIndependentPerAnchor(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	v := NewRowValidator(2, QualityConfig{})
+	feedClean(t, v, rng, 0, 64, 4, 0.2)
+	// Anchor 1 legitimately sits much farther away: its own window must
+	// judge it, not anchor 0's.
+	feedClean(t, v, rng, 1, 64, 4, 1e-3)
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for v, want := range map[RowVerdict]string{
+		RowOK: "ok", RowNonFinite: "non-finite", RowDead: "dead",
+		RowStuckTones: "stuck-tones", RowFrozenPhase: "frozen-phase",
+		RowMagOutlier: "mag-outlier",
+	} {
+		if v.String() != want {
+			t.Fatalf("verdict %d: %q != %q", uint8(v), v.String(), want)
+		}
+	}
+	if !RowOK.OK() || RowDead.OK() {
+		t.Fatal("OK() predicate wrong")
+	}
+}

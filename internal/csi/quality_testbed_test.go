@@ -1,0 +1,38 @@
+package csi_test
+
+import (
+	"testing"
+
+	"bloc/internal/csi"
+	"bloc/internal/geom"
+	"bloc/internal/testbed"
+)
+
+// TestQualityCleanTestbedStream feeds 100 rounds of genuine simulated CSI
+// — with the tag jumping between distant positions, the worst case for
+// the magnitude gate — through the validator and requires zero false
+// positives. The sanity pipeline sits in front of every production round;
+// rejecting clean data would silently degrade the estimator.
+func TestQualityCleanTestbedStream(t *testing.T) {
+	dep, err := testbed.Paper(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := csi.NewRowValidator(len(dep.Anchors), csi.QualityConfig{})
+	pts := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(-1.2, 1.8), geom.Pt(2.0, -2.0), geom.Pt(0.1, -0.3)}
+	rejected := 0
+	for round := 0; round < 100; round++ {
+		snap := dep.Fork(uint64(round)).Sounding(pts[round%len(pts)])
+		for i := 0; i < snap.NumAnchors(); i++ {
+			for k := 0; k < snap.NumBands(); k++ {
+				if verd := v.Check(i, snap.Tag[k][i], snap.Master[k][i]); !verd.OK() {
+					rejected++
+					t.Logf("round %d anchor %d band %d: %v", round, i, k, verd)
+				}
+			}
+		}
+	}
+	if rejected > 0 {
+		t.Fatalf("%d clean rows rejected", rejected)
+	}
+}

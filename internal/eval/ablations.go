@@ -686,6 +686,90 @@ func AblationWiFi(seed uint64, positions int) (*WiFiResult, error) {
 	}, nil
 }
 
+// ---------------------------------------------------------------------------
+// Reference failover: the locserver re-elects the α-correction reference
+// away from a degraded master (DESIGN.md §10), so this ablation prices the
+// mechanism. The relaxed Eq. 10 cancels every LO term for any reference
+// index, so clean-data accuracy must be reference-independent; the
+// interesting rows are the fault scenarios — the original master dead
+// (localize re-referenced from the survivors), a corrupt anchor
+// quarantined (its rows masked, the clean-round case of the fault drill,
+// which must stay within ~10% of the no-fault baseline), and the RSSI
+// coarse fallback used when the CSI quorum is unmet.
+
+// FailoverPoint is one reference/fault scenario.
+type FailoverPoint struct {
+	Name  string
+	Stats ErrorStats
+}
+
+// AblationFailover evaluates the failover plane's operating points on the
+// shared dataset.
+func (s *Suite) AblationFailover() ([]FailoverPoint, error) {
+	N := len(s.Dep.Anchors)
+	refEst := func(ref int) Estimator {
+		return func(eng *core.Engine, snap *csi.Snapshot) (*core.Result, error) {
+			return eng.LocateRef(snap, ref)
+		}
+	}
+	maskAnchor := func(i int) func(*csi.Snapshot) (*csi.Snapshot, error) {
+		return func(snap *csi.Snapshot) (*csi.Snapshot, error) {
+			m := snap.MaskedCopy()
+			for k := range m.Bands {
+				m.MaskMissing(k, i)
+			}
+			return m, nil
+		}
+	}
+	type scenario struct {
+		name string
+		est  Estimator
+		prep func(*csi.Snapshot) (*csi.Snapshot, error)
+	}
+	scenarios := []scenario{{name: "reference 0 (paper master), no faults", est: EstimatorBLoc}}
+	for r := 1; r < N; r++ {
+		scenarios = append(scenarios, scenario{
+			name: fmt.Sprintf("reference %d, no faults", r),
+			est:  refEst(r),
+		})
+	}
+	scenarios = append(scenarios,
+		scenario{
+			name: fmt.Sprintf("anchor %d quarantined (clean rounds of the fault drill)", N-1),
+			est:  EstimatorBLoc, prep: maskAnchor(N - 1),
+		},
+		scenario{
+			name: "master dead, re-referenced to anchor 1",
+			est:  refEst(1), prep: maskAnchor(0),
+		},
+		scenario{
+			name: "master dead, RSSI coarse fallback",
+			est:  EstimatorRSSI, prep: maskAnchor(0),
+		},
+	)
+	out := make([]FailoverPoint, 0, len(scenarios))
+	for _, sc := range scenarios {
+		errs, err := s.Errors(s.Eng, sc.est, sc.prep)
+		if err != nil {
+			return nil, fmt.Errorf("failover %q: %w", sc.name, err)
+		}
+		out = append(out, FailoverPoint{Name: sc.name, Stats: NewErrorStats(errs)})
+	}
+	return out, nil
+}
+
+// FailoverTable renders the failover operating points.
+func FailoverTable(ps []FailoverPoint) *Table {
+	t := &Table{
+		Title:   "Ablation — reference failover and quarantine (data-quality plane)",
+		Columns: []string{"scenario", "median (cm)", "p90 (cm)"},
+	}
+	for _, p := range ps {
+		t.AddRow(p.Name, Cm(p.Stats.Median), Cm(p.Stats.P90))
+	}
+	return t
+}
+
 // WiFiTable renders the comparison.
 func WiFiTable(r *WiFiResult) *Table {
 	t := &Table{

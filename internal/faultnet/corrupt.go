@@ -1,0 +1,147 @@
+package faultnet
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"sync"
+
+	"bloc/internal/wire"
+)
+
+// CSI payload corruption: where faultnet.Conn models a broken transport,
+// Corrupter models a broken radio — the frames arrive intact but the CSI
+// inside them lies. Each injector reproduces one of the failure shapes the
+// sanity pipeline in internal/csi detects:
+//
+//   - bit flips in the float encoding (DMA/ECC faults → NaN, Inf or
+//     wildly wrong values);
+//   - outright NaN payloads (uninitialized buffers);
+//   - stuck tones: the radio replays its first row forever (a frozen
+//     DMA buffer);
+//   - CFO drift: the first row replayed with a slowly advancing phase —
+//     magnitudes frozen, phase deterministic instead of per-retune random
+//     (a synthesizer that lost its retune trigger but keeps drifting);
+//   - silent garbage: plausible-looking random tones at a wildly wrong
+//     power level (the "silent-garbage master" scenario — nothing in the
+//     transport or framing hints that the data is junk).
+//
+// All decisions come from a PCG stream derived from the seed, so a drill
+// replays identically.
+
+// CorruptConfig selects which corruptions to inject. Probabilities are
+// per row; zero values inject nothing.
+type CorruptConfig struct {
+	// Seed derives the corruption stream (default 1).
+	Seed uint64
+	// BitFlipProb flips one random mantissa/exponent/sign bit of one
+	// random tone in the row.
+	BitFlipProb float64
+	// NaNProb replaces one random tone with NaN.
+	NaNProb float64
+	// StuckTone replays the corrupter's first observed row in place of
+	// every later one.
+	StuckTone bool
+	// CFODriftRadPerRow, when positive, replays the first observed row
+	// with its phases advanced by this many radians per subsequent row.
+	CFODriftRadPerRow float64
+	// GarbageProb replaces the whole row with random tones at a power
+	// level GarbageGain times the original (default gain 1e6) — silently
+	// wrong data with healthy framing.
+	GarbageProb float64
+	// GarbageGain scales garbage rows' magnitude (default 1e6).
+	GarbageGain float64
+}
+
+// Corrupter mutates wire.CSIRow payloads in place. Plug it into
+// anchor.Daemon.Mutate. Safe for concurrent use.
+type Corrupter struct {
+	cfg CorruptConfig
+
+	mu          sync.Mutex
+	rng         *rand.Rand   // guarded by mu
+	first       []complex128 // first observed row (stuck/CFO replay source); guarded by mu
+	firstMaster complex128   // guarded by mu
+	rows        int          // rows seen; guarded by mu
+	corrupted   int          // rows actually mutated; guarded by mu
+}
+
+// NewCorrupter builds a corrupter with its own seeded stream.
+func NewCorrupter(cfg CorruptConfig) *Corrupter {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.GarbageGain <= 0 {
+		cfg.GarbageGain = 1e6
+	}
+	return &Corrupter{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0xC0FFEE)),
+	}
+}
+
+// Corrupted reports how many rows were actually mutated.
+func (c *Corrupter) Corrupted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.corrupted
+}
+
+// Apply mutates one row according to the configuration. The row's Tag
+// slice is modified in place; callers must not pass buffers shared with
+// the clean measurement path.
+func (c *Corrupter) Apply(row *wire.CSIRow) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := c.rows
+	c.rows++
+	if c.first == nil {
+		c.first = append([]complex128(nil), row.Tag...)
+		c.firstMaster = row.Master
+	}
+
+	touched := false
+	switch {
+	case c.cfg.StuckTone && idx > 0:
+		// Exact replay: every row after the first repeats it bit for bit.
+		copy(row.Tag, c.first)
+		row.Master = c.firstMaster
+		touched = true
+	case c.cfg.CFODriftRadPerRow > 0 && idx > 0:
+		// Frozen magnitudes, deterministically drifting phase: the inter-row
+		// phase delta is constant, which is what the frozen-phase detector
+		// keys on (a real retune re-randomizes it).
+		rot := cmplx.Rect(1, c.cfg.CFODriftRadPerRow*float64(idx))
+		for j := range row.Tag {
+			row.Tag[j] = c.first[j] * rot
+		}
+		row.Master = c.firstMaster * rot
+		touched = true
+	case c.cfg.GarbageProb > 0 && c.rng.Float64() < c.cfg.GarbageProb:
+		mean := 0.0
+		for _, z := range row.Tag {
+			mean += cmplx.Abs(z)
+		}
+		mean = mean/float64(len(row.Tag)) + 1e-30
+		for j := range row.Tag {
+			m := mean * c.cfg.GarbageGain * (0.5 + c.rng.Float64())
+			row.Tag[j] = cmplx.Rect(m, (c.rng.Float64()*2-1)*math.Pi)
+		}
+		touched = true
+	}
+	if c.cfg.NaNProb > 0 && c.rng.Float64() < c.cfg.NaNProb {
+		row.Tag[c.rng.IntN(len(row.Tag))] = complex(math.NaN(), math.NaN())
+		touched = true
+	}
+	if c.cfg.BitFlipProb > 0 && c.rng.Float64() < c.cfg.BitFlipProb {
+		j := c.rng.IntN(len(row.Tag))
+		re := math.Float64bits(real(row.Tag[j]))
+		im := imag(row.Tag[j])
+		bit := uint(c.rng.IntN(64))
+		row.Tag[j] = complex(math.Float64frombits(re^(1<<bit)), im)
+		touched = true
+	}
+	if touched {
+		c.corrupted++
+	}
+}

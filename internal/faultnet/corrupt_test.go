@@ -1,0 +1,127 @@
+package faultnet
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"bloc/internal/csi"
+	"bloc/internal/wire"
+)
+
+// cleanRow fabricates a plausible CSI row: fresh random phases per retune,
+// magnitudes around mag with mild fading.
+func cleanRow(rng *rand.Rand, n int, mag float64) *wire.CSIRow {
+	tones := make([]complex128, n)
+	for j := range tones {
+		m := mag * (0.6 + 0.8*rng.Float64())
+		tones[j] = cmplx.Rect(m, (rng.Float64()*2-1)*math.Pi)
+	}
+	return &wire.CSIRow{Tag: tones, Master: cmplx.Rect(mag, rng.Float64())}
+}
+
+// feed runs rows clean rows through the corrupter and validator, returning
+// the first non-OK verdict (or RowOK).
+func feed(t *testing.T, c *Corrupter, v *csi.RowValidator, rng *rand.Rand, rows int) csi.RowVerdict {
+	t.Helper()
+	for r := 0; r < rows; r++ {
+		row := cleanRow(rng, 4, 0.2)
+		c.Apply(row)
+		if verdict := v.Check(0, row.Tag, row.Master); !verdict.OK() {
+			return verdict
+		}
+	}
+	return csi.RowOK
+}
+
+// Each injector must produce exactly the failure shape the matching
+// detector catches — an injector the pipeline cannot see is testing
+// nothing.
+
+func TestCorrupterStuckToneTripsDetector(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	c := NewCorrupter(CorruptConfig{Seed: 7, StuckTone: true})
+	v := csi.NewRowValidator(1, csi.QualityConfig{})
+	if got := feed(t, c, v, rng, 20); got != csi.RowStuckTones {
+		t.Fatalf("stuck-tone injector: first rejection %v, want stuck-tones", got)
+	}
+}
+
+func TestCorrupterCFODriftTripsFrozenPhase(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	c := NewCorrupter(CorruptConfig{Seed: 7, CFODriftRadPerRow: 0.05})
+	v := csi.NewRowValidator(1, csi.QualityConfig{})
+	if got := feed(t, c, v, rng, 30); got != csi.RowFrozenPhase {
+		t.Fatalf("CFO-drift injector: first rejection %v, want frozen-phase", got)
+	}
+}
+
+func TestCorrupterNaNTripsNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	c := NewCorrupter(CorruptConfig{Seed: 7, NaNProb: 1})
+	v := csi.NewRowValidator(1, csi.QualityConfig{})
+	if got := feed(t, c, v, rng, 1); got != csi.RowNonFinite {
+		t.Fatalf("NaN injector: got %v, want non-finite", got)
+	}
+}
+
+func TestCorrupterGarbageTripsMagGate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	v := csi.NewRowValidator(1, csi.QualityConfig{})
+	// Warm the window with clean rows first (the gate needs history).
+	clean := NewCorrupter(CorruptConfig{Seed: 7})
+	if got := feed(t, clean, v, rng, 64); got != csi.RowOK {
+		t.Fatalf("clean warmup rejected: %v", got)
+	}
+	c := NewCorrupter(CorruptConfig{Seed: 7, GarbageProb: 1})
+	if got := feed(t, c, v, rng, 2); got != csi.RowMagOutlier {
+		t.Fatalf("garbage injector: got %v, want mag-outlier", got)
+	}
+}
+
+func TestCorrupterBitFlipEventuallyRejected(t *testing.T) {
+	// A single flipped bit is not always detectable (a low mantissa bit is
+	// harmless), but across many rows the exponent/sign flips must land
+	// often enough for the pipeline to notice something.
+	rng := rand.New(rand.NewPCG(5, 5))
+	c := NewCorrupter(CorruptConfig{Seed: 7, BitFlipProb: 1})
+	v := csi.NewRowValidator(1, csi.QualityConfig{})
+	rejected := false
+	for r := 0; r < 200; r++ {
+		row := cleanRow(rng, 4, 0.2)
+		c.Apply(row)
+		if !v.Check(0, row.Tag, row.Master).OK() {
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Fatal("200 bit-flipped rows all passed the pipeline")
+	}
+}
+
+func TestCorrupterDeterministic(t *testing.T) {
+	run := func() []complex128 {
+		rng := rand.New(rand.NewPCG(6, 6))
+		c := NewCorrupter(CorruptConfig{Seed: 9, GarbageProb: 0.5, NaNProb: 0.2, BitFlipProb: 0.3})
+		var out []complex128
+		for r := 0; r < 50; r++ {
+			row := cleanRow(rng, 4, 0.2)
+			c.Apply(row)
+			out = append(out, row.Tag...)
+		}
+		if c.Corrupted() == 0 {
+			t.Fatal("no rows corrupted")
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		ab, bb := [2]uint64{math.Float64bits(real(a[i])), math.Float64bits(imag(a[i]))},
+			[2]uint64{math.Float64bits(real(b[i])), math.Float64bits(imag(b[i]))}
+		if ab != bb {
+			t.Fatalf("tone %d differs across identically seeded runs", i)
+		}
+	}
+}

@@ -20,7 +20,7 @@ func TestAnchorDisconnectAndReconnect(t *testing.T) {
 	const seed = 44
 	var mu sync.Mutex
 	completed := 0
-	srv, daemons := startTestbed(t, seed, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+	srv, daemons := startTestbed(t, seed, func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
 		mu.Lock()
 		completed++
 		mu.Unlock()
@@ -75,7 +75,7 @@ func TestAnchorDisconnectAndReconnect(t *testing.T) {
 // dropped without disturbing legitimate rounds.
 func TestServerIgnoresMalformedRows(t *testing.T) {
 	const seed = 45
-	srv, daemons := startTestbed(t, seed, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+	srv, daemons := startTestbed(t, seed, func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
 		return geom.Pt(0, 0), nil
 	})
 
@@ -122,7 +122,7 @@ func TestServerIgnoresMalformedRows(t *testing.T) {
 // TestServerCloseUnblocksClients verifies Close terminates promptly even
 // with connected clients mid-stream.
 func TestServerCloseUnblocksClients(t *testing.T) {
-	srv, daemons := startTestbed(t, 46, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+	srv, daemons := startTestbed(t, 46, func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
 		return geom.Pt(0, 0), nil
 	})
 	// Partial round in flight.
@@ -152,12 +152,12 @@ func TestMultiTagRoundsAggregateIndependently(t *testing.T) {
 	}
 	var mu sync.Mutex
 	seen := map[key]int{}
-	srv, daemons := startTestbed(t, seed, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+	srv, daemons := startTestbed(t, seed, func(info RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
 		mu.Lock()
-		seen[key{tag, round}]++
+		seen[key{info.Tag, info.Round}]++
 		mu.Unlock()
 		// Return a tag-dependent point so fixes are distinguishable.
-		return geom.Pt(float64(tag), float64(round)), nil
+		return geom.Pt(float64(info.Tag), float64(info.Round)), nil
 	})
 	posA, posB := geom.Pt(0.5, 0.5), geom.Pt(-1.0, -1.0)
 	// Interleave the two tags' reports across anchors.

@@ -22,7 +22,7 @@ import (
 // startTestbedWith is startTestbed with a config hook, for tests that
 // enable deadlines, quorum or heartbeats.
 func startTestbedWith(t *testing.T, seed uint64, mutate func(*Config),
-	onSnap func(uint16, uint32, *csi.Snapshot) (geom.Point, error)) (*Server, []*anchor.Daemon) {
+	onSnap func(RoundInfo, *csi.Snapshot) (geom.Point, error)) (*Server, []*anchor.Daemon) {
 	t.Helper()
 	dep, err := testbed.Paper(seed)
 	if err != nil {
@@ -82,11 +82,11 @@ func TestQuorumCompletesPartialRound(t *testing.T) {
 	srv, daemons := startTestbedWith(t, seed, func(c *Config) {
 		c.RoundDeadline = deadline
 		c.MinAnchors = 3
-	}, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+	}, func(info RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
 		mu.Lock()
 		gotSnap = snap
 		mu.Unlock()
-		res, err := eng.Locate(snap)
+		res, err := eng.LocateRef(snap, info.Ref)
 		if err != nil {
 			return geom.Point{}, err
 		}
@@ -160,7 +160,7 @@ func TestQuorumEvictsStarvedRound(t *testing.T) {
 	srv, daemons := startTestbedWith(t, 72, func(c *Config) {
 		c.RoundDeadline = deadline
 		c.MinAnchors = 3
-	}, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+	}, func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
 		return geom.Pt(0, 0), nil
 	})
 	tag := geom.Pt(0.3, 0.3)
@@ -215,7 +215,7 @@ func TestQuorumEvictsStarvedRound(t *testing.T) {
 func TestGarbageFramesDropClientNotServer(t *testing.T) {
 	const seed = 73
 	srv, daemons := startTestbedWith(t, seed, nil,
-		func(uint16, uint32, *csi.Snapshot) (geom.Point, error) {
+		func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
 			return geom.Pt(0, 0), nil
 		})
 	dep, _ := testbed.Paper(seed)
@@ -287,7 +287,7 @@ func TestHeartbeatPrunesDeadConnection(t *testing.T) {
 	srv, daemons := startTestbedWith(t, seed, func(c *Config) {
 		c.HeartbeatInterval = 50 * time.Millisecond
 		c.HeartbeatMisses = 2
-	}, func(uint16, uint32, *csi.Snapshot) (geom.Point, error) {
+	}, func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
 		return geom.Pt(0, 0), nil
 	})
 	// A raw client that completes its hello but never echoes heartbeats.
@@ -361,8 +361,8 @@ func TestSoakUnderFaults(t *testing.T) {
 		HeartbeatInterval: 100 * time.Millisecond,
 		HeartbeatMisses:   5,
 		Logger:            quietLogger(),
-		OnSnapshot: func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
-			res, err := eng.Locate(snap)
+		OnSnapshot: func(info RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
+			res, err := eng.LocateRef(snap, info.Ref)
 			if err != nil {
 				return geom.Point{}, err
 			}

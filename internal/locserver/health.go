@@ -1,0 +1,298 @@
+package locserver
+
+import (
+	"math/rand/v2"
+
+	"bloc/internal/csi"
+)
+
+// Anchor health, quarantine and reference election (the failover half of
+// the data-quality plane). Every ingested row's validation verdict feeds a
+// per-anchor EWMA health score; at each round boundary the tracker folds
+// the round's verdicts into the scores, walks the quarantine state
+// machine, and decides whether the α-correction reference (Eq. 10's
+// anchor 0, relaxed to any index by core.CorrectRef) must be re-elected.
+//
+// The state machine is hysteretic so a flaky anchor cannot flap:
+//
+//	healthy ──score < EnterScore──▶ quarantined
+//	quarantined ──jittered cooldown elapsed──▶ probation
+//	probation ──ProbationRounds clean AND score ≥ ExitScore──▶ healthy
+//	probation ──any rejected row──▶ quarantined (fresh cooldown draw)
+//
+// EnterScore < ExitScore is the hysteresis band: an anchor hovering
+// between the two thresholds stays wherever it already is. Cooldowns are
+// drawn from a seeded PCG stream (deterministic per server) with jitter,
+// so a fleet of quarantined anchors does not re-probe in lockstep.
+//
+// Re-election is also damped: the reference only changes when the current
+// one is quarantined or stopped contributing usable rows, never merely
+// because another anchor's score inched ahead, and soft re-elections are
+// rate-limited by a jittered cooldown of their own.
+
+// HealthConfig tunes quarantine and reference election. The zero value
+// selects the defaults noted per field.
+type HealthConfig struct {
+	// EWMAAlpha is the per-round smoothing factor of the health score
+	// (default 0.25: four bad rounds take a pristine anchor below the
+	// quarantine threshold).
+	EWMAAlpha float64
+	// EnterScore quarantines a healthy anchor whose score falls below it
+	// (default 0.35).
+	EnterScore float64
+	// ExitScore is the score a probationary anchor must regain before
+	// readmission (default 0.75). Must exceed EnterScore: the gap is the
+	// hysteresis band.
+	ExitScore float64
+	// CooldownRounds is the minimum rounds an anchor stays quarantined
+	// (default 6); each quarantine adds a jitter of 0..CooldownJitter
+	// rounds (default 3) drawn from the seeded stream.
+	CooldownRounds int
+	CooldownJitter int
+	// ProbationRounds is how many consecutive fully-clean rounds a
+	// probationary anchor must deliver to graduate (default 3).
+	ProbationRounds int
+	// ReelectCooldown damps soft re-elections: after any election the
+	// reference holds for at least this many rounds plus 0..CooldownJitter
+	// jitter (default 4). Forced elections (reference quarantined or
+	// silent) ignore it — localization cannot wait out a dead reference.
+	ReelectCooldown int
+	// Seed derives the jitter stream (default 1); same seed, same
+	// traffic, same cooldown draws.
+	Seed uint64
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		c.EWMAAlpha = 0.25
+	}
+	if c.EnterScore <= 0 {
+		c.EnterScore = 0.35
+	}
+	if c.ExitScore <= 0 {
+		c.ExitScore = 0.75
+	}
+	if c.CooldownRounds <= 0 {
+		c.CooldownRounds = 6
+	}
+	if c.CooldownJitter < 0 {
+		c.CooldownJitter = 0
+	} else if c.CooldownJitter == 0 {
+		c.CooldownJitter = 3
+	}
+	if c.ProbationRounds <= 0 {
+		c.ProbationRounds = 3
+	}
+	if c.ReelectCooldown <= 0 {
+		c.ReelectCooldown = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// anchorState is the quarantine state machine.
+type anchorState uint8
+
+const (
+	anchorHealthy anchorState = iota
+	anchorQuarantined
+	anchorProbation
+)
+
+func (s anchorState) String() string {
+	switch s {
+	case anchorHealthy:
+		return "healthy"
+	case anchorQuarantined:
+		return "quarantined"
+	case anchorProbation:
+		return "probation"
+	default:
+		return "unknown"
+	}
+}
+
+// anchorHealth is one anchor's rolling health. All fields are guarded by
+// Server.mu (the tracker has no lock of its own; the server serializes).
+type anchorHealth struct {
+	score       float64     // EWMA of per-round verdict ratios; guarded by Server.mu
+	state       anchorState // guarded by Server.mu
+	cooldown    int         // rounds left in quarantine; guarded by Server.mu
+	cleanRounds int         // consecutive clean probation rounds; guarded by Server.mu
+	roundOK     int         // accepted rows since the last boundary; guarded by Server.mu
+	roundBad    int         // rejected rows since the last boundary; guarded by Server.mu
+}
+
+// healthTransition records one state change for logging and stats.
+type healthTransition struct {
+	Anchor int
+	From   anchorState
+	To     anchorState
+	Score  float64
+}
+
+// healthTracker owns the per-anchor scores and the elected reference.
+// Not safe for concurrent use: every method is called with Server.mu held.
+type healthTracker struct {
+	cfg HealthConfig
+	rng *rand.Rand // jitter stream; guarded by Server.mu
+
+	anchors []anchorHealth // guarded by Server.mu
+	ref     int            // elected reference index; guarded by Server.mu
+	holdoff int            // rounds before the next soft re-election; guarded by Server.mu
+
+	reelections  int // guarded by Server.mu
+	quarantines  int // guarded by Server.mu
+	readmissions int // guarded by Server.mu
+}
+
+func newHealthTracker(anchors int, cfg HealthConfig) *healthTracker {
+	c := cfg.withDefaults()
+	state := make([]anchorHealth, anchors)
+	for i := range state {
+		state[i] = anchorHealth{score: 1}
+	}
+	return &healthTracker{
+		cfg:     c,
+		rng:     rand.New(rand.NewPCG(c.Seed, 0xB10C)),
+		anchors: state,
+	}
+}
+
+// observeLocked records one row verdict for an anchor. Caller holds Server.mu.
+func (h *healthTracker) observeLocked(anchor int, verdict csi.RowVerdict) {
+	if anchor < 0 || anchor >= len(h.anchors) {
+		return
+	}
+	if verdict.OK() {
+		h.anchors[anchor].roundOK++
+	} else {
+		h.anchors[anchor].roundBad++
+	}
+}
+
+// referenceLocked returns the current elected reference. Caller holds
+// Server.mu.
+func (h *healthTracker) referenceLocked() int { return h.ref }
+
+// quarantinedSetLocked snapshots which anchors are quarantined right now,
+// for a pendingRound to capture at creation. Caller holds Server.mu.
+func (h *healthTracker) quarantinedSetLocked() []bool {
+	q := make([]bool, len(h.anchors))
+	for i := range h.anchors {
+		q[i] = h.anchors[i].state == anchorQuarantined
+	}
+	return q
+}
+
+// scoreLocked returns one anchor's current health score. Caller holds
+// Server.mu.
+func (h *healthTracker) scoreLocked(anchor int) float64 { return h.anchors[anchor].score }
+
+// stateLocked returns one anchor's quarantine state. Caller holds Server.mu.
+func (h *healthTracker) stateLocked(anchor int) anchorState { return h.anchors[anchor].state }
+
+// endRoundLocked is the round boundary: it folds the accumulated verdicts into
+// the EWMA scores, advances the quarantine state machine and re-elects
+// the reference when needed. It returns the state transitions that
+// happened and whether the reference changed. Caller holds Server.mu.
+func (h *healthTracker) endRoundLocked() (transitions []healthTransition, reelected bool) {
+	a := h.cfg.EWMAAlpha
+	refSilent := h.anchors[h.ref].roundOK+h.anchors[h.ref].roundBad == 0
+	for i := range h.anchors {
+		st := &h.anchors[i]
+		// A silent anchor scores zero for the round: silence is exactly as
+		// useless as corruption to the estimator, and scoring it keeps a
+		// dead reference from holding office.
+		roundScore := 0.0
+		seen := st.roundOK + st.roundBad
+		if seen > 0 {
+			roundScore = float64(st.roundOK) / float64(seen)
+		}
+		cleanRound := seen > 0 && st.roundBad == 0
+		badRows := st.roundBad > 0
+		st.roundOK, st.roundBad = 0, 0
+		st.score = (1-a)*st.score + a*roundScore
+
+		from := st.state
+		switch st.state {
+		case anchorHealthy:
+			if st.score < h.cfg.EnterScore {
+				h.quarantineLocked(st)
+			}
+		case anchorQuarantined:
+			st.cooldown--
+			if st.cooldown <= 0 {
+				st.state = anchorProbation
+				st.cleanRounds = 0
+			}
+		case anchorProbation:
+			switch {
+			case badRows:
+				// One rejected row during probation sends the anchor
+				// straight back: probation exists to catch exactly the
+				// radio that "recovers" for a moment and relapses.
+				h.quarantineLocked(st)
+			case cleanRound:
+				st.cleanRounds++
+				if st.cleanRounds >= h.cfg.ProbationRounds && st.score >= h.cfg.ExitScore {
+					st.state = anchorHealthy
+					h.readmissions++
+				}
+			}
+		}
+		if st.state != from {
+			if st.state == anchorQuarantined {
+				h.quarantines++
+			}
+			transitions = append(transitions, healthTransition{Anchor: i, From: from, To: st.state, Score: st.score})
+		}
+	}
+
+	if h.holdoff > 0 {
+		h.holdoff--
+	}
+	return transitions, h.maybeReelectLocked(refSilent)
+}
+
+// quarantineLocked moves one anchor into quarantine with a fresh jittered
+// cooldown draw. Caller holds Server.mu.
+func (h *healthTracker) quarantineLocked(st *anchorHealth) {
+	st.state = anchorQuarantined
+	st.cooldown = h.cfg.CooldownRounds + h.rng.IntN(h.cfg.CooldownJitter+1)
+	st.cleanRounds = 0
+}
+
+// maybeReelectLocked replaces the reference when it can no longer anchor
+// the α correction. Forced elections — the reference is quarantined, or
+// went completely silent for a whole round (a dead daemon: a healthy one
+// contributes ~37 rows per round, so losing every single row to chance is
+// not a thing) — bypass the re-election cooldown; soft ones (score in the
+// quarantine band but not yet quarantined) respect it. Caller holds
+// Server.mu.
+func (h *healthTracker) maybeReelectLocked(refSilent bool) bool {
+	ref := &h.anchors[h.ref]
+	forced := ref.state == anchorQuarantined || refSilent
+	soft := ref.state != anchorHealthy || ref.score < h.cfg.EnterScore
+	if !forced && (!soft || h.holdoff > 0) {
+		return false
+	}
+	best, bestScore := -1, -1.0
+	for i := range h.anchors {
+		if h.anchors[i].state != anchorHealthy || i == h.ref {
+			continue
+		}
+		if h.anchors[i].score > bestScore {
+			best, bestScore = i, h.anchors[i].score
+		}
+	}
+	if best < 0 {
+		return false // nobody healthier to elect; keep limping
+	}
+	h.ref = best
+	h.reelections++
+	h.holdoff = h.cfg.ReelectCooldown + h.rng.IntN(h.cfg.CooldownJitter+1)
+	return true
+}

@@ -14,6 +14,20 @@
 // rounds are tombstoned so straggler rows cannot resurrect them. Optional
 // server→anchor heartbeats prune connections whose daemons stopped
 // answering.
+//
+// On top of the acquisition plane sits a data-quality and failover plane
+// (DESIGN.md §10). Every CSI row is sanity-checked on ingest
+// (csi.RowValidator: NaN/Inf, dead rows, stuck tones, frozen phase,
+// magnitude outliers); rejected rows are masked out of the round and feed
+// rolling per-anchor health scores. Anchors whose scores collapse are
+// quarantined — their rows are dropped (but still scored, which is how
+// they earn probation and eventual readmission) — and the α-correction
+// reference index is re-elected away from a quarantined or silent
+// reference, so the system no longer assumes the paper's fixed master
+// (anchor 0) stays trustworthy. Rounds whose CSI quorum is unmet but that
+// still have three anchors' worth of usable rows complete in degraded
+// coarse mode (RoundInfo.Coarse), telling the estimator to fall back to
+// RSSI-only trilateration instead of emitting nothing.
 package locserver
 
 import (
@@ -37,12 +51,14 @@ type Config struct {
 	Anchors  int
 	Antennas int
 	Bands    []ble.ChannelIndex
-	// OnSnapshot is called with each completed round's snapshot (tag
-	// identifies which tag the round belongs to); the returned point is
-	// broadcast to the anchors as the fix. Returning an error drops the
-	// round (logged, not fatal). Partial rounds deliver a snapshot with a
-	// presence mask (snap.Complete() == false).
-	OnSnapshot func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error)
+	// OnSnapshot is called with each completed round's snapshot; the
+	// returned point is broadcast to the anchors as the fix. Returning an
+	// error drops the round (logged, not fatal). Partial or sanitized
+	// rounds deliver a snapshot with a presence mask (snap.Complete() ==
+	// false). info.Ref is the elected α-correction reference the
+	// estimator must use (core.LocateRef), and info.Coarse marks a
+	// degraded round that only supports an RSSI-style coarse fix.
+	OnSnapshot func(info RoundInfo, snap *csi.Snapshot) (geom.Point, error)
 	// Logger defaults to slog.Default().
 	Logger *slog.Logger
 
@@ -67,14 +83,46 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// HeartbeatMisses is the prune threshold (default 3).
 	HeartbeatMisses int
+
+	// Quality tunes the per-row CSI sanity pipeline; the zero value
+	// selects csi.QualityConfig's documented defaults.
+	Quality csi.QualityConfig
+	// Health tunes anchor quarantine and reference election; the zero
+	// value selects HealthConfig's documented defaults.
+	Health HealthConfig
 }
 
-// Stats counts round outcomes.
+// RoundInfo describes one completed round to the OnSnapshot callback.
+type RoundInfo struct {
+	Tag   uint16 // which tag the round belongs to
+	Round uint32
+	// Ref is the anchor index the snapshot must be α-corrected against
+	// (core.LocateRef). It is the reference that was elected when the
+	// round started: an in-flight round always completes on the
+	// reference its rows were collected under, even if a re-election
+	// happened meanwhile.
+	Ref int
+	// Coarse marks a degraded round: the CSI quorum was unmet (too few
+	// anchors with correction-grade rows against Ref), but at least
+	// three anchors contributed usable rows, which is enough for an
+	// RSSI-only coarse fix. Correction-based estimators will fail on
+	// such a snapshot; use a magnitude-based fallback.
+	Coarse bool
+}
+
+// Stats counts round outcomes and data-quality events.
 type Stats struct {
 	Full    int // rounds completed with every row
 	Partial int // rounds completed at deadline with a quorum
-	Evicted int // rounds abandoned at deadline below quorum
+	Coarse  int // completions degraded to RSSI-only mode (CSI quorum unmet)
+	Evicted int // rounds abandoned below every quorum
 	Pruned  int // connections dropped by heartbeat misses
+
+	RowsRejected int // CSI rows rejected by the sanity pipeline
+	Quarantines  int // transitions into quarantine
+	Readmissions int // probation → healthy graduations
+	Reelections  int // reference re-elections since startup
+	Reference    int // currently elected reference anchor
 }
 
 // Server collects CSI and serves fixes.
@@ -83,16 +131,18 @@ type Server struct {
 	ln  net.Listener
 	log *slog.Logger
 
-	mu      sync.Mutex
-	rounds  map[roundKey]*pendingRound // guarded by mu
-	done    map[roundKey]bool          // completed rounds (bounded; see ingest); guarded by mu
-	conns   map[*client]struct{}       // guarded by mu
-	stats   Stats                      // guarded by mu
-	fixes   chan wire.Fix              // completed fixes, for observers/tests
-	closed  chan struct{}              // signals heartbeat loop shutdown
-	wg      sync.WaitGroup
-	timerWG sync.WaitGroup // deadline completions in flight
-	closing bool           // guarded by mu
+	mu        sync.Mutex
+	rounds    map[roundKey]*pendingRound // guarded by mu
+	done      map[roundKey]bool          // completed rounds (bounded; see ingest); guarded by mu
+	conns     map[*client]struct{}       // guarded by mu
+	stats     Stats                      // guarded by mu
+	validator *csi.RowValidator          // per-row sanity pipeline; guarded by mu
+	health    *healthTracker             // quarantine + reference election; guarded by mu
+	fixes     chan wire.Fix              // completed fixes, for observers/tests
+	closed    chan struct{}              // signals heartbeat loop shutdown
+	wg        sync.WaitGroup
+	timerWG   sync.WaitGroup // deadline completions in flight
+	closing   bool           // guarded by mu
 }
 
 // maxDoneRounds bounds the completed-round memory; older entries are
@@ -124,6 +174,9 @@ func (c *client) send(msg any) error {
 type pendingRound struct {
 	snap  *csi.Snapshot
 	got   map[[2]uint16]bool // (anchorID, bandIdx) already received
+	bad   map[[2]uint16]bool // received but rejected by the sanity pipeline
+	quar  []bool             // anchors quarantined when the round started
+	ref   int                // reference elected when the round started
 	timer *time.Timer        // deadline; nil when RoundDeadline is 0
 }
 
@@ -172,14 +225,16 @@ func NewWithListener(ln net.Listener, cfg Config) (*Server, error) {
 		cfg.HeartbeatMisses = 3
 	}
 	s := &Server{
-		cfg:    cfg,
-		ln:     ln,
-		log:    cfg.Logger,
-		rounds: make(map[roundKey]*pendingRound),
-		done:   make(map[roundKey]bool),
-		conns:  make(map[*client]struct{}),
-		fixes:  make(chan wire.Fix, 64),
-		closed: make(chan struct{}),
+		cfg:       cfg,
+		ln:        ln,
+		log:       cfg.Logger,
+		rounds:    make(map[roundKey]*pendingRound),
+		done:      make(map[roundKey]bool),
+		conns:     make(map[*client]struct{}),
+		validator: csi.NewRowValidator(cfg.Anchors, cfg.Quality),
+		health:    newHealthTracker(cfg.Anchors, cfg.Health),
+		fixes:     make(chan wire.Fix, 64),
+		closed:    make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -196,11 +251,17 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Fixes returns a channel of completed fixes (buffered; drops when full).
 func (s *Server) Fixes() <-chan wire.Fix { return s.fixes }
 
-// Stats returns a snapshot of the round-outcome counters.
+// Stats returns a snapshot of the round-outcome and data-quality
+// counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.Quarantines = s.health.quarantines
+	st.Readmissions = s.health.readmissions
+	st.Reelections = s.health.reelections
+	st.Reference = s.health.referenceLocked()
+	return st
 }
 
 // Close stops the listener, all connections, pending round timers and the
@@ -370,13 +431,13 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// ingest merges one CSI row and completes the round when full.
+// ingest validates and merges one CSI row, and finalizes the round when
+// every row has arrived.
 func (s *Server) ingest(row *wire.CSIRow) {
 	if int(row.BandIdx) >= len(s.cfg.Bands) || len(row.Tag) != s.cfg.Antennas {
 		s.log.Warn("malformed csi row", "band", row.BandIdx, "antennas", len(row.Tag))
 		return
 	}
-	var complete *csi.Snapshot
 	rk := roundKey{tag: row.TagID, round: row.Round}
 	s.mu.Lock()
 	if s.done[rk] {
@@ -388,6 +449,9 @@ func (s *Server) ingest(row *wire.CSIRow) {
 		pr = &pendingRound{
 			snap: csi.NewSnapshot(s.cfg.Bands, s.cfg.Anchors, s.cfg.Antennas),
 			got:  make(map[[2]uint16]bool),
+			bad:  make(map[[2]uint16]bool),
+			quar: s.health.quarantinedSetLocked(),
+			ref:  s.health.referenceLocked(),
 		}
 		if s.cfg.RoundDeadline > 0 {
 			pr.timer = time.AfterFunc(s.cfg.RoundDeadline, func() { s.roundDeadline(rk) })
@@ -395,32 +459,48 @@ func (s *Server) ingest(row *wire.CSIRow) {
 		s.rounds[rk] = pr
 	}
 	key := [2]uint16{uint16(row.AnchorID), row.BandIdx}
-	if !pr.got[key] {
-		pr.got[key] = true
+	if pr.got[key] {
+		s.mu.Unlock()
+		return // duplicate (transport resend); never re-validated
+	}
+	pr.got[key] = true
+	// Sanity-check the row before it can touch the snapshot. The verdict
+	// also feeds the anchor's health score — quarantined anchors keep
+	// being scored (that is how they earn probation) but their rows never
+	// enter the snapshot.
+	verdict := s.validator.Check(int(row.AnchorID), row.Tag, row.Master)
+	s.health.observeLocked(int(row.AnchorID), verdict)
+	if !verdict.OK() {
+		s.stats.RowsRejected++
+		pr.bad[key] = true
+		s.log.Debug("csi row rejected", "anchor", row.AnchorID, "band", row.BandIdx,
+			"round", row.Round, "verdict", verdict.String())
+	} else if !pr.quar[row.AnchorID] {
 		copy(pr.snap.Tag[row.BandIdx][row.AnchorID], row.Tag)
 		if row.AnchorID != 0 {
 			pr.snap.Master[row.BandIdx][row.AnchorID] = row.Master
 		}
-		if len(pr.got) == s.cfg.Anchors*len(s.cfg.Bands) {
-			complete = pr.snap
-			if pr.timer != nil {
-				pr.timer.Stop()
-			}
-			delete(s.rounds, rk)
-			s.markDoneLocked(rk)
-			s.stats.Full++
-		}
 	}
+	if len(pr.got) < s.cfg.Anchors*len(s.cfg.Bands) {
+		s.mu.Unlock()
+		return
+	}
+	if pr.timer != nil {
+		pr.timer.Stop()
+	}
+	delete(s.rounds, rk)
+	s.markDoneLocked(rk)
+	snap, info, usable := s.finalizeLocked(rk, pr, true)
 	s.mu.Unlock()
-
-	if complete != nil {
-		s.complete(rk, complete)
+	if usable {
+		s.complete(rk, snap, info)
 	}
 }
 
 // roundDeadline fires when a pending round's deadline expires: the round
-// either completes partially (quorum met, missing rows masked) or is
-// evicted. Either way it is tombstoned so stragglers cannot resurrect it.
+// either completes (fully sanitized, possibly degraded to coarse mode) or
+// is evicted. Either way it is tombstoned so stragglers cannot resurrect
+// it.
 func (s *Server) roundDeadline(rk roundKey) {
 	s.mu.Lock()
 	if s.closing {
@@ -434,48 +514,110 @@ func (s *Server) roundDeadline(rk roundKey) {
 	}
 	delete(s.rounds, rk)
 	s.markDoneLocked(rk)
-
-	// A band is usable for anchor i only when both i's row and the
-	// master's row arrived: without ĥ00 there is nothing to correct
-	// against (Eq. 10).
-	K := len(s.cfg.Bands)
-	usable := func(i int) int {
-		n := 0
-		for k := 0; k < K; k++ {
-			if pr.got[[2]uint16{uint16(i), uint16(k)}] && pr.got[[2]uint16{0, uint16(k)}] {
-				n++
-			}
-		}
-		return n
-	}
-	present := 0
-	for i := 0; i < s.cfg.Anchors; i++ {
-		if usable(i) >= s.cfg.MinBands {
-			present++
-		}
-	}
-	if present < s.cfg.MinAnchors {
-		s.stats.Evicted++
+	snap, info, usable := s.finalizeLocked(rk, pr, false)
+	if !usable {
 		s.mu.Unlock()
 		s.log.Warn("round evicted at deadline", "tag", rk.tag, "round", rk.round,
-			"present", present, "quorum", s.cfg.MinAnchors)
+			"rows", len(pr.got), "of", s.cfg.Anchors*len(s.cfg.Bands))
 		return
 	}
-	snap := pr.snap
-	for k := 0; k < K; k++ {
-		for i := 0; i < s.cfg.Anchors; i++ {
-			if !pr.got[[2]uint16{uint16(i), uint16(k)}] {
-				snap.MaskMissing(k, i)
-			}
-		}
-	}
-	s.stats.Partial++
 	s.timerWG.Add(1)
 	s.mu.Unlock()
 	defer s.timerWG.Done()
-	s.log.Info("round completed partially", "tag", rk.tag, "round", rk.round,
-		"present", present, "rows", len(pr.got), "of", s.cfg.Anchors*K)
-	s.complete(rk, snap)
+	s.log.Info("round completed at deadline", "tag", rk.tag, "round", rk.round,
+		"coarse", info.Coarse, "ref", info.Ref, "rows", len(pr.got))
+	s.complete(rk, snap, info)
+}
+
+// finalizeLocked assesses one assembled round against the quorums, masks
+// every row that cannot be trusted (missing, rejected, or from an anchor
+// that was quarantined when the round started) and advances the health
+// plane's round boundary. It returns the snapshot to localize and its
+// RoundInfo; usable is false when the round falls below even the coarse
+// floor and must be evicted. full marks a round whose every row arrived.
+// Caller holds s.mu.
+func (s *Server) finalizeLocked(rk roundKey, pr *pendingRound, full bool) (*csi.Snapshot, RoundInfo, bool) {
+	K := len(s.cfg.Bands)
+	goodRow := func(i, k int) bool {
+		key := [2]uint16{uint16(i), uint16(k)}
+		return pr.got[key] && !pr.bad[key] && !pr.quar[i]
+	}
+	// A band supports α correction for anchor i only when both i's row
+	// and the reference's row survived: without ĥ_r0 there is nothing to
+	// correct against (Eq. 10, relaxed to reference r).
+	minAnchors, minBands := s.cfg.MinAnchors, s.cfg.MinBands
+	if minAnchors <= 0 {
+		minAnchors = 2 // the estimator's floor (no-deadline configs)
+	}
+	if minBands <= 0 {
+		minBands = 1
+	}
+	csiOK, coarseOK := 0, 0
+	for i := 0; i < s.cfg.Anchors; i++ {
+		nCSI, nAny := 0, 0
+		for k := 0; k < K; k++ {
+			if !goodRow(i, k) {
+				continue
+			}
+			nAny++
+			if goodRow(pr.ref, k) {
+				nCSI++
+			}
+		}
+		if nCSI >= minBands {
+			csiOK++
+		}
+		if nAny > 0 {
+			coarseOK++
+		}
+	}
+	info := RoundInfo{Tag: rk.tag, Round: rk.round, Ref: pr.ref}
+	usable := true
+	switch {
+	case csiOK >= minAnchors:
+		if full {
+			s.stats.Full++
+		} else {
+			s.stats.Partial++
+		}
+	case coarseOK >= 3: // RSSI trilateration floor
+		info.Coarse = true
+		s.stats.Coarse++
+	default:
+		s.stats.Evicted++
+		usable = false
+	}
+	if usable {
+		for k := 0; k < K; k++ {
+			for i := 0; i < s.cfg.Anchors; i++ {
+				if !goodRow(i, k) {
+					pr.snap.MaskMissing(k, i)
+				}
+			}
+		}
+	}
+	s.roundBoundaryLocked()
+	return pr.snap, info, usable
+}
+
+// roundBoundaryLocked advances the health plane by one completed round:
+// scores are folded, quarantine transitions applied (resetting the
+// validator history of anchors entering probation, so stale statistics do
+// not judge fresh data) and the reference re-elected when needed. Caller
+// holds s.mu.
+func (s *Server) roundBoundaryLocked() {
+	transitions, reelected := s.health.endRoundLocked()
+	for _, tr := range transitions {
+		if tr.To == anchorProbation {
+			s.validator.Reset(tr.Anchor)
+		}
+		s.log.Warn("anchor health transition", "anchor", tr.Anchor,
+			"from", tr.From.String(), "to", tr.To.String(),
+			"score", fmt.Sprintf("%.2f", tr.Score))
+	}
+	if reelected {
+		s.log.Warn("reference re-elected", "ref", s.health.referenceLocked())
+	}
 }
 
 // markDoneLocked tombstones a round. Caller holds s.mu.
@@ -487,8 +629,8 @@ func (s *Server) markDoneLocked(rk roundKey) {
 }
 
 // complete localizes one assembled snapshot and broadcasts the fix.
-func (s *Server) complete(rk roundKey, snap *csi.Snapshot) {
-	loc, err := s.cfg.OnSnapshot(rk.tag, rk.round, snap)
+func (s *Server) complete(rk roundKey, snap *csi.Snapshot, info RoundInfo) {
+	loc, err := s.cfg.OnSnapshot(info, snap)
 	if err != nil {
 		s.log.Error("localization failed", "tag", rk.tag, "round", rk.round, "err", err)
 		return

@@ -24,7 +24,7 @@ func quietLogger() *slog.Logger {
 
 // startTestbed spins up a server plus one daemon per anchor, all sharing
 // the deployment seed, and returns them with a cleanup function.
-func startTestbed(t *testing.T, seed uint64, onSnap func(uint16, uint32, *csi.Snapshot) (geom.Point, error)) (*Server, []*anchor.Daemon) {
+func startTestbed(t *testing.T, seed uint64, onSnap func(RoundInfo, *csi.Snapshot) (geom.Point, error)) (*Server, []*anchor.Daemon) {
 	t.Helper()
 	dep, err := testbed.Paper(seed)
 	if err != nil {
@@ -69,7 +69,7 @@ func TestDistributedSnapshotMatchesDirect(t *testing.T) {
 		mu       sync.Mutex
 		received *csi.Snapshot
 	)
-	srv, daemons := startTestbed(t, seed, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+	srv, daemons := startTestbed(t, seed, func(info RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
 		mu.Lock()
 		received = snap
 		mu.Unlock()
@@ -120,8 +120,8 @@ func TestDistributedLocalizationEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, daemons := startTestbed(t, seed, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
-		res, err := eng.Locate(snap)
+	srv, daemons := startTestbed(t, seed, func(info RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
+		res, err := eng.LocateRef(snap, info.Ref)
 		if err != nil {
 			return geom.Point{}, err
 		}
@@ -168,7 +168,7 @@ func TestServerRejectsBadHello(t *testing.T) {
 		Anchors:  4,
 		Antennas: 4,
 		Bands:    dep.Bands,
-		OnSnapshot: func(uint16, uint32, *csi.Snapshot) (geom.Point, error) {
+		OnSnapshot: func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
 			return geom.Point{}, nil
 		},
 		Logger: quietLogger(),
@@ -202,7 +202,7 @@ func TestServerRejectsBadHello(t *testing.T) {
 }
 
 func TestServerConfigValidation(t *testing.T) {
-	ok := func(uint16, uint32, *csi.Snapshot) (geom.Point, error) { return geom.Point{}, nil }
+	ok := func(RoundInfo, *csi.Snapshot) (geom.Point, error) { return geom.Point{}, nil }
 	if _, err := New("127.0.0.1:0", Config{Anchors: 1, Antennas: 4, Bands: ble.DataChannels(), OnSnapshot: ok}); err == nil {
 		t.Error("1 anchor should be rejected")
 	}
@@ -218,7 +218,7 @@ func TestDuplicateRowsIgnored(t *testing.T) {
 	const seed = 5
 	calls := 0
 	var mu sync.Mutex
-	srv, daemons := startTestbed(t, seed, func(tag uint16, round uint32, snap *csi.Snapshot) (geom.Point, error) {
+	srv, daemons := startTestbed(t, seed, func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
 		mu.Lock()
 		calls++
 		mu.Unlock()
@@ -267,7 +267,7 @@ func TestAnchorDaemonValidation(t *testing.T) {
 }
 
 func TestServeStopsOnContextCancel(t *testing.T) {
-	srv, _ := startTestbed(t, 48, func(uint16, uint32, *csi.Snapshot) (geom.Point, error) {
+	srv, _ := startTestbed(t, 48, func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
 		return geom.Point{}, nil
 	})
 	ctx, cancel := context.WithCancel(context.Background())
