@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race soak chaos vet lint ci fuzz bench bench-check figures figures-full clean
+.PHONY: all build test race soak chaos drill vet lint ci fuzz bench bench-check figures figures-full clean
 
 all: vet lint test build
 
@@ -30,6 +30,14 @@ chaos:
 	$(GO) test -race -count=3 -run 'Corrupter|Quality|Health|Reelection|FaultDrill' \
 		./internal/locserver/ ./internal/csi/ ./internal/faultnet/
 
+# Durability drills: the snapshot codec/store suite plus the
+# kill-and-restart, snapshot-corruption and graceful-drain scenarios,
+# repeated under the race detector (DESIGN.md §11).
+drill:
+	$(GO) test -race -count=2 ./internal/durable/
+	$(GO) test -race -count=2 -run 'Restart|Drain|SnapCorrupt|Restore|NonFinite' \
+		./internal/locserver/ ./internal/faultnet/ ./internal/core/ ./internal/track/
+
 vet:
 	@files="$$(gofmt -l .)"; \
 	if [ -n "$$files" ]; then \
@@ -45,11 +53,14 @@ lint: build
 	$(GO) run ./cmd/bloc-lint ./...
 
 # Everything CI runs, in CI's order.
-ci: vet lint test race soak chaos
+ci: vet lint test race soak chaos drill
 
-# Native fuzzing smoke pass over the wire protocol's seed corpus.
+# Native fuzzing smoke pass: the wire protocol and the durable snapshot
+# decoder, each over its seed corpus (go test allows one -fuzz package
+# per invocation, hence two runs).
 fuzz:
 	$(GO) test -fuzz=. -fuzztime=10s -run '^$$' ./internal/wire/
+	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=10s -run '^$$' ./internal/durable/
 
 # Micro-benchmarks (likelihood kernels + end-to-end fix) and the perf
 # report: writes BENCH_3.json with latency, allocation and throughput

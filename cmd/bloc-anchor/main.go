@@ -11,16 +11,23 @@
 // All anchors of a deployment must share -seed (the simulated world) and
 // report the same tag trajectory; see examples/distributed for a scripted
 // multi-anchor run.
+//
+// SIGINT/SIGTERM stops the daemon gracefully: the measurement loop ends
+// after the current round and the server connection is closed cleanly, so
+// the server sees an orderly EOF rather than a vanished peer.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"bloc/internal/anchor"
@@ -69,14 +76,30 @@ func main() {
 	defer d.Close()
 	logger.Info("anchor connected", "id", *id, "server", *server)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+loop:
 	for r := 1; r <= *rounds; r++ {
 		if err := d.MeasureAndReport(uint16(*tagID), uint32(r), tag); err != nil {
 			log.Fatal(err)
 		}
-		time.Sleep(*period)
+		select {
+		case <-ctx.Done():
+			logger.Info("signal received, stopping after round", "round", r)
+			break loop
+		case <-time.After(*period):
+		}
 	}
-	// Give the last fix broadcast a moment to arrive before closing.
-	time.Sleep(500 * time.Millisecond)
+	stop() // a second signal now terminates immediately
+
+	// Give the last fix broadcast a moment to arrive before closing the
+	// connection cleanly (deferred d.Close sends the server an EOF).
+	select {
+	case <-ctx.Done():
+	case <-time.After(500 * time.Millisecond):
+	}
+	logger.Info("anchor shut down cleanly", "id", *id)
 }
 
 func parsePoint(s string) (geom.Point, error) {

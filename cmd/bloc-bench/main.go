@@ -7,7 +7,7 @@
 //
 //	bloc-bench [-positions 300] [-seed 7] [-exp all|fig4|fig6|fig8a|fig8b|
 //	            fig9a|fig9b|fig9c|fig10|fig11|fig12|fig13|ablations|quorum|
-//	            failover] [-out dir]
+//	            failover|restart] [-out dir]
 //
 // The paper used 1700 positions; -positions 1700 reproduces that scale
 // (several minutes of CPU), while the default 300 keeps the shape of every
@@ -33,7 +33,7 @@ func main() {
 	var (
 		positions = flag.Int("positions", 300, "dataset size (paper: 1700)")
 		seed      = flag.Uint64("seed", 7, "simulation seed")
-		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, failover, perf, or all)")
+		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, failover, restart, perf, or all)")
 		out       = flag.String("out", "", "directory for CSV series (optional)")
 
 		// -exp perf flags.
@@ -69,6 +69,13 @@ func main() {
 	}
 	if want("fig8b") {
 		runFig8b(*seed, *out)
+	}
+	// The restart ablation builds its own miscalibrated deployment, so it
+	// needs no shared dataset either; "all" covers it inside runAblations.
+	if want("restart") && *exp != "all" {
+		rs, err := eval.AblationRestart(*seed, *positions, restartPhaseErrDeg)
+		check(err)
+		fmt.Println(eval.RestartTable(rs))
 	}
 	needsDataset := want("fig6") || want("fig8a") || want("fig9a") || want("fig9b") ||
 		want("fig9c") || want("fig10") || want("fig11") || want("fig12") ||
@@ -151,6 +158,11 @@ func main() {
 	}
 }
 
+// restartPhaseErrDeg is the per-antenna static phase miscalibration the
+// restart ablation assumes: large enough that localizing uncalibrated
+// visibly hurts, small enough that calibration estimation stays stable.
+const restartPhaseErrDeg = 35
+
 // runAblations prints the extension experiments of DESIGN.md §6. The
 // SNR/NLOS sweeps re-acquire smaller datasets (a quarter of the main one)
 // since each point needs its own noise realization or environment.
@@ -178,6 +190,10 @@ func runAblations(suite *eval.Suite, seed uint64, positions int) {
 	fo, err := suite.AblationFailover()
 	check(err)
 	fmt.Println(eval.FailoverTable(fo))
+
+	rs, err := eval.AblationRestart(seed, small, restartPhaseErrDeg)
+	check(err)
+	fmt.Println(eval.RestartTable(rs))
 
 	snrs, err := eval.AblationSNR(seed, small, []float64{5, 10, 15, 25})
 	check(err)

@@ -6,13 +6,24 @@
 //
 //	bloc-server [-listen 127.0.0.1:7100] [-anchors 4] [-antennas 4] [-seed 1]
 //	            [-round-deadline 2s] [-min-anchors 2] [-min-bands 1]
-//	            [-heartbeat 2s] [-stats 1m]
+//	            [-heartbeat 2s] [-stats 1m] [-calibrate]
+//	            [-state-dir dir] [-checkpoint 2s] [-state-ttl 1h]
+//	            [-drain-timeout 10s]
 //
 // The seed must match the anchors' seed: it defines the shared simulated
 // deployment geometry the localization engine needs. Rounds that miss the
 // deadline complete from a partial snapshot when at least -min-anchors
 // anchors contributed -min-bands usable bands; set -round-deadline 0 to
 // wait forever for every row.
+//
+// With -state-dir the server becomes crash-safe (DESIGN.md §11): every
+// -checkpoint interval it persists anchor health, the elected reference,
+// the calibration rotors and the per-tag Kalman tracks to a dual-slot
+// snapshot store, and on startup it warm-restores from the newest valid
+// snapshot no older than -state-ttl. On SIGINT/SIGTERM the server drains:
+// it stops admitting new rounds, finishes the in-flight ones (bounded by
+// -drain-timeout), writes a final checkpoint and exits; a second signal
+// forces immediate termination.
 package main
 
 import (
@@ -22,15 +33,134 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"bloc/internal/core"
 	"bloc/internal/csi"
+	"bloc/internal/durable"
 	"bloc/internal/geom"
 	"bloc/internal/locserver"
 	"bloc/internal/testbed"
+	"bloc/internal/track"
 )
+
+// tagState is the durable per-process state bloc-server owns on top of
+// the locserver: the array calibration and one Kalman tracker per tag.
+type tagState struct {
+	mu   sync.Mutex
+	cal  *core.Calibration        // guarded by mu; nil until calibrated or restored
+	trks map[uint16]*track.Filter // guarded by mu
+	last map[uint16]int64         // unix nanos of each tag's last fused fix; guarded by mu
+	now  func() time.Time
+}
+
+func newTagState() *tagState {
+	return &tagState{
+		trks: make(map[uint16]*track.Filter),
+		last: make(map[uint16]int64),
+		now:  time.Now,
+	}
+}
+
+// calibration returns the current calibration (nil when cold).
+func (ts *tagState) calibration() *core.Calibration {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.cal
+}
+
+func (ts *tagState) setCalibration(cal *core.Calibration) {
+	ts.mu.Lock()
+	ts.cal = cal
+	ts.mu.Unlock()
+}
+
+// smooth runs one raw fix through the tag's Kalman tracker and returns
+// the smoothed position. A rejected (gated or non-finite) fix leaves the
+// coasted prediction as the estimate.
+func (ts *tagState) smooth(tag uint16, raw geom.Point) geom.Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	f := ts.trks[tag]
+	if f == nil {
+		nf, err := track.New(track.DefaultConfig())
+		if err != nil {
+			return raw // unreachable with DefaultConfig; fail open
+		}
+		f = nf
+		ts.trks[tag] = f
+	}
+	now := ts.now().UnixNano()
+	dt := 0.1
+	if last := ts.last[tag]; last != 0 && now > last {
+		dt = float64(now-last) / float64(time.Second)
+	}
+	pos, ok, err := f.Update(raw, dt)
+	if err != nil || !ok {
+		if f.Initialized() {
+			return pos // coasted prediction
+		}
+		return raw
+	}
+	ts.last[tag] = now
+	return pos
+}
+
+// export snapshots the calibration and every tracker for a checkpoint.
+func (ts *tagState) export() durable.External {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	var ext durable.External
+	if ts.cal != nil {
+		ext.Calib = ts.cal.ExportRotors()
+	}
+	for tag, f := range ts.trks {
+		st := f.Export()
+		ext.Tracks = append(ext.Tracks, durable.TagTrack{
+			Tag:             tag,
+			Initialized:     st.Initialized,
+			Misses:          st.Misses,
+			LastFixUnixNano: ts.last[tag],
+			X:               st.X,
+			P:               st.P,
+		})
+	}
+	return ext
+}
+
+// restore rebuilds the calibration and trackers from a restored
+// snapshot. Invalid pieces are skipped individually: a poisoned track
+// must not take the calibration down with it.
+func (ts *tagState) restore(ext durable.External, logger *slog.Logger) error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ext.Calib != nil {
+		cal, err := core.RestoreCalibration(ext.Calib)
+		if err != nil {
+			logger.Warn("restored calibration rejected, will recalibrate", "err", err)
+		} else {
+			ts.cal = cal
+			logger.Info("calibration restored", "anchors", len(ext.Calib),
+				"max_err_deg", cal.MaxErrorDeg())
+		}
+	}
+	for _, tr := range ext.Tracks {
+		f, err := track.New(track.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		st := track.FilterState{Initialized: tr.Initialized, Misses: tr.Misses, X: tr.X, P: tr.P}
+		if err := f.Restore(st); err != nil {
+			logger.Warn("restored track rejected", "tag", tr.Tag, "err", err)
+			continue
+		}
+		ts.trks[tr.Tag] = f
+		ts.last[tr.Tag] = tr.LastFixUnixNano
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -43,6 +173,12 @@ func main() {
 		minBands  = flag.Int("min-bands", 1, "quorum: usable bands per counted anchor")
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "anchor liveness probe interval (0 disables)")
 		statsIvl  = flag.Duration("stats", time.Minute, "engine/server stats log interval (0 disables)")
+		calibrate = flag.Bool("calibrate", false, "estimate array calibration at startup (skipped when restored)")
+
+		stateDir  = flag.String("state-dir", "", "durable snapshot directory (empty disables checkpointing)")
+		ckptIvl   = flag.Duration("checkpoint", 2*time.Second, "checkpoint interval")
+		stateTTL  = flag.Duration("state-ttl", time.Hour, "discard snapshots older than this on restore")
+		drainWait = flag.Duration("drain-timeout", 10*time.Second, "max time to finish in-flight rounds on shutdown")
 	)
 	flag.Parse()
 
@@ -60,6 +196,25 @@ func main() {
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	ts := newTagState()
+
+	var ckpt *locserver.CheckpointConfig
+	if *stateDir != "" {
+		store, err := durable.Open(*stateDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ckpt = &locserver.CheckpointConfig{
+			Store:    store,
+			Interval: *ckptIvl,
+			StateTTL: *stateTTL,
+			Export:   ts.export,
+			Restore: func(ext durable.External) error {
+				return ts.restore(ext, logger)
+			},
+		}
+	}
+
 	srv, err := locserver.New(*listen, locserver.Config{
 		Anchors:           *anchors,
 		Antennas:          *antennas,
@@ -68,6 +223,7 @@ func main() {
 		MinAnchors:        *minAnch,
 		MinBands:          *minBands,
 		HeartbeatInterval: *heartbeat,
+		Checkpoint:        ckpt,
 		OnSnapshot: func(info locserver.RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
 			// Degraded rounds carry too few correction-grade rows for the
 			// CSI pipeline; fall back to RSSI-only trilateration.
@@ -76,27 +232,54 @@ func main() {
 				if err != nil {
 					return geom.Point{}, err
 				}
-				return res.Estimate, nil
+				return ts.smooth(info.Tag, res.Estimate), nil
+			}
+			if cal := ts.calibration(); cal != nil {
+				corrected, err := cal.Apply(snap)
+				if err == nil {
+					snap = corrected
+				} else {
+					logger.Warn("calibration apply failed, using raw snapshot", "err", err)
+				}
 			}
 			res, err := eng.LocateRef(snap, info.Ref)
 			if err != nil {
 				return geom.Point{}, err
 			}
-			return res.Estimate, nil
+			return ts.smooth(info.Tag, res.Estimate), nil
 		},
 		Logger: logger,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	logger.Info("bloc-server listening", "addr", srv.Addr(), "anchors", *anchors)
+
+	// Calibrate only when nothing (fresh enough) was restored: the whole
+	// point of the warm restart is skipping this step.
+	if *calibrate && ts.calibration() == nil {
+		d := dep.Fork(0xCA11)
+		meas, txPos := d.CalibrationSounding()
+		freqs := make([]float64, len(d.Bands))
+		for k, ch := range d.Bands {
+			freqs[k] = ch.CenterFreq()
+		}
+		cal, err := core.EstimateCalibration(d.Anchors, txPos, freqs, meas)
+		if err != nil {
+			logger.Error("calibration failed, continuing uncalibrated", "err", err)
+		} else {
+			ts.setCalibration(cal)
+			logger.Info("array calibrated", "max_err_deg", cal.MaxErrorDeg())
+		}
+	}
+	logger.Info("bloc-server listening", "addr", srv.Addr(), "anchors", *anchors,
+		"durable", *stateDir != "")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	// Periodic operator stats: engine perf counters (fix count, steering-
 	// plane builds, precomputed-table footprint, scratch-pool efficiency)
-	// alongside the server's round outcomes.
+	// alongside the server's round outcomes and durability counters.
 	if *statsIvl > 0 {
 		go func() {
 			tick := time.NewTicker(*statsIvl)
@@ -126,13 +309,28 @@ func main() {
 						"readmissions", ss.Readmissions,
 						"reelections", ss.Reelections,
 						"reference", ss.Reference,
+						"checkpoints", ss.Checkpoints,
+						"checkpoint_errors", ss.CheckpointErrors,
+						"checkpoint_kib", ss.CheckpointBytes/1024,
+						"warm_restores", ss.WarmRestores,
+						"stale_discards", ss.StaleDiscards,
+						"snapshot_fallbacks", ss.SnapshotFallbacks,
 					)
 				}
 			}
 		}()
 	}
 
-	if err := srv.Serve(ctx); err != nil {
-		logger.Error("shutdown", "err", err)
+	<-ctx.Done()
+	// Restore default signal disposition: a second SIGINT/SIGTERM during
+	// the drain kills the process immediately.
+	stop()
+	logger.Info("signal received, draining", "timeout", *drainWait)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		logger.Error("drain", "err", err)
+		os.Exit(1)
 	}
+	logger.Info("drained cleanly")
 }

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Calibration export/import for the durable state plane (DESIGN.md §11):
+// the calibration is the single most expensive piece of server state to
+// rebuild — re-estimating it costs a full round of reference soundings
+// per anchor pair — so a restarted server restores it from the last
+// checkpoint instead, subject to the staleness TTL the embedding process
+// enforces.
+
+// rotorMagTol bounds how far a restored rotor's magnitude may sit from
+// the unit circle. EstimateCalibration constructs rotors with cmplx.Rect
+// (magnitude exactly 1); anything materially off-unit marks a snapshot
+// written by a different (buggy or hostile) producer.
+const rotorMagTol = 1e-6
+
+// ExportRotors returns a deep copy of the calibration rotors in the
+// plain [][]complex128 shape the durable snapshot stores.
+func (c *Calibration) ExportRotors() [][]complex128 {
+	out := make([][]complex128, len(c.Rotors))
+	for i, r := range c.Rotors {
+		out[i] = append([]complex128(nil), r...)
+	}
+	return out
+}
+
+// RestoreCalibration validates restored rotors and rebuilds a
+// Calibration. It enforces the invariants EstimateCalibration guarantees
+// by construction: at least one anchor, every rotor finite and on the
+// unit circle (within rotorMagTol), and antenna 0's rotor exactly 1 —
+// restoring must reproduce the pre-crash calibration bit-for-bit or not
+// at all.
+func RestoreCalibration(rotors [][]complex128) (*Calibration, error) {
+	if len(rotors) == 0 {
+		return nil, fmt.Errorf("core: restore: no calibration rotors")
+	}
+	out := make([][]complex128, len(rotors))
+	for i, anchor := range rotors {
+		if len(anchor) == 0 {
+			return nil, fmt.Errorf("core: restore: anchor %d has no rotors", i)
+		}
+		// Bit-exact check: EstimateCalibration assigns the literal 1, and
+		// a restored calibration must be indistinguishable from the one
+		// that was saved.
+		if math.Float64bits(real(anchor[0])) != math.Float64bits(1) ||
+			math.Float64bits(imag(anchor[0])) != 0 {
+			return nil, fmt.Errorf("core: restore: anchor %d antenna 0 rotor %v, want exactly 1", i, anchor[0])
+		}
+		for j, r := range anchor {
+			if !finiteC(r) {
+				return nil, fmt.Errorf("core: restore: non-finite rotor anchor %d antenna %d", i, j)
+			}
+			if mag := cmplx.Abs(r); mag < 1-rotorMagTol || mag > 1+rotorMagTol {
+				return nil, fmt.Errorf("core: restore: rotor anchor %d antenna %d off the unit circle (|r| = %v)", i, j, mag)
+			}
+		}
+		out[i] = append([]complex128(nil), anchor...)
+	}
+	return &Calibration{Rotors: out}, nil
+}

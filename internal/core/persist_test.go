@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestCalibrationExportRestoreBitIdentical(t *testing.T) {
+	cal := &Calibration{Rotors: [][]complex128{
+		{1, cmplx.Rect(1, 0.21), cmplx.Rect(1, -1.3), cmplx.Rect(1, 2.9)},
+		{1, cmplx.Rect(1, -0.02), cmplx.Rect(1, 0.5), cmplx.Rect(1, -2.2)},
+		{1, 1, 1, 1},
+	}}
+	rotors := cal.ExportRotors()
+	// Export must be a deep copy.
+	rotors[0][1] *= cmplx.Rect(1, 0.1)
+	if math.Float64bits(real(cal.Rotors[0][1])) == math.Float64bits(real(rotors[0][1])) {
+		t.Fatal("ExportRotors shares memory with the calibration")
+	}
+
+	restored, err := RestoreCalibration(cal.ExportRotors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cal.Rotors {
+		for j := range cal.Rotors[i] {
+			a, b := cal.Rotors[i][j], restored.Rotors[i][j]
+			if math.Float64bits(real(a)) != math.Float64bits(real(b)) ||
+				math.Float64bits(imag(a)) != math.Float64bits(imag(b)) {
+				t.Fatalf("rotor [%d][%d] changed: %v -> %v", i, j, a, b)
+			}
+		}
+	}
+	if math.Abs(restored.MaxErrorDeg()-cal.MaxErrorDeg()) > 0 {
+		t.Fatal("restored calibration reports a different error magnitude")
+	}
+}
+
+func TestRestoreCalibrationRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		rotors [][]complex128
+	}{
+		{"empty", nil},
+		{"anchor without rotors", [][]complex128{{1, 1}, {}}},
+		{"antenna 0 not unity", [][]complex128{{cmplx.Rect(1, 0.1), 1}}},
+		{"non-finite rotor", [][]complex128{{1, complex(math.NaN(), 0)}}},
+		{"off unit circle", [][]complex128{{1, complex(0.5, 0)}}},
+		{"zero rotor", [][]complex128{{1, 0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := RestoreCalibration(tc.rotors); err == nil {
+				t.Fatal("invalid rotors restored without error")
+			}
+		})
+	}
+}

@@ -1,0 +1,326 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Wire layout (little-endian):
+//
+//	offset  size  field
+//	0       4     magic "BLSN"
+//	4       2     format version
+//	6       8     generation counter
+//	14      4     payload length
+//	18      n     payload (see encodePayload)
+//	18+n    4     CRC-32C over bytes [0, 18+n)
+//
+// The CRC covers the header too, so a bit flip anywhere — magic, version,
+// generation, length or payload — fails validation. Generation sits in
+// the checksummed header because the dual-slot reader trusts it to order
+// the slots: a stale or corrupted generation must be detectable.
+
+const (
+	headerSize  = 18
+	trailerSize = 4
+	magicLen    = 4
+)
+
+var magic = [magicLen]byte{'B', 'L', 'S', 'N'}
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors. Store.Load distinguishes them only for logging; every
+// one of them means "this slot is unusable, fall back".
+var (
+	ErrBadMagic    = errors.New("durable: bad magic")
+	ErrShortRead   = errors.New("durable: snapshot truncated")
+	ErrVersionSkew = errors.New("durable: unsupported snapshot version")
+	ErrChecksum    = errors.New("durable: checksum mismatch")
+)
+
+// EncodeSnapshot serializes st at the current format version under the
+// given generation counter.
+func EncodeSnapshot(st *State, gen uint64) []byte {
+	return encodeVersion(st, gen, CurrentVersion)
+}
+
+// encodeVersion serializes at an explicit format version; version 1 drops
+// the track section. Tests and the fuzz seed corpus use it to produce
+// valid snapshots of every decodable version.
+func encodeVersion(st *State, gen uint64, version uint16) []byte {
+	payload := encodePayload(st, version)
+	b := make([]byte, 0, headerSize+len(payload)+trailerSize)
+	b = append(b, magic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, version)
+	b = binary.LittleEndian.AppendUint64(b, gen)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+	return b
+}
+
+func encodePayload(st *State, version uint16) []byte {
+	b := make([]byte, 0, 128+17*len(st.Anchors)+175*len(st.Tracks))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.SavedUnixNano))
+	b = binary.LittleEndian.AppendUint32(b, st.Round)
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(st.Ref)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(st.Holdoff)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(st.Quarantines)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(st.Readmissions)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(st.Reelections)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(st.Anchors)))
+	for _, a := range st.Anchors {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(a.Score))
+		b = append(b, a.State)
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(a.Cooldown)))
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(a.CleanRounds)))
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(st.Calib)))
+	for _, rotors := range st.Calib {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(rotors)))
+		for _, r := range rotors {
+			b = appendComplex(b, r)
+		}
+	}
+	if version >= 2 {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(st.Tracks)))
+		for _, tr := range st.Tracks {
+			b = binary.LittleEndian.AppendUint16(b, tr.Tag)
+			if tr.Initialized {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = binary.LittleEndian.AppendUint32(b, uint32(int32(tr.Misses)))
+			b = binary.LittleEndian.AppendUint64(b, uint64(tr.LastFixUnixNano))
+			for _, v := range tr.X {
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+			}
+			for _, v := range tr.P {
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+			}
+		}
+	}
+	return b
+}
+
+// DecodeSnapshot validates and decodes one snapshot record. Arbitrary
+// input returns an error — never a panic, and never an allocation larger
+// than the input justifies (every count is checked against the remaining
+// bytes before its slice is made).
+func DecodeSnapshot(b []byte) (*State, error) {
+	st, _, err := decode(b)
+	return st, err
+}
+
+// Generation extracts the validated generation counter of a snapshot.
+func Generation(b []byte) (uint64, error) {
+	_, gen, err := decode(b)
+	return gen, err
+}
+
+// RewriteGeneration returns a copy of a valid snapshot with its
+// generation counter replaced and the checksum fixed up. Fault injectors
+// use it to plant stale-generation slots; the record stays structurally
+// valid, which is exactly what makes staleness a distinct fault from
+// corruption.
+func RewriteGeneration(b []byte, gen uint64) ([]byte, error) {
+	if _, _, err := decode(b); err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), b...)
+	binary.LittleEndian.PutUint64(out[6:14], gen)
+	sum := crc32.Checksum(out[:len(out)-trailerSize], castagnoli)
+	binary.LittleEndian.PutUint32(out[len(out)-trailerSize:], sum)
+	return out, nil
+}
+
+func decode(b []byte) (*State, uint64, error) {
+	if len(b) < headerSize+trailerSize {
+		return nil, 0, ErrShortRead
+	}
+	if [magicLen]byte(b[:magicLen]) != magic {
+		return nil, 0, ErrBadMagic
+	}
+	version := binary.LittleEndian.Uint16(b[4:6])
+	if version == 0 || version > CurrentVersion {
+		return nil, 0, fmt.Errorf("%w: version %d, decoder supports 1..%d", ErrVersionSkew, version, CurrentVersion)
+	}
+	gen := binary.LittleEndian.Uint64(b[6:14])
+	plen := binary.LittleEndian.Uint32(b[14:headerSize])
+	if uint64(plen) != uint64(len(b)-headerSize-trailerSize) {
+		return nil, 0, fmt.Errorf("%w: payload length %d in a %d-byte record", ErrShortRead, plen, len(b))
+	}
+	want := binary.LittleEndian.Uint32(b[len(b)-trailerSize:])
+	if crc32.Checksum(b[:len(b)-trailerSize], castagnoli) != want {
+		return nil, 0, ErrChecksum
+	}
+	st, err := decodePayload(b[headerSize:len(b)-trailerSize], version)
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, gen, nil
+}
+
+// reader is a bounds-checked little-endian cursor; every take fails
+// cleanly on truncated input instead of slicing out of range.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = ErrShortRead
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *reader) u16() uint16 {
+	if b := r.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (r *reader) i32() int {
+	if b := r.take(4); b != nil {
+		return int(int32(binary.LittleEndian.Uint32(b)))
+	}
+	return 0
+}
+
+func (r *reader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *reader) i64() int64 {
+	if b := r.take(8); b != nil {
+		return int64(binary.LittleEndian.Uint64(b))
+	}
+	return 0
+}
+
+func (r *reader) f64() float64 {
+	if b := r.take(8); b != nil {
+		return math.Float64frombits(binary.LittleEndian.Uint64(b))
+	}
+	return 0
+}
+
+func (r *reader) c128() complex128 {
+	re := r.f64()
+	im := r.f64()
+	return complex(re, im)
+}
+
+// count reads a length prefix and rejects it unless max allows it and the
+// remaining input holds at least itemSize bytes per promised item — the
+// guard that keeps a forged count from driving a huge allocation.
+func (r *reader) count(max, itemSize int) int {
+	n := int(r.u16())
+	if r.err != nil {
+		return 0
+	}
+	if n > max {
+		r.err = fmt.Errorf("durable: count %d exceeds limit %d", n, max)
+		return 0
+	}
+	if len(r.b) < n*itemSize {
+		r.err = ErrShortRead
+		return 0
+	}
+	return n
+}
+
+func decodePayload(b []byte, version uint16) (*State, error) {
+	r := &reader{b: b}
+	st := &State{
+		SavedUnixNano: r.i64(),
+		Round:         r.u32(),
+		Ref:           r.i32(),
+		Holdoff:       r.i32(),
+		Quarantines:   r.i32(),
+		Readmissions:  r.i32(),
+		Reelections:   r.i32(),
+	}
+	if n := r.count(MaxAnchors, 17); n > 0 {
+		st.Anchors = make([]AnchorHealth, n)
+		for i := range st.Anchors {
+			st.Anchors[i] = AnchorHealth{
+				Score:       r.f64(),
+				State:       r.u8(),
+				Cooldown:    r.i32(),
+				CleanRounds: r.i32(),
+			}
+		}
+	}
+	if n := r.count(MaxAnchors, 2); n > 0 {
+		st.Calib = make([][]complex128, n)
+		for i := range st.Calib {
+			m := r.count(MaxAntennas, 16)
+			rotors := make([]complex128, m)
+			for j := range rotors {
+				rotors[j] = r.c128()
+			}
+			st.Calib[i] = rotors
+		}
+	}
+	if version >= 2 {
+		if n := r.count(MaxTracks, 175); n > 0 {
+			st.Tracks = make([]TagTrack, n)
+			for i := range st.Tracks {
+				tr := TagTrack{
+					Tag:         r.u16(),
+					Initialized: r.u8() != 0,
+					Misses:      r.i32(),
+				}
+				tr.LastFixUnixNano = r.i64()
+				for k := range tr.X {
+					tr.X[k] = r.f64()
+				}
+				for k := range tr.P {
+					tr.P[k] = r.f64()
+				}
+				st.Tracks[i] = tr
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("durable: %d trailing bytes after payload", len(r.b))
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func appendComplex(b []byte, z complex128) []byte {
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(real(z)))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(imag(z)))
+	return b
+}

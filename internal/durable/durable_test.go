@@ -1,0 +1,190 @@
+package durable
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// sampleState builds a fully populated state with awkward values: scores
+// mid-range, a quarantined anchor, calibration rotors off the unit circle
+// by rounding, tracker covariance with off-diagonal terms.
+func sampleState() *State {
+	st := &State{
+		SavedUnixNano: 1_722_000_000_123_456_789,
+		Round:         4212,
+		Ref:           2,
+		Holdoff:       3,
+		Quarantines:   7,
+		Readmissions:  5,
+		Reelections:   2,
+		Anchors: []AnchorHealth{
+			{Score: 1, State: 0},
+			{Score: 0.124999999999998, State: 1, Cooldown: 4},
+			{Score: 0.875, State: 2, CleanRounds: 2},
+			{Score: 0.5000000001, State: 0},
+		},
+	}
+	st.Calib = [][]complex128{
+		{1, complex(0.9999999, 0.0012), complex(-0.707106781186, 0.70710678), complex(0, 1)},
+		{1, complex(0.5, -0.86602540378), complex(1, 2e-16), complex(-1, 0)},
+		{1, 1, 1, 1},
+		{1, complex(0.996, -0.087), complex(0.98, 0.17), complex(0.92, -0.38)},
+	}
+	st.Tracks = []TagTrack{
+		{
+			Tag: 0, Initialized: true, Misses: 1, LastFixUnixNano: 1_722_000_000_000_000_000,
+			X: [4]float64{1.25, -0.75, 0.1, -0.05},
+			P: [16]float64{
+				0.25, 0.01, 0.002, 0,
+				0.01, 0.25, 0, 0.002,
+				0.002, 0, 4, 0,
+				0, 0.002, 0, 4,
+			},
+		},
+		{Tag: 7, Initialized: false},
+	}
+	return st
+}
+
+// TestRoundTripBitIdentical is the golden guarantee: every field —
+// calibration rotors and tracker state included — survives
+// encode → decode bit-for-bit.
+func TestRoundTripBitIdentical(t *testing.T) {
+	st := sampleState()
+	b := EncodeSnapshot(st, 17)
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip not bit-identical:\n in %+v\nout %+v", st, got)
+	}
+	// reflect.DeepEqual on float64 uses ==, which NaN would defeat and
+	// -0.0 would alias; check the bit patterns of the calibration rotors
+	// and tracker state explicitly.
+	for i := range st.Calib {
+		for j := range st.Calib[i] {
+			a, b := st.Calib[i][j], got.Calib[i][j]
+			if math.Float64bits(real(a)) != math.Float64bits(real(b)) ||
+				math.Float64bits(imag(a)) != math.Float64bits(imag(b)) {
+				t.Fatalf("rotor [%d][%d] bits changed: %v -> %v", i, j, a, b)
+			}
+		}
+	}
+	for ti := range st.Tracks {
+		for k := range st.Tracks[ti].X {
+			if math.Float64bits(st.Tracks[ti].X[k]) != math.Float64bits(got.Tracks[ti].X[k]) {
+				t.Fatalf("track %d state %d bits changed", ti, k)
+			}
+		}
+		for k := range st.Tracks[ti].P {
+			if math.Float64bits(st.Tracks[ti].P[k]) != math.Float64bits(got.Tracks[ti].P[k]) {
+				t.Fatalf("track %d covariance %d bits changed", ti, k)
+			}
+		}
+	}
+	if gen, err := Generation(b); err != nil || gen != 17 {
+		t.Fatalf("generation = %d, %v; want 17", gen, err)
+	}
+}
+
+// TestDecodeV1 keeps the no-track format readable: a version-1 record
+// decodes to the same state minus the track section.
+func TestDecodeV1(t *testing.T) {
+	st := sampleState()
+	b := encodeVersion(st, 3, 1)
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatalf("decode v1: %v", err)
+	}
+	want := st.Clone()
+	want.Tracks = nil
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("v1 round trip:\nwant %+v\n got %+v", want, got)
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	valid := EncodeSnapshot(sampleState(), 9)
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrShortRead},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrBadMagic},
+		{"version zero", func(b []byte) []byte { b[4], b[5] = 0, 0; return b }, ErrVersionSkew},
+		{"version future", func(b []byte) []byte { b[4], b[5] = 0xFF, 0x7F; return b }, ErrVersionSkew},
+		{"truncated header", func(b []byte) []byte { return b[:10] }, ErrShortRead},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-20] }, ErrShortRead},
+		{"payload bit flip", func(b []byte) []byte { b[headerSize+12] ^= 0x40; return b }, ErrChecksum},
+		{"checksum bit flip", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, ErrChecksum},
+		{"generation bit flip", func(b []byte) []byte { b[8] ^= 0x10; return b }, ErrChecksum},
+		{"extended", func(b []byte) []byte { return append(b, 0xAA) }, ErrShortRead},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mut(append([]byte(nil), valid...))
+			if _, err := DecodeSnapshot(b); !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeSemanticRejections covers records that pass the checksum but
+// violate state invariants: the decoder must reject them too, because a
+// correctly-checksummed snapshot from a buggy writer is just as dangerous
+// as a corrupted one.
+func TestDecodeSemanticRejections(t *testing.T) {
+	bad := []func(*State){
+		func(st *State) { st.Ref = 99 },
+		func(st *State) { st.Ref = -1 },
+		func(st *State) { st.Anchors[1].Score = math.NaN() },
+		func(st *State) { st.Anchors[1].Score = 1.5 },
+		func(st *State) { st.Anchors[0].State = 9 },
+		func(st *State) { st.Anchors[0].Cooldown = -2 },
+		func(st *State) { st.Calib[2][1] = complex(math.Inf(1), 0) },
+		func(st *State) { st.Calib = st.Calib[:2] },
+		func(st *State) { st.Tracks[0].X[3] = math.NaN() },
+		func(st *State) { st.Tracks[0].P[5] = math.Inf(-1) },
+		func(st *State) { st.Holdoff = -1 },
+	}
+	for i, mut := range bad {
+		st := sampleState()
+		mut(st)
+		if _, err := DecodeSnapshot(EncodeSnapshot(st, 1)); err == nil {
+			t.Errorf("case %d: invalid state decoded without error", i)
+		}
+	}
+}
+
+func TestRewriteGeneration(t *testing.T) {
+	b := EncodeSnapshot(sampleState(), 41)
+	out, err := RewriteGeneration(b, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen, err := Generation(out); err != nil || gen != 12 {
+		t.Fatalf("rewritten generation = %d, %v; want 12", gen, err)
+	}
+	if _, err := DecodeSnapshot(out); err != nil {
+		t.Fatalf("rewritten record no longer decodes: %v", err)
+	}
+	if _, err := RewriteGeneration(b[:20], 1); err == nil {
+		t.Fatal("RewriteGeneration accepted a truncated record")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	st := sampleState()
+	cl := st.Clone()
+	cl.Anchors[0].Score = 0.1
+	cl.Calib[0][1] = 42
+	cl.Tracks[0].X[0] = 99
+	if st.Anchors[0].Score == 0.1 || st.Calib[0][1] == 42 || st.Tracks[0].X[0] == 99 {
+		t.Fatal("Clone shares memory with the original")
+	}
+}

@@ -1,0 +1,48 @@
+package durable
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSnapshot drives the decoder with arbitrary bytes: it must
+// return an error or a semantically valid state — never panic — and a
+// successful decode must re-encode to the identical record (the codec is
+// canonical). The seed corpus holds a valid snapshot of every decodable
+// format version plus the interesting rejection shapes.
+func FuzzDecodeSnapshot(f *testing.F) {
+	st := sampleState()
+	v2 := EncodeSnapshot(st, 5)
+	v1 := encodeVersion(st, 4, 1)
+	f.Add(v2)
+	f.Add(v1)
+	f.Add(EncodeSnapshot(&State{Anchors: []AnchorHealth{{Score: 1}}}, 1))
+	f.Add([]byte{})
+	f.Add([]byte("BLSN"))
+	f.Add(v2[:len(v2)/2])    // torn write
+	f.Add(append(v1, v2...)) // concatenated records
+	flip := append([]byte(nil), v2...)
+	flip[len(flip)/2] ^= 0x80 // payload bit flip
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		st, gen, err := decode(b)
+		if err != nil {
+			if st != nil {
+				t.Fatal("decode returned a state alongside an error")
+			}
+			return
+		}
+		if err := st.Validate(); err != nil {
+			t.Fatalf("decode accepted an invalid state: %v", err)
+		}
+		// Canonical: decode(encode(decode(b))) round-trips to the same
+		// bytes. The input itself must already be canonical because the
+		// encoder emits exactly one representation per state and version.
+		version := uint16(b[4]) | uint16(b[5])<<8
+		re := encodeVersion(st, gen, version)
+		if !bytes.Equal(re, b) {
+			t.Fatalf("decoded record is not canonical:\n in %x\nout %x", b, re)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// ErrNoSnapshot reports that neither slot holds a usable snapshot: the
+// caller must cold-start.
+var ErrNoSnapshot = errors.New("durable: no usable snapshot")
+
+// slotNames are the two alternating generation slots. Writes go to the
+// slot NOT holding the newest valid generation, so a crash mid-write can
+// only ever cost the snapshot being written, never the previous good one.
+var slotNames = [2]string{"state-a.blsn", "state-b.blsn"}
+
+// StoreStats counts the store's durability events.
+type StoreStats struct {
+	// Writes counts successful Save calls; BytesWritten their total size.
+	Writes       uint64
+	BytesWritten uint64
+	// Restores counts successful Load calls.
+	Restores uint64
+	// Fallbacks counts Loads that served the older slot because the newer
+	// one was unusable.
+	Fallbacks uint64
+	// Corruptions counts slots rejected by validation (bad magic, short
+	// read, version skew, checksum mismatch, semantic invariants).
+	Corruptions uint64
+	// Generation is the newest generation written or restored.
+	Generation uint64
+}
+
+// SlotNames returns the two slot file names inside a store directory, in
+// rotation order. Exposed for fault-injection tooling (faultnet's
+// snapshot corrupters) that damages slots on disk to drill the fallback
+// path.
+func SlotNames() [2]string { return slotNames }
+
+// Store persists snapshots in a directory using dual-slot generation
+// rotation. It is safe for concurrent use.
+type Store struct {
+	dir string
+
+	// writeMu serializes whole Save calls so two writers cannot claim the
+	// same generation (and therefore the same slot).
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	lastGen uint64     // newest valid generation seen; guarded by mu
+	stats   StoreStats // guarded by mu
+}
+
+// Open prepares a snapshot store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: create state dir: %w", err)
+	}
+	s := &Store{dir: dir}
+	// Seed the generation counter from whatever valid slots exist, so a
+	// reopened store keeps counting upward instead of re-issuing old
+	// generations (which would defeat newest-wins slot selection). The
+	// store is not shared yet, but the lock keeps the field contract
+	// uniform.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range slotNames {
+		if b, err := s.readSlot(name); err == nil {
+			if gen, err := Generation(b); err == nil && gen > s.lastGen {
+				s.lastGen = gen
+			}
+		}
+	}
+	s.stats.Generation = s.lastGen
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a copy of the durability counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Save atomically persists one snapshot as the next generation: encode,
+// write to a temporary file, fsync, rename over the older slot, fsync the
+// directory. The state's SavedUnixNano is stamped if the caller left it
+// zero.
+func (s *Store) Save(st *State) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.Lock()
+	gen := s.lastGen + 1
+	s.mu.Unlock()
+
+	if st.SavedUnixNano == 0 {
+		st.SavedUnixNano = time.Now().UnixNano()
+	}
+	b := EncodeSnapshot(st, gen)
+
+	// The slot to replace is the one NOT holding the newest generation.
+	target := slotNames[gen%2]
+	tmp, err := os.CreateTemp(s.dir, ".state-*.tmp")
+	if err != nil {
+		return fmt.Errorf("durable: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: fsync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("durable: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, target)); err != nil {
+		return fmt.Errorf("durable: publish snapshot: %w", err)
+	}
+	s.syncDir()
+
+	s.mu.Lock()
+	s.lastGen = gen
+	s.stats.Writes++
+	s.stats.BytesWritten += uint64(len(b))
+	s.stats.Generation = gen
+	s.mu.Unlock()
+	return nil
+}
+
+// Load returns the newest valid snapshot, falling back to the older slot
+// when the newer one fails validation. It returns ErrNoSnapshot when
+// neither slot is usable.
+func (s *Store) Load() (*State, error) {
+	type candidate struct {
+		st  *State
+		gen uint64
+	}
+	var cands []candidate
+	bad := 0
+	for _, name := range slotNames {
+		b, err := s.readSlot(name)
+		if err != nil {
+			if !errors.Is(err, os.ErrNotExist) {
+				bad++
+			}
+			continue
+		}
+		st, gen, err := decode(b)
+		if err != nil {
+			bad++
+			continue
+		}
+		cands = append(cands, candidate{st: st, gen: gen})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Corruptions += uint64(bad)
+	if len(cands) == 0 {
+		return nil, ErrNoSnapshot
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.gen > best.gen {
+			best = c
+		}
+	}
+	// Serving anything but the globally newest generation — because the
+	// newer slot was corrupt, truncated or torn — is a fallback.
+	if bad > 0 {
+		s.stats.Fallbacks++
+	}
+	s.stats.Restores++
+	if best.gen > s.lastGen {
+		s.lastGen = best.gen
+		s.stats.Generation = best.gen
+	}
+	return best.st, nil
+}
+
+// readSlot reads one slot file, bounded by MaxSnapshotSize.
+func (s *Store) readSlot(name string) ([]byte, error) {
+	f, err := os.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := io.ReadAll(io.LimitReader(f, MaxSnapshotSize+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > MaxSnapshotSize {
+		return nil, fmt.Errorf("durable: slot %s exceeds %d bytes", name, MaxSnapshotSize)
+	}
+	return b, nil
+}
+
+// syncDir makes the rename durable. Errors are swallowed: some
+// filesystems refuse to fsync directories, and the rename itself already
+// happened — the worst case is the pre-rename slot surviving a crash,
+// which the generation rotation tolerates by design.
+func (s *Store) syncDir() {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	_ = d.Sync()
+}

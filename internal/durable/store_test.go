@@ -1,0 +1,235 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sampleState()
+	if err := s.Save(st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("store round trip:\nwant %+v\n got %+v", st, got)
+	}
+	stats := s.Stats()
+	if stats.Writes != 1 || stats.Restores != 1 || stats.Fallbacks != 0 || stats.Corruptions != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.BytesWritten == 0 || stats.Generation != 1 {
+		t.Fatalf("stats = %+v, want bytes > 0 and generation 1", stats)
+	}
+}
+
+func TestStoreEmptyDir(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("Load on empty dir = %v, want ErrNoSnapshot", err)
+	}
+}
+
+// TestStoreGenerationRotation checks that consecutive saves alternate
+// slots and Load always serves the newest generation.
+func TestStoreGenerationRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := uint32(1); round <= 5; round++ {
+		st := sampleState()
+		st.Round = round
+		if err := s.Save(st); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Round != round {
+			t.Fatalf("after save %d: loaded round %d", round, got.Round)
+		}
+	}
+	// Both slot files must exist: the writer alternates.
+	for _, name := range slotNames {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("slot %s missing: %v", name, err)
+		}
+	}
+}
+
+// TestStoreReopenContinuesGenerations: a reopened store must keep
+// counting generations upward so newest-wins stays correct.
+func TestStoreReopenContinuesGenerations(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sampleState()
+	first.Round = 1
+	if err := s1.Save(first); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleState()
+	second.Round = 2
+	if err := s1.Save(second); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := sampleState()
+	third.Round = 3
+	if err := s2.Save(third); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 3 {
+		t.Fatalf("loaded round %d after reopen, want 3", got.Round)
+	}
+}
+
+// TestStoreFallbackOnCorruption corrupts the newest slot in several ways;
+// Load must serve the previous generation and count the fallback.
+func TestStoreFallbackOnCorruption(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func(b []byte) []byte
+	}{
+		{"torn write", func(b []byte) []byte { return b[:len(b)*2/3] }},
+		{"bit flip", func(b []byte) []byte { b[len(b)/2] ^= 0x04; return b }},
+		{"truncation to header", func(b []byte) []byte { return b[:12] }},
+		{"zero length", func(b []byte) []byte { return nil }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			older := sampleState()
+			older.Round = 10
+			newer := sampleState()
+			newer.Round = 11
+			if err := s.Save(older); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Save(newer); err != nil {
+				t.Fatal(err)
+			}
+			// Generation 2 lives in slot gen%2 = 0.
+			path := filepath.Join(dir, slotNames[0])
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mut(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Load()
+			if err != nil {
+				t.Fatalf("Load after corruption: %v", err)
+			}
+			if got.Round != 10 {
+				t.Fatalf("loaded round %d, want fallback to 10", got.Round)
+			}
+			stats := s.Stats()
+			if stats.Fallbacks != 1 || stats.Corruptions == 0 {
+				t.Fatalf("stats = %+v, want one fallback and counted corruption", stats)
+			}
+		})
+	}
+}
+
+// TestStoreStaleGeneration: a structurally valid slot carrying an older
+// generation (a fault injector's stale-generation plant) must lose to the
+// newer slot without counting as corruption.
+func TestStoreStaleGeneration(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	older := sampleState()
+	older.Round = 20
+	newer := sampleState()
+	newer.Round = 21
+	if err := s.Save(older); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(newer); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the newest slot's generation below the other slot's.
+	path := filepath.Join(dir, slotNames[0])
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := RewriteGeneration(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 20 {
+		t.Fatalf("loaded round %d, want the non-stale slot's 20", got.Round)
+	}
+	if stats := s.Stats(); stats.Corruptions != 0 {
+		t.Fatalf("stale generation miscounted as corruption: %+v", stats)
+	}
+}
+
+// TestStoreBothSlotsCorrupt: with every slot bad, Load reports
+// ErrNoSnapshot (cold start) and never panics.
+func TestStoreBothSlotsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range slotNames {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Load(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("Load = %v, want ErrNoSnapshot", err)
+	}
+	if stats := s.Stats(); stats.Corruptions != 2 {
+		t.Fatalf("stats = %+v, want both corruptions counted", stats)
+	}
+}

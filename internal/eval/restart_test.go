@@ -1,0 +1,48 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationRestart(t *testing.T) {
+	r, err := AblationRestart(7, 20, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cal rounds %d, accurate ≤ %.2f m", r.CalRounds, r.ThresholdM)
+	t.Logf("warm: first %.2f m, settled %.2f m, %.1f rounds, %.0f%% at round 1",
+		r.Warm.FirstFix.Median, r.Warm.Settled.Median, r.Warm.MeanRounds, r.Warm.FirstRoundPct)
+	t.Logf("cold: first %.2f m, settled %.2f m, %.1f rounds, %.0f%% at round 1",
+		r.Cold.FirstFix.Median, r.Cold.Settled.Median, r.Cold.MeanRounds, r.Cold.FirstRoundPct)
+	if r.CalRounds < 1 {
+		t.Errorf("CalRounds = %d, want >= 1", r.CalRounds)
+	}
+	if r.ThresholdM <= 0 {
+		t.Errorf("degenerate accuracy threshold %.3f", r.ThresholdM)
+	}
+	// The tentpole's acceptance bar: a warm restart localizes accurately
+	// within two rounds.
+	if r.Warm.MeanRounds > 2 {
+		t.Errorf("warm restart took %.1f mean rounds, want <= 2", r.Warm.MeanRounds)
+	}
+	// The cold restart's first fixes are uncalibrated and must be visibly
+	// worse than the warm restart's, while both settle to the same
+	// calibrated accuracy.
+	if r.Warm.FirstFix.Median >= r.Cold.FirstFix.Median {
+		t.Errorf("warm first fix %.2f m not better than cold %.2f m",
+			r.Warm.FirstFix.Median, r.Cold.FirstFix.Median)
+	}
+	if r.Cold.Settled.Median > r.Warm.Settled.Median*1.5+0.02 {
+		t.Errorf("cold never converged to warm accuracy: %.2f vs %.2f m",
+			r.Cold.Settled.Median, r.Warm.Settled.Median)
+	}
+	if r.Warm.FirstRoundPct <= r.Cold.FirstRoundPct {
+		t.Errorf("warm round-1 accuracy %.0f%% not above cold %.0f%%",
+			r.Warm.FirstRoundPct, r.Cold.FirstRoundPct)
+	}
+	tbl := RestartTable(r).String()
+	if !strings.Contains(tbl, "warm (snapshot restore)") || !strings.Contains(tbl, "cold (recalibrate)") {
+		t.Error("table missing modes")
+	}
+}

@@ -1,0 +1,156 @@
+package faultnet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bloc/internal/durable"
+)
+
+// Snapshot corruption: where Conn models a broken transport and Corrupter
+// a broken radio, SnapCorrupter models broken storage — it damages the
+// durable state plane's slot files on disk the way real disks and crashes
+// do, so kill-and-restart drills can prove the restore path detects every
+// shape and falls back instead of panicking or trusting garbage:
+//
+//   - torn writes: the file ends mid-record (a crash between write and
+//     fsync, or a filesystem that reordered the append);
+//   - bit flips: one random bit differs (media rot, a misdirected DMA);
+//   - truncation: the file is cut to an arbitrary prefix, including the
+//     bare header (lost tail pages);
+//   - stale generation: the record is internally consistent — checksum
+//     and all — but carries an old generation number (a restored backup,
+//     a cloned VM disk), which must lose newest-wins slot selection
+//     rather than roll the server back in time.
+//
+// All randomness comes from a PCG stream derived from the seed, so a
+// drill replays identically.
+
+// SnapCorrupter damages snapshot slot files inside one durable store
+// directory. Safe for concurrent use.
+type SnapCorrupter struct {
+	dir string
+
+	mu       sync.Mutex
+	rng      *rand.Rand // guarded by mu
+	injected int        // corruptions applied; guarded by mu
+}
+
+// NewSnapCorrupter targets the store directory dir with a seeded stream.
+func NewSnapCorrupter(dir string, seed uint64) *SnapCorrupter {
+	if seed == 0 {
+		seed = 1
+	}
+	return &SnapCorrupter{
+		dir: dir,
+		rng: rand.New(rand.NewPCG(seed, 0x5109)),
+	}
+}
+
+// Injected reports how many corruptions were applied.
+func (c *SnapCorrupter) Injected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// slotPath resolves one slot index (0 or 1) to its file path.
+func (c *SnapCorrupter) slotPath(slot int) (string, error) {
+	names := durable.SlotNames()
+	if slot < 0 || slot >= len(names) {
+		return "", fmt.Errorf("faultnet: slot %d outside [0,%d)", slot, len(names))
+	}
+	return filepath.Join(c.dir, names[slot]), nil
+}
+
+// TornWrite truncates a slot to a random strict prefix of at least one
+// byte — the on-disk shape of a crash mid-write that beat the fsync.
+func (c *SnapCorrupter) TornWrite(slot int) error {
+	path, err := c.slotPath(slot)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("faultnet: torn write: %w", err)
+	}
+	if fi.Size() < 2 {
+		return fmt.Errorf("faultnet: slot %d too small to tear (%d bytes)", slot, fi.Size())
+	}
+	n := 1 + c.rng.Int64N(fi.Size()-1)
+	if err := os.Truncate(path, n); err != nil {
+		return fmt.Errorf("faultnet: torn write: %w", err)
+	}
+	c.injected++
+	return nil
+}
+
+// BitFlip flips one random bit of the slot file.
+func (c *SnapCorrupter) BitFlip(slot int) error {
+	path, err := c.slotPath(slot)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("faultnet: bit flip: %w", err)
+	}
+	if len(b) == 0 {
+		return fmt.Errorf("faultnet: slot %d empty", slot)
+	}
+	i := c.rng.IntN(len(b))
+	b[i] ^= 1 << c.rng.IntN(8)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("faultnet: bit flip: %w", err)
+	}
+	c.injected++
+	return nil
+}
+
+// Truncate cuts a slot file to exactly n bytes (n may be 0: a slot that
+// exists but holds nothing).
+func (c *SnapCorrupter) Truncate(slot int, n int64) error {
+	path, err := c.slotPath(slot)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := os.Truncate(path, n); err != nil {
+		return fmt.Errorf("faultnet: truncate: %w", err)
+	}
+	c.injected++
+	return nil
+}
+
+// StaleGeneration rewrites a slot's generation number to gen, re-sealing
+// the checksum so the record validates — a structurally perfect snapshot
+// from the past, which newest-wins selection must pass over.
+func (c *SnapCorrupter) StaleGeneration(slot int, gen uint64) error {
+	path, err := c.slotPath(slot)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("faultnet: stale generation: %w", err)
+	}
+	nb, err := durable.RewriteGeneration(b, gen)
+	if err != nil {
+		return fmt.Errorf("faultnet: stale generation: %w", err)
+	}
+	if err := os.WriteFile(path, nb, 0o644); err != nil {
+		return fmt.Errorf("faultnet: stale generation: %w", err)
+	}
+	c.injected++
+	return nil
+}

@@ -1,0 +1,199 @@
+package locserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"bloc/internal/durable"
+)
+
+// Durable checkpointing and graceful drain (DESIGN.md §11). The server
+// periodically snapshots the state that is expensive to rebuild — anchor
+// health scores, the quarantine state machine, the elected reference, the
+// round high-water mark, plus whatever the embedding process contributes
+// through CheckpointConfig.Export (calibration rotors, per-tag Kalman
+// tracks) — into a durable.Store. The snapshot is cloned under the server
+// lock but serialized and fsynced outside it, so the fix path never waits
+// on the disk. On startup the newest valid snapshot is restored, subject
+// to a staleness TTL: state older than the TTL is discarded and the
+// server cold-starts instead of trusting a stale world view.
+
+// CheckpointConfig enables durable checkpointing.
+type CheckpointConfig struct {
+	// Store is where snapshots are persisted. Required.
+	Store *durable.Store
+	// Interval is the checkpoint cadence (default 2s).
+	Interval time.Duration
+	// StateTTL bounds how old a snapshot may be and still be restored
+	// (default 1h). A snapshot past the TTL is discarded: calibration
+	// drifts with temperature and anchors move, so stale state is worse
+	// than a cold start. Negative disables the TTL.
+	StateTTL time.Duration
+	// Export, when set, is called at each checkpoint (outside the server
+	// lock) to collect the embedding process's slice of the state:
+	// calibration rotors and per-tag tracks. The returned value must not
+	// alias live memory the caller keeps mutating.
+	Export func() durable.External
+	// Restore, when set, is called once during startup with the external
+	// section of a successfully restored, TTL-fresh snapshot. Returning
+	// an error rejects the external state only; the server-side health
+	// state stays restored.
+	Restore func(durable.External) error
+}
+
+func (c *CheckpointConfig) withDefaults() *CheckpointConfig {
+	out := *c
+	if out.Interval <= 0 {
+		out.Interval = 2 * time.Second
+	}
+	if out.StateTTL == 0 {
+		out.StateTTL = time.Hour
+	}
+	return &out
+}
+
+// restoreFromStore attempts a warm start from the newest valid snapshot.
+// Every failure path is a cold start, never an error: a server must come
+// up with or without its history. Called from NewWithListener before any
+// goroutine can touch the state; the external Restore callback runs
+// outside the lock so it can take its own.
+func (s *Server) restoreFromStore() {
+	st, err := s.ckpt.Store.Load()
+	if err != nil {
+		if !errors.Is(err, durable.ErrNoSnapshot) {
+			s.log.Warn("snapshot restore failed, cold start", "err", err)
+		}
+		return
+	}
+	if s.ckpt.StateTTL > 0 {
+		age := time.Since(time.Unix(0, st.SavedUnixNano))
+		if age > s.ckpt.StateTTL {
+			s.mu.Lock()
+			s.stats.StaleDiscards++
+			s.mu.Unlock()
+			s.log.Warn("snapshot stale, cold start", "age", age, "ttl", s.ckpt.StateTTL)
+			return
+		}
+	}
+	s.mu.Lock()
+	if err := s.health.restoreLocked(st); err != nil {
+		s.mu.Unlock()
+		s.log.Warn("snapshot rejected by health plane, cold start", "err", err)
+		return
+	}
+	s.maxRound = st.Round
+	s.stats.WarmRestores++
+	s.mu.Unlock()
+	if s.ckpt.Restore != nil {
+		if err := s.ckpt.Restore(st.External); err != nil {
+			s.log.Warn("external snapshot state rejected", "err", err)
+		}
+	}
+	s.log.Info("warm restart from snapshot",
+		"round", st.Round, "ref", st.Ref,
+		"age", time.Since(time.Unix(0, st.SavedUnixNano)).Round(time.Millisecond))
+}
+
+// checkpointLoop persists a snapshot every interval until the server
+// closes.
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.ckpt.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-ticker.C:
+		}
+		if err := s.checkpointNow(); err != nil {
+			s.log.Error("checkpoint failed", "err", err)
+		}
+	}
+}
+
+// checkpointNow persists one snapshot. The server state is cloned under
+// the lock; encoding and the fsync'd write happen outside it, so the
+// ingest/fix path is never blocked on storage.
+func (s *Server) checkpointNow() error {
+	var ext durable.External
+	if s.ckpt.Export != nil {
+		ext = s.ckpt.Export()
+	}
+	s.mu.Lock()
+	st := s.exportStateLocked()
+	s.mu.Unlock()
+	st.External = ext
+
+	err := s.ckpt.Store.Save(st)
+	s.mu.Lock()
+	if err != nil {
+		s.stats.CheckpointErrors++
+	} else {
+		s.stats.Checkpoints++
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// exportStateLocked snapshots the server-owned durable state. The result
+// shares no memory with live state. Caller holds s.mu.
+func (s *Server) exportStateLocked() *durable.State {
+	st := &durable.State{Round: s.maxRound}
+	s.health.exportLocked(st)
+	return st
+}
+
+// Drain gracefully winds the server down: new rounds stop being admitted
+// (rows for already-pending rounds are still accepted, so in-flight
+// acquisitions finish or hit their deadline), the server waits until no
+// round is pending or ctx expires, persists a final checkpoint, and
+// closes. It returns the first error among the final checkpoint and the
+// close.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return s.Close()
+	}
+	s.draining = true
+	pending := len(s.rounds)
+	s.mu.Unlock()
+	s.log.Info("draining: no new rounds admitted", "pending", pending)
+
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		s.mu.Lock()
+		pending = len(s.rounds)
+		s.mu.Unlock()
+		if pending == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			s.log.Warn("drain deadline reached, abandoning pending rounds", "pending", pending)
+			pending = 0
+		case <-ticker.C:
+		}
+		if pending == 0 {
+			break
+		}
+	}
+	// Deadline completions already past the lock finish before the final
+	// checkpoint, so their health-plane effects are captured.
+	s.timerWG.Wait()
+
+	var err error
+	if s.ckpt != nil {
+		if cerr := s.checkpointNow(); cerr != nil {
+			err = fmt.Errorf("locserver: final checkpoint: %w", cerr)
+		}
+	}
+	if cerr := s.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,9 +1,11 @@
 package locserver
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"bloc/internal/csi"
+	"bloc/internal/durable"
 )
 
 // Anchor health, quarantine and reference election (the failover half of
@@ -263,6 +265,55 @@ func (h *healthTracker) quarantineLocked(st *anchorHealth) {
 	st.state = anchorQuarantined
 	st.cooldown = h.cfg.CooldownRounds + h.rng.IntN(h.cfg.CooldownJitter+1)
 	st.cleanRounds = 0
+}
+
+// exportLocked fills a durable snapshot's health-plane section: per-anchor
+// scores and state-machine positions, the elected reference, the
+// re-election holdoff and the cumulative counters. The in-flight round
+// accumulators (roundOK/roundBad) are deliberately not persisted — a
+// restart restarts the round. Caller holds Server.mu.
+func (h *healthTracker) exportLocked(st *durable.State) {
+	st.Ref = h.ref
+	st.Holdoff = h.holdoff
+	st.Quarantines = h.quarantines
+	st.Readmissions = h.readmissions
+	st.Reelections = h.reelections
+	st.Anchors = make([]durable.AnchorHealth, len(h.anchors))
+	for i := range h.anchors {
+		a := &h.anchors[i]
+		st.Anchors[i] = durable.AnchorHealth{
+			Score:       a.score,
+			State:       uint8(a.state),
+			Cooldown:    a.cooldown,
+			CleanRounds: a.cleanRounds,
+		}
+	}
+}
+
+// restoreLocked replaces the tracker's state with a snapshot's. The
+// snapshot has already passed durable's semantic validation (scores in
+// [0,1], known state-machine positions, reference in range); the only
+// check left is that it describes this deployment's anchor count. Caller
+// holds Server.mu (or runs before the server's goroutines start).
+func (h *healthTracker) restoreLocked(st *durable.State) error {
+	if len(st.Anchors) != len(h.anchors) {
+		return fmt.Errorf("locserver: snapshot has %d anchors, deployment has %d",
+			len(st.Anchors), len(h.anchors))
+	}
+	for i, a := range st.Anchors {
+		h.anchors[i] = anchorHealth{
+			score:       a.Score,
+			state:       anchorState(a.State),
+			cooldown:    a.Cooldown,
+			cleanRounds: a.CleanRounds,
+		}
+	}
+	h.ref = st.Ref
+	h.holdoff = st.Holdoff
+	h.quarantines = st.Quarantines
+	h.readmissions = st.Readmissions
+	h.reelections = st.Reelections
+	return nil
 }
 
 // maybeReelectLocked replaces the reference when it can no longer anchor

@@ -90,6 +90,12 @@ type Config struct {
 	// Health tunes anchor quarantine and reference election; the zero
 	// value selects HealthConfig's documented defaults.
 	Health HealthConfig
+
+	// Checkpoint enables the durable state plane (DESIGN.md §11):
+	// periodic crash-safe snapshots off the fix path, warm restore on
+	// startup, and a final checkpoint during Drain. nil disables
+	// persistence entirely.
+	Checkpoint *CheckpointConfig
 }
 
 // RoundInfo describes one completed round to the OnSnapshot callback.
@@ -123,6 +129,14 @@ type Stats struct {
 	Readmissions int // probation → healthy graduations
 	Reelections  int // reference re-elections since startup
 	Reference    int // currently elected reference anchor
+
+	Checkpoints       int    // durable snapshots persisted
+	CheckpointErrors  int    // checkpoint attempts that failed
+	CheckpointBytes   uint64 // total snapshot bytes written
+	WarmRestores      int    // 1 if this process restored state at startup
+	StaleDiscards     int    // snapshots discarded for exceeding the TTL
+	SnapshotFallbacks int    // restores served by the older slot (newer corrupt)
+	SlotCorruptions   int    // snapshot slots rejected by validation
 }
 
 // Server collects CSI and serves fixes.
@@ -143,6 +157,10 @@ type Server struct {
 	wg        sync.WaitGroup
 	timerWG   sync.WaitGroup // deadline completions in flight
 	closing   bool           // guarded by mu
+	draining  bool           // drain started: admit no new rounds; guarded by mu
+	maxRound  uint32         // highest round tombstoned (checkpoint high-water mark); guarded by mu
+
+	ckpt *CheckpointConfig // durable checkpointing; nil when disabled
 }
 
 // maxDoneRounds bounds the completed-round memory; older entries are
@@ -224,6 +242,9 @@ func NewWithListener(ln net.Listener, cfg Config) (*Server, error) {
 	if cfg.HeartbeatMisses <= 0 {
 		cfg.HeartbeatMisses = 3
 	}
+	if cfg.Checkpoint != nil && cfg.Checkpoint.Store == nil {
+		return nil, errors.New("locserver: CheckpointConfig.Store required")
+	}
 	s := &Server{
 		cfg:       cfg,
 		ln:        ln,
@@ -235,6 +256,13 @@ func NewWithListener(ln net.Listener, cfg Config) (*Server, error) {
 		health:    newHealthTracker(cfg.Anchors, cfg.Health),
 		fixes:     make(chan wire.Fix, 64),
 		closed:    make(chan struct{}),
+	}
+	if cfg.Checkpoint != nil {
+		s.ckpt = cfg.Checkpoint.withDefaults()
+		// Warm restore before any goroutine can touch the state.
+		s.restoreFromStore()
+		s.wg.Add(1)
+		go s.checkpointLoop()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -261,6 +289,12 @@ func (s *Server) Stats() Stats {
 	st.Readmissions = s.health.readmissions
 	st.Reelections = s.health.reelections
 	st.Reference = s.health.referenceLocked()
+	if s.ckpt != nil {
+		ss := s.ckpt.Store.Stats()
+		st.CheckpointBytes = ss.BytesWritten
+		st.SnapshotFallbacks = int(ss.Fallbacks)
+		st.SlotCorruptions = int(ss.Corruptions)
+	}
 	return st
 }
 
@@ -446,6 +480,12 @@ func (s *Server) ingest(row *wire.CSIRow) {
 	}
 	pr := s.rounds[rk]
 	if pr == nil {
+		if s.draining {
+			// Drain admits no new rounds; rows for already-pending rounds
+			// above still land, so in-flight acquisitions can finish.
+			s.mu.Unlock()
+			return
+		}
 		pr = &pendingRound{
 			snap: csi.NewSnapshot(s.cfg.Bands, s.cfg.Anchors, s.cfg.Antennas),
 			got:  make(map[[2]uint16]bool),
@@ -626,6 +666,9 @@ func (s *Server) markDoneLocked(rk roundKey) {
 		s.done = make(map[roundKey]bool)
 	}
 	s.done[rk] = true
+	if rk.round > s.maxRound {
+		s.maxRound = rk.round
+	}
 }
 
 // complete localizes one assembled snapshot and broadcasts the fix.

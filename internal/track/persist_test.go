@@ -1,0 +1,154 @@
+package track
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bloc/internal/geom"
+)
+
+func primedFilter(t *testing.T) *Filter {
+	t.Helper()
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		x := 1.0 + 0.1*float64(i)
+		if _, _, err := f.Update(geom.Pt(x, -0.5), 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// TestExportRestoreBitIdentical: a restored filter must be externally
+// indistinguishable from the original — position, velocity, uncertainty
+// and every subsequent update bit-for-bit.
+func TestExportRestoreBitIdentical(t *testing.T) {
+	f := primedFilter(t)
+	st := f.Export()
+
+	g, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(f.Position().X) != math.Float64bits(g.Position().X) ||
+		math.Float64bits(f.Position().Y) != math.Float64bits(g.Position().Y) {
+		t.Fatalf("restored position %v != original %v", g.Position(), f.Position())
+	}
+	if math.Float64bits(f.Uncertainty()) != math.Float64bits(g.Uncertainty()) {
+		t.Fatal("restored uncertainty differs")
+	}
+	// Identical future: the same fix stream produces bit-identical output.
+	for i := 0; i < 10; i++ {
+		fix := geom.Pt(1.5+0.05*float64(i), -0.5+0.02*float64(i))
+		p1, ok1, err1 := f.Update(fix, 0.1)
+		p2, ok2, err2 := g.Update(fix, 0.1)
+		if ok1 != ok2 || (err1 == nil) != (err2 == nil) {
+			t.Fatalf("step %d diverged: (%v,%v) vs (%v,%v)", i, ok1, err1, ok2, err2)
+		}
+		if math.Float64bits(p1.X) != math.Float64bits(p2.X) || math.Float64bits(p1.Y) != math.Float64bits(p2.Y) {
+			t.Fatalf("step %d: %v != %v", i, p1, p2)
+		}
+	}
+}
+
+func TestRestoreRejectsPoison(t *testing.T) {
+	f := primedFilter(t)
+	good := f.Export()
+	bad := []func(*FilterState){
+		func(st *FilterState) { st.X[0] = math.NaN() },
+		func(st *FilterState) { st.X[3] = math.Inf(1) },
+		func(st *FilterState) { st.P[0] = math.NaN() },
+		func(st *FilterState) { st.P[0] = -1 },  // negative x variance
+		func(st *FilterState) { st.P[15] = -4 }, // negative vy variance
+		func(st *FilterState) { st.Misses = -1 },
+		func(st *FilterState) { st.Misses = 1000 },
+	}
+	for i, mut := range bad {
+		st := good
+		mut(&st)
+		g, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Restore(st); err == nil {
+			t.Errorf("case %d: poisoned state restored without error", i)
+		}
+		// The failed restore must leave the filter untouched.
+		if g.Initialized() {
+			t.Errorf("case %d: failed restore still mutated the filter", i)
+		}
+	}
+}
+
+// TestUpdateRejectsNonFinite: NaN/Inf fixes and dt must never reach the
+// covariance. They count as gated misses, and persistent garbage unlocks
+// the track without re-initializing from the garbage.
+func TestUpdateRejectsNonFinite(t *testing.T) {
+	f := primedFilter(t)
+	before := f.Export()
+	inputs := []struct {
+		fix geom.Point
+		dt  float64
+	}{
+		{geom.Pt(math.NaN(), 0), 0.1},
+		{geom.Pt(0, math.Inf(1)), 0.1},
+		{geom.Pt(1, 1), math.NaN()},
+		{geom.Pt(1, 1), math.Inf(-1)},
+	}
+	for i, in := range inputs {
+		pos, ok, err := f.Update(in.fix, in.dt)
+		if err == nil || ok {
+			t.Fatalf("case %d: non-finite input accepted", i)
+		}
+		if !strings.Contains(err.Error(), "non-finite") {
+			t.Fatalf("case %d: error %v, want non-finite rejection", i, err)
+		}
+		if math.IsNaN(pos.X) || math.IsNaN(pos.Y) {
+			t.Fatalf("case %d: returned position went NaN", i)
+		}
+	}
+	after := f.Export()
+	if after.X != before.X || after.P != before.P {
+		t.Fatal("non-finite updates mutated state or covariance")
+	}
+
+	// MaxMisses consecutive non-finite fixes unlock the track...
+	for i := 0; i < DefaultConfig().MaxMisses*2; i++ {
+		f.Update(geom.Pt(math.NaN(), math.NaN()), 0.1)
+	}
+	if f.Initialized() {
+		t.Fatal("track still locked after persistent non-finite input")
+	}
+	// ...and the next clean fix re-locks with finite state.
+	if _, ok, err := f.Update(geom.Pt(2, 2), 0.1); err != nil || !ok {
+		t.Fatalf("clean fix after unlock rejected: ok=%v err=%v", ok, err)
+	}
+	st := f.Export()
+	for _, v := range st.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("state poisoned after re-lock: %v", st.X)
+		}
+	}
+}
+
+// TestNonFiniteDoesNotPoisonUninitialized: garbage as the very first fix
+// must not initialize the track.
+func TestNonFiniteDoesNotPoisonUninitialized(t *testing.T) {
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := f.Update(geom.Pt(math.Inf(1), 0), 0.1); err == nil || ok {
+		t.Fatal("non-finite first fix accepted")
+	}
+	if f.Initialized() {
+		t.Fatal("track initialized from non-finite fix")
+	}
+}

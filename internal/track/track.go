@@ -72,7 +72,24 @@ func (f *Filter) Initialized() bool { return f.initialized }
 // Update advances the track by dt seconds and fuses one fix. It returns
 // the post-update position and whether the fix was accepted by the gate
 // (a rejected fix leaves the coasted prediction as the estimate).
+//
+// Non-finite input — a NaN/Inf fix coordinate or a NaN/Inf dt — is
+// rejected like a gated-out measurement: the miss counter advances, the
+// state and covariance stay untouched, and persistent garbage unlocks
+// the track without ever re-initializing it from the garbage itself.
 func (f *Filter) Update(fix geom.Point, dt float64) (geom.Point, bool, error) {
+	if !finite(fix.X) || !finite(fix.Y) || !finite(dt) {
+		if f.initialized {
+			f.misses++
+			if f.misses >= f.cfg.MaxMisses {
+				// Unlike a finite gated fix, a non-finite one cannot seed a
+				// re-initialization; drop the lock and wait for clean data.
+				f.initialized = false
+				f.misses = 0
+			}
+		}
+		return f.Position(), false, fmt.Errorf("track: non-finite measurement (fix %v, dt %v)", fix, dt)
+	}
 	if dt <= 0 {
 		return geom.Point{}, false, fmt.Errorf("track: non-positive dt %v", dt)
 	}
@@ -173,3 +190,66 @@ func (f *Filter) predict(dt float64) {
 func (f *Filter) Uncertainty() float64 {
 	return math.Sqrt((f.p[0][0] + f.p[1][1]) / 2)
 }
+
+// FilterState is the serializable state of a Filter, shaped for the
+// durable state plane: a restarted server restores its tracks from the
+// last checkpoint instead of re-locking from scratch.
+type FilterState struct {
+	// X is the [x, y, vx, vy] state mean.
+	X [4]float64
+	// P is the row-major 4×4 state covariance.
+	P [16]float64
+	// Initialized and Misses mirror the filter's lock state.
+	Initialized bool
+	Misses      int
+}
+
+// Export snapshots the filter's state. The returned value shares nothing
+// with the filter, so it can be serialized while the filter keeps
+// updating.
+func (f *Filter) Export() FilterState {
+	st := FilterState{Initialized: f.initialized, Misses: f.misses, X: f.x}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			st.P[4*i+j] = f.p[i][j]
+		}
+	}
+	return st
+}
+
+// Restore replaces the filter's state with a previously exported one.
+// The state is validated before anything is overwritten: every entry
+// finite, the covariance diagonal non-negative and the miss counter in
+// range, so a corrupted snapshot cannot poison a live track.
+func (f *Filter) Restore(st FilterState) error {
+	for _, v := range st.X {
+		if !finite(v) {
+			return fmt.Errorf("track: restore: non-finite state mean %v", st.X)
+		}
+	}
+	for _, v := range st.P {
+		if !finite(v) {
+			return fmt.Errorf("track: restore: non-finite covariance entry %v", v)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if st.P[4*i+i] < 0 {
+			return fmt.Errorf("track: restore: negative variance P[%d][%d] = %v", i, i, st.P[4*i+i])
+		}
+	}
+	if st.Misses < 0 || st.Misses >= f.cfg.MaxMisses {
+		return fmt.Errorf("track: restore: miss count %d outside [0,%d)", st.Misses, f.cfg.MaxMisses)
+	}
+	f.x = st.X
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			f.p[i][j] = st.P[4*i+j]
+		}
+	}
+	f.initialized = st.Initialized
+	f.misses = st.Misses
+	return nil
+}
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
