@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race soak chaos drill vet lint ci fuzz bench bench-check figures figures-full clean
+.PHONY: all build test race soak chaos drill overload vet lint ci fuzz bench bench-check figures figures-full clean
 
 all: vet lint test build
 
@@ -38,6 +38,15 @@ drill:
 	$(GO) test -race -count=2 -run 'Restart|Drain|SnapCorrupt|Restore|NonFinite' \
 		./internal/locserver/ ./internal/faultnet/ ./internal/core/ ./internal/track/
 
+# Overload drills: the serving plane under a seeded 10× tag burst with
+# slow anchors — admission control, load shedding, deadline budgets and
+# the straggler/laggy state machine, repeated under the race detector
+# (DESIGN.md §12).
+overload:
+	$(GO) test -race -count=2 \
+		-run 'Overload|Laggy|ServeMode|Shed|Budget|FixQueue|Adaptive|TeardownRace|DelayConn|Burst|Backoff' \
+		./internal/locserver/ ./internal/faultnet/ ./internal/anchor/
+
 vet:
 	@files="$$(gofmt -l .)"; \
 	if [ -n "$$files" ]; then \
@@ -53,7 +62,7 @@ lint: build
 	$(GO) run ./cmd/bloc-lint ./...
 
 # Everything CI runs, in CI's order.
-ci: vet lint test race soak chaos drill
+ci: vet lint test race soak chaos drill overload
 
 # Native fuzzing smoke pass: the wire protocol and the durable snapshot
 # decoder, each over its seed corpus (go test allows one -fuzz package

@@ -7,7 +7,7 @@
 //
 //	bloc-bench [-positions 300] [-seed 7] [-exp all|fig4|fig6|fig8a|fig8b|
 //	            fig9a|fig9b|fig9c|fig10|fig11|fig12|fig13|ablations|quorum|
-//	            failover|restart] [-out dir]
+//	            failover|restart|overload] [-out dir]
 //
 // The paper used 1700 positions; -positions 1700 reproduces that scale
 // (several minutes of CPU), while the default 300 keeps the shape of every
@@ -33,7 +33,7 @@ func main() {
 	var (
 		positions = flag.Int("positions", 300, "dataset size (paper: 1700)")
 		seed      = flag.Uint64("seed", 7, "simulation seed")
-		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, failover, restart, perf, or all)")
+		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, failover, restart, overload, perf, or all)")
 		out       = flag.String("out", "", "directory for CSV series (optional)")
 
 		// -exp perf flags.
@@ -76,6 +76,12 @@ func main() {
 		rs, err := eval.AblationRestart(*seed, *positions, restartPhaseErrDeg)
 		check(err)
 		fmt.Println(eval.RestartTable(rs))
+	}
+	// The overload drill runs a live server + anchor fleet; no dataset.
+	if want("overload") && *exp != "all" { // "all" covers it inside runAblations
+		ov, err := eval.AblationOverload(*seed)
+		check(err)
+		fmt.Println(eval.OverloadTable(ov))
 	}
 	needsDataset := want("fig6") || want("fig8a") || want("fig9a") || want("fig9b") ||
 		want("fig9c") || want("fig10") || want("fig11") || want("fig12") ||
@@ -194,6 +200,10 @@ func runAblations(suite *eval.Suite, seed uint64, positions int) {
 	rs, err := eval.AblationRestart(seed, small, restartPhaseErrDeg)
 	check(err)
 	fmt.Println(eval.RestartTable(rs))
+
+	ov, err := eval.AblationOverload(seed)
+	check(err)
+	fmt.Println(eval.OverloadTable(ov))
 
 	snrs, err := eval.AblationSNR(seed, small, []float64{5, 10, 15, 25})
 	check(err)

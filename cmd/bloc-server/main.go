@@ -8,7 +8,8 @@
 //	            [-round-deadline 2s] [-min-anchors 2] [-min-bands 1]
 //	            [-heartbeat 2s] [-stats 1m] [-calibrate]
 //	            [-state-dir dir] [-checkpoint 2s] [-state-ttl 1h]
-//	            [-drain-timeout 10s]
+//	            [-drain-timeout 10s] [-fix-workers 2] [-fix-queue 64]
+//	            [-fix-budget 0] [-adaptive-deadline]
 //
 // The seed must match the anchors' seed: it defines the shared simulated
 // deployment geometry the localization engine needs. Rounds that miss the
@@ -24,6 +25,15 @@
 // it stops admitting new rounds, finishes the in-flight ones (bounded by
 // -drain-timeout), writes a final checkpoint and exits; a second signal
 // forces immediate termination.
+//
+// The overload plane (DESIGN.md §12) is always on: fix computation runs
+// on -fix-workers goroutines behind a bounded queue of -fix-queue jobs
+// whose depth drives hysteretic admission control (degrade to the coarse
+// fix, then shed untracked tags first). -fix-budget caps first-row-to-
+// broadcast latency per round — a fix that would arrive later than the
+// budget is dropped, not delivered stale. -adaptive-deadline tightens the
+// round deadline to the live p95 arrival latency of punctual anchors and
+// excludes hysteretically-marked laggy anchors from quorum waits.
 package main
 
 import (
@@ -179,6 +189,11 @@ func main() {
 		ckptIvl   = flag.Duration("checkpoint", 2*time.Second, "checkpoint interval")
 		stateTTL  = flag.Duration("state-ttl", time.Hour, "discard snapshots older than this on restore")
 		drainWait = flag.Duration("drain-timeout", 10*time.Second, "max time to finish in-flight rounds on shutdown")
+
+		fixWorkers  = flag.Int("fix-workers", 2, "fix-computation workers draining the bounded queue")
+		fixQueue    = flag.Int("fix-queue", 64, "bounded fix-queue depth (admission-control watermarks derive from it)")
+		fixBudget   = flag.Duration("fix-budget", 0, "per-round latency budget first row→broadcast; exhausted fixes are dropped (0 disables)")
+		adaptiveDdl = flag.Bool("adaptive-deadline", false, "adapt the round deadline to the live p95 of punctual anchors (requires -round-deadline > 0)")
 	)
 	flag.Parse()
 
@@ -224,6 +239,10 @@ func main() {
 		MinBands:          *minBands,
 		HeartbeatInterval: *heartbeat,
 		Checkpoint:        ckpt,
+		FixWorkers:        *fixWorkers,
+		FixQueueDepth:     *fixQueue,
+		FixBudget:         *fixBudget,
+		AdaptiveDeadline:  *adaptiveDdl,
 		OnSnapshot: func(info locserver.RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
 			// Degraded rounds carry too few correction-grade rows for the
 			// CSI pipeline; fall back to RSSI-only trilateration.
@@ -315,6 +334,17 @@ func main() {
 						"warm_restores", ss.WarmRestores,
 						"stale_discards", ss.StaleDiscards,
 						"snapshot_fallbacks", ss.SnapshotFallbacks,
+						"serve_mode", ss.Mode,
+						"mode_changes", ss.ModeChanges,
+						"queue_depth", ss.QueueDepth,
+						"queue_peak", ss.QueuePeak,
+						"overload_degraded", ss.OverloadDegraded,
+						"overload_shed", ss.OverloadShed,
+						"budget_exceeded", ss.BudgetExceeded,
+						"laggy_anchors", ss.LaggyAnchors,
+						"laggy_marks", ss.LaggyMarks,
+						"laggy_readmits", ss.LaggyReadmits,
+						"early_completions", ss.EarlyCompletions,
 					)
 				}
 			}

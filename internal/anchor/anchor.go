@@ -37,11 +37,19 @@ import (
 // failure multiplies the wait by Factor up to Max, and every wait is
 // spread by ±Jitter (a fraction) so a fleet of anchors that lost the same
 // server does not redial in lockstep. The zero value selects defaults.
+//
+// Jitter is drawn from a per-daemon seeded PCG stream (the same
+// discipline as locserver's health plane), never from the global RNG:
+// two runs with the same Seed and traffic reproduce identical reconnect
+// timing, which is what lets the fault drills assert on it. The stream
+// is salted with the anchor ID so a fleet sharing one seed still spreads
+// instead of redialing in lockstep.
 type Backoff struct {
 	Initial time.Duration // first retry delay (default 100ms)
 	Max     time.Duration // delay ceiling (default 5s)
 	Factor  float64       // delay multiplier per failure (default 2)
 	Jitter  float64       // random spread fraction in [0,1] (default 0.2)
+	Seed    uint64        // jitter stream seed (default 1); salted with the anchor ID
 }
 
 func (b Backoff) withDefaults() Backoff {
@@ -57,11 +65,15 @@ func (b Backoff) withDefaults() Backoff {
 	if b.Jitter <= 0 || b.Jitter > 1 {
 		b.Jitter = 0.2
 	}
+	if b.Seed == 0 {
+		b.Seed = 1
+	}
 	return b
 }
 
-func (b Backoff) jittered(base time.Duration) time.Duration {
-	return time.Duration(float64(base) * (1 + b.Jitter*(2*rand.Float64()-1)))
+// jittered spreads base by ±Jitter using the daemon's seeded stream.
+func (b Backoff) jittered(base time.Duration, rng *rand.Rand) time.Duration {
+	return time.Duration(float64(base) * (1 + b.Jitter*(2*rng.Float64()-1)))
 }
 
 // connState is the daemon lifecycle: idle (never connected), connected,
@@ -114,6 +126,7 @@ type Daemon struct {
 	buf        []*wire.CSIRow // outage resend buffer; guarded by mu
 	dropped    int            // guarded by mu
 	reconnects int            // guarded by mu
+	rng        *rand.Rand     // seeded backoff-jitter stream; created at Connect; guarded by mu
 	closed     chan struct{}
 	wg         sync.WaitGroup
 }
@@ -148,6 +161,12 @@ func (d *Daemon) Connect(addr string) error {
 		return fmt.Errorf("anchor %d: already connected", d.ID)
 	}
 	d.addr = addr
+	if d.rng == nil {
+		// Derive the jitter stream once, from the configured seed salted
+		// with the anchor ID — deterministic per daemon, spread across a
+		// fleet sharing one seed.
+		d.rng = rand.New(rand.NewPCG(d.Backoff.withDefaults().Seed, uint64(d.ID)^0xBAC0FF))
+	}
 	d.mu.Unlock()
 
 	conn, err := d.dialAndHello(addr)
@@ -257,7 +276,10 @@ func (d *Daemon) reconnectLoop() {
 	b := d.Backoff.withDefaults()
 	delay := b.Initial
 	for {
-		t := time.NewTimer(b.jittered(delay))
+		d.mu.Lock()
+		wait := b.jittered(delay, d.rng)
+		d.mu.Unlock()
+		t := time.NewTimer(wait)
 		select {
 		case <-d.closed:
 			t.Stop()

@@ -1,0 +1,58 @@
+package anchor
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// TestBackoffJitterSeededDeterminism pins the reconnect-jitter fix: waits
+// are drawn from a seeded per-daemon stream, so two runs with the same
+// seed and anchor ID reproduce identical backoff timing (what lets fault
+// drills assert on reconnect behavior), while different anchor-ID salts
+// still spread a fleet sharing one seed.
+func TestBackoffJitterSeededDeterminism(t *testing.T) {
+	b := Backoff{Seed: 42}.withDefaults()
+	stream := func(salt uint64) []time.Duration {
+		rng := rand.New(rand.NewPCG(b.Seed, salt^0xBAC0FF))
+		out := make([]time.Duration, 32)
+		base := b.Initial
+		for i := range out {
+			out[i] = b.jittered(base, rng)
+		}
+		return out
+	}
+	s1, s2, s3 := stream(1), stream(1), stream(2)
+	same := true
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("draw %d: same seed+salt diverged (%v vs %v)", i, s1[i], s2[i])
+		}
+		same = same && s1[i] == s3[i]
+	}
+	if same {
+		t.Error("different anchor-ID salts produced identical jitter streams")
+	}
+}
+
+// TestBackoffJitterBounds verifies every jittered wait stays within
+// ±Jitter of the base delay — spread, not distortion.
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Jitter: 0.2, Seed: 1}.withDefaults()
+	rng := rand.New(rand.NewPCG(b.Seed, 0xBAC0FF))
+	base := 100 * time.Millisecond
+	lo := time.Duration(float64(base) * (1 - b.Jitter))
+	hi := time.Duration(float64(base) * (1 + b.Jitter))
+	varied := false
+	first := b.jittered(base, rng)
+	for i := 0; i < 256; i++ {
+		w := b.jittered(base, rng)
+		if w < lo || w > hi {
+			t.Fatalf("draw %d: wait %v outside [%v, %v]", i, w, lo, hi)
+		}
+		varied = varied || w != first
+	}
+	if !varied {
+		t.Error("jitter stream produced a constant wait")
+	}
+}

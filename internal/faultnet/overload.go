@@ -1,0 +1,126 @@
+package faultnet
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"math/rand/v2"
+)
+
+// Overload and gray-failure injection (DESIGN.md §12). Where faultnet's
+// Config models *loss* (dropped frames, resets), DelayConfig models
+// *slowness*: an anchor that is alive, correct, and late — the gray
+// failure that quorum waits and static deadlines handle worst. Delays
+// are drawn from a seeded PCG stream per connection, so a drill that
+// marks an anchor laggy does so at the same round on every run.
+
+// DelayConfig shapes the injected write latency.
+type DelayConfig struct {
+	// Seed derives the delay stream (with the wrap salt), keeping spike
+	// timing reproducible.
+	Seed uint64
+	// Base is added to every write while the injector is enabled — a
+	// congested backhaul or an overloaded host.
+	Base time.Duration
+	// Jitter adds uniform [0, Jitter) on top of Base per write.
+	Jitter time.Duration
+	// SpikeProb is the per-write probability of an additional Spike
+	// sleep — a GC pause or a Wi-Fi retrain, the tail that makes p95
+	// tracking necessary.
+	SpikeProb float64
+	Spike     time.Duration
+}
+
+// DelayConn wraps a net.Conn with deterministic write latency. Unlike
+// Conn it delivers every byte — slow, never wrong. The injection can be
+// toggled mid-stream, so a drill can turn a healthy anchor into a
+// straggler at a chosen moment and heal it later.
+type DelayConn struct {
+	net.Conn
+
+	mu      sync.Mutex
+	rng     *rand.Rand // guarded by mu
+	cfg     DelayConfig
+	enabled bool // guarded by mu
+	delays  int  // writes that slept; guarded by mu
+}
+
+// WrapDelayConn wraps c; salt individualizes the stream (use the anchor
+// ID). The injector starts enabled.
+func WrapDelayConn(c net.Conn, cfg DelayConfig, salt uint64) *DelayConn {
+	return &DelayConn{
+		Conn:    c,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(cfg.Seed^0x51_0DE1A7, salt)),
+		enabled: true,
+	}
+}
+
+// SetSlow enables or disables the injected latency; drills use it to
+// start and end a straggler episode.
+func (c *DelayConn) SetSlow(on bool) {
+	c.mu.Lock()
+	c.enabled = on
+	c.mu.Unlock()
+}
+
+// Delays returns how many writes slept so far.
+func (c *DelayConn) Delays() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delays
+}
+
+// Write sleeps the configured delay, then forwards the whole buffer.
+func (c *DelayConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	var d time.Duration
+	if c.enabled {
+		d = c.cfg.Base
+		if c.cfg.Jitter > 0 {
+			d += time.Duration(c.rng.Int64N(int64(c.cfg.Jitter)))
+		}
+		if c.cfg.SpikeProb > 0 && c.rng.Float64() < c.cfg.SpikeProb {
+			d += c.cfg.Spike
+		}
+		if d > 0 {
+			c.delays++
+		}
+	}
+	c.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}
+
+// Burst describes offered tag load per acquisition round: BaseTags tags
+// normally, BaseTags·Factor during the burst window. Tag IDs are stable
+// across rounds (tag 1 exists in every round, so a drill can follow one
+// tracked tag through the whole episode) and the schedule is pure
+// arithmetic — the same round always offers the same tags.
+type Burst struct {
+	BaseTags int    // tags offered outside the burst (IDs 1..BaseTags)
+	Factor   int    // burst multiplier (IDs 1..BaseTags·Factor while active)
+	Start    uint32 // first burst round
+	Rounds   uint32 // burst length; the window is [Start, Start+Rounds)
+}
+
+// Active reports whether round falls in the burst window.
+func (b Burst) Active(round uint32) bool {
+	return round >= b.Start && round < b.Start+b.Rounds
+}
+
+// Tags returns the tag IDs offered in the given round, lowest first.
+func (b Burst) Tags(round uint32) []uint16 {
+	n := b.BaseTags
+	if b.Active(round) {
+		n = b.BaseTags * b.Factor
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = uint16(i + 1)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package faultnet
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// delayPattern writes n frames through a fresh DelayConn over a pipe and
+// returns which writes slept, plus everything the far end received.
+func delayPattern(t *testing.T, cfg DelayConfig, salt uint64, n int) ([]bool, []byte) {
+	t.Helper()
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	recvDone := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		tmp := make([]byte, 64)
+		for {
+			k, err := b.Read(tmp)
+			buf.Write(tmp[:k])
+			if err != nil {
+				recvDone <- buf.Bytes()
+				return
+			}
+		}
+	}()
+	dc := WrapDelayConn(a, cfg, salt)
+	pattern := make([]bool, n)
+	prev := 0
+	for i := 0; i < n; i++ {
+		if _, err := dc.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		d := dc.Delays()
+		pattern[i] = d > prev
+		prev = d
+	}
+	a.Close()
+	return pattern, <-recvDone
+}
+
+// TestDelayConnSeededDeterminism pins the injector's reproducibility: the
+// same seed and salt produce the same spike schedule on every run, and a
+// different salt produces a different one — a fleet sharing one seed does
+// not stall in lockstep.
+func TestDelayConnSeededDeterminism(t *testing.T) {
+	cfg := DelayConfig{Seed: 7, SpikeProb: 0.5, Spike: time.Microsecond}
+	p1, data1 := delayPattern(t, cfg, 3, 64)
+	p2, data2 := delayPattern(t, cfg, 3, 64)
+	p3, _ := delayPattern(t, cfg, 4, 64)
+	slept := 0
+	same := true
+	for i := range p1 {
+		if p1[i] {
+			slept++
+		}
+		if p1[i] != p2[i] {
+			t.Fatalf("write %d: same seed+salt diverged (%v vs %v)", i, p1[i], p2[i])
+		}
+		same = same && p1[i] == p3[i]
+	}
+	if slept == 0 || slept == len(p1) {
+		t.Fatalf("spike schedule degenerate: %d/%d writes slept", slept, len(p1))
+	}
+	if same {
+		t.Error("different salts produced identical spike schedules")
+	}
+	// Slow, never wrong: every byte arrives intact.
+	if len(data1) != 64 || !bytes.Equal(data1, data2) {
+		t.Errorf("payload corrupted: %d bytes", len(data1))
+	}
+}
+
+// TestDelayConnToggle pins the mid-stream switch: SetSlow(false) stops
+// the injected latency immediately (a straggler episode ends), and
+// SetSlow(true) resumes it.
+func TestDelayConnToggle(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		tmp := make([]byte, 64)
+		for {
+			if _, err := b.Read(tmp); err != nil {
+				return
+			}
+		}
+	}()
+	dc := WrapDelayConn(a, DelayConfig{Seed: 1, Base: time.Microsecond}, 1)
+	for i := 0; i < 5; i++ {
+		dc.Write([]byte{0})
+	}
+	if got := dc.Delays(); got != 5 {
+		t.Fatalf("Delays() = %d with Base set, want 5", got)
+	}
+	dc.SetSlow(false)
+	for i := 0; i < 5; i++ {
+		dc.Write([]byte{0})
+	}
+	if got := dc.Delays(); got != 5 {
+		t.Fatalf("Delays() = %d after SetSlow(false), want 5", got)
+	}
+	dc.SetSlow(true)
+	dc.Write([]byte{0})
+	if got := dc.Delays(); got != 6 {
+		t.Fatalf("Delays() = %d after SetSlow(true), want 6", got)
+	}
+}
+
+// TestBurstSchedule pins the offered-load arithmetic: stable tag IDs,
+// exact window edges, Factor multiplication inside the window.
+func TestBurstSchedule(t *testing.T) {
+	b := Burst{BaseTags: 2, Factor: 10, Start: 7, Rounds: 4}
+	cases := []struct {
+		round  uint32
+		n      int
+		active bool
+	}{
+		{1, 2, false}, {6, 2, false}, {7, 20, true}, {10, 20, true}, {11, 2, false},
+	}
+	for _, c := range cases {
+		if got := b.Active(c.round); got != c.active {
+			t.Errorf("Active(%d) = %v, want %v", c.round, got, c.active)
+		}
+		tags := b.Tags(c.round)
+		if len(tags) != c.n {
+			t.Errorf("Tags(%d) has %d tags, want %d", c.round, len(tags), c.n)
+		}
+		for i, tg := range tags {
+			if tg != uint16(i+1) {
+				t.Fatalf("Tags(%d)[%d] = %d, want %d (stable IDs)", c.round, i, tg, i+1)
+			}
+		}
+	}
+}

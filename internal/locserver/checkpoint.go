@@ -149,9 +149,10 @@ func (s *Server) exportStateLocked() *durable.State {
 // Drain gracefully winds the server down: new rounds stop being admitted
 // (rows for already-pending rounds are still accepted, so in-flight
 // acquisitions finish or hit their deadline), the server waits until no
-// round is pending or ctx expires, persists a final checkpoint, and
-// closes. It returns the first error among the final checkpoint and the
-// close.
+// round is pending and the fix queue has been drained — queued and
+// in-flight fixes are delivered, not abandoned — or ctx expires,
+// persists a final checkpoint, and closes. It returns the first error
+// among the final checkpoint and the close.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closing {
@@ -167,14 +168,14 @@ func (s *Server) Drain(ctx context.Context) error {
 	defer ticker.Stop()
 	for {
 		s.mu.Lock()
-		pending = len(s.rounds)
+		pending = len(s.rounds) + s.fq.size + s.fixInflight
 		s.mu.Unlock()
 		if pending == 0 {
 			break
 		}
 		select {
 		case <-ctx.Done():
-			s.log.Warn("drain deadline reached, abandoning pending rounds", "pending", pending)
+			s.log.Warn("drain deadline reached, abandoning pending work", "pending", pending)
 			pending = 0
 		case <-ticker.C:
 		}
@@ -182,9 +183,6 @@ func (s *Server) Drain(ctx context.Context) error {
 			break
 		}
 	}
-	// Deadline completions already past the lock finish before the final
-	// checkpoint, so their health-plane effects are captured.
-	s.timerWG.Wait()
 
 	var err error
 	if s.ckpt != nil {

@@ -3,6 +3,8 @@ package locserver
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
+	"time"
 
 	"bloc/internal/csi"
 	"bloc/internal/durable"
@@ -62,6 +64,37 @@ type HealthConfig struct {
 	// Seed derives the jitter stream (default 1); same seed, same
 	// traffic, same cooldown draws.
 	Seed uint64
+
+	// The straggler half of the plane (DESIGN.md §12): per-anchor
+	// arrival-latency EWMAs mark slow-but-alive anchors "laggy" with the
+	// same hysteresis quarantine uses for corrupt ones, and feed the
+	// adaptive round deadline.
+
+	// LatAlpha smooths the per-anchor arrival-latency EWMA (default 0.3).
+	LatAlpha float64
+	// LaggyEnter marks an anchor laggy when its p95 arrival latency has
+	// exceeded this multiple of the fleet median p95 for LaggyRounds
+	// consecutive rounds (default 3).
+	LaggyEnter float64
+	// LaggyExit readmits a laggy anchor whose p95 has stayed below this
+	// multiple of the fleet median for LaggyRounds consecutive rounds
+	// (default 1.5). Must be below LaggyEnter: the gap is the hysteresis
+	// band.
+	LaggyExit float64
+	// LaggyRounds is the consecutive-round hysteresis on both edges of
+	// the laggy transition (default 3): one slow round never exiles an
+	// anchor, one fast round never readmits it.
+	LaggyRounds int
+	// LaggyFloor is an absolute p95 floor on both edges (default 10ms):
+	// an anchor is never marked laggy while its p95 sits below it, and a
+	// laggy anchor whose p95 drops below it always counts as punctual. On a
+	// fast fleet the relative thresholds alone would flap on scheduler
+	// noise — 3× a 0.2ms median is still noise. Negative disables the
+	// floor.
+	LaggyFloor time.Duration
+	// DeadlineHeadroom multiplies the slowest non-laggy anchor's p95
+	// latency when adapting the round deadline (default 2).
+	DeadlineHeadroom float64
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -90,6 +123,27 @@ func (c HealthConfig) withDefaults() HealthConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.LatAlpha <= 0 || c.LatAlpha > 1 {
+		c.LatAlpha = 0.3
+	}
+	if c.LaggyEnter <= 1 {
+		c.LaggyEnter = 3
+	}
+	if c.LaggyExit <= 0 || c.LaggyExit >= c.LaggyEnter {
+		c.LaggyExit = 1.5
+		if c.LaggyExit >= c.LaggyEnter {
+			c.LaggyExit = c.LaggyEnter / 2
+		}
+	}
+	if c.LaggyRounds <= 0 {
+		c.LaggyRounds = 3
+	}
+	if c.LaggyFloor == 0 {
+		c.LaggyFloor = 10 * time.Millisecond
+	}
+	if c.DeadlineHeadroom <= 1 {
+		c.DeadlineHeadroom = 2
 	}
 	return c
 }
@@ -125,7 +179,22 @@ type anchorHealth struct {
 	cleanRounds int         // consecutive clean probation rounds; guarded by Server.mu
 	roundOK     int         // accepted rows since the last boundary; guarded by Server.mu
 	roundBad    int         // rejected rows since the last boundary; guarded by Server.mu
+
+	// Straggler tracking (DESIGN.md §12). Latencies are seconds from a
+	// round's first row to this anchor's first row; deliberately not
+	// persisted — a restarted server re-learns the live network instead
+	// of trusting stale timing.
+	lat      float64 // arrival-latency EWMA (s); guarded by Server.mu
+	latDev   float64 // EWMA of absolute latency deviation (s); guarded by Server.mu
+	latSeen  bool    // any latency observed yet; guarded by Server.mu
+	laggy    bool    // excluded from quorum waits; guarded by Server.mu
+	lagOver  int     // consecutive rounds over the enter threshold; guarded by Server.mu
+	lagUnder int     // consecutive rounds under the exit threshold; guarded by Server.mu
 }
+
+// p95 approximates the anchor's 95th-percentile arrival latency from the
+// EWMA pair (mean + 2·deviation, the usual light-tail bound).
+func (a *anchorHealth) p95Locked() float64 { return a.lat + 2*a.latDev }
 
 // healthTransition records one state change for logging and stats.
 type healthTransition struct {
@@ -133,6 +202,13 @@ type healthTransition struct {
 	From   anchorState
 	To     anchorState
 	Score  float64
+}
+
+// lagTransition records one laggy-edge for logging and stats.
+type lagTransition struct {
+	Anchor int
+	Laggy  bool
+	P95    float64 // seconds
 }
 
 // healthTracker owns the per-anchor scores and the elected reference.
@@ -148,6 +224,8 @@ type healthTracker struct {
 	reelections  int // guarded by Server.mu
 	quarantines  int // guarded by Server.mu
 	readmissions int // guarded by Server.mu
+	lagMarks     int // transitions into laggy; guarded by Server.mu
+	lagReadmits  int // laggy → punctual readmissions; guarded by Server.mu
 }
 
 func newHealthTracker(anchors int, cfg HealthConfig) *healthTracker {
@@ -189,6 +267,169 @@ func (h *healthTracker) quarantinedSetLocked() []bool {
 	return q
 }
 
+// observeLatencyLocked records one arrival latency: the gap between a
+// round's first row (any anchor) and this anchor's first row of the same
+// round. Caller holds Server.mu.
+func (h *healthTracker) observeLatencyLocked(anchor int, d time.Duration) {
+	if anchor < 0 || anchor >= len(h.anchors) || d < 0 {
+		return
+	}
+	st := &h.anchors[anchor]
+	x := d.Seconds()
+	if !st.latSeen {
+		st.lat, st.latDev, st.latSeen = x, 0, true
+		return
+	}
+	a := h.cfg.LatAlpha
+	dev := x - st.lat
+	if dev < 0 {
+		dev = -dev
+	}
+	st.lat = (1-a)*st.lat + a*x
+	st.latDev = (1-a)*st.latDev + a*dev
+}
+
+// laggySetLocked snapshots which anchors are currently laggy, for a
+// pendingRound to capture at creation (the straggler analogue of
+// quarantinedSetLocked). Caller holds Server.mu.
+func (h *healthTracker) laggySetLocked() []bool {
+	l := make([]bool, len(h.anchors))
+	for i := range h.anchors {
+		l[i] = h.anchors[i].laggy
+	}
+	return l
+}
+
+// laggyCountLocked returns how many anchors are currently laggy. Caller
+// holds Server.mu.
+func (h *healthTracker) laggyCountLocked() int {
+	n := 0
+	for i := range h.anchors {
+		if h.anchors[i].laggy {
+			n++
+		}
+	}
+	return n
+}
+
+// medianP95Locked is the fleet's punctuality baseline: the median p95
+// arrival latency over non-laggy anchors with any history (falling back
+// to every observed anchor when all are laggy). Even counts take the
+// LOWER median deliberately: with half the fleet slow (two of four
+// anchors behind a congested switch), the upper median would be a slow
+// anchor's own p95 and no one would ever look laggy relative to it.
+// Anchoring the baseline to the punctual half keeps the detector live up
+// to (but excluding) a slow majority. Caller holds Server.mu.
+func (h *healthTracker) medianP95Locked() (float64, bool) {
+	p := make([]float64, 0, len(h.anchors))
+	for i := range h.anchors {
+		if h.anchors[i].latSeen && !h.anchors[i].laggy {
+			p = append(p, h.anchors[i].p95Locked())
+		}
+	}
+	if len(p) == 0 {
+		for i := range h.anchors {
+			if h.anchors[i].latSeen {
+				p = append(p, h.anchors[i].p95Locked())
+			}
+		}
+	}
+	if len(p) == 0 {
+		return 0, false
+	}
+	sort.Float64s(p)
+	return p[(len(p)-1)/2], true
+}
+
+// adaptiveDeadlineLocked derives the next round's deadline from the live
+// latency plane: DeadlineHeadroom times the slowest non-laggy anchor's
+// p95 arrival latency, clamped to [max/10, max] so a burst of fast rounds
+// never collapses the deadline to zero and a slow fleet never exceeds the
+// configured ceiling. Caller holds Server.mu.
+func (h *healthTracker) adaptiveDeadlineLocked(max time.Duration) time.Duration {
+	worst, seen := 0.0, false
+	for i := range h.anchors {
+		if h.anchors[i].latSeen && !h.anchors[i].laggy {
+			seen = true
+			if p := h.anchors[i].p95Locked(); p > worst {
+				worst = p
+			}
+		}
+	}
+	if !seen {
+		return max
+	}
+	d := time.Duration(h.cfg.DeadlineHeadroom * worst * float64(time.Second))
+	if floor := max / 10; d < floor {
+		d = floor
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// endLatencyRoundLocked advances the laggy state machine one round:
+// anchors whose p95 arrival latency has stayed beyond LaggyEnter times
+// the fleet median for LaggyRounds consecutive rounds are marked laggy
+// (and excluded from quorum waits by the server); laggy anchors that
+// stayed under LaggyExit times the median for as long are readmitted. At
+// most len(anchors)-2 anchors may be laggy: the estimator's two-anchor
+// floor must keep someone to wait for. Caller holds Server.mu.
+func (h *healthTracker) endLatencyRoundLocked() []lagTransition {
+	med, ok := h.medianP95Locked()
+	if !ok || med <= 0 {
+		return nil
+	}
+	nonLaggy := len(h.anchors) - h.laggyCountLocked()
+	// Both edges respect the absolute floor: relative thresholds against
+	// a sub-millisecond fleet median would otherwise mark (and trap)
+	// anchors over scheduler noise.
+	floor := h.cfg.LaggyFloor.Seconds()
+	enterThr := h.cfg.LaggyEnter * med
+	if enterThr < floor {
+		enterThr = floor
+	}
+	exitThr := h.cfg.LaggyExit * med
+	if exitThr < floor {
+		exitThr = floor
+	}
+	var out []lagTransition
+	for i := range h.anchors {
+		st := &h.anchors[i]
+		if !st.latSeen {
+			continue
+		}
+		p := st.p95Locked()
+		if !st.laggy {
+			if p > enterThr {
+				st.lagOver++
+			} else {
+				st.lagOver = 0
+			}
+			if st.lagOver >= h.cfg.LaggyRounds && nonLaggy > 2 {
+				st.laggy, st.lagOver, st.lagUnder = true, 0, 0
+				nonLaggy--
+				h.lagMarks++
+				out = append(out, lagTransition{Anchor: i, Laggy: true, P95: p})
+			}
+		} else {
+			if p < exitThr {
+				st.lagUnder++
+			} else {
+				st.lagUnder = 0
+			}
+			if st.lagUnder >= h.cfg.LaggyRounds {
+				st.laggy, st.lagOver, st.lagUnder = false, 0, 0
+				nonLaggy++
+				h.lagReadmits++
+				out = append(out, lagTransition{Anchor: i, Laggy: false, P95: p})
+			}
+		}
+	}
+	return out
+}
+
 // scoreLocked returns one anchor's current health score. Caller holds
 // Server.mu.
 func (h *healthTracker) scoreLocked(anchor int) float64 { return h.anchors[anchor].score }
@@ -198,25 +439,50 @@ func (h *healthTracker) stateLocked(anchor int) anchorState { return h.anchors[a
 
 // endRoundLocked is the round boundary: it folds the accumulated verdicts into
 // the EWMA scores, advances the quarantine state machine and re-elects
-// the reference when needed. It returns the state transitions that
-// happened and whether the reference changed. Caller holds Server.mu.
-func (h *healthTracker) endRoundLocked() (transitions []healthTransition, reelected bool) {
+// the reference when needed. seen is the completing round's own presence
+// set (anchors that contributed at least one row to it); nil falls back
+// to judging presence by the verdict accumulators. It returns the state
+// transitions that happened and whether the reference changed. Caller
+// holds Server.mu.
+func (h *healthTracker) endRoundLocked(seen []bool) (transitions []healthTransition, reelected bool) {
 	a := h.cfg.EWMAAlpha
-	refSilent := h.anchors[h.ref].roundOK+h.anchors[h.ref].roundBad == 0
+	present := func(i int) bool {
+		if seen == nil || i >= len(seen) {
+			return h.anchors[i].roundOK+h.anchors[i].roundBad > 0
+		}
+		return seen[i]
+	}
+	refSilent := !present(h.ref)
 	for i := range h.anchors {
 		st := &h.anchors[i]
-		// A silent anchor scores zero for the round: silence is exactly as
-		// useless as corruption to the estimator, and scoring it keeps a
-		// dead reference from holding office.
+		// An anchor absent from the round scores zero: silence is exactly
+		// as useless as corruption to the estimator, and scoring it keeps
+		// a dead reference from holding office.
 		roundScore := 0.0
-		seen := st.roundOK + st.roundBad
-		if seen > 0 {
-			roundScore = float64(st.roundOK) / float64(seen)
+		nRows := st.roundOK + st.roundBad
+		if nRows > 0 {
+			roundScore = float64(st.roundOK) / float64(nRows)
 		}
-		cleanRound := seen > 0 && st.roundBad == 0
+		cleanRound := nRows > 0 && st.roundBad == 0
 		badRows := st.roundBad > 0
 		st.roundOK, st.roundBad = 0, 0
-		st.score = (1-a)*st.score + a*roundScore
+		if nRows > 0 || (!present(i) && !st.laggy) {
+			// Skipped case one: the anchor DID contribute to this round, but
+			// its verdicts were already folded by an earlier boundary —
+			// with many tag rounds in flight (an overload burst), several
+			// completions share one global accumulator window, and scoring
+			// the anchor silent here would quarantine the whole fleet for
+			// the server's own backlog.
+			// Skipped case two: a laggy anchor absent from the round.
+			// Lateness is not corruption — the laggy state machine already
+			// excludes it from quorum waits, and rounds now complete early
+			// without it by design, so its absence is expected, not a
+			// health signal. Quarantining it on top would conflate the two
+			// planes (and displace a healthy reference during a burst).
+			// Rows it does land are still scored; a genuinely corrupt slow
+			// anchor quarantines through those.
+			st.score = (1-a)*st.score + a*roundScore
+		}
 
 		from := st.state
 		switch st.state {

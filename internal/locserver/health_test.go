@@ -28,7 +28,11 @@ func roundOf(h *healthTracker, ok, bad []int) ([]healthTransition, bool) {
 			h.observeLocked(i, csi.RowNonFinite)
 		}
 	}
-	return h.endRoundLocked()
+	seen := make([]bool, len(h.anchors))
+	for i := range seen {
+		seen[i] = ok[i]+bad[i] > 0
+	}
+	return h.endRoundLocked(seen)
 }
 
 // TestHealthQuarantineHysteresis is the no-flapping guarantee: once

@@ -96,6 +96,28 @@ type Config struct {
 	// startup, and a final checkpoint during Drain. nil disables
 	// persistence entirely.
 	Checkpoint *CheckpointConfig
+
+	// FixWorkers is the size of the fix-pipeline worker pool (default
+	// 2). Localization runs on these workers, never on the ingest path:
+	// a completed round is queued, and the row reader moves on.
+	FixWorkers int
+	// FixQueueDepth bounds the fix queue (default 64). Rounds that
+	// cannot be admitted are shed by priority, never queued unboundedly.
+	FixQueueDepth int
+	// FixBudget bounds one round's first row → fix → broadcast latency;
+	// a round that exhausts it is dropped (before localization when
+	// already late, and again before broadcast) instead of delivered
+	// stale. 0 disables budgets.
+	FixBudget time.Duration
+	// AdaptiveDeadline derives each round's deadline from the live
+	// per-anchor arrival-latency p95 (clamped to [RoundDeadline/10,
+	// RoundDeadline]) instead of the static RoundDeadline, and lets
+	// rounds complete early once every non-laggy anchor has reported.
+	// Requires RoundDeadline > 0.
+	AdaptiveDeadline bool
+	// Overload tunes the admission-control watermarks and tag-priority
+	// TTL; the zero value derives defaults from FixQueueDepth.
+	Overload OverloadConfig
 }
 
 // RoundInfo describes one completed round to the OnSnapshot callback.
@@ -114,6 +136,11 @@ type RoundInfo struct {
 	// RSSI-only coarse fix. Correction-based estimators will fail on
 	// such a snapshot; use a magnitude-based fallback.
 	Coarse bool
+	// Degraded marks a round demoted to the coarse path by overload
+	// admission control (DESIGN.md §12) rather than by data quality:
+	// the snapshot itself is CSI-grade, but the serve mode routed it to
+	// the cheap fix to shed load. Degraded implies Coarse.
+	Degraded bool
 }
 
 // Stats counts round outcomes and data-quality events.
@@ -137,6 +164,18 @@ type Stats struct {
 	StaleDiscards     int    // snapshots discarded for exceeding the TTL
 	SnapshotFallbacks int    // restores served by the older slot (newer corrupt)
 	SlotCorruptions   int    // snapshot slots rejected by validation
+
+	Mode             int // current serve mode (0 normal, 1 degraded, 2 shedding)
+	ModeChanges      int // serve-mode transitions since startup
+	QueueDepth       int // fix jobs currently queued
+	QueuePeak        int // high-water mark of the fix queue
+	OverloadDegraded int // rounds demoted to the coarse fix by overload
+	OverloadShed     int // rounds dropped by admission control
+	BudgetExceeded   int // fixes dropped for exhausting FixBudget
+	LaggyAnchors     int // anchors currently excluded from quorum waits
+	LaggyMarks       int // transitions into laggy
+	LaggyReadmits    int // laggy anchors readmitted to quorum waits
+	EarlyCompletions int // rounds completed early by excluding laggy anchors
 }
 
 // Server collects CSI and serves fixes.
@@ -147,20 +186,39 @@ type Server struct {
 
 	mu        sync.Mutex
 	rounds    map[roundKey]*pendingRound // guarded by mu
-	done      map[roundKey]bool          // completed rounds (bounded; see ingest); guarded by mu
+	done      map[roundKey]doneRound     // completed rounds (bounded; see ingest); guarded by mu
 	conns     map[*client]struct{}       // guarded by mu
 	stats     Stats                      // guarded by mu
 	validator *csi.RowValidator          // per-row sanity pipeline; guarded by mu
-	health    *healthTracker             // quarantine + reference election; guarded by mu
+	health    *healthTracker             // quarantine + reference election + laggy tracking; guarded by mu
 	fixes     chan wire.Fix              // completed fixes, for observers/tests
 	closed    chan struct{}              // signals heartbeat loop shutdown
 	wg        sync.WaitGroup
-	timerWG   sync.WaitGroup // deadline completions in flight
-	closing   bool           // guarded by mu
-	draining  bool           // drain started: admit no new rounds; guarded by mu
-	maxRound  uint32         // highest round tombstoned (checkpoint high-water mark); guarded by mu
+	closing   bool   // guarded by mu
+	draining  bool   // drain started: admit no new rounds; guarded by mu
+	maxRound  uint32 // highest round tombstoned (checkpoint high-water mark); guarded by mu
+
+	// Overload plane (DESIGN.md §12).
+	fq          *fixQueue             // bounded fix queue; guarded by mu
+	fixCond     *sync.Cond            // wakes fix workers; shares mu
+	busyTags    map[uint16]bool       // tags with a fix in flight; guarded by mu
+	fixInflight int                   // jobs popped but not finished; guarded by mu
+	mode        serveMode             // admission-control state; guarded by mu
+	ovl         OverloadConfig        // resolved watermarks (immutable after New)
+	tagHist     map[uint16]tagHistory // per-tag fix history for shed priority; guarded by mu
+	now         func() time.Time      // clock hook (tests); immutable after New
 
 	ckpt *CheckpointConfig // durable checkpointing; nil when disabled
+}
+
+// doneRound tombstones a completed or evicted round. The first-row
+// timestamp and per-anchor seen set survive completion so a straggler
+// row arriving after an early (laggy-excluded) completion still feeds
+// the latency plane — without that, a laggy anchor's EWMA would freeze
+// at its worst value and it could never earn readmission.
+type doneRound struct {
+	start time.Time
+	seen  []bool // anchors whose first row was already observed
 }
 
 // maxDoneRounds bounds the completed-round memory; older entries are
@@ -196,6 +254,12 @@ type pendingRound struct {
 	quar  []bool             // anchors quarantined when the round started
 	ref   int                // reference elected when the round started
 	timer *time.Timer        // deadline; nil when RoundDeadline is 0
+
+	start     time.Time // first-row arrival; deadline-budget + latency reference
+	seen      []bool    // anchors with ≥1 row this round (latency observed once each)
+	laggy     []bool    // anchors laggy when the round started (excluded from quorum waits)
+	nonLagGot int       // rows received from non-laggy anchors
+	nonLagAll int       // rows expected from non-laggy anchors; 0 disables early completion
 }
 
 // New starts a server listening on addr (e.g. "127.0.0.1:0").
@@ -245,24 +309,51 @@ func NewWithListener(ln net.Listener, cfg Config) (*Server, error) {
 	if cfg.Checkpoint != nil && cfg.Checkpoint.Store == nil {
 		return nil, errors.New("locserver: CheckpointConfig.Store required")
 	}
+	if cfg.FixWorkers <= 0 {
+		cfg.FixWorkers = 2
+	}
+	if cfg.FixQueueDepth <= 0 {
+		cfg.FixQueueDepth = 64
+	}
+	if cfg.FixBudget < 0 {
+		return nil, fmt.Errorf("locserver: negative FixBudget %v", cfg.FixBudget)
+	}
+	if cfg.AdaptiveDeadline && cfg.RoundDeadline <= 0 {
+		return nil, errors.New("locserver: AdaptiveDeadline requires RoundDeadline > 0")
+	}
+	ovl := cfg.Overload.withDefaults(cfg.FixQueueDepth)
+	if !ovl.valid(cfg.FixQueueDepth) {
+		return nil, fmt.Errorf("locserver: invalid overload watermarks %+v for queue depth %d",
+			ovl, cfg.FixQueueDepth)
+	}
 	s := &Server{
 		cfg:       cfg,
 		ln:        ln,
 		log:       cfg.Logger,
 		rounds:    make(map[roundKey]*pendingRound),
-		done:      make(map[roundKey]bool),
+		done:      make(map[roundKey]doneRound),
 		conns:     make(map[*client]struct{}),
 		validator: csi.NewRowValidator(cfg.Anchors, cfg.Quality),
 		health:    newHealthTracker(cfg.Anchors, cfg.Health),
 		fixes:     make(chan wire.Fix, 64),
 		closed:    make(chan struct{}),
+		fq:        newFixQueue(cfg.FixQueueDepth),
+		busyTags:  make(map[uint16]bool),
+		ovl:       ovl,
+		tagHist:   make(map[uint16]tagHistory),
+		now:       time.Now,
 	}
+	s.fixCond = sync.NewCond(&s.mu)
 	if cfg.Checkpoint != nil {
 		s.ckpt = cfg.Checkpoint.withDefaults()
 		// Warm restore before any goroutine can touch the state.
 		s.restoreFromStore()
 		s.wg.Add(1)
 		go s.checkpointLoop()
+	}
+	for i := 0; i < cfg.FixWorkers; i++ {
+		s.wg.Add(1)
+		go s.fixWorker()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -289,6 +380,11 @@ func (s *Server) Stats() Stats {
 	st.Readmissions = s.health.readmissions
 	st.Reelections = s.health.reelections
 	st.Reference = s.health.referenceLocked()
+	st.Mode = int(s.mode)
+	st.QueueDepth = s.fq.size
+	st.LaggyAnchors = s.health.laggyCountLocked()
+	st.LaggyMarks = s.health.lagMarks
+	st.LaggyReadmits = s.health.lagReadmits
 	if s.ckpt != nil {
 		ss := s.ckpt.Store.Stats()
 		st.CheckpointBytes = ss.BytesWritten
@@ -298,8 +394,10 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// Close stops the listener, all connections, pending round timers and the
-// heartbeat loop, and waits for every in-flight completion.
+// Close stops the listener, all connections, pending round timers, the
+// fix workers and the heartbeat loop, and waits for every in-flight
+// completion. Jobs still queued are abandoned: Close is the hard stop
+// (Drain flushes them first).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	wasClosing := s.closing
@@ -318,12 +416,12 @@ func (s *Server) Close() error {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	s.fixCond.Broadcast() // release workers parked in Wait
 	err := s.ln.Close()
 	for _, c := range conns {
 		c.conn.Close()
 	}
 	s.wg.Wait()
-	s.timerWG.Wait()
 	return err
 }
 
@@ -466,7 +564,10 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // ingest validates and merges one CSI row, and finalizes the round when
-// every row has arrived.
+// every row has arrived — or, with AdaptiveDeadline, as soon as every
+// non-laggy anchor has reported. Localization itself never runs here: a
+// finalized round is enqueued on the bounded fix queue and the reader
+// returns to its socket.
 func (s *Server) ingest(row *wire.CSIRow) {
 	if int(row.BandIdx) >= len(s.cfg.Bands) || len(row.Tag) != s.cfg.Antennas {
 		s.log.Warn("malformed csi row", "band", row.BandIdx, "antennas", len(row.Tag))
@@ -474,7 +575,15 @@ func (s *Server) ingest(row *wire.CSIRow) {
 	}
 	rk := roundKey{tag: row.TagID, round: row.Round}
 	s.mu.Lock()
-	if s.done[rk] {
+	if dr, ok := s.done[rk]; ok {
+		// A straggler for a completed round is dropped, but its lateness
+		// still feeds the latency plane: early (laggy-excluded)
+		// completions would otherwise freeze a laggy anchor's EWMA at
+		// its worst value and bar readmission forever.
+		if a := int(row.AnchorID); a < len(dr.seen) && !dr.seen[a] {
+			dr.seen[a] = true
+			s.health.observeLatencyLocked(a, s.now().Sub(dr.start))
+		}
 		s.mu.Unlock()
 		return
 	}
@@ -487,16 +596,36 @@ func (s *Server) ingest(row *wire.CSIRow) {
 			return
 		}
 		pr = &pendingRound{
-			snap: csi.NewSnapshot(s.cfg.Bands, s.cfg.Anchors, s.cfg.Antennas),
-			got:  make(map[[2]uint16]bool),
-			bad:  make(map[[2]uint16]bool),
-			quar: s.health.quarantinedSetLocked(),
-			ref:  s.health.referenceLocked(),
+			snap:  csi.NewSnapshot(s.cfg.Bands, s.cfg.Anchors, s.cfg.Antennas),
+			got:   make(map[[2]uint16]bool),
+			bad:   make(map[[2]uint16]bool),
+			quar:  s.health.quarantinedSetLocked(),
+			ref:   s.health.referenceLocked(),
+			start: s.now(),
+			seen:  make([]bool, s.cfg.Anchors),
 		}
 		if s.cfg.RoundDeadline > 0 {
-			pr.timer = time.AfterFunc(s.cfg.RoundDeadline, func() { s.roundDeadline(rk) })
+			deadline := s.cfg.RoundDeadline
+			if s.cfg.AdaptiveDeadline {
+				deadline = s.health.adaptiveDeadlineLocked(s.cfg.RoundDeadline)
+				pr.laggy = s.health.laggySetLocked()
+				nonLaggy := 0
+				for _, l := range pr.laggy {
+					if !l {
+						nonLaggy++
+					}
+				}
+				if nonLaggy < s.cfg.Anchors {
+					pr.nonLagAll = nonLaggy * len(s.cfg.Bands)
+				}
+			}
+			pr.timer = time.AfterFunc(deadline, func() { s.roundDeadline(rk) })
 		}
 		s.rounds[rk] = pr
+	}
+	if a := int(row.AnchorID); !pr.seen[a] {
+		pr.seen[a] = true
+		s.health.observeLatencyLocked(a, s.now().Sub(pr.start))
 	}
 	key := [2]uint16{uint16(row.AnchorID), row.BandIdx}
 	if pr.got[key] {
@@ -504,6 +633,9 @@ func (s *Server) ingest(row *wire.CSIRow) {
 		return // duplicate (transport resend); never re-validated
 	}
 	pr.got[key] = true
+	if pr.nonLagAll > 0 && !pr.laggy[row.AnchorID] {
+		pr.nonLagGot++
+	}
 	// Sanity-check the row before it can touch the snapshot. The verdict
 	// also feeds the anchor's health score — quarantined anchors keep
 	// being scored (that is how they earn probation) but their rows never
@@ -521,7 +653,12 @@ func (s *Server) ingest(row *wire.CSIRow) {
 			pr.snap.Master[row.BandIdx][row.AnchorID] = row.Master
 		}
 	}
-	if len(pr.got) < s.cfg.Anchors*len(s.cfg.Bands) {
+	full := len(pr.got) >= s.cfg.Anchors*len(s.cfg.Bands)
+	// Straggler-aware early completion: once every non-laggy anchor has
+	// delivered every band, waiting the rest of the deadline only buys
+	// rows from anchors already excluded from the quorum.
+	early := !full && pr.nonLagAll > 0 && pr.nonLagGot >= pr.nonLagAll
+	if !full && !early {
 		s.mu.Unlock()
 		return
 	}
@@ -529,18 +666,23 @@ func (s *Server) ingest(row *wire.CSIRow) {
 		pr.timer.Stop()
 	}
 	delete(s.rounds, rk)
-	s.markDoneLocked(rk)
-	snap, info, usable := s.finalizeLocked(rk, pr, true)
-	s.mu.Unlock()
-	if usable {
-		s.complete(rk, snap, info)
+	s.markDoneLocked(rk, pr)
+	if early {
+		s.stats.EarlyCompletions++
 	}
+	snap, info, usable := s.finalizeLocked(rk, pr, full)
+	if usable {
+		s.enqueueFixLocked(&fixJob{rk: rk, snap: snap, info: info, start: pr.start})
+	}
+	s.mu.Unlock()
 }
 
 // roundDeadline fires when a pending round's deadline expires: the round
 // either completes (fully sanitized, possibly degraded to coarse mode) or
 // is evicted. Either way it is tombstoned so stragglers cannot resurrect
-// it.
+// it. Completion is an enqueue under the same lock that removed the
+// round — localization happens on a fix worker — so teardown (Close and
+// Drain both serialize on mu) can never race a half-finished completion.
 func (s *Server) roundDeadline(rk roundKey) {
 	s.mu.Lock()
 	if s.closing {
@@ -553,20 +695,19 @@ func (s *Server) roundDeadline(rk roundKey) {
 		return // completed in the meantime
 	}
 	delete(s.rounds, rk)
-	s.markDoneLocked(rk)
+	s.markDoneLocked(rk, pr)
 	snap, info, usable := s.finalizeLocked(rk, pr, false)
+	if usable {
+		s.enqueueFixLocked(&fixJob{rk: rk, snap: snap, info: info, start: pr.start})
+	}
+	s.mu.Unlock()
 	if !usable {
-		s.mu.Unlock()
 		s.log.Warn("round evicted at deadline", "tag", rk.tag, "round", rk.round,
 			"rows", len(pr.got), "of", s.cfg.Anchors*len(s.cfg.Bands))
 		return
 	}
-	s.timerWG.Add(1)
-	s.mu.Unlock()
-	defer s.timerWG.Done()
 	s.log.Info("round completed at deadline", "tag", rk.tag, "round", rk.round,
 		"coarse", info.Coarse, "ref", info.Ref, "rows", len(pr.got))
-	s.complete(rk, snap, info)
 }
 
 // finalizeLocked assesses one assembled round against the quorums, masks
@@ -636,17 +777,19 @@ func (s *Server) finalizeLocked(rk roundKey, pr *pendingRound, full bool) (*csi.
 			}
 		}
 	}
-	s.roundBoundaryLocked()
+	s.roundBoundaryLocked(pr.seen)
 	return pr.snap, info, usable
 }
 
 // roundBoundaryLocked advances the health plane by one completed round:
 // scores are folded, quarantine transitions applied (resetting the
 // validator history of anchors entering probation, so stale statistics do
-// not judge fresh data) and the reference re-elected when needed. Caller
-// holds s.mu.
-func (s *Server) roundBoundaryLocked() {
-	transitions, reelected := s.health.endRoundLocked()
+// not judge fresh data) and the reference re-elected when needed. seen is
+// the completing round's own presence set, so concurrent tag rounds
+// sharing the global verdict accumulators cannot make each other's
+// anchors look silent. Caller holds s.mu.
+func (s *Server) roundBoundaryLocked(seen []bool) {
+	transitions, reelected := s.health.endRoundLocked(seen)
 	for _, tr := range transitions {
 		if tr.To == anchorProbation {
 			s.validator.Reset(tr.Anchor)
@@ -658,33 +801,27 @@ func (s *Server) roundBoundaryLocked() {
 	if reelected {
 		s.log.Warn("reference re-elected", "ref", s.health.referenceLocked())
 	}
+	for _, lt := range s.health.endLatencyRoundLocked() {
+		if lt.Laggy {
+			s.log.Warn("anchor marked laggy, excluded from quorum waits",
+				"anchor", lt.Anchor, "p95", fmt.Sprintf("%.0fms", lt.P95*1e3))
+		} else {
+			s.log.Warn("laggy anchor readmitted to quorum waits",
+				"anchor", lt.Anchor, "p95", fmt.Sprintf("%.0fms", lt.P95*1e3))
+		}
+	}
 }
 
-// markDoneLocked tombstones a round. Caller holds s.mu.
-func (s *Server) markDoneLocked(rk roundKey) {
+// markDoneLocked tombstones a round, keeping its first-row time and seen
+// set so late rows still feed the latency plane. Caller holds s.mu.
+func (s *Server) markDoneLocked(rk roundKey, pr *pendingRound) {
 	if len(s.done) >= maxDoneRounds {
-		s.done = make(map[roundKey]bool)
+		s.done = make(map[roundKey]doneRound)
 	}
-	s.done[rk] = true
+	s.done[rk] = doneRound{start: pr.start, seen: pr.seen}
 	if rk.round > s.maxRound {
 		s.maxRound = rk.round
 	}
-}
-
-// complete localizes one assembled snapshot and broadcasts the fix.
-func (s *Server) complete(rk roundKey, snap *csi.Snapshot, info RoundInfo) {
-	loc, err := s.cfg.OnSnapshot(info, snap)
-	if err != nil {
-		s.log.Error("localization failed", "tag", rk.tag, "round", rk.round, "err", err)
-		return
-	}
-	fix := wire.Fix{Round: rk.round, TagID: rk.tag, X: loc.X, Y: loc.Y}
-	select {
-	case s.fixes <- fix:
-	default: // observer not draining; drop rather than block ingestion
-	}
-	s.broadcast(&fix)
-	s.log.Info("fix", "tag", rk.tag, "round", rk.round, "x", loc.X, "y", loc.Y)
 }
 
 // broadcast sends the fix to every connected anchor.
