@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race soak chaos drill overload vet lint ci fuzz bench bench-check figures figures-full clean
+.PHONY: all build test race soak chaos drill overload stress vet lint ci fuzz bench bench-check figures figures-full clean
 
 all: vet lint test build
 
@@ -56,13 +56,31 @@ vet:
 	fi
 	$(GO) vet ./...
 
-# Domain-aware static analysis (units, radians, mutex contracts, float
-# equality, goroutine leaks); see internal/lint and DESIGN.md §8.
+# Schedule-perturbation stress: the durability and overload drills plus
+# the dedicated stress scenarios, re-run under the race detector across a
+# GOMAXPROCS matrix so goroutine interleavings the default schedule never
+# produces get exercised (DESIGN.md §13). Override the matrix with e.g.
+# `make stress STRESS_PROCS="1 8"`.
+STRESS_PROCS ?= 1 2 4
+stress:
+	@set -e; for gmp in $(STRESS_PROCS); do \
+		echo "=== stress: GOMAXPROCS=$$gmp ==="; \
+		GOMAXPROCS=$$gmp $(GO) test -race -count=1 \
+			-run 'Stress|Overload|TeardownRace|Drain|Restart|FixQueue|Shed|Budget' \
+			./internal/locserver/; \
+	done
+
+# Domain-aware static analysis: two-phase (package facts, then checks),
+# ten analyzers covering units, radians, mutex contracts, float equality,
+# goroutine leaks, clock-seam discipline, rand determinism, atomic-field
+# consistency, nonblocking-path contracts and condition-variable idioms;
+# -unused-ignores keeps the suppression inventory honest. See
+# internal/lint and DESIGN.md §8, §13.
 lint: build
-	$(GO) run ./cmd/bloc-lint ./...
+	$(GO) run ./cmd/bloc-lint -unused-ignores ./...
 
 # Everything CI runs, in CI's order.
-ci: vet lint test race soak chaos drill overload
+ci: vet lint test race soak chaos drill overload stress
 
 # Native fuzzing smoke pass: the wire protocol and the durable snapshot
 # decoder, each over its seed corpus (go test allows one -fuzz package

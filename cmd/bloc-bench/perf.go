@@ -61,7 +61,12 @@ func runPerf(seed uint64, fixes int, baseline perfNumbers, cpuprofile, memprofil
 	if err != nil {
 		log.Fatal(err)
 	}
-	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	// Sweep 1, 4 and all-CPUs workers — but never time more workers than
+	// the machine has CPUs: that measures goroutine multiplexing, not
+	// parallel throughput (the BENCH_3 anomaly was a 4-worker point taken
+	// at GOMAXPROCS=1). Each kept point runs with GOMAXPROCS matched to
+	// its worker count and records it in the result.
+	workerCounts := []int{1, 4, runtime.NumCPU()}
 	var sweep []eval.PerfResult
 	seen := map[int]bool{}
 	for _, w := range workerCounts {
@@ -69,7 +74,14 @@ func runPerf(seed uint64, fixes int, baseline perfNumbers, cpuprofile, memprofil
 			continue
 		}
 		seen[w] = true
+		if w > runtime.NumCPU() {
+			fmt.Printf("  skipping %d-worker point: only %d CPU(s), parallelism would be simulated\n",
+				w, runtime.NumCPU())
+			continue
+		}
+		prev := runtime.GOMAXPROCS(w)
 		r, err := suite.MeasureFixes(fixes, w)
+		runtime.GOMAXPROCS(prev)
 		if err != nil {
 			log.Fatal(err)
 		}

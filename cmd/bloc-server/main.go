@@ -301,6 +301,7 @@ func main() {
 	// alongside the server's round outcomes and durability counters.
 	if *statsIvl > 0 {
 		go func() {
+			//lint:ignore clockcheck operator stats cadence is wall-clock by design
 			tick := time.NewTicker(*statsIvl)
 			defer tick.Stop()
 			for {

@@ -101,6 +101,7 @@ func main() {
 			want := truth[[2]uint32{uint32(fix.TagID), fix.Round}]
 			fmt.Printf("%3d  %5d  %-15v  %-15v  %6.2f\n",
 				fix.TagID, fix.Round, want, est, est.Dist(want))
+		//lint:ignore clockcheck example watchdog; real elapsed time is the point
 		case <-time.After(10 * time.Second):
 			log.Fatal("timed out waiting for fix")
 		}

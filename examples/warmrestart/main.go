@@ -167,6 +167,7 @@ func runRound(srv *locserver.Server, daemons []*anchor.Daemon, round uint32, tag
 		est := geom.Pt(fix.X, fix.Y)
 		fmt.Printf("  round %d: tag %v -> fix %v (err %.2f m)\n",
 			fix.Round, tag, est, est.Dist(tag))
+	//lint:ignore clockcheck example watchdog; real elapsed time is the point
 	case <-time.After(10 * time.Second):
 		log.Fatal("no fix")
 	}

@@ -104,6 +104,7 @@ func AblationOverload(seed uint64) (*OverloadResult, error) {
 			}
 			// Stand-in for the full grid search's CPU cost so overload
 			// pressure does not depend on the host machine's speed.
+			//lint:ignore clockcheck the drill simulates solver latency in real time on purpose
 			time.Sleep(8 * time.Millisecond)
 			res, err := eng.LocateRef(snap, info.Ref)
 			if err != nil {
@@ -185,7 +186,9 @@ func AblationOverload(seed uint64) (*OverloadResult, error) {
 		}
 	}()
 	waitFix := func(tag uint16, round uint32, timeout time.Duration) (geom.Point, bool) {
+		//lint:ignore clockcheck drill harness polls real wall time; it is the test driver, not the server
 		until := time.Now().Add(timeout)
+		//lint:ignore clockcheck see above
 		for time.Now().Before(until) {
 			fixMu.Lock()
 			p, ok := got[[2]uint32{uint32(tag), round}]
@@ -193,6 +196,7 @@ func AblationOverload(seed uint64) (*OverloadResult, error) {
 			if ok {
 				return p, true
 			}
+			//lint:ignore clockcheck see above
 			time.Sleep(2 * time.Millisecond)
 		}
 		return geom.Point{}, false

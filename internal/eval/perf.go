@@ -12,8 +12,12 @@ import (
 )
 
 // PerfResult is one throughput measurement of the localization fix path.
+// GOMAXPROCS is captured at measurement time so a sweep point can never
+// silently claim parallelism the scheduler did not have (the BENCH_3
+// anomaly: 4 workers timed at GOMAXPROCS=1).
 type PerfResult struct {
 	Workers      int     `json:"workers"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
 	Fixes        int     `json:"fixes"`
 	NsPerFix     float64 `json:"ns_per_fix"`
 	BytesPerFix  float64 `json:"bytes_per_fix"`
@@ -22,8 +26,8 @@ type PerfResult struct {
 }
 
 func (r PerfResult) String() string {
-	return fmt.Sprintf("workers=%d fixes=%d  %.0f ns/fix  %.0f B/fix  %.1f allocs/fix  %.1f fixes/sec",
-		r.Workers, r.Fixes, r.NsPerFix, r.BytesPerFix, r.AllocsPerFix, r.FixesPerSec)
+	return fmt.Sprintf("workers=%d gomaxprocs=%d fixes=%d  %.0f ns/fix  %.0f B/fix  %.1f allocs/fix  %.1f fixes/sec",
+		r.Workers, r.GOMAXPROCS, r.Fixes, r.NsPerFix, r.BytesPerFix, r.AllocsPerFix, r.FixesPerSec)
 }
 
 // MeasureFixes runs the given number of localizations over the suite's
@@ -52,16 +56,19 @@ func (s *Suite) MeasureFixes(fixes, workers int) (PerfResult, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	//lint:ignore clockcheck throughput is measured against the real monotonic clock
 	start := time.Now()
 	if err := s.runFixes(fixes, workers); err != nil {
 		return PerfResult{}, err
 	}
+	//lint:ignore clockcheck see above
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 
 	n := float64(fixes)
 	return PerfResult{
 		Workers:      workers,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		Fixes:        fixes,
 		NsPerFix:     float64(elapsed.Nanoseconds()) / n,
 		BytesPerFix:  float64(after.TotalAlloc-before.TotalAlloc) / n,

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCheck guards the all-or-nothing rule of sync/atomic: a struct
+// field that is ever accessed through the sync/atomic functions
+// (atomic.AddUint64(&s.n, 1), atomic.LoadInt64(&s.done), ...) must be
+// accessed that way *everywhere* — one plain load or store anywhere
+// else silently races with every atomic access, and the race detector
+// only catches it if the schedule cooperates. (Fields of the typed
+// atomic.Int64/Uint64/... wrappers cannot be misused this way and are
+// out of scope; this check exists for the &field style.)
+//
+// Phase one records every field whose address is passed to a sync/atomic
+// function, exporting an "atomic-field" fact keyed "Type.field" so
+// downstream packages inherit the contract for exported fields. Phase
+// two flags every other selector access to such a field — read, write,
+// or alias — that is not itself the operand of a sync/atomic call.
+var AtomicCheck = &Analyzer{
+	Name:  "atomiccheck",
+	Doc:   "fields accessed via sync/atomic anywhere must never be accessed by plain load/store elsewhere",
+	Facts: factsAtomicCheck,
+	Run:   runAtomicCheck,
+}
+
+// atomicFieldUses walks the package and calls seen(selExpr, field) for
+// every `&x.f` that is the first argument of a sync/atomic call.
+func atomicFieldUses(p *Pass, seen func(sel *ast.SelectorExpr, field *types.Var)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[fun.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := p.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if field, ok := selection.Obj().(*types.Var); ok {
+				seen(sel, field)
+			}
+			return true
+		})
+	}
+}
+
+// atomicFieldKey names a field "Type.field" via its owning struct, found
+// by scanning the defining package's named types; empty when the field
+// belongs to an unnamed struct.
+func atomicFieldKey(field *types.Var) string {
+	pkg := field.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	scope := pkg.Scope()
+	for _, tn := range scope.Names() {
+		obj, ok := scope.Lookup(tn).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return obj.Name() + "." + field.Name()
+			}
+		}
+	}
+	return ""
+}
+
+func factsAtomicCheck(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	atomicFieldUses(p, func(_ *ast.SelectorExpr, field *types.Var) {
+		if key := atomicFieldKey(field); key != "" {
+			p.ExportFact("atomic-field", key, "")
+		}
+	})
+}
+
+func runAtomicCheck(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	// Selector expressions that ARE the atomic operand — exempt.
+	exempt := make(map[*ast.SelectorExpr]bool)
+	// Fields this package itself accesses atomically (covers unexported
+	// fields of unnamed structs that facts cannot name).
+	local := make(map[*types.Var]bool)
+	atomicFieldUses(p, func(sel *ast.SelectorExpr, field *types.Var) {
+		exempt[sel] = true
+		local[field] = true
+	})
+	isAtomicField := func(field *types.Var) bool {
+		if local[field] {
+			return true
+		}
+		pkg := field.Pkg()
+		if pkg == nil {
+			return false
+		}
+		key := atomicFieldKey(field)
+		if key == "" {
+			return false
+		}
+		_, ok := p.Fact(pkg.Path(), "atomic-field", key)
+		return ok
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			selection, ok := p.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := selection.Obj().(*types.Var)
+			if !ok || !isAtomicField(field) {
+				return true
+			}
+			name := atomicFieldKey(field)
+			if name == "" {
+				name = field.Name()
+			}
+			p.Reportf(sel.Sel.Pos(), "plain access to %s, which is accessed via sync/atomic elsewhere — mixed access races", name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockCheck machine-checks the injectable-clock contract of the serving
+// plane (DESIGN.md §12/§13): a package that defines a clock seam — a
+// struct field or package variable of type `func() time.Time`, like
+// locserver's `Server.now` — must route every time observation through
+// it, and so must every package that imports a seam-bearing package
+// (eval drives the server; tests substitute a fake clock; a stray
+// `time.Now` makes runs irreproducible and untestable).
+//
+// Phase one exports a "seam" package fact for every clock seam found.
+// Phase two flags direct calls to time.Now/Since/Until/After/Sleep/
+// NewTimer/NewTicker/AfterFunc/Tick in any package that defines a seam
+// or directly imports one that does. Taking `time.Now` as a *value* (to
+// install as the seam's default) is allowed — only calls go around the
+// seam. Wall-clock use that is the point (benchmark measurement,
+// checkpoint cadence tickers) carries a //lint:ignore with the reason.
+var ClockCheck = &Analyzer{
+	Name:  "clockcheck",
+	Doc:   "packages with an injected clock seam (func() time.Time) must not call time.Now/Since/After/Sleep/... directly",
+	Facts: factsClockCheck,
+	Run:   runClockCheck,
+}
+
+// clockedFuncs are the time package functions that observe or schedule
+// against the wall clock.
+var clockedFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true, "Sleep": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true, "Tick": true,
+}
+
+// isClockSeamType reports whether t is `func() time.Time`.
+func isClockSeamType(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 || sig.Variadic() {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+// factsClockCheck exports a "seam" fact for every struct field or
+// package-level variable of type func() time.Time.
+func factsClockCheck(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					for _, name := range field.Names {
+						if v, ok := p.Info.Defs[name].(*types.Var); ok && isClockSeamType(v.Type()) {
+							p.ExportFact("seam", seamObjectName(p, name, v), "struct field")
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, name := range n.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok && !v.IsField() &&
+						v.Parent() == p.Pkg.Scope() && isClockSeamType(v.Type()) {
+						p.ExportFact("seam", name.Name, "package variable")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// seamObjectName qualifies a seam field with its struct type when the
+// type checker knows it ("Server.now"); bare field name otherwise.
+func seamObjectName(p *Pass, name *ast.Ident, v *types.Var) string {
+	// Walk the package scope for a named struct type containing v.
+	scope := p.Pkg.Scope()
+	for _, tn := range scope.Names() {
+		obj, ok := scope.Lookup(tn).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return obj.Name() + "." + name.Name
+			}
+		}
+	}
+	return name.Name
+}
+
+// clockSeamScope returns the seam that puts the package in scope: its
+// own seam fact, or the first one among its direct imports. The second
+// return is the package that owns the seam ("" when out of scope).
+func clockSeamScope(p *Pass) (seam, owner string) {
+	if p.Pkg == nil {
+		return "", ""
+	}
+	if fs := p.FactsOfKind(p.Pkg.Path(), "seam"); len(fs) > 0 {
+		return fs[0].Object, p.Pkg.Path()
+	}
+	for _, imp := range p.Pkg.Imports() {
+		if fs := p.FactsOfKind(imp.Path(), "seam"); len(fs) > 0 {
+			return fs[0].Object, imp.Path()
+		}
+	}
+	return "", ""
+}
+
+func runClockCheck(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	seam, owner := clockSeamScope(p)
+	if owner == "" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !clockedFuncs[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			p.Reportf(call.Pos(), "direct time.%s call in a clocked package (route through the %s clock seam of %s)",
+				sel.Sel.Name, seam, owner)
+			return true
+		})
+	}
+}

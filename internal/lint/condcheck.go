@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CondCheck guards the two classic condition-variable and WaitGroup
+// protocol bugs that the race detector cannot see (both are "just"
+// lost wakeups or miscounts, not data races):
+//
+//  1. sync.Cond.Wait outside a for-loop. Wait releases the mutex and
+//     can wake spuriously or late; the predicate MUST be re-checked in
+//     a loop (`for !ready { c.Wait() }`). An if — or no guard at all —
+//     proceeds on a stale predicate. The loop must be in the same
+//     function: a loop in some caller does not guard the wait.
+//  2. sync.WaitGroup.Add inside the goroutine it accounts for. Add must
+//     happen before the goroutine is spawned; inside `go func(){...}`
+//     it races with the Wait, which can observe the counter at zero and
+//     return before the work was ever counted.
+var CondCheck = &Analyzer{
+	Name: "condcheck",
+	Doc:  "sync.Cond.Wait must sit in a for-loop; sync.WaitGroup.Add must not run inside the goroutine it counts",
+	Run:  runCondCheck,
+}
+
+func runCondCheck(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			condWalk(p, fd.Body, 0, false)
+		}
+	}
+}
+
+// condWalk scans stmts tracking the enclosing for-loop depth and whether
+// the walk is inside a go-launched closure. Entering a function literal
+// resets the loop depth (an outer loop does not guard an inner
+// function's Wait) and entering `go func(){...}` sets the goroutine
+// flag for WaitGroup.Add.
+func condWalk(p *Pass, n ast.Node, loopDepth int, inGoClosure bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			if m.Init != nil {
+				condWalk(p, m.Init, loopDepth, inGoClosure)
+			}
+			if m.Cond != nil {
+				condWalk(p, m.Cond, loopDepth, inGoClosure)
+			}
+			if m.Post != nil {
+				condWalk(p, m.Post, loopDepth, inGoClosure)
+			}
+			condWalk(p, m.Body, loopDepth+1, inGoClosure)
+			return false
+		case *ast.RangeStmt:
+			condWalk(p, m.X, loopDepth, inGoClosure)
+			condWalk(p, m.Body, loopDepth+1, inGoClosure)
+			return false
+		case *ast.GoStmt:
+			if lit, ok := m.Call.Fun.(*ast.FuncLit); ok {
+				condWalk(p, lit.Body, 0, true)
+				for _, arg := range m.Call.Args {
+					condWalk(p, arg, loopDepth, inGoClosure)
+				}
+				return false
+			}
+			return true
+		case *ast.FuncLit:
+			condWalk(p, m.Body, 0, inGoClosure)
+			return false
+		case *ast.CallExpr:
+			sel, ok := m.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Wait":
+				if isSyncType(p, sel.X, "Cond") && loopDepth == 0 {
+					p.Reportf(m.Pos(), "sync.Cond.Wait outside a for-loop: spurious or late wakeups proceed on a stale predicate")
+				}
+			case "Add":
+				if inGoClosure && isWaitGroup(p, sel.X) {
+					p.Reportf(m.Pos(), "sync.WaitGroup.Add inside the spawned goroutine races with Wait; Add before the go statement")
+				}
+			}
+			return true
+		}
+		return true
+	})
+}

@@ -1,9 +1,12 @@
 package lint
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -14,17 +17,85 @@ const (
 	ExitError    = 2 // usage, load or type-check failure
 )
 
+// jsonFinding is the machine-readable rendering of one Finding — the
+// schema of -json output and of -baseline files.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level -json document: a SARIF-flavored envelope
+// (tool, version, results) kept deliberately small.
+type jsonReport struct {
+	Tool     string         `json:"tool"`
+	Version  int            `json:"version"`
+	Findings []jsonFinding  `json:"findings"`
+	Facts    []PackageFacts `json:"facts,omitempty"`
+}
+
+func toJSONFinding(f Finding) jsonFinding {
+	return jsonFinding{
+		File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+		Analyzer: f.Analyzer, Message: f.Message,
+	}
+}
+
+// baselineKey identifies a finding across line-number drift: the file
+// base name, the analyzer and the exact message. Editing a file moves
+// findings around; only fixing (or rewording) one removes it from the
+// baseline's shadow.
+func baselineKey(file, analyzer, message string) string {
+	return filepath.Base(file) + "\x00" + analyzer + "\x00" + message
+}
+
+// loadBaseline reads a -baseline file (the findings list of a previous
+// -write-baseline or -json run) into a suppression set.
+func loadBaseline(path string) (map[string]bool, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report jsonReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		// Also accept a bare findings array.
+		if err2 := json.Unmarshal(buf, &report.Findings); err2 != nil {
+			return nil, err
+		}
+	}
+	set := make(map[string]bool, len(report.Findings))
+	for _, f := range report.Findings {
+		set[baselineKey(f.File, f.Analyzer, f.Message)] = true
+	}
+	return set, nil
+}
+
 // Main is the bloc-lint driver: it loads the packages matching the
 // pattern arguments (default ./...) relative to dir ("" = current
-// directory), runs every analyzer (or the -analyzers subset), prints
-// findings to out as file:line:col: [analyzer] message, and returns the
-// process exit code. Errors go to errOut.
+// directory), runs every analyzer (or the -analyzers subset) in two
+// phases — package facts first, checks second — prints findings to out
+// as file:line:col: [analyzer] message (or as JSON with -json), and
+// returns the process exit code. Errors go to errOut.
+//
+// -baseline FILE suppresses findings recorded in FILE (incremental
+// adoption); -write-baseline FILE records the current findings and
+// exits clean; -unused-ignores additionally reports //lint:ignore
+// directives that suppress nothing; -facts FILE dumps the package-fact
+// store as JSON.
 func Main(out, errOut io.Writer, dir string, args []string) int {
 	fs := flag.NewFlagSet("bloc-lint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	var only string
-	fs.StringVar(&only, "analyzers", "", "comma-separated subset of analyzers to run (default: all)")
-	list := fs.Bool("list", false, "list analyzers and exit")
+	var (
+		only          = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		list          = fs.Bool("list", false, "list analyzers and exit")
+		jsonOut       = fs.Bool("json", false, "emit findings as JSON instead of text")
+		baselinePath  = fs.String("baseline", "", "suppress findings recorded in this baseline file")
+		writeBaseline = fs.String("write-baseline", "", "record current findings to this file and exit clean")
+		unusedIgnores = fs.Bool("unused-ignores", false, "also report //lint:ignore directives that suppress nothing")
+		factsPath     = fs.String("facts", "", "dump the package-fact store as JSON to this file (\"-\" = stdout)")
+	)
 	if err := fs.Parse(args); err != nil {
 		return ExitError
 	}
@@ -35,9 +106,9 @@ func Main(out, errOut io.Writer, dir string, args []string) int {
 		return ExitClean
 	}
 	analyzers := All
-	if only != "" {
+	if *only != "" {
 		analyzers = nil
-		for _, name := range strings.Split(only, ",") {
+		for _, name := range strings.Split(*only, ",") {
 			a := ByName(strings.TrimSpace(name))
 			if a == nil {
 				fmt.Fprintf(errOut, "bloc-lint: unknown analyzer %q\n", name)
@@ -51,15 +122,80 @@ func Main(out, errOut io.Writer, dir string, args []string) int {
 		fmt.Fprintf(errOut, "bloc-lint: %v\n", err)
 		return ExitError
 	}
-	total := 0
-	for _, pkg := range pkgs {
-		for _, f := range RunPackage(pkg, analyzers) {
-			fmt.Fprintln(out, f)
-			total++
+	findings, facts := RunPackages(pkgs, analyzers, RunOptions{UnusedIgnores: *unusedIgnores})
+
+	if *factsPath != "" {
+		buf, err := json.MarshalIndent(facts, "", "  ")
+		if err != nil {
+			fmt.Fprintf(errOut, "bloc-lint: encoding facts: %v\n", err)
+			return ExitError
+		}
+		buf = append(buf, '\n')
+		if *factsPath == "-" {
+			out.Write(buf)
+		} else if err := os.WriteFile(*factsPath, buf, 0o644); err != nil {
+			fmt.Fprintf(errOut, "bloc-lint: %v\n", err)
+			return ExitError
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(errOut, "bloc-lint: %d finding(s)\n", total)
+
+	if *writeBaseline != "" {
+		report := jsonReport{Tool: "bloc-lint", Version: 2}
+		for _, f := range findings {
+			report.Findings = append(report.Findings, toJSONFinding(f))
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(errOut, "bloc-lint: encoding baseline: %v\n", err)
+			return ExitError
+		}
+		if err := os.WriteFile(*writeBaseline, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(errOut, "bloc-lint: %v\n", err)
+			return ExitError
+		}
+		fmt.Fprintf(errOut, "bloc-lint: wrote %d finding(s) to baseline %s\n", len(findings), *writeBaseline)
+		return ExitClean
+	}
+
+	if *baselinePath != "" {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(errOut, "bloc-lint: baseline: %v\n", err)
+			return ExitError
+		}
+		kept := findings[:0]
+		baselined := 0
+		for _, f := range findings {
+			if base[baselineKey(f.Pos.Filename, f.Analyzer, f.Message)] {
+				baselined++
+				continue
+			}
+			kept = append(kept, f)
+		}
+		findings = kept
+		if baselined > 0 {
+			fmt.Fprintf(errOut, "bloc-lint: %d baselined finding(s) suppressed\n", baselined)
+		}
+	}
+
+	if *jsonOut {
+		report := jsonReport{Tool: "bloc-lint", Version: 2, Findings: []jsonFinding{}}
+		for _, f := range findings {
+			report.Findings = append(report.Findings, toJSONFinding(f))
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(errOut, "bloc-lint: encoding findings: %v\n", err)
+			return ExitError
+		}
+		fmt.Fprintf(out, "%s\n", buf)
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(errOut, "bloc-lint: %d finding(s)\n", len(findings))
 		return ExitFindings
 	}
 	return ExitClean

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,7 +14,11 @@ func writeModule(t *testing.T, files map[string]string) string {
 	t.Helper()
 	dir := t.TempDir()
 	for name, src := range files {
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -70,6 +75,126 @@ func TestDriverExitCodes(t *testing.T) {
 	errOut.Reset()
 	if code := Main(&out, &errOut, dir, []string{"./doesnotexist"}); code != ExitError {
 		t.Fatalf("bad pattern: exit = %d, want %d", code, ExitError)
+	}
+}
+
+// TestDriverJSONOutput pins the -json envelope: tool name, schema
+// version, and structured findings with file/line/analyzer fields.
+func TestDriverJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module lintfixture\n\ngo 1.22\n",
+		"main.go": badSource,
+	})
+	var out, errOut bytes.Buffer
+	if code := Main(&out, &errOut, dir, []string{"-json", "./..."}); code != ExitFindings {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitFindings, errOut.String())
+	}
+	var report struct {
+		Tool     string `json:"tool"`
+		Version  int    `json:"version"`
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if report.Tool != "bloc-lint" || report.Version != 2 {
+		t.Fatalf("envelope = %s v%d, want bloc-lint v2", report.Tool, report.Version)
+	}
+	if len(report.Findings) == 0 || report.Findings[0].Analyzer != "unitcheck" || report.Findings[0].Line != 6 {
+		t.Fatalf("unexpected findings: %+v", report.Findings)
+	}
+}
+
+// TestDriverBaseline adopts the unit bug into a baseline, checks the
+// next run exits clean, then checks a new finding still escapes it.
+func TestDriverBaseline(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module lintfixture\n\ngo 1.22\n",
+		"main.go": badSource,
+	})
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+
+	var out, errOut bytes.Buffer
+	if code := Main(&out, &errOut, dir, []string{"-write-baseline", baseline, "./..."}); code != ExitClean {
+		t.Fatalf("-write-baseline exit = %d, want %d (stderr: %s)", code, ExitClean, errOut.String())
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatalf("baseline file not written: %v", err)
+	}
+
+	// Same tree under the baseline: clean.
+	out.Reset()
+	errOut.Reset()
+	if code := Main(&out, &errOut, dir, []string{"-baseline", baseline, "./..."}); code != ExitClean {
+		t.Fatalf("baselined run exit = %d, want %d\nstdout: %s", code, ExitClean, out.String())
+	}
+	if !strings.Contains(errOut.String(), "baselined finding(s) suppressed") {
+		t.Fatalf("missing suppression note on stderr: %s", errOut.String())
+	}
+
+	// A fresh violation is not shadowed by the baseline.
+	grown := badSource + "\nconst chanGHz = 2.4\n\nvar oops2 = chanGHz * hopHz\n"
+	dir2 := writeModule(t, map[string]string{
+		"go.mod":  "module lintfixture\n\ngo 1.22\n",
+		"main.go": grown,
+	})
+	out.Reset()
+	errOut.Reset()
+	if code := Main(&out, &errOut, dir2, []string{"-baseline", baseline, "./..."}); code != ExitFindings {
+		t.Fatalf("new finding swallowed by baseline: exit = %d\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "chanGHz") {
+		t.Fatalf("surviving finding should be the new chanGHz one:\n%s", out.String())
+	}
+}
+
+// TestDriverUnusedIgnores checks that -unused-ignores flags a directive
+// suppressing nothing, and stays quiet about one that earns its keep.
+func TestDriverUnusedIgnores(t *testing.T) {
+	dead := `package main
+
+const aMHz = 1.0
+
+//lint:ignore unitcheck this suppresses nothing at all
+var fine = aMHz + aMHz
+
+func main() {}
+`
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module lintfixture\n\ngo 1.22\n",
+		"main.go": dead,
+	})
+	var out, errOut bytes.Buffer
+	// Without the flag the dead directive is invisible.
+	if code := Main(&out, &errOut, dir, []string{"./..."}); code != ExitClean {
+		t.Fatalf("default run exit = %d, want %d\n%s", code, ExitClean, out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := Main(&out, &errOut, dir, []string{"-unused-ignores", "./..."}); code != ExitFindings {
+		t.Fatalf("-unused-ignores exit = %d, want %d\n%s", code, ExitFindings, out.String())
+	}
+	if !strings.Contains(out.String(), "unused //lint:ignore") {
+		t.Fatalf("missing unused-directive finding:\n%s", out.String())
+	}
+
+	// A directive that actually suppresses something is not reported.
+	live := strings.Replace(badSource,
+		"var oops =",
+		"//lint:ignore unitcheck deliberate fixture\nvar oops =", 1)
+	dir2 := writeModule(t, map[string]string{
+		"go.mod":  "module lintfixture\n\ngo 1.22\n",
+		"main.go": live,
+	})
+	out.Reset()
+	errOut.Reset()
+	if code := Main(&out, &errOut, dir2, []string{"-unused-ignores", "./..."}); code != ExitClean {
+		t.Fatalf("live directive misreported: exit = %d\nstdout: %s", code, out.String())
 	}
 }
 

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// The fact system turns bloc-lint from a per-package single pass into a
+// two-phase whole-program analysis. In phase one every analyzer's Facts
+// hook runs over every loaded package (dependencies first — the loader
+// preserves `go list -deps` order) and records *facts* about the
+// package's API: "this struct field is a clock seam", "this function may
+// block on a channel", "this field is only ever accessed atomically".
+// In phase two the Run hooks consume the accumulated store, so an
+// analyzer checking package B can reason about the contracts package A
+// exported — the cross-package reach the single-pass framework lacked.
+//
+// Facts are deliberately plain strings: an (analyzer, kind, object,
+// detail) quadruple per package. That keeps the store trivially
+// JSON-serializable (the driver's -facts flag dumps it; the round-trip
+// is pinned by a test) and keeps analyzers honest about what they
+// depend on — no hidden pointer graphs that an incremental run could
+// not reconstruct.
+
+// Fact is one recorded statement about a package's API. Object is a
+// package-qualified-free name ("Server.now", "Measure", "fixQueue.size");
+// an empty Object marks a package-level fact. Facts are namespaced by
+// the analyzer that exported them: analyzers never read another
+// analyzer's facts.
+type Fact struct {
+	Analyzer string `json:"analyzer"`
+	Kind     string `json:"kind"`
+	Object   string `json:"object,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// PackageFacts is every fact recorded for one package, in deterministic
+// order — the unit of the store's JSON encoding.
+type PackageFacts struct {
+	Package string `json:"package"`
+	Facts   []Fact `json:"facts"`
+}
+
+// FactStore accumulates facts across one whole-program run. Not safe
+// for concurrent use; the driver is single-threaded.
+type FactStore struct {
+	byPkg map[string][]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{byPkg: make(map[string][]Fact)}
+}
+
+// add records a fact for pkg, dropping exact duplicates.
+func (s *FactStore) add(pkg string, f Fact) {
+	for _, have := range s.byPkg[pkg] {
+		if have == f {
+			return
+		}
+	}
+	s.byPkg[pkg] = append(s.byPkg[pkg], f)
+}
+
+// Lookup returns the detail of the (analyzer, kind, object) fact
+// recorded for pkg, and whether it exists.
+func (s *FactStore) Lookup(pkg, analyzer, kind, object string) (string, bool) {
+	for _, f := range s.byPkg[pkg] {
+		if f.Analyzer == analyzer && f.Kind == kind && f.Object == object {
+			return f.Detail, true
+		}
+	}
+	return "", false
+}
+
+// OfKind returns every (analyzer, kind) fact recorded for pkg.
+func (s *FactStore) OfKind(pkg, analyzer, kind string) []Fact {
+	var out []Fact
+	for _, f := range s.byPkg[pkg] {
+		if f.Analyzer == analyzer && f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Export renders the whole store in deterministic order: packages
+// sorted by import path, facts by (analyzer, kind, object, detail).
+func (s *FactStore) Export() []PackageFacts {
+	pkgs := make([]string, 0, len(s.byPkg))
+	for p, fs := range s.byPkg {
+		if len(fs) > 0 {
+			pkgs = append(pkgs, p)
+		}
+	}
+	sort.Strings(pkgs)
+	out := make([]PackageFacts, 0, len(pkgs))
+	for _, p := range pkgs {
+		fs := append([]Fact(nil), s.byPkg[p]...)
+		sort.Slice(fs, func(i, j int) bool {
+			a, b := fs[i], fs[j]
+			if a.Analyzer != b.Analyzer {
+				return a.Analyzer < b.Analyzer
+			}
+			if a.Kind != b.Kind {
+				return a.Kind < b.Kind
+			}
+			if a.Object != b.Object {
+				return a.Object < b.Object
+			}
+			return a.Detail < b.Detail
+		})
+		out = append(out, PackageFacts{Package: p, Facts: fs})
+	}
+	return out
+}
+
+// MarshalJSON encodes the store as the sorted PackageFacts list.
+func (s *FactStore) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Export())
+}
+
+// UnmarshalJSON rebuilds a store from its Export encoding.
+func (s *FactStore) UnmarshalJSON(data []byte) error {
+	var pkgs []PackageFacts
+	if err := json.Unmarshal(data, &pkgs); err != nil {
+		return err
+	}
+	s.byPkg = make(map[string][]Fact)
+	for _, pf := range pkgs {
+		for _, f := range pf.Facts {
+			s.add(pf.Package, f)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFactStoreRoundTrip pins the JSON contract of the fact store: the
+// Export encoding survives Marshal → Unmarshal bit-exact, duplicates
+// collapse, and the lookup helpers see what was recorded.
+func TestFactStoreRoundTrip(t *testing.T) {
+	s := NewFactStore()
+	s.add("bloc/internal/locserver", Fact{Analyzer: "clockcheck", Kind: "seam", Object: "Server.now", Detail: "func() time.Time"})
+	s.add("bloc/internal/locserver", Fact{Analyzer: "sendblock", Kind: "may-block", Object: "Server.Wait", Detail: "WaitGroup.Wait"})
+	s.add("bloc/internal/locserver", Fact{Analyzer: "sendblock", Kind: "may-block", Object: "Server.Wait", Detail: "WaitGroup.Wait"}) // dup
+	s.add("bloc/internal/wifi", Fact{Analyzer: "atomiccheck", Kind: "atomic-field", Object: "spectrum.hits"})
+
+	if got := len(s.byPkg["bloc/internal/locserver"]); got != 2 {
+		t.Fatalf("duplicate fact not collapsed: %d facts, want 2", got)
+	}
+	if detail, ok := s.Lookup("bloc/internal/locserver", "clockcheck", "seam", "Server.now"); !ok || detail != "func() time.Time" {
+		t.Fatalf("Lookup = %q, %v", detail, ok)
+	}
+	if _, ok := s.Lookup("bloc/internal/wifi", "clockcheck", "seam", "Server.now"); ok {
+		t.Fatal("Lookup found a fact in the wrong package")
+	}
+	if got := s.OfKind("bloc/internal/locserver", "sendblock", "may-block"); len(got) != 1 || got[0].Object != "Server.Wait" {
+		t.Fatalf("OfKind = %+v", got)
+	}
+
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewFactStore()
+	if err := json.Unmarshal(buf, restored); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Export(), restored.Export()) {
+		t.Fatalf("round-trip diverged:\nbefore: %+v\nafter:  %+v", s.Export(), restored.Export())
+	}
+}
+
+// crossPackageModule is a two-package module: queue.Push blocks on a
+// channel send, and the root package's ingest-path function — marked
+// nonblocking — calls it. Only the fact hop from queue to the root
+// package can catch that.
+var crossPackageModule = map[string]string{
+	"go.mod": "module factfixture\n\ngo 1.22\n",
+	"queue/queue.go": `package queue
+
+var ch = make(chan int, 1)
+
+// Push delivers v to the single consumer.
+func Push(v int) {
+	ch <- v
+}
+`,
+	"main.go": `package main
+
+import "factfixture/queue"
+
+// handle is the packet hot path. nonblocking: must never park.
+func handle(v int) {
+	queue.Push(v)
+}
+
+func main() { handle(1) }
+`,
+}
+
+// TestCrossPackageFacts drives the whole two-phase pipeline through the
+// driver: sendblock exports a may-block fact for queue.Push in phase
+// one and flags the nonblocking caller in another package in phase two.
+func TestCrossPackageFacts(t *testing.T) {
+	dir := writeModule(t, crossPackageModule)
+	var out, errOut bytes.Buffer
+	code := Main(&out, &errOut, dir, []string{"-analyzers", "sendblock", "-facts", "-", "./..."})
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, ExitFindings, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "handle calls queue.Push, which may block (channel send)") {
+		t.Fatalf("missing cross-package may-block finding:\n%s", out.String())
+	}
+	// The -facts dump records the exported fact that carried the hop.
+	if !strings.Contains(out.String(), `"may-block"`) || !strings.Contains(out.String(), `"Push"`) {
+		t.Fatalf("-facts dump missing the may-block fact for Push:\n%s", out.String())
+	}
+}

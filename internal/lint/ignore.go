@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -15,10 +16,19 @@ import (
 // directly above it. "all" matches every analyzer.
 const ignorePrefix = "//lint:ignore"
 
-// ignoreIndex maps file → line → set of suppressed analyzer names. A
-// directive on line L suppresses findings on lines L and L+1.
+// ignoreDirective is one parsed, well-formed //lint:ignore comment. used
+// flips when the directive suppresses at least one finding, which is
+// what the -unused-ignores mode audits.
+type ignoreDirective struct {
+	pos   token.Position
+	names map[string]bool
+	used  bool
+}
+
+// ignoreIndex maps file → line → directive. A directive on line L
+// suppresses findings on lines L and L+1.
 type ignoreIndex struct {
-	byLine map[string]map[int]map[string]bool
+	byLine map[string]map[int]*ignoreDirective
 }
 
 // buildIgnoreIndex scans every comment for directives. Malformed
@@ -26,7 +36,7 @@ type ignoreIndex struct {
 // under the pseudo-analyzer "lint" so they cannot silently suppress
 // nothing.
 func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (*ignoreIndex, []Finding) {
-	ix := &ignoreIndex{byLine: make(map[string]map[int]map[string]bool)}
+	ix := &ignoreIndex{byLine: make(map[string]map[int]*ignoreDirective)}
 	var bad []Finding
 	report := func(pos token.Pos, msg string) {
 		bad = append(bad, Finding{Pos: fset.Position(pos), Analyzer: "lint", Message: msg})
@@ -57,16 +67,16 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (*ignoreIndex, []F
 				pos := fset.Position(c.Pos())
 				lines := ix.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int]*ignoreDirective)
 					ix.byLine[pos.Filename] = lines
 				}
-				set := lines[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					lines[pos.Line] = set
+				d := lines[pos.Line]
+				if d == nil {
+					d = &ignoreDirective{pos: pos, names: make(map[string]bool)}
+					lines[pos.Line] = d
 				}
 				for _, name := range names {
-					set[name] = true
+					d.names[name] = true
 				}
 			}
 		}
@@ -75,7 +85,7 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (*ignoreIndex, []F
 }
 
 // suppressed reports whether f is covered by a directive on its line or
-// the line above.
+// the line above, marking the matching directive used.
 func (ix *ignoreIndex) suppressed(f Finding) bool {
 	if f.Analyzer == "lint" {
 		return false // directives cannot suppress directive errors
@@ -85,9 +95,50 @@ func (ix *ignoreIndex) suppressed(f Finding) bool {
 		return false
 	}
 	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
-		if set := lines[line]; set != nil && (set[f.Analyzer] || set["all"]) {
+		if d := lines[line]; d != nil && (d.names[f.Analyzer] || d.names["all"]) {
+			d.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// unused returns a "lint" finding for every directive that suppressed
+// nothing. A directive is only eligible when every analyzer it names was
+// among those run ("all" requires the full set), so subset runs cannot
+// misreport directives for analyzers they skipped.
+func (ix *ignoreIndex) unused(ran []*Analyzer) []Finding {
+	ranNames := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		ranNames[a.Name] = true
+	}
+	ranAll := len(ranNames) >= len(All)
+	var out []Finding
+	for _, lines := range ix.byLine {
+		for _, d := range lines {
+			if d.used {
+				continue
+			}
+			eligible := true
+			var names []string
+			for name := range d.names {
+				names = append(names, name)
+				if name == "all" {
+					eligible = eligible && ranAll
+				} else {
+					eligible = eligible && ranNames[name]
+				}
+			}
+			if !eligible {
+				continue
+			}
+			sort.Strings(names)
+			out = append(out, Finding{
+				Pos:      d.pos,
+				Analyzer: "lint",
+				Message:  "unused //lint:ignore " + strings.Join(names, ",") + " (suppresses nothing)",
+			})
+		}
+	}
+	return out
 }

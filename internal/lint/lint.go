@@ -48,12 +48,21 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the invariant the analyzer guards.
 	Doc string
-	// Run inspects the package behind pass and reports findings.
+	// Facts, when set, is the phase-one hook: it runs over every loaded
+	// package (dependencies first) and records package facts via
+	// Pass.ExportFact before any Run hook fires. Facts hooks must not
+	// report findings.
+	Facts func(*Pass)
+	// Run inspects the package behind pass and reports findings. It may
+	// consume facts recorded in phase one via Pass.Fact/FactsOfKind.
 	Run func(*Pass)
 }
 
 // All lists every analyzer the driver runs, in output order.
-var All = []*Analyzer{UnitCheck, AngleCheck, GuardCheck, FloatEq, GoLeak}
+var All = []*Analyzer{
+	UnitCheck, AngleCheck, GuardCheck, FloatEq, GoLeak,
+	ClockCheck, RandDet, AtomicCheck, SendBlock, CondCheck,
+}
 
 // ByName resolves an analyzer by its Name.
 func ByName(name string) *Analyzer {
@@ -74,6 +83,7 @@ type Pass struct {
 
 	analyzer *Analyzer
 	findings *[]Finding
+	facts    *FactStore
 }
 
 // Reportf records a finding at pos.
@@ -85,6 +95,36 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ExportFact records a (kind, object, detail) fact about the current
+// package under the current analyzer's namespace. Object names are
+// package-local ("Server.now", "Measure"); an empty object marks a
+// package-level fact.
+func (p *Pass) ExportFact(kind, object, detail string) {
+	if p.facts == nil || p.Pkg == nil {
+		return
+	}
+	p.facts.add(p.Pkg.Path(), Fact{Analyzer: p.analyzer.Name, Kind: kind, Object: object, Detail: detail})
+}
+
+// Fact looks up the current analyzer's (kind, object) fact recorded for
+// the package at pkgPath — typically an import of the package under
+// analysis, whose facts phase already ran.
+func (p *Pass) Fact(pkgPath, kind, object string) (string, bool) {
+	if p.facts == nil {
+		return "", false
+	}
+	return p.facts.Lookup(pkgPath, p.analyzer.Name, kind, object)
+}
+
+// FactsOfKind returns every fact of the given kind the current analyzer
+// recorded for the package at pkgPath.
+func (p *Pass) FactsOfKind(pkgPath, kind string) []Fact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.OfKind(pkgPath, p.analyzer.Name, kind)
+}
+
 // ExprString renders an expression compactly for diagnostics.
 func (p *Pass) ExprString(e ast.Expr) string {
 	var sb strings.Builder
@@ -94,32 +134,66 @@ func (p *Pass) ExprString(e ast.Expr) string {
 	return sb.String()
 }
 
-// RunPackage runs the given analyzers over one loaded package and returns
-// the surviving (non-suppressed) findings sorted by position. Malformed
-// //lint:ignore directives are reported under the pseudo-analyzer "lint".
+// RunOptions tunes a whole-program run.
+type RunOptions struct {
+	// UnusedIgnores additionally reports //lint:ignore directives that
+	// suppressed nothing, under the pseudo-analyzer "lint". A directive
+	// is only eligible when every analyzer it names actually ran.
+	UnusedIgnores bool
+}
+
+// RunPackages is the two-phase whole-program entry point: phase one runs
+// every analyzer's Facts hook over every package (in the loader's
+// dependency order, so downstream packages see upstream facts), phase
+// two runs every Run hook and filters findings through the
+// //lint:ignore index. It returns the surviving findings sorted by
+// position and the populated fact store.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) ([]Finding, *FactStore) {
+	store := NewFactStore()
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Facts == nil {
+				continue
+			}
+			a.Facts(&Pass{
+				Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info,
+				analyzer: a, findings: new([]Finding), facts: store,
+			})
+		}
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		var findings []Finding
+		ix, bad := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info,
+				analyzer: a, findings: &findings, facts: store,
+			})
+		}
+		kept := findings[:0]
+		for _, f := range findings {
+			if !ix.suppressed(f) {
+				kept = append(kept, f)
+			}
+		}
+		if opts.UnusedIgnores {
+			kept = append(kept, ix.unused(analyzers)...)
+		}
+		all = append(all, kept...)
+	}
+	sortFindings(all)
+	return all, store
+}
+
+// RunPackage runs the given analyzers over one loaded package (both
+// phases, package-local facts only) and returns the surviving findings
+// sorted by position. Malformed //lint:ignore directives are reported
+// under the pseudo-analyzer "lint".
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
-	var findings []Finding
-	ix, bad := buildIgnoreIndex(pkg.Fset, pkg.Files)
-	findings = append(findings, bad...)
-	for _, a := range analyzers {
-		pass := &Pass{
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			analyzer: a,
-			findings: &findings,
-		}
-		a.Run(pass)
-	}
-	kept := findings[:0]
-	for _, f := range findings {
-		if !ix.suppressed(f) {
-			kept = append(kept, f)
-		}
-	}
-	sortFindings(kept)
-	return kept
+	findings, _ := RunPackages([]*Package{pkg}, analyzers, RunOptions{})
+	return findings
 }
 
 func sortFindings(fs []Finding) {

@@ -96,6 +96,9 @@ func TestAnalyzerGoldens(t *testing.T) {
 			if strings.Contains(got, "clean.go") {
 				t.Errorf("%s flagged its clean fixture", a.Name)
 			}
+			if strings.Contains(got, "suppressed.go") {
+				t.Errorf("%s leaked a finding past its //lint:ignore directive", a.Name)
+			}
 		})
 	}
 }

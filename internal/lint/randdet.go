@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RandDet enforces the determinism contract every simulation and fault
+// plane in this repo is built on (seeded PCG streams threaded from the
+// caller — faultnet, rfsim, anchor backoff, wifi noise): no package may
+// draw from `math/rand`'s or `math/rand/v2`'s *global* source, and no
+// random source may be seeded from the wall clock. A global or
+// time-seeded draw makes ablations, fault drills and golden figures
+// irreproducible — the exact drift ISSUE 7 exists to stop.
+//
+// Two patterns are flagged, everywhere in the module:
+//
+//  1. calls to package-level functions of math/rand or math/rand/v2
+//     that use the process-global source (rand.Float64, rand.IntN,
+//     rand.Perm, rand.Shuffle, ...). Constructors that only build
+//     values (New, NewSource, NewPCG, NewChaCha8, NewZipf) are fine;
+//  2. source constructors whose seed expression contains a time.Now
+//     call — a deterministically *structured* but nondeterministically
+//     *seeded* stream is still irreproducible.
+var RandDet = &Analyzer{
+	Name: "randdet",
+	Doc:  "determinism: no global math/rand draws, no time-seeded random sources — thread a seeded *rand.Rand",
+	Run:  runRandDet,
+}
+
+// randConstructors build sources or wrap them without drawing from the
+// global stream.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runRandDet(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on an explicit *rand.Rand / Source: fine
+			}
+			if !randConstructors[fn.Name()] {
+				p.Reportf(call.Pos(), "global %s.%s draws from the process-wide source; thread a seeded *rand.Rand instead",
+					fn.Pkg().Path(), fn.Name())
+				return true
+			}
+			// Constructor: audit the seed expression for wall-clock input.
+			for _, arg := range call.Args {
+				if pos, found := findTimeNow(p, arg); found {
+					p.Reportf(pos, "%s.%s seeded from time.Now: runs are not reproducible; use a caller-provided seed",
+						fn.Pkg().Path(), fn.Name())
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// findTimeNow reports the position of a time.Now call anywhere in e.
+func findTimeNow(p *Pass, e ast.Expr) (pos token.Pos, found bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			pos, found = call.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// SendBlock machine-checks the ingest path's latency contract: a
+// function whose doc comment carries the marker word "nonblocking"
+// (locserver.ingest — PR 6 moved localization off the row reader exactly
+// so ingest never parks on a channel) must not
+//
+//   - send on or receive from a channel outside a select with a default,
+//   - range over a channel, or select without a default,
+//   - call sync.WaitGroup.Wait, sync.Cond.Wait or time.Sleep,
+//   - create an unbuffered channel (make(chan T) reachable from a
+//     nonblocking path is a rendezvous waiting to happen), or
+//   - call any module function that itself may block.
+//
+// "May block" is propagated over the intra-package call graph to a
+// fixpoint in phase one and exported as a "may-block" fact per function,
+// so a nonblocking function calling into another package is checked
+// against that package's real behavior, not just its signature.
+// Blocking calls into the standard library (net reads, etc.) are out of
+// scope: the contract covers module code, where the facts are.
+var SendBlock = &Analyzer{
+	Name:  "sendblock",
+	Doc:   "functions marked // nonblocking must not park: no blocking channel ops, no Wait/Sleep, no unbuffered chans, no calls that may block",
+	Facts: factsSendBlock,
+	Run:   runSendBlock,
+}
+
+var nonblockingMarker = regexp.MustCompile(`(^|\W)nonblocking($|\W)`)
+
+// hasNonblockingMarker reports whether a function's doc declares the
+// contract.
+func hasNonblockingMarker(fd *ast.FuncDecl) bool {
+	return fd.Doc != nil && nonblockingMarker.MatchString(fd.Doc.Text())
+}
+
+// blockReason is one blocking operation found in a function body.
+type blockReason struct {
+	pos  token.Pos
+	what string
+}
+
+// blockingOps collects the blocking operations in body, skipping nested
+// function literals (their bodies run on some other goroutine's time).
+// Channel operations that are the communication op of a select with a
+// default are exempt — that is the nonblocking idiom.
+func blockingOps(p *Pass, body *ast.BlockStmt) []blockReason {
+	// Comm ops of select statements: exempt when the select has a
+	// default, and subsumed by the select's own report when it does not.
+	exempt := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			exempt[cc.Comm] = true
+			// The received expression inside an assignment comm op.
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					exempt[u] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	var out []blockReason
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs elsewhere
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				out = append(out, blockReason{n.Pos(), "select without default"})
+			}
+		case *ast.SendStmt:
+			if !exempt[n] {
+				out = append(out, blockReason{n.Pos(), "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !exempt[n] {
+				out = append(out, blockReason{n.Pos(), "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if p.Info != nil {
+				if typ := p.Info.TypeOf(n.X); typ != nil {
+					if _, ok := typ.Underlying().(*types.Chan); ok {
+						out = append(out, blockReason{n.Pos(), "range over channel"})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if what, ok := blockingCallName(p, n); ok {
+				out = append(out, blockReason{n.Pos(), what})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return out
+}
+
+// blockingCallName recognizes the stdlib calls that park the caller:
+// WaitGroup.Wait, Cond.Wait, time.Sleep.
+func blockingCallName(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || p.Info == nil {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Wait":
+		if isSyncType(p, sel.X, "WaitGroup") {
+			return "WaitGroup.Wait", true
+		}
+		if isSyncType(p, sel.X, "Cond") {
+			return "Cond.Wait", true
+		}
+	case "Sleep":
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			return "time.Sleep", true
+		}
+	}
+	return "", false
+}
+
+// isSyncType reports whether e's type is sync.<name> (or pointer to it).
+func isSyncType(p *Pass, e ast.Expr, name string) bool {
+	typ := p.Info.TypeOf(e)
+	if typ == nil {
+		return false
+	}
+	if ptr, ok := typ.Underlying().(*types.Pointer); ok {
+		typ = ptr.Elem()
+	}
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// funcFactName keys a function or method for facts: "Func" or "T.Method".
+func funcFactName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// calleeInfo resolves a call to a module function: the *types.Func and,
+// when it is a method, its receiver-qualified fact name.
+func calleeInfo(p *Pass, call *ast.CallExpr) (*types.Func, string) {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, ""
+	}
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil, ""
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		typ := sig.Recv().Type()
+		if ptr, ok := typ.(*types.Pointer); ok {
+			typ = ptr.Elem()
+		}
+		if named, ok := typ.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	return fn, name
+}
+
+// packageMayBlock computes, for every function declared in the package,
+// whether it may block: intrinsically, or by calling (to a fixpoint
+// within the package, one fact-hop across packages) something that does.
+// The map is keyed by fact name.
+func packageMayBlock(p *Pass) (blockers map[string]string, decls map[string]*ast.FuncDecl) {
+	blockers = make(map[string]string) // fact name → reason
+	decls = make(map[string]*ast.FuncDecl)
+	calls := make(map[string][]string) // caller fact name → callee fact names (same package)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := funcFactName(fd)
+			decls[name] = fd
+			if ops := blockingOps(p, fd.Body); len(ops) > 0 {
+				blockers[name] = ops[0].what
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, calleeName := calleeInfo(p, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if fn.Pkg() == p.Pkg {
+					calls[name] = append(calls[name], calleeName)
+				} else if reason, ok := p.Fact(fn.Pkg().Path(), "may-block", calleeName); ok {
+					if _, have := blockers[name]; !have {
+						blockers[name] = fmt.Sprintf("calls %s.%s (%s)", fn.Pkg().Name(), calleeName, reason)
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Fixpoint: a caller of a blocker blocks.
+	for changed := true; changed; {
+		changed = false
+		for caller, callees := range calls {
+			if _, have := blockers[caller]; have {
+				continue
+			}
+			for _, callee := range callees {
+				if reason, ok := blockers[callee]; ok {
+					blockers[caller] = fmt.Sprintf("calls %s (%s)", callee, reason)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return blockers, decls
+}
+
+func factsSendBlock(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	blockers, decls := packageMayBlock(p)
+	for name, reason := range blockers {
+		if fd := decls[name]; fd != nil && fd.Name.IsExported() {
+			p.ExportFact("may-block", name, reason)
+		}
+	}
+}
+
+func runSendBlock(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	blockers, _ := packageMayBlock(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNonblockingMarker(fd) {
+				continue
+			}
+			for _, op := range blockingOps(p, fd.Body) {
+				p.Reportf(op.pos, "%s in %s, which is marked nonblocking", op.what, fd.Name.Name)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// Unbuffered channel creation on a nonblocking path.
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) == 1 {
+					if typ := p.Info.TypeOf(call); typ != nil {
+						if _, isChan := typ.Underlying().(*types.Chan); isChan {
+							p.Reportf(call.Pos(), "unbuffered make(chan) in %s, which is marked nonblocking", fd.Name.Name)
+						}
+					}
+					return true
+				}
+				fn, calleeName := calleeInfo(p, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if fn.Pkg() == p.Pkg {
+					if calleeName == funcFactName(fd) {
+						return true // self-recursion: already reported directly
+					}
+					if reason, ok := blockers[calleeName]; ok {
+						p.Reportf(call.Pos(), "%s calls %s, which may block (%s)", fd.Name.Name, calleeName, reason)
+					}
+				} else if reason, ok := p.Fact(fn.Pkg().Path(), "may-block", calleeName); ok {
+					p.Reportf(call.Pos(), "%s calls %s.%s, which may block (%s)", fd.Name.Name, fn.Pkg().Name(), calleeName, reason)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package fixture
+
+import "sync/atomic"
+
+// gauge keeps every access to its hot field atomic, and its cold
+// field is never touched atomically — both are consistent.
+type gauge struct {
+	hot  uint64
+	cold uint64
+}
+
+func (g *gauge) bump() {
+	atomic.AddUint64(&g.hot, 1)
+}
+
+func (g *gauge) read() uint64 {
+	return atomic.LoadUint64(&g.hot)
+}
+
+func (g *gauge) coldPath() uint64 {
+	g.cold++
+	return g.cold
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import "sync/atomic"
+
+// counters mixes atomic and plain access to the same field.
+type counters struct {
+	accepted uint64
+	shed     uint64
+}
+
+func (c *counters) admit() {
+	atomic.AddUint64(&c.accepted, 1)
+}
+
+func (c *counters) snapshot() uint64 {
+	return c.accepted // flagged: plain read of an atomically-written field
+}
+
+func (c *counters) reset() {
+	c.accepted = 0 // flagged: plain write
+}

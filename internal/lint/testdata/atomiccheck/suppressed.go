@@ -1,0 +1,18 @@
+package fixture
+
+import "sync/atomic"
+
+// pool is drained single-threaded in its destructor; the plain read
+// there is documented and suppressed.
+type pool struct {
+	inflight uint64
+}
+
+func (p *pool) track() {
+	atomic.AddUint64(&p.inflight, 1)
+}
+
+func (p *pool) drainLocked() uint64 {
+	//lint:ignore atomiccheck destructor runs after all workers joined
+	return p.inflight
+}

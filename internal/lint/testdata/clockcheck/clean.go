@@ -1,0 +1,13 @@
+package fixture
+
+import "time"
+
+// Routing through the seam — and installing time.Now as the seam's
+// default *value* — is the contract, not a violation.
+func newServer() *Server {
+	return &Server{now: time.Now} // value reference, not a call
+}
+
+func (s *Server) age(since time.Time) time.Duration {
+	return s.now().Sub(since)
+}

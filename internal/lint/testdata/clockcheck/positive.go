@@ -1,0 +1,24 @@
+package fixture
+
+import "time"
+
+// Server defines a clock seam, putting the whole package in clockcheck
+// scope: every time observation must route through it.
+type Server struct {
+	now func() time.Time
+}
+
+// elapsed goes around the seam twice.
+func (s *Server) elapsed(since time.Time) time.Duration {
+	start := time.Now() // flagged: direct observation
+	_ = start
+	return time.Since(since) // flagged: Since reads the wall clock
+}
+
+// waitAndTick schedules against the wall clock directly.
+func (s *Server) waitAndTick() {
+	time.Sleep(time.Millisecond) // flagged
+	t := time.NewTimer(time.Second)
+	_ = t
+	<-time.After(time.Millisecond) // flagged
+}

@@ -1,0 +1,10 @@
+package fixture
+
+import "time"
+
+// wallClockCadence is deliberate wall-clock use with a documented
+// reason; the directive must keep it out of the findings.
+func wallClockCadence() *time.Ticker {
+	//lint:ignore clockcheck checkpoint cadence is wall-clock by design
+	return time.NewTicker(time.Second)
+}

@@ -1,0 +1,27 @@
+package fixture
+
+import "sync"
+
+// popWait re-checks the predicate in a loop, the canonical Cond idiom.
+func (q *queue) popWait() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		q.ready.Wait()
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it
+}
+
+// spawnCounted does all the Adds before any goroutine starts.
+func spawnCounted(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,35 @@
+package fixture
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	ready *sync.Cond
+	items []int
+}
+
+// popOnce checks the predicate only once: a spurious or stale wakeup
+// returns with the queue still empty.
+func (q *queue) popOnce() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		q.ready.Wait() // flagged: Wait outside a for-loop
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it
+}
+
+// spawnAll lets each goroutine register itself — Wait can return before
+// any Add has happened.
+func spawnAll(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // flagged: Add inside the spawned goroutine
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,10 @@
+package fixture
+
+// waitOnceForClose waits for exactly one Broadcast fired at shutdown;
+// there is no predicate to re-check, which the directive documents.
+func (q *queue) waitOnceForClose() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//lint:ignore condcheck single Broadcast at close, no predicate to recheck
+	q.ready.Wait()
+}

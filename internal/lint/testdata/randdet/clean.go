@@ -1,0 +1,12 @@
+package fixture
+
+import "math/rand/v2"
+
+// The house convention: a seeded PCG stream threaded from the caller.
+func seededStream(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0xB10C))
+}
+
+func drawFrom(rng *rand.Rand) float64 {
+	return rng.Float64() + float64(rng.IntN(37))
+}

@@ -1,0 +1,22 @@
+package fixture
+
+import (
+	mrand "math/rand"
+	"math/rand/v2"
+	"time"
+)
+
+// Global draws: every one of these pulls from the process-wide source,
+// so two runs of the same seed-threaded simulation diverge.
+func globalDraws() float64 {
+	x := rand.Float64()                // flagged: math/rand/v2 global
+	n := rand.IntN(37)                 // flagged
+	y := mrand.Float64()               // flagged: math/rand (v1) global
+	rand.Shuffle(3, func(i, j int) {}) // flagged
+	return x + float64(n) + y
+}
+
+// Time-seeded source: structured determinism, nondeterministic seed.
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 1)) // flagged at the time.Now
+}

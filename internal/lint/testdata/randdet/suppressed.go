@@ -1,0 +1,9 @@
+package fixture
+
+import "math/rand/v2"
+
+// A documented exception stays suppressed.
+func jitterForLogsOnly() float64 {
+	//lint:ignore randdet log-line jitter only, never touches results
+	return rand.Float64()
+}

@@ -1,0 +1,23 @@
+package fixture
+
+// tryEnqueue sheds when the queue is full. nonblocking by construction.
+func (in *ingestor) tryEnqueue(v int) bool {
+	select {
+	case in.fixes <- v:
+		return true
+	default:
+		return false // select-with-default never blocks
+	}
+}
+
+// buffered construction outside any nonblocking-marked function, plus a
+// blocking worker loop that never claimed the contract.
+func newIngestor(depth int) *ingestor {
+	return &ingestor{fixes: make(chan int, depth)}
+}
+
+func (in *ingestor) worker() {
+	for v := range in.fixes {
+		_ = v
+	}
+}

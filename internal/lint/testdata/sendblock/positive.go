@@ -1,0 +1,29 @@
+package fixture
+
+import "sync"
+
+type ingestor struct {
+	fixes chan int
+	wg    sync.WaitGroup
+}
+
+// enqueue pushes a sample onto the fix queue. nonblocking: called from
+// the packet-ingest hot path.
+func (in *ingestor) enqueue(v int) {
+	in.fixes <- v // flagged: blocking send in a nonblocking function
+}
+
+// drainOne pops a sample. nonblocking contract.
+func (in *ingestor) drainOne() int {
+	return <-in.fixes // flagged: blocking receive
+}
+
+// settle waits for the workers. nonblocking: invoked under the ingest lock.
+func (in *ingestor) settle() {
+	in.wg.Wait() // flagged: WaitGroup.Wait blocks
+}
+
+// fresh builds the queue. nonblocking path.
+func fresh() chan int {
+	return make(chan int) // flagged: unbuffered channel on a nonblocking path
+}

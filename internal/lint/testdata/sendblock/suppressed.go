@@ -1,0 +1,8 @@
+package fixture
+
+// flush drains synchronously at shutdown. nonblocking in steady state;
+// the teardown send is documented below.
+func (in *ingestor) flush(v int) {
+	//lint:ignore sendblock teardown path, ingest already quiesced
+	in.fixes <- v
+}

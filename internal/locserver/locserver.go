@@ -447,6 +447,7 @@ func (s *Server) acceptLoop() {
 // prunes the ones that stopped echoing.
 func (s *Server) heartbeatLoop() {
 	defer s.wg.Done()
+	//lint:ignore clockcheck heartbeat cadence is wall-clock; liveness probes must fire in real time
 	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
 	defer ticker.Stop()
 	var nonce uint32
@@ -567,7 +568,8 @@ func (s *Server) handle(conn net.Conn) {
 // every row has arrived — or, with AdaptiveDeadline, as soon as every
 // non-laggy anchor has reported. Localization itself never runs here: a
 // finalized round is enqueued on the bounded fix queue and the reader
-// returns to its socket.
+// returns to its socket. nonblocking: the row reader must never park,
+// so sendblock holds this function to the no-blocking-ops contract.
 func (s *Server) ingest(row *wire.CSIRow) {
 	if int(row.BandIdx) >= len(s.cfg.Bands) || len(row.Tag) != s.cfg.Antennas {
 		s.log.Warn("malformed csi row", "band", row.BandIdx, "antennas", len(row.Tag))
@@ -619,6 +621,7 @@ func (s *Server) ingest(row *wire.CSIRow) {
 					pr.nonLagAll = nonLaggy * len(s.cfg.Bands)
 				}
 			}
+			//lint:ignore clockcheck round deadlines fire on the real scheduler; the seam feeds only latency math
 			pr.timer = time.AfterFunc(deadline, func() { s.roundDeadline(rk) })
 		}
 		s.rounds[rk] = pr

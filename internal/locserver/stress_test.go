@@ -1,0 +1,185 @@
+package locserver
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"bloc/internal/ble"
+	"bloc/internal/csi"
+	"bloc/internal/geom"
+	"bloc/internal/wire"
+)
+
+// The schedule-perturbation stress scenarios. `make stress` re-runs them
+// (together with the PR 5/6 durability and overload drills) under -race
+// across a GOMAXPROCS matrix: at GOMAXPROCS=1 goroutines interleave only
+// at scheduler yield points, at higher values they truly overlap, and
+// the two regimes surface different orderings of the ingest / fix-worker
+// / deadline-timer / teardown races. The tests themselves stay
+// schedule-agnostic — they assert invariants (no deadlock, no duplicated
+// fix delivery, clean teardown), never timings.
+
+// stressServer builds an in-process server with a tiny round deadline so
+// deadline timers, worker wakeups and ingest contend constantly.
+func stressServer(t *testing.T, workers, queueDepth int) *Server {
+	t.Helper()
+	srv, err := New("127.0.0.1:0", Config{
+		Anchors: 2, Antennas: 1, Bands: ble.DataChannels()[:3],
+		RoundDeadline: 2 * time.Millisecond,
+		FixQueueDepth: queueDepth,
+		FixWorkers:    workers,
+		Logger:        quietLogger(),
+		OnSnapshot: func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
+			return geom.Pt(1, 2), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// stressRow fabricates one valid CSI row.
+func stressRow(tag uint16, round uint32, anchorID uint8, band uint16) *wire.CSIRow {
+	return &wire.CSIRow{
+		Round: round, TagID: tag, AnchorID: anchorID, BandIdx: band,
+		Tag:    []complex128{complex(float64(round), float64(band+1))},
+		Master: complex(1, float64(anchorID+1)),
+	}
+}
+
+// TestStressIngestFixMatrix floods the ingest path from several producer
+// goroutines (one per tag) while a consumer drains fixes, across a
+// FixWorkers sweep. Rounds may be shed or dropped under pressure, but a
+// delivered fix must be delivered exactly once and must belong to a
+// round a producer actually sent.
+func TestStressIngestFixMatrix(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(map[int]string{1: "workers=1", 2: "workers=2", 4: "workers=4"}[workers], func(t *testing.T) {
+			const (
+				tags   = 3
+				rounds = 60
+			)
+			srv := stressServer(t, workers, 4)
+			defer srv.Close()
+
+			seenFix := make(map[[2]uint32]int)
+			record := func(f wire.Fix) { seenFix[[2]uint32{uint32(f.TagID), f.Round}]++ }
+			stop := make(chan struct{})
+			consumerDone := make(chan struct{})
+			go func() {
+				defer close(consumerDone)
+				for {
+					select {
+					case f := <-srv.Fixes():
+						record(f)
+					case <-stop:
+						return
+					}
+				}
+			}()
+
+			var producerWG sync.WaitGroup
+			for tag := uint16(1); tag <= tags; tag++ {
+				producerWG.Add(1)
+				go func(tag uint16) {
+					defer producerWG.Done()
+					for r := uint32(1); r <= rounds; r++ {
+						for a := uint8(0); a < 2; a++ {
+							for b := uint16(0); b < 3; b++ {
+								srv.ingest(stressRow(tag, r, a, b))
+							}
+						}
+					}
+				}(tag)
+			}
+			producerWG.Wait()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Drain(ctx); err != nil {
+				t.Fatalf("drain after flood: %v", err)
+			}
+			close(stop)
+			<-consumerDone
+			// Fixes the consumer had not picked up yet are still buffered.
+			for flushed := false; !flushed; {
+				select {
+				case f := <-srv.Fixes():
+					record(f)
+				default:
+					flushed = true
+				}
+			}
+
+			for key, n := range seenFix {
+				if n != 1 {
+					t.Errorf("tag %d round %d delivered %d times", key[0], key[1], n)
+				}
+				if key[1] < 1 || key[1] > rounds || key[0] < 1 || key[0] > tags {
+					t.Errorf("fix for a round never produced: tag %d round %d", key[0], key[1])
+				}
+			}
+			st := srv.Stats()
+			if len(seenFix) == 0 {
+				t.Fatal("flood produced no fixes at all")
+			}
+			t.Logf("workers=%d: %d fixes delivered, %d shed, %d degraded, %d budget drops",
+				workers, len(seenFix), st.OverloadShed, st.OverloadDegraded, st.BudgetExceeded)
+		})
+	}
+}
+
+// TestStressTeardownWhileLoaded closes (even iterations) or drains (odd
+// iterations) the server at staggered offsets while a producer is still
+// mid-flood, for each worker count. The only assertions are liveness and
+// error-free teardown: whatever the interleaving, Close/Drain must
+// return and the producer must not hang on a dead server.
+func TestStressTeardownWhileLoaded(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for i := 0; i < 6; i++ {
+			srv := stressServer(t, workers, 4)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := uint32(1); r <= 50; r++ {
+					for a := uint8(0); a < 2; a++ {
+						for b := uint16(0); b < 3; b++ {
+							srv.ingest(stressRow(9, r, a, b))
+						}
+					}
+				}
+			}()
+			stop := make(chan struct{})
+			consumerDone := make(chan struct{})
+			go func() {
+				defer close(consumerDone)
+				for {
+					select {
+					case <-srv.Fixes():
+					case <-stop:
+						return
+					}
+				}
+			}()
+			time.Sleep(time.Duration(i) * 300 * time.Microsecond)
+			if i%2 == 0 {
+				if err := srv.Close(); err != nil {
+					t.Fatalf("workers=%d iteration %d: close: %v", workers, i, err)
+				}
+			} else {
+				ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+				if err := srv.Drain(ctx); err != nil {
+					t.Fatalf("workers=%d iteration %d: drain: %v", workers, i, err)
+				}
+				cancel()
+			}
+			wg.Wait()
+			close(stop)
+			<-consumerDone
+		}
+	}
+}

@@ -103,6 +103,9 @@ func ChannelFD(paths []rfsim.Path, fcHz float64) []complex128 {
 // receiver's packet-detection timing error (which appears to the CSI
 // consumer as a linear phase ramp across subcarriers — the distortion
 // SpotFi must live with and the reason its ToF is only relative).
+// All noise is drawn from the caller's rng — the repo-wide determinism
+// contract (enforced by bloc-lint's randdet): identical seeds reproduce
+// identical CSI.
 func ApplyChannelLTF(h []complex128, sto int, sigma float64, rng *rand.Rand) ([]complex128, error) {
 	if len(h) != NumSubcarriers {
 		return nil, fmt.Errorf("wifi: %d channel taps, want %d", len(h), NumSubcarriers)

@@ -63,7 +63,9 @@ type Measurement struct {
 // environment: for every AP, the L-LTF passes through each antenna's
 // frequency-selective channel with a per-AP random sample-timing offset
 // (±2 samples), a per-AP random LO phase and per-sample AWGN, and the
-// receiver re-estimates the CSI.
+// receiver re-estimates the CSI. Every random draw comes from the
+// caller's seeded rng (the determinism contract randdet enforces), so a
+// campaign replays bit-for-bit.
 func Measure(env *rfsim.Environment, anchors []geom.Array, tag geom.Point, fcHz, sigma float64, rng *rand.Rand) ([]Measurement, error) {
 	out := make([]Measurement, len(anchors))
 	for i, a := range anchors {
