@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race soak chaos drill overload stress vet lint ci fuzz bench bench-check figures figures-full clean
+.PHONY: all build test race soak chaos drill overload stress vet lint ci fuzz bench bench-check perf figures figures-full clean
 
 all: vet lint test build
 
@@ -99,6 +99,13 @@ bench:
 # CI smoke: quick perf measurement compared against the committed report;
 # fails on compile breakage or a >2x latency regression.
 bench-check:
+	$(GO) run ./cmd/bloc-bench -exp perf -perf-fixes 10 -check BENCH_3.json
+
+# Perf smoke: the gated vs full-grid fix micro-benchmarks plus the quick
+# regression check against the committed report — gates both the
+# full-grid and the tracked (prior-gated) latency at 2x.
+perf:
+	$(GO) test -run '^$$' -bench 'GatedFix|FullGridFix' -benchmem ./internal/core/
 	$(GO) run ./cmd/bloc-bench -exp perf -perf-fixes 10 -check BENCH_3.json
 
 # Every table and figure of the paper at reduced scale (~2 min, 1 core).

@@ -7,7 +7,7 @@
 //
 //	bloc-bench [-positions 300] [-seed 7] [-exp all|fig4|fig6|fig8a|fig8b|
 //	            fig9a|fig9b|fig9c|fig10|fig11|fig12|fig13|ablations|quorum|
-//	            failover|restart|overload] [-out dir]
+//	            failover|restart|overload|gated|perf] [-out dir]
 //
 // The paper used 1700 positions; -positions 1700 reproduces that scale
 // (several minutes of CPU), while the default 300 keeps the shape of every
@@ -33,7 +33,7 @@ func main() {
 	var (
 		positions = flag.Int("positions", 300, "dataset size (paper: 1700)")
 		seed      = flag.Uint64("seed", 7, "simulation seed")
-		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, failover, restart, overload, perf, or all)")
+		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, failover, restart, overload, gated, perf, or all)")
 		out       = flag.String("out", "", "directory for CSV series (optional)")
 
 		// -exp perf flags.
@@ -82,6 +82,12 @@ func main() {
 		ov, err := eval.AblationOverload(*seed)
 		check(err)
 		fmt.Println(eval.OverloadTable(ov))
+	}
+	// The gated ablation walks its own tag trajectories; no dataset.
+	if want("gated") && *exp != "all" { // "all" covers it inside runAblations
+		gs, err := eval.AblationGated(*seed, gatedSteps)
+		check(err)
+		fmt.Println(eval.GatedTable(gs))
 	}
 	needsDataset := want("fig6") || want("fig8a") || want("fig9a") || want("fig9b") ||
 		want("fig9c") || want("fig10") || want("fig11") || want("fig12") ||
@@ -169,6 +175,11 @@ func main() {
 // visibly hurts, small enough that calibration estimation stays stable.
 const restartPhaseErrDeg = 35
 
+// gatedSteps is the walk length per mobility scenario of the gated
+// ablation: long enough for the hysteresis to settle and recover a few
+// times, short enough that four scenarios stay in the seconds range.
+const gatedSteps = 60
+
 // runAblations prints the extension experiments of DESIGN.md §6. The
 // SNR/NLOS sweeps re-acquire smaller datasets (a quarter of the main one)
 // since each point needs its own noise realization or environment.
@@ -204,6 +215,10 @@ func runAblations(suite *eval.Suite, seed uint64, positions int) {
 	ov, err := eval.AblationOverload(seed)
 	check(err)
 	fmt.Println(eval.OverloadTable(ov))
+
+	gs, err := eval.AblationGated(seed, gatedSteps)
+	check(err)
+	fmt.Println(eval.GatedTable(gs))
 
 	snrs, err := eval.AblationSNR(seed, small, []float64{5, 10, 15, 25})
 	check(err)

@@ -21,24 +21,27 @@ type perfNumbers struct {
 
 // perfReport is the JSON document written to -bench-out (BENCH_3.json):
 // the frozen pre-optimization baseline, the measured post-optimization
-// numbers, the worker-count throughput sweep and the engine's counters.
+// numbers, the worker-count throughput sweeps of both the full-grid and
+// the tracked (prior-gated) paths, and the engine's counters.
 type perfReport struct {
-	Baseline   perfNumbers       `json:"baseline"`
-	After      perfNumbers       `json:"after"`
-	SpeedupX   float64           `json:"speedup_x"`
-	Throughput []eval.PerfResult `json:"throughput"`
-	Stats      core.Stats        `json:"engine_stats"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	Positions  int               `json:"positions"`
-	Seed       uint64            `json:"seed"`
+	Baseline   perfNumbers          `json:"baseline"`
+	After      perfNumbers          `json:"after"`
+	SpeedupX   float64              `json:"speedup_x"`
+	Throughput []eval.PerfResult    `json:"throughput"`
+	Tracked    []eval.TrackedResult `json:"tracked,omitempty"`
+	Stats      core.Stats           `json:"engine_stats"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Positions  int                  `json:"positions"`
+	Seed       uint64               `json:"seed"`
 }
 
 // runPerf measures the steady-state fix path of one shared engine:
-// single-worker latency and allocation rate, then a throughput sweep at
-// 1, 4 and GOMAXPROCS workers. With -bench-out the report is written as
-// JSON; with -check the measurement is compared against a committed
-// report and the process exits non-zero on a >2x latency regression (the
-// CI smoke gate).
+// single-worker latency and allocation rate, then throughput sweeps of
+// the full-grid and tracked (prior-gated) paths at 1, 4 and GOMAXPROCS
+// workers. With -bench-out the report is written as JSON; with -check
+// the measurement is compared against a committed report and the
+// process exits non-zero on a >2x latency regression on either path
+// (the CI smoke gate).
 func runPerf(seed uint64, fixes int, baseline perfNumbers, cpuprofile, memprofile, benchOut, check string) {
 	suite, err := eval.NewSuite(eval.SuiteOptions{Seed: seed, Positions: 16})
 	if err != nil {
@@ -66,19 +69,9 @@ func runPerf(seed uint64, fixes int, baseline perfNumbers, cpuprofile, memprofil
 	// parallel throughput (the BENCH_3 anomaly was a 4-worker point taken
 	// at GOMAXPROCS=1). Each kept point runs with GOMAXPROCS matched to
 	// its worker count and records it in the result.
-	workerCounts := []int{1, 4, runtime.NumCPU()}
+	workerCounts := sweepWorkers()
 	var sweep []eval.PerfResult
-	seen := map[int]bool{}
 	for _, w := range workerCounts {
-		if seen[w] {
-			continue
-		}
-		seen[w] = true
-		if w > runtime.NumCPU() {
-			fmt.Printf("  skipping %d-worker point: only %d CPU(s), parallelism would be simulated\n",
-				w, runtime.NumCPU())
-			continue
-		}
 		prev := runtime.GOMAXPROCS(w)
 		r, err := suite.MeasureFixes(fixes, w)
 		runtime.GOMAXPROCS(prev)
@@ -86,6 +79,18 @@ func runPerf(seed uint64, fixes int, baseline perfNumbers, cpuprofile, memprofil
 			log.Fatal(err)
 		}
 		sweep = append(sweep, r)
+	}
+	// The same sweep over the tracked path: settled Kalman priors gating
+	// the search, the serving plane's steady-state regime.
+	var tracked []eval.TrackedResult
+	for _, w := range workerCounts {
+		prev := runtime.GOMAXPROCS(w)
+		r, err := suite.MeasureTracked(fixes, w)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tracked = append(tracked, r)
 	}
 
 	if memprofile != "" {
@@ -105,6 +110,7 @@ func runPerf(seed uint64, fixes int, baseline perfNumbers, cpuprofile, memprofil
 		After:      perfNumbers{NsPerFix: single.NsPerFix, BytesPerFix: single.BytesPerFix, AllocsPerFix: single.AllocsPerFix},
 		SpeedupX:   baseline.NsPerFix / single.NsPerFix,
 		Throughput: sweep,
+		Tracked:    tracked,
 		Stats:      suite.Eng.Stats(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Positions:  16,
@@ -116,9 +122,16 @@ func runPerf(seed uint64, fixes int, baseline perfNumbers, cpuprofile, memprofil
 		baseline.NsPerFix, baseline.BytesPerFix, baseline.AllocsPerFix)
 	fmt.Printf("  after     %11.0f ns/fix  %9.0f B/fix  %6.1f allocs/fix   (%.1fx faster)\n",
 		report.After.NsPerFix, report.After.BytesPerFix, report.After.AllocsPerFix, report.SpeedupX)
-	fmt.Println("throughput sweep:")
+	fmt.Println("throughput sweep (full grid):")
 	for _, r := range sweep {
 		fmt.Printf("  %s\n", r)
+	}
+	fmt.Println("throughput sweep (tracked, prior-gated):")
+	for _, r := range tracked {
+		fmt.Printf("  %s\n", r)
+	}
+	if len(tracked) > 0 && tracked[0].NsPerFix > 0 {
+		fmt.Printf("  tracked speedup vs full grid: %.1fx\n", single.NsPerFix/tracked[0].NsPerFix)
 	}
 	st := report.Stats
 	fmt.Printf("engine: %d fixes, %d plane builds, %.1f KiB tables, %d pool hits / %d misses\n",
@@ -152,5 +165,40 @@ func runPerf(seed uint64, fixes int, baseline perfNumbers, cpuprofile, memprofil
 		}
 		fmt.Printf("perf check OK: %.0f ns/fix within 2x of committed %.0f ns/fix\n",
 			single.NsPerFix, committed.After.NsPerFix)
+		// Gate the tracked path too — a report predating it passes
+		// vacuously rather than failing the smoke check.
+		if len(committed.Tracked) > 0 && len(tracked) > 0 {
+			tLimit := 2 * committed.Tracked[0].NsPerFix
+			if tracked[0].NsPerFix > tLimit {
+				fmt.Printf("PERF REGRESSION (tracked): %.0f ns/fix exceeds 2x the committed %.0f ns/fix\n",
+					tracked[0].NsPerFix, committed.Tracked[0].NsPerFix)
+				os.Exit(1)
+			}
+			fmt.Printf("tracked check OK: %.0f ns/fix within 2x of committed %.0f ns/fix\n",
+				tracked[0].NsPerFix, committed.Tracked[0].NsPerFix)
+		} else if len(committed.Tracked) == 0 {
+			fmt.Println("tracked check skipped: committed report has no tracked section")
+		}
 	}
+}
+
+// sweepWorkers returns the deduplicated worker counts of the throughput
+// sweeps, dropping any point beyond the CPU count (parallelism would be
+// simulated by the scheduler, not measured).
+func sweepWorkers() []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, w := range []int{1, 4, runtime.NumCPU()} {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		if w > runtime.NumCPU() {
+			fmt.Printf("  skipping %d-worker point: only %d CPU(s), parallelism would be simulated\n",
+				w, runtime.NumCPU())
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
 }

@@ -59,18 +59,53 @@ import (
 // tagState is the durable per-process state bloc-server owns on top of
 // the locserver: the array calibration and one Kalman tracker per tag.
 type tagState struct {
-	mu   sync.Mutex
-	cal  *core.Calibration        // guarded by mu; nil until calibrated or restored
-	trks map[uint16]*track.Filter // guarded by mu
-	last map[uint16]int64         // unix nanos of each tag's last fused fix; guarded by mu
-	now  func() time.Time
+	mu    sync.Mutex
+	cal   *core.Calibration           // guarded by mu; nil until calibrated or restored
+	trks  map[uint16]*track.Filter    // guarded by mu
+	last  map[uint16]int64            // unix nanos of each tag's last fused fix; guarded by mu
+	gates map[uint16]*core.GatePolicy // per-tag gating hysteresis; guarded by mu
+	now   func() time.Time
 }
 
 func newTagState() *tagState {
 	return &tagState{
-		trks: make(map[uint16]*track.Filter),
-		last: make(map[uint16]int64),
-		now:  time.Now,
+		trks:  make(map[uint16]*track.Filter),
+		last:  make(map[uint16]int64),
+		gates: make(map[uint16]*core.GatePolicy),
+		now:   time.Now,
+	}
+}
+
+// prior derives the gated-search prior for a tag from its tracker's 1σ
+// confidence ellipse, scaled by the tag's GatePolicy hysteresis. It
+// returns nil — run the full grid — when the tag has no initialized
+// track or the covariance is unusable.
+func (ts *tagState) prior(tag uint16) *core.Prior {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	f := ts.trks[tag]
+	if f == nil {
+		return nil
+	}
+	ell, ok := f.ConfidenceEllipse(1)
+	if !ok {
+		return nil
+	}
+	g := ts.gates[tag]
+	if g == nil {
+		g = core.NewGatePolicy()
+		ts.gates[tag] = g
+	}
+	p := g.Prior(ell.Center, ell.SemiMajor, ell.SemiMinor, ell.Theta)
+	return &p
+}
+
+// observe feeds a fix outcome back into the tag's gating hysteresis.
+func (ts *tagState) observe(tag uint16, res *core.Result) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if g := ts.gates[tag]; g != nil {
+		g.Observe(res)
 	}
 }
 
@@ -261,9 +296,18 @@ func main() {
 					logger.Warn("calibration apply failed, using raw snapshot", "err", err)
 				}
 			}
-			res, err := eng.LocateRef(snap, info.Ref)
+			// Tracked tags localize through the prior-gated coarse-to-fine
+			// search (DESIGN.md §14); everything else takes the full grid.
+			var prior *core.Prior
+			if info.Tracked {
+				prior = ts.prior(info.Tag)
+			}
+			res, err := eng.LocateOpts(snap, core.LocateOptions{Ref: info.Ref, Prior: prior})
 			if err != nil {
 				return geom.Point{}, err
+			}
+			if prior != nil {
+				ts.observe(info.Tag, res)
 			}
 			return ts.smooth(info.Tag, res.Estimate), nil
 		},
@@ -319,6 +363,11 @@ func main() {
 						"pool_hits", es.PoolHits,
 						"pool_misses", es.PoolMisses,
 						"rows_masked", es.RowsMasked,
+						"gated_fixes", es.GatedFixes,
+						"full_fixes", es.FullFixes,
+						"gated_fallbacks", es.FallbackDisagree+es.FallbackLowConf+es.FallbackNoPeaks,
+						"tiles_refined", es.TilesRefined,
+						"tiles_total", es.TilesTotal,
 						"rounds_full", ss.Full,
 						"rounds_partial", ss.Partial,
 						"rounds_coarse", ss.Coarse,

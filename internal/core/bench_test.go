@@ -74,3 +74,61 @@ func BenchmarkLikelihood(b *testing.B) {
 		e.likelihoodCombined(a)
 	}
 }
+
+// BenchmarkGatedFix measures the steady-state tracked fix: a settled
+// prior, warm pools and tables. BenchmarkFullGridFix is the same
+// snapshot through the full-grid path — the pair is the headline
+// speedup of the prior-gated search.
+func BenchmarkGatedFix(b *testing.B) {
+	d, err := testbed.Paper(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(d.Anchors, DefaultConfig(d.Env.Room))
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := d.Sounding(geom.Pt(1.2, 0.8))
+	full, err := e.Locate(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prior := tightPrior(full.Estimate)
+	res, err := e.LocateOpts(snap, LocateOptions{Prior: prior})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Gated {
+		b.Fatalf("warm-up fix fell back: %q", res.Fallback)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.LocateOpts(snap, LocateOptions{Prior: prior})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Gated {
+			b.Fatalf("fix fell back: %q", r.Fallback)
+		}
+	}
+}
+
+func BenchmarkFullGridFix(b *testing.B) {
+	d, err := testbed.Paper(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(d.Anchors, DefaultConfig(d.Env.Room))
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := d.Sounding(geom.Pt(1.2, 0.8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Locate(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -41,6 +41,117 @@ type Config struct {
 	// NormalizePerAnchor scales each anchor's XY likelihood to unit
 	// maximum before summing, so near anchors do not drown far ones.
 	NormalizePerAnchor bool
+	// Gate tunes the prior-gated coarse-to-fine search (gated.go). Zero
+	// fields take their defaults in NewEngine.
+	Gate GateConfig
+}
+
+// GateConfig tunes the two-stage gated search of LocateOpts: how much the
+// coarse pass decimates each grid, how refinement tiles are selected, and
+// when the gate refuses and falls back to the full-grid path.
+type GateConfig struct {
+	// CoarseStep is the XY decimation of the coarse pass: every
+	// CoarseStep-th cell in each dimension is evaluated (default 4).
+	CoarseStep int
+	// CoarseThetaStep / CoarseDeltaStep decimate the polar grid the coarse
+	// pass samples (defaults 4 and 16). θ is sampled nearest-row and its
+	// error absorbed by the selection safety margin; Δ is projected with
+	// a two-tap linear interpolation (the magnitude is smooth along Δ),
+	// which is what lets the Δ stride run twice as coarse as θ.
+	CoarseThetaStep int
+	CoarseDeltaStep int
+	// RefineDeltaStep is the Δ sampling stride of the full-resolution
+	// refinement sweep (default 4): polarFill32 evaluates every
+	// RefineDeltaStep-th column exactly and linearly interpolates the
+	// rest. The Δ magnitude profile is band-limited by the channel
+	// spread (correlation scale of meters against a few-centimeter
+	// grid), so 4 keeps the peak-cell error under 1%; 1 disables
+	// interpolation and recovers the exact sweep.
+	RefineDeltaStep int
+	// RefineThetaStep is the θ sampling stride of the refinement sweep
+	// (default 2): every RefineThetaStep-th row (plus the last) is
+	// evaluated and skipped rows are interpolated. A J-element array's
+	// beam pattern has only ~J degrees of freedom across the aperture,
+	// so the 1° row grid heavily oversamples it; 1 disables row
+	// interpolation.
+	RefineThetaStep int
+	// TileCells is the edge length, in XY cells, of a refinement tile
+	// (default 16 → 0.8 m at the paper's 5 cm grid).
+	TileCells int
+	// SelectSafety scales the coarse tile-selection threshold below
+	// PeakMinFrac (default 0.8): a tile is refined when it holds a
+	// coarse local maximum at SelectSafety·PeakMinFrac of the coarse
+	// global maximum. Measured decimation undershoot at true peaks is
+	// under 10%, so 0.8 keeps every full-grid candidate selectable while
+	// rejecting background ripple.
+	SelectSafety float64
+	// MaxTileFrac aborts the gate when the value-selected tile fraction
+	// exceeds it (default 0.35): a flat coarse surface means low peak
+	// confidence, and refining most of the room costs more than the full
+	// path it is supposed to replace.
+	MaxTileFrac float64
+	// DisagreeMarginM grows the prior ellipse for the coarse/prior
+	// agreement check (default 0.5 m): a coarse argmax outside the grown
+	// ellipse falls back to the full grid.
+	DisagreeMarginM float64
+}
+
+// DefaultGateConfig returns the gated-search defaults.
+func DefaultGateConfig() GateConfig {
+	return GateConfig{
+		CoarseStep:      4,
+		CoarseThetaStep: 4,
+		CoarseDeltaStep: 16,
+		RefineDeltaStep: 4,
+		RefineThetaStep: 2,
+		TileCells:       16,
+		SelectSafety:    0.8,
+		MaxTileFrac:     0.35,
+		DisagreeMarginM: 0.5,
+	}
+}
+
+// withDefaults fills zero fields from DefaultGateConfig.
+func (g GateConfig) withDefaults() GateConfig {
+	d := DefaultGateConfig()
+	if g.CoarseStep == 0 {
+		g.CoarseStep = d.CoarseStep
+	}
+	if g.CoarseThetaStep == 0 {
+		g.CoarseThetaStep = d.CoarseThetaStep
+	}
+	if g.CoarseDeltaStep == 0 {
+		g.CoarseDeltaStep = d.CoarseDeltaStep
+	}
+	if g.RefineDeltaStep == 0 {
+		g.RefineDeltaStep = d.RefineDeltaStep
+	}
+	if g.RefineThetaStep == 0 {
+		g.RefineThetaStep = d.RefineThetaStep
+	}
+	if g.TileCells == 0 {
+		g.TileCells = d.TileCells
+	}
+	//lint:ignore floateq zero value means "use the default", an exact sentinel
+	if g.SelectSafety == 0 {
+		g.SelectSafety = d.SelectSafety
+	}
+	//lint:ignore floateq zero value means "use the default", an exact sentinel
+	if g.MaxTileFrac == 0 {
+		g.MaxTileFrac = d.MaxTileFrac
+	}
+	//lint:ignore floateq zero value means "use the default", an exact sentinel
+	if g.DisagreeMarginM == 0 {
+		g.DisagreeMarginM = d.DisagreeMarginM
+	}
+	return g
+}
+
+func (g GateConfig) valid() bool {
+	return g.CoarseStep >= 2 && g.CoarseThetaStep >= 1 && g.CoarseDeltaStep >= 1 &&
+		g.RefineDeltaStep >= 1 && g.RefineThetaStep >= 1 &&
+		g.TileCells >= 4 && g.SelectSafety > 0 && g.SelectSafety <= 1 &&
+		g.MaxTileFrac > 0 && g.MaxTileFrac <= 1 && g.DisagreeMarginM > 0
 }
 
 // DefaultConfig returns the paper's parameters for the given room.
@@ -57,6 +168,7 @@ func DefaultConfig(room geom.Rect) Config {
 		PeakMinFrac:        0.5,
 		PeakMinSepCells:    4,
 		NormalizePerAnchor: true,
+		Gate:               DefaultGateConfig(),
 	}
 }
 
@@ -103,12 +215,19 @@ type Engine struct {
 	planeMu sync.RWMutex
 	planes  map[uint64][]*planeSet // guarded by planeMu
 
+	// gatedMu guards gatedSets, the per-reference coarse + tiled float32
+	// SoA projection tables of the gated search (gated.go), built lazily
+	// on the first prior-carrying fix per reference.
+	gatedMu   sync.RWMutex
+	gatedSets map[int]*gatedTables // guarded by gatedMu
+
 	// Scratch pools (pool.go) and Stats counters.
 	polarPool *dsp.GridPool // (D × T) polar grids, span-filled (no zeroing)
 	xyPool    *dsp.GridPool // (nx × ny) per-anchor maps, zeroed on Get
 	floatPool sync.Pool     // *[]float64 accumulator planes / entropy windows
 	intPool   sync.Pool     // *[]int active-anchor lists
 	runPool   sync.Pool     // *likRun per-likelihood workspaces
+	gatedPool sync.Pool     // *gatedRun per-gated-fix workspaces
 	alphaPool sync.Pool     // *alphaBox corrected-channel workspaces
 	peakPool  sync.Pool     // *[]dsp.Peak peak-extraction scratch
 
@@ -119,6 +238,14 @@ type Engine struct {
 	statPoolHits    atomic.Uint64
 	statPoolMisses  atomic.Uint64
 	statRowsMasked  atomic.Uint64
+
+	statGatedFixes       atomic.Uint64
+	statFullFixes        atomic.Uint64
+	statFallbackDisagree atomic.Uint64
+	statFallbackLowConf  atomic.Uint64
+	statFallbackNoPeaks  atomic.Uint64
+	statTilesRefined     atomic.Uint64
+	statTilesTotal       atomic.Uint64
 }
 
 // Stats is a snapshot of the engine's performance counters.
@@ -142,6 +269,20 @@ type Stats struct {
 	// by the finite/denormal guard (NaN/Inf products or zero/denormal
 	// reference tones) on the pooled fix path.
 	RowsMasked uint64
+	// GatedFixes counts fixes served by the prior-gated coarse-to-fine
+	// path; FullFixes counts full-grid likelihood fixes (including gated
+	// attempts that fell back). Fixes = GatedFixes + FullFixes for the
+	// BLoc estimators.
+	GatedFixes, FullFixes uint64
+	// FallbackDisagree/FallbackLowConf/FallbackNoPeaks count gated
+	// attempts that fell back to the full grid, by trigger: coarse argmax
+	// outside the prior ellipse, a flat coarse surface selecting too many
+	// tiles, and a refined surface yielding no scoreable peak.
+	FallbackDisagree, FallbackLowConf, FallbackNoPeaks uint64
+	// TilesRefined/TilesTotal accumulate, over gated fixes, how many
+	// refinement tiles were evaluated out of how many the room has — the
+	// refined-area fraction is TilesRefined/TilesTotal.
+	TilesRefined, TilesTotal uint64
 }
 
 // Stats returns the engine's cumulative performance counters, folding in
@@ -150,13 +291,20 @@ func (e *Engine) Stats() Stats {
 	ph, pm := e.polarPool.Counters()
 	xh, xm := e.xyPool.Counters()
 	return Stats{
-		Fixes:       e.statFixes.Load(),
-		PlaneBuilds: e.statPlaneBuilds.Load(),
-		TableBytes:  e.statTableBytes.Load(),
-		PoolHits:    e.statPoolHits.Load() + ph + xh,
-		PoolMisses:  e.statPoolMisses.Load() + pm + xm,
-		ProjBuilds:  e.statProjBuilds.Load(),
-		RowsMasked:  e.statRowsMasked.Load(),
+		Fixes:            e.statFixes.Load(),
+		PlaneBuilds:      e.statPlaneBuilds.Load(),
+		TableBytes:       e.statTableBytes.Load(),
+		PoolHits:         e.statPoolHits.Load() + ph + xh,
+		PoolMisses:       e.statPoolMisses.Load() + pm + xm,
+		ProjBuilds:       e.statProjBuilds.Load(),
+		RowsMasked:       e.statRowsMasked.Load(),
+		GatedFixes:       e.statGatedFixes.Load(),
+		FullFixes:        e.statFullFixes.Load(),
+		FallbackDisagree: e.statFallbackDisagree.Load(),
+		FallbackLowConf:  e.statFallbackLowConf.Load(),
+		FallbackNoPeaks:  e.statFallbackNoPeaks.Load(),
+		TilesRefined:     e.statTilesRefined.Load(),
+		TilesTotal:       e.statTilesTotal.Load(),
 	}
 }
 
@@ -176,6 +324,10 @@ func NewEngine(anchors []geom.Array, cfg Config) (*Engine, error) {
 	}
 	if cfg.EntropyStride < 1 {
 		return nil, fmt.Errorf("core: entropy stride %d must be positive", cfg.EntropyStride)
+	}
+	cfg.Gate = cfg.Gate.withDefaults()
+	if !cfg.Gate.valid() {
+		return nil, fmt.Errorf("core: invalid gate config %+v", cfg.Gate)
 	}
 	e := &Engine{cfg: cfg, anchors: anchors}
 

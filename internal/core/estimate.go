@@ -15,6 +15,19 @@ type Result struct {
 	Estimate   geom.Point  // the reported tag position
 	Candidates []Candidate // every scored likelihood peak
 	Likelihood *dsp.Grid   // the combined XY likelihood (shared, do not mutate)
+
+	// Gated reports whether the fix was served by the prior-gated
+	// coarse-to-fine path (LocateOpts with a Prior); its Likelihood is
+	// then zero outside the refined tiles.
+	Gated bool
+	// Fallback names the gate-refusal reason (FallbackDisagree,
+	// FallbackLowConf, FallbackNoPeaks) when a gated attempt fell back
+	// to the full grid; empty for gated successes and fixes that never
+	// attempted the gate.
+	Fallback string
+	// TilesRefined / TilesTotal report, for gated fixes, how many
+	// refinement tiles were evaluated out of how many the room has.
+	TilesRefined, TilesTotal int
 }
 
 // Locate runs the full BLoc pipeline on a snapshot against the paper's
@@ -61,6 +74,7 @@ func (e *Engine) locateAlpha(a *Alpha, selector func([]Candidate) (Candidate, bo
 		return nil, fmt.Errorf("core: no likelihood peaks found")
 	}
 	e.statFixes.Add(1)
+	e.statFullFixes.Add(1)
 	return &Result{Estimate: best.Loc, Candidates: cands, Likelihood: grid}, nil
 }
 

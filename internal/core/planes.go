@@ -207,6 +207,25 @@ type planeSet struct {
 	// antenna spacing: the per-antenna rotation of Eq. 15/17's inner sum.
 	steps [][]complex128
 
+	// stepPows[s][(t*K+k)*P + p-1] = steps[s][t*K+k]^p for p = 1..P,
+	// P = maxAntennas−1. The float64 oracle kernel computes these powers
+	// with a serial rotor chain per band; the chain's multiply latency is
+	// what bounds that loop, so the gated kernels read the precomputed
+	// powers instead and the beamforming sum becomes a short independent
+	// dot product. nil when every anchor has a single antenna.
+	stepPows [][]complex128
+	// stepP is P above: the number of powers stored per (θ row, band).
+	stepP int
+
+	// Float32 SoA lanes of the base distance steering for the gated
+	// path's kernels (polar32.go): the full-resolution mirror of
+	// baseRe/baseIm, plus the Δ-decimated coarse lanes the coarse pass
+	// reads contiguously (cd ← d = cd·CoarseDeltaStep). Half the memory
+	// traffic of the float64 planes; the float64 path above stays the
+	// 1e-9 golden-oracle kernel.
+	baseRe32, baseIm32   []float32 // [k*D + d]
+	cbaseRe32, cbaseIm32 []float32 // [k*cD + cd]
+
 	bytes int
 }
 
@@ -282,12 +301,25 @@ func (e *Engine) buildPlanes(freqs []float64) *planeSet {
 	for k, f := range freqs {
 		ps.w[k] = 2 * math.Pi * f / rfsim.SpeedOfLight
 	}
+	ds := e.cfg.Gate.CoarseDeltaStep
+	cD := (D + ds - 1) / ds
+	ps.baseRe32 = make([]float32, K*D)
+	ps.baseIm32 = make([]float32, K*D)
+	ps.cbaseRe32 = make([]float32, K*cD)
+	ps.cbaseIm32 = make([]float32, K*cD)
 	for k := 0; k < K; k++ {
 		row := k * D
+		crow := k * cD
 		for d, delta := range e.deltas {
 			s, c := math.Sincos(ps.w[k] * delta)
 			ps.baseRe[row+d] = c
 			ps.baseIm[row+d] = s
+			ps.baseRe32[row+d] = float32(c)
+			ps.baseIm32[row+d] = float32(s)
+			if d%ds == 0 {
+				ps.cbaseRe32[crow+d/ds] = float32(c)
+				ps.cbaseIm32[crow+d/ds] = float32(s)
+			}
 		}
 	}
 	for i := range e.anchors {
@@ -309,8 +341,32 @@ func (e *Engine) buildPlanes(freqs []float64) *planeSet {
 		}
 		ps.steps[si] = st
 	}
+	maxJ := 0
+	for _, arr := range e.anchors {
+		if arr.N > maxJ {
+			maxJ = arr.N
+		}
+	}
+	if P := maxJ - 1; P > 0 {
+		ps.stepP = P
+		ps.stepPows = make([][]complex128, len(e.spacings))
+		for si := range e.spacings {
+			st := ps.steps[si]
+			pw := make([]complex128, T*K*P)
+			for tk, step := range st {
+				cur := step
+				for p := 0; p < P; p++ {
+					pw[tk*P+p] = cur
+					cur *= step
+				}
+			}
+			ps.stepPows[si] = pw
+		}
+	}
 	ps.bytes = len(ps.freqs)*8 + len(ps.w)*8 +
 		(len(ps.baseRe)+len(ps.baseIm))*8 +
-		len(ps.phase)*K*16 + len(ps.steps)*T*K*16
+		(len(ps.baseRe32)+len(ps.baseIm32)+len(ps.cbaseRe32)+len(ps.cbaseIm32))*4 +
+		len(ps.phase)*K*16 + len(ps.steps)*T*K*16 +
+		len(ps.stepPows)*T*K*ps.stepP*16
 	return ps
 }

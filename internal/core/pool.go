@@ -115,6 +115,74 @@ func growInts(s []int, n int) []int {
 	return s
 }
 
+// gatedRun is the reusable workspace of one gated fix (gated.go): the
+// coarse polar/combined planes, the per-anchor coarse maxima, the
+// refinement polar plane with its per-row spans, the tile-selection
+// masks and the painted-value staging buffer. The struct owns all of
+// its slices; recycling the struct recycles every buffer at once.
+type gatedRun struct {
+	active       []int
+	cpolar       []float32    // decimated polar plane (cT·cD)
+	ccomb        []float32    // coarse combined XY plane (cnx·cny)
+	cvals        []float32    // one anchor's projected coarse values
+	cmax         []float64    // per-anchor coarse map maximum
+	acc          []float32    // re/im accumulator planes (2·D)
+	polar        []float32    // full-resolution polar plane (T·D)
+	rowLo, rowHi []int32      // per-θ-row Δ spans of the selected tiles
+	sel, dil     []bool       // tile selection mask and its 1-ring dilation
+	vals         []float32    // painted tile values awaiting normalization
+	avp          []complex128 // folded beamforming coefficients (bfCoeffs)
+}
+
+func (e *Engine) getGatedRun() *gatedRun {
+	if r, ok := e.gatedPool.Get().(*gatedRun); ok {
+		e.statPoolHits.Add(1)
+		return r
+	}
+	e.statPoolMisses.Add(1)
+	return &gatedRun{}
+}
+
+func (e *Engine) putGatedRun(r *gatedRun) { e.gatedPool.Put(r) }
+
+// growF32 and friends resize a scratch slice to length n, reusing
+// capacity. Contents are stale — callers clear() the buffers that are
+// read before being fully painted.
+func growF32(s []float32, n int) []float32 {
+	if cap(s) < n {
+		return make([]float32, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growC128(s []complex128, n int) []complex128 {
+	if cap(s) < n {
+		return make([]complex128, n)
+	}
+	return s[:n]
+}
+
 // alphaBox is a pooled corrected-channel workspace: one flat backing
 // array for all K×I×J α values (plus the presence mask), with the nested
 // slice headers Alpha's shape requires carved out once.

@@ -18,8 +18,38 @@ type Candidate struct {
 
 // candidates extracts likelihood peaks and computes their Eq. 18 scores.
 func (e *Engine) candidates(grid *dsp.Grid) []Candidate {
+	return e.candidatesIn(grid, 0, 0, grid.W, grid.H)
+}
+
+// candidatesIn is candidates with the peak scan restricted to the
+// half-open cell rect [x0,x1)×[y0,y1). The caller guarantees every
+// above-threshold cell lies inside the rect (the gated path paints only
+// there), so the rect maximum is the global maximum and the restricted
+// scan reports the same peaks as a full one.
+func (e *Engine) candidatesIn(grid *dsp.Grid, x0, y0, x1, y1 int) []Candidate {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > grid.W {
+		x1 = grid.W
+	}
+	if y1 > grid.H {
+		y1 = grid.H
+	}
+	var gmax float64
+	for iy := y0; iy < y1; iy++ {
+		row := grid.Data[iy*grid.W+x0 : iy*grid.W+x1]
+		for _, v := range row {
+			if v > gmax {
+				gmax = v
+			}
+		}
+	}
 	peakBuf := e.getPeaks()
-	peaks := grid.FindPeaksInto(*peakBuf, e.cfg.PeakMinFrac, e.cfg.PeakMinSepCells)
+	peaks := grid.FindPeaksRectInto(*peakBuf, e.cfg.PeakMinFrac, e.cfg.PeakMinSepCells, gmax, x0, y0, x1, y1)
 	out := make([]Candidate, 0, len(peaks))
 	scratch := e.getFloats(e.cfg.EntropyWindow * e.cfg.EntropyWindow)
 	for _, p := range peaks {

@@ -96,14 +96,38 @@ func (g *Grid) FindPeaks(minFrac float64, minSep int) []Peak {
 // recycled buffer), so steady-state callers can keep peak extraction
 // allocation-free. The returned slice aliases dst's backing array.
 func (g *Grid) FindPeaksInto(dst []Peak, minFrac float64, minSep int) []Peak {
-	candidates := dst[:0]
 	gmax, _, _ := g.Max()
+	return g.FindPeaksRectInto(dst, minFrac, minSep, gmax, 0, 0, g.W, g.H)
+}
+
+// FindPeaksRectInto is FindPeaksInto with the candidate scan restricted
+// to the half-open cell rect [x0,x1)×[y0,y1) and the acceptance
+// threshold anchored to the supplied global maximum gmax instead of a
+// full-grid scan. Neighborhood tests still read the whole grid, so a
+// peak on the rect edge is judged against its true neighbors. Callers
+// that know every above-threshold cell lies inside the rect (e.g. a
+// surface painted only inside it) get FindPeaksInto semantics at a
+// fraction of the scan cost.
+func (g *Grid) FindPeaksRectInto(dst []Peak, minFrac float64, minSep int, gmax float64, x0, y0, x1, y1 int) []Peak {
+	candidates := dst[:0]
 	if gmax <= 0 {
 		return candidates
 	}
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > g.W {
+		x1 = g.W
+	}
+	if y1 > g.H {
+		y1 = g.H
+	}
 	thresh := gmax * minFrac
-	for iy := 0; iy < g.H; iy++ {
-		for ix := 0; ix < g.W; ix++ {
+	for iy := y0; iy < y1; iy++ {
+		for ix := x0; ix < x1; ix++ {
 			v := g.At(ix, iy)
 			if v < thresh {
 				continue

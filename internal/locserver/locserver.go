@@ -141,6 +141,11 @@ type RoundInfo struct {
 	// the snapshot itself is CSI-grade, but the serve mode routed it to
 	// the cheap fix to shed load. Degraded implies Coarse.
 	Degraded bool
+	// Tracked reports whether the tag had enough recent fix history at
+	// admission time to count as tracked (the same signal admission
+	// control prioritizes on). Estimators holding a motion tracker can
+	// use it to arm the prior-gated search for this fix.
+	Tracked bool
 }
 
 // Stats counts round outcomes and data-quality events.

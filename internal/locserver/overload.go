@@ -265,6 +265,7 @@ func (s *Server) updateModeLocked() {
 // Server.mu.
 func (s *Server) enqueueFixLocked(job *fixJob) {
 	tracked := s.trackedLocked(job.info.Tag)
+	job.info.Tracked = tracked
 	if s.mode == modeShedding && !tracked {
 		s.stats.OverloadShed++
 		s.log.Debug("round shed (untracked tag in shedding mode)",

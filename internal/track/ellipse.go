@@ -1,0 +1,68 @@
+package track
+
+import (
+	"math"
+
+	"bloc/internal/geom"
+)
+
+// Ellipse is a confidence region of the filter's position estimate: the
+// level set of the position-covariance Gaussian at k standard deviations,
+// centered on the state mean.
+type Ellipse struct {
+	// Center is the track's position estimate.
+	Center geom.Point
+	// SemiMajor and SemiMinor are the ellipse semi-axes in meters
+	// (SemiMajor ≥ SemiMinor ≥ 0).
+	SemiMajor, SemiMinor float64
+	// Theta is the orientation of the major axis, radians CCW from +x.
+	Theta float64
+}
+
+// Contains reports whether q lies inside the ellipse grown by margin
+// meters on both axes.
+func (e Ellipse) Contains(q geom.Point, margin float64) bool {
+	a := e.SemiMajor + margin
+	b := e.SemiMinor + margin
+	if a <= 0 || b <= 0 {
+		return false
+	}
+	d := q.Sub(e.Center)
+	s, c := math.Sincos(e.Theta)
+	u := d.X*c + d.Y*s
+	v := -d.X*s + d.Y*c
+	return (u/a)*(u/a)+(v/b)*(v/b) <= 1
+}
+
+// ConfidenceEllipse returns the k-sigma confidence ellipse of the track's
+// position: the 2×2 position block of the state covariance is
+// eigendecomposed analytically, the semi-axes are k·sqrt(eigenvalue) and
+// the orientation follows the dominant eigenvector. It reports ok=false
+// when the track holds no state, k is not positive, or the covariance
+// block is non-finite or indefinite — callers gate the prior-driven
+// search on ok, falling back to a full evaluation.
+func (f *Filter) ConfidenceEllipse(k float64) (Ellipse, bool) {
+	if !f.initialized || !(k > 0) {
+		return Ellipse{}, false
+	}
+	pxx, pxy, pyy := f.p[0][0], f.p[0][1], f.p[1][1]
+	if !finite(pxx) || !finite(pxy) || !finite(pyy) || pxx < 0 || pyy < 0 {
+		return Ellipse{}, false
+	}
+	// Eigenvalues of [[pxx, pxy], [pxy, pyy]]: mean ± sqrt(((pxx−pyy)/2)² + pxy²).
+	mean := (pxx + pyy) / 2
+	disc := math.Hypot((pxx-pyy)/2, pxy)
+	l1, l2 := mean+disc, mean-disc
+	if l1 < 0 {
+		return Ellipse{}, false
+	}
+	if l2 < 0 {
+		l2 = 0 // numerical round-off on a near-singular block
+	}
+	return Ellipse{
+		Center:    f.Position(),
+		SemiMajor: k * math.Sqrt(l1),
+		SemiMinor: k * math.Sqrt(l2),
+		Theta:     0.5 * math.Atan2(2*pxy, pxx-pyy),
+	}, true
+}

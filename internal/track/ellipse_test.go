@@ -1,0 +1,161 @@
+package track
+
+import (
+	"math"
+	"testing"
+
+	"bloc/internal/geom"
+)
+
+// restoreCov builds an initialized filter with the given position
+// covariance block (velocity block identity).
+func restoreCov(t *testing.T, x, y, pxx, pxy, pyy float64) *Filter {
+	t.Helper()
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := FilterState{Initialized: true, X: [4]float64{x, y, 0, 0}}
+	st.P[0], st.P[1], st.P[4], st.P[5] = pxx, pxy, pxy, pyy
+	st.P[10], st.P[15] = 1, 1
+	if err := f.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfidenceEllipseUninitialized(t *testing.T) {
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.ConfidenceEllipse(3); ok {
+		t.Fatal("uninitialized filter must not report an ellipse")
+	}
+}
+
+func TestConfidenceEllipseBadK(t *testing.T) {
+	f := restoreCov(t, 0, 0, 1, 0, 1)
+	for _, k := range []float64{0, -1, math.NaN()} {
+		if _, ok := f.ConfidenceEllipse(k); ok {
+			t.Fatalf("k=%v must not yield an ellipse", k)
+		}
+	}
+}
+
+func TestConfidenceEllipseIsotropic(t *testing.T) {
+	f := restoreCov(t, 1.5, -2, 0.25, 0, 0.25)
+	e, ok := f.ConfidenceEllipse(3)
+	if !ok {
+		t.Fatal("expected ellipse")
+	}
+	if e.Center != geom.Pt(1.5, -2) {
+		t.Fatalf("center %v", e.Center)
+	}
+	// Isotropic σ = 0.5 m → both semi-axes k·σ = 1.5 m.
+	if math.Abs(e.SemiMajor-1.5) > 1e-12 || math.Abs(e.SemiMinor-1.5) > 1e-12 {
+		t.Fatalf("axes %v / %v, want 1.5 / 1.5", e.SemiMajor, e.SemiMinor)
+	}
+}
+
+func TestConfidenceEllipseAxisAligned(t *testing.T) {
+	// Var(x) = 4, Var(y) = 1: major axis along x with semi-axis 2k.
+	f := restoreCov(t, 0, 0, 4, 0, 1)
+	e, ok := f.ConfidenceEllipse(2)
+	if !ok {
+		t.Fatal("expected ellipse")
+	}
+	if math.Abs(e.SemiMajor-4) > 1e-12 || math.Abs(e.SemiMinor-2) > 1e-12 {
+		t.Fatalf("axes %v / %v, want 4 / 2", e.SemiMajor, e.SemiMinor)
+	}
+	if math.Abs(e.Theta) > 1e-12 {
+		t.Fatalf("theta %v, want 0", e.Theta)
+	}
+
+	// Swapped: major axis along y.
+	f = restoreCov(t, 0, 0, 1, 0, 4)
+	e, ok = f.ConfidenceEllipse(2)
+	if !ok {
+		t.Fatal("expected ellipse")
+	}
+	if math.Abs(e.SemiMajor-4) > 1e-12 || math.Abs(e.SemiMinor-2) > 1e-12 {
+		t.Fatalf("axes %v / %v, want 4 / 2", e.SemiMajor, e.SemiMinor)
+	}
+	if math.Abs(math.Abs(e.Theta)-math.Pi/2) > 1e-12 {
+		t.Fatalf("theta %v, want ±π/2", e.Theta)
+	}
+}
+
+func TestConfidenceEllipseRotated(t *testing.T) {
+	// R(φ)·diag(4, 1)·R(φ)ᵀ for φ = 30°: the recovered orientation and
+	// axes must match the construction.
+	phi := math.Pi / 6
+	s, c := math.Sincos(phi)
+	pxx := 4*c*c + 1*s*s
+	pyy := 4*s*s + 1*c*c
+	pxy := (4 - 1) * s * c
+	f := restoreCov(t, 0, 0, pxx, pxy, pyy)
+	e, ok := f.ConfidenceEllipse(1)
+	if !ok {
+		t.Fatal("expected ellipse")
+	}
+	if math.Abs(e.SemiMajor-2) > 1e-12 || math.Abs(e.SemiMinor-1) > 1e-12 {
+		t.Fatalf("axes %v / %v, want 2 / 1", e.SemiMajor, e.SemiMinor)
+	}
+	if math.Abs(e.Theta-phi) > 1e-12 {
+		t.Fatalf("theta %v, want %v", e.Theta, phi)
+	}
+}
+
+func TestConfidenceEllipseContains(t *testing.T) {
+	e := Ellipse{Center: geom.Pt(1, 1), SemiMajor: 2, SemiMinor: 1, Theta: 0}
+	cases := []struct {
+		p      geom.Point
+		margin float64
+		want   bool
+	}{
+		{geom.Pt(1, 1), 0, true},      // center
+		{geom.Pt(2.9, 1), 0, true},    // inside along major axis
+		{geom.Pt(3.5, 1), 0, false},   // outside along major axis
+		{geom.Pt(3.5, 1), 1, true},    // ... but inside with margin
+		{geom.Pt(1, 2.5), 0, false},   // outside along minor axis
+		{geom.Pt(1, 1.95), 0, true},   // inside along minor axis
+		{geom.Pt(2.8, 1.8), 0, false}, // outside the diagonal
+	}
+	for _, tc := range cases {
+		if got := e.Contains(tc.p, tc.margin); got != tc.want {
+			t.Errorf("Contains(%v, %v) = %v, want %v", tc.p, tc.margin, got, tc.want)
+		}
+	}
+}
+
+func TestConfidenceEllipseShrinksWithFixes(t *testing.T) {
+	// Feeding a static tag repeated fixes must shrink the ellipse: the
+	// steady-state prior is what the gated search exploits.
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Update(geom.Pt(2, 3), 0.025); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := f.ConfidenceEllipse(3)
+	if !ok {
+		t.Fatal("expected ellipse after first fix")
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, err := f.Update(geom.Pt(2, 3), 0.025); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settled, ok := f.ConfidenceEllipse(3)
+	if !ok {
+		t.Fatal("expected ellipse after settling")
+	}
+	if settled.SemiMajor >= first.SemiMajor {
+		t.Fatalf("ellipse did not shrink: first %v, settled %v", first.SemiMajor, settled.SemiMajor)
+	}
+	if settled.SemiMajor <= 0 || settled.SemiMinor <= 0 {
+		t.Fatalf("degenerate settled ellipse %+v", settled)
+	}
+}
