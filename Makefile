@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race soak chaos drill overload stress vet lint ci fuzz bench bench-check perf figures figures-full clean
+.PHONY: all build test race soak chaos chaos-cells drill overload stress vet lint ci fuzz bench bench-check perf figures figures-full clean
 
 all: vet lint test build
 
@@ -29,6 +29,20 @@ soak:
 chaos:
 	$(GO) test -race -count=3 -run 'Corrupter|Quality|Health|Reelection|FaultDrill' \
 		./internal/locserver/ ./internal/csi/ ./internal/faultnet/
+
+# Cell-kill chaos drill: the supervised fleet (DESIGN.md §15) under the
+# race detector — a cell killed mid-10×-burst by a scheduled panic must
+# leave surviving cells bit-identical to a no-fault run, degrade its own
+# tags to flagged coarse neighbor fixes while down, warm-restart from
+# its last checkpoint inside the backoff budget, and match the injected
+# schedule on every restart/panic/breaker counter. Plus the supervisor
+# state machine, the per-link circuit breaker, the fleet router, the
+# shutdown idempotence regressions and the durable-store concurrency
+# drill that back it.
+chaos-cells:
+	$(GO) test -race -count=1 \
+		-run 'ChaosCells|Supervisor|Breaker|Fleet|CellKiller|DrainClose|StoreConcurrent' \
+		./internal/locserver/ ./internal/faultnet/ ./internal/durable/
 
 # Durability drills: the snapshot codec/store suite plus the
 # kill-and-restart, snapshot-corruption and graceful-drain scenarios,
@@ -80,7 +94,7 @@ lint: build
 	$(GO) run ./cmd/bloc-lint -unused-ignores ./...
 
 # Everything CI runs, in CI's order.
-ci: vet lint test race soak chaos drill overload stress
+ci: vet lint test race soak chaos chaos-cells drill overload stress
 
 # Native fuzzing smoke pass: the wire protocol and the durable snapshot
 # decoder, each over its seed corpus (go test allows one -fuzz package

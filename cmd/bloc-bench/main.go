@@ -7,7 +7,7 @@
 //
 //	bloc-bench [-positions 300] [-seed 7] [-exp all|fig4|fig6|fig8a|fig8b|
 //	            fig9a|fig9b|fig9c|fig10|fig11|fig12|fig13|ablations|quorum|
-//	            failover|restart|overload|gated|perf] [-out dir]
+//	            failover|restart|overload|cellkill|gated|perf] [-out dir]
 //
 // The paper used 1700 positions; -positions 1700 reproduces that scale
 // (several minutes of CPU), while the default 300 keeps the shape of every
@@ -33,7 +33,7 @@ func main() {
 	var (
 		positions = flag.Int("positions", 300, "dataset size (paper: 1700)")
 		seed      = flag.Uint64("seed", 7, "simulation seed")
-		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, failover, restart, overload, gated, perf, or all)")
+		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, failover, restart, overload, cellkill, gated, perf, or all)")
 		out       = flag.String("out", "", "directory for CSV series (optional)")
 
 		// -exp perf flags.
@@ -82,6 +82,12 @@ func main() {
 		ov, err := eval.AblationOverload(*seed)
 		check(err)
 		fmt.Println(eval.OverloadTable(ov))
+	}
+	// The cell-kill drill runs two live in-process fleets; no dataset.
+	if want("cellkill") && *exp != "all" { // "all" covers it inside runAblations
+		ck, err := eval.AblationCellKill(*seed)
+		check(err)
+		fmt.Println(eval.CellKillTable(ck))
 	}
 	// The gated ablation walks its own tag trajectories; no dataset.
 	if want("gated") && *exp != "all" { // "all" covers it inside runAblations
@@ -215,6 +221,10 @@ func runAblations(suite *eval.Suite, seed uint64, positions int) {
 	ov, err := eval.AblationOverload(seed)
 	check(err)
 	fmt.Println(eval.OverloadTable(ov))
+
+	ck, err := eval.AblationCellKill(seed)
+	check(err)
+	fmt.Println(eval.CellKillTable(ck))
 
 	gs, err := eval.AblationGated(seed, gatedSteps)
 	check(err)

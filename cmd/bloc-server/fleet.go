@@ -1,0 +1,257 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"bloc/internal/core"
+	"bloc/internal/csi"
+	"bloc/internal/durable"
+	"bloc/internal/geom"
+	"bloc/internal/locserver"
+	"bloc/internal/testbed"
+)
+
+// fleetOpts carries the parsed flags into the -cells > 1 path.
+type fleetOpts struct {
+	cells    int
+	listen   string
+	dep      *testbed.Deployment // per-cell deployment template (geometry shared)
+	logger   *slog.Logger
+	anchors  int // per cell
+	antennas int
+	seed     uint64
+
+	deadline    time.Duration
+	minAnchors  int
+	minBands    int
+	heartbeat   time.Duration
+	statsIvl    time.Duration
+	calibrate   bool
+	stateDir    string
+	ckptIvl     time.Duration
+	stateTTL    time.Duration
+	drainWait   time.Duration
+	fixWorkers  int
+	fixQueue    int
+	fixBudget   time.Duration
+	adaptiveDdl bool
+	breaker     locserver.BreakerConfig
+}
+
+// cellAddrs derives each cell's listen address from the base -listen:
+// consecutive ports from the base port, or all-ephemeral when it is 0.
+func cellAddrs(listen string, cells int) ([]string, error) {
+	host, portStr, err := net.SplitHostPort(listen)
+	if err != nil {
+		return nil, fmt.Errorf("-listen %q: %w", listen, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("-listen port %q: %w", portStr, err)
+	}
+	addrs := make([]string, cells)
+	for i := range addrs {
+		p := "0"
+		if port != 0 {
+			p = strconv.Itoa(port + i)
+		}
+		addrs[i] = net.JoinHostPort(host, p)
+	}
+	return addrs, nil
+}
+
+// runFleet serves as a supervised multi-cell fleet: every cell owns its
+// anchors, engine, tag state and snapshot store, and a panic inside one
+// cell never reaches the others.
+func runFleet(o fleetOpts) {
+	addrs, err := cellAddrs(o.listen, o.cells)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-cell planes. All cells share the deployment's geometry (each
+	// serves a congruent set of anchors), so one calibration estimate
+	// seeds every cell's tag state.
+	engines := make([]*core.Engine, o.cells)
+	states := make([]*tagState, o.cells)
+	for i := range engines {
+		eng, err := core.NewEngine(o.dep.Anchors, core.DefaultConfig(o.dep.Env.Room))
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines[i] = eng
+		states[i] = newTagState()
+	}
+
+	var ckpt func(cell int) *locserver.CheckpointConfig
+	if o.stateDir != "" {
+		stores := make([]*durable.Store, o.cells)
+		for i := range stores {
+			st, err := durable.Open(fmt.Sprintf("%s/cell-%d", o.stateDir, i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			stores[i] = st
+		}
+		ckpt = func(cell int) *locserver.CheckpointConfig {
+			ts := states[cell]
+			return &locserver.CheckpointConfig{
+				Store:    stores[cell],
+				Interval: o.ckptIvl,
+				StateTTL: o.stateTTL,
+				Export:   ts.export,
+				Restore: func(ext durable.External) error {
+					return ts.restore(ext, o.logger.With("cell", cell))
+				},
+			}
+		}
+	}
+
+	f, err := locserver.NewFleet(locserver.FleetConfig{
+		Cells:     o.cells,
+		CellAddrs: addrs,
+		Cell: locserver.Config{
+			Anchors:           o.anchors,
+			Antennas:          o.antennas,
+			Bands:             o.dep.Bands,
+			RoundDeadline:     o.deadline,
+			MinAnchors:        o.minAnchors,
+			MinBands:          o.minBands,
+			HeartbeatInterval: o.heartbeat,
+			FixWorkers:        o.fixWorkers,
+			FixQueueDepth:     o.fixQueue,
+			FixBudget:         o.fixBudget,
+			AdaptiveDeadline:  o.adaptiveDdl,
+			Breaker:           o.breaker,
+		},
+		OnSnapshot: func(cell int, info locserver.RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
+			ts, eng := states[cell], engines[cell]
+			if info.Coarse {
+				res, err := eng.LocateRSSI(snap)
+				if err != nil {
+					return geom.Point{}, err
+				}
+				return ts.smooth(info.Tag, res.Estimate), nil
+			}
+			if cal := ts.calibration(); cal != nil {
+				corrected, err := cal.Apply(snap)
+				if err == nil {
+					snap = corrected
+				} else {
+					o.logger.Warn("calibration apply failed, using raw snapshot", "cell", cell, "err", err)
+				}
+			}
+			var prior *core.Prior
+			if info.Tracked {
+				prior = ts.prior(info.Tag)
+			}
+			res, err := eng.LocateOpts(snap, core.LocateOptions{Ref: info.Ref, Prior: prior})
+			if err != nil {
+				return geom.Point{}, err
+			}
+			if prior != nil {
+				ts.observe(info.Tag, res)
+			}
+			return ts.smooth(info.Tag, res.Estimate), nil
+		},
+		Checkpoint: ckpt,
+		Supervisor: locserver.SupervisorConfig{Seed: o.seed},
+		Logger:     o.logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One shared calibration estimate (skipped per cell when a fresh
+	// snapshot already restored one).
+	if o.calibrate {
+		d := o.dep.Fork(0xCA11)
+		meas, txPos := d.CalibrationSounding()
+		freqs := make([]float64, len(d.Bands))
+		for k, ch := range d.Bands {
+			freqs[k] = ch.CenterFreq()
+		}
+		cal, err := core.EstimateCalibration(d.Anchors, txPos, freqs, meas)
+		if err != nil {
+			o.logger.Error("calibration failed, continuing uncalibrated", "err", err)
+		} else {
+			for _, ts := range states {
+				if ts.calibration() == nil {
+					ts.setCalibration(cal)
+				}
+			}
+			o.logger.Info("array calibrated", "max_err_deg", cal.MaxErrorDeg())
+		}
+	}
+	for i := 0; i < o.cells; i++ {
+		o.logger.Info("cell listening", "cell", i, "addr", f.CellAddr(i))
+	}
+	o.logger.Info("bloc-server fleet up", "cells", o.cells,
+		"anchors_per_cell", o.anchors, "durable", o.stateDir != "")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if o.statsIvl > 0 {
+		go func() {
+			//lint:ignore clockcheck operator stats cadence is wall-clock by design
+			tick := time.NewTicker(o.statsIvl)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					fs := f.Stats()
+					agg := fs.Agg
+					o.logger.Info("fleet stats",
+						"rounds_full", agg.Full,
+						"rounds_partial", agg.Partial,
+						"rounds_coarse", agg.Coarse,
+						"rounds_evicted", agg.Evicted,
+						"rows_rejected", agg.RowsRejected,
+						"checkpoints", agg.Checkpoints,
+						"warm_restores", agg.WarmRestores,
+						"queue_peak", agg.QueuePeak,
+						"overload_degraded", agg.OverloadDegraded,
+						"overload_shed", agg.OverloadShed,
+						"panics_recovered", agg.PanicsRecovered,
+						"breaker_opens", agg.BreakerOpens,
+						"breaker_probes", agg.BreakerProbes,
+						"breaker_skips", agg.BreakerSkips,
+						"cell_restarts", agg.CellRestarts,
+						"cells_quarantined", agg.CellsQuarantined,
+						"fallback_fixes", fs.FallbackFixes,
+						"routed_tags", fs.RoutedTags,
+					)
+					for _, cs := range fs.Cells {
+						if !cs.Running || cs.State != "healthy" {
+							o.logger.Warn("cell unhealthy", "cell", cs.Cell,
+								"running", cs.Running, "state", cs.State, "restarts", cs.Restarts)
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	stop()
+	o.logger.Info("signal received, draining fleet", "timeout", o.drainWait)
+	dctx, cancel := context.WithTimeout(context.Background(), o.drainWait)
+	defer cancel()
+	if err := f.Drain(dctx); err != nil {
+		o.logger.Error("drain", "err", err)
+		os.Exit(1)
+	}
+	o.logger.Info("drained cleanly")
+}

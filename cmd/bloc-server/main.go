@@ -9,7 +9,8 @@
 //	            [-heartbeat 2s] [-stats 1m] [-calibrate]
 //	            [-state-dir dir] [-checkpoint 2s] [-state-ttl 1h]
 //	            [-drain-timeout 10s] [-fix-workers 2] [-fix-queue 64]
-//	            [-fix-budget 0] [-adaptive-deadline]
+//	            [-fix-budget 0] [-adaptive-deadline] [-cells 1]
+//	            [-breaker-threshold 3] [-breaker-cooldown 2s]
 //
 // The seed must match the anchors' seed: it defines the shared simulated
 // deployment geometry the localization engine needs. Rounds that miss the
@@ -34,6 +35,17 @@
 // budget is dropped, not delivered stale. -adaptive-deadline tightens the
 // round deadline to the live p95 arrival latency of punctual anchors and
 // excludes hysteretically-marked laggy anchors from quorum waits.
+//
+// With -cells N (N > 1) the server runs as a supervised fleet (DESIGN.md
+// §15): N fault-isolated cells, each owning -anchors anchors, its own
+// engine and tag state, listening on consecutive ports from -listen and
+// checkpointing to -state-dir/cell-<i>. A cell that panics is restarted
+// by its supervisor with exponential backoff and warm-restores from its
+// own snapshots; while it is down, its tags degrade to flagged coarse
+// fallback fixes computed by a neighbor cell. Writes to every anchor
+// link sit behind a per-link circuit breaker: -breaker-threshold
+// consecutive failures open it (skipping further writes), and after
+// -breaker-cooldown a single half-open probe decides whether it closes.
 package main
 
 import (
@@ -229,6 +241,10 @@ func main() {
 		fixQueue    = flag.Int("fix-queue", 64, "bounded fix-queue depth (admission-control watermarks derive from it)")
 		fixBudget   = flag.Duration("fix-budget", 0, "per-round latency budget first row→broadcast; exhausted fixes are dropped (0 disables)")
 		adaptiveDdl = flag.Bool("adaptive-deadline", false, "adapt the round deadline to the live p95 of punctual anchors (requires -round-deadline > 0)")
+
+		cells        = flag.Int("cells", 1, "supervised fault-isolated cells; >1 shards -anchors-per-cell across consecutive ports (DESIGN.md §15)")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive send failures opening an anchor link's circuit breaker (<0 disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before the half-open probe")
 	)
 	flag.Parse()
 
@@ -246,6 +262,21 @@ func main() {
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if *cells > 1 {
+		runFleet(fleetOpts{
+			cells: *cells, listen: *listen, dep: dep, logger: logger,
+			anchors: *anchors, antennas: *antennas, seed: *seed,
+			deadline: *deadline, minAnchors: *minAnch, minBands: *minBands,
+			heartbeat: *heartbeat, statsIvl: *statsIvl, calibrate: *calibrate,
+			stateDir: *stateDir, ckptIvl: *ckptIvl, stateTTL: *stateTTL,
+			drainWait: *drainWait, fixWorkers: *fixWorkers, fixQueue: *fixQueue,
+			fixBudget: *fixBudget, adaptiveDdl: *adaptiveDdl,
+			breaker: locserver.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		})
+		return
+	}
+
 	ts := newTagState()
 
 	var ckpt *locserver.CheckpointConfig
@@ -278,6 +309,7 @@ func main() {
 		FixQueueDepth:     *fixQueue,
 		FixBudget:         *fixBudget,
 		AdaptiveDeadline:  *adaptiveDdl,
+		Breaker:           locserver.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
 		OnSnapshot: func(info locserver.RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
 			// Degraded rounds carry too few correction-grade rows for the
 			// CSI pipeline; fall back to RSSI-only trilateration.
@@ -395,6 +427,12 @@ func main() {
 						"laggy_marks", ss.LaggyMarks,
 						"laggy_readmits", ss.LaggyReadmits,
 						"early_completions", ss.EarlyCompletions,
+						"panics_recovered", ss.PanicsRecovered,
+						"breaker_opens", ss.BreakerOpens,
+						"breaker_probes", ss.BreakerProbes,
+						"breaker_skips", ss.BreakerSkips,
+						"cell_restarts", ss.CellRestarts,
+						"cells_quarantined", ss.CellsQuarantined,
 					)
 				}
 			}

@@ -1,0 +1,174 @@
+package durable
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// validStateForRound builds a snapshot that passes Validate, carrying the
+// round so readers can check what they restored came from some writer.
+func validStateForRound(round uint32) *State {
+	return &State{
+		Round:   round,
+		Ref:     1,
+		Anchors: []AnchorHealth{{Score: 0.9}, {Score: 0.7, State: 1, Cooldown: 2}},
+		External: External{
+			Calib:  [][]complex128{{complex(1, 0)}, {complex(0, 1)}},
+			Tracks: []TagTrack{{Tag: 7, Initialized: true, X: [4]float64{1, 2, 0, 0}}},
+		},
+	}
+}
+
+// TestStoreConcurrentCheckpointDrainRestore drives the store the way a
+// supervised cell does under churn: checkpoint writers racing restore
+// readers racing cold re-opens of the same directory, then a final
+// drain-style checkpoint and a warm restart. Run under -race; every
+// restore must be a complete, valid snapshot and generations must only
+// move forward.
+func TestStoreConcurrentCheckpointDrainRestore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, savesPerWriter, readers = 3, 25, 3
+	const totalWrites = writers * savesPerWriter
+	var nextRound atomic.Uint32
+	var writersDone atomic.Bool
+	var wg, writerWG sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < savesPerWriter; i++ {
+				if err := store.Save(validStateForRound(nextRound.Add(1))); err != nil {
+					t.Errorf("save: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Restore readers on the shared handle: each Load must be either
+	// ErrNoSnapshot (only before the first write lands) or a snapshot that
+	// passes full validation, and the generation counter they observe must
+	// never run backward.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastGen uint64
+			loaded := false
+			for !writersDone.Load() {
+				st, err := store.Load()
+				if err != nil {
+					if errors.Is(err, ErrNoSnapshot) && !loaded {
+						continue
+					}
+					t.Errorf("load: %v", err)
+					return
+				}
+				loaded = true
+				if verr := st.Validate(); verr != nil {
+					t.Errorf("restored snapshot invalid: %v", verr)
+					return
+				}
+				if st.Round == 0 || st.Round > totalWrites {
+					t.Errorf("restored round %d outside written range [1,%d]", st.Round, totalWrites)
+					return
+				}
+				if st.SavedUnixNano == 0 {
+					t.Error("restored snapshot missing save timestamp")
+					return
+				}
+				if gen := store.Stats().Generation; gen < lastGen {
+					t.Errorf("generation ran backward: %d after %d", gen, lastGen)
+					return
+				} else {
+					lastGen = gen
+				}
+			}
+		}()
+	}
+
+	// A crash-restart path in parallel: cold-open the same directory and
+	// restore from it while checkpoints are still landing. Rename-based
+	// slot publication means a fresh handle must never see a torn file.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			reopened, err := Open(dir)
+			if err != nil {
+				t.Errorf("reopen: %v", err)
+				return
+			}
+			st, err := reopened.Load()
+			if errors.Is(err, ErrNoSnapshot) {
+				continue
+			}
+			if err != nil {
+				t.Errorf("reopen load: %v", err)
+				return
+			}
+			if verr := st.Validate(); verr != nil {
+				t.Errorf("reopen restored invalid snapshot: %v", verr)
+				return
+			}
+			if cs := reopened.Stats(); cs.Corruptions != 0 {
+				t.Errorf("reopen saw %d corrupt slots", cs.Corruptions)
+				return
+			}
+		}
+	}()
+
+	writerWG.Wait()
+	writersDone.Store(true)
+	wg.Wait()
+
+	ss := store.Stats()
+	if ss.Writes != totalWrites {
+		t.Errorf("writes = %d, want %d", ss.Writes, totalWrites)
+	}
+	if ss.Generation != totalWrites {
+		t.Errorf("generation = %d, want %d", ss.Generation, totalWrites)
+	}
+	if ss.Corruptions != 0 || ss.Fallbacks != 0 {
+		t.Errorf("healthy concurrent churn corrupted slots: %+v", ss)
+	}
+	if ss.Restores == 0 {
+		t.Error("no restore was ever served")
+	}
+
+	// Drain: one final checkpoint with a sentinel round, then a warm
+	// restart from a brand-new handle must restore exactly that state and
+	// keep issuing generations above everything already on disk.
+	const sentinel = totalWrites + 1000
+	if err := store.Save(validStateForRound(sentinel)); err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	warm, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := warm.Load()
+	if err != nil {
+		t.Fatalf("warm restore: %v", err)
+	}
+	if st.Round != sentinel {
+		t.Errorf("warm restore round = %d, want final checkpoint %d", st.Round, sentinel)
+	}
+	if got, want := warm.Stats().Generation, uint64(totalWrites+1); got != want {
+		t.Errorf("reopened generation seed = %d, want %d", got, want)
+	}
+	if err := warm.Save(validStateForRound(sentinel + 1)); err != nil {
+		t.Fatalf("post-restart checkpoint: %v", err)
+	}
+	if got, want := warm.Stats().Generation, uint64(totalWrites+2); got != want {
+		t.Errorf("post-restart generation = %d, want %d (must not re-issue old generations)", got, want)
+	}
+}

@@ -1,0 +1,118 @@
+package faultnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cell-kill chaos injection (DESIGN.md §15). Where Conn and DelayConn
+// attack the network, CellKiller attacks the process: it rides the
+// locserver cell hook (Config.Hook / FleetConfig.Hooks) and panics at
+// scheduled points — the Seq'th time a given cell reaches a given hook
+// event — exercising the supervisor's recover/restart cycle instead of
+// the transport's. The schedule is pure arithmetic over hook-event
+// counters, so the same drill kills the same cell at the same ingest or
+// fix on every run, and counters accumulate across cell incarnations:
+// a kill at ingest #500 can land on the restarted cell's watch.
+
+// KillSpec schedules one panic: the Seq'th occurrence (1-based) of
+// Event in Cell. Event is a locserver hook event ("ingest" or "fix").
+type KillSpec struct {
+	Cell  int
+	Event string
+	Seq   uint64
+}
+
+// CellPanic is the panic value a scheduled kill raises, so recovery
+// paths and tests can tell an injected kill from a genuine bug.
+type CellPanic struct {
+	Spec KillSpec
+}
+
+func (p CellPanic) String() string {
+	return fmt.Sprintf("faultnet: scheduled cell kill (cell %d, %s #%d)",
+		p.Spec.Cell, p.Spec.Event, p.Spec.Seq)
+}
+
+// ckKey indexes the per-(cell,event) occurrence counters.
+type ckKey struct {
+	cell  int
+	event string
+}
+
+// CellKiller injects scheduled panics through cell hooks. Safe for
+// concurrent use by every cell's ingest and fix goroutines.
+type CellKiller struct {
+	specs []KillSpec
+
+	mu     sync.Mutex
+	counts map[ckKey]uint64 // hook occurrences seen so far; guarded by mu
+	fired  []KillSpec       // specs whose panic has been raised; guarded by mu
+}
+
+// NewCellKiller validates and arms a kill schedule. Each spec fires
+// exactly once: occurrence counters are monotone, so the Seq'th event
+// is reached exactly once even across cell restarts.
+func NewCellKiller(specs ...KillSpec) (*CellKiller, error) {
+	seen := make(map[KillSpec]bool, len(specs))
+	for _, sp := range specs {
+		if sp.Cell < 0 {
+			return nil, fmt.Errorf("faultnet: kill spec with negative cell %d", sp.Cell)
+		}
+		if sp.Event == "" {
+			return nil, fmt.Errorf("faultnet: kill spec for cell %d with empty event", sp.Cell)
+		}
+		if sp.Seq < 1 {
+			return nil, fmt.Errorf("faultnet: kill spec (cell %d, %s) with seq %d; seqs are 1-based",
+				sp.Cell, sp.Event, sp.Seq)
+		}
+		if seen[sp] {
+			return nil, fmt.Errorf("faultnet: duplicate kill spec (cell %d, %s #%d)",
+				sp.Cell, sp.Event, sp.Seq)
+		}
+		seen[sp] = true
+	}
+	return &CellKiller{
+		specs:  append([]KillSpec(nil), specs...),
+		counts: make(map[ckKey]uint64),
+	}, nil
+}
+
+// Hook returns cell's instrumentation hook: it counts every event and
+// panics with a CellPanic when a scheduled occurrence is reached. Wire
+// it as FleetConfig.Hooks.
+func (k *CellKiller) Hook(cell int) func(event string) {
+	return func(event string) {
+		k.mu.Lock()
+		key := ckKey{cell: cell, event: event}
+		k.counts[key]++
+		n := k.counts[key]
+		var hit *KillSpec
+		for i := range k.specs {
+			sp := &k.specs[i]
+			if sp.Cell == cell && sp.Event == event && sp.Seq == n {
+				k.fired = append(k.fired, *sp)
+				hit = sp
+				break
+			}
+		}
+		k.mu.Unlock()
+		if hit != nil {
+			panic(CellPanic{Spec: *hit})
+		}
+	}
+}
+
+// Fired returns the specs that have panicked so far, in firing order.
+func (k *CellKiller) Fired() []KillSpec {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]KillSpec(nil), k.fired...)
+}
+
+// Count returns how many times a cell has reached a hook event.
+func (k *CellKiller) Count(cell int, event string) uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.counts[ckKey{cell: cell, event: event}]
+}

@@ -1,0 +1,164 @@
+package faultnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCellKillerFiresAtScheduledOccurrence(t *testing.T) {
+	k, err := NewCellKiller(KillSpec{Cell: 1, Event: "ingest", Seq: 3})
+	if err != nil {
+		t.Fatalf("NewCellKiller: %v", err)
+	}
+	h0 := k.Hook(0)
+	h1 := k.Hook(1)
+
+	// Other cells never fire, whatever their counts.
+	for i := 0; i < 10; i++ {
+		h0("ingest")
+	}
+	// The scheduled cell survives occurrences 1 and 2...
+	h1("ingest")
+	h1("fix") // different event: its counter is independent
+	h1("ingest")
+	if got := len(k.Fired()); got != 0 {
+		t.Fatalf("fired before the scheduled occurrence: %v", k.Fired())
+	}
+	// ...and panics exactly at the 3rd ingest.
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("scheduled occurrence did not panic")
+			}
+			cp, ok := r.(CellPanic)
+			if !ok {
+				t.Fatalf("panic value %T, want CellPanic", r)
+			}
+			if cp.Spec != (KillSpec{Cell: 1, Event: "ingest", Seq: 3}) {
+				t.Fatalf("panic spec %+v", cp.Spec)
+			}
+			if !strings.Contains(cp.String(), "cell 1") {
+				t.Fatalf("CellPanic string %q", cp.String())
+			}
+		}()
+		h1("ingest")
+	}()
+
+	if fired := k.Fired(); len(fired) != 1 || fired[0].Seq != 3 {
+		t.Fatalf("Fired() = %v, want the one scheduled spec", fired)
+	}
+	// The counter keeps advancing past the kill (a restarted cell's hook
+	// shares it), but the spec never fires twice.
+	for i := 0; i < 5; i++ {
+		h1("ingest")
+	}
+	if got := k.Count(1, "ingest"); got != 8 {
+		t.Fatalf("Count(1, ingest) = %d, want 8", got)
+	}
+	if got := len(k.Fired()); got != 1 {
+		t.Fatalf("spec fired %d times, want exactly once", got)
+	}
+}
+
+func TestCellKillerRejectsInvalidSpecs(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []KillSpec
+	}{
+		{"negative cell", []KillSpec{{Cell: -1, Event: "ingest", Seq: 1}}},
+		{"empty event", []KillSpec{{Cell: 0, Event: "", Seq: 1}}},
+		{"zero seq", []KillSpec{{Cell: 0, Event: "fix", Seq: 0}}},
+		{"duplicate", []KillSpec{
+			{Cell: 0, Event: "fix", Seq: 2},
+			{Cell: 0, Event: "fix", Seq: 2},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := NewCellKiller(tc.specs...); err == nil {
+			t.Errorf("%s: NewCellKiller accepted %v", tc.name, tc.specs)
+		}
+	}
+	if _, err := NewCellKiller(
+		KillSpec{Cell: 0, Event: "fix", Seq: 2},
+		KillSpec{Cell: 0, Event: "ingest", Seq: 2},
+		KillSpec{Cell: 3, Event: "fix", Seq: 2},
+	); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	if _, err := NewBurst(0, 10, 1, 2); err == nil {
+		t.Error("zero base tags accepted")
+	}
+	if _, err := NewBurst(2, 0, 1, 2); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := NewBurst(2, -3, 1, 2); err == nil {
+		t.Error("negative factor accepted")
+	}
+	if _, err := NewBurst(40_000, 2, 1, 2); err == nil {
+		t.Error("peak beyond the uint16 ID space accepted")
+	}
+	b, err := NewBurst(2, 10, 7, 4)
+	if err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if got := len(b.Tags(6)); got != 2 {
+		t.Fatalf("pre-burst round offered %d tags, want 2", got)
+	}
+	if got := len(b.Tags(8)); got != 20 {
+		t.Fatalf("burst round offered %d tags, want 20", got)
+	}
+}
+
+func TestBurstTagsAppendReusesBuffer(t *testing.T) {
+	b := Burst{BaseTags: 3, Factor: 4, Start: 5, Rounds: 1}
+	buf := make([]uint16, 0, 16)
+	got := b.TagsAppend(buf[:0], 5)
+	if len(got) != 12 {
+		t.Fatalf("burst round appended %d tags, want 12", len(got))
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatalf("TagsAppend reallocated despite sufficient capacity")
+	}
+	for i, id := range got {
+		if id != uint16(i+1) {
+			t.Fatalf("tag[%d] = %d, want %d", i, id, i+1)
+		}
+	}
+	// A malformed literal that skipped Validate still cannot allocate
+	// unboundedly or panic.
+	bad := Burst{BaseTags: -5, Factor: 1000}
+	if got := bad.Tags(0); len(got) != 0 {
+		t.Fatalf("negative schedule offered %d tags", len(got))
+	}
+	huge := Burst{BaseTags: 60_000, Factor: 100, Start: 0, Rounds: 1}
+	if got := len(huge.Tags(0)); got != maxBurstTags {
+		t.Fatalf("oversized schedule offered %d tags, want clamp to %d", got, maxBurstTags)
+	}
+}
+
+func TestDelayConfigValidation(t *testing.T) {
+	if err := (DelayConfig{Base: time.Millisecond, Jitter: time.Millisecond, SpikeProb: 0.5, Spike: time.Millisecond}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, cfg := range map[string]DelayConfig{
+		"negative base":   {Base: -time.Millisecond},
+		"negative jitter": {Jitter: -time.Millisecond},
+		"negative spike":  {Spike: -time.Millisecond},
+		"prob below 0":    {SpikeProb: -0.1},
+		"prob above 1":    {SpikeProb: 1.1},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// sanitized clamps rather than disabling the injector.
+	s := DelayConfig{Base: -time.Second, SpikeProb: 2}.sanitized()
+	if s.Base != 0 || s.SpikeProb != 1 {
+		t.Fatalf("sanitized = %+v", s)
+	}
+}

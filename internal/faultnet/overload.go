@@ -1,6 +1,7 @@
 package faultnet
 
 import (
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -46,12 +47,48 @@ type DelayConn struct {
 	delays  int  // writes that slept; guarded by mu
 }
 
+// Validate rejects shapes that cannot describe latency: negative
+// durations and probabilities outside [0,1].
+func (c DelayConfig) Validate() error {
+	if c.Base < 0 || c.Jitter < 0 || c.Spike < 0 {
+		return fmt.Errorf("faultnet: negative delay durations (base %v, jitter %v, spike %v)",
+			c.Base, c.Jitter, c.Spike)
+	}
+	if c.SpikeProb < 0 || c.SpikeProb > 1 {
+		return fmt.Errorf("faultnet: spike probability %v outside [0,1]", c.SpikeProb)
+	}
+	return nil
+}
+
+// sanitized clamps an invalid shape to the nearest valid one, so a
+// DelayConn constructed without checking Validate still behaves (a
+// negative sleep would silently disable the injection mid-schedule).
+func (c DelayConfig) sanitized() DelayConfig {
+	if c.Base < 0 {
+		c.Base = 0
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	if c.Spike < 0 {
+		c.Spike = 0
+	}
+	if c.SpikeProb < 0 {
+		c.SpikeProb = 0
+	}
+	if c.SpikeProb > 1 {
+		c.SpikeProb = 1
+	}
+	return c
+}
+
 // WrapDelayConn wraps c; salt individualizes the stream (use the anchor
-// ID). The injector starts enabled.
+// ID). The injector starts enabled. The config is sanitized (see
+// DelayConfig.Validate for strict checking).
 func WrapDelayConn(c net.Conn, cfg DelayConfig, salt uint64) *DelayConn {
 	return &DelayConn{
 		Conn:    c,
-		cfg:     cfg,
+		cfg:     cfg.sanitized(),
 		rng:     rand.New(rand.NewPCG(cfg.Seed^0x51_0DE1A7, salt)),
 		enabled: true,
 	}
@@ -107,20 +144,69 @@ type Burst struct {
 	Rounds   uint32 // burst length; the window is [Start, Start+Rounds)
 }
 
+// maxBurstTags bounds any round's offered load: tag IDs are uint16 and
+// 0 is reserved, so no schedule can offer more than the ID space.
+const maxBurstTags = 0xFFFF
+
+// NewBurst validates and returns a schedule; prefer it over a literal
+// so malformed drills fail at construction, not mid-episode.
+func NewBurst(baseTags, factor int, start, rounds uint32) (Burst, error) {
+	b := Burst{BaseTags: baseTags, Factor: factor, Start: start, Rounds: rounds}
+	if err := b.Validate(); err != nil {
+		return Burst{}, err
+	}
+	return b, nil
+}
+
+// Validate rejects schedules that cannot describe offered load:
+// non-positive rates, and peaks that overflow the uint16 tag ID space
+// (which also bounds the per-round slice Tags allocates).
+func (b Burst) Validate() error {
+	if b.BaseTags <= 0 {
+		return fmt.Errorf("faultnet: burst base tags %d; want > 0", b.BaseTags)
+	}
+	if b.Factor < 1 {
+		return fmt.Errorf("faultnet: burst factor %d; want >= 1", b.Factor)
+	}
+	if peak := b.BaseTags * b.Factor; peak > maxBurstTags {
+		return fmt.Errorf("faultnet: burst peak %d tags exceeds the %d-tag ID space", peak, maxBurstTags)
+	}
+	return nil
+}
+
 // Active reports whether round falls in the burst window.
 func (b Burst) Active(round uint32) bool {
 	return round >= b.Start && round < b.Start+b.Rounds
 }
 
-// Tags returns the tag IDs offered in the given round, lowest first.
-func (b Burst) Tags(round uint32) []uint16 {
+// offered returns the tag count for a round, clamped to the valid range
+// even for schedules that skipped Validate.
+func (b Burst) offered(round uint32) int {
 	n := b.BaseTags
 	if b.Active(round) {
 		n = b.BaseTags * b.Factor
 	}
-	out := make([]uint16, n)
-	for i := range out {
-		out[i] = uint16(i + 1)
+	if n < 0 {
+		return 0
 	}
-	return out
+	if n > maxBurstTags {
+		return maxBurstTags
+	}
+	return n
+}
+
+// Tags returns the tag IDs offered in the given round, lowest first.
+func (b Burst) Tags(round uint32) []uint16 {
+	return b.TagsAppend(nil, round)
+}
+
+// TagsAppend appends the round's tag IDs to dst and returns it; a drill
+// iterating thousands of rounds reuses one buffer instead of allocating
+// a slice per round.
+func (b Burst) TagsAppend(dst []uint16, round uint32) []uint16 {
+	n := b.offered(round)
+	for i := 0; i < n; i++ {
+		dst = append(dst, uint16(i+1))
+	}
+	return dst
 }

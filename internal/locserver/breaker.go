@@ -1,0 +1,127 @@
+package locserver
+
+import (
+	"errors"
+	"time"
+)
+
+// Per-anchor-link circuit breakers (DESIGN.md §15). Every server→anchor
+// link (the connection a fix broadcast or heartbeat probe writes to)
+// carries a breaker beneath the anchors' reconnect logic:
+//
+//	closed ──Threshold consecutive send failures──▶ open
+//	open ──Cooldown elapsed──▶ half-open (exactly one probe write)
+//	half-open ──probe succeeds──▶ closed
+//	half-open ──probe fails──▶ open (fresh cooldown)
+//
+// While the breaker is open, sends to the link are skipped outright
+// (errBreakerOpen) instead of attempted: a wedged TCP buffer can stall a
+// write for the kernel's full retransmission timeout, and one stuck
+// anchor must never hold the broadcast path hostage for the rest of the
+// fleet. A skipped heartbeat still counts toward the miss-prune
+// threshold, so a link whose breaker never re-closes is eventually
+// pruned by the existing liveness plane; a link that heals is re-closed
+// by the first successful probe. Anchor daemons reconnect with a fresh
+// connection — and therefore a fresh, closed breaker — so the breaker
+// only ever judges one connection's lifetime.
+
+// errBreakerOpen reports a send skipped because the link's breaker is
+// open and still cooling down.
+var errBreakerOpen = errors.New("locserver: circuit breaker open, send skipped")
+
+// BreakerConfig tunes the per-anchor-link circuit breakers. The zero
+// value selects the documented defaults; a negative Threshold disables
+// breakers entirely (every send is attempted).
+type BreakerConfig struct {
+	// Threshold opens the breaker after this many consecutive send
+	// failures on one link (default 3). Negative disables breakers.
+	Threshold int
+	// Cooldown is how long an open breaker holds before allowing a
+	// single half-open probe write (default 2s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+// breakerState is the breaker position.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is one anchor link's circuit breaker. It is owned by a client
+// and every field is guarded by that client's writeMu: breaker decisions
+// serialize with the writes they gate, so the half-open state can admit
+// exactly one probe.
+type breaker struct {
+	cfg      BreakerConfig
+	state    breakerState // guarded by writeMu
+	fails    int          // consecutive send failures; guarded by writeMu
+	openedAt time.Time    // when the breaker last opened; guarded by writeMu
+}
+
+// allowLocked decides whether a send may be attempted now. probe reports
+// that this send is the half-open probe (counted in stats by the
+// caller). Caller holds the owning client's writeMu.
+func (b *breaker) allowLocked(now time.Time) (ok, probe bool) {
+	if b.cfg.Threshold < 0 {
+		return true, false
+	}
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cfg.Cooldown {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		return true, true
+	default: // breakerHalfOpen: a probe is already in flight
+		return false, false
+	}
+}
+
+// resultLocked folds one attempted send's outcome into the breaker and
+// reports whether the breaker transitioned into open (for stats). Caller
+// holds the owning client's writeMu.
+func (b *breaker) resultLocked(sent bool, now time.Time) (opened bool) {
+	if b.cfg.Threshold < 0 {
+		return false
+	}
+	if sent {
+		b.state = breakerClosed
+		b.fails = 0
+		return false
+	}
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.cfg.Threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package locserver
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"bloc/internal/ble"
+	"bloc/internal/csi"
+	"bloc/internal/geom"
+	"bloc/internal/wire"
+)
+
+// Unit coverage for the per-link breaker state machine, driven with a
+// synthetic clock; the *Locked methods are single-goroutine here.
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := breaker{cfg: BreakerConfig{Threshold: 2, Cooldown: time.Second}.withDefaults()}
+	at := time.Unix(100, 0)
+
+	ok, probe := b.allowLocked(at)
+	if !ok || probe {
+		t.Fatalf("closed breaker: allow=%v probe=%v", ok, probe)
+	}
+	if opened := b.resultLocked(false, at); opened {
+		t.Fatal("opened after one failure, threshold is 2")
+	}
+	if opened := b.resultLocked(false, at); !opened {
+		t.Fatal("did not open at the failure threshold")
+	}
+	// Open: sends are refused until the cooldown elapses.
+	if ok, _ := b.allowLocked(at.Add(500 * time.Millisecond)); ok {
+		t.Fatal("open breaker allowed a send mid-cooldown")
+	}
+	// Cooled down: exactly one half-open probe.
+	ok, probe = b.allowLocked(at.Add(1100 * time.Millisecond))
+	if !ok || !probe {
+		t.Fatalf("cooled-down breaker: allow=%v probe=%v, want probe", ok, probe)
+	}
+	if ok, _ := b.allowLocked(at.Add(1100 * time.Millisecond)); ok {
+		t.Fatal("second send allowed while a probe is in flight")
+	}
+	// A failed probe reopens immediately (no second strike).
+	if opened := b.resultLocked(false, at.Add(1200*time.Millisecond)); !opened {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	// Another cooldown, and a successful probe re-closes it.
+	ok, probe = b.allowLocked(at.Add(2300 * time.Millisecond))
+	if !ok || !probe {
+		t.Fatalf("second probe: allow=%v probe=%v", ok, probe)
+	}
+	if opened := b.resultLocked(true, at.Add(2300*time.Millisecond)); opened {
+		t.Fatal("successful probe reported an open transition")
+	}
+	if b.state != breakerClosed || b.fails != 0 {
+		t.Fatalf("after healing: state=%v fails=%d", b.state, b.fails)
+	}
+	// One failure after healing does not trip it again.
+	if opened := b.resultLocked(false, at.Add(3*time.Second)); opened {
+		t.Fatal("single failure after healing opened the breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := breaker{cfg: BreakerConfig{Threshold: -1}}
+	at := time.Unix(100, 0)
+	for i := 0; i < 10; i++ {
+		if ok, probe := b.allowLocked(at); !ok || probe {
+			t.Fatalf("disabled breaker blocked a send (i=%d)", i)
+		}
+		if opened := b.resultLocked(false, at); opened {
+			t.Fatalf("disabled breaker opened (i=%d)", i)
+		}
+	}
+}
+
+func TestBreakerConfigDefaults(t *testing.T) {
+	c := BreakerConfig{}.withDefaults()
+	if c.Threshold != 3 || c.Cooldown != 2*time.Second {
+		t.Fatalf("defaults %+v", c)
+	}
+	c = BreakerConfig{Threshold: -1}.withDefaults()
+	if c.Threshold != -1 {
+		t.Fatalf("disabling threshold overwritten: %+v", c)
+	}
+}
+
+// TestBreakerGatesServerSends exercises the server's send path: a link
+// whose writes always fail trips its breaker, later sends are skipped
+// (errBreakerOpen) and counted, and the half-open probe is attempted —
+// and fails — after the cooldown.
+func TestBreakerGatesServerSends(t *testing.T) {
+	srv, err := New("127.0.0.1:0", Config{
+		Anchors: 2, Antennas: 1, Bands: ble.DataChannels()[:2],
+		Logger:  quietLogger(),
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: 30 * time.Millisecond},
+		OnSnapshot: func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
+			return geom.Pt(0, 0), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	p1, p2 := net.Pipe()
+	p2.Close() // every write on p1 now fails immediately
+	cl := &client{conn: p1, id: 1, brk: breaker{cfg: srv.brkCfg}}
+
+	for i := 0; i < 2; i++ {
+		if err := srv.sendClient(cl, &wire.Heartbeat{Nonce: 1}); err == nil || errors.Is(err, errBreakerOpen) {
+			t.Fatalf("send %d: err=%v, want a real write failure", i, err)
+		}
+	}
+	if err := srv.sendClient(cl, &wire.Heartbeat{Nonce: 1}); !errors.Is(err, errBreakerOpen) {
+		t.Fatalf("send after threshold: err=%v, want errBreakerOpen", err)
+	}
+	st := srv.Stats()
+	if st.BreakerOpens != 1 || st.BreakerSkips != 1 || st.BreakerProbes != 0 {
+		t.Fatalf("after trip: opens=%d skips=%d probes=%d", st.BreakerOpens, st.BreakerSkips, st.BreakerProbes)
+	}
+
+	time.Sleep(40 * time.Millisecond)
+	// Cooled down: this send is the probe; the link is still dead, so the
+	// breaker reopens.
+	if err := srv.sendClient(cl, &wire.Heartbeat{Nonce: 1}); err == nil || errors.Is(err, errBreakerOpen) {
+		t.Fatalf("probe send: err=%v, want a real write failure", err)
+	}
+	st = srv.Stats()
+	if st.BreakerProbes != 1 || st.BreakerOpens != 2 {
+		t.Fatalf("after probe: probes=%d opens=%d", st.BreakerProbes, st.BreakerOpens)
+	}
+	if err := srv.sendClient(cl, &wire.Heartbeat{Nonce: 1}); !errors.Is(err, errBreakerOpen) {
+		t.Fatalf("send after failed probe: err=%v, want errBreakerOpen", err)
+	}
+}

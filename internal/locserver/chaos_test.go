@@ -1,0 +1,392 @@
+package locserver
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"bloc/internal/ble"
+	"bloc/internal/csi"
+	"bloc/internal/durable"
+	"bloc/internal/faultnet"
+	"bloc/internal/geom"
+	"bloc/internal/wire"
+)
+
+// The cell-kill chaos drill (`make chaos-cells`, DESIGN.md §15): a
+// 4-cell fleet under 10× burst load has one cell killed mid-burst by a
+// scheduled faultnet.CellKiller panic. The drill asserts the blast
+// radius: surviving cells deliver every offered round exactly once with
+// bit-identical fixes to a no-fault baseline run; the killed cell's
+// tags degrade to flagged coarse fallback fixes from a neighbor while
+// it is down; the cell warm-restarts from its last durable checkpoint
+// within the restart budget; and the fleet's restart/panic/breaker
+// counters match the injected schedule exactly.
+
+const (
+	chaosCells     = 4
+	chaosAnchors   = 3 // per cell
+	chaosBands     = 2
+	chaosLastRound = 14
+)
+
+var chaosBurst = faultnet.Burst{BaseTags: 2, Factor: 10, Start: 8, Rounds: 4}
+
+// chaosTag maps a cell-local burst tag ID onto a fleet-unique tag ID.
+func chaosTag(cell int, tag uint16) uint16 { return uint16(cell*100) + tag }
+
+// chaosFleet builds the drill fleet. The localization stub is a pure
+// function of (tag, round), so fix positions are comparable across
+// runs, cells, and the fallback path.
+func chaosFleet(t *testing.T, rec *fleetRecorder, killer *faultnet.CellKiller) *Fleet {
+	t.Helper()
+	stores := make([]*durable.Store, chaosCells)
+	dir := t.TempDir()
+	for i := range stores {
+		st, err := durable.Open(fmt.Sprintf("%s/cell-%d", dir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = st
+	}
+	cfg := FleetConfig{
+		Cells: chaosCells,
+		Cell: Config{
+			Anchors: chaosAnchors, Antennas: 1, Bands: ble.DataChannels()[:chaosBands],
+			RoundDeadline: 50 * time.Millisecond,
+			FixQueueDepth: 256,
+		},
+		OnSnapshot: func(cell int, info RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
+			return geom.Pt(float64(info.Tag%100), float64(info.Round)), nil
+		},
+		OnFix: rec.record,
+		Checkpoint: func(cell int) *CheckpointConfig {
+			return &CheckpointConfig{Store: stores[cell], Interval: 10 * time.Millisecond}
+		},
+		Supervisor: SupervisorConfig{
+			// A deliberate backoff floor: the drill feeds the down window
+			// in microseconds, so 100ms guarantees rounds 9–10 land on the
+			// fallback path, while staying far inside the 2s restart budget.
+			BackoffInitial: 100 * time.Millisecond,
+			BackoffMax:     200 * time.Millisecond,
+			RestartWindow:  5 * time.Second,
+			Seed:           7,
+		},
+		Logger: quietLogger(),
+	}
+	if killer != nil {
+		cfg.Hooks = killer.Hook
+	}
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// chaosFeedRound offers one round of load to every cell: the burst
+// schedule's tags, each reported by the cell's three anchors on both
+// bands (global anchor IDs; the fleet router localizes them).
+func chaosFeedRound(f *Fleet, round uint32) {
+	for cell := 0; cell < chaosCells; cell++ {
+		for _, tg := range chaosBurst.Tags(round) {
+			tag := chaosTag(cell, tg)
+			for a := 0; a < chaosAnchors; a++ {
+				global := uint8(cell*chaosAnchors + a)
+				for b := uint16(0); b < chaosBands; b++ {
+					f.IngestRow(&wire.CSIRow{
+						Round: round, TagID: tag, AnchorID: global, BandIdx: b,
+						Tag:    []complex128{complex(float64(round), float64(b+1))},
+						Master: complex(1, float64(a+1)),
+					})
+				}
+			}
+		}
+	}
+}
+
+// chaosAwait polls cond every millisecond until it holds or the budget
+// expires.
+func chaosAwait(t *testing.T, budget time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: not reached within %v", what, budget)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// expectedChaosFixes returns the analytic delivery set for a cell over
+// [1, lastRound]: one fix per offered (tag, round).
+func expectedChaosFixes(cell int, rounds []uint32) map[fixKeyT]bool {
+	out := make(map[fixKeyT]bool)
+	for _, r := range rounds {
+		for _, tg := range chaosBurst.Tags(r) {
+			out[fixKeyT{cell: cell, tag: chaosTag(cell, tg), round: r}] = true
+		}
+	}
+	return out
+}
+
+func roundsBetween(lo, hi uint32) []uint32 {
+	var out []uint32
+	for r := lo; r <= hi; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+// runChaosBaseline runs the identical offered load with no faults and
+// returns the delivered set, for the surviving-cell parity check.
+func runChaosBaseline(t *testing.T) *fleetRecorder {
+	t.Helper()
+	rec := newFleetRecorder()
+	f := chaosFleet(t, rec, nil)
+	defer f.Close()
+	for r := uint32(1); r <= chaosLastRound; r++ {
+		chaosFeedRound(f, r)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.Drain(ctx); err != nil {
+		t.Fatalf("baseline drain: %v", err)
+	}
+	return rec
+}
+
+func TestChaosCellsKillMidBurst(t *testing.T) {
+	const victim = 1
+	// Rounds 1..7 at base load give the victim 7·2·6 = 84 ingest events;
+	// 60 more events into burst round 8 the kill fires — mid-burst, mid-
+	// round.
+	killer, err := faultnet.NewCellKiller(faultnet.KillSpec{
+		Cell: victim, Event: HookIngest, Seq: 84 + 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newFleetRecorder()
+	f := chaosFleet(t, rec, killer)
+	defer f.Close()
+
+	// Pre-burst: base load, and wait until (a) every pre-burst fix is
+	// delivered and (b) the victim has at least one durable checkpoint to
+	// warm-restart from.
+	for r := uint32(1); r <= 7; r++ {
+		chaosFeedRound(f, r)
+	}
+	preBurst := 0
+	for c := 0; c < chaosCells; c++ {
+		preBurst += len(expectedChaosFixes(c, roundsBetween(1, 7)))
+	}
+	chaosAwait(t, 5*time.Second, "pre-burst fixes flushed", func() bool {
+		return len(rec.snapshot()) == preBurst
+	})
+	chaosAwait(t, 5*time.Second, "victim checkpoint", func() bool {
+		return f.Stats().Cells[victim].Stats.Checkpoints >= 1
+	})
+
+	// Burst round 8 carries the kill. The panic is recovered on the
+	// ingest path (the feeding goroutine survives it) and the supervisor
+	// takes the victim down asynchronously.
+	downStart := time.Now()
+	chaosFeedRound(f, 8)
+	if fired := killer.Fired(); len(fired) != 1 {
+		t.Fatalf("kill schedule fired %d times during round 8, want 1", len(fired))
+	}
+	chaosAwait(t, 2*time.Second, "victim observed down", func() bool {
+		return !f.Stats().Cells[victim].Running
+	})
+
+	// Rounds 9 and 10 are offered while the victim is down: its tags
+	// must degrade to flagged coarse fallback fixes served by a
+	// neighbor, not go silent.
+	chaosFeedRound(f, 9)
+	chaosFeedRound(f, 10)
+
+	// Bounded unavailability: the supervisor must bring the victim back,
+	// warm-restored, within the 2s restart budget.
+	chaosAwait(t, 2*time.Second, "victim restarted", func() bool {
+		cs := f.Stats().Cells[victim]
+		return cs.Running && cs.Restarts == 1
+	})
+	downtime := time.Since(downStart)
+	if cs := f.Stats().Cells[victim]; cs.Stats.WarmRestores != 1 {
+		t.Errorf("victim warm restores = %d, want exactly 1 (restart must load the checkpoint)",
+			cs.Stats.WarmRestores)
+	}
+
+	// Tail rounds land on the revived cell like nothing happened.
+	for r := uint32(11); r <= chaosLastRound; r++ {
+		chaosFeedRound(f, r)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	fs := f.Stats()
+
+	// Exactly-once everywhere: nothing in the whole run may be delivered
+	// twice, fallback or not.
+	delivered := rec.snapshot()
+	for k, n := range delivered {
+		if n != 1 {
+			t.Errorf("cell %d tag %d round %d delivered %d times", k.cell, k.tag, k.round, n)
+		}
+	}
+
+	// Surviving cells: complete delivery, every fix bit-identical to the
+	// no-fault baseline (stronger than "within noise" — the stub is
+	// deterministic, so the kill must not perturb them at all).
+	baseline := runChaosBaseline(t)
+	baseDelivered := baseline.snapshot()
+	for _, cell := range []int{0, 2, 3} {
+		want := expectedChaosFixes(cell, roundsBetween(1, chaosLastRound))
+		for k := range want {
+			if delivered[k] != 1 {
+				t.Errorf("surviving cell %d: tag %d round %d delivered %d times, want 1",
+					cell, k.tag, k.round, delivered[k])
+			}
+			if baseDelivered[k] != 1 {
+				t.Errorf("baseline cell %d: tag %d round %d delivered %d times, want 1",
+					cell, k.tag, k.round, baseDelivered[k])
+			}
+			rec.mu.Lock()
+			got := rec.fix[k]
+			rec.mu.Unlock()
+			baseline.mu.Lock()
+			ref := baseline.fix[k]
+			baseline.mu.Unlock()
+			if got != ref {
+				t.Errorf("surviving cell %d tag %d round %d: fix %+v != baseline %+v",
+					cell, k.tag, k.round, got, ref)
+			}
+		}
+		for k := range delivered {
+			if k.cell == cell && !want[k] {
+				t.Errorf("surviving cell %d delivered a never-offered fix: %+v", cell, k)
+			}
+		}
+	}
+
+	// The victim's downtime rounds: every offered (tag, round) served as
+	// a fallback fix, flagged, attributed to the victim cell.
+	fallbackWant := expectedChaosFixes(victim, []uint32{9, 10})
+	for k := range fallbackWant {
+		if delivered[k] != 1 {
+			t.Errorf("down-window tag %d round %d delivered %d times, want 1 fallback fix",
+				k.tag, k.round, delivered[k])
+		}
+		rec.mu.Lock()
+		fall := rec.fall[k]
+		rec.mu.Unlock()
+		if !fall {
+			t.Errorf("down-window tag %d round %d fix not flagged as fallback", k.tag, k.round)
+		}
+	}
+	// The kill round itself (round 8) was mid-ingest when the victim went
+	// down: its straggling tags may legitimately complete through either
+	// path, so the exact fallback count is bounded below by the clean
+	// down-window rounds and any excess must come from round 8.
+	if fs.FallbackFixes < len(fallbackWant) {
+		t.Errorf("FallbackFixes = %d, want at least %d", fs.FallbackFixes, len(fallbackWant))
+	}
+	rec.mu.Lock()
+	for k, fall := range rec.fall {
+		if fall && !(k.cell == victim && k.round >= 8 && k.round <= 10) {
+			t.Errorf("fallback fix outside the victim's down window: %+v", k)
+		}
+	}
+	rec.mu.Unlock()
+
+	// Pre-kill and post-restart victim rounds are served normally (the
+	// partially-ingested kill round 8 is the only sacrificed window).
+	for _, rounds := range [][]uint32{roundsBetween(1, 7), roundsBetween(11, chaosLastRound)} {
+		for k := range expectedChaosFixes(victim, rounds) {
+			if delivered[k] != 1 {
+				t.Errorf("victim tag %d round %d delivered %d times, want 1", k.tag, k.round, delivered[k])
+			}
+			rec.mu.Lock()
+			fall := rec.fall[k]
+			rec.mu.Unlock()
+			if fall {
+				t.Errorf("victim tag %d round %d flagged fallback outside the down window", k.tag, k.round)
+			}
+		}
+	}
+
+	// Counters match the injected schedule exactly.
+	if got := len(killer.Fired()); got != 1 {
+		t.Errorf("kills fired = %d, want 1", got)
+	}
+	if fs.Agg.CellRestarts != 1 {
+		t.Errorf("CellRestarts = %d, want 1 (= kill schedule)", fs.Agg.CellRestarts)
+	}
+	if fs.Agg.PanicsRecovered != 1 {
+		t.Errorf("PanicsRecovered = %d, want 1", fs.Agg.PanicsRecovered)
+	}
+	if fs.Agg.CellsQuarantined != 0 {
+		t.Errorf("CellsQuarantined = %d, want 0 (single kill must not quarantine)", fs.Agg.CellsQuarantined)
+	}
+	if fs.Agg.BreakerOpens != 0 || fs.Agg.BreakerProbes != 0 || fs.Agg.BreakerSkips != 0 {
+		t.Errorf("breaker counters moved with no anchor links: %+v", fs.Agg)
+	}
+	if fs.Cells[victim].State != "healthy" {
+		t.Errorf("victim state %q after one restart, want healthy", fs.Cells[victim].State)
+	}
+	t.Logf("downtime (kill → warm restart observed): %v; fallback fixes: %d; victim stats: %+v",
+		downtime, fs.FallbackFixes, fs.Cells[victim].Stats)
+}
+
+// TestChaosCellsRepeatedKillsEscalate drives one cell through repeated
+// kills and asserts the supervisor escalates it to degraded while other
+// cells keep serving untouched.
+func TestChaosCellsRepeatedKillsEscalate(t *testing.T) {
+	const victim = 2
+	// Three kills: ingest events 12, 24 and 36 of the victim — one per
+	// fed round at base load (12 events per round), regardless of
+	// restart timing, because occurrence counters span incarnations.
+	killer, err := faultnet.NewCellKiller(
+		faultnet.KillSpec{Cell: victim, Event: HookIngest, Seq: 12},
+		faultnet.KillSpec{Cell: victim, Event: HookIngest, Seq: 24},
+		faultnet.KillSpec{Cell: victim, Event: HookIngest, Seq: 36},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newFleetRecorder()
+	f := chaosFleet(t, rec, killer)
+	defer f.Close()
+
+	round := uint32(0)
+	for kills := 1; kills <= 3; kills++ {
+		prev := f.Stats().Cells[victim].Restarts
+		for len(killer.Fired()) < kills {
+			round++
+			if round >= chaosBurst.Start { // stay at base load
+				round = 1
+			}
+			chaosFeedRound(f, round)
+		}
+		chaosAwait(t, 5*time.Second, fmt.Sprintf("restart %d", kills), func() bool {
+			cs := f.Stats().Cells[victim]
+			return cs.Running && cs.Restarts == prev+1
+		})
+	}
+	fs := f.Stats()
+	if fs.Agg.CellRestarts != 3 || len(killer.Fired()) != 3 {
+		t.Fatalf("restarts=%d fired=%d, want 3 and 3", fs.Agg.CellRestarts, len(killer.Fired()))
+	}
+	if st := fs.Cells[victim].State; st != "degraded" {
+		t.Errorf("victim state %q after 3 restarts in the window, want degraded", st)
+	}
+	for _, cs := range fs.Cells {
+		if cs.Cell != victim && (cs.Restarts != 0 || cs.State != "healthy") {
+			t.Errorf("bystander cell %d: restarts=%d state=%s", cs.Cell, cs.Restarts, cs.State)
+		}
+	}
+}

@@ -154,6 +154,13 @@ func (s *Server) exportStateLocked() *durable.State {
 // in-flight fixes are delivered, not abandoned — or ctx expires,
 // persists a final checkpoint, and closes. It returns the first error
 // among the final checkpoint and the close.
+//
+// Drain is idempotent and safe to call concurrently — a SIGTERM handler
+// racing an embedder's own shutdown path must not double-drain: every
+// caller waits for the in-flight work to flush, the final checkpoint is
+// written exactly once (by whichever caller claims it first), and Close
+// is already single-shot. A Drain that finds the server closed just
+// waits for the close to finish.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closing {
@@ -188,8 +195,17 @@ func (s *Server) Drain(ctx context.Context) error {
 
 	var err error
 	if s.ckpt != nil {
-		if cerr := s.checkpointNow(); cerr != nil {
-			err = fmt.Errorf("locserver: final checkpoint: %w", cerr)
+		// Exactly one final checkpoint across concurrent drains: the
+		// flushed state is identical for every caller, and two writers
+		// would burn a snapshot generation for nothing.
+		s.mu.Lock()
+		first := !s.finalCkpt
+		s.finalCkpt = true
+		s.mu.Unlock()
+		if first {
+			if cerr := s.checkpointNow(); cerr != nil {
+				err = fmt.Errorf("locserver: final checkpoint: %w", cerr)
+			}
 		}
 	}
 	if cerr := s.Close(); cerr != nil && err == nil {

@@ -1,0 +1,122 @@
+package locserver
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"bloc/internal/ble"
+	"bloc/internal/csi"
+	"bloc/internal/durable"
+	"bloc/internal/geom"
+)
+
+// Regression coverage for idempotent, concurrency-safe shutdown: a
+// SIGTERM handler's Drain racing an embedder's deferred Close (or a
+// second signal's Drain) must not deadlock, double-tear-down, or write
+// the final checkpoint twice.
+
+func TestDrainCloseConcurrentIdempotent(t *testing.T) {
+	store, err := durable.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New("127.0.0.1:0", Config{
+		Anchors: 2, Antennas: 1, Bands: ble.DataChannels()[:3],
+		RoundDeadline: 2 * time.Millisecond,
+		Logger:        quietLogger(),
+		// Interval far beyond the test horizon: the only checkpoint that
+		// can happen is Drain's final one, which must be written exactly
+		// once across every concurrent caller.
+		Checkpoint: &CheckpointConfig{Store: store, Interval: time.Hour},
+		OnSnapshot: func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
+			return geom.Pt(1, 2), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep traffic in flight while shutdown paths race.
+	var feed sync.WaitGroup
+	feed.Add(1)
+	go func() {
+		defer feed.Done()
+		for r := uint32(1); r <= 40; r++ {
+			for a := uint8(0); a < 2; a++ {
+				for b := uint16(0); b < 3; b++ {
+					srv.ingest(stressRow(5, r, a, b))
+				}
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	var shut sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 2; i++ {
+		shut.Add(2)
+		go func() {
+			defer shut.Done()
+			errs <- srv.Drain(ctx)
+		}()
+		go func() {
+			defer shut.Done()
+			errs <- srv.Close()
+		}()
+	}
+	shut.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("concurrent shutdown returned %v", err)
+		}
+	}
+	feed.Wait()
+
+	// Late calls on a fully closed server are still clean no-ops.
+	if err := srv.Close(); err != nil {
+		t.Errorf("close after close: %v", err)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Errorf("drain after close: %v", err)
+	}
+
+	if w := store.Stats().Writes; w > 1 {
+		t.Errorf("final checkpoint written %d times, want at most once", w)
+	}
+}
+
+// TestDrainCloseSequential pins the simple orders too: drain-then-close
+// and close-then-drain both return nil and leave the counters sane.
+func TestDrainCloseSequential(t *testing.T) {
+	for _, closeFirst := range []bool{false, true} {
+		srv := stressServer(t, 2, 8)
+		for r := uint32(1); r <= 5; r++ {
+			for a := uint8(0); a < 2; a++ {
+				for b := uint16(0); b < 3; b++ {
+					srv.ingest(stressRow(3, r, a, b))
+				}
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if closeFirst {
+			if err := srv.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if err := srv.Drain(ctx); err != nil {
+				t.Fatalf("drain after close: %v", err)
+			}
+		} else {
+			if err := srv.Drain(ctx); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			if err := srv.Close(); err != nil {
+				t.Fatalf("close after drain: %v", err)
+			}
+		}
+		cancel()
+	}
+}

@@ -1,0 +1,108 @@
+package locserver
+
+import (
+	"sync"
+
+	"bloc/internal/ble"
+	"bloc/internal/csi"
+	"bloc/internal/wire"
+)
+
+// fallbackCollector assembles rounds for tags whose home cell is down
+// (DESIGN.md §15). While a cell restarts, its anchors' rows would
+// otherwise be dropped on the floor; instead the fleet buckets them
+// here, and a bucket that fills (every anchor × band row arrived)
+// yields a complete snapshot a neighbor cell localizes coarsely — a
+// flagged RSSI-grade fix beats silence for a tag mid-track. Incomplete
+// buckets are never flushed: the down cell's own deadline machinery is
+// gone, and a partial coarse fix from unvalidated rows is not worth
+// guessing over.
+
+// fbKey identifies one down cell's acquisition round.
+type fbKey struct {
+	cell  int
+	tag   uint16
+	round uint32
+}
+
+// fbBucket accumulates one round's rows.
+type fbBucket struct {
+	snap *csi.Snapshot
+	got  map[[2]uint16]bool // (anchorID, bandIdx) already received
+}
+
+// maxFallbackBuckets bounds the collector; at the cap the buckets are
+// cleared wholesale (rounds mid-assembly during a restart storm are
+// lost, which only costs fallback fixes, never correctness).
+const maxFallbackBuckets = 1024
+
+type fallbackCollector struct {
+	anchors  int // per-cell anchor count
+	antennas int
+	bands    []ble.ChannelIndex
+
+	mu      sync.Mutex
+	buckets map[fbKey]*fbBucket // guarded by mu
+}
+
+func newFallbackCollector(anchors, antennas int, bands []ble.ChannelIndex) *fallbackCollector {
+	return &fallbackCollector{
+		anchors:  anchors,
+		antennas: antennas,
+		bands:    bands,
+		buckets:  make(map[fbKey]*fbBucket),
+	}
+}
+
+// add merges one cell-local row for a down cell; when the row completes
+// its round the snapshot is returned (and the bucket retired) for a
+// coarse neighbor fix. Rows are not sanity-checked here — the coarse
+// RSSI path is already the lowest-trust tier.
+func (fc *fallbackCollector) add(cell int, row *wire.CSIRow) (*csi.Snapshot, bool) {
+	if int(row.BandIdx) >= len(fc.bands) || len(row.Tag) != fc.antennas ||
+		int(row.AnchorID) >= fc.anchors {
+		return nil, false
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	k := fbKey{cell: cell, tag: row.TagID, round: row.Round}
+	b := fc.buckets[k]
+	if b == nil {
+		if len(fc.buckets) >= maxFallbackBuckets {
+			fc.buckets = make(map[fbKey]*fbBucket)
+		}
+		b = &fbBucket{
+			snap: csi.NewSnapshot(fc.bands, fc.anchors, fc.antennas),
+			got:  make(map[[2]uint16]bool),
+		}
+		fc.buckets[k] = b
+	}
+	key := [2]uint16{uint16(row.AnchorID), row.BandIdx}
+	if b.got[key] {
+		return nil, false
+	}
+	b.got[key] = true
+	copy(b.snap.Tag[row.BandIdx][row.AnchorID], row.Tag)
+	if row.AnchorID != 0 {
+		b.snap.Master[row.BandIdx][row.AnchorID] = row.Master
+	}
+	if len(b.got) >= fc.anchors*len(fc.bands) {
+		delete(fc.buckets, k)
+		return b.snap, true
+	}
+	return nil, false
+}
+
+// drop discards every bucket belonging to a cell (called when the cell
+// comes back: its own acquisition plane owns new rounds from here on,
+// and a half-filled bucket would double-fix a round the revived cell
+// also completes).
+func (fc *fallbackCollector) drop(cell int) {
+	fc.mu.Lock()
+	for k := range fc.buckets {
+		if k.cell == cell {
+			delete(fc.buckets, k)
+		}
+	}
+	fc.mu.Unlock()
+}

@@ -1,0 +1,236 @@
+package locserver
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"bloc/internal/ble"
+	"bloc/internal/csi"
+	"bloc/internal/geom"
+	"bloc/internal/wire"
+)
+
+func TestFleetRouterMapping(t *testing.T) {
+	rt := newRouter(4, 3)
+	cases := []struct{ global, cell, local int }{
+		{0, 0, 0}, {2, 0, 2}, {3, 1, 0}, {5, 1, 2}, {11, 3, 2},
+	}
+	for _, tc := range cases {
+		if got := rt.cellOfAnchor(tc.global); got != tc.cell {
+			t.Errorf("cellOfAnchor(%d) = %d, want %d", tc.global, got, tc.cell)
+		}
+		if got := rt.localAnchor(tc.global); got != tc.local {
+			t.Errorf("localAnchor(%d) = %d, want %d", tc.global, got, tc.local)
+		}
+	}
+	if got := rt.cellOfAnchor(12); got != -1 {
+		t.Errorf("out-of-fleet anchor mapped to cell %d", got)
+	}
+	if got := rt.cellOfAnchor(-1); got != -1 {
+		t.Errorf("negative anchor mapped to cell %d", got)
+	}
+	if _, ok := rt.homeOf(9); ok {
+		t.Error("unobserved tag has a home")
+	}
+	rt.noteTag(9, 2)
+	if home, ok := rt.homeOf(9); !ok || home != 2 {
+		t.Errorf("homeOf(9) = %d,%v, want 2,true", home, ok)
+	}
+	if rt.tagCount() != 1 {
+		t.Errorf("tagCount = %d", rt.tagCount())
+	}
+}
+
+// fleetRecorder collects per-cell fix deliveries from FleetConfig.OnFix.
+type fleetRecorder struct {
+	mu   sync.Mutex
+	got  map[fixKeyT]int      // delivery count; guarded by mu
+	fix  map[fixKeyT]wire.Fix // last delivered fix; guarded by mu
+	fall map[fixKeyT]bool     // delivered with info.Fallback; guarded by mu
+}
+
+type fixKeyT struct {
+	cell  int
+	tag   uint16
+	round uint32
+}
+
+func newFleetRecorder() *fleetRecorder {
+	return &fleetRecorder{
+		got:  make(map[fixKeyT]int),
+		fix:  make(map[fixKeyT]wire.Fix),
+		fall: make(map[fixKeyT]bool),
+	}
+}
+
+func (r *fleetRecorder) record(cell int, info RoundInfo, fix wire.Fix) {
+	r.mu.Lock()
+	k := fixKeyT{cell: cell, tag: info.Tag, round: info.Round}
+	r.got[k]++
+	r.fix[k] = fix
+	r.fall[k] = info.Fallback
+	r.mu.Unlock()
+}
+
+func (r *fleetRecorder) count(k fixKeyT) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.got[k]
+}
+
+func (r *fleetRecorder) snapshot() map[fixKeyT]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[fixKeyT]int, len(r.got))
+	for k, v := range r.got {
+		out[k] = v
+	}
+	return out
+}
+
+// fleetRow fabricates one valid CSI row carrying a GLOBAL anchor ID.
+func fleetRow(tag uint16, round uint32, global uint8, band uint16) *wire.CSIRow {
+	return &wire.CSIRow{
+		Round: round, TagID: tag, AnchorID: global, BandIdx: band,
+		Tag:    []complex128{complex(float64(round), float64(band+1))},
+		Master: complex(1, float64(global%3+1)),
+	}
+}
+
+func testFleet(t *testing.T, cells int, rec *fleetRecorder) *Fleet {
+	t.Helper()
+	f, err := NewFleet(FleetConfig{
+		Cells: cells,
+		Cell: Config{
+			Anchors: 3, Antennas: 1, Bands: ble.DataChannels()[:2],
+			RoundDeadline: 50 * time.Millisecond,
+			FixQueueDepth: 256,
+		},
+		OnSnapshot: func(cell int, info RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
+			return geom.Pt(float64(cell), float64(info.Tag)), nil
+		},
+		OnFix:  rec.record,
+		Logger: quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFleetRoutesRowsToCells feeds rounds through the global ingest
+// facade and asserts each tag's fixes come from the cell owning its
+// anchors, with global anchor IDs renumbered into cell-local space.
+func TestFleetRoutesRowsToCells(t *testing.T) {
+	rec := newFleetRecorder()
+	f := testFleet(t, 2, rec)
+	defer f.Close()
+
+	// Tag 7 lives under cell 0's anchors (global 0..2), tag 8 under cell
+	// 1's (global 3..5).
+	for r := uint32(1); r <= 3; r++ {
+		for a := uint8(0); a < 3; a++ {
+			for b := uint16(0); b < 2; b++ {
+				f.IngestRow(fleetRow(7, r, a, b))
+				f.IngestRow(fleetRow(8, r, a+3, b))
+			}
+		}
+	}
+	// A row from outside the fleet is dropped, not crashed on.
+	f.IngestRow(fleetRow(9, 1, 6, 0))
+
+	for _, cs := range f.Stats().Cells {
+		if !cs.Running || cs.State != "healthy" {
+			t.Errorf("cell %d before drain: running=%v state=%s", cs.Cell, cs.Running, cs.State)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := f.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for r := uint32(1); r <= 3; r++ {
+		k0 := fixKeyT{cell: 0, tag: 7, round: r}
+		k1 := fixKeyT{cell: 1, tag: 8, round: r}
+		if rec.count(k0) != 1 {
+			t.Errorf("tag 7 round %d delivered %d times from cell 0", r, rec.count(k0))
+		}
+		if rec.count(k1) != 1 {
+			t.Errorf("tag 8 round %d delivered %d times from cell 1", r, rec.count(k1))
+		}
+		rec.mu.Lock()
+		if fx := rec.fix[k0]; fx.X != 0 || fx.Y != 7 {
+			t.Errorf("tag 7 fix (%v,%v), want cell-0 stub (0,7)", fx.X, fx.Y)
+		}
+		if fx := rec.fix[k1]; fx.X != 1 || fx.Y != 8 {
+			t.Errorf("tag 8 fix (%v,%v), want cell-1 stub (1,8)", fx.X, fx.Y)
+		}
+		rec.mu.Unlock()
+	}
+	for k := range rec.snapshot() {
+		if k.tag == 9 {
+			t.Errorf("out-of-fleet row produced a fix: %+v", k)
+		}
+	}
+	fs := f.Stats()
+	if fs.Agg.CellRestarts != 0 || fs.Agg.PanicsRecovered != 0 {
+		t.Errorf("fault counters moved without faults: %+v", fs.Agg)
+	}
+	if fs.RoutedTags != 2 {
+		t.Errorf("RoutedTags = %d, want 2", fs.RoutedTags)
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	base := func() FleetConfig {
+		return FleetConfig{
+			Cells: 2,
+			Cell:  Config{Anchors: 3, Antennas: 1, Bands: ble.DataChannels()[:2]},
+			OnSnapshot: func(int, RoundInfo, *csi.Snapshot) (geom.Point, error) {
+				return geom.Pt(0, 0), nil
+			},
+			Logger: quietLogger(),
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*FleetConfig)
+	}{
+		{"zero cells", func(c *FleetConfig) { c.Cells = 0 }},
+		{"nil OnSnapshot", func(c *FleetConfig) { c.OnSnapshot = nil }},
+		{"addr count mismatch", func(c *FleetConfig) { c.CellAddrs = []string{"127.0.0.1:0"} }},
+		{"anchor ID overflow", func(c *FleetConfig) { c.Cells = 100; c.Cell.Anchors = 3 }},
+		{"template OnSnapshot", func(c *FleetConfig) {
+			c.Cell.OnSnapshot = func(RoundInfo, *csi.Snapshot) (geom.Point, error) { return geom.Pt(0, 0), nil }
+		}},
+		{"template Hook", func(c *FleetConfig) { c.Cell.Hook = func(string) {} }},
+		{"template Checkpoint", func(c *FleetConfig) { c.Cell.Checkpoint = &CheckpointConfig{} }},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mutate(&cfg)
+		if f, err := NewFleet(cfg); err == nil {
+			f.Close()
+			t.Errorf("%s: NewFleet accepted the config", tc.name)
+		}
+	}
+}
+
+func TestFleetCloseIdempotent(t *testing.T) {
+	rec := newFleetRecorder()
+	f := testFleet(t, 2, rec)
+	if err := f.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := f.Drain(ctx); err != nil {
+		t.Fatalf("drain after close: %v", err)
+	}
+}

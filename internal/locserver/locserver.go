@@ -118,7 +118,35 @@ type Config struct {
 	// Overload tunes the admission-control watermarks and tag-priority
 	// TTL; the zero value derives defaults from FixQueueDepth.
 	Overload OverloadConfig
+	// Breaker tunes the per-anchor-link circuit breakers gating every
+	// server→anchor send (DESIGN.md §15). The zero value selects the
+	// defaults; Threshold < 0 disables breakers.
+	Breaker BreakerConfig
+
+	// OnFix, when set, is called exactly once per delivered fix, after
+	// the broadcast, on the fix worker that computed it. The fleet layer
+	// uses it for exactly-once delivery accounting; it must not block.
+	OnFix func(info RoundInfo, fix wire.Fix)
+	// Hook, when set, is called at the panic-safe instrumentation
+	// points (HookIngest before each ingested row, HookFix before each
+	// fix computation). Fault drills inject scheduled panics through it
+	// (faultnet.CellKiller); a panic escaping the hook is recovered and
+	// reported through OnPanic, never crashes the process.
+	Hook func(event string)
+	// OnPanic, when set, receives every panic recovered inside the
+	// server (ingest handlers and fix workers). The cell supervisor
+	// restarts the cell on it; it must not block and must not call back
+	// into the server synchronously.
+	OnPanic func(where string, v any)
 }
+
+// Hook events: the panic-safe instrumentation points Config.Hook is
+// called at. Both sit outside every server lock, so a hook that panics
+// (a scheduled cell kill) can be recovered without wedging a mutex.
+const (
+	HookIngest = "ingest"
+	HookFix    = "fix"
+)
 
 // RoundInfo describes one completed round to the OnSnapshot callback.
 type RoundInfo struct {
@@ -146,6 +174,10 @@ type RoundInfo struct {
 	// control prioritizes on). Estimators holding a motion tracker can
 	// use it to arm the prior-gated search for this fix.
 	Tracked bool
+	// Fallback marks a round assembled by the fleet for a tag whose home
+	// cell was down, localized coarsely by a neighbor cell (DESIGN.md
+	// §15). Fallback implies Coarse; the fix is flagged, not silent.
+	Fallback bool
 }
 
 // Stats counts round outcomes and data-quality events.
@@ -181,6 +213,16 @@ type Stats struct {
 	LaggyMarks       int // transitions into laggy
 	LaggyReadmits    int // laggy anchors readmitted to quorum waits
 	EarlyCompletions int // rounds completed early by excluding laggy anchors
+
+	// Supervision plane (DESIGN.md §15). The breaker and panic counters
+	// are live on every server; the cell counters are filled by the
+	// fleet aggregate (a standalone server reports 0).
+	PanicsRecovered  int // panics recovered in ingest handlers and fix workers
+	BreakerOpens     int // per-anchor-link breaker transitions into open
+	BreakerProbes    int // half-open probe sends attempted
+	BreakerSkips     int // sends skipped because a link's breaker was open
+	CellRestarts     int // supervised cell restarts (fleet aggregate only)
+	CellsQuarantined int // cells currently quarantined (fleet aggregate only)
 }
 
 // Server collects CSI and serves fixes.
@@ -198,10 +240,13 @@ type Server struct {
 	health    *healthTracker             // quarantine + reference election + laggy tracking; guarded by mu
 	fixes     chan wire.Fix              // completed fixes, for observers/tests
 	closed    chan struct{}              // signals heartbeat loop shutdown
+	closeDone chan struct{}              // closed once the first Close finishes teardown
 	wg        sync.WaitGroup
-	closing   bool   // guarded by mu
-	draining  bool   // drain started: admit no new rounds; guarded by mu
-	maxRound  uint32 // highest round tombstoned (checkpoint high-water mark); guarded by mu
+	closing   bool          // guarded by mu
+	draining  bool          // drain started: admit no new rounds; guarded by mu
+	finalCkpt bool          // final drain checkpoint already claimed; guarded by mu
+	maxRound  uint32        // highest round tombstoned (checkpoint high-water mark); guarded by mu
+	brkCfg    BreakerConfig // resolved breaker parameters (immutable after New)
 
 	// Overload plane (DESIGN.md §12).
 	fq          *fixQueue             // bounded fix queue; guarded by mu
@@ -238,18 +283,47 @@ type roundKey struct {
 }
 
 // client is one connected anchor; writeMu serializes frames written by
-// concurrent round completions so they never interleave.
+// concurrent round completions so they never interleave, and guards the
+// link's circuit breaker so its decisions serialize with the writes.
 type client struct {
 	conn    net.Conn
 	id      uint8 // guarded by Server.mu
 	misses  int   // unanswered heartbeat count; guarded by Server.mu
 	writeMu sync.Mutex
+	brk     breaker // per-link circuit breaker; fields guarded by writeMu
 }
 
-func (c *client) send(msg any) error {
+// sendClient writes one frame to a client through its circuit breaker:
+// open links are skipped (errBreakerOpen) instead of attempted, a
+// cooled-down link gets a single half-open probe, and every outcome
+// feeds the breaker state machine and the server's breaker counters.
+func (s *Server) sendClient(c *client, msg any) error {
 	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	return wire.Send(c.conn, msg)
+	ok, probe := c.brk.allowLocked(s.now())
+	if !ok {
+		c.writeMu.Unlock()
+		s.mu.Lock()
+		s.stats.BreakerSkips++
+		s.mu.Unlock()
+		return errBreakerOpen
+	}
+	err := wire.Send(c.conn, msg)
+	opened := c.brk.resultLocked(err == nil, s.now())
+	c.writeMu.Unlock()
+	if probe || opened {
+		s.mu.Lock()
+		if probe {
+			s.stats.BreakerProbes++
+		}
+		if opened {
+			s.stats.BreakerOpens++
+		}
+		s.mu.Unlock()
+	}
+	if opened {
+		s.log.Warn("anchor link breaker opened", "anchor", c.id, "err", err)
+	}
+	return err
 }
 
 type pendingRound struct {
@@ -342,6 +416,8 @@ func NewWithListener(ln net.Listener, cfg Config) (*Server, error) {
 		health:    newHealthTracker(cfg.Anchors, cfg.Health),
 		fixes:     make(chan wire.Fix, 64),
 		closed:    make(chan struct{}),
+		closeDone: make(chan struct{}),
+		brkCfg:    cfg.Breaker.withDefaults(),
 		fq:        newFixQueue(cfg.FixQueueDepth),
 		busyTags:  make(map[uint16]bool),
 		ovl:       ovl,
@@ -403,13 +479,20 @@ func (s *Server) Stats() Stats {
 // fix workers and the heartbeat loop, and waits for every in-flight
 // completion. Jobs still queued are abandoned: Close is the hard stop
 // (Drain flushes them first).
+//
+// Close is idempotent and safe to call concurrently: the first caller
+// performs the teardown and gets any listener-close error; every other
+// caller (concurrent or later) waits for that teardown to finish and
+// returns nil.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	wasClosing := s.closing
-	s.closing = true
-	if !wasClosing {
-		close(s.closed)
+	if s.closing {
+		s.mu.Unlock()
+		<-s.closeDone
+		return nil
 	}
+	s.closing = true
+	close(s.closed)
 	for rk, pr := range s.rounds {
 		if pr.timer != nil {
 			pr.timer.Stop()
@@ -427,6 +510,7 @@ func (s *Server) Close() error {
 		c.conn.Close()
 	}
 	s.wg.Wait()
+	close(s.closeDone)
 	return err
 }
 
@@ -488,7 +572,11 @@ func (s *Server) heartbeatLoop() {
 				p.cl.conn.Close() // its handler exits and deregisters
 				continue
 			}
-			if err := p.cl.send(&wire.Heartbeat{Nonce: nonce}); err != nil {
+			// A breaker-open skip is not a send failure: the probe never
+			// went out. Misses still accrue, so a link whose breaker never
+			// re-closes is pruned by the ordinary liveness path.
+			if err := s.sendClient(p.cl, &wire.Heartbeat{Nonce: nonce}); err != nil &&
+				!errors.Is(err, errBreakerOpen) {
 				p.cl.conn.Close()
 			}
 		}
@@ -503,7 +591,7 @@ func (s *Server) handle(conn net.Conn) {
 	// lock that Close uses to set closing: a connection accepted from the
 	// TCP backlog after Close snapshotted the conn map would otherwise
 	// keep its handler blocked forever and deadlock Close's wg.Wait.
-	cl := &client{conn: conn, id: 0xFF}
+	cl := &client{conn: conn, id: 0xFF, brk: breaker{cfg: s.brkCfg}}
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()
@@ -558,7 +646,7 @@ func (s *Server) handle(conn net.Conn) {
 				s.log.Warn("anchor id spoofed in row", "hello", hello.AnchorID, "row", m.AnchorID)
 				continue
 			}
-			s.ingest(m)
+			s.IngestRow(m)
 		case *wire.Heartbeat:
 			s.mu.Lock()
 			cl.misses = 0
@@ -567,6 +655,41 @@ func (s *Server) handle(conn net.Conn) {
 			s.log.Warn("unexpected message type", "anchor", hello.AnchorID, "msg", fmt.Sprintf("%T", msg))
 		}
 	}
+}
+
+// recoverPanic recovers an in-flight panic from a hook point or the
+// localization callback, counts it, and reports it to the supervisor
+// through OnPanic. It must only guard code that panics outside the
+// server locks (the hook points and OnSnapshot both do): recovering a
+// panic raised under s.mu would leave the mutex held and wedge the
+// whole cell, which is exactly the blast radius this plane exists to
+// contain. Use as `defer s.recoverPanic("where")`.
+func (s *Server) recoverPanic(where string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	s.mu.Lock()
+	s.stats.PanicsRecovered++
+	s.mu.Unlock()
+	s.log.Error("panic recovered", "where", where, "panic", fmt.Sprint(r))
+	if s.cfg.OnPanic != nil {
+		s.cfg.OnPanic(where, r)
+	}
+}
+
+// IngestRow feeds one CSI row into the acquisition plane in-process —
+// the fleet router's path into a cell, and the path the TCP read loop
+// takes for every row. The cell hook fires first (HookIngest), and any
+// panic it or the ingest path raises at a hook point is recovered and
+// reported through OnPanic, so the caller's reader goroutine survives a
+// dying cell.
+func (s *Server) IngestRow(row *wire.CSIRow) {
+	defer s.recoverPanic("ingest")
+	if h := s.cfg.Hook; h != nil {
+		h(HookIngest)
+	}
+	s.ingest(row)
 }
 
 // ingest validates and merges one CSI row, and finalizes the round when
@@ -848,7 +971,7 @@ func (s *Server) broadcast(fix *wire.Fix) {
 	}
 	s.mu.Unlock()
 	for _, t := range targets {
-		if err := t.cl.send(fix); err != nil {
+		if err := s.sendClient(t.cl, fix); err != nil && !errors.Is(err, errBreakerOpen) {
 			s.log.Warn("fix broadcast failed", "anchor", t.id, "err", err)
 		}
 	}

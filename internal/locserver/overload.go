@@ -325,7 +325,7 @@ func (s *Server) fixWorker() {
 		s.updateModeLocked()
 		s.mu.Unlock()
 
-		s.runFix(job)
+		s.runFixRecover(job)
 
 		s.mu.Lock()
 		delete(s.busyTags, job.info.Tag)
@@ -334,6 +334,22 @@ func (s *Server) fixWorker() {
 		// skipped; wake one to re-scan.
 		s.fixCond.Signal()
 	}
+}
+
+// runFixRecover guards one fix computation with the cell hook and panic
+// recovery: a panic from the hook (a scheduled cell kill) or from the
+// localization callback is recovered and reported to the supervisor,
+// and the worker loop — which holds no lock here — survives to clean up
+// its busy-tag entry and keep draining. The round whose fix panicked is
+// lost (at-most-once), which is the crash-only contract: the supervisor
+// restarts the cell from its last checkpoint rather than trusting state
+// a panic tore through.
+func (s *Server) runFixRecover(job *fixJob) {
+	defer s.recoverPanic("fix")
+	if h := s.cfg.Hook; h != nil {
+		h(HookFix)
+	}
+	s.runFix(job)
 }
 
 // budgetExceeded checks a job's elapsed time against the fix budget. The
@@ -380,6 +396,9 @@ func (s *Server) runFix(job *fixJob) {
 	default: // observer not draining; drop rather than block the worker
 	}
 	s.broadcast(&fix)
+	if s.cfg.OnFix != nil {
+		s.cfg.OnFix(job.info, fix)
+	}
 	s.log.Info("fix", "tag", job.rk.tag, "round", job.rk.round, "x", loc.X, "y", loc.Y,
 		"coarse", job.info.Coarse, "degraded", job.info.Degraded)
 }

@@ -1,0 +1,72 @@
+package locserver
+
+import "sync"
+
+// router maps the fleet's global identifier spaces onto cells
+// (DESIGN.md §15). Anchors are partitioned arithmetically: global
+// anchor g lives in cell g / anchorsPerCell as local anchor
+// g % anchorsPerCell — a cell is an anchor set, and an anchor belongs
+// to exactly one. Tags are routed by observation: a tag's home cell is
+// the cell whose anchors reported it most recently (sticky, so a fix
+// pipeline never sees one tag split across two cells mid-round), which
+// is the physical truth of a zoned deployment — the tag is wherever
+// the radios that hear it are.
+type router struct {
+	cells          int
+	anchorsPerCell int
+
+	mu   sync.Mutex
+	home map[uint16]int // tag → home cell; guarded by mu
+}
+
+// maxRoutedTags bounds the tag-home map; like the server's done-round
+// tombstones it is cleared wholesale at the cap (tags re-learn their
+// home on the next row, which is harmless).
+const maxRoutedTags = 16384
+
+func newRouter(cells, anchorsPerCell int) *router {
+	return &router{
+		cells:          cells,
+		anchorsPerCell: anchorsPerCell,
+		home:           make(map[uint16]int),
+	}
+}
+
+// cellOfAnchor maps a global anchor ID to its cell, or -1 when the ID
+// is outside the fleet.
+func (r *router) cellOfAnchor(global int) int {
+	if global < 0 || global >= r.cells*r.anchorsPerCell {
+		return -1
+	}
+	return global / r.anchorsPerCell
+}
+
+// localAnchor maps a global anchor ID to its index inside its cell.
+func (r *router) localAnchor(global int) int { return global % r.anchorsPerCell }
+
+// noteTag records that a tag was observed by a cell's anchors, making
+// that cell the tag's home.
+func (r *router) noteTag(tag uint16, cell int) {
+	r.mu.Lock()
+	if len(r.home) >= maxRoutedTags {
+		r.home = make(map[uint16]int)
+	}
+	r.home[tag] = cell
+	r.mu.Unlock()
+}
+
+// homeOf returns a tag's home cell, if one has been observed.
+func (r *router) homeOf(tag uint16) (int, bool) {
+	r.mu.Lock()
+	c, ok := r.home[tag]
+	r.mu.Unlock()
+	return c, ok
+}
+
+// tagCount returns how many tags currently have a recorded home.
+func (r *router) tagCount() int {
+	r.mu.Lock()
+	n := len(r.home)
+	r.mu.Unlock()
+	return n
+}
