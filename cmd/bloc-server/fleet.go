@@ -72,6 +72,14 @@ func cellAddrs(listen string, cells int) ([]string, error) {
 // runFleet serves as a supervised multi-cell fleet: every cell owns its
 // anchors, engine, tag state and snapshot store, and a panic inside one
 // cell never reaches the others.
+//
+// Note on the fallback plane: flagged coarse neighbor fixes for a down
+// cell's tags exist only on the in-process ingest path
+// (Fleet.IngestRow — tests, eval, embedders). In this server mode each
+// cell accepts rows over its OWN TCP listener, so while a cell is down
+// its anchors see connection errors and keep retrying; their rounds
+// are simply lost until the supervisor's warm restart brings the
+// listener back (bounded by the backoff budget). See DESIGN.md §15.
 func runFleet(o fleetOpts) {
 	addrs, err := cellAddrs(o.listen, o.cells)
 	if err != nil {
@@ -231,6 +239,7 @@ func runFleet(o fleetOpts) {
 						"cell_restarts", agg.CellRestarts,
 						"cells_quarantined", agg.CellsQuarantined,
 						"fallback_fixes", fs.FallbackFixes,
+						"fallback_panics", fs.FallbackPanics,
 						"routed_tags", fs.RoutedTags,
 					)
 					for _, cs := range fs.Cells {

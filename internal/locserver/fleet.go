@@ -107,9 +107,10 @@ type Fleet struct {
 	wg     sync.WaitGroup
 	now    func() time.Time // clock hook (tests); immutable after NewFleet
 
-	mu      sync.Mutex
-	closing bool // guarded by mu
-	fbFixes int  // fallback fixes delivered for down cells; guarded by mu
+	mu       sync.Mutex
+	closing  bool // guarded by mu
+	fbFixes  int  // fallback fixes delivered for down cells; guarded by mu
+	fbPanics int  // panics recovered on the fallback path; guarded by mu
 }
 
 // NewFleet starts every cell and its supervisor.
@@ -250,7 +251,7 @@ func (f *Fleet) restartCell(c *cell, where string) bool {
 		srv.Close()
 		final := srv.Stats()
 		c.mu.Lock()
-		c.base = addCounters(c.base, final)
+		c.base = addCounters(c.base, retireStats(final))
 		c.mu.Unlock()
 	}
 	if !f.sleep(cooldown) || !f.sleep(backoff) {
@@ -342,8 +343,21 @@ func (f *Fleet) IngestRow(row *wire.CSIRow) {
 
 // deliverFallback localizes a down cell's completed round on the next
 // running neighbor and delivers the flagged coarse fix under the tag's
-// home cell.
+// home cell. The estimator callbacks run with panic recovery, like the
+// cell fix path (recoverPanic): the fallback plane serves tags exactly
+// when a cell is already down, so a panicking neighbor-cell estimator
+// must drop the one fix, not propagate into whichever goroutine called
+// Fleet.IngestRow and take the whole process with it.
 func (f *Fleet) deliverFallback(home int, tag uint16, round uint32, snap *csi.Snapshot) {
+	defer func() {
+		if r := recover(); r != nil {
+			f.mu.Lock()
+			f.fbPanics++
+			f.mu.Unlock()
+			f.log.Error("panic recovered on the fallback fix path; fix dropped",
+				"home", home, "tag", tag, "round", round, "panic", fmt.Sprint(r))
+		}
+	}()
 	nb := f.nextRunning(home)
 	if nb < 0 {
 		return // whole fleet down; nothing can serve this round
@@ -419,6 +433,11 @@ type FleetStats struct {
 	// FallbackFixes counts flagged coarse fixes served by neighbors for
 	// tags whose home cell was down.
 	FallbackFixes int
+	// FallbackPanics counts panics recovered (and fixes dropped) on the
+	// fallback path — a neighbor-cell estimator dying on a down cell's
+	// round. Kept separate from the cells' PanicsRecovered, which count
+	// only in-cell recoveries.
+	FallbackPanics int
 	// RoutedTags is how many tags currently have a recorded home cell.
 	RoutedTags int
 }
@@ -451,6 +470,7 @@ func (f *Fleet) Stats() FleetStats {
 	}
 	f.mu.Lock()
 	fs.FallbackFixes = f.fbFixes
+	fs.FallbackPanics = f.fbPanics
 	f.mu.Unlock()
 	fs.RoutedTags = f.rt.tagCount()
 	return fs
@@ -519,12 +539,24 @@ func (f *Fleet) Close() error {
 			// a post-shutdown Stats still reports the whole history.
 			final := srv.Stats()
 			c.mu.Lock()
-			c.base = addCounters(c.base, final)
+			c.base = addCounters(c.base, retireStats(final))
 			c.mu.Unlock()
 		}
 	}
 	f.wg.Wait()
 	return err
+}
+
+// retireStats prepares a dead incarnation's final Stats for folding
+// into cell.base: the point-in-time gauges (QueueDepth, Mode) are
+// zeroed so post-restart aggregates reflect only live servers — a
+// retired incarnation's last queue depth or overload mode must not be
+// reported forever. QueuePeak survives untouched: it is explicitly a
+// high-water mark over the cell's whole history.
+func retireStats(s Stats) Stats {
+	s.QueueDepth = 0
+	s.Mode = 0
+	return s
 }
 
 // addCounters folds two Stats snapshots: counters sum; Mode and

@@ -219,6 +219,102 @@ func TestFleetConfigValidation(t *testing.T) {
 	}
 }
 
+// TestFleetFallbackPanicContained pins the fallback plane's panic
+// containment: a neighbor-cell estimator that panics on a down cell's
+// round must cost exactly that one fix — counted in FallbackPanics —
+// and never propagate into the goroutine calling Fleet.IngestRow.
+func TestFleetFallbackPanicContained(t *testing.T) {
+	rec := newFleetRecorder()
+	f, err := NewFleet(FleetConfig{
+		Cells: 2,
+		Cell: Config{
+			Anchors: 3, Antennas: 1, Bands: ble.DataChannels()[:2],
+			RoundDeadline: 50 * time.Millisecond,
+			FixQueueDepth: 256,
+		},
+		OnSnapshot: func(cell int, info RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
+			if info.Fallback {
+				panic("estimator died on a fallback round")
+			}
+			return geom.Pt(float64(cell), float64(info.Tag)), nil
+		},
+		OnFix:  rec.record,
+		Logger: quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Take cell 0 down the way the fleet sees it mid-restart: no live
+	// incarnation, rows for its anchors divert to the fallback collector.
+	c := f.cells[0]
+	c.mu.Lock()
+	srv := c.srv
+	c.srv = nil
+	c.running = false
+	c.mu.Unlock()
+	srv.Close()
+
+	// A complete round for cell 0's anchors fills a fallback bucket; the
+	// completing row triggers the panicking neighbor estimator inline.
+	// This must not panic the ingest caller (the test goroutine).
+	for a := uint8(0); a < 3; a++ {
+		for b := uint16(0); b < 2; b++ {
+			f.IngestRow(fleetRow(7, 1, a, b))
+		}
+	}
+	fs := f.Stats()
+	if fs.FallbackPanics != 1 {
+		t.Errorf("FallbackPanics = %d, want 1", fs.FallbackPanics)
+	}
+	if fs.FallbackFixes != 0 {
+		t.Errorf("FallbackFixes = %d after a panicked fallback, want 0", fs.FallbackFixes)
+	}
+	if n := rec.count(fixKeyT{cell: 0, tag: 7, round: 1}); n != 0 {
+		t.Errorf("panicked fallback round delivered %d fixes, want 0", n)
+	}
+
+	// The surviving cell still serves normally after the contained panic.
+	for a := uint8(3); a < 6; a++ {
+		for b := uint16(0); b < 2; b++ {
+			f.IngestRow(fleetRow(8, 2, a, b))
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := f.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n := rec.count(fixKeyT{cell: 1, tag: 8, round: 2}); n != 1 {
+		t.Errorf("surviving cell delivered %d fixes, want 1", n)
+	}
+}
+
+// TestRetireStatsZeroesGauges pins the restart fold: a dead
+// incarnation contributes its counters and high-water marks to
+// cell.base, but never its point-in-time gauges — otherwise Fleet.Stats
+// would report a retired server's queue depth and overload mode
+// forever.
+func TestRetireStatsZeroesGauges(t *testing.T) {
+	final := Stats{Full: 3, QueueDepth: 7, Mode: 2, QueuePeak: 9}
+	base := addCounters(Stats{Full: 1, QueuePeak: 4}, retireStats(final))
+	if base.QueueDepth != 0 || base.Mode != 0 {
+		t.Errorf("retired gauges leaked into base: depth=%d mode=%d", base.QueueDepth, base.Mode)
+	}
+	if base.QueuePeak != 9 {
+		t.Errorf("QueuePeak = %d, want 9 (high-water mark survives retirement)", base.QueuePeak)
+	}
+	if base.Full != 4 {
+		t.Errorf("Full = %d, want 4 (counters still sum)", base.Full)
+	}
+	// Folding a live incarnation on top reports its gauges as-is.
+	live := addCounters(base, Stats{QueueDepth: 2, Mode: 1})
+	if live.QueueDepth != 2 || live.Mode != 1 {
+		t.Errorf("live gauges misreported: depth=%d mode=%d", live.QueueDepth, live.Mode)
+	}
+}
+
 func TestFleetCloseIdempotent(t *testing.T) {
 	rec := newFleetRecorder()
 	f := testFleet(t, 2, rec)

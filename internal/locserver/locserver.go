@@ -657,13 +657,15 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// recoverPanic recovers an in-flight panic from a hook point or the
-// localization callback, counts it, and reports it to the supervisor
-// through OnPanic. It must only guard code that panics outside the
-// server locks (the hook points and OnSnapshot both do): recovering a
-// panic raised under s.mu would leave the mutex held and wedge the
-// whole cell, which is exactly the blast radius this plane exists to
-// contain. Use as `defer s.recoverPanic("where")`.
+// recoverPanic recovers an in-flight panic from a hook point, the
+// localization callback, or the ingest path, counts it, and reports it
+// to the supervisor through OnPanic. It must only guard code that
+// leaves no lock held when a panic unwinds through it: the hook points
+// and OnSnapshot run lock-free, and ingest releases s.mu by defer.
+// Recovering a panic that stranded a held mutex would wedge the whole
+// cell — every later ingest, Stats and Close would block on it —
+// which is exactly the blast radius this plane exists to contain. Use
+// as `defer s.recoverPanic("where")`.
 func (s *Server) recoverPanic(where string) {
 	r := recover()
 	if r == nil {
@@ -681,9 +683,9 @@ func (s *Server) recoverPanic(where string) {
 // IngestRow feeds one CSI row into the acquisition plane in-process —
 // the fleet router's path into a cell, and the path the TCP read loop
 // takes for every row. The cell hook fires first (HookIngest), and any
-// panic it or the ingest path raises at a hook point is recovered and
-// reported through OnPanic, so the caller's reader goroutine survives a
-// dying cell.
+// panic it or the ingest path raises is recovered — with s.mu already
+// released by ingest's deferred unlock — and reported through OnPanic,
+// so the caller's reader goroutine survives a dying cell.
 func (s *Server) IngestRow(row *wire.CSIRow) {
 	defer s.recoverPanic("ingest")
 	if h := s.cfg.Hook; h != nil {
@@ -698,23 +700,31 @@ func (s *Server) IngestRow(row *wire.CSIRow) {
 // finalized round is enqueued on the bounded fix queue and the reader
 // returns to its socket. nonblocking: the row reader must never park,
 // so sendblock holds this function to the no-blocking-ops contract.
+// The TCP path validates anchor IDs at hello, but Server.IngestRow is
+// exported, so the anchor bound is re-checked here — an out-of-range
+// ID must reject the row, never index past the per-round state.
 func (s *Server) ingest(row *wire.CSIRow) {
-	if int(row.BandIdx) >= len(s.cfg.Bands) || len(row.Tag) != s.cfg.Antennas {
-		s.log.Warn("malformed csi row", "band", row.BandIdx, "antennas", len(row.Tag))
+	if int(row.AnchorID) >= s.cfg.Anchors || int(row.BandIdx) >= len(s.cfg.Bands) ||
+		len(row.Tag) != s.cfg.Antennas {
+		s.log.Warn("malformed csi row", "anchor", row.AnchorID, "band", row.BandIdx,
+			"antennas", len(row.Tag))
 		return
 	}
 	rk := roundKey{tag: row.TagID, round: row.Round}
 	s.mu.Lock()
+	// Deferred so a panic unwinding out of the round bookkeeping (a
+	// poisoned round) releases the lock before IngestRow's recover runs;
+	// a recovered panic must crash only the round, never wedge the cell.
+	defer s.mu.Unlock()
 	if dr, ok := s.done[rk]; ok {
 		// A straggler for a completed round is dropped, but its lateness
 		// still feeds the latency plane: early (laggy-excluded)
 		// completions would otherwise freeze a laggy anchor's EWMA at
 		// its worst value and bar readmission forever.
-		if a := int(row.AnchorID); a < len(dr.seen) && !dr.seen[a] {
+		if a := int(row.AnchorID); !dr.seen[a] {
 			dr.seen[a] = true
 			s.health.observeLatencyLocked(a, s.now().Sub(dr.start))
 		}
-		s.mu.Unlock()
 		return
 	}
 	pr := s.rounds[rk]
@@ -722,7 +732,6 @@ func (s *Server) ingest(row *wire.CSIRow) {
 		if s.draining {
 			// Drain admits no new rounds; rows for already-pending rounds
 			// above still land, so in-flight acquisitions can finish.
-			s.mu.Unlock()
 			return
 		}
 		pr = &pendingRound{
@@ -760,7 +769,6 @@ func (s *Server) ingest(row *wire.CSIRow) {
 	}
 	key := [2]uint16{uint16(row.AnchorID), row.BandIdx}
 	if pr.got[key] {
-		s.mu.Unlock()
 		return // duplicate (transport resend); never re-validated
 	}
 	pr.got[key] = true
@@ -790,7 +798,6 @@ func (s *Server) ingest(row *wire.CSIRow) {
 	// rows from anchors already excluded from the quorum.
 	early := !full && pr.nonLagAll > 0 && pr.nonLagGot >= pr.nonLagAll
 	if !full && !early {
-		s.mu.Unlock()
 		return
 	}
 	if pr.timer != nil {
@@ -805,7 +812,6 @@ func (s *Server) ingest(row *wire.CSIRow) {
 	if usable {
 		s.enqueueFixLocked(&fixJob{rk: rk, snap: snap, info: info, start: pr.start})
 	}
-	s.mu.Unlock()
 }
 
 // roundDeadline fires when a pending round's deadline expires: the round

@@ -63,6 +63,57 @@ func startTestbed(t *testing.T, seed uint64, onSnap func(RoundInfo, *csi.Snapsho
 	return srv, daemons
 }
 
+// TestIngestRowOutOfRangeAnchorRejected pins the exported ingest
+// path's anchor bound: the TCP path validates anchor IDs at hello, but
+// Server.IngestRow (the fleet router's seam) must reject an
+// out-of-range ID as malformed — not panic under s.mu, which would
+// strand the lock behind the ingest recover and wedge every later
+// ingest, Stats and Close.
+func TestIngestRowOutOfRangeAnchorRejected(t *testing.T) {
+	srv, err := New("127.0.0.1:0", Config{
+		Anchors: 3, Antennas: 1, Bands: ble.DataChannels()[:2],
+		FixQueueDepth: 8,
+		OnSnapshot: func(RoundInfo, *csi.Snapshot) (geom.Point, error) {
+			return geom.Pt(0, 0), nil
+		},
+		Logger: quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	row := func(anchor uint8, band uint16) *wire.CSIRow {
+		return &wire.CSIRow{
+			Round: 1, TagID: 5, AnchorID: anchor, BandIdx: band,
+			Tag: []complex128{complex(1, float64(band+1))}, Master: complex(1, 1),
+		}
+	}
+	// Out-of-range anchor IDs, before and mid-round: dropped, no panic.
+	srv.IngestRow(row(3, 0))
+	srv.IngestRow(row(0, 0))
+	srv.IngestRow(row(0xFF, 1))
+	// The server still assembles and serves the valid round.
+	for a := uint8(0); a < 3; a++ {
+		for b := uint16(0); b < 2; b++ {
+			srv.IngestRow(row(a, b))
+		}
+	}
+	select {
+	case fix := <-srv.Fixes():
+		if fix.TagID != 5 || fix.Round != 1 {
+			t.Fatalf("unexpected fix %+v", fix)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("round never completed after out-of-range rows")
+	}
+	// Stats must not block (the lock was never stranded) and no panic
+	// was recovered: the bad rows were rejected up front.
+	if st := srv.Stats(); st.PanicsRecovered != 0 {
+		t.Errorf("PanicsRecovered = %d, want 0 (rejection, not recovery)", st.PanicsRecovered)
+	}
+}
+
 func TestDistributedSnapshotMatchesDirect(t *testing.T) {
 	const seed = 21
 	var (
