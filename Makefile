@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race soak chaos chaos-cells drill overload stress vet lint ci fuzz bench bench-check perf figures figures-full clean
+.PHONY: all build test race soak chaos chaos-cells chaos-degrade drill overload stress vet lint ci fuzz bench bench-check perf figures figures-full clean
 
 all: vet lint test build
 
@@ -43,6 +43,18 @@ chaos-cells:
 	$(GO) test -race -count=1 \
 		-run 'ChaosCells|Supervisor|Breaker|Fleet|CellKiller|DrainClose|StoreConcurrent' \
 		./internal/locserver/ ./internal/faultnet/ ./internal/durable/
+
+# Degradation-ladder chaos drill (DESIGN.md §16) under the race detector:
+# a scripted fault schedule walks a fingerprint-enabled server down every
+# rung in order — gated CSI, full CSI, fingerprint, centroid — and the
+# drill asserts the served tier, the hysteretic demotion/holdback/
+# promotion transitions and the per-tier counters match the injected
+# schedule exactly; plus the no-survey control, the overload demotion
+# site, the fleet fallback tier + dropped-bucket accounting, the
+# downtime TCP ingress regression and the concurrent half-open breaker
+# probe contract.
+chaos-degrade:
+	$(GO) test -race -count=1 -run 'ChaosDegrade' ./internal/locserver/
 
 # Durability drills: the snapshot codec/store suite plus the
 # kill-and-restart, snapshot-corruption and graceful-drain scenarios,
@@ -94,7 +106,7 @@ lint: build
 	$(GO) run ./cmd/bloc-lint -unused-ignores ./...
 
 # Everything CI runs, in CI's order.
-ci: vet lint test race soak chaos chaos-cells drill overload stress
+ci: vet lint test race soak chaos chaos-cells chaos-degrade drill overload stress
 
 # Native fuzzing smoke pass: the wire protocol and the durable snapshot
 # decoder, each over its seed corpus (go test allows one -fuzz package

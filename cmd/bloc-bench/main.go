@@ -7,7 +7,7 @@
 //
 //	bloc-bench [-positions 300] [-seed 7] [-exp all|fig4|fig6|fig8a|fig8b|
 //	            fig9a|fig9b|fig9c|fig10|fig11|fig12|fig13|ablations|quorum|
-//	            failover|restart|overload|cellkill|gated|perf] [-out dir]
+//	            failover|restart|overload|cellkill|gated|degrade|perf] [-out dir]
 //
 // The paper used 1700 positions; -positions 1700 reproduces that scale
 // (several minutes of CPU), while the default 300 keeps the shape of every
@@ -33,7 +33,7 @@ func main() {
 	var (
 		positions = flag.Int("positions", 300, "dataset size (paper: 1700)")
 		seed      = flag.Uint64("seed", 7, "simulation seed")
-		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, failover, restart, overload, cellkill, gated, perf, or all)")
+		exp       = flag.String("exp", "all", "experiment to run (fig4..fig13, ablations, quorum, failover, restart, overload, cellkill, gated, degrade, perf, or all)")
 		out       = flag.String("out", "", "directory for CSV series (optional)")
 
 		// -exp perf flags.
@@ -94,6 +94,13 @@ func main() {
 		gs, err := eval.AblationGated(*seed, gatedSteps)
 		check(err)
 		fmt.Println(eval.GatedTable(gs))
+	}
+	// The degrade ablation builds its own survey + spots; no dataset.
+	if want("degrade") && *exp != "all" { // "all" covers it inside runAblations
+		dg, err := eval.AblationDegrade(*seed)
+		check(err)
+		fmt.Println(eval.DegradeTable(dg))
+		checkDegradeOrdering(dg)
 	}
 	needsDataset := want("fig6") || want("fig8a") || want("fig9a") || want("fig9b") ||
 		want("fig9c") || want("fig10") || want("fig11") || want("fig12") ||
@@ -230,6 +237,11 @@ func runAblations(suite *eval.Suite, seed uint64, positions int) {
 	check(err)
 	fmt.Println(eval.GatedTable(gs))
 
+	dg, err := eval.AblationDegrade(seed)
+	check(err)
+	fmt.Println(eval.DegradeTable(dg))
+	checkDegradeOrdering(dg)
+
 	snrs, err := eval.AblationSNR(seed, small, []float64{5, 10, 15, 25})
 	check(err)
 	fmt.Println(eval.SNRTable(snrs))
@@ -264,6 +276,17 @@ func runAblations(suite *eval.Suite, seed uint64, positions int) {
 func check(err error) {
 	if err != nil {
 		log.Fatal(err)
+	}
+}
+
+// checkDegradeOrdering enforces the ladder's accuracy contract: the
+// fingerprint rung must strictly beat the centroid floor it sits above,
+// or the rung has no reason to exist.
+func checkDegradeOrdering(dg *eval.DegradeResult) {
+	fp := dg.Rung(eval.RungFingerprint).Median
+	ct := dg.Rung(eval.RungCentroid).Median
+	if !(fp < ct) {
+		log.Fatalf("degrade: fingerprint median %.0f cm does not beat centroid %.0f cm", fp*100, ct*100)
 	}
 }
 

@@ -8,9 +8,17 @@
 //	bloc-dataset record -out campaign.bloc [-positions 300] [-seed 7]
 //	bloc-dataset replay -in campaign.bloc [-method bloc] [-seed 7]
 //	bloc-dataset info   -in campaign.bloc
+//	bloc-dataset survey -out site.fpdb [-step 0.5] [-samples 3] [-seed 7]
 //
 // The seed at replay must match the recording's: it reconstructs the
 // anchor geometry the snapshots were measured against.
+//
+// survey walks a reference grid over the simulated room and records each
+// point's median per-anchor RSSI signature — the offline site-survey
+// campaign behind the serving plane's fingerprint rung (DESIGN.md §16).
+// The resulting file feeds bloc-server -fingerprint; the survey seed
+// must match the server's deployment seed for the signatures to match
+// the live field.
 package main
 
 import (
@@ -22,6 +30,8 @@ import (
 	"bloc/internal/core"
 	"bloc/internal/csi"
 	"bloc/internal/eval"
+	"bloc/internal/fingerprint"
+	"bloc/internal/geom"
 	"bloc/internal/testbed"
 )
 
@@ -36,13 +46,15 @@ func main() {
 		replay(os.Args[2:])
 	case "info":
 		info(os.Args[2:])
+	case "survey":
+		survey(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bloc-dataset record|replay|info [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bloc-dataset record|replay|info|survey [flags]")
 	os.Exit(2)
 }
 
@@ -123,6 +135,41 @@ func info(args []string) {
 	s := ds.Snapshots[0]
 	fmt.Printf("%s: %d positions, %d bands × %d anchors × %d antennas per snapshot\n",
 		*in, ds.Len(), s.NumBands(), s.NumAnchors(), s.NumAntennas())
+}
+
+func survey(args []string) {
+	fs := flag.NewFlagSet("survey", flag.ExitOnError)
+	out := fs.String("out", "site.fpdb", "output survey file")
+	step := fs.Float64("step", 0.5, "reference grid pitch in meters")
+	samples := fs.Int("samples", 3, "independent soundings medianed per reference point")
+	seed := fs.Uint64("seed", 7, "simulation seed (must match the serving deployment)")
+	fs.Parse(args)
+
+	dep, err := testbed.Paper(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anchors := len(dep.Anchors)
+	fmt.Printf("surveying %v at %.2g m pitch, %d samples/point (seed %d)...\n",
+		dep.Env.Room, *step, *samples, *seed)
+	// Fork-salt convention shared with eval.AblationDegrade: one
+	// deterministic channel realization per (point, repetition).
+	db, err := fingerprint.Survey(dep.Env.Room, anchors,
+		func(point, rep int, p geom.Point) *csi.Snapshot {
+			return dep.Fork(0x5E0<<16 | uint64(point)<<4 | uint64(rep)).Sounding(p)
+		}, fingerprint.SurveyOptions{StepM: *step, Samples: *samples})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fingerprint.WriteFile(*out, db); err != nil {
+		log.Fatal(err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d reference points × %d anchors, %.1f KiB\n",
+		*out, len(db.Points), db.Anchors, float64(st.Size())/(1<<10))
 }
 
 func load(path string) *eval.Dataset {

@@ -15,6 +15,7 @@ import (
 	"bloc/internal/core"
 	"bloc/internal/csi"
 	"bloc/internal/durable"
+	"bloc/internal/fingerprint"
 	"bloc/internal/geom"
 	"bloc/internal/locserver"
 	"bloc/internal/testbed"
@@ -45,6 +46,7 @@ type fleetOpts struct {
 	fixBudget   time.Duration
 	adaptiveDdl bool
 	breaker     locserver.BreakerConfig
+	fpdb        *fingerprint.DB // fingerprint rung survey; nil disables the rung
 }
 
 // cellAddrs derives each cell's listen address from the base -listen:
@@ -73,13 +75,13 @@ func cellAddrs(listen string, cells int) ([]string, error) {
 // anchors, engine, tag state and snapshot store, and a panic inside one
 // cell never reaches the others.
 //
-// Note on the fallback plane: flagged coarse neighbor fixes for a down
-// cell's tags exist only on the in-process ingest path
-// (Fleet.IngestRow — tests, eval, embedders). In this server mode each
-// cell accepts rows over its OWN TCP listener, so while a cell is down
-// its anchors see connection errors and keep retrying; their rounds
-// are simply lost until the supervisor's warm restart brings the
-// listener back (bounded by the backoff budget). See DESIGN.md §15.
+// Note on the fallback plane: each cell's TCP listener is owned by the
+// fleet and survives the cell's restarts, so a down cell's anchors keep
+// a dialable address throughout the outage. While the cell is down the
+// fleet itself accepts on that listener and routes the rows into the
+// fallback collector — complete rounds become flagged coarse fixes
+// computed by a neighbor cell, the same degraded service the in-process
+// ingest path (Fleet.IngestRow) has always had. See DESIGN.md §15/§16.
 func runFleet(o fleetOpts) {
 	addrs, err := cellAddrs(o.listen, o.cells)
 	if err != nil {
@@ -97,7 +99,7 @@ func runFleet(o fleetOpts) {
 			log.Fatal(err)
 		}
 		engines[i] = eng
-		states[i] = newTagState()
+		states[i] = newTagState(o.fpdb)
 	}
 
 	var ckpt func(cell int) *locserver.CheckpointConfig
@@ -140,10 +142,21 @@ func runFleet(o fleetOpts) {
 			FixBudget:         o.fixBudget,
 			AdaptiveDeadline:  o.adaptiveDdl,
 			Breaker:           o.breaker,
+			Fingerprint:       o.fpdb != nil,
 		},
 		OnSnapshot: func(cell int, info locserver.RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
+			// `cell` is the serving cell — the tag's own on healthy rounds,
+			// a neighbor on fallback rounds. A fallback round observes its
+			// snapshot into the neighbor's filter first, so the KNN lookup
+			// below always has at least this round's signature to match.
 			ts, eng := states[cell], engines[cell]
+			ts.observeRSSI(info.Tag, snap)
 			if info.Coarse {
+				if info.Tier == locserver.TierFingerprint {
+					if p, err := ts.fingerprintFix(info.Tag); err == nil {
+						return ts.smooth(info.Tag, p), nil
+					}
+				}
 				res, err := eng.LocateRSSI(snap)
 				if err != nil {
 					return geom.Point{}, err
@@ -232,6 +245,13 @@ func runFleet(o fleetOpts) {
 						"queue_peak", agg.QueuePeak,
 						"overload_degraded", agg.OverloadDegraded,
 						"overload_shed", agg.OverloadShed,
+						"tier_gated", agg.TierGatedRounds,
+						"tier_full", agg.TierFullRounds,
+						"tier_fingerprint", agg.TierFingerprintRounds,
+						"tier_centroid", agg.TierCentroidRounds,
+						"tier_demotions", agg.TierDemotions,
+						"tier_promotions", agg.TierPromotions,
+						"tier_holdbacks", agg.TierHoldbacks,
 						"panics_recovered", agg.PanicsRecovered,
 						"breaker_opens", agg.BreakerOpens,
 						"breaker_probes", agg.BreakerProbes,
@@ -240,6 +260,7 @@ func runFleet(o fleetOpts) {
 						"cells_quarantined", agg.CellsQuarantined,
 						"fallback_fixes", fs.FallbackFixes,
 						"fallback_panics", fs.FallbackPanics,
+						"fallback_dropped", fs.FallbackDropped,
 						"routed_tags", fs.RoutedTags,
 					)
 					for _, cs := range fs.Cells {

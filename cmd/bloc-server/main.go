@@ -11,6 +11,7 @@
 //	            [-drain-timeout 10s] [-fix-workers 2] [-fix-queue 64]
 //	            [-fix-budget 0] [-adaptive-deadline] [-cells 1]
 //	            [-breaker-threshold 3] [-breaker-cooldown 2s]
+//	            [-fingerprint site.fpdb]
 //
 // The seed must match the anchors' seed: it defines the shared simulated
 // deployment geometry the localization engine needs. Rounds that miss the
@@ -46,6 +47,16 @@
 // link sit behind a per-link circuit breaker: -breaker-threshold
 // consecutive failures open it (skipping further writes), and after
 // -breaker-cooldown a single half-open probe decides whether it closes.
+//
+// With -fingerprint the server loads a site-survey fingerprint database
+// (bloc-dataset survey) and enables the fingerprint rung of the
+// degradation ladder (DESIGN.md §16): degraded rounds — unmet quorums,
+// overload demotions, a down cell's fallback fixes — are served by a
+// weighted-KNN lookup over the tag's median+EWMA-filtered live RSSI
+// instead of falling straight to the RSSI-trilateration centroid. Every
+// fix carries an explicit quality tier (gated-csi, full-csi,
+// fingerprint, centroid), visible in the fix logs and the tier_*
+// -stats keys. The survey's seed must match -seed.
 package main
 
 import (
@@ -62,6 +73,7 @@ import (
 	"bloc/internal/core"
 	"bloc/internal/csi"
 	"bloc/internal/durable"
+	"bloc/internal/fingerprint"
 	"bloc/internal/geom"
 	"bloc/internal/locserver"
 	"bloc/internal/testbed"
@@ -71,21 +83,60 @@ import (
 // tagState is the durable per-process state bloc-server owns on top of
 // the locserver: the array calibration and one Kalman tracker per tag.
 type tagState struct {
+	fpdb *fingerprint.DB // fingerprint rung survey; nil disables the rung
+
 	mu    sync.Mutex
-	cal   *core.Calibration           // guarded by mu; nil until calibrated or restored
-	trks  map[uint16]*track.Filter    // guarded by mu
-	last  map[uint16]int64            // unix nanos of each tag's last fused fix; guarded by mu
-	gates map[uint16]*core.GatePolicy // per-tag gating hysteresis; guarded by mu
+	cal   *core.Calibration              // guarded by mu; nil until calibrated or restored
+	trks  map[uint16]*track.Filter       // guarded by mu
+	last  map[uint16]int64               // unix nanos of each tag's last fused fix; guarded by mu
+	gates map[uint16]*core.GatePolicy    // per-tag gating hysteresis; guarded by mu
+	fps   map[uint16]*fingerprint.Filter // per-tag live-RSSI filters; guarded by mu
 	now   func() time.Time
 }
 
-func newTagState() *tagState {
+func newTagState(fpdb *fingerprint.DB) *tagState {
 	return &tagState{
+		fpdb:  fpdb,
 		trks:  make(map[uint16]*track.Filter),
 		last:  make(map[uint16]int64),
 		gates: make(map[uint16]*core.GatePolicy),
+		fps:   make(map[uint16]*fingerprint.Filter),
 		now:   time.Now,
 	}
+}
+
+// observeRSSI feeds a round's raw RSSI signature into the tag's live
+// median+EWMA filter — on every round, not just degraded ones, so the
+// fingerprint rung has a warm signature the moment the ladder demotes
+// the tag.
+func (ts *tagState) observeRSSI(tag uint16, snap *csi.Snapshot) {
+	if ts.fpdb == nil {
+		return
+	}
+	sig := fingerprint.Signature(snap)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	filt := ts.fps[tag]
+	if filt == nil {
+		filt = fingerprint.NewFilter(ts.fpdb.Anchors, fingerprint.FilterOptions{})
+		ts.fps[tag] = filt
+	}
+	filt.Observe(sig)
+}
+
+// fingerprintFix runs the KNN rung for a tag. ErrNoMatch (or a cold
+// filter) tells the caller to fall to the centroid floor.
+func (ts *tagState) fingerprintFix(tag uint16) (geom.Point, error) {
+	var sig []float64
+	ts.mu.Lock()
+	if filt := ts.fps[tag]; filt != nil {
+		sig = filt.Signature()
+	}
+	ts.mu.Unlock()
+	if ts.fpdb == nil || sig == nil {
+		return geom.Point{}, fingerprint.ErrNoMatch
+	}
+	return ts.fpdb.Locate(sig)
 }
 
 // prior derives the gated-search prior for a tag from its tracker's 1σ
@@ -245,6 +296,7 @@ func main() {
 		cells        = flag.Int("cells", 1, "supervised fault-isolated cells; >1 shards -anchors-per-cell across consecutive ports (DESIGN.md §15)")
 		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive send failures opening an anchor link's circuit breaker (<0 disables)")
 		brkCooldown  = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before the half-open probe")
+		fpPath       = flag.String("fingerprint", "", "site-survey fingerprint DB (bloc-dataset survey); enables the ladder's fingerprint rung")
 	)
 	flag.Parse()
 
@@ -263,6 +315,20 @@ func main() {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
+	var fpdb *fingerprint.DB
+	if *fpPath != "" {
+		fpdb, err = fingerprint.ReadFile(*fpPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fpdb.Anchors != *anchors {
+			log.Fatalf("-fingerprint %s surveyed %d anchors, deployment has %d per cell",
+				*fpPath, fpdb.Anchors, *anchors)
+		}
+		logger.Info("fingerprint survey loaded", "path", *fpPath,
+			"points", len(fpdb.Points), "anchors", fpdb.Anchors, "step_m", fpdb.StepM)
+	}
+
 	if *cells > 1 {
 		runFleet(fleetOpts{
 			cells: *cells, listen: *listen, dep: dep, logger: logger,
@@ -273,11 +339,12 @@ func main() {
 			drainWait: *drainWait, fixWorkers: *fixWorkers, fixQueue: *fixQueue,
 			fixBudget: *fixBudget, adaptiveDdl: *adaptiveDdl,
 			breaker: locserver.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+			fpdb:    fpdb,
 		})
 		return
 	}
 
-	ts := newTagState()
+	ts := newTagState(fpdb)
 
 	var ckpt *locserver.CheckpointConfig
 	if *stateDir != "" {
@@ -310,10 +377,20 @@ func main() {
 		FixBudget:         *fixBudget,
 		AdaptiveDeadline:  *adaptiveDdl,
 		Breaker:           locserver.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		Fingerprint:       fpdb != nil,
 		OnSnapshot: func(info locserver.RoundInfo, snap *csi.Snapshot) (geom.Point, error) {
+			ts.observeRSSI(info.Tag, snap)
 			// Degraded rounds carry too few correction-grade rows for the
-			// CSI pipeline; fall back to RSSI-only trilateration.
+			// CSI pipeline; serve them at the ladder rung the server
+			// admitted them at — fingerprint KNN when a survey is loaded,
+			// the RSSI-trilateration centroid otherwise (or when the live
+			// signature overlaps too few surveyed anchors).
 			if info.Coarse {
+				if info.Tier == locserver.TierFingerprint {
+					if p, err := ts.fingerprintFix(info.Tag); err == nil {
+						return ts.smooth(info.Tag, p), nil
+					}
+				}
 				res, err := eng.LocateRSSI(snap)
 				if err != nil {
 					return geom.Point{}, err
@@ -416,6 +493,13 @@ func main() {
 						"warm_restores", ss.WarmRestores,
 						"stale_discards", ss.StaleDiscards,
 						"snapshot_fallbacks", ss.SnapshotFallbacks,
+						"tier_gated", ss.TierGatedRounds,
+						"tier_full", ss.TierFullRounds,
+						"tier_fingerprint", ss.TierFingerprintRounds,
+						"tier_centroid", ss.TierCentroidRounds,
+						"tier_demotions", ss.TierDemotions,
+						"tier_promotions", ss.TierPromotions,
+						"tier_holdbacks", ss.TierHoldbacks,
 						"serve_mode", ss.Mode,
 						"mode_changes", ss.ModeChanges,
 						"queue_depth", ss.QueueDepth,

@@ -2,6 +2,13 @@
 // over the space and report localization quality per region — the
 // pre-deployment check an integrator runs before mounting anchors. Uses
 // only the public API (floorplan loader + system + localization).
+//
+// The survey also prices the degraded tiers per region: every probe is
+// additionally localized by fingerprint KNN (against a survey built with
+// SurveyFingerprints) and by the RSSI centroid, the two rungs a live
+// deployment falls to when the CSI quorum is unmet. Regions where even
+// the fingerprint rung is poor need an anchor moved before the hardware
+// goes on the wall — degraded service there would be room-scale.
 package main
 
 import (
@@ -30,13 +37,26 @@ func main() {
 	fmt.Printf("site survey: %s (%.0fx%.0f m, %d anchors)\n\n",
 		fp.Name, max.X-min.X, max.Y-min.Y, len(sys.AnchorPositions()))
 
+	// The fingerprint survey the degraded tiers are priced against —
+	// the same offline campaign `bloc-dataset survey` records for a
+	// live server's -fingerprint flag.
+	fpdb, err := sys.SurveyFingerprints(0.5, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fingerprint survey: %d reference points at %.2g m pitch\n\n",
+		len(fpdb.Points), fpdb.StepM)
+
 	// Divide the space into a coarse survey grid and localize a few
-	// probes per cell.
+	// probes per cell — once CSI-grade, once per degraded tier on the
+	// same acquisition.
 	const cells = 4
 	const probes = 3
 	type cellResult struct {
 		label string
-		errs  []float64
+		errs  []float64 // CSI-grade
+		fp    []float64 // fingerprint KNN tier
+		cent  []float64 // RSSI centroid tier
 	}
 	var results []cellResult
 	w := (max.X - min.X) / cells
@@ -44,7 +64,8 @@ func main() {
 	for cy := 0; cy < cells; cy++ {
 		for cx := 0; cx < cells; cx++ {
 			label := fmt.Sprintf("cell (%d,%d)", cx, cy)
-			var errs []float64
+			var r cellResult
+			r.label = label
 			for p := 0; p < probes; p++ {
 				// Deterministic probe spots inside the cell, away from
 				// its edges.
@@ -53,17 +74,28 @@ func main() {
 					min.X+(float64(cx)+fx)*w,
 					min.Y+(float64(cy)+0.5)*h,
 				)
-				fix, err := sys.Localize(probe)
+				snap := sys.Acquire(probe)
+				fix, err := sys.LocalizeSnapshot(bloc.MethodBLoc, snap)
 				if err != nil {
 					log.Fatal(err)
 				}
-				errs = append(errs, fix.Error)
+				r.errs = append(r.errs, fix.Estimate.Dist(probe))
+				fpFix, err := sys.LocalizeFingerprint(fpdb, snap)
+				if err != nil {
+					log.Fatal(err)
+				}
+				r.fp = append(r.fp, fpFix.Estimate.Dist(probe))
+				cFix, err := sys.LocalizeSnapshot(bloc.MethodRSSI, snap)
+				if err != nil {
+					log.Fatal(err)
+				}
+				r.cent = append(r.cent, cFix.Estimate.Dist(probe))
 			}
-			results = append(results, cellResult{label: label, errs: errs})
+			results = append(results, r)
 		}
 	}
 
-	fmt.Println("worst survey cells (median probe error):")
+	fmt.Println("worst survey cells (median probe error; degraded tiers alongside):")
 	sort.Slice(results, func(i, j int) bool {
 		return median(results[i].errs) > median(results[j].errs)
 	})
@@ -71,15 +103,23 @@ func main() {
 		if i >= 5 {
 			break
 		}
-		fmt.Printf("  %-12s median %.2f m\n", r.label, median(r.errs))
+		fmt.Printf("  %-12s csi %.2f m   fingerprint %.2f m   centroid %.2f m\n",
+			r.label, median(r.errs), median(r.fp), median(r.cent))
 	}
-	var all []float64
+	var all, allFp, allCent []float64
 	for _, r := range results {
 		all = append(all, r.errs...)
+		allFp = append(allFp, r.fp...)
+		allCent = append(allCent, r.cent...)
 	}
-	fmt.Printf("\nsite-wide: median %.2f m over %d probes\n", median(all), len(all))
-	fmt.Println("(cells near strong reflectors or behind partitions survey worst —")
-	fmt.Println(" move an anchor or add one before the hardware goes on the wall)")
+	fmt.Printf("\nsite-wide medians over %d probes:\n", len(all))
+	fmt.Printf("  csi-grade          %.2f m\n", median(all))
+	fmt.Printf("  fingerprint tier   %.2f m\n", median(allFp))
+	fmt.Printf("  centroid tier      %.2f m\n", median(allCent))
+	fmt.Println("\n(cells near strong reflectors or behind partitions survey worst —")
+	fmt.Println(" move an anchor or add one before the hardware goes on the wall.")
+	fmt.Println(" the fingerprint row is what degraded service costs with a survey")
+	fmt.Println(" loaded; the centroid row is the floor without one)")
 }
 
 func median(xs []float64) float64 {

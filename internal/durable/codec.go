@@ -53,15 +53,7 @@ func EncodeSnapshot(st *State, gen uint64) []byte {
 // the track section. Tests and the fuzz seed corpus use it to produce
 // valid snapshots of every decodable version.
 func encodeVersion(st *State, gen uint64, version uint16) []byte {
-	payload := encodePayload(st, version)
-	b := make([]byte, 0, headerSize+len(payload)+trailerSize)
-	b = append(b, magic[:]...)
-	b = binary.LittleEndian.AppendUint16(b, version)
-	b = binary.LittleEndian.AppendUint64(b, gen)
-	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
-	b = append(b, payload...)
-	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
-	return b
+	return EncodeRecord(magic, version, gen, encodePayload(st, version))
 }
 
 func encodePayload(st *State, version uint16) []byte {
@@ -141,26 +133,11 @@ func RewriteGeneration(b []byte, gen uint64) ([]byte, error) {
 }
 
 func decode(b []byte) (*State, uint64, error) {
-	if len(b) < headerSize+trailerSize {
-		return nil, 0, ErrShortRead
+	payload, version, gen, err := DecodeRecord(magic, CurrentVersion, b)
+	if err != nil {
+		return nil, 0, err
 	}
-	if [magicLen]byte(b[:magicLen]) != magic {
-		return nil, 0, ErrBadMagic
-	}
-	version := binary.LittleEndian.Uint16(b[4:6])
-	if version == 0 || version > CurrentVersion {
-		return nil, 0, fmt.Errorf("%w: version %d, decoder supports 1..%d", ErrVersionSkew, version, CurrentVersion)
-	}
-	gen := binary.LittleEndian.Uint64(b[6:14])
-	plen := binary.LittleEndian.Uint32(b[14:headerSize])
-	if uint64(plen) != uint64(len(b)-headerSize-trailerSize) {
-		return nil, 0, fmt.Errorf("%w: payload length %d in a %d-byte record", ErrShortRead, plen, len(b))
-	}
-	want := binary.LittleEndian.Uint32(b[len(b)-trailerSize:])
-	if crc32.Checksum(b[:len(b)-trailerSize], castagnoli) != want {
-		return nil, 0, ErrChecksum
-	}
-	st, err := decodePayload(b[headerSize:len(b)-trailerSize], version)
+	st, err := decodePayload(payload, version)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,109 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Generic self-validating record framing, shared by every durable
+// artifact in the repo (the dual-slot state snapshots here and the
+// fingerprint database in internal/fingerprint). The layout is the one
+// documented at the top of codec.go, parameterized by magic:
+//
+//	offset  size  field
+//	0       4     magic (per artifact type)
+//	4       2     format version
+//	6       8     generation counter
+//	14      4     payload length
+//	18      n     payload
+//	18+n    4     CRC-32C over bytes [0, 18+n)
+//
+// The CRC covers the header, so a bit flip anywhere — magic, version,
+// generation, length or payload — fails validation.
+
+// EncodeRecord frames a payload under the given magic, format version
+// and generation counter, appending the CRC-32C trailer.
+func EncodeRecord(magic [4]byte, version uint16, gen uint64, payload []byte) []byte {
+	b := make([]byte, 0, headerSize+len(payload)+trailerSize)
+	b = append(b, magic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, version)
+	b = binary.LittleEndian.AppendUint64(b, gen)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+	return b
+}
+
+// DecodeRecord validates one framed record against its expected magic
+// and the decoder's maximum supported version, returning the payload
+// bytes, the record's version and its generation. Arbitrary input
+// returns an error — never a panic: length and checksum are verified
+// before the payload is handed back.
+func DecodeRecord(magic [4]byte, maxVersion uint16, b []byte) (payload []byte, version uint16, gen uint64, err error) {
+	if len(b) < headerSize+trailerSize {
+		return nil, 0, 0, ErrShortRead
+	}
+	if [magicLen]byte(b[:magicLen]) != magic {
+		return nil, 0, 0, ErrBadMagic
+	}
+	version = binary.LittleEndian.Uint16(b[4:6])
+	if version == 0 || version > maxVersion {
+		return nil, 0, 0, fmt.Errorf("%w: version %d, decoder supports 1..%d", ErrVersionSkew, version, maxVersion)
+	}
+	gen = binary.LittleEndian.Uint64(b[6:14])
+	plen := binary.LittleEndian.Uint32(b[14:headerSize])
+	if uint64(plen) != uint64(len(b)-headerSize-trailerSize) {
+		return nil, 0, 0, fmt.Errorf("%w: payload length %d in a %d-byte record", ErrShortRead, plen, len(b))
+	}
+	want := binary.LittleEndian.Uint32(b[len(b)-trailerSize:])
+	if crc32.Checksum(b[:len(b)-trailerSize], castagnoli) != want {
+		return nil, 0, 0, ErrChecksum
+	}
+	return b[headerSize : len(b)-trailerSize], version, gen, nil
+}
+
+// Reader is the exported face of the bounds-checked payload cursor, for
+// sibling packages decoding their own record payloads (the fingerprint
+// DB). Every take fails cleanly on truncated input; check Err once at
+// the end of a decode.
+type Reader struct {
+	r reader
+}
+
+// NewReader wraps a payload slice.
+func NewReader(b []byte) *Reader { return &Reader{r: reader{b: b}} }
+
+// Err returns the first error any read hit (nil while healthy).
+func (r *Reader) Err() error { return r.r.err }
+
+// Remaining returns how many unread bytes are left.
+func (r *Reader) Remaining() int { return len(r.r.b) }
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 { return r.r.u8() }
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 { return r.r.u16() }
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 { return r.r.u32() }
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return r.r.i64() }
+
+// F64 reads a little-endian IEEE-754 float64.
+func (r *Reader) F64() float64 { return r.r.f64() }
+
+// Count reads a uint16 length prefix, rejecting it unless max allows it
+// and the remaining input holds at least itemSize bytes per promised
+// item — the guard that keeps a forged count from driving a huge
+// allocation.
+func (r *Reader) Count(max, itemSize int) int { return r.r.count(max, itemSize) }
+
+// AppendF64 appends a little-endian IEEE-754 float64 (the encode-side
+// twin of Reader.F64).
+func AppendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}

@@ -1,0 +1,233 @@
+package fingerprint
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"bloc/internal/csi"
+	"bloc/internal/geom"
+	"bloc/internal/testbed"
+)
+
+// surveyedDeployment builds a small paper deployment plus its survey DB
+// with deterministic forking: survey soundings and live soundings use
+// disjoint salt spaces, like bloc-dataset and a live server would.
+func surveyedDeployment(t *testing.T) (*testbed.Deployment, *DB) {
+	t.Helper()
+	dep, err := testbed.Paper(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Survey(dep.Env.Room, len(dep.Anchors),
+		func(point, rep int, p geom.Point) *csi.Snapshot {
+			return dep.Fork(0x5E0<<16 | uint64(point)<<4 | uint64(rep)).Sounding(p)
+		},
+		SurveyOptions{StepM: 0.5, Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep, db
+}
+
+func TestSurveyGridCoversRoom(t *testing.T) {
+	dep, db := surveyedDeployment(t)
+	if db.Anchors != len(dep.Anchors) {
+		t.Fatalf("db has %d anchors, deployment %d", db.Anchors, len(dep.Anchors))
+	}
+	if len(db.Points) < 50 {
+		t.Fatalf("suspiciously sparse survey: %d points", len(db.Points))
+	}
+	inner := dep.Env.Room.Inset(0.25)
+	for i, p := range db.Points {
+		if !inner.Contains(p.Pos) {
+			t.Fatalf("point %d at %v outside the inset room", i, p.Pos)
+		}
+		for a, v := range p.RSSI {
+			if math.IsNaN(v) {
+				t.Fatalf("point %d anchor %d unobserved in a clean simulation", i, a)
+			}
+		}
+	}
+}
+
+func TestLocateBeatsRoomScale(t *testing.T) {
+	dep, db := surveyedDeployment(t)
+	// In-room spots: the paper room is origin-centered, [-2.5,2.5]×[-3,3].
+	spots := []geom.Point{
+		geom.Pt(-1.2, 1.7), geom.Pt(1.6, -2.1), geom.Pt(0.4, 0.3), geom.Pt(2.1, 1.3),
+	}
+	for i, truth := range spots {
+		snap := dep.Fork(0x11FE + uint64(i)).Sounding(truth)
+		est, err := db.Locate(Signature(snap))
+		if err != nil {
+			t.Fatalf("spot %d: %v", i, err)
+		}
+		if d := est.Dist(truth); d > 2.0 {
+			t.Fatalf("spot %d: fingerprint error %.2f m, want < 2 m", i, d)
+		}
+	}
+}
+
+func TestLocatePartialSignature(t *testing.T) {
+	dep, db := surveyedDeployment(t)
+	truth := geom.Pt(-0.8, 1.4)
+	snap := dep.Fork(0x9A21).Sounding(truth)
+	sig := Signature(snap)
+	// Only two anchors report — below the centroid's 3-anchor floor.
+	for a := 2; a < len(sig); a++ {
+		sig[a] = math.NaN()
+	}
+	est, err := db.Locate(sig)
+	if err != nil {
+		t.Fatalf("partial lookup failed: %v", err)
+	}
+	if d := est.Dist(truth); d > 3.0 {
+		t.Fatalf("2-anchor fingerprint error %.2f m, want < 3 m", d)
+	}
+	// One anchor is below the overlap floor.
+	for a := 1; a < len(sig); a++ {
+		sig[a] = math.NaN()
+	}
+	if _, err := db.Locate(sig); err == nil {
+		t.Fatal("1-anchor signature should fail the overlap floor")
+	}
+}
+
+func TestLocateDeterministic(t *testing.T) {
+	dep, db := surveyedDeployment(t)
+	snap := dep.Fork(0xD3).Sounding(geom.Pt(1.5, 2.5))
+	sig := Signature(snap)
+	a, err := db.Locate(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.Locate(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same signature, different fixes: %v vs %v", a, b)
+	}
+}
+
+func TestFilterMedianKnocksOutOutlier(t *testing.T) {
+	f := NewFilter(2, FilterOptions{Window: 5, Alpha: 1}) // alpha 1: no EWMA, isolate the median
+	for i := 0; i < 4; i++ {
+		f.Observe([]float64{-50, -60})
+	}
+	f.Observe([]float64{-10, -60}) // one wild outlier on anchor 0
+	sig := f.Signature()
+	if sig[0] != -50 {
+		t.Fatalf("median let the outlier through: %v", sig[0])
+	}
+	if sig[1] != -60 {
+		t.Fatalf("steady anchor drifted: %v", sig[1])
+	}
+}
+
+func TestFilterSkipsNaNAndWarmsPerAnchor(t *testing.T) {
+	f := NewFilter(3, FilterOptions{})
+	f.Observe([]float64{-40, math.NaN(), math.NaN()})
+	sig := f.Signature()
+	if sig[0] != -40 {
+		t.Fatalf("anchor 0 should warm on first sample: %v", sig[0])
+	}
+	if !math.IsNaN(sig[1]) || !math.IsNaN(sig[2]) {
+		t.Fatalf("unobserved anchors should stay NaN: %v", sig)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	_, db := surveyedDeployment(t)
+	b, err := Encode(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Anchors != db.Anchors || len(got.Points) != len(db.Points) || got.Room != db.Room {
+		t.Fatalf("round trip mangled the header: %+v vs %+v", got, db)
+	}
+	for i := range db.Points {
+		if got.Points[i].Pos != db.Points[i].Pos {
+			t.Fatalf("point %d position changed", i)
+		}
+		for a := range db.Points[i].RSSI {
+			if !nanSafeEqual(got.Points[i].RSSI[a], db.Points[i].RSSI[a]) {
+				t.Fatalf("point %d anchor %d signature changed", i, a)
+			}
+		}
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	_, db := surveyedDeployment(t)
+	b, err := Encode(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 5, 9, 15, 40, len(b) / 2, len(b) - 2} {
+		bad := append([]byte(nil), b...)
+		bad[off] ^= 0x40
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("flip at offset %d decoded cleanly", off)
+		}
+	}
+	if _, err := Decode(b[:10]); err == nil {
+		t.Fatal("truncated record decoded cleanly")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty record decoded cleanly")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	_, db := surveyedDeployment(t)
+	path := t.TempDir() + "/site.fpdb"
+	if err := WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != len(db.Points) {
+		t.Fatalf("file round trip lost points: %d vs %d", len(got.Points), len(db.Points))
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadShapes(t *testing.T) {
+	good := &DB{
+		Room:    geom.NewRect(geom.Pt(0, 0), geom.Pt(5, 6)),
+		Anchors: 2,
+		Points:  []RefPoint{{Pos: geom.Pt(1, 1), RSSI: []float64{-40, -50}}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid db rejected: %v", err)
+	}
+	bad := *good
+	bad.Points = []RefPoint{{Pos: geom.Pt(1, 1), RSSI: []float64{-40}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short signature accepted")
+	}
+	bad = *good
+	bad.Points = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	bad = *good
+	bad.Points = []RefPoint{{Pos: geom.Pt(1, 1), RSSI: []float64{-40, math.Inf(1)}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("infinite RSSI accepted")
+	}
+}

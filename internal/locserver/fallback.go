@@ -43,6 +43,12 @@ type fallbackCollector struct {
 
 	mu      sync.Mutex
 	buckets map[fbKey]*fbBucket // guarded by mu
+	// dropped counts buckets discarded before completing: cleared on a
+	// cell's revival (drop) or evicted wholesale at the collector cap.
+	// Surfaced as FleetStats.FallbackDropped — a climbing value during an
+	// outage means fallback rounds are being assembled but thrown away,
+	// i.e. the down window is costing fixes, not just accuracy.
+	dropped int // guarded by mu
 }
 
 func newFallbackCollector(anchors, antennas int, bands []ble.ChannelIndex) *fallbackCollector {
@@ -69,6 +75,7 @@ func (fc *fallbackCollector) add(cell int, row *wire.CSIRow) (*csi.Snapshot, boo
 	b := fc.buckets[k]
 	if b == nil {
 		if len(fc.buckets) >= maxFallbackBuckets {
+			fc.dropped += len(fc.buckets)
 			fc.buckets = make(map[fbKey]*fbBucket)
 		}
 		b = &fbBucket{
@@ -102,7 +109,16 @@ func (fc *fallbackCollector) drop(cell int) {
 	for k := range fc.buckets {
 		if k.cell == cell {
 			delete(fc.buckets, k)
+			fc.dropped++
 		}
 	}
 	fc.mu.Unlock()
+}
+
+// droppedCount reports how many incomplete buckets have been discarded
+// since startup.
+func (fc *fallbackCollector) droppedCount() int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.dropped
 }

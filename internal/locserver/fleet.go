@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net"
 	"sync"
 	"time"
 
@@ -68,7 +69,8 @@ type FleetConfig struct {
 // restart bookkeeping that outlives it.
 type cell struct {
 	idx     int
-	panicCh chan string // coalesced panic reports to the supervisor
+	panicCh chan string      // coalesced panic reports to the supervisor
+	fln     *net.TCPListener // fleet-owned listener; outlives incarnations (see ingress.go)
 
 	mu       sync.Mutex
 	srv      *Server   // live incarnation; nil while restarting; guarded by mu
@@ -150,22 +152,33 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 			sup:     newSupState(cfg.Supervisor, uint64(i)),
 			gen:     1,
 		}
-		srv, err := f.newCellServer(c, 1)
+		// The listener belongs to the fleet, not the incarnation: the
+		// cell's address stays dialable across restarts, and the downtime
+		// ingress accepts on it while the supervisor rebuilds the server.
+		ln, err := net.Listen("tcp", f.listenAddr(i))
+		if err == nil {
+			c.fln = ln.(*net.TCPListener)
+			var srv *Server
+			srv, err = f.newCellServer(c, 1)
+			if err != nil {
+				c.fln.Close()
+			} else {
+				c.mu.Lock()
+				c.srv = srv
+				c.running = true
+				c.mu.Unlock()
+			}
+		}
 		if err != nil {
 			for _, prev := range f.cells {
 				prev.mu.Lock()
 				psrv := prev.srv
 				prev.mu.Unlock()
 				psrv.Close()
+				prev.fln.Close()
 			}
 			return nil, fmt.Errorf("locserver: cell %d: %w", i, err)
 		}
-		// No cell is shared yet (supervisors start below), but the lock
-		// keeps the field contract uniform.
-		c.mu.Lock()
-		c.srv = srv
-		c.running = true
-		c.mu.Unlock()
 		f.cells = append(f.cells, c)
 	}
 	for _, c := range f.cells {
@@ -204,7 +217,7 @@ func (f *Fleet) newCellServer(c *cell, gen uint64) (*Server, error) {
 	if f.cfg.Checkpoint != nil {
 		cc.Checkpoint = f.cfg.Checkpoint(idx)
 	}
-	return New(f.listenAddr(idx), cc)
+	return NewWithListener(newListenerLease(c.fln), cc)
 }
 
 // supervise is cell c's supervisor goroutine: it waits for panic
@@ -254,14 +267,23 @@ func (f *Fleet) restartCell(c *cell, where string) bool {
 		c.base = addCounters(c.base, retireStats(final))
 		c.mu.Unlock()
 	}
+	// The dead incarnation's acceptLoop has exited (Close waits for it),
+	// so the fleet can accept on the cell's persistent listener for the
+	// whole down window: TCP anchors keep their connection target, and
+	// their rows become fallback fixes instead of being refused.
+	ing := f.startIngress(c)
 	if !f.sleep(cooldown) || !f.sleep(backoff) {
+		ing.stop()
 		return false
 	}
 	for {
+		ing.stop() // quiesce the listener before leasing it to the new incarnation
 		srv2, err := f.newCellServer(c, gen)
 		if err != nil {
 			f.log.Error("cell rebuild failed, retrying", "cell", c.idx, "err", err)
+			ing = f.startIngress(c)
 			if !f.sleep(c.sup.cfg.BackoffMax) {
+				ing.stop()
 				return false
 			}
 			continue
@@ -362,7 +384,15 @@ func (f *Fleet) deliverFallback(home int, tag uint16, round uint32, snap *csi.Sn
 	if nb < 0 {
 		return // whole fleet down; nothing can serve this round
 	}
-	info := RoundInfo{Tag: tag, Round: round, Coarse: true, Fallback: true}
+	// The fallback plane serves at the fleet's best degraded rung: with a
+	// fingerprint-capable estimator the neighbor answers a KNN lookup,
+	// otherwise it computes the centroid floor (DESIGN.md §16). No
+	// hysteresis applies — the home cell's ladder state died with it.
+	tier := TierCentroid
+	if f.cfg.Cell.Fingerprint {
+		tier = TierFingerprint
+	}
+	info := RoundInfo{Tag: tag, Round: round, Coarse: true, Fallback: true, Tier: tier}
 	loc, err := f.cfg.OnSnapshot(nb, info, snap)
 	if err != nil {
 		f.log.Warn("fallback fix failed", "home", home, "neighbor", nb,
@@ -400,16 +430,12 @@ func (f *Fleet) nextRunning(from int) int {
 // Cells returns the cell count.
 func (f *Fleet) Cells() int { return len(f.cells) }
 
-// CellAddr returns cell i's current listening address, or "" while the
-// cell is down (each incarnation may bind a fresh ephemeral port).
+// CellAddr returns cell i's listening address. The listener is owned by
+// the fleet and survives restarts, so the address is stable for the
+// fleet's whole lifetime — dialable even while the cell is down (the
+// downtime ingress answers then; see ingress.go).
 func (f *Fleet) CellAddr(i int) string {
-	c := f.cells[i]
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.srv == nil {
-		return ""
-	}
-	return c.srv.Addr()
+	return f.cells[i].fln.Addr().String()
 }
 
 // CellStatus describes one cell in a FleetStats snapshot.
@@ -438,6 +464,11 @@ type FleetStats struct {
 	// round. Kept separate from the cells' PanicsRecovered, which count
 	// only in-cell recoveries.
 	FallbackPanics int
+	// FallbackDropped counts incomplete fallback buckets discarded — on
+	// a cell's revival (its own acquisition plane owns new rounds again)
+	// or by the collector's wholesale cap eviction. Rounds these buckets
+	// held produced no fix at all.
+	FallbackDropped int
 	// RoutedTags is how many tags currently have a recorded home cell.
 	RoutedTags int
 }
@@ -472,6 +503,7 @@ func (f *Fleet) Stats() FleetStats {
 	fs.FallbackFixes = f.fbFixes
 	fs.FallbackPanics = f.fbPanics
 	f.mu.Unlock()
+	fs.FallbackDropped = f.fb.droppedCount()
 	fs.RoutedTags = f.rt.tagCount()
 	return fs
 }
@@ -544,6 +576,14 @@ func (f *Fleet) Close() error {
 		}
 	}
 	f.wg.Wait()
+	// Supervisors are gone (and with them any downtime ingress), so the
+	// persistent listeners can finally be closed for real — leases only
+	// ever revoked them.
+	for _, c := range f.cells {
+		if cerr := c.fln.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -595,6 +635,14 @@ func addCounters(a, b Stats) Stats {
 		LaggyMarks:       a.LaggyMarks + b.LaggyMarks,
 		LaggyReadmits:    a.LaggyReadmits + b.LaggyReadmits,
 		EarlyCompletions: a.EarlyCompletions + b.EarlyCompletions,
+
+		TierGatedRounds:       a.TierGatedRounds + b.TierGatedRounds,
+		TierFullRounds:        a.TierFullRounds + b.TierFullRounds,
+		TierFingerprintRounds: a.TierFingerprintRounds + b.TierFingerprintRounds,
+		TierCentroidRounds:    a.TierCentroidRounds + b.TierCentroidRounds,
+		TierDemotions:         a.TierDemotions + b.TierDemotions,
+		TierPromotions:        a.TierPromotions + b.TierPromotions,
+		TierHoldbacks:         a.TierHoldbacks + b.TierHoldbacks,
 
 		PanicsRecovered: a.PanicsRecovered + b.PanicsRecovered,
 		BreakerOpens:    a.BreakerOpens + b.BreakerOpens,

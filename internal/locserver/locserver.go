@@ -24,10 +24,16 @@
 // they earn probation and eventual readmission) — and the α-correction
 // reference index is re-elected away from a quarantined or silent
 // reference, so the system no longer assumes the paper's fixed master
-// (anchor 0) stays trustworthy. Rounds whose CSI quorum is unmet but that
-// still have three anchors' worth of usable rows complete in degraded
-// coarse mode (RoundInfo.Coarse), telling the estimator to fall back to
-// RSSI-only trilateration instead of emitting nothing.
+// (anchor 0) stays trustworthy.
+//
+// Degraded rounds descend an explicit ladder (DESIGN.md §16): every
+// delivered fix is stamped with a FixTier — prior-gated CSI, full CSI,
+// fingerprint KNN, RSSI centroid — and a round whose CSI quorum is
+// unmet completes at the best degraded rung the deployment supports
+// (RoundInfo.Coarse plus RoundInfo.Tier) instead of emitting nothing.
+// Demotion is immediate; promotion back to the CSI plane is hysteretic
+// (Config.TierPromoteRounds), so consecutive fixes never flap between
+// accuracy regimes.
 package locserver
 
 import (
@@ -123,6 +129,26 @@ type Config struct {
 	// defaults; Threshold < 0 disables breakers.
 	Breaker BreakerConfig
 
+	// Fingerprint declares that the estimator behind OnSnapshot can
+	// answer TierFingerprint lookups (it holds a site-survey fingerprint
+	// DB, internal/fingerprint). It changes two things (DESIGN.md §16):
+	// coarse rounds are stamped TierFingerprint instead of TierCentroid,
+	// and rounds whose usable-anchor count falls in
+	// [FingerprintMinAnchors, 3) complete coarsely instead of being
+	// evicted — partial-signature KNN works below the trilateration
+	// floor. False keeps the seed behavior bit-for-bit.
+	Fingerprint bool
+	// FingerprintMinAnchors is the coarse-completion floor when
+	// Fingerprint is set (default 2, the KNN overlap minimum).
+	FingerprintMinAnchors int
+	// TierPromoteRounds is the ladder's promotion hysteresis: after a
+	// tag served a degraded fix, this many consecutive CSI-grade rounds
+	// are required before it serves CSI again, the holdbacks going out
+	// at the previous degraded tier. Defaults to 2 when Fingerprint is
+	// set and 1 (promote immediately — the pre-ladder behavior)
+	// otherwise.
+	TierPromoteRounds int
+
 	// OnFix, when set, is called exactly once per delivered fix, after
 	// the broadcast, on the fix worker that computed it. The fleet layer
 	// uses it for exactly-once delivery accounting; it must not block.
@@ -178,6 +204,13 @@ type RoundInfo struct {
 	// cell was down, localized coarsely by a neighbor cell (DESIGN.md
 	// §15). Fallback implies Coarse; the fix is flagged, not silent.
 	Fallback bool
+	// Tier is the rung of the degradation ladder this fix is served at
+	// (DESIGN.md §16). It subsumes the booleans above: Coarse rounds
+	// serve at TierFingerprint or TierCentroid, CSI rounds at
+	// TierGatedCSI or TierFullCSI — except during promotion holdback,
+	// when a CSI-grade snapshot is deliberately served at the previous
+	// degraded tier (and Coarse is forced true to match).
+	Tier FixTier
 }
 
 // Stats counts round outcomes and data-quality events.
@@ -217,6 +250,16 @@ type Stats struct {
 	// Supervision plane (DESIGN.md §15). The breaker and panic counters
 	// are live on every server; the cell counters are filled by the
 	// fleet aggregate (a standalone server reports 0).
+	// Degradation ladder (DESIGN.md §16): how many admitted rounds were
+	// served at each rung, plus the hysteresis transitions.
+	TierGatedRounds       int // fixes served at TierGatedCSI
+	TierFullRounds        int // fixes served at TierFullCSI
+	TierFingerprintRounds int // fixes served at TierFingerprint
+	TierCentroidRounds    int // fixes served at TierCentroid
+	TierDemotions         int // tags dropped from the CSI plane to a degraded rung
+	TierPromotions        int // tags promoted back to the CSI plane
+	TierHoldbacks         int // CSI-grade rounds served degraded during promotion hysteresis
+
 	PanicsRecovered  int // panics recovered in ingest handlers and fix workers
 	BreakerOpens     int // per-anchor-link breaker transitions into open
 	BreakerProbes    int // half-open probe sends attempted
@@ -257,6 +300,10 @@ type Server struct {
 	ovl         OverloadConfig        // resolved watermarks (immutable after New)
 	tagHist     map[uint16]tagHistory // per-tag fix history for shed priority; guarded by mu
 	now         func() time.Time      // clock hook (tests); immutable after New
+
+	// Degradation ladder (DESIGN.md §16).
+	tiers        map[uint16]tierState // per-tag ladder hysteresis; guarded by mu
+	promoteAfter int                  // resolved TierPromoteRounds (immutable after New)
 
 	ckpt *CheckpointConfig // durable checkpointing; nil when disabled
 }
@@ -400,6 +447,20 @@ func NewWithListener(ln net.Listener, cfg Config) (*Server, error) {
 	if cfg.AdaptiveDeadline && cfg.RoundDeadline <= 0 {
 		return nil, errors.New("locserver: AdaptiveDeadline requires RoundDeadline > 0")
 	}
+	if cfg.FingerprintMinAnchors <= 0 {
+		cfg.FingerprintMinAnchors = 2
+	}
+	if cfg.Fingerprint && (cfg.FingerprintMinAnchors < 2 || cfg.FingerprintMinAnchors > cfg.Anchors) {
+		return nil, fmt.Errorf("locserver: FingerprintMinAnchors %d outside [2,%d]",
+			cfg.FingerprintMinAnchors, cfg.Anchors)
+	}
+	if cfg.TierPromoteRounds <= 0 {
+		if cfg.Fingerprint {
+			cfg.TierPromoteRounds = 2
+		} else {
+			cfg.TierPromoteRounds = 1
+		}
+	}
 	ovl := cfg.Overload.withDefaults(cfg.FixQueueDepth)
 	if !ovl.valid(cfg.FixQueueDepth) {
 		return nil, fmt.Errorf("locserver: invalid overload watermarks %+v for queue depth %d",
@@ -423,6 +484,9 @@ func NewWithListener(ln net.Listener, cfg Config) (*Server, error) {
 		ovl:       ovl,
 		tagHist:   make(map[uint16]tagHistory),
 		now:       time.Now,
+
+		tiers:        make(map[uint16]tierState),
+		promoteAfter: cfg.TierPromoteRounds,
 	}
 	s.fixCond = sync.NewCond(&s.mu)
 	if cfg.Checkpoint != nil {
@@ -899,6 +963,13 @@ func (s *Server) finalizeLocked(rk roundKey, pr *pendingRound, full bool) (*csi.
 			s.stats.Partial++
 		}
 	case coarseOK >= 3: // RSSI trilateration floor
+		info.Coarse = true
+		s.stats.Coarse++
+	case s.cfg.Fingerprint && coarseOK >= s.cfg.FingerprintMinAnchors:
+		// Below the trilateration floor but above the KNN overlap
+		// minimum: a fingerprint-capable estimator can still match a
+		// partial signature (DESIGN.md §16), so the round completes
+		// coarsely instead of being evicted.
 		info.Coarse = true
 		s.stats.Coarse++
 	default:

@@ -298,6 +298,11 @@ func (s *Server) enqueueFixLocked(job *fixJob) {
 		job.info.Degraded = true
 		s.stats.OverloadDegraded++
 	}
+	// Every demotion route — quorum-unmet coarse completion, overload
+	// demotion just above, and the hysteretic holdback itself — funnels
+	// through the ladder here, after the shed decisions: only admitted
+	// rounds move a tag's tier state.
+	s.applyLadderLocked(job)
 	s.fq.pushLocked(job)
 	if s.fq.size > s.stats.QueuePeak {
 		s.stats.QueuePeak = s.fq.size
@@ -400,5 +405,5 @@ func (s *Server) runFix(job *fixJob) {
 		s.cfg.OnFix(job.info, fix)
 	}
 	s.log.Info("fix", "tag", job.rk.tag, "round", job.rk.round, "x", loc.X, "y", loc.Y,
-		"coarse", job.info.Coarse, "degraded", job.info.Degraded)
+		"tier", job.info.Tier.String(), "coarse", job.info.Coarse, "degraded", job.info.Degraded)
 }

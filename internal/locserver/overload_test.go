@@ -40,6 +40,9 @@ func bareOverloadServer(queueCap int, ovl OverloadConfig) *Server {
 		tagHist:  make(map[uint16]tagHistory),
 		fixes:    make(chan wire.Fix, 16),
 		now:      time.Now,
+
+		tiers:        make(map[uint16]tierState),
+		promoteAfter: 1,
 	}
 	s.fixCond = sync.NewCond(&s.mu)
 	return s

@@ -5,6 +5,7 @@ import (
 
 	"bloc/internal/core"
 	"bloc/internal/csi"
+	"bloc/internal/fingerprint"
 	"bloc/internal/geom"
 	"bloc/internal/rfsim"
 	"bloc/internal/testbed"
@@ -290,6 +291,40 @@ func (s *System) LocalizeSnapshot(m Method, snap *Snapshot) (*Fix, error) {
 		return nil, err
 	}
 	return &Fix{Estimate: res.Estimate, Candidates: res.Candidates}, nil
+}
+
+// FingerprintDB is a site-survey fingerprint database — the KNN rung of
+// the serving plane's degradation ladder (DESIGN.md §16). Build one with
+// System.SurveyFingerprints (or bloc-dataset survey), persist it with
+// its WriteFile/ReadFile codec, and serve lookups with
+// LocalizeFingerprint when too few anchors report for the CSI pipeline.
+type FingerprintDB = fingerprint.DB
+
+// SurveyFingerprints walks a reference grid over the room — stepM pitch,
+// samples independent soundings medianed per point (both ≤ 0 select the
+// defaults: 0.5 m, 3) — and records each point's per-anchor RSSI
+// signature: the offline site-survey campaign behind the fingerprint
+// rung. Survey forks are salted independently of Acquire's sequence
+// counter, so surveying does not perturb later acquisitions.
+func (s *System) SurveyFingerprints(stepM float64, samples int) (*FingerprintDB, error) {
+	return fingerprint.Survey(s.dep.Env.Room, len(s.dep.Anchors),
+		func(point, rep int, p Point) *Snapshot {
+			// Same fork-salt convention as bloc-dataset survey.
+			return s.dep.Fork(0x5E0<<16 | uint64(point)<<4 | uint64(rep)).Sounding(p)
+		}, fingerprint.SurveyOptions{StepM: stepM, Samples: samples})
+}
+
+// LocalizeFingerprint localizes a snapshot by weighted-KNN lookup
+// against a survey. The snapshot may be partial — anchors with no
+// usable rows become NaN in the signature and the lookup matches over
+// the overlap — which is exactly the degraded regime (unmet quorum,
+// silent reference, dead cell) the fingerprint rung exists to serve.
+func (s *System) LocalizeFingerprint(db *FingerprintDB, snap *Snapshot) (*Fix, error) {
+	p, err := db.Locate(fingerprint.Signature(snap))
+	if err != nil {
+		return nil, err
+	}
+	return &Fix{Estimate: p}, nil
 }
 
 // Deployment exposes the underlying testbed for in-module tooling (cmd/,
